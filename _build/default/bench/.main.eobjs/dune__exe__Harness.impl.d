@@ -1,0 +1,1 @@
+bench/harness.ml: Format List String Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Bechamel Bechamel_notty Benchmark Constraints Core Format Graphs Harness List Measure Notty_unix Printf Query Relational Result Staged Test Time Toolkit Unix Vset Workload

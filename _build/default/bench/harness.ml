@@ -1,0 +1,100 @@
+(* Timing and reporting utilities for the experiment harness.
+
+   The paper has no empirical section; what we regenerate is the
+   complexity landscape of Figure 5 plus the combinatorial facts behind
+   Figures 1-4, so the harness reports (a) series of measured runtimes
+   against instance size and (b) empirical growth diagnostics: a log-log
+   slope for polynomial algorithms and a size-doubling ratio for
+   exponential ones. *)
+
+let now () = Unix.gettimeofday ()
+
+(* Median seconds per run; each sample runs [f] enough times to dominate
+   timer noise. *)
+let measure ?(min_time = 0.02) ?(samples = 5) f =
+  ignore (f ());
+  (* warm-up *)
+  let timed_batch () =
+    let reps = ref 1 in
+    let rec calibrate () =
+      let t0 = now () in
+      for _ = 1 to !reps do
+        ignore (f ())
+      done;
+      let dt = now () -. t0 in
+      if dt < min_time && !reps < 1_000_000 then begin
+        reps := !reps * 4;
+        calibrate ()
+      end
+      else dt /. float_of_int !reps
+    in
+    calibrate ()
+  in
+  let xs = List.init samples (fun _ -> timed_batch ()) in
+  let sorted = List.sort compare xs in
+  List.nth sorted (samples / 2)
+
+(* Least-squares slope of log t against log n: the empirical polynomial
+   degree. *)
+let loglog_slope points =
+  let logs =
+    List.filter_map
+      (fun (n, t) ->
+        if n > 0 && t > 0. then Some (log (float_of_int n), log t) else None)
+      points
+  in
+  let k = float_of_int (List.length logs) in
+  if List.length logs < 2 then nan
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0. logs in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0. logs in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. logs in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. logs in
+    ((k *. sxy) -. (sx *. sy)) /. ((k *. sxx) -. (sx *. sx))
+  end
+
+(* Geometric-mean ratio t(n_{i+1}) / t(n_i): ~2 per unit step signals 2^n
+   growth when sizes step by 1. *)
+let step_ratio points =
+  let rec ratios = function
+    | (_, t1) :: ((_, t2) :: _ as rest) when t1 > 0. ->
+      (t2 /. t1) :: ratios rest
+    | _ :: rest -> ratios rest
+    | [] -> []
+  in
+  match ratios points with
+  | [] -> nan
+  | rs ->
+    exp (List.fold_left (fun a r -> a +. log r) 0. rs /. float_of_int (List.length rs))
+
+let pp_time ppf seconds =
+  if seconds < 1e-6 then Format.fprintf ppf "%8.1f ns" (seconds *. 1e9)
+  else if seconds < 1e-3 then Format.fprintf ppf "%8.2f us" (seconds *. 1e6)
+  else if seconds < 1. then Format.fprintf ppf "%8.2f ms" (seconds *. 1e3)
+  else Format.fprintf ppf "%8.3f s " seconds
+
+let section id title =
+  Format.printf "@.============================================================@.";
+  Format.printf "[%s] %s@." id title;
+  Format.printf "============================================================@."
+
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+(* A simple aligned table printer. *)
+let table ~header rows =
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w cell -> max w (String.length cell)) ws row)
+      (List.map String.length header)
+      rows
+  in
+  let print_row row =
+    Format.printf "  ";
+    List.iter2 (fun w cell -> Format.printf "%-*s  " w cell) widths row;
+    Format.printf "@."
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let time_cell t = Format.asprintf "%a" pp_time t

@@ -1,0 +1,676 @@
+(* The experiment harness: regenerates every figure of the paper.
+
+   Run with:  dune exec bench/main.exe
+
+   FIG1   - Example 4 / Figure 1: 2^n repairs on the ladder instance.
+   FIG2-4 - Figures 2-4: the worked examples and what each family selects
+            (including the corrected mutual-conflict instance; see
+            EXPERIMENTS.md).
+   FIG5   - the complexity summary table, measured: repair checking and
+            consistent query answering per family, with empirical growth
+            diagnostics (log-log slope for the PTIME entries, doubling
+            ratio for the enumerative ones).
+   EXT    - the §6 extensions: aggregation ranges and conflict
+            hypergraphs.
+
+   A Bechamel microbenchmark table (one Test.make per experiment) closes
+   the run. *)
+
+open Graphs
+module Conflict = Core.Conflict
+module Priority = Core.Priority
+module Repair = Core.Repair
+module Family = Core.Family
+module Cqa = Core.Cqa
+module Winnow = Core.Winnow
+module Generator = Workload.Generator
+module Prng = Workload.Prng
+
+let parse = Query.Parser.parse_exn
+
+(* --- workload builders ---------------------------------------------------- *)
+
+let cluster_case n =
+  (* one key dependency, clusters of width 4 *)
+  let rel, fds = Generator.key_clusters ~groups:(max 1 (n / 4)) ~width:4 in
+  let c = Conflict.build fds rel in
+  let rng = Prng.create (n + 17) in
+  let p = Generator.random_priority rng ~density:1.0 c in
+  (c, p)
+
+let ladder_case rungs =
+  let rel, fds = Generator.ladder rungs in
+  let c = Conflict.build fds rel in
+  (c, Priority.empty c)
+
+(* a ground query over the first cluster of a cluster instance *)
+let cluster_ground_query c =
+  let t0 = Conflict.tuple c 0 and t1 = Conflict.tuple c 1 in
+  let atom t =
+    Query.Ast.Atom
+      ( Relational.Schema.name (Conflict.schema c),
+        List.map (fun v -> Query.Ast.Const v) (Relational.Tuple.values t) )
+  in
+  Query.Ast.Or (atom t0, Query.Ast.Not (atom t1))
+
+let ladder_ground_query c =
+  let t0 = Conflict.tuple c 0 and t1 = Conflict.tuple c 1 in
+  let atom t =
+    Query.Ast.Atom
+      ( Relational.Schema.name (Conflict.schema c),
+        List.map (fun v -> Query.Ast.Const v) (Relational.Tuple.values t) )
+  in
+  Query.Ast.Or (atom t0, atom t1)
+
+(* --- FIG1 ------------------------------------------------------------------ *)
+
+let fig1 () =
+  Harness.section "FIG1" "Example 4 / Figure 1: the ladder r_n has 2^n repairs";
+  let sizes = [ 2; 4; 6; 8; 10; 12; 14; 16 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let c, _ = ladder_case n in
+        let count = ref 0 in
+        let t = Harness.measure (fun () -> count := Repair.count c) in
+        [
+          string_of_int n;
+          string_of_int !count;
+          string_of_int (1 lsl n);
+          Harness.time_cell t;
+        ])
+      sizes
+  in
+  Harness.table
+    ~header:[ "n (conflicts)"; "repairs"; "2^n"; "enumeration time" ]
+    rows;
+  let points =
+    List.map
+      (fun n ->
+        let c, _ = ladder_case n in
+        (n, Harness.measure (fun () -> Repair.count c)))
+      [ 10; 12; 14; 16 ]
+  in
+  Harness.note "growth ratio per +2 conflicts: %.2f (4.0 = clean 2^n)"
+    (Harness.step_ratio points)
+
+(* --- FIG2-4 ----------------------------------------------------------------- *)
+
+let show_selection c p =
+  List.iter
+    (fun f ->
+      let repairs = Family.repairs f c p in
+      Format.printf "    %-6s" (Family.name_to_string f);
+      List.iter (fun s -> Format.printf " %s" (Vset.to_string s)) repairs;
+      Format.printf "@.")
+    Family.all_names
+
+let fig234 () =
+  Harness.section "FIG2-4" "Figures 2-4: family selections on the worked examples";
+  Harness.note "Example 7 (Figure 2): one key, priority ta > tb, ta > tc";
+  let c7, p7 = Workload.Paper.example7 () in
+  show_selection c7 p7;
+  Harness.note "Example 8 (Figure 3): duplicates; total priority tc > ta, tc > tb";
+  let c8, p8 = Workload.Paper.example8 () in
+  show_selection c8 p8;
+  Harness.note "Example 9 (Figure 4) as printed: total chain priority";
+  let c9, p9 = Workload.Paper.example9 () in
+  show_selection c9 p9;
+  Harness.note
+    "(the paper lists 2 repairs and claims S-Rep = both; the instance has 4";
+  Harness.note
+    " repairs and S-Rep is a singleton - see EXPERIMENTS.md, erratum 2)";
+  Harness.note "mutual-conflict cycle C4 (corrected §3.3 scenario):";
+  let rel, fds = Generator.mutual_cycle 2 in
+  let cc = Conflict.build fds rel in
+  let pc = Generator.mutual_cycle_priority cc in
+  show_selection cc pc;
+  Harness.note "one non-key FD, K_{2,2} duplicates (erratum 3): S keeps 2, G keeps 1";
+  let ck, pk = Workload.Paper.s_vs_g_counterexample () in
+  show_selection ck pk
+
+(* --- FIG5: repair checking --------------------------------------------------- *)
+
+let fig5_check () =
+  Harness.section "FIG5-CHECK"
+    "Figure 5, column 'repair check': PTIME families vs co-NP-complete G";
+  let sizes = [ 200; 400; 800; 1600 ] in
+  let families = [ Family.Rep; Family.L; Family.S; Family.C ] in
+  let series =
+    List.map
+      (fun family ->
+        let points =
+          List.map
+            (fun n ->
+              let c, p = cluster_case n in
+              let candidate = Winnow.clean c p in
+              (n, Harness.measure (fun () -> Family.check family c p candidate)))
+            sizes
+        in
+        (family, points))
+      families
+  in
+  let rows =
+    List.map
+      (fun (family, points) ->
+        Family.name_to_string family
+        :: (List.map (fun (_, t) -> Harness.time_cell t) points
+           @ [ Printf.sprintf "%.2f" (Harness.loglog_slope points) ]))
+      series
+  in
+  Harness.table
+    ~header:
+      ("family"
+      :: (List.map (fun n -> Printf.sprintf "n=%d" n) sizes @ [ "poly degree" ]))
+    rows;
+  Harness.note
+    "all four run in polynomial time (log-log slope ~ 1-2, dominated by";
+  Harness.note "set operations), as Figure 5 claims.";
+  Format.printf "@.";
+  (* G: witness search over the repair space *)
+  let rungs = [ 8; 10; 12; 14; 16 ] in
+  let points =
+    List.map
+      (fun r ->
+        let c, p = ladder_case r in
+        let candidate = Winnow.clean c p in
+        (r, Harness.measure (fun () -> Family.check Family.G c p candidate)))
+      rungs
+  in
+  Harness.table
+    ~header:[ "G-Rep check"; "time" ]
+    (List.map
+       (fun (r, t) -> [ Printf.sprintf "ladder n=%d" r; Harness.time_cell t ])
+       points);
+  Harness.note
+    "G-repair checking explodes with the repair space: x%.1f per +2 conflicts"
+    (Harness.step_ratio points);
+  Harness.note "(co-NP-complete, Theorem 5; the checker searches for a";
+  Harness.note " dominating-repair witness)."
+
+(* --- FIG5: consistent query answers ------------------------------------------- *)
+
+let fig5_cqa () =
+  Harness.section "FIG5-CQA"
+    "Figure 5, columns 'consistent answers': ground PTIME vs enumeration";
+  (* Rep + ground queries: the PTIME algorithm *)
+  let sizes = [ 200; 400; 800; 1600; 3200 ] in
+  let points =
+    List.map
+      (fun n ->
+        let c, _ = cluster_case n in
+        let q = cluster_ground_query c in
+        (n, Harness.measure (fun () -> Result.get_ok (Cqa.ground_certainty c q))))
+      sizes
+  in
+  Harness.table
+    ~header:[ "Rep, ground query (PTIME algorithm)"; "time" ]
+    (List.map (fun (n, t) -> [ Printf.sprintf "n=%d" n; Harness.time_cell t ]) points);
+  Harness.note "log-log slope %.2f: polynomial, as claimed for {∀,∃}-free"
+    (Harness.loglog_slope points);
+  Format.printf "@.";
+  (* naive enumeration for the same query *)
+  let rungs = [ 6; 8; 10; 12; 14 ] in
+  let points =
+    List.map
+      (fun r ->
+        let c, p = ladder_case r in
+        let q = ladder_ground_query c in
+        (r, Harness.measure (fun () -> Cqa.certainty Family.Rep c p q)))
+      rungs
+  in
+  Harness.table
+    ~header:[ "Rep, same query by enumeration"; "time" ]
+    (List.map
+       (fun (r, t) -> [ Printf.sprintf "ladder n=%d" r; Harness.time_cell t ])
+       points);
+  Harness.note "x%.1f per +2 conflicts: the brute-force baseline is exponential"
+    (Harness.step_ratio points);
+  Format.printf "@.";
+  (* preferred CQA per family (co-NP-complete / Pi^p_2-complete rows) *)
+  let rungs = [ 4; 6; 8; 10 ] in
+  let rows =
+    List.map
+      (fun family ->
+        let points =
+          List.map
+            (fun r ->
+              let c, _ = ladder_case r in
+              let rng = Prng.create (r + 5) in
+              let p = Generator.random_priority rng ~density:0.5 c in
+              let q = ladder_ground_query c in
+              (r, Harness.measure (fun () -> Cqa.certainty family c p q)))
+            rungs
+        in
+        Family.name_to_string family
+        :: (List.map (fun (_, t) -> Harness.time_cell t) points
+           @ [ Printf.sprintf "x%.1f" (Harness.step_ratio points) ]))
+      [ Family.L; Family.S; Family.G; Family.C ]
+  in
+  Harness.table
+    ~header:
+      ("preferred CQA"
+      :: (List.map (fun r -> Printf.sprintf "n=%d" r) rungs @ [ "per +2" ]))
+    rows;
+  Harness.note
+    "all preferred families pay the repair-enumeration price (co-NP-hard,";
+  Harness.note "Theorem 3; Pi^p_2-complete for G, Theorem 5).";
+  Format.printf "@.";
+  (* conjunctive (quantified) queries: co-NP-complete already for Rep *)
+  let rungs = [ 2; 4; 6 ] in
+  let points =
+    List.map
+      (fun r ->
+        let c, p = ladder_case r in
+        let q = parse "exists a. R(a, 0) and R(a, 1)" in
+        (r, Harness.measure (fun () -> Cqa.certainty Family.Rep c p q)))
+      rungs
+  in
+  Harness.table
+    ~header:[ "Rep, conjunctive query (enumeration)"; "time" ]
+    (List.map
+       (fun (r, t) -> [ Printf.sprintf "ladder n=%d" r; Harness.time_cell t ])
+       points);
+  Harness.note "x%.1f per +2 conflicts (co-NP-complete, Figure 5 row 1)"
+    (Harness.step_ratio points)
+
+(* --- component factorization (the practical algorithm) --------------------------- *)
+
+let factorized () =
+  Harness.section "FACTOR"
+    "Ablation: component-factorized preferred CQA and counting (Decompose)";
+  (* preferred CQA for EVERY family, at sizes far beyond enumeration:
+     components stay bounded (clusters of 4), so the per-component
+     exponential never bites *)
+  let sizes = [ 400; 800; 1600; 3200 ] in
+  let rows =
+    List.map
+      (fun family ->
+        let points =
+          List.map
+            (fun n ->
+              let c, p = cluster_case n in
+              let d = Core.Decompose.make c p in
+              let q = cluster_ground_query c in
+              (* include Decompose.make in the first-call cost? build once,
+                 query repeatedly: the steady-state regime *)
+              ( n,
+                Harness.measure (fun () ->
+                    Result.get_ok (Core.Decompose.certainty_ground family d q))
+              ))
+            sizes
+        in
+        Family.name_to_string family
+        :: (List.map (fun (_, t) -> Harness.time_cell t) points
+           @ [ Printf.sprintf "%.2f" (Harness.loglog_slope points) ]))
+      Family.all_names
+  in
+  Harness.table
+    ~header:
+      ("factorized CQA"
+      :: (List.map (fun n -> Printf.sprintf "n=%d" n) sizes @ [ "slope" ]))
+    rows;
+  Harness.note
+    "with bounded components, preferred CQA for every family — including";
+  Harness.note
+    "G-Rep, whose monolithic problem is Pi^p_2-complete — runs in";
+  Harness.note "microseconds at sizes where enumeration needed minutes.";
+  Format.printf "@.";
+  let count_points =
+    List.map
+      (fun n ->
+        let c, p = cluster_case n in
+        let d = Core.Decompose.make c p in
+        (n, Harness.measure (fun () -> Core.Decompose.count Family.G d)))
+      sizes
+  in
+  Harness.table
+    ~header:[ "count G-Rep (factorized)"; "time" ]
+    (List.map
+       (fun (n, t) -> [ Printf.sprintf "n=%d" n; Harness.time_cell t ])
+       count_points);
+  Harness.note "log-log slope %.2f" (Harness.loglog_slope count_points)
+
+(* --- Algorithm 1 scaling -------------------------------------------------------- *)
+
+let alg1 () =
+  Harness.section "ALG1" "Algorithm 1: cleaning scales polynomially";
+  let sizes = [ 500; 1000; 2000; 4000; 8000 ] in
+  let points =
+    List.map
+      (fun n ->
+        let c, p = cluster_case n in
+        (n, Harness.measure (fun () -> Winnow.clean c p)))
+      sizes
+  in
+  Harness.table
+    ~header:[ "clean (total priority)"; "time" ]
+    (List.map (fun (n, t) -> [ Printf.sprintf "n=%d" n; Harness.time_cell t ]) points);
+  Harness.note "log-log slope %.2f" (Harness.loglog_slope points);
+  let build_points =
+    List.map
+      (fun n ->
+        let rel, fds = Generator.key_clusters ~groups:(n / 4) ~width:4 in
+        (n, Harness.measure (fun () -> Conflict.build fds rel)))
+      sizes
+  in
+  Harness.table
+    ~header:[ "conflict graph construction"; "time" ]
+    (List.map
+       (fun (n, t) -> [ Printf.sprintf "n=%d" n; Harness.time_cell t ])
+       build_points);
+  Harness.note "log-log slope %.2f" (Harness.loglog_slope build_points);
+  Format.printf "@.";
+  (* ablation: incremental winnow maintenance vs the literal Algorithm 1 *)
+  let ablation_sizes = [ 500; 1000; 2000; 4000 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let c, p = cluster_case n in
+        let inc = Harness.measure (fun () -> Winnow.clean c p) in
+        let naive = Harness.measure (fun () -> Winnow.clean_naive c p) in
+        [
+          Printf.sprintf "n=%d" n;
+          Harness.time_cell inc;
+          Harness.time_cell naive;
+          Printf.sprintf "x%.0f" (naive /. inc);
+        ])
+      ablation_sizes
+  in
+  Harness.table
+    ~header:[ "Algorithm 1 ablation"; "incremental"; "literal (naive)"; "speedup" ]
+    rows;
+  Harness.note
+    "maintaining the winnow set incrementally turns the quadratic literal";
+  Harness.note "algorithm into a near-linear one."
+
+(* --- answer quality vs preference completeness -------------------------------------- *)
+
+let quality () =
+  Harness.section "QUALITY"
+    "How much certainty do preferences buy? (monotonicity P2 in action)";
+  Harness.note
+    "2000 tuples, key clusters of width 4; priority density swept 0 -> 1.";
+  Harness.note
+    "'decided' = conflicting tuples that are in every / in no preferred repair.";
+  let rel, fds = Generator.key_clusters ~groups:500 ~width:4 in
+  let c = Conflict.build fds rel in
+  let conflicted =
+    Vset.filter
+      (fun v -> not (Vset.is_empty (Conflict.neighbors c v)))
+      (Vset.of_range (Conflict.size c))
+  in
+  let rows =
+    List.map
+      (fun density_pct ->
+        let rng = Prng.create (1000 + density_pct) in
+        let p =
+          Generator.random_priority rng
+            ~density:(float_of_int density_pct /. 100.)
+            c
+        in
+        let d = Core.Decompose.make c p in
+        let decided family =
+          Vset.fold
+            (fun v acc ->
+              let comp = Core.Decompose.component_of d v in
+              let repairs = Core.Decompose.preferred_within family d comp in
+              let in_all = List.for_all (fun r -> Vset.mem v r) repairs in
+              let in_none = List.for_all (fun r -> not (Vset.mem v r)) repairs in
+              if in_all || in_none then acc + 1 else acc)
+            conflicted 0
+        in
+        (* geometric mean of per-component preferred counts: the repair
+           space shrinks multiplicatively as the priority grows *)
+        let avg_repairs family =
+          let comps = Core.Decompose.components d in
+          let log_sum =
+            List.fold_left
+              (fun acc comp ->
+                acc
+                +. log
+                     (float_of_int
+                        (List.length (Core.Decompose.preferred_within family d comp))))
+              0. comps
+          in
+          exp (log_sum /. float_of_int (List.length comps))
+        in
+        [
+          Printf.sprintf "%d%%" density_pct;
+          Printf.sprintf "%.2f" (avg_repairs Family.Rep);
+          Printf.sprintf "%.2f" (avg_repairs Family.G);
+          Printf.sprintf "%.2f" (avg_repairs Family.C);
+          Printf.sprintf "%d / %d" (decided Family.G) (Vset.cardinal conflicted);
+          Printf.sprintf "%d / %d" (decided Family.C) (Vset.cardinal conflicted);
+        ])
+      [ 0; 25; 50; 75; 100 ]
+  in
+  Harness.table
+    ~header:
+      [
+        "priority density"; "repairs/cluster (Rep)"; "(G)"; "(C)";
+        "decided tuples (G)"; "decided (C)";
+      ]
+    rows;
+  Harness.note
+    "the repair space narrows monotonically with added preferences (P2)";
+  Harness.note
+    "and at total priority every tuple's fate is decided (P4: one repair).";
+  Harness.note "C decides at least as much as G (C-Rep ⊆ G-Rep)."
+
+(* --- extensions ------------------------------------------------------------------- *)
+
+let ext_aggregate () =
+  Harness.section "EXT-AGG"
+    "§6 extension: aggregation ranges — closed form vs enumeration";
+  let closed_sizes = [ 1000; 4000; 16000; 64000 ] in
+  let points =
+    List.map
+      (fun n ->
+        let rel, fds = Generator.key_clusters ~groups:(n / 4) ~width:4 in
+        let c = Conflict.build fds rel in
+        (n, Harness.measure (fun () ->
+               Result.get_ok (Core.Aggregate.range c (Core.Aggregate.Sum "B")))))
+      closed_sizes
+  in
+  Harness.table
+    ~header:[ "closed form SUM (cluster graph)"; "time" ]
+    (List.map (fun (n, t) -> [ Printf.sprintf "n=%d" n; Harness.time_cell t ]) points);
+  Harness.note "log-log slope %.2f" (Harness.loglog_slope points);
+  let enum_groups = [ 4; 8; 12; 16 ] in
+  let points =
+    List.map
+      (fun g ->
+        let rel, fds = Generator.key_clusters ~groups:g ~width:2 in
+        let c = Conflict.build fds rel in
+        ( g,
+          Harness.measure (fun () ->
+              Result.get_ok
+                (Core.Aggregate.range_preferred Family.Rep c (Priority.empty c)
+                   (Core.Aggregate.Sum "B"))) ))
+      enum_groups
+  in
+  Harness.table
+    ~header:[ "enumeration SUM"; "time" ]
+    (List.map
+       (fun (g, t) -> [ Printf.sprintf "groups=%d" g; Harness.time_cell t ])
+       points);
+  Harness.note "x%.1f per +4 groups: enumeration pays 2^groups"
+    (Harness.step_ratio points)
+
+let hyper_instance n =
+  let rng = Prng.create (n + 3) in
+  let schema =
+    Relational.Schema.make "R"
+      [ ("A", Relational.Schema.TInt); ("B", Relational.Schema.TInt) ]
+  in
+  let rows =
+    List.init n (fun _ ->
+        [
+          Relational.Value.Int (Prng.int rng (max 1 (n / 4)));
+          Relational.Value.Int (Prng.int rng 1000);
+        ])
+  in
+  let rel = Relational.Relation.of_rows schema rows in
+  let atom l op r = { Constraints.Denial.left = l; op; right = r } in
+  let no_triple =
+    Constraints.Denial.make ~label:"no-triple" ~nvars:3
+      [
+        atom (Constraints.Denial.Attr (0, "A")) Constraints.Denial.Eq
+          (Constraints.Denial.Attr (1, "A"));
+        atom (Constraints.Denial.Attr (1, "A")) Constraints.Denial.Eq
+          (Constraints.Denial.Attr (2, "A"));
+        atom (Constraints.Denial.Attr (0, "B")) Constraints.Denial.Lt
+          (Constraints.Denial.Attr (1, "B"));
+        atom (Constraints.Denial.Attr (1, "B")) Constraints.Denial.Lt
+          (Constraints.Denial.Attr (2, "B"));
+      ]
+  in
+  Core.Hyper.build [ no_triple ] rel
+
+let ext_hyper () =
+  Harness.section "EXT-HYPER"
+    "§6 extension: denial constraints via conflict hypergraphs";
+  let sizes = [ 20; 40; 80; 160 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let h = hyper_instance n in
+        let edges = List.length (Graphs.Hypergraph.edges (Core.Hyper.hypergraph h)) in
+        let q =
+          let t = Core.Hyper.tuple h 0 in
+          Query.Ast.Atom
+            ( "R",
+              List.map (fun v -> Query.Ast.Const v) (Relational.Tuple.values t) )
+        in
+        let t_cqa =
+          Harness.measure (fun () ->
+              Result.get_ok (Core.Hyper.ground_certainty h q))
+        in
+        [ string_of_int n; string_of_int edges; Harness.time_cell t_cqa ])
+      sizes
+  in
+  Harness.table ~header:[ "n"; "hyperedges"; "ground CQA time" ] rows;
+  Harness.note "ground CQA stays polynomial on 3-ary conflicts";
+  let small = hyper_instance 14 in
+  Harness.note "repairs of the n=14 instance: %d"
+    (List.length (Core.Hyper.repairs small))
+
+(* --- Bechamel microbenchmarks ------------------------------------------------------ *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let c800, p800 = cluster_case 800 in
+  let cand800 = Winnow.clean c800 p800 in
+  let lad12, pl12 = ladder_case 12 in
+  let cand12 = Winnow.clean lad12 pl12 in
+  let q800 = cluster_ground_query c800 in
+  let q12 = ladder_ground_query lad12 in
+  let lad10, pl10 = ladder_case 10 in
+  let q10 = ladder_ground_query lad10 in
+  let rel800, fds800 = Generator.key_clusters ~groups:200 ~width:4 in
+  let h100 = hyper_instance 100 in
+  let qh =
+    let t = Core.Hyper.tuple h100 0 in
+    Query.Ast.Atom
+      ("R", List.map (fun v -> Query.Ast.Const v) (Relational.Tuple.values t))
+  in
+  let stage = Staged.stage in
+  [
+    Test.make ~name:"fig1/enumerate-ladder-n12" (stage (fun () -> Repair.count lad12));
+    Test.make ~name:"fig5/check-Rep-n800"
+      (stage (fun () -> Family.check Family.Rep c800 p800 cand800));
+    Test.make ~name:"fig5/check-L-n800"
+      (stage (fun () -> Family.check Family.L c800 p800 cand800));
+    Test.make ~name:"fig5/check-S-n800"
+      (stage (fun () -> Family.check Family.S c800 p800 cand800));
+    Test.make ~name:"fig5/check-C-n800"
+      (stage (fun () -> Family.check Family.C c800 p800 cand800));
+    Test.make ~name:"fig5/check-G-ladder-n12"
+      (stage (fun () -> Family.check Family.G lad12 pl12 cand12));
+    Test.make ~name:"fig5/ground-cqa-n800"
+      (stage (fun () -> Result.get_ok (Cqa.ground_certainty c800 q800)));
+    Test.make ~name:"fig5/naive-cqa-ladder-n12"
+      (stage (fun () -> Cqa.certainty Family.Rep lad12 pl12 q12));
+    Test.make ~name:"fig5/preferred-cqa-C-ladder-n10"
+      (stage (fun () -> Cqa.certainty Family.C lad10 pl10 q10));
+    Test.make ~name:"alg1/clean-n800" (stage (fun () -> Winnow.clean c800 p800));
+    Test.make ~name:"substrate/conflict-build-n800"
+      (stage (fun () -> Conflict.build fds800 rel800));
+    Test.make ~name:"ext/aggregate-closed-n800"
+      (stage (fun () ->
+           Result.get_ok (Core.Aggregate.range c800 (Core.Aggregate.Sum "B"))));
+    Test.make ~name:"ext/hyper-cqa-n100"
+      (stage (fun () -> Result.get_ok (Core.Hyper.ground_certainty h100 qh)));
+    (* the query engine ablation: active-domain evaluation vs the
+       algebraic planner on one conjunctive self-join that is false for
+       data reasons (no two tuples share A and B), so neither engine can
+       short-circuit. The evaluator is quartic in the active domain; only
+       the planner is usable at n=800. *)
+    (let rel, _ = Generator.key_clusters ~groups:6 ~width:4 in
+     let db = Relational.Database.of_relations [ rel ] in
+     let qj = parse "exists a, b, v, w. R(a, b, v) and R(a, b, w) and v < w" in
+     Test.make ~name:"engine/conjunctive-eval-n24"
+       (stage (fun () -> Query.Eval.holds db qj)));
+    (let rel, _ = Generator.key_clusters ~groups:6 ~width:4 in
+     let db = Relational.Database.of_relations [ rel ] in
+     let qj = parse "exists a, b, v, w. R(a, b, v) and R(a, b, w) and v < w" in
+     Test.make ~name:"engine/conjunctive-planned-n24"
+       (stage (fun () -> Query.Engine.holds db qj)));
+    (let rel = Conflict.relation c800 in
+     let db = Relational.Database.of_relations [ rel ] in
+     let qj = parse "exists a, b, v, w. R(a, b, v) and R(a, b, w) and v < w" in
+     Test.make ~name:"engine/conjunctive-planned-n800"
+       (stage (fun () -> Query.Engine.holds db qj)));
+    Test.make ~name:"factor/ground-cqa-G-n800"
+      (let d = Core.Decompose.make c800 p800 in
+       stage (fun () ->
+           Result.get_ok (Core.Decompose.certainty_ground Family.G d q800)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  Harness.section "MICRO" "Bechamel microbenchmarks (one per experiment)";
+  let tests =
+    Test.make_grouped ~name:"prefrepair" ~fmt:"%s/%s" (bechamel_suite ())
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  List.iter
+    (fun v -> Bechamel_notty.Unit.add v (Measure.unit v))
+    Toolkit.Instance.[ monotonic_clock ];
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Bechamel.Measure.run merged
+  in
+  Notty_unix.output_image Notty_unix.(eol img)
+
+let () =
+  Format.printf
+    "prefrepair experiment harness — regenerates the paper's figures@.";
+  fig1 ();
+  fig234 ();
+  fig5_check ();
+  fig5_cqa ();
+  factorized ();
+  alg1 ();
+  quality ();
+  ext_aggregate ();
+  ext_hyper ();
+  run_bechamel ();
+  Format.printf "@.done.@."

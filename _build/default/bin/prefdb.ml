@@ -1,0 +1,477 @@
+(* prefdb — preference-driven querying of inconsistent relational data.
+
+   A command-line front end to the library: load an instance file (see
+   lib/dbio/instance_format.mli for the format), inspect its conflicts,
+   enumerate or check preferred repairs, clean it, and compute preferred
+   consistent query answers and aggregate ranges. *)
+
+open Cmdliner
+module IF = Dbio.Instance_format
+module Family = Core.Family
+
+(* --- shared helpers ------------------------------------------------------- *)
+
+let load path =
+  match IF.parse_file path with
+  | Ok spec -> Ok spec
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let context spec =
+  let c = Core.Conflict.build spec.IF.fds spec.IF.relation in
+  match IF.to_rule spec with
+  | Error e -> Error e
+  | Ok rule -> (
+    match Core.Pref_rules.apply c rule with
+    | Error e -> Error e
+    | Ok p -> Ok (c, p))
+
+let with_context path f =
+  match load path with
+  | Error e ->
+    Format.eprintf "error: %s@." e;
+    1
+  | Ok spec -> (
+    match context spec with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok (c, p) -> f spec c p)
+
+(* --- arguments ------------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Instance file (see the repository README for the format).")
+
+let family_arg =
+  let parse s =
+    match Family.name_of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown family %S (use rep|l|s|g|c)" s))
+  in
+  let print ppf f = Family.pp_name ppf f in
+  Arg.(value & opt (conv (parse, print)) Family.C
+       & info [ "f"; "family" ] ~docv:"FAMILY"
+           ~doc:"Preferred-repair family: rep, l, s, g or c (default c).")
+
+let limit_arg =
+  Arg.(value & opt int 20
+       & info [ "limit" ] ~docv:"N" ~doc:"Print at most $(docv) repairs.")
+
+(* --- info ------------------------------------------------------------------- *)
+
+let info_cmd =
+  let run path =
+    with_context path (fun spec c p ->
+        let schema = Relational.Relation.schema spec.IF.relation in
+        Format.printf "relation: %a@." Relational.Schema.pp schema;
+        Format.printf "tuples:   %d@."
+          (Relational.Relation.cardinality spec.IF.relation);
+        List.iter
+          (fun fd -> Format.printf "fd:       %a@." Constraints.Fd.pp fd)
+          spec.IF.fds;
+        Format.printf "candidate keys: %s@."
+          (String.concat ", "
+             (List.map
+                (fun k -> "{" ^ String.concat " " k ^ "}")
+                (Constraints.Fd.candidate_keys schema spec.IF.fds)));
+        Format.printf "BCNF:     %b@."
+          (Constraints.Fd.is_bcnf schema spec.IF.fds);
+        let edges = Core.Conflict.conflict_pairs c in
+        Format.printf "conflicts: %d (%d oriented by the preferences)@."
+          (List.length edges)
+          (Core.Priority.arc_count p);
+        List.iter
+          (fun (t1, t2) ->
+            Format.printf "  %a  <->  %a@." Relational.Tuple.pp t1
+              Relational.Tuple.pp t2)
+          edges;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Show schema, constraints, conflicts and preferences.")
+    Term.(const run $ file_arg)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run path family =
+    with_context path (fun _spec c p ->
+        Format.printf "%a@." Core.Stats.pp (Core.Stats.compute family c p);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Inconsistency summary: conflicts, components, repair counts and \
+          tuple fates under the family's preferences.")
+    Term.(const run $ file_arg $ family_arg)
+
+(* --- repairs ---------------------------------------------------------------- *)
+
+let repairs_cmd =
+  let run path family limit =
+    with_context path (fun _spec c p ->
+        let repairs = Family.repairs family c p in
+        Format.printf "%s: %d preferred repair(s)@."
+          (Family.name_to_string family)
+          (List.length repairs);
+        List.iteri
+          (fun i s ->
+            if i < limit then begin
+              Format.printf "--- repair %d ---@." (i + 1);
+              Relational.Relation.iter
+                (fun t -> Format.printf "  %a@." Relational.Tuple.pp t)
+                (Core.Repair.to_relation c s)
+            end)
+          repairs;
+        if List.length repairs > limit then
+          Format.printf "... (%d more; raise --limit)@."
+            (List.length repairs - limit);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "repairs"
+       ~doc:"Enumerate the preferred repairs of the given family.")
+    Term.(const run $ file_arg $ family_arg $ limit_arg)
+
+(* --- check ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let candidate_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"CANDIDATE"
+             ~doc:"Instance file holding the candidate repair (same schema).")
+  in
+  let run path candidate family =
+    with_context path (fun _spec c p ->
+        match load candidate with
+        | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+        | Ok cand -> (
+          match
+            Core.Conflict.vset_of_relation c cand.IF.relation
+          with
+          | exception Invalid_argument m ->
+            Format.eprintf "error: %s@." m;
+            1
+          | s ->
+            let ok = Family.check family c p s in
+            Format.printf "%s-repair check: %s@."
+              (Family.name_to_string family)
+              (if ok then "YES" else "NO");
+            if ok then 0 else 2))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "X-repair checking: is the candidate a preferred repair of the \
+          family? Exits 0 for yes, 2 for no.")
+    Term.(const run $ file_arg $ candidate_arg $ family_arg)
+
+(* --- clean ------------------------------------------------------------------ *)
+
+let clean_cmd =
+  let trace_arg =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"Show each Algorithm 1 step and its choices.")
+  in
+  let run path trace =
+    with_context path (fun _spec c p ->
+        if trace then
+          Format.printf "%a@." (Core.Trace.pp c) (Core.Trace.clean c p)
+        else begin
+          let report = Core.Clean.run_with_priority c p in
+          Format.printf "%a@." Core.Clean.pp_report report;
+          Relational.Relation.iter
+            (fun t -> Format.printf "  %a@." Relational.Tuple.pp t)
+            report.Core.Clean.cleaned
+        end;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "clean"
+       ~doc:
+         "Clean the instance with Algorithm 1 under the declared \
+          preferences (keeps one common repair).")
+    Term.(const run $ file_arg $ trace_arg)
+
+(* --- count ------------------------------------------------------------------ *)
+
+let count_cmd =
+  let run path family =
+    with_context path (fun _spec c p ->
+        let d = Core.Decompose.make c p in
+        Format.printf "%s: %d preferred repair(s) across %d conflict component(s)@."
+          (Family.name_to_string family)
+          (Core.Decompose.count family d)
+          (List.length (Core.Decompose.components d));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "count"
+       ~doc:
+         "Count the preferred repairs without enumerating them \
+          (component-factorized; fast whenever conflict components are \
+          small).")
+    Term.(const run $ file_arg $ family_arg)
+
+(* --- query ------------------------------------------------------------------ *)
+
+let query_cmd =
+  let query_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"First-order query text.")
+  in
+  let run path family qtext =
+    with_context path (fun _spec c p ->
+        match Query.Parser.parse qtext with
+        | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+        | Ok q ->
+          if Query.Ast.is_closed q then begin
+            (* ground queries go through the factorized engine; quantified
+               ones fall back to repair enumeration *)
+            let cert =
+              if Query.Ast.is_ground q then
+                match
+                  Core.Decompose.certainty_ground family
+                    (Core.Decompose.make c p) q
+                with
+                | Ok cert -> cert
+                | Error e -> invalid_arg e
+              else Core.Cqa.certainty family c p q
+            in
+            Format.printf "%s-consistent answer: %s@."
+              (Family.name_to_string family)
+              (Core.Cqa.certainty_to_string cert);
+            0
+          end
+          else begin
+            let free, rows = Core.Cqa.consistent_answers_open family c p q in
+            Format.printf "certain answers (%s):@."
+              (String.concat ", " free);
+            List.iter
+              (fun row ->
+                Format.printf "  (%s)@."
+                  (String.concat ", "
+                     (List.map Relational.Value.to_string row)))
+              rows;
+            Format.printf "%d certain answer(s)@." (List.length rows);
+            0
+          end)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Compute the preferred consistent answer to a closed query, or \
+          the certain bindings of an open one.")
+    Term.(const run $ file_arg $ family_arg $ query_arg)
+
+(* --- facts ------------------------------------------------------------------- *)
+
+let facts_cmd =
+  let run path family =
+    with_context path (fun _spec c p ->
+        let d = Core.Decompose.make c p in
+        let certain = Core.Decompose.certain_tuples family d in
+        let possible = Core.Decompose.possible_tuples family d in
+        let all = Graphs.Vset.of_range (Core.Conflict.size c) in
+        let show label s =
+          Format.printf "%s (%d):@." label (Graphs.Vset.cardinal s);
+          Graphs.Vset.iter
+            (fun v ->
+              Format.printf "  %a@." Relational.Tuple.pp (Core.Conflict.tuple c v))
+            s
+        in
+        show "certain (in every preferred repair)" certain;
+        show "disputed (in some preferred repairs)" (Graphs.Vset.diff possible certain);
+        show "excluded (in no preferred repair)" (Graphs.Vset.diff all possible);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "facts"
+       ~doc:
+         "Classify every tuple as certain, disputed or excluded under the \
+          family's preferred repairs (component-factorized).")
+    Term.(const run $ file_arg $ family_arg)
+
+(* --- explain ----------------------------------------------------------------- *)
+
+let explain_cmd =
+  let query_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"Closed first-order query text.")
+  in
+  let run path family qtext =
+    with_context path (fun _spec c p ->
+        match Query.Parser.parse qtext with
+        | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+        | Ok q ->
+          if not (Query.Ast.is_closed q) then begin
+            Format.eprintf "error: explain requires a closed query@.";
+            1
+          end
+          else begin
+            let v = Core.Explain.query family c p q in
+            Format.printf "%a@." (Core.Explain.pp_verdict c) v;
+            0
+          end)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Answer a closed query and show witness repairs supporting and \
+          refuting it.")
+    Term.(const run $ file_arg $ family_arg $ query_arg)
+
+(* --- status ------------------------------------------------------------------- *)
+
+let status_cmd =
+  let tuple_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"TUPLE"
+             ~doc:
+               "The tuple's values, space-separated, as on a 'tuple' line \
+                of the instance file (quote the whole argument).")
+  in
+  let run path family tuple_text =
+    with_context path (fun spec c p ->
+        (* parse the tuple with the instance-file tuple syntax, against a
+           one-line document carrying just the schema *)
+        let schema =
+          Relational.Relation.schema spec.Dbio.Instance_format.relation
+        in
+        let schema_line =
+          Printf.sprintf "relation %s(%s)"
+            (Relational.Schema.name schema)
+            (String.concat ", "
+               (List.map
+                  (fun a ->
+                    Printf.sprintf "%s:%s" a.Relational.Schema.attr_name
+                      (match a.Relational.Schema.attr_ty with
+                      | Relational.Schema.TName -> "name"
+                      | Relational.Schema.TInt -> "int"))
+                  (Relational.Schema.attributes schema)))
+        in
+        let doc = Printf.sprintf "%s\ntuple %s\n" schema_line tuple_text in
+        match Dbio.Instance_format.parse doc with
+        | Error e ->
+          Format.eprintf "error: cannot parse tuple: %s@." e;
+          1
+        | Ok s -> (
+          match Relational.Relation.tuples s.Dbio.Instance_format.relation with
+          | [ t ] -> (
+            match Core.Explain.tuple_status family c p t with
+            | st ->
+              Format.printf "%a@." Core.Explain.pp_tuple_status st;
+              0
+            | exception Invalid_argument m ->
+              Format.eprintf "error: %s@." m;
+              1)
+          | _ ->
+            Format.eprintf "error: expected exactly one tuple@.";
+            1))
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Show a tuple's conflicts, its domination situation and whether \
+          the preferred repairs keep it.")
+    Term.(const run $ file_arg $ family_arg $ tuple_arg)
+
+(* --- aggregate ---------------------------------------------------------------- *)
+
+let aggregate_cmd =
+  let agg_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"AGG"
+             ~doc:"Aggregate: count, sum:ATTR, min:ATTR or max:ATTR.")
+  in
+  let parse_agg s =
+    match String.split_on_char ':' s with
+    | [ "count" ] -> Ok Core.Aggregate.Count_all
+    | [ "sum"; a ] -> Ok (Core.Aggregate.Sum a)
+    | [ "min"; a ] -> Ok (Core.Aggregate.Min a)
+    | [ "max"; a ] -> Ok (Core.Aggregate.Max a)
+    | _ -> Error (Printf.sprintf "cannot parse aggregate %S" s)
+  in
+  let run path family agg_text =
+    with_context path (fun _spec c p ->
+        match parse_agg agg_text with
+        | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+        | Ok agg -> (
+          let result =
+            if family = Family.Rep then Core.Aggregate.range c agg
+            else Core.Aggregate.range_preferred family c p agg
+          in
+          match result with
+          | Error e ->
+            Format.eprintf "error: %s@." e;
+            1
+          | Ok r ->
+            Format.printf "%s over %s repairs: %a@."
+              (Core.Aggregate.agg_to_string agg)
+              (Family.name_to_string family)
+              Core.Aggregate.pp_range r;
+            0))
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:"Range-consistent answer to a scalar aggregation query.")
+    Term.(const run $ file_arg $ family_arg $ agg_arg)
+
+(* --- shell ------------------------------------------------------------------- *)
+
+let shell_cmd =
+  let file_opt =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Instance file to load on startup.")
+  in
+  let run path =
+    let state =
+      match path with
+      | None -> Shell.Session.initial
+      | Some path ->
+        let st, msg = Shell.Session.exec Shell.Session.initial ("load " ^ path) in
+        print_endline msg;
+        st
+    in
+    print_endline "prefdb shell — 'help' lists commands, 'quit' leaves.";
+    let rec loop state =
+      print_string "prefdb> ";
+      match In_channel.input_line In_channel.stdin with
+      | None -> 0
+      | Some line -> (
+        match String.lowercase_ascii (String.trim line) with
+        | "quit" | "exit" -> 0
+        | _ ->
+          let state, output = Shell.Session.exec state line in
+          if output <> "" then print_endline output;
+          loop state)
+    in
+    loop state
+  in
+  Cmd.v
+    (Cmd.info "shell" ~doc:"Interactive session over an instance file.")
+    Term.(const run $ file_opt)
+
+(* --- main --------------------------------------------------------------------- *)
+
+let () =
+  let doc = "preference-driven querying of inconsistent relational databases" in
+  let info = Cmd.info "prefdb" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            info_cmd; stats_cmd; repairs_cmd; check_cmd; count_cmd; clean_cmd;
+            query_cmd; explain_cmd; status_cmd; facts_cmd; aggregate_cmd;
+            shell_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/data_integration.ml: Core Format Graphs List Option Relation Relational Result String Tuple Value Vset Workload

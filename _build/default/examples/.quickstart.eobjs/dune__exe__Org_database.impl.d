@@ -1,0 +1,1 @@
+examples/org_database.ml: Constraints Core Database Format List Query Relation Relational Result Schema Value Workload

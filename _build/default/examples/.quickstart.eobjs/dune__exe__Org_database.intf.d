@@ -1,0 +1,1 @@
+examples/org_database.mli:

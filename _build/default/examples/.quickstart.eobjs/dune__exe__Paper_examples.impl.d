@@ -1,0 +1,1 @@
+examples/paper_examples.ml: Core Format Graphs List Vset Workload

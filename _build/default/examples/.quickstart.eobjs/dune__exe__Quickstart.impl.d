@@ -1,0 +1,1 @@
+examples/quickstart.ml: Constraints Core Format List Query Relation Relational Result Tuple Workload

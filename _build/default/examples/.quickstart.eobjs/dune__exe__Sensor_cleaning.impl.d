@@ -1,0 +1,1 @@
+examples/sensor_cleaning.ml: Constraints Core Format List Provenance Query Relation Relational Schema Tuple Value

@@ -1,0 +1,107 @@
+(* A multi-relation organisation database — the §2 extension "along the
+   lines of [7]".
+
+   Run with:  dune exec examples/org_database.exe
+
+   Three relations: the paper's inconsistent Mgr table, a consistent Dept
+   directory and an inconsistent Emp assignment table. Conflicts stay
+   inside each relation, so a repair of the database picks a repair per
+   relation — but queries join across relations, and preferred consistent
+   answering spans the whole database. *)
+
+open Relational
+module Multi = Core.Multi
+module Family = Core.Family
+module Cqa = Core.Cqa
+
+let section title = Format.printf "@.== %s ==@." title
+let parse = Query.Parser.parse_exn
+
+let () =
+  let mgr, mgr_fds, prov = Workload.Generator.mgr_example () in
+  let dept =
+    Relation.of_rows
+      (Schema.make "Dept" [ ("DName", Schema.TName); ("Floor", Schema.TInt) ])
+      [
+        [ Value.name "R&D"; Value.int 3 ];
+        [ Value.name "IT"; Value.int 1 ];
+        [ Value.name "PR"; Value.int 2 ];
+      ]
+  in
+  let emp =
+    Relation.of_rows
+      (Schema.make "Emp" [ ("EName", Schema.TName); ("EDept", Schema.TName) ])
+      [
+        [ Value.name "Ann"; Value.name "R&D" ];
+        [ Value.name "Ann"; Value.name "IT" ];
+        [ Value.name "Bob"; Value.name "PR" ];
+        [ Value.name "Cle"; Value.name "R&D" ];
+      ]
+  in
+  let db = Database.of_relations [ mgr; dept; emp ] in
+  let m =
+    Multi.build
+      ~fds:
+        [
+          ("Mgr", mgr_fds);
+          ("Emp", [ Constraints.Fd.make [ "EName" ] [ "EDept" ] ]);
+        ]
+      db
+  in
+
+  section "The database";
+  Format.printf "%a@." Database.pp (Multi.database m);
+  List.iter
+    (fun name ->
+      Format.printf "%s: %d conflict(s)@." name
+        (List.length (Core.Conflict.conflict_pairs (Multi.conflict m name))))
+    (Multi.relation_names m);
+  Format.printf "database repairs: %d (product of per-relation repairs)@."
+    (Multi.repair_count Family.Rep m);
+
+  section "Joins under consistent query answering";
+  let show label family q =
+    Format.printf "%-52s [%s] %s@." label
+      (Family.name_to_string family)
+      (Cqa.certainty_to_string (Multi.certainty family m q))
+  in
+  let q_floor3_managed =
+    parse "exists n, d, s, r. Mgr(n, d, s, r) and Dept(d, 3)"
+  in
+  show "\"is the floor-3 department managed?\"" Family.Rep q_floor3_managed;
+  let q_ann_managed =
+    parse
+      "exists d, n, s, r. Emp('Ann', d) and Mgr(n, d, s, r)"
+  in
+  show "\"is Ann in a managed department?\"" Family.Rep q_ann_managed;
+
+  section "Preferences on Mgr change database-wide answers";
+  let rule =
+    Result.get_ok
+      (Core.Pref_rules.source_reliability prov
+         ~more_reliable_than:[ ("s1", "s3"); ("s2", "s3") ])
+  in
+  let m = Result.get_ok (Multi.set_rule m "Mgr" rule) in
+  Format.printf "preferred database repairs (C-Rep): %d@."
+    (Multi.repair_count Family.C m);
+  let show' label family q =
+    Format.printf "%-52s [%s] %s@." label
+      (Family.name_to_string family)
+      (Cqa.certainty_to_string (Multi.certainty family m q))
+  in
+  show' "\"is the floor-3 department managed?\"" Family.Rep q_floor3_managed;
+  show' "\"is the floor-3 department managed?\"" Family.C q_floor3_managed;
+  Format.printf
+    "(the reliability information excludes the repair where R&D is@.";
+  Format.printf " unmanaged, so the join query becomes certain)@.";
+
+  section "Ground queries through the factorized engine";
+  let q =
+    parse "Mgr('Mary', 'R&D', 40000, 3) or Mgr('John', 'R&D', 10000, 2)"
+  in
+  Format.printf "\"Mary or John manages R&D\" under C-Rep: %s@."
+    (Cqa.certainty_to_string
+       (Result.get_ok (Multi.certainty_ground Family.C m q)));
+  Format.printf
+    "@.The factorized engine decides this per conflict component — it@.";
+  Format.printf "never materializes the product repair space.@."

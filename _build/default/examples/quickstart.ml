@@ -1,0 +1,83 @@
+(* Quickstart: the paper's running example (Examples 1-3), end to end.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   An inconsistent Mgr relation is integrated from three sources; plain
+   consistent query answering cannot decide the user's queries, and
+   cleaning with partial reliability information leaves an inconsistent
+   instance — but preference-driven consistent query answering extracts
+   the certain answer. *)
+
+open Relational
+module Conflict = Core.Conflict
+module Family = Core.Family
+module Cqa = Core.Cqa
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  (* Example 1: integrate three consistent sources into one instance. *)
+  let relation, fds, provenance = Workload.Generator.mgr_example () in
+  section "The integrated (inconsistent) instance";
+  Format.printf "%a@." Relation.pp relation;
+  List.iter (fun fd -> Format.printf "fd: %a@." Constraints.Fd.pp fd) fds;
+
+  let c = Conflict.build fds relation in
+  Format.printf "conflicts: %d@."
+    (List.length (Conflict.conflict_pairs c));
+  List.iter
+    (fun (t1, t2) -> Format.printf "  %a  <->  %a@." Tuple.pp t1 Tuple.pp t2)
+    (Conflict.conflict_pairs c);
+
+  (* Example 2: the three repairs; Q1 has no consistent answer. *)
+  section "Repairs and plain consistent query answers";
+  List.iteri
+    (fun i r -> Format.printf "repair r%d:@.%a@." (i + 1) Relation.pp r)
+    (Core.Repair.all_relations c);
+  let q1 =
+    Query.Parser.parse_exn
+      "exists x1,y1,z1,x2,y2,z2. Mgr('Mary',x1,y1,z1) and \
+       Mgr('John',x2,y2,z2) and y1 < y2"
+  in
+  let no_prefs = Core.Priority.empty c in
+  Format.printf "Q1 (does John earn more than Mary?) in the raw instance: %b@."
+    (Query.Eval.holds_relation relation q1);
+  Format.printf "Q1 under consistent query answering: %s@."
+    (Cqa.certainty_to_string (Cqa.certainty Family.Rep c no_prefs q1));
+
+  (* Example 3: reliability preferences select the preferred repairs. *)
+  section "Preference-driven consistent query answers";
+  let rule =
+    Result.get_ok
+      (Core.Pref_rules.source_reliability provenance
+         ~more_reliable_than:[ ("s1", "s3"); ("s2", "s3") ])
+  in
+  let p = Core.Pref_rules.apply_exn c rule in
+  Format.printf "priority (source reliability s1, s2 > s3): %a@."
+    Core.Priority.pp p;
+  let q2 =
+    Query.Parser.parse_exn
+      "exists x1,y1,z1,x2,y2,z2. Mgr('Mary',x1,y1,z1) and \
+       Mgr('John',x2,y2,z2) and y1 > y2 and z1 < z2"
+  in
+  Format.printf
+    "Q2 (Mary earns more with fewer reports?) without preferences: %s@."
+    (Cqa.certainty_to_string (Cqa.certainty Family.Rep c no_prefs q2));
+  List.iter
+    (fun family ->
+      Format.printf "Q2 under %s: %s@."
+        (Family.name_to_string family)
+        (Cqa.certainty_to_string (Cqa.certainty family c p q2)))
+    [ Family.L; Family.S; Family.G; Family.C ];
+
+  (* Contrast with physical cleaning (§1): the cleaned instance loses the
+     certainty that preferred CQA recovers. *)
+  section "Contrast: physical cleaning";
+  (match Core.Clean.run fds relation rule with
+  | Ok report ->
+    Format.printf "%a@.%a@." Core.Clean.pp_report report Relation.pp
+      report.Core.Clean.cleaned
+  | Error e -> Format.printf "cleaning failed: %s@." e);
+  Format.printf
+    "@.Preferred CQA answered Q2 with certainty without deleting a single \
+     tuple.@."

@@ -1,0 +1,1 @@
+lib/constraints/denial.ml: Array Fd Format List Printf Relation Relational Schema Tuple Value

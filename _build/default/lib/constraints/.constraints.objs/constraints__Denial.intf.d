@@ -1,0 +1,1 @@
+lib/constraints/denial.mli: Fd Format Relation Relational Schema Tuple Value

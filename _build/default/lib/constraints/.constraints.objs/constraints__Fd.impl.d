@@ -1,0 +1,1 @@
+lib/constraints/fd.ml: Array Format Fun Hashtbl List Option Printf Relation Relational Schema Stdlib String Tuple

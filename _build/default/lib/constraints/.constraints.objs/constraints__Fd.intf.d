@@ -1,0 +1,1 @@
+lib/constraints/fd.mli: Format Relation Relational Schema Tuple

@@ -1,0 +1,138 @@
+open Relational
+
+type cmp = Eq | Neq | Lt | Gt | Leq | Geq
+
+type operand = Attr of int * string | Const of Value.t
+
+type atom = { left : operand; op : cmp; right : operand }
+
+type t = { label : string; nvars : int; body : atom list }
+
+let make ?(label = "denial") ~nvars body =
+  if nvars < 1 then invalid_arg "Denial.make: nvars < 1";
+  if body = [] then invalid_arg "Denial.make: empty body";
+  let check_operand = function
+    | Attr (i, _) when i < 0 || i >= nvars ->
+      invalid_arg "Denial.make: tuple variable out of range"
+    | Attr _ | Const _ -> ()
+  in
+  List.iter
+    (fun a ->
+      check_operand a.left;
+      check_operand a.right)
+    body;
+  { label; nvars; body }
+
+let label dc = dc.label
+let nvars dc = dc.nvars
+let body dc = dc.body
+
+let operand_ty schema = function
+  | Const (Value.Int _) -> Ok `Int
+  | Const (Value.Name _) -> Ok `Name
+  | Attr (_, a) -> (
+    match Schema.position schema a with
+    | None -> Error (Printf.sprintf "unknown attribute %S" a)
+    | Some i -> Ok (Schema.ty_to_poly (Schema.ty_at schema i)))
+
+let wf schema dc =
+  let atom_wf a =
+    match (operand_ty schema a.left, operand_ty schema a.right) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok tl, Ok tr ->
+      if tl <> tr then Error "comparison between a name and a number"
+      else if tl = `Name && a.op <> Eq && a.op <> Neq then
+        Error "order comparison on name-typed operands"
+      else Ok ()
+  in
+  List.fold_left
+    (fun acc a -> match acc with Error _ -> acc | Ok () -> atom_wf a)
+    (Ok ()) dc.body
+
+let eval_operand schema assignment = function
+  | Const v -> v
+  | Attr (i, a) -> Tuple.get assignment.(i) (Schema.position_exn schema a)
+
+let eval_cmp op l r =
+  let c = Value.compare l r in
+  match op with
+  | Eq -> Value.equal l r
+  | Neq -> not (Value.equal l r)
+  | Lt -> c < 0
+  | Gt -> c > 0
+  | Leq -> c <= 0
+  | Geq -> c >= 0
+
+let holds_on schema dc assignment =
+  if Array.length assignment <> dc.nvars then
+    invalid_arg "Denial.holds_on: assignment length mismatch";
+  List.for_all
+    (fun a ->
+      eval_cmp a.op
+        (eval_operand schema assignment a.left)
+        (eval_operand schema assignment a.right))
+    dc.body
+
+let violations schema dc r =
+  (match wf schema dc with Ok () -> () | Error e -> invalid_arg e);
+  let tuples = Relation.tuple_array r in
+  let n = Array.length tuples in
+  let assignment = Array.make dc.nvars (Tuple.make [ Value.Int 0 ]) in
+  let witnesses = ref [] in
+  let rec fill pos =
+    if pos = dc.nvars then begin
+      if holds_on schema dc assignment then begin
+        let involved =
+          List.sort_uniq Tuple.compare (Array.to_list assignment)
+        in
+        witnesses := involved :: !witnesses
+      end
+    end
+    else
+      for i = 0 to n - 1 do
+        assignment.(pos) <- tuples.(i);
+        fill (pos + 1)
+      done
+  in
+  if n > 0 then fill 0;
+  List.sort_uniq compare !witnesses
+
+let satisfied schema dc r = violations schema dc r = []
+
+let of_fd schema fd =
+  let eq_atoms =
+    List.map (fun a -> { left = Attr (0, a); op = Eq; right = Attr (1, a) })
+      (Fd.lhs fd)
+  in
+  List.map
+    (fun b ->
+      make
+        ~label:(Printf.sprintf "%s (attr %s)" (Fd.to_string fd) b)
+        ~nvars:2
+        (eq_atoms @ [ { left = Attr (0, b); op = Neq; right = Attr (1, b) } ]))
+    (Fd.rhs fd)
+  |> List.filter (fun dc ->
+         match wf schema dc with Ok () -> true | Error e -> invalid_arg e)
+
+let pp_cmp ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Eq -> "="
+    | Neq -> "!="
+    | Lt -> "<"
+    | Gt -> ">"
+    | Leq -> "<="
+    | Geq -> ">=")
+
+let pp_operand ppf = function
+  | Attr (i, a) -> Format.fprintf ppf "t%d.%s" (i + 1) a
+  | Const v -> Value.pp ppf v
+
+let pp ppf dc =
+  Format.fprintf ppf "forall t1..t%d. not(%a)" dc.nvars
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " and ")
+       (fun ppf a ->
+         Format.fprintf ppf "%a %a %a" pp_operand a.left pp_cmp a.op pp_operand
+           a.right))
+    dc.body

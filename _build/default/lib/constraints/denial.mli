@@ -1,0 +1,56 @@
+(** Denial constraints.
+
+    A denial constraint forbids a pattern of up to k tuples:
+
+      ∀ t₁ … tₖ ∈ R. ¬(a₁ ∧ … ∧ aₘ)
+
+    where each atom aᵢ compares an attribute of some tᵢ with an attribute
+    of some tⱼ or with a constant. Functional dependencies are the special
+    case k = 2; genuine denial constraints may involve a single tuple
+    ("no salary above 100k") or more than two. The paper's §6 points to
+    them as the future-work generalization, handled through conflict
+    {e hypergraphs} [6]: a violation is a set of tuples, not a pair. *)
+
+open Relational
+
+type cmp = Eq | Neq | Lt | Gt | Leq | Geq
+
+type operand =
+  | Attr of int * string  (** [Attr (i, a)]: attribute [a] of tuple tᵢ (0-based) *)
+  | Const of Value.t
+
+type atom = { left : operand; op : cmp; right : operand }
+
+type t
+
+val make : ?label:string -> nvars:int -> atom list -> t
+(** Raises [Invalid_argument] when [nvars < 1], the body is empty, or an
+    atom references a tuple variable outside [0 .. nvars-1]. *)
+
+val label : t -> string
+val nvars : t -> int
+val body : t -> atom list
+
+val wf : Schema.t -> t -> (unit, string) result
+(** Attributes exist and order comparisons ([<], [>], [<=], [>=]) are only
+    applied to number-typed operands. *)
+
+val holds_on : Schema.t -> t -> Tuple.t array -> bool
+(** [holds_on schema dc assignment] evaluates the {e body} on an
+    assignment of tuples to the variables (array of length [nvars]);
+    [true] means the assignment witnesses a violation. *)
+
+val violations : Schema.t -> t -> Relation.t -> Tuple.t list list
+(** All violation witnesses as {e sets} of involved tuples (each sorted,
+    de-duplicated): the hyperedges this constraint contributes to the
+    conflict hypergraph. Cost O(n^k) for k = [nvars]; k is part of the
+    fixed schema, not of the data. *)
+
+val satisfied : Schema.t -> t -> Relation.t -> bool
+
+val of_fd : Schema.t -> Fd.t -> t list
+(** An FD X → Y as denial constraints, one per right-hand-side attribute
+    B: ∀t₁t₂ ¬(t₁.X = t₂.X ∧ t₁.B ≠ t₂.B). The union of their violation
+    hyperedges equals the FD's conflict pairs. *)
+
+val pp : Format.formatter -> t -> unit

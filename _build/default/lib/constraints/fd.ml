@@ -1,0 +1,163 @@
+open Relational
+
+type t = { lhs : string list; rhs : string list }
+
+let norm attrs = List.sort_uniq String.compare attrs
+
+let make lhs rhs =
+  if lhs = [] then invalid_arg "Fd.make: empty left-hand side";
+  if rhs = [] then invalid_arg "Fd.make: empty right-hand side";
+  { lhs = norm lhs; rhs = norm rhs }
+
+let of_string s =
+  match String.split_on_char '>' s with
+  | [ left; right ] when String.length left > 0 && left.[String.length left - 1] = '-'
+    ->
+    let left = String.sub left 0 (String.length left - 1) in
+    let split side =
+      String.split_on_char ' ' (String.map (function ',' -> ' ' | c -> c) side)
+      |> List.filter (fun w -> w <> "")
+    in
+    let lhs = split left and rhs = split right in
+    if lhs = [] || rhs = [] then Error (Printf.sprintf "cannot parse FD %S" s)
+    else Ok (make lhs rhs)
+  | _ -> Error (Printf.sprintf "cannot parse FD %S (expected \"X -> Y\")" s)
+
+let lhs fd = fd.lhs
+let rhs fd = fd.rhs
+let equal fd1 fd2 = fd1.lhs = fd2.lhs && fd1.rhs = fd2.rhs
+let compare = Stdlib.compare
+let attributes fd = norm (fd.lhs @ fd.rhs)
+
+let wf schema fd =
+  let missing =
+    List.filter (fun a -> Schema.position schema a = None) (attributes fd)
+  in
+  match missing with
+  | [] -> Ok ()
+  | a :: _ ->
+    Error
+      (Printf.sprintf "FD mentions attribute %S absent from schema %s" a
+         (Schema.name schema))
+
+let wf_all schema fds =
+  List.fold_left
+    (fun acc fd -> match acc with Error _ -> acc | Ok () -> wf schema fd)
+    (Ok ()) fds
+
+let positions schema fd =
+  (Schema.positions_exn schema fd.lhs, Schema.positions_exn schema fd.rhs)
+
+let conflicting schema fd t1 t2 =
+  let lpos, rpos = positions schema fd in
+  (not (Tuple.equal t1 t2))
+  && Tuple.agree_on t1 t2 lpos
+  && not (Tuple.agree_on t1 t2 rpos)
+
+(* Group tuples by their lhs projection; conflicts only arise inside a
+   group, so consistent groups cost one pass. *)
+let violations schema fd r =
+  let lpos, rpos = positions schema fd in
+  let groups = Hashtbl.create (Relation.cardinality r) in
+  Relation.iter
+    (fun t ->
+      let k = Tuple.make (Tuple.project t lpos) in
+      let existing = Option.value (Hashtbl.find_opt groups k) ~default:[] in
+      Hashtbl.replace groups k (t :: existing))
+    r;
+  let pairs = ref [] in
+  Hashtbl.iter
+    (fun _ group ->
+      let group = Array.of_list group in
+      let n = Array.length group in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          if not (Tuple.agree_on group.(i) group.(j) rpos) then begin
+            let a, b =
+              if Tuple.compare group.(i) group.(j) <= 0 then (group.(i), group.(j))
+              else (group.(j), group.(i))
+            in
+            pairs := (a, b) :: !pairs
+          end
+        done
+      done)
+    groups;
+  List.sort compare !pairs
+
+let satisfied schema fd r = violations schema fd r = []
+let all_satisfied schema fds r = List.for_all (fun fd -> satisfied schema fd r) fds
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+let is_trivial fd = subset fd.rhs fd.lhs
+
+let closure schema fds x =
+  List.iter
+    (fun fd ->
+      match wf schema fd with Ok () -> () | Error e -> invalid_arg e)
+    fds;
+  let rec fix acc =
+    let grow acc fd =
+      if subset fd.lhs acc then norm (fd.rhs @ acc) else acc
+    in
+    let next = List.fold_left grow acc fds in
+    if List.length next = List.length acc then acc else fix next
+  in
+  fix (norm x)
+
+let implies schema fds fd = subset fd.rhs (closure schema fds fd.lhs)
+
+let is_key schema fds x =
+  let u = Schema.attribute_names schema in
+  subset u (closure schema fds x)
+
+(* Subsets of the attribute list in increasing-cardinality order. *)
+let subsets_by_size attrs =
+  let n = List.length attrs in
+  let arr = Array.of_list attrs in
+  let of_mask mask =
+    let rec loop i acc =
+      if i < 0 then acc
+      else if mask land (1 lsl i) <> 0 then loop (i - 1) (arr.(i) :: acc)
+      else loop (i - 1) acc
+    in
+    loop (n - 1) []
+  in
+  let masks = List.init (1 lsl n) Fun.id in
+  let popcount m =
+    let rec loop m acc = if m = 0 then acc else loop (m lsr 1) (acc + (m land 1)) in
+    loop m 0
+  in
+  List.sort (fun a b -> compare (popcount a) (popcount b)) masks
+  |> List.map of_mask
+
+let candidate_keys schema fds =
+  let all = subsets_by_size (Schema.attribute_names schema) in
+  let keys = ref [] in
+  let minimal x =
+    not (List.exists (fun k -> subset k x) !keys)
+  in
+  List.iter
+    (fun x -> if x <> [] && minimal x && is_key schema fds x then keys := x :: !keys)
+    all;
+  List.sort
+    (fun a b ->
+      let c = compare (List.length a) (List.length b) in
+      if c <> 0 then c else compare a b)
+    (List.map norm !keys)
+
+let is_bcnf schema fds =
+  List.for_all
+    (fun fd -> is_trivial fd || is_key schema fds fd.lhs)
+    fds
+
+let key schema x = make x (Schema.attribute_names schema)
+
+let pp ppf fd =
+  let pp_attrs =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+      Format.pp_print_string
+  in
+  Format.fprintf ppf "%a -> %a" pp_attrs fd.lhs pp_attrs fd.rhs
+
+let to_string fd = Format.asprintf "%a" pp fd

@@ -1,0 +1,79 @@
+(** Functional dependencies.
+
+    An FD X → Y over schema R(U) states that tuples agreeing on X agree on
+    Y (paper, eq. (1), §2.1). Two tuples are {e conflicting} w.r.t. X → Y
+    when they agree on X but differ somewhere on Y; an instance is
+    inconsistent with a set F iff it contains a conflicting pair.
+
+    Beyond violation detection the module implements the classical
+    dependency theory needed by the paper's future-work directions (§6):
+    attribute-set closure, implication, candidate keys and BCNF
+    conformance (the complexity refinement suggested via [2]). *)
+
+open Relational
+
+type t
+
+val make : string list -> string list -> t
+(** [make lhs rhs] is the FD [lhs → rhs]. Raises [Invalid_argument] when
+    either side is empty. Attribute lists are de-duplicated. *)
+
+val of_string : string -> (t, string) result
+(** Parses ["A B -> C D"] (also accepts commas between attributes). *)
+
+val lhs : t -> string list
+val rhs : t -> string list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val attributes : t -> string list
+(** All attributes mentioned, de-duplicated. *)
+
+val wf : Schema.t -> t -> (unit, string) result
+(** Every mentioned attribute exists in the schema. *)
+
+val wf_all : Schema.t -> t list -> (unit, string) result
+
+val conflicting : Schema.t -> t -> Tuple.t -> Tuple.t -> bool
+(** Whether the two tuples form a conflict w.r.t. this FD: they agree on
+    the left-hand side and differ on some right-hand-side attribute. A
+    tuple never conflicts with itself. *)
+
+val violations : Schema.t -> t -> Relation.t -> (Tuple.t * Tuple.t) list
+(** All conflicting pairs, each reported once with the smaller tuple
+    first. Grouping on the left-hand-side projection keeps this close to
+    O(n) on consistent data. *)
+
+val satisfied : Schema.t -> t -> Relation.t -> bool
+
+val all_satisfied : Schema.t -> t list -> Relation.t -> bool
+(** The paper's consistency: no conflicting pair for any FD in the set. *)
+
+val is_trivial : t -> bool
+(** X → Y with Y ⊆ X. *)
+
+val closure : Schema.t -> t list -> string list -> string list
+(** Attribute-set closure X⁺ under F, sorted. *)
+
+val implies : Schema.t -> t list -> t -> bool
+(** F ⊨ X → Y, by closure. *)
+
+val is_key : Schema.t -> t list -> string list -> bool
+(** X⁺ = U (superkey test). *)
+
+val candidate_keys : Schema.t -> t list -> string list list
+(** All minimal superkeys, each sorted, in increasing size order.
+    Exponential in the arity (fine: schemas are small and fixed — the
+    paper's data-complexity setting). *)
+
+val is_bcnf : Schema.t -> t list -> bool
+(** Every non-trivial FD in F has a superkey left-hand side. *)
+
+val key : Schema.t -> string list -> t
+(** [key schema x] is the key dependency X → U (like fd1, fd2 of
+    Example 1). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [A B -> C]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Conflict Family Format Graphs List Option Printf Relational Repair Schema Tuple Undirected Value Vset

@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Conflict Family Format Priority

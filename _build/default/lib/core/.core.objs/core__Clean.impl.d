@@ -1,0 +1,1 @@
+lib/core/clean.ml: Conflict Format Graphs List Pref_rules Priority Relation Relational Repair Tuple Undirected Vset Winnow

@@ -1,0 +1,1 @@
+lib/core/clean.mli: Conflict Constraints Format Pref_rules Priority Relation Relational Tuple

@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Array Constraints Format Graphs Hashtbl List Printf Relation Relational Schema Tuple Undirected Vset

@@ -1,0 +1,1 @@
+lib/core/conflict.mli: Constraints Format Graphs Relation Relational Schema Tuple Undirected Vset

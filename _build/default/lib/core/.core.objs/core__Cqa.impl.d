@@ -1,0 +1,1 @@
+lib/core/cqa.ml: Conflict Family Fun Graphs Ground List Query Relational Repair Schema Undirected Vset

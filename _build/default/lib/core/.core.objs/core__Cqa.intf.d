@@ -1,0 +1,1 @@
+lib/core/cqa.mli: Conflict Family Graphs Priority Query Relational Value Vset

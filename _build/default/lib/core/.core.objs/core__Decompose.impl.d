@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Aggregate Array Conflict Cqa Family Graphs Ground Hashtbl List Printf Priority Query Relational Schema Tuple Undirected Value Vset

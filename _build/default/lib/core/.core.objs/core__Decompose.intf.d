@@ -1,0 +1,1 @@
+lib/core/decompose.mli: Aggregate Conflict Cqa Family Graphs Priority Query Vset

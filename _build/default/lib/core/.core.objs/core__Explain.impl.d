@@ -1,0 +1,1 @@
+lib/core/explain.ml: Conflict Cqa Decompose Family Format Graphs List Priority Relational Tuple Vset

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Conflict Cqa Family Format Graphs Priority Query Relational Tuple Vset

@@ -1,0 +1,1 @@
+lib/core/family.ml: Conflict Format Graphs List Optimality Repair String Vset Winnow

@@ -1,0 +1,1 @@
+lib/core/family.mli: Conflict Format Graphs Priority Relation Relational Vset

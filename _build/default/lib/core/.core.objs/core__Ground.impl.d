@@ -1,0 +1,1 @@
+lib/core/ground.ml: Graphs List Printf Query String Vset

@@ -1,0 +1,1 @@
+lib/core/ground.mli: Graphs Query Relational Vset

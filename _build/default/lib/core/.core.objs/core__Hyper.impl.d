@@ -1,0 +1,1 @@
+lib/core/hyper.ml: Array Constraints Cqa Format Graphs Ground Hashtbl Hypergraph List Query Relation Relational Schema Tuple Vset

@@ -1,0 +1,1 @@
+lib/core/hyper.mli: Constraints Cqa Format Graphs Hypergraph Query Relation Relational Tuple Vset

@@ -1,0 +1,1 @@
+lib/core/multi.ml: Conflict Cqa Database Decompose Family Fun Graphs Lazy List Map Option Pref_rules Printf Priority Query Relation Relational Repair Schema String Vset

@@ -1,0 +1,1 @@
+lib/core/multi.mli: Conflict Constraints Cqa Database Family Graphs Pref_rules Priority Query Relation Relational Vset

@@ -1,0 +1,1 @@
+lib/core/optimality.ml: Conflict Graphs List Priority Repair Undirected Vset

@@ -1,0 +1,1 @@
+lib/core/optimality.mli: Conflict Graphs Priority Vset

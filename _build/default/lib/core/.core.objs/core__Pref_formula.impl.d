@@ -1,0 +1,1 @@
+lib/core/pref_formula.ml: Format Printf Query Relational Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/pref_formula.mli: Format Pref_rules Query Relational Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/core/pref_rules.ml: Conflict Graphs List Map Printf Priority Provenance Relational Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/pref_rules.mli: Conflict Priority Provenance Relational Schema Tuple

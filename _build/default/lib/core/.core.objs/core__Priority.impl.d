@@ -1,0 +1,1 @@
+lib/core/priority.ml: Array Conflict Digraph Format Graphs List Printf Undirected Vset

@@ -1,0 +1,1 @@
+lib/core/priority.mli: Conflict Format Graphs Relational Vset

@@ -1,0 +1,1 @@
+lib/core/properties.ml: Conflict Family Format Graphs List Priority Repair Vset Winnow

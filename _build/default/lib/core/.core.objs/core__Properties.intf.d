@@ -1,0 +1,1 @@
+lib/core/properties.mli: Conflict Family Format Graphs Priority Vset

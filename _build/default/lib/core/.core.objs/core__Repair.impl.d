@@ -1,0 +1,1 @@
+lib/core/repair.ml: Conflict Graphs List Mis Undirected

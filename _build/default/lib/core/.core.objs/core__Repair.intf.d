@@ -1,0 +1,1 @@
+lib/core/repair.mli: Conflict Graphs Relation Relational Vset

@@ -1,0 +1,1 @@
+lib/core/stats.ml: Conflict Decompose Family Format Graphs List Priority Undirected Vset

@@ -1,0 +1,1 @@
+lib/core/stats.mli: Conflict Family Format Priority

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Conflict Format Graphs List Priority Relational Vset

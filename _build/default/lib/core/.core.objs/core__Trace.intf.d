@@ -1,0 +1,1 @@
+lib/core/trace.mli: Conflict Format Graphs Priority Vset

@@ -1,0 +1,1 @@
+lib/core/winnow.ml: Array Conflict Graphs Hashtbl List Priority Undirected Vset

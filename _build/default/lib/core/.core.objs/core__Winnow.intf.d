@@ -1,0 +1,1 @@
+lib/core/winnow.mli: Conflict Graphs Priority Vset

@@ -1,0 +1,116 @@
+open Relational
+open Graphs
+
+type agg = Count_all | Sum of string | Min of string | Max of string
+
+type range = { glb : int option; lub : int option }
+
+let agg_to_string = function
+  | Count_all -> "COUNT(*)"
+  | Sum a -> Printf.sprintf "SUM(%s)" a
+  | Min a -> Printf.sprintf "MIN(%s)" a
+  | Max a -> Printf.sprintf "MAX(%s)" a
+
+let attr_position c attr =
+  let schema = Conflict.schema c in
+  match Schema.position schema attr with
+  | None ->
+    Error (Printf.sprintf "schema %s has no attribute %S" (Schema.name schema) attr)
+  | Some i ->
+    if Schema.ty_at schema i <> Schema.TInt then
+      Error (Printf.sprintf "attribute %S is not numeric" attr)
+    else Ok i
+
+let value_at c pos v =
+  match Value.as_int (Tuple.get (Conflict.tuple c v) pos) with
+  | Some n -> n
+  | None -> assert false (* typed instances: TInt position holds Int *)
+
+let is_cluster_graph c =
+  let g = Conflict.graph c in
+  List.for_all (fun comp -> Undirected.is_clique g comp)
+    (Undirected.connected_components g)
+
+(* --- aggregate of one repair ------------------------------------------- *)
+
+let eval_agg c pos_opt agg s =
+  let values () =
+    List.map (value_at c (Option.get pos_opt)) (Vset.elements s)
+  in
+  match agg with
+  | Count_all -> Some (Vset.cardinal s)
+  | Sum _ -> Some (List.fold_left ( + ) 0 (values ()))
+  | Min _ -> (
+    match values () with [] -> None | v :: vs -> Some (List.fold_left min v vs))
+  | Max _ -> (
+    match values () with [] -> None | v :: vs -> Some (List.fold_left max v vs))
+
+(* --- closed forms on cluster graphs ------------------------------------ *)
+
+(* Every repair selects exactly one vertex per clique component. *)
+let cluster_range c pos_opt agg =
+  let comps = Undirected.connected_components (Conflict.graph c) in
+  let per_clique f =
+    List.map
+      (fun comp -> f (List.map (value_at c (Option.get pos_opt)) (Vset.elements comp)))
+      comps
+  in
+  let list_min = function [] -> None | v :: vs -> Some (List.fold_left min v vs) in
+  let list_max = function [] -> None | v :: vs -> Some (List.fold_left max v vs) in
+  match agg with
+  | Count_all ->
+    let k = List.length comps in
+    { glb = Some k; lub = Some k }
+  | Sum _ ->
+    let mins = per_clique (fun vs -> List.fold_left min max_int vs) in
+    let maxs = per_clique (fun vs -> List.fold_left max min_int vs) in
+    {
+      glb = Some (List.fold_left ( + ) 0 mins);
+      lub = Some (List.fold_left ( + ) 0 maxs);
+    }
+  | Min _ ->
+    (* glb: the overall smallest value can always be selected; lub: pick
+       each clique's largest, the repair's MIN is the smallest of those. *)
+    let clique_maxs = per_clique (fun vs -> List.fold_left max min_int vs) in
+    let all = per_clique (fun vs -> List.fold_left min max_int vs) in
+    { glb = list_min all; lub = list_min clique_maxs }
+  | Max _ ->
+    let clique_mins = per_clique (fun vs -> List.fold_left min max_int vs) in
+    let all = per_clique (fun vs -> List.fold_left max min_int vs) in
+    { glb = list_max clique_mins; lub = list_max all }
+
+(* --- enumeration fallback ---------------------------------------------- *)
+
+(* Bounds over the repairs where the aggregate is defined (MIN/MAX are
+   undefined exactly on the empty repair, which exists only for the empty
+   instance). *)
+let range_over_repairs c pos_opt agg repairs =
+  match List.filter_map (eval_agg c pos_opt agg) repairs with
+  | [] -> { glb = None; lub = None }
+  | v :: vs ->
+    {
+      glb = Some (List.fold_left min v vs);
+      lub = Some (List.fold_left max v vs);
+    }
+
+let with_position c agg k =
+  match agg with
+  | Count_all -> k None
+  | Sum a | Min a | Max a -> (
+    match attr_position c a with Error e -> Error e | Ok i -> k (Some i))
+
+let range c agg =
+  with_position c agg (fun pos_opt ->
+      if is_cluster_graph c then Ok (cluster_range c pos_opt agg)
+      else Ok (range_over_repairs c pos_opt agg (Repair.all c)))
+
+let range_preferred family c p agg =
+  with_position c agg (fun pos_opt ->
+      Ok (range_over_repairs c pos_opt agg (Family.repairs family c p)))
+
+let pp_range ppf { glb; lub } =
+  let pp_bound ppf = function
+    | None -> Format.pp_print_string ppf "undefined"
+    | Some v -> Format.pp_print_int ppf v
+  in
+  Format.fprintf ppf "[%a, %a]" pp_bound glb pp_bound lub

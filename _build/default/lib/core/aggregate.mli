@@ -1,0 +1,44 @@
+(** Range-consistent answers to scalar aggregation queries.
+
+    The paper's §6 points to [2] (Arenas et al., {e Scalar Aggregation in
+    Inconsistent Databases}) as the complexity-refinement companion line of
+    work. An aggregation query has no single consistent answer when repairs
+    disagree; following [2], the consistent answer is the {e range}
+    [(glb, lub)] of the aggregate's value over the repairs.
+
+    When the constraints are one key dependency, the conflict graph is a
+    disjoint union of cliques ("clusters": the groups of key-equal tuples)
+    and every repair picks exactly one tuple per clique. COUNT, SUM,
+    MIN and MAX ranges then have closed forms computed in linear time;
+    this module applies them whenever the conflict graph is a cluster
+    graph (which the one-key case guarantees) and falls back to repair
+    enumeration otherwise. A preferred-family variant restricts the range
+    to X-preferred repairs. *)
+
+type agg =
+  | Count_all  (** COUNT(all) *)
+  | Sum of string  (** SUM over a numeric attribute *)
+  | Min of string
+  | Max of string
+
+type range = { glb : int option; lub : int option }
+(** [None] bounds arise only for MIN/MAX over instances where some repair
+    is empty (no tuples at all): the aggregate is undefined there. COUNT
+    and SUM of an empty repair are 0. *)
+
+val agg_to_string : agg -> string
+
+val range : Conflict.t -> agg -> (range, string) result
+(** Range over {e all} repairs. Closed-form on cluster graphs, otherwise
+    enumeration. [Error] when the attribute is missing or non-numeric. *)
+
+val range_preferred :
+  Family.name -> Conflict.t -> Priority.t -> agg -> (range, string) result
+(** Range over the X-preferred repairs, by enumeration. With a total
+    priority and X ∈ {G, C} the range collapses to a point (P4). *)
+
+val is_cluster_graph : Conflict.t -> bool
+(** Every connected component of the conflict graph is a clique — true in
+    particular whenever the FDs reduce to one key dependency. *)
+
+val pp_range : Format.formatter -> range -> unit

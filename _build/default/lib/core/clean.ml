@@ -1,0 +1,41 @@
+open Relational
+open Graphs
+
+type report = {
+  cleaned : Relation.t;
+  removed : Tuple.t list;
+  conflicts : int;
+  oriented : int;
+  deterministic : bool;
+}
+
+let run_with_priority c p =
+  let result = Winnow.clean c p in
+  let cleaned = Repair.to_relation c result in
+  let removed =
+    Vset.elements (Vset.diff (Vset.of_range (Conflict.size c)) result)
+    |> List.map (Conflict.tuple c)
+  in
+  {
+    cleaned;
+    removed;
+    conflicts = Undirected.edge_count (Conflict.graph c);
+    oriented = Priority.arc_count p;
+    deterministic = Priority.is_total c p;
+  }
+
+let run fds relation rule =
+  let c = Conflict.build fds relation in
+  match Pref_rules.apply c rule with
+  | Error e -> Error e
+  | Ok p -> Ok (run_with_priority c p)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>cleaned instance keeps %d tuples (%d removed);@ %d conflicts, %d \
+     oriented by the rule;@ %s@]"
+    (Relation.cardinality r.cleaned)
+    (List.length r.removed) r.conflicts r.oriented
+    (if r.deterministic then
+       "total priority: result independent of tie-breaking (Prop. 1)"
+     else "partial priority: result is one of the common repairs (C-Rep)")

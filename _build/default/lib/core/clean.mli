@@ -1,0 +1,31 @@
+(** End-to-end cleaning pipeline.
+
+    The paper contrasts querying under preferred repairs with physical
+    data cleaning (§1): cleaning removes tuples for good and loses the
+    disjunctive information carried by unresolved conflicts. This module
+    implements that alternative — Algorithm 1 driven by a preference rule
+    — both for users who do want a cleaned instance and for experiments
+    comparing the two approaches (Example 3 shows cleaning yielding an
+    instance that is still inconsistent-looking to the user while
+    preferred CQA extracts the right answer). *)
+
+open Relational
+
+type report = {
+  cleaned : Relation.t;  (** the surviving tuples — one C-repair *)
+  removed : Tuple.t list;  (** tuples deleted by the cleaning *)
+  conflicts : int;  (** conflict edges in the original instance *)
+  oriented : int;  (** how many of them the rule resolved *)
+  deterministic : bool;
+      (** the priority was total, so every choice sequence yields this
+          same result (Prop. 1) *)
+}
+
+val run :
+  Constraints.Fd.t list -> Relation.t -> Pref_rules.rule -> (report, string) result
+(** Build the conflict graph, derive the priority from the rule, run
+    Algorithm 1. [Error] when the rule induces a cyclic priority. *)
+
+val run_with_priority : Conflict.t -> Priority.t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,82 @@
+open Relational
+open Graphs
+
+type t = {
+  fds : Constraints.Fd.t list;
+  relation : Relation.t;
+  tuples : Tuple.t array;
+  graph : Undirected.t;
+  index : (Tuple.t, int) Hashtbl.t;
+}
+
+let build fds relation =
+  let schema = Relation.schema relation in
+  (match Constraints.Fd.wf_all schema fds with
+  | Ok () -> ()
+  | Error e -> invalid_arg e);
+  let tuples = Relation.tuple_array relation in
+  let n = Array.length tuples in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i t -> Hashtbl.replace index t i) tuples;
+  let edge_of_pair (t1, t2) =
+    (Hashtbl.find index t1, Hashtbl.find index t2)
+  in
+  let edges =
+    List.concat_map
+      (fun fd ->
+        List.map edge_of_pair (Constraints.Fd.violations schema fd relation))
+      fds
+  in
+  { fds; relation; tuples; graph = Undirected.create n edges; index }
+
+let schema c = Relation.schema c.relation
+let fds c = c.fds
+let relation c = c.relation
+let graph c = c.graph
+let size c = Array.length c.tuples
+
+let tuple c i =
+  if i < 0 || i >= size c then invalid_arg "Conflict.tuple: out of range";
+  c.tuples.(i)
+
+let tuples c = Array.copy c.tuples
+let index c t = Hashtbl.find_opt c.index t
+
+let index_exn c t =
+  match index c t with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "tuple %s is not part of the instance" (Tuple.to_string t))
+
+let vset_of_relation c r =
+  Relation.fold (fun t acc -> Vset.add (index_exn c t) acc) r Vset.empty
+
+let relation_of_vset c s =
+  Relation.of_tuples (schema c)
+    (List.map (fun i -> tuple c i) (Vset.elements s))
+
+let is_consistent c = Undirected.edge_count c.graph = 0
+
+let conflicting_fds c i j =
+  let t1 = tuple c i and t2 = tuple c j in
+  List.filter (fun fd -> Constraints.Fd.conflicting (schema c) fd t1 t2) c.fds
+
+let neighbors c i = Undirected.neighbors c.graph i
+let vicinity c i = Undirected.vicinity c.graph i
+
+let conflict_pairs c =
+  List.map (fun (i, j) -> (tuple c i, tuple c j)) (Undirected.edges c.graph)
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>conflict graph of %a with {%a}:@,"
+    Schema.pp (schema c)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Constraints.Fd.pp)
+    c.fds;
+  Array.iteri (fun i t -> Format.fprintf ppf "  t%d = %a@," i Tuple.pp t) c.tuples;
+  List.iter
+    (fun (i, j) -> Format.fprintf ppf "  t%d -- t%d@," i j)
+    (Undirected.edges c.graph);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,61 @@
+(** Conflict graphs (paper, §2.1).
+
+    Given an instance r and a set F of functional dependencies, the
+    conflict graph has the tuples of r as vertices and an edge between
+    every pair of tuples conflicting w.r.t. some FD in F. It is the compact
+    representation of the repair space: repairs are exactly the maximal
+    independent sets.
+
+    A value of type [t] packages the instance, the constraints and the
+    graph, with a stable tuple numbering (tuple order in the canonical
+    tuple array). All core algorithms speak vertex ids; conversion to and
+    from relations lives here. *)
+
+open Relational
+open Graphs
+
+type t
+
+val build : Constraints.Fd.t list -> Relation.t -> t
+(** Raises [Invalid_argument] when an FD mentions attributes absent from
+    the relation's schema. Cost: pairwise comparison inside groups sharing
+    an FD's left-hand-side projection. *)
+
+val schema : t -> Schema.t
+val fds : t -> Constraints.Fd.t list
+val relation : t -> Relation.t
+val graph : t -> Undirected.t
+val size : t -> int
+(** Number of tuples (= vertices). *)
+
+val tuple : t -> int -> Tuple.t
+val tuples : t -> Tuple.t array
+(** A fresh copy of the vertex-indexed tuple array. *)
+
+val index : t -> Tuple.t -> int option
+val index_exn : t -> Tuple.t -> int
+
+val vset_of_relation : t -> Relation.t -> Vset.t
+(** Vertex set of a sub-instance. Raises [Invalid_argument] when some
+    tuple does not belong to the original instance. *)
+
+val relation_of_vset : t -> Vset.t -> Relation.t
+
+val is_consistent : t -> bool
+(** No conflicts at all: the instance satisfies F. *)
+
+val conflicting_fds : t -> int -> int -> Constraints.Fd.t list
+(** The FDs witnessing the conflict on an edge (empty if not adjacent). *)
+
+val neighbors : t -> int -> Vset.t
+(** The paper's n(t), by vertex id. *)
+
+val vicinity : t -> int -> Vset.t
+(** The paper's v(t) = {t} ∪ n(t). *)
+
+val conflict_pairs : t -> (Tuple.t * Tuple.t) list
+(** All conflicting pairs as tuples, smaller first. *)
+
+val pp : Format.formatter -> t -> unit
+(** Lists vertices with their tuples and the conflict edges — a textual
+    rendering of the paper's Figures 1–4. *)

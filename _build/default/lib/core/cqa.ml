@@ -1,0 +1,119 @@
+open Relational
+open Graphs
+
+type certainty = Certainly_true | Certainly_false | Ambiguous
+
+let certainty_to_string = function
+  | Certainly_true -> "certainly true"
+  | Certainly_false -> "certainly false"
+  | Ambiguous -> "ambiguous"
+
+let evaluate_in_repair c r' q =
+  Query.Engine.holds_relation (Repair.to_relation c r') q
+
+let consistent_answer family c p q =
+  List.for_all
+    (fun r' -> evaluate_in_repair c r' q)
+    (Family.repairs family c p)
+
+let certainty family c p q =
+  let truths =
+    List.map (fun r' -> evaluate_in_repair c r' q) (Family.repairs family c p)
+  in
+  if List.for_all Fun.id truths then Certainly_true
+  else if List.for_all not truths then Certainly_false
+  else Ambiguous
+
+let consistent_answers_open family c p q =
+  let per_repair =
+    List.map
+      (fun r' -> Query.Engine.answers_relation (Repair.to_relation c r') q)
+      (Family.repairs family c p)
+  in
+  match per_repair with
+  | [] -> (Query.Ast.free_vars q, [])
+  | (free, first) :: rest ->
+    let inter rows (_, rows') =
+      List.filter (fun row -> List.mem row rows') rows
+    in
+    (free, List.fold_left inter first rest)
+
+(* --- the polynomial ground algorithm ----------------------------------- *)
+
+let demand_of_clause c clause =
+  Ground.of_clause
+    ~rel_name:(Schema.name (Conflict.schema c))
+    ~index:(Conflict.index c) clause
+
+(* Is there a repair containing [required] and avoiding [forbidden]?
+   Equivalent (by greedy completion within r \ forbidden) to: an
+   independent S ⊇ required, S ∩ forbidden = ∅, where every forbidden
+   vertex has a neighbour in S. Blockers are chosen per forbidden vertex
+   with backtracking. *)
+let demand_satisfiable c { Ground.required; forbidden } =
+  let g = Conflict.graph c in
+  if not (Vset.is_empty (Vset.inter required forbidden)) then false
+  else if not (Undirected.is_independent g required) then false
+  else begin
+    let needs_blocker =
+      Vset.filter
+        (fun b -> Vset.is_empty (Vset.inter (Undirected.neighbors g b) required))
+        forbidden
+    in
+    (* A fresh blocker must keep S = required ∪ chosen independent and
+       stay clear of the forbidden set. Vertices already in [chosen] are
+       handled by the "already blocked" pre-check below. *)
+    let compatible chosen v =
+      (not (Vset.mem v forbidden))
+      && (not (Vset.mem v chosen))
+      && Vset.is_empty (Vset.inter (Undirected.neighbors g v) required)
+      && Vset.is_empty (Vset.inter (Undirected.neighbors g v) chosen)
+    in
+    let rec assign chosen = function
+      | [] -> true
+      | b :: rest ->
+        (* b may already be blocked by a previously chosen blocker. *)
+        if not (Vset.is_empty (Vset.inter (Undirected.neighbors g b) chosen))
+        then assign chosen rest
+        else
+          Vset.exists
+            (fun v -> compatible chosen v && assign (Vset.add v chosen) rest)
+            (Undirected.neighbors g b)
+    in
+    assign Vset.empty (Vset.elements needs_blocker)
+  end
+
+let some_repair_satisfies c q =
+  match Query.Transform.ground_dnf q with
+  | Error e -> Error e
+  | Ok clauses ->
+    let clause_ok clause =
+      match demand_of_clause c clause with
+      | Error e -> Error e
+      | Ok None -> Ok false
+      | Ok (Some d) -> Ok (demand_satisfiable c d)
+    in
+    List.fold_left
+      (fun acc clause ->
+        match acc with
+        | Error _ | Ok true -> acc
+        | Ok false -> clause_ok clause)
+      (Ok false) clauses
+
+let ground_certainty c q =
+  if not (Query.Ast.is_ground q) then
+    Error "ground_certainty: query is not ground"
+  else
+    match some_repair_satisfies c (Query.Ast.Not q) with
+    | Error e -> Error e
+    | Ok false -> Ok Certainly_true
+    | Ok true -> (
+      match some_repair_satisfies c q with
+      | Error e -> Error e
+      | Ok false -> Ok Certainly_false
+      | Ok true -> Ok Ambiguous)
+
+let ground_consistent_answer c q =
+  match ground_certainty c q with
+  | Error e -> Error e
+  | Ok cert -> Ok (cert = Certainly_true)

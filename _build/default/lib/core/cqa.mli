@@ -1,0 +1,61 @@
+(** (Preferred) consistent query answers.
+
+    [true] is the X-consistent answer to a closed query Q iff Q holds in
+    {e every} repair of the family X (Definition 3); with X = Rep this is
+    the classical notion of [1]. Open queries are handled along the lines
+    of [1, 7]: a binding is a consistent answer iff it is an answer in
+    every preferred repair.
+
+    Two engines:
+    - a generic one that enumerates the preferred repairs and evaluates the
+      query in each (exponential — it decides the co-NP- and Π₂ᵖ-complete
+      entries of Figure 5 by brute force);
+    - the polynomial algorithm for {e quantifier-free ground} queries
+      w.r.t. Rep (Figure 5, first row, after [6, 7]), working on the DNF
+      of the negated query over the conflict graph. *)
+
+open Relational
+open Graphs
+
+type certainty =
+  | Certainly_true  (** true in every preferred repair *)
+  | Certainly_false  (** false in every preferred repair *)
+  | Ambiguous  (** differs between preferred repairs *)
+
+val certainty_to_string : certainty -> string
+
+val consistent_answer :
+  Family.name -> Conflict.t -> Priority.t -> Query.Ast.t -> bool
+(** [true] iff the closed query holds in every X-preferred repair. Raises
+    [Invalid_argument] on open queries or ill-formed atoms. *)
+
+val certainty : Family.name -> Conflict.t -> Priority.t -> Query.Ast.t -> certainty
+
+val consistent_answers_open :
+  Family.name ->
+  Conflict.t ->
+  Priority.t ->
+  Query.Ast.t ->
+  string list * Value.t list list
+(** Free variables (sorted) and the bindings answering the query in every
+    X-preferred repair. *)
+
+val evaluate_in_repair : Conflict.t -> Vset.t -> Query.Ast.t -> bool
+(** [r' ⊨ Q] for one repair given as a vertex set. *)
+
+val ground_certainty : Conflict.t -> Query.Ast.t -> (certainty, string) result
+(** Polynomial-time certainty w.r.t. the full repair family Rep, for
+    quantifier-free ground queries. [Error] when the query is not ground
+    or mentions a relation other than the instance's.
+
+    Method: [Certainly_true] iff no repair satisfies ¬Q. The DNF of ¬Q
+    reduces this to clause satisfiability: a clause demanding facts A
+    present and facts B absent is satisfiable by some repair iff there is
+    an independent S ⊇ A, disjoint from B, in which every b ∈ B has a
+    conflict-neighbour (such an S extends greedily to a repair avoiding
+    B). Blockers are searched per-b with backtracking — at most n^|B|
+    combinations, polynomial in the data for a fixed query. *)
+
+val ground_consistent_answer : Conflict.t -> Query.Ast.t -> (bool, string) result
+(** [Ok true] iff [true] is the consistent answer to the ground query
+    w.r.t. Rep — i.e. {!ground_certainty} returns [Certainly_true]. *)

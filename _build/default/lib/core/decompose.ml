@@ -1,0 +1,211 @@
+open Relational
+open Graphs
+
+type t = {
+  conflict : Conflict.t;
+  priority : Priority.t;
+  components : Vset.t list;
+  comp_index : int array;
+  cache : (Family.name * int, Vset.t list) Hashtbl.t;
+      (* (family, component id) -> preferred repairs in original ids *)
+}
+
+let make conflict priority =
+  let components = Undirected.connected_components (Conflict.graph conflict) in
+  let comp_index = Array.make (Conflict.size conflict) 0 in
+  List.iteri
+    (fun i comp -> Vset.iter (fun v -> comp_index.(v) <- i) comp)
+    components;
+  { conflict; priority; components; comp_index; cache = Hashtbl.create 16 }
+
+let conflict d = d.conflict
+let components d = d.components
+
+let component_of d v =
+  if v < 0 || v >= Conflict.size d.conflict then
+    invalid_arg "Decompose.component_of";
+  List.nth d.components d.comp_index.(v)
+
+(* The sub-instance of one component. Tuples keep their relative order
+   under restriction, so new vertex i is the i-th smallest original id. *)
+let sub_context d comp =
+  let rel = Conflict.relation_of_vset d.conflict comp in
+  let sub = Conflict.build (Conflict.fds d.conflict) rel in
+  let mapping = Array.of_list (Vset.elements comp) in
+  let back = Hashtbl.create (Array.length mapping) in
+  Array.iteri (fun i v -> Hashtbl.replace back v i) mapping;
+  let arcs =
+    List.filter_map
+      (fun (u, v) ->
+        match (Hashtbl.find_opt back u, Hashtbl.find_opt back v) with
+        | Some u', Some v' -> Some (u', v')
+        | _, _ -> None)
+      (Priority.arcs d.priority)
+  in
+  (sub, Priority.of_arcs_exn sub arcs, mapping)
+
+let preferred_within family d comp =
+  let key = (family, d.comp_index.(Vset.min_elt comp)) in
+  match Hashtbl.find_opt d.cache key with
+  | Some repairs -> repairs
+  | None ->
+    let sub, p, mapping = sub_context d comp in
+    let repairs =
+      List.map
+        (fun s -> Vset.map (fun v -> mapping.(v)) s)
+        (Family.repairs family sub p)
+    in
+    Hashtbl.replace d.cache key repairs;
+    repairs
+
+let count family d =
+  List.fold_left
+    (fun acc comp -> acc * List.length (preferred_within family d comp))
+    1 d.components
+
+(* --- ground certainty --------------------------------------------------- *)
+
+let demand_of_clause d clause =
+  Ground.of_clause
+    ~rel_name:(Schema.name (Conflict.schema d.conflict))
+    ~index:(Conflict.index d.conflict) clause
+
+(* A clause is satisfiable by a preferred repair iff each touched
+   component has a preferred repair meeting the clause's demands there
+   (P1 supplies arbitrary preferred repairs for untouched components, and
+   the family factorizes). *)
+let clause_satisfiable family d { Ground.required; forbidden } =
+  let touched =
+    Vset.fold
+      (fun v acc -> Vset.add d.comp_index.(v) acc)
+      (Vset.union required forbidden)
+      Vset.empty
+  in
+  Vset.for_all
+    (fun ci ->
+      let comp = List.nth d.components ci in
+      let req = Vset.inter required comp and forb = Vset.inter forbidden comp in
+      List.exists
+        (fun r -> Vset.subset req r && Vset.is_empty (Vset.inter forb r))
+        (preferred_within family d comp))
+    touched
+
+let some_preferred_satisfies family d q =
+  match Query.Transform.ground_dnf q with
+  | Error e -> Error e
+  | Ok clauses ->
+    List.fold_left
+      (fun acc clause ->
+        match acc with
+        | Error _ | Ok true -> acc
+        | Ok false -> (
+          match demand_of_clause d clause with
+          | Error e -> Error e
+          | Ok None -> Ok false
+          | Ok (Some demand) -> Ok (clause_satisfiable family d demand)))
+      (Ok false) clauses
+
+let certainty_ground family d q =
+  if not (Query.Ast.is_ground q) then
+    Error "certainty_ground: query is not ground"
+  else
+    match some_preferred_satisfies family d (Query.Ast.Not q) with
+    | Error e -> Error e
+    | Ok false -> Ok Cqa.Certainly_true
+    | Ok true -> (
+      match some_preferred_satisfies family d q with
+      | Error e -> Error e
+      | Ok false -> Ok Cqa.Certainly_false
+      | Ok true -> Ok Cqa.Ambiguous)
+
+let certain_tuples family d =
+  List.fold_left
+    (fun acc comp ->
+      match preferred_within family d comp with
+      | [] -> acc
+      | first :: rest ->
+        Vset.union acc (List.fold_left Vset.inter first rest))
+    Vset.empty d.components
+
+let possible_tuples family d =
+  List.fold_left
+    (fun acc comp ->
+      List.fold_left Vset.union acc (preferred_within family d comp))
+    Vset.empty d.components
+
+(* --- aggregates ----------------------------------------------------------- *)
+
+let attr_position d attr =
+  let schema = Conflict.schema d.conflict in
+  match Schema.position schema attr with
+  | None ->
+    Error
+      (Printf.sprintf "schema %s has no attribute %S" (Schema.name schema) attr)
+  | Some i ->
+    if Schema.ty_at schema i <> Schema.TInt then
+      Error (Printf.sprintf "attribute %S is not numeric" attr)
+    else Ok i
+
+let aggregate_range family d agg =
+  let pos =
+    match agg with
+    | Aggregate.Count_all -> Ok (-1)
+    | Aggregate.Sum a | Aggregate.Min a | Aggregate.Max a -> attr_position d a
+  in
+  match pos with
+  | Error e -> Error e
+  | Ok pos ->
+    let value_of v =
+      match Value.as_int (Tuple.get (Conflict.tuple d.conflict v) pos) with
+      | Some n -> n
+      | None -> assert false
+    in
+    (* the aggregate's value inside one component repair *)
+    let local s =
+      match agg with
+      | Aggregate.Count_all -> Some (Vset.cardinal s)
+      | Aggregate.Sum _ ->
+        Some (Vset.fold (fun v acc -> acc + value_of v) s 0)
+      | Aggregate.Min _ ->
+        Vset.fold
+          (fun v acc ->
+            Some (match acc with None -> value_of v | Some m -> min m (value_of v)))
+          s None
+      | Aggregate.Max _ ->
+        Vset.fold
+          (fun v acc ->
+            Some (match acc with None -> value_of v | Some m -> max m (value_of v)))
+          s None
+    in
+    (* per-component extremes of the local value *)
+    let extremes comp =
+      let values =
+        List.filter_map local (preferred_within family d comp)
+      in
+      match values with
+      | [] -> None
+      | v :: vs -> Some (List.fold_left min v vs, List.fold_left max v vs)
+    in
+    let per_component = List.filter_map extremes d.components in
+    let range =
+      match agg with
+      | Aggregate.Count_all | Aggregate.Sum _ ->
+        (* additive across components *)
+        let glb = List.fold_left (fun a (lo, _) -> a + lo) 0 per_component in
+        let lub = List.fold_left (fun a (_, hi) -> a + hi) 0 per_component in
+        Aggregate.{ glb = Some glb; lub = Some lub }
+      | Aggregate.Min _ ->
+        (* global MIN = min over components of the chosen local MIN *)
+        let fold f init = List.fold_left f init per_component in
+        let glb = fold (fun a (lo, _) -> min a lo) max_int in
+        let lub = fold (fun a (_, hi) -> min a hi) max_int in
+        if per_component = [] then Aggregate.{ glb = None; lub = None }
+        else Aggregate.{ glb = Some glb; lub = Some lub }
+      | Aggregate.Max _ ->
+        let fold f init = List.fold_left f init per_component in
+        let glb = fold (fun a (lo, _) -> max a lo) min_int in
+        let lub = fold (fun a (_, hi) -> max a hi) min_int in
+        if per_component = [] then Aggregate.{ glb = None; lub = None }
+        else Aggregate.{ glb = Some glb; lub = Some lub }
+    in
+    Ok range

@@ -1,0 +1,86 @@
+open Relational
+open Graphs
+
+type verdict = {
+  certainty : Cqa.certainty;
+  supporting : Vset.t option;
+  refuting : Vset.t option;
+}
+
+let query family c p q =
+  let supporting = ref None and refuting = ref None in
+  List.iter
+    (fun r' ->
+      if Cqa.evaluate_in_repair c r' q then begin
+        if !supporting = None then supporting := Some r'
+      end
+      else if !refuting = None then refuting := Some r')
+    (Family.repairs family c p);
+  let certainty =
+    match (!supporting, !refuting) with
+    | Some _, None -> Cqa.Certainly_true
+    | None, Some _ -> Cqa.Certainly_false
+    | Some _, Some _ -> Cqa.Ambiguous
+    | None, None -> Cqa.Certainly_true (* no preferred repairs: vacuous *)
+  in
+  { certainty; supporting = !supporting; refuting = !refuting }
+
+let pp_repair c ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Tuple.pp)
+    (List.map (Conflict.tuple c) (Vset.elements s))
+
+let pp_verdict c ppf v =
+  Format.fprintf ppf "@[<v>%s@," (Cqa.certainty_to_string v.certainty);
+  (match v.supporting with
+  | Some s -> Format.fprintf ppf "  holds in:  %a@," (pp_repair c) s
+  | None -> ());
+  (match v.refuting with
+  | Some s -> Format.fprintf ppf "  fails in:  %a@," (pp_repair c) s
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+type tuple_status = {
+  tuple : Tuple.t;
+  conflicts_with : Tuple.t list;
+  dominated_by : Tuple.t list;
+  dominates : Tuple.t list;
+  in_all : bool;
+  in_some : bool;
+}
+
+let tuple_status family c p t =
+  let v = Conflict.index_exn c t in
+  let to_tuples s = List.map (Conflict.tuple c) (Vset.elements s) in
+  (* families factorize over components: membership across all preferred
+     repairs is decided inside the tuple's component *)
+  let d = Decompose.make c p in
+  let comp = Decompose.component_of d v in
+  let repairs = Decompose.preferred_within family d comp in
+  {
+    tuple = t;
+    conflicts_with = to_tuples (Conflict.neighbors c v);
+    dominated_by = to_tuples (Priority.dominators p v);
+    dominates = to_tuples (Priority.dominated p v);
+    in_all = List.for_all (fun r' -> Vset.mem v r') repairs;
+    in_some = List.exists (fun r' -> Vset.mem v r') repairs;
+  }
+
+let pp_tuple_status ppf st =
+  let pp_tuples ppf = function
+    | [] -> Format.pp_print_string ppf "(none)"
+    | ts ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        Tuple.pp ppf ts
+  in
+  Format.fprintf ppf
+    "@[<v>tuple %a@,  conflicts with: %a@,  dominated by:   %a@,  dominates:      \
+     %a@,  status: %s@]"
+    Tuple.pp st.tuple pp_tuples st.conflicts_with pp_tuples st.dominated_by
+    pp_tuples st.dominates
+    (if st.in_all then "kept in every preferred repair"
+     else if st.in_some then "kept in some preferred repairs (disputed)"
+     else "removed from every preferred repair")

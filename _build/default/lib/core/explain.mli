@@ -1,0 +1,40 @@
+(** Explanations for preferred consistent answers.
+
+    "Ambiguous" is an unsatisfying answer without evidence. This module
+    produces witnesses: for a query, a preferred repair supporting it and
+    one refuting it (whichever exist); for a tuple, its conflict and
+    domination situation and whether it survives in all, some or none of
+    the preferred repairs. Tuple status is computed on the tuple's
+    conflict component only (families factorize — see {!Decompose}), so
+    it stays cheap on large instances. *)
+
+open Relational
+open Graphs
+
+type verdict = {
+  certainty : Cqa.certainty;
+  supporting : Vset.t option;  (** a preferred repair satisfying the query *)
+  refuting : Vset.t option;  (** a preferred repair falsifying it *)
+}
+
+val query : Family.name -> Conflict.t -> Priority.t -> Query.Ast.t -> verdict
+(** Evaluates the closed query over the preferred repairs, keeping one
+    witness of each truth value. Enumerative — intended for instances
+    whose preferred repairs are enumerable; use {!Decompose} for scale. *)
+
+val pp_verdict : Conflict.t -> Format.formatter -> verdict -> unit
+
+type tuple_status = {
+  tuple : Tuple.t;
+  conflicts_with : Tuple.t list;  (** its conflict neighbourhood *)
+  dominated_by : Tuple.t list;  (** tuples preferred over it *)
+  dominates : Tuple.t list;  (** tuples it is preferred over *)
+  in_all : bool;  (** member of every preferred repair *)
+  in_some : bool;  (** member of at least one preferred repair *)
+}
+
+val tuple_status :
+  Family.name -> Conflict.t -> Priority.t -> Tuple.t -> tuple_status
+(** Raises [Invalid_argument] when the tuple is not in the instance. *)
+
+val pp_tuple_status : Format.formatter -> tuple_status -> unit

@@ -1,0 +1,39 @@
+(** The families of preferred repairs studied in the paper, under one
+    interface: Rep (no preferences), L-Rep, S-Rep, G-Rep and C-Rep.
+
+    For each family [X] the module exposes the paper's two decision
+    problems (§4.1): [repairs] materializes X-Rep≻F(r), and [check] is
+    X-repair checking, the membership test B^X_F. Repair checking is
+    polynomial for Rep, L, S and C and co-NP-complete for G (Figure 5). *)
+
+open Relational
+open Graphs
+
+type name = Rep | L | S | G | C
+
+val all_names : name list
+(** In decreasing size of the selected set: [Rep; L; S; G; C]
+    (C ⊆ G ⊆ S ⊆ L ⊆ Rep). *)
+
+val name_to_string : name -> string
+val name_of_string : string -> name option
+
+val repairs : name -> Conflict.t -> Priority.t -> Vset.t list
+(** The preferred repairs X-Rep≻F(r), sorted. Enumerative: exponential in
+    the number of conflicts, like the repair space. *)
+
+val repairs_relations : name -> Conflict.t -> Priority.t -> Relation.t list
+
+val check : name -> Conflict.t -> Priority.t -> Vset.t -> bool
+(** X-repair checking. Polynomial for [Rep], [L], [S], [C]; for [G] a
+    witness search over the repair space (co-NP-complete problem). *)
+
+val check_relation : name -> Conflict.t -> Priority.t -> Relation.t -> bool
+
+val one : name -> Conflict.t -> Priority.t -> Vset.t option
+(** Some preferred repair of the family, if any. For [C] this is a single
+    deterministic run of Algorithm 1 (always succeeds); for the other
+    families it searches the repair space. [Rep], [L], [S], [C] are never
+    empty (P1); for [G] non-emptiness follows from C ⊆ G and P1 for C. *)
+
+val pp_name : Format.formatter -> name -> unit

@@ -1,0 +1,26 @@
+open Graphs
+
+type demand = { required : Vset.t; forbidden : Vset.t }
+
+let of_clause ~rel_name ~index (clause : Query.Transform.ground_clause) =
+  let resolve (r, t) =
+    if not (String.equal r rel_name) then
+      Error (Printf.sprintf "query mentions unknown relation %S" r)
+    else Ok (index t)
+  in
+  let rec build required forbidden = function
+    | [] -> Ok (Some { required; forbidden })
+    | `Pos f :: rest -> (
+      match resolve f with
+      | Error e -> Error e
+      | Ok None -> Ok None (* demanded fact not in the instance *)
+      | Ok (Some v) -> build (Vset.add v required) forbidden rest)
+    | `Neg f :: rest -> (
+      match resolve f with
+      | Error e -> Error e
+      | Ok None -> build required forbidden rest (* vacuous *)
+      | Ok (Some v) -> build required (Vset.add v forbidden) rest)
+  in
+  build Vset.empty Vset.empty
+    (List.map (fun f -> `Pos f) clause.Query.Transform.positive
+    @ List.map (fun f -> `Neg f) clause.Query.Transform.negative)

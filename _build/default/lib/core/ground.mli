@@ -1,0 +1,21 @@
+(** Resolving ground DNF clauses against an instance.
+
+    Shared by every ground-query engine (monolithic, hypergraph,
+    factorized, multi-relation): a clause of the query's DNF demands some
+    facts present and some absent; against a concrete instance this
+    normalizes to vertex sets, with two short-circuits — a demanded fact
+    missing from the instance kills the clause, a forbidden fact missing
+    is vacuous. *)
+
+open Graphs
+
+type demand = { required : Vset.t; forbidden : Vset.t }
+
+val of_clause :
+  rel_name:string ->
+  index:(Relational.Tuple.t -> int option) ->
+  Query.Transform.ground_clause ->
+  (demand option, string) result
+(** [Ok None] when the clause is unsatisfiable against the instance
+    (a positive fact is absent); [Error] when the clause mentions a
+    relation other than [rel_name]. *)

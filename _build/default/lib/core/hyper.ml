@@ -1,0 +1,123 @@
+open Relational
+open Graphs
+
+type t = {
+  denials : Constraints.Denial.t list;
+  relation : Relation.t;
+  tuples : Tuple.t array;
+  hyper : Hypergraph.t;
+  index : (Tuple.t, int) Hashtbl.t;
+}
+
+let build denials relation =
+  let schema = Relation.schema relation in
+  List.iter
+    (fun dc ->
+      match Constraints.Denial.wf schema dc with
+      | Ok () -> ()
+      | Error e -> invalid_arg e)
+    denials;
+  let tuples = Relation.tuple_array relation in
+  let n = Array.length tuples in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i t -> Hashtbl.replace index t i) tuples;
+  let edges =
+    List.concat_map
+      (fun dc ->
+        List.map
+          (fun witness ->
+            Vset.of_list (List.map (Hashtbl.find index) witness))
+          (Constraints.Denial.violations schema dc relation))
+      denials
+  in
+  { denials; relation; tuples; hyper = Hypergraph.create n edges; index }
+
+let of_fds fds relation =
+  let schema = Relation.schema relation in
+  build (List.concat_map (Constraints.Denial.of_fd schema) fds) relation
+
+let relation h = h.relation
+let denials h = h.denials
+let hypergraph h = h.hyper
+let size h = Array.length h.tuples
+
+let tuple h i =
+  if i < 0 || i >= size h then invalid_arg "Hyper.tuple: out of range";
+  h.tuples.(i)
+
+let index h t = Hashtbl.find_opt h.index t
+
+let is_consistent h = Hypergraph.edges h.hyper = []
+
+let repairs h = Hypergraph.enumerate h.hyper
+let is_repair h s = Hypergraph.is_maximal_independent h.hyper s
+
+let to_relation h s =
+  Relation.of_tuples
+    (Relation.schema h.relation)
+    (List.map (tuple h) (Vset.elements s))
+
+(* --- polynomial ground CQA over hyperedges ----------------------------- *)
+
+let demand_of_clause h clause =
+  Ground.of_clause
+    ~rel_name:(Schema.name (Relation.schema h.relation))
+    ~index:(index h) clause
+
+(* A repair ⊇ required avoiding forbidden exists iff some independent
+   S ⊇ required, S ∩ forbidden = ∅, blocks every forbidden vertex b: a
+   hyperedge e ∋ b with e \ {b} ⊆ S (then b can never be added, and a
+   maximal extension inside V \ forbidden is maximal overall). *)
+let demand_satisfiable h { Ground.required; forbidden } =
+  let hg = h.hyper in
+  if not (Vset.is_empty (Vset.inter required forbidden)) then false
+  else if not (Hypergraph.is_independent hg required) then false
+  else begin
+    let rec assign s = function
+      | [] -> Hypergraph.is_independent hg s
+      | b :: rest ->
+        List.exists
+          (fun e ->
+            let blockers = Vset.remove b e in
+            Vset.is_empty (Vset.inter blockers forbidden)
+            && begin
+                 let s' = Vset.union s blockers in
+                 Hypergraph.is_independent hg s' && assign s' rest
+               end)
+          (Hypergraph.edges_containing hg b)
+    in
+    assign required (Vset.elements forbidden)
+  end
+
+let some_repair_satisfies h q =
+  match Query.Transform.ground_dnf q with
+  | Error e -> Error e
+  | Ok clauses ->
+    List.fold_left
+      (fun acc clause ->
+        match acc with
+        | Error _ | Ok true -> acc
+        | Ok false -> (
+          match demand_of_clause h clause with
+          | Error e -> Error e
+          | Ok None -> Ok false
+          | Ok (Some d) -> Ok (demand_satisfiable h d)))
+      (Ok false) clauses
+
+let ground_certainty h q =
+  if not (Query.Ast.is_ground q) then
+    Error "ground_certainty: query is not ground"
+  else
+    match some_repair_satisfies h (Query.Ast.Not q) with
+    | Error e -> Error e
+    | Ok false -> Ok Cqa.Certainly_true
+    | Ok true -> (
+      match some_repair_satisfies h q with
+      | Error e -> Error e
+      | Ok false -> Ok Cqa.Certainly_false
+      | Ok true -> Ok Cqa.Ambiguous)
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>hyper-conflict structure:@,";
+  Array.iteri (fun i t -> Format.fprintf ppf "  t%d = %a@," i Tuple.pp t) h.tuples;
+  Format.fprintf ppf "%a@]" Hypergraph.pp h.hyper

@@ -1,0 +1,46 @@
+(** Conflict hypergraphs for denial constraints — the paper's §6
+    generalization, after [6].
+
+    Under denial constraints a conflict may involve any number of tuples,
+    so the conflict graph becomes a hypergraph whose hyperedges are the
+    minimal violation sets; repairs are the maximal subsets containing no
+    hyperedge. Priorities have no agreed meaning here (the paper leaves
+    that open), so the preferred families are not lifted; the classical
+    Rep machinery — repair enumeration, repair checking and the
+    polynomial ground-query CQA — is. *)
+
+open Relational
+open Graphs
+
+type t
+
+val build : Constraints.Denial.t list -> Relation.t -> t
+(** Raises [Invalid_argument] on ill-typed constraints. Cost O(nᵏ) for
+    arity-k constraints (k fixed by the schema). *)
+
+val of_fds : Constraints.Fd.t list -> Relation.t -> t
+(** FDs encoded as denial constraints; the resulting hypergraph has the
+    conflict graph's edges (as 2-element hyperedges). *)
+
+val relation : t -> Relation.t
+val denials : t -> Constraints.Denial.t list
+val hypergraph : t -> Hypergraph.t
+val size : t -> int
+val tuple : t -> int -> Tuple.t
+val index : t -> Tuple.t -> int option
+
+val is_consistent : t -> bool
+
+val repairs : t -> Vset.t list
+(** All repairs (maximal independent sets of the hypergraph), sorted. *)
+
+val is_repair : t -> Vset.t -> bool
+
+val to_relation : t -> Vset.t -> Relation.t
+
+val ground_certainty : t -> Query.Ast.t -> (Cqa.certainty, string) result
+(** The polynomial ground-query algorithm of {!Cqa.ground_certainty}
+    generalized to hyperedges: a forbidden fact b is blocked by choosing a
+    hyperedge e ∋ b and placing e \ {b} into the repair. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,167 @@
+open Relational
+open Graphs
+
+module Smap = Map.Make (String)
+
+type entry = {
+  ctx : Conflict.t;
+  prio : Priority.t;
+  decomposed : Decompose.t Lazy.t;
+}
+
+type t = { database : Database.t; entries : entry Smap.t }
+
+let entry_of ctx prio =
+  { ctx; prio; decomposed = lazy (Decompose.make ctx prio) }
+
+let build ~fds database =
+  List.iter
+    (fun (name, _) ->
+      if not (Database.mem database name) then
+        invalid_arg (Printf.sprintf "Multi.build: no relation named %S" name))
+    fds;
+  let entries =
+    List.fold_left
+      (fun acc rel ->
+        let name = Schema.name (Relation.schema rel) in
+        let rel_fds = Option.value (List.assoc_opt name fds) ~default:[] in
+        let ctx = Conflict.build rel_fds rel in
+        Smap.add name (entry_of ctx (Priority.empty ctx)) acc)
+      Smap.empty (Database.relations database)
+  in
+  { database; entries }
+
+let database m = m.database
+let relation_names m = List.map fst (Smap.bindings m.entries)
+
+let entry m name =
+  match Smap.find_opt name m.entries with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Multi: no relation named %S" name)
+
+let conflict m name = (entry m name).ctx
+let priority m name = (entry m name).prio
+
+let set_priority m name p =
+  let e = entry m name in
+  { m with entries = Smap.add name (entry_of e.ctx p) m.entries }
+
+let set_rule m name rule =
+  let e = entry m name in
+  match Pref_rules.apply e.ctx rule with
+  | Error msg -> Error msg
+  | Ok p -> Ok (set_priority m name p)
+
+let repair_count family m =
+  Smap.fold
+    (fun _ e acc -> acc * Decompose.count family (Lazy.force e.decomposed))
+    m.entries 1
+
+(* All combinations of one preferred repair per relation. *)
+let repairs family m =
+  let per_relation =
+    Smap.bindings m.entries
+    |> List.map (fun (_, e) ->
+           List.map
+             (fun s -> Repair.to_relation e.ctx s)
+             (Family.repairs family e.ctx e.prio))
+  in
+  List.fold_left
+    (fun acc choices ->
+      List.concat_map
+        (fun db -> List.map (fun rel -> Database.replace db rel) choices)
+        acc)
+    [ Database.empty ] per_relation
+
+let certainty family m q =
+  let truths = List.map (fun db -> Query.Engine.holds db q) (repairs family m) in
+  if List.for_all Fun.id truths then Cqa.Certainly_true
+  else if List.for_all not truths then Cqa.Certainly_false
+  else Cqa.Ambiguous
+
+let consistent_answer family m q = certainty family m q = Cqa.Certainly_true
+
+(* --- factorized ground engine ------------------------------------------- *)
+
+(* Split a DNF clause's demands per relation; a positive fact of an
+   unknown relation is an error, a positive fact absent from its relation
+   kills the clause, absent negative facts are vacuous. *)
+let demands_of_clause m (clause : Query.Transform.ground_clause) =
+  let resolve (r, t) =
+    match Smap.find_opt r m.entries with
+    | None -> Error (Printf.sprintf "query mentions unknown relation %S" r)
+    | Some e -> Ok (r, Conflict.index e.ctx t)
+  in
+  let add_to name v which acc =
+    let req, forb = Option.value (Smap.find_opt name acc) ~default:(Vset.empty, Vset.empty) in
+    let entry =
+      match which with
+      | `Pos -> (Vset.add v req, forb)
+      | `Neg -> (req, Vset.add v forb)
+    in
+    Smap.add name entry acc
+  in
+  let rec build acc = function
+    | [] -> Ok (Some acc)
+    | (which, f) :: rest -> (
+      match resolve f with
+      | Error e -> Error e
+      | Ok (_, None) when which = `Pos -> Ok None
+      | Ok (_, None) -> build acc rest
+      | Ok (name, Some v) -> build (add_to name v which acc) rest)
+  in
+  build Smap.empty
+    (List.map (fun f -> (`Pos, f)) clause.Query.Transform.positive
+    @ List.map (fun f -> (`Neg, f)) clause.Query.Transform.negative)
+
+let clause_satisfiable family m demands =
+  Smap.for_all
+    (fun name (required, forbidden) ->
+      let e = entry m name in
+      let d = Lazy.force e.decomposed in
+      let touched =
+        Vset.fold
+          (fun v acc -> Vset.add (Vset.min_elt (Decompose.component_of d v)) acc)
+          (Vset.union required forbidden)
+          Vset.empty
+      in
+      Vset.for_all
+        (fun rep_v ->
+          let comp = Decompose.component_of d rep_v in
+          let req = Vset.inter required comp
+          and forb = Vset.inter forbidden comp in
+          List.exists
+            (fun r -> Vset.subset req r && Vset.is_empty (Vset.inter forb r))
+            (Decompose.preferred_within family d comp))
+        touched)
+    demands
+
+let some_preferred_satisfies family m q =
+  match Query.Transform.ground_dnf q with
+  | Error e -> Error e
+  | Ok clauses ->
+    List.fold_left
+      (fun acc clause ->
+        match acc with
+        | Error _ | Ok true -> acc
+        | Ok false -> (
+          match demands_of_clause m clause with
+          | Error e -> Error e
+          | Ok None -> Ok false
+          | Ok (Some demands) -> Ok (clause_satisfiable family m demands)))
+      (Ok false) clauses
+
+let certainty_ground family m q =
+  if not (Query.Ast.is_ground q) then
+    Error "certainty_ground: query is not ground"
+  else
+    match some_preferred_satisfies family m (Query.Ast.Not q) with
+    | Error e -> Error e
+    | Ok false -> Ok Cqa.Certainly_true
+    | Ok true -> (
+      match some_preferred_satisfies family m q with
+      | Error e -> Error e
+      | Ok false -> Ok Cqa.Certainly_false
+      | Ok true -> Ok Cqa.Ambiguous)
+
+let vset_of m name rel = Conflict.vset_of_relation (conflict m name) rel

@@ -1,0 +1,63 @@
+(** Multi-relation databases under preferred repairs.
+
+    The paper restricts the presentation to a single relation and notes
+    (§2) that the framework extends to multiple relations along the lines
+    of [7]. The extension is structural: functional dependencies only
+    relate tuples of one relation, so the conflict graph of a database is
+    the disjoint union of the per-relation conflict graphs, a repair of
+    the database chooses one repair per relation, and every preferred
+    family factorizes relation-wise (the same argument as the
+    component-wise factorization in {!Decompose}, one level up).
+
+    Queries, however, may join relations — so consistent query answering
+    is genuinely multi-relation: the generic engine evaluates the query
+    over combinations of per-relation preferred repairs, and the ground
+    engine factorizes a clause's demands per relation (and further per
+    component, via {!Decompose}). *)
+
+open Relational
+open Graphs
+
+type t
+
+val build : fds:(string * Constraints.Fd.t list) list -> Database.t -> t
+(** [fds] maps relation names to their FD sets; relations not listed are
+    constraint-free (always consistent). Raises [Invalid_argument] when a
+    listed relation is absent from the database or an FD is ill-formed.
+    All priorities start empty. *)
+
+val database : t -> Database.t
+val relation_names : t -> string list
+
+val conflict : t -> string -> Conflict.t
+(** The conflict context of one relation. *)
+
+val priority : t -> string -> Priority.t
+
+val set_priority : t -> string -> Priority.t -> t
+(** Functional update of one relation's priority. *)
+
+val set_rule : t -> string -> Pref_rules.rule -> (t, string) result
+(** Derive the relation's priority from a preference rule. *)
+
+val repair_count : Family.name -> t -> int
+(** Product over relations of per-relation preferred-repair counts
+    (computed component-wise; subject to the same overflow caveat as
+    {!Decompose.count}). *)
+
+val repairs : Family.name -> t -> Database.t list
+(** All preferred repairs of the database, materialized — the product of
+    the per-relation families. Exponential; meant for small instances. *)
+
+val consistent_answer : Family.name -> t -> Query.Ast.t -> bool
+(** Closed-query preferred consistent answer by product enumeration. *)
+
+val certainty : Family.name -> t -> Query.Ast.t -> Cqa.certainty
+
+val certainty_ground : Family.name -> t -> Query.Ast.t -> (Cqa.certainty, string) result
+(** The factorized ground engine: polynomial whenever conflict-graph
+    components are bounded, even across many relations. *)
+
+val vset_of : t -> string -> Relation.t -> Vset.t
+(** Vertex set of a sub-instance of the named relation, for repair
+    checking via [Family.check (conflict m name) (priority m name)]. *)

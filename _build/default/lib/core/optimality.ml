@@ -1,0 +1,90 @@
+open Graphs
+
+let outside c r' =
+  Vset.diff (Vset.of_range (Conflict.size c)) r'
+
+let improving_swap c p r' =
+  let candidate y acc =
+    match acc with
+    | Some _ -> acc
+    | None -> (
+      let inside = Vset.inter (Conflict.neighbors c y) r' in
+      match Vset.elements inside with
+      | [ x ] when Priority.dominates p y x -> Some (y, x)
+      | _ -> None)
+  in
+  Vset.fold candidate (outside c r') None
+
+let is_locally_optimal c p r' = improving_swap c p r' = None
+
+let improving_tuple c p r' =
+  let candidate y acc =
+    match acc with
+    | Some _ -> acc
+    | None ->
+      let inside = Vset.inter (Conflict.neighbors c y) r' in
+      if
+        (not (Vset.is_empty inside))
+        && Vset.for_all (fun x -> Priority.dominates p y x) inside
+      then Some y
+      else None
+  in
+  Vset.fold candidate (outside c r') None
+
+let is_semi_globally_optimal c p r' = improving_tuple c p r' = None
+
+let preferred_to _c p r1 r2 =
+  Vset.for_all
+    (fun x ->
+      Vset.exists (fun y -> Priority.dominates p y x) (Vset.diff r2 r1))
+    (Vset.diff r1 r2)
+
+let dominating_witness c p r' =
+  let found = ref None in
+  (try
+     Repair.iter
+       (fun r'' ->
+         if (not (Vset.equal r' r'')) && preferred_to c p r' r'' then begin
+           found := Some r'';
+           raise Exit
+         end)
+       c
+   with Exit -> ());
+  !found
+
+let is_globally_optimal c p r' = dominating_witness c p r' = None
+
+(* Literal §3.3 definition, by explicit subset search: exponential in the
+   number of tuples involved, intended for the small instances of the
+   test suite. *)
+let is_globally_optimal_by_replacement c p r' =
+  let g = Conflict.graph c in
+  let subsets s =
+    Vset.fold
+      (fun v acc -> List.concat_map (fun set -> [ set; Vset.add v set ]) acc)
+      s [ Vset.empty ]
+  in
+  (* Dominators of X are the only useful members of Y: every y ∈ Y must
+     dominate some x ∈ X for Y to matter minimally. *)
+  let improvable x_set =
+    let dominator_pool =
+      Vset.fold
+        (fun x acc -> Vset.union (Priority.dominators p x) acc)
+        x_set Vset.empty
+    in
+    let kept = Vset.diff r' x_set in
+    List.exists
+      (fun y_set ->
+        let covered =
+          Vset.for_all
+            (fun x ->
+              Vset.exists (fun y -> Priority.dominates p y x) y_set)
+            x_set
+        in
+        covered && Undirected.is_independent g (Vset.union kept y_set))
+      (subsets dominator_pool)
+  in
+  not
+    (List.exists
+       (fun x_set -> (not (Vset.is_empty x_set)) && improvable x_set)
+       (subsets r'))

@@ -1,0 +1,46 @@
+(** Repair optimality (paper, §3).
+
+    Three increasingly aggressive ways a priority can disqualify a repair,
+    ordered by implication: globally optimal ⇒ semi-globally optimal ⇒
+    locally optimal. All predicates below assume the candidate is a repair
+    (checked by the callers in {!Family}); on non-repairs their value is
+    unspecified. *)
+
+open Graphs
+
+val improving_swap : Conflict.t -> Priority.t -> Vset.t -> (int * int) option
+(** A witness [(y, x)] against local optimality: [y ∉ r'] whose single
+    conflict-neighbour in [r'] is [x], with [y ≻ x] — swapping [x] for
+    [y] keeps consistency and improves the repair. [None] iff the repair
+    is locally optimal. Polynomial time. *)
+
+val is_locally_optimal : Conflict.t -> Priority.t -> Vset.t -> bool
+(** L-repair checking — PTIME (Theorem 4). *)
+
+val improving_tuple : Conflict.t -> Priority.t -> Vset.t -> int option
+(** A witness against semi-global optimality: [y ∉ r'] dominating every
+    one of its conflict-neighbours in [r'] (§4.2). *)
+
+val is_semi_globally_optimal : Conflict.t -> Priority.t -> Vset.t -> bool
+(** S-repair checking — PTIME (Corollary 1). *)
+
+val preferred_to : Conflict.t -> Priority.t -> Vset.t -> Vset.t -> bool
+(** [preferred_to c p r1 r2] is the paper's r1 ≪ r2 (Prop. 5):
+    every tuple lost from r1 is dominated by some tuple gained in r2.
+    Reflexive; antisymmetric on distinct repairs thanks to acyclicity. *)
+
+val is_globally_optimal : Conflict.t -> Priority.t -> Vset.t -> bool
+(** G-repair checking: no {e other} repair is ≪-above the candidate.
+    Implemented as a witness search through repair enumeration —
+    the problem is co-NP-complete (Theorem 5), so exponential worst-case
+    behaviour is expected and measured in the benchmarks. *)
+
+val dominating_witness : Conflict.t -> Priority.t -> Vset.t -> Vset.t option
+(** The repair r'' with r' ≪ r'', if any ([None] iff globally optimal). *)
+
+val is_globally_optimal_by_replacement :
+  Conflict.t -> Priority.t -> Vset.t -> bool
+(** The literal §3 definition: no non-empty X ⊆ r' can be replaced by a
+    set Y of instance tuples, each x ∈ X dominated by some y ∈ Y, keeping
+    consistency. Doubly exponential subset search — test-scale only; used
+    to cross-validate Prop. 5. *)

@@ -1,0 +1,175 @@
+open Relational
+
+type operand = Fst of string | Snd of string | Const of Value.t
+
+type t =
+  | True
+  | False
+  | Cmp of Query.Ast.cmp * operand * operand
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+(* --- parsing, on top of the query lexer -------------------------------- *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_operand = function
+  | Query.Lexer.IDENT d :: Query.Lexer.DOT :: Query.Lexer.IDENT a :: rest -> (
+    match String.lowercase_ascii d with
+    | "t1" -> (Fst a, rest)
+    | "t2" -> (Snd a, rest)
+    | _ -> fail "tuple designator must be t1 or t2, not %S" d)
+  | Query.Lexer.INT n :: rest -> (Const (Value.Int n), rest)
+  | Query.Lexer.NAME s :: rest -> (Const (Value.Name s), rest)
+  | tok :: _ ->
+    fail "expected t1.Attr, t2.Attr or a constant, found %s"
+      (Query.Lexer.token_to_string tok)
+  | [] -> fail "unexpected end of input"
+
+let parse_cmp = function
+  | Query.Lexer.EQ :: rest -> (Query.Ast.Eq, rest)
+  | Query.Lexer.NEQ :: rest -> (Query.Ast.Neq, rest)
+  | Query.Lexer.LT :: rest -> (Query.Ast.Lt, rest)
+  | Query.Lexer.GT :: rest -> (Query.Ast.Gt, rest)
+  | Query.Lexer.LEQ :: rest -> (Query.Ast.Leq, rest)
+  | Query.Lexer.GEQ :: rest -> (Query.Ast.Geq, rest)
+  | tok :: _ ->
+    fail "expected a comparison operator, found %s"
+      (Query.Lexer.token_to_string tok)
+  | [] -> fail "unexpected end of input"
+
+let rec parse_disj tokens =
+  let first, rest = parse_conj tokens in
+  match rest with
+  | Query.Lexer.KW_OR :: rest ->
+    let next, rest = parse_disj rest in
+    (Or (first, next), rest)
+  | _ -> (first, rest)
+
+and parse_conj tokens =
+  let first, rest = parse_neg tokens in
+  match rest with
+  | Query.Lexer.KW_AND :: rest ->
+    let next, rest = parse_conj rest in
+    (And (first, next), rest)
+  | _ -> (first, rest)
+
+and parse_neg tokens =
+  match tokens with
+  | Query.Lexer.KW_NOT :: rest ->
+    let f, rest = parse_neg rest in
+    (Not f, rest)
+  | Query.Lexer.KW_TRUE :: rest -> (True, rest)
+  | Query.Lexer.KW_FALSE :: rest -> (False, rest)
+  | Query.Lexer.LPAREN :: rest -> (
+    let f, rest = parse_disj rest in
+    match rest with
+    | Query.Lexer.RPAREN :: rest -> (f, rest)
+    | _ -> fail "expected ')'")
+  | _ ->
+    let left, rest = parse_operand tokens in
+    let op, rest = parse_cmp rest in
+    let right, rest = parse_operand rest in
+    (Cmp (op, left, right), rest)
+
+let parse text =
+  match Query.Lexer.tokenize text with
+  | Error e -> Error e
+  | Ok tokens -> (
+    try
+      match parse_disj tokens with
+      | f, [ Query.Lexer.EOF ] -> Ok f
+      | _, tok :: _ ->
+        Error
+          (Printf.sprintf "parse error: trailing input at %s"
+             (Query.Lexer.token_to_string tok))
+      | _, [] -> Error "parse error: missing EOF"
+    with Parse_error m -> Error (Printf.sprintf "parse error: %s" m))
+
+let parse_exn text =
+  match parse text with Ok f -> f | Error e -> invalid_arg e
+
+(* --- typing -------------------------------------------------------------- *)
+
+let operand_ty schema = function
+  | Const (Value.Int _) -> Ok `Int
+  | Const (Value.Name _) -> Ok `Name
+  | Fst a | Snd a -> (
+    match Schema.position schema a with
+    | None -> Error (Printf.sprintf "unknown attribute %S" a)
+    | Some i -> Ok (Schema.ty_to_poly (Schema.ty_at schema i)))
+
+let rec wf schema = function
+  | True | False -> Ok ()
+  | Not f -> wf schema f
+  | And (f, g) | Or (f, g) -> (
+    match wf schema f with Ok () -> wf schema g | Error _ as e -> e)
+  | Cmp (op, l, r) -> (
+    match (operand_ty schema l, operand_ty schema r) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok tl, Ok tr ->
+      if tl <> tr then Error "comparison between a name and a number"
+      else if tl = `Name && op <> Query.Ast.Eq && op <> Query.Ast.Neq then
+        Error "order comparison on name-typed operands"
+      else Ok ())
+
+(* --- evaluation ------------------------------------------------------------ *)
+
+let eval_operand schema x y = function
+  | Const v -> v
+  | Fst a -> Tuple.get x (Schema.position_exn schema a)
+  | Snd a -> Tuple.get y (Schema.position_exn schema a)
+
+let eval_cmp op l r =
+  let both_ints =
+    match (l, r) with Value.Int _, Value.Int _ -> true | _, _ -> false
+  in
+  match op with
+  | Query.Ast.Eq -> Value.equal l r
+  | Query.Ast.Neq -> not (Value.equal l r)
+  | Query.Ast.Lt -> both_ints && Value.compare l r < 0
+  | Query.Ast.Gt -> both_ints && Value.compare l r > 0
+  | Query.Ast.Leq -> Value.equal l r || (both_ints && Value.compare l r < 0)
+  | Query.Ast.Geq -> Value.equal l r || (both_ints && Value.compare l r > 0)
+
+let rec holds schema f x y =
+  match f with
+  | True -> true
+  | False -> false
+  | Not g -> not (holds schema g x y)
+  | And (g, h) -> holds schema g x y && holds schema h x y
+  | Or (g, h) -> holds schema g x y || holds schema h x y
+  | Cmp (op, l, r) ->
+    eval_cmp op (eval_operand schema x y l) (eval_operand schema x y r)
+
+let to_rule schema f =
+  match wf schema f with
+  | Error e -> Error e
+  | Ok () -> Ok (fun x y -> holds schema f x y)
+
+(* --- printing --------------------------------------------------------------- *)
+
+let pp_operand ppf = function
+  | Fst a -> Format.fprintf ppf "t1.%s" a
+  | Snd a -> Format.fprintf ppf "t2.%s" a
+  | Const (Value.Name s) -> Format.fprintf ppf "'%s'" s
+  | Const (Value.Int n) -> Format.pp_print_int ppf n
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (op, l, r) ->
+    Format.fprintf ppf "%a %a %a" pp_operand l Query.Pretty.pp_cmp op pp_operand r
+  | Not f -> Format.fprintf ppf "not %a" pp_protected f
+  | And (f, g) -> Format.fprintf ppf "%a and %a" pp_protected f pp_protected g
+  | Or (f, g) -> Format.fprintf ppf "%a or %a" pp_protected f pp_protected g
+
+and pp_protected ppf f =
+  match f with
+  | True | False | Cmp _ -> pp ppf f
+  | Not _ | And _ | Or _ -> Format.fprintf ppf "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f

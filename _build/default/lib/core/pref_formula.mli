@@ -1,0 +1,55 @@
+(** Intrinsic preference formulas.
+
+    The paper builds its cleaning operator on the winnow operator of [5]
+    (Chomicki, {e Preference Formulas in Relational Queries}), where
+    preferences between tuples are stated as first-order formulas over the
+    two tuples' attributes. This module implements that fragment: a
+    quantifier-free formula over designators [t1] (the preferred tuple)
+    and [t2] (the dominated one), e.g.
+
+    {v t1.Salary > t2.Salary and t1.Dept = t2.Dept v}
+
+    A formula induces a {!Pref_rules.rule}; as with any rule, the edge is
+    oriented only when the formula holds in exactly one direction, and
+    {!Pref_rules.apply} re-validates acyclicity of the induced priority. *)
+
+open Relational
+
+type operand =
+  | Fst of string  (** attribute of t1, the preferred tuple *)
+  | Snd of string  (** attribute of t2, the dominated tuple *)
+  | Const of Value.t
+
+type t =
+  | True
+  | False
+  | Cmp of Query.Ast.cmp * operand * operand
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val parse : string -> (t, string) result
+(** Concrete syntax: comparisons [t1.A op t2.B], [t1.A op const] with
+    [op ∈ {=, !=, <>, <, >, <=, >=}], combined with [and], [or], [not]
+    and parentheses; [true]/[false] literals. Tuple designators must be
+    exactly [t1] and [t2]. *)
+
+val parse_exn : string -> t
+
+val wf : Schema.t -> t -> (unit, string) result
+(** Attributes exist; order comparisons only between number-typed
+    operands. *)
+
+val holds : Schema.t -> t -> Tuple.t -> Tuple.t -> bool
+(** [holds schema f x y]: does [f] prefer [x] over [y]? The formula's
+    [t1] reads from [x], [t2] from [y]. Comparison semantics matches the
+    query evaluator ([<] on numbers only). *)
+
+val to_rule : Schema.t -> t -> (Pref_rules.rule, string) result
+(** Well-formedness-checked rule. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the concrete syntax; output re-parses to an equal
+    formula. *)
+
+val to_string : t -> string

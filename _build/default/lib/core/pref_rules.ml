@@ -1,0 +1,87 @@
+open Relational
+
+type rule = Tuple.t -> Tuple.t -> bool
+
+let apply c rule =
+  let g = Conflict.graph c in
+  let arcs =
+    List.concat_map
+      (fun (u, v) ->
+        let x = Conflict.tuple c u and y = Conflict.tuple c v in
+        let xy = rule x y and yx = rule y x in
+        if xy && not yx then [ (u, v) ]
+        else if yx && not xy then [ (v, u) ]
+        else [])
+      (Graphs.Undirected.edges g)
+  in
+  match Priority.of_arcs c arcs with
+  | Ok p -> Ok p
+  | Error e -> Error (Priority.error_to_string e)
+
+let apply_exn c rule =
+  match apply c rule with Ok p -> p | Error e -> invalid_arg e
+
+let by_score score x y = score x > score y
+
+let newest_first prov x y =
+  match (Provenance.timestamp prov x, Provenance.timestamp prov y) with
+  | Some tx, Some ty -> tx > ty
+  | None, _ | _, None -> false
+
+let oldest_first prov x y =
+  match (Provenance.timestamp prov x, Provenance.timestamp prov y) with
+  | Some tx, Some ty -> tx < ty
+  | None, _ | _, None -> false
+
+module Smap = Map.Make (String)
+
+let source_reliability prov ~more_reliable_than =
+  let sources =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (a, b) -> [ a; b ]) more_reliable_than)
+  in
+  let id_of = List.mapi (fun i s -> (s, i)) sources |> List.to_seq |> Smap.of_seq in
+  let arcs =
+    List.map
+      (fun (a, b) -> (Smap.find a id_of, Smap.find b id_of))
+      more_reliable_than
+  in
+  let g = Graphs.Digraph.create (List.length sources) arcs in
+  if Graphs.Digraph.has_cycle g then
+    Error "source reliability order is cyclic"
+  else begin
+    let closure = Graphs.Digraph.transitive_closure g in
+    let rule x y =
+      match (Provenance.source prov x, Provenance.source prov y) with
+      | Some sx, Some sy -> (
+        match (Smap.find_opt sx id_of, Smap.find_opt sy id_of) with
+        | Some ix, Some iy -> Graphs.Digraph.mem_arc closure ix iy
+        | None, _ | _, None -> false)
+      | None, _ | _, None -> false
+    in
+    Ok rule
+  end
+
+let on_attribute schema attr ~prefer =
+  match Schema.position schema attr with
+  | None ->
+    Error (Printf.sprintf "schema %s has no attribute %S" (Schema.name schema) attr)
+  | Some i ->
+    if Schema.ty_at schema i <> Schema.TInt then
+      Error (Printf.sprintf "attribute %S is not numeric" attr)
+    else
+      let rule x y =
+        match (Value.as_int (Tuple.get x i), Value.as_int (Tuple.get y i)) with
+        | Some a, Some b -> (
+          match prefer with `Larger -> a > b | `Smaller -> a < b)
+        | None, _ | _, None -> false
+      in
+      Ok rule
+
+let lexicographic rules x y =
+  let rec loop = function
+    | [] -> false
+    | r :: rest ->
+      if r x y then true else if r y x then false else loop rest
+  in
+  loop rules

@@ -1,0 +1,50 @@
+(** Building priorities from user-level preference information.
+
+    Data-cleaning systems expose per-tuple metadata — creation timestamps
+    and data sources (paper, §1) — and the user states preferences such as
+    "source s1 and s2 are more reliable than s3" (Example 3) or "newer
+    data wins". A {e rule} orders two tuples; restricted to the
+    conflicting pairs of a concrete instance it induces a priority.
+
+    Rules are arbitrary and may induce cycles when combined; {!apply}
+    therefore re-validates acyclicity. Rules built with {!by_score} alone
+    are always acyclic (scores strictly decrease along ≻ paths). *)
+
+open Relational
+
+type rule = Tuple.t -> Tuple.t -> bool
+(** [rule x y] = "x is preferred to y". Must be irreflexive in spirit;
+    [apply] only ever calls it on distinct conflicting tuples. *)
+
+val apply : Conflict.t -> rule -> (Priority.t, string) result
+(** Orient each conflict edge by the rule ([x ≻ y] iff [rule x y] and not
+    [rule y x]); fails when the induced relation is cyclic. *)
+
+val apply_exn : Conflict.t -> rule -> Priority.t
+
+val by_score : (Tuple.t -> int) -> rule
+(** Prefer the tuple with the strictly higher score. Acyclic for any
+    scoring function. *)
+
+val newest_first : Provenance.t -> rule
+(** Prefer the tuple with the strictly greater timestamp; tuples without
+    timestamps are incomparable. Acyclic. *)
+
+val oldest_first : Provenance.t -> rule
+
+val source_reliability :
+  Provenance.t -> more_reliable_than:(string * string) list -> (rule, string) result
+(** [(s, s')] states source s is more reliable than s'. The transitive
+    closure of this source order gives the rule: x ≻ y iff source(x)
+    reaches source(y). Fails if the source order is cyclic. Tuples with
+    unknown sources are incomparable. Example 3 uses
+    [[("s1", "s3"); ("s2", "s3")]]. *)
+
+val on_attribute :
+  Schema.t -> string -> prefer:[ `Larger | `Smaller ] -> (rule, string) result
+(** Prefer the tuple whose value at the named numeric attribute is larger
+    (or smaller); name-typed attributes are rejected. Acyclic. *)
+
+val lexicographic : rule list -> rule
+(** The first rule with an opinion (in either direction) decides.
+    Combinations may be cyclic on some instances — {!apply} will say. *)

@@ -1,0 +1,81 @@
+(** Priorities (paper, Definition 2).
+
+    A priority ≻ is a binary relation defined only on conflicting tuples
+    that is acyclic: no tuple dominates itself through the transitive
+    closure. [x ≻ y] reads "x dominates y" — an instruction that, in the
+    conflict between x and y, x is to be kept.
+
+    A priority is {e total} when every conflict edge is oriented. Extending
+    a priority means orienting further conflict edges (§2.2); the result
+    must again be acyclic. Values of this type are immutable and always
+    valid — smart constructors reject arcs off the conflict graph and
+    cycles. *)
+
+open Graphs
+
+type t
+
+type error =
+  | Not_conflicting of int * int
+      (** arc between non-adjacent vertices of the conflict graph *)
+  | Cyclic  (** the relation's transitive closure is not irreflexive *)
+
+val error_to_string : error -> string
+
+val empty : Conflict.t -> t
+(** The priority with no information (used by P3: Rep∅ = Rep). *)
+
+val of_arcs : Conflict.t -> (int * int) list -> (t, error) result
+(** [(u, v)] meaning u ≻ v. Both endpoints must be adjacent in the
+    conflict graph. *)
+
+val of_arcs_exn : Conflict.t -> (int * int) list -> t
+
+val of_tuple_pairs :
+  Conflict.t -> (Relational.Tuple.t * Relational.Tuple.t) list -> (t, error) result
+(** Pairs [(x, y)] meaning x ≻ y, by tuple value. *)
+
+val arcs : t -> (int * int) list
+val arc_count : t -> int
+val dominates : t -> int -> int -> bool
+(** [dominates p x y] is x ≻ y. *)
+
+val dominators : t -> int -> Vset.t
+(** [dominators p y] = {x | x ≻ y}. *)
+
+val dominated : t -> int -> Vset.t
+(** [dominated p x] = {y | x ≻ y}. *)
+
+val is_total : Conflict.t -> t -> bool
+(** Every conflict edge is oriented. *)
+
+val unoriented : Conflict.t -> t -> (int * int) list
+(** Conflict edges carrying no orientation, as [(u, v)] with u < v. *)
+
+val extend : Conflict.t -> t -> (int * int) list -> (t, error) result
+(** Add orientations; fails if the addition leaves the conflict graph or
+    creates a cycle. The result is an extension (⊇) of the input. *)
+
+val is_extension_of : t -> t -> bool
+(** [is_extension_of p q] iff p ⊇ q as arc sets. *)
+
+val one_step_extensions : Conflict.t -> t -> t list
+(** All priorities obtained by orienting exactly one further conflict
+    edge (both directions, keeping only the acyclic ones). Used to test
+    monotonicity (P2). *)
+
+val totalize : Conflict.t -> t -> t
+(** A canonical total extension: unoriented edges are oriented along a
+    topological order of the existing arcs, so the result is acyclic.
+    Deterministic. Implements the "choose one total extension" step of
+    Example 10's T-Rep. *)
+
+val winnow : t -> Vset.t -> Vset.t
+(** ω≻(S) = {t ∈ S | ¬∃t' ∈ S. t' ≻ t} — the winnow operator of [5]
+    restricted to a vertex set. Never empty on a non-empty set, by
+    acyclicity. *)
+
+val restrict : t -> Vset.t -> t
+(** Keep arcs inside the given vertex set (identifiers unchanged). *)
+
+val pp : Format.formatter -> t -> unit

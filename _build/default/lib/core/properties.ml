@@ -1,0 +1,44 @@
+open Graphs
+
+type family_fn = Conflict.t -> Priority.t -> Vset.t list
+
+let of_name name c p = Family.repairs name c p
+
+let subset_of l1 l2 =
+  List.for_all (fun s -> List.exists (Vset.equal s) l2) l1
+
+let p1_nonempty family c p = family c p <> []
+
+let p2_monotone family c p =
+  let selected = family c p in
+  List.for_all
+    (fun p' -> subset_of (family c p') selected)
+    (Priority.one_step_extensions c p)
+
+let p3_no_discrimination family c =
+  let selected = family c (Priority.empty c) in
+  let all = Repair.all c in
+  subset_of selected all && subset_of all selected
+
+let p4_categorical family c p =
+  List.length (family c (Priority.totalize c p)) = 1
+
+type report = { p1 : bool; p2 : bool; p3 : bool; p4 : bool }
+
+let check_all family c p =
+  {
+    p1 = p1_nonempty family c p;
+    p2 = p2_monotone family c p;
+    p3 = p3_no_discrimination family c;
+    p4 = p4_categorical family c p;
+  }
+
+let trivial_family c p =
+  if Priority.is_total c p then [ Winnow.clean c p ] else Repair.all c
+
+let t_rep c p = [ Winnow.clean c (Priority.totalize c p) ]
+
+let pp_report ppf r =
+  let mark b = if b then "holds" else "FAILS" in
+  Format.fprintf ppf "P1 %s, P2 %s, P3 %s, P4 %s" (mark r.p1) (mark r.p2)
+    (mark r.p3) (mark r.p4)

@@ -1,0 +1,50 @@
+(** Executable checkers for the paper's axioms P1–P4 (§1, §3).
+
+    A family of preferred repairs is abstracted as a function from an
+    instance (as a {!Conflict.t}) and a priority to a set of repairs. The
+    checkers decide each axiom on a {e concrete} instance — they validate
+    behaviour on given inputs (as the test suite does on many instances),
+    they are not proofs.
+
+    The module also constructs the paper's cautionary families: the
+    trivial family of Example 6 and T-Rep of Example 10, which satisfy
+    most axioms while making degenerate use of the priority — the reason
+    the paper pairs the axioms with optimality notions (§3.4). *)
+
+open Graphs
+
+type family_fn = Conflict.t -> Priority.t -> Vset.t list
+
+val of_name : Family.name -> family_fn
+
+val p1_nonempty : family_fn -> Conflict.t -> Priority.t -> bool
+(** RepΦ ≠ ∅. *)
+
+val p2_monotone : family_fn -> Conflict.t -> Priority.t -> bool
+(** RepΨ ⊆ RepΦ for every one-step extension Ψ of Φ. Monotonicity for
+    arbitrary extensions follows by induction on oriented edges whenever
+    it holds step-wise along every chain — the tests exercise multi-step
+    chains separately. *)
+
+val p3_no_discrimination : family_fn -> Conflict.t -> bool
+(** Rep∅ = Rep. *)
+
+val p4_categorical : family_fn -> Conflict.t -> Priority.t -> bool
+(** |RepΦ'| = 1 for Φ' a total extension of Φ (via {!Priority.totalize};
+    the tests also quantify over other total extensions). *)
+
+type report = { p1 : bool; p2 : bool; p3 : bool; p4 : bool }
+
+val check_all : family_fn -> Conflict.t -> Priority.t -> report
+
+val trivial_family : family_fn
+(** Example 6: all repairs unless the priority is total, in which case the
+    single repair produced by Algorithm 1. Satisfies P1–P4 on every
+    instance while ignoring non-total priorities entirely. *)
+
+val t_rep : family_fn
+(** Example 10: always the single result of Algorithm 1 under a fixed
+    total extension of the priority ({!Priority.totalize}). A family of
+    globally optimal repairs satisfying P1, P3, P4 — but not P2. *)
+
+val pp_report : Format.formatter -> report -> unit

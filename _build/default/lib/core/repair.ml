@@ -1,0 +1,16 @@
+open Graphs
+
+let all c = Mis.enumerate (Conflict.graph c)
+let iter f c = Mis.iter f (Conflict.graph c)
+let fold f c acc = Mis.fold f (Conflict.graph c) acc
+let exists p c = Mis.exists p (Conflict.graph c)
+let for_all p c = Mis.for_all p (Conflict.graph c)
+let count c = Mis.count (Conflict.graph c)
+let one c = Mis.first (Conflict.graph c)
+let is_repair c s = Undirected.is_maximal_independent (Conflict.graph c) s
+
+let is_repair_relation c r = is_repair c (Conflict.vset_of_relation c r)
+
+let to_relation c s = Conflict.relation_of_vset c s
+
+let all_relations c = List.map (to_relation c) (all c)

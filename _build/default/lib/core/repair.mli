@@ -1,0 +1,35 @@
+(** Repairs (paper, Definition 1).
+
+    A repair of r w.r.t. F is a maximal subset of r consistent with F —
+    equivalently, a maximal independent set of the conflict graph. Repairs
+    are represented as vertex sets of a {!Conflict.t}. *)
+
+open Relational
+open Graphs
+
+val all : Conflict.t -> Vset.t list
+(** All repairs, sorted. Exponential in the worst case (Example 4:
+    2ⁿ repairs on 2n tuples); prefer {!iter}/{!exists} for searches. *)
+
+val iter : (Vset.t -> unit) -> Conflict.t -> unit
+val fold : (Vset.t -> 'a -> 'a) -> Conflict.t -> 'a -> 'a
+val exists : (Vset.t -> bool) -> Conflict.t -> bool
+val for_all : (Vset.t -> bool) -> Conflict.t -> bool
+
+val count : Conflict.t -> int
+
+val one : Conflict.t -> Vset.t
+(** A single repair, greedily (polynomial). *)
+
+val is_repair : Conflict.t -> Vset.t -> bool
+(** Repair checking for the family Rep — PTIME (Figure 5, first row). *)
+
+val is_repair_relation : Conflict.t -> Relation.t -> bool
+(** Same, for a candidate given as a sub-instance. Raises
+    [Invalid_argument] when the candidate contains tuples not in the
+    original instance. *)
+
+val to_relation : Conflict.t -> Vset.t -> Relation.t
+
+val all_relations : Conflict.t -> Relation.t list
+(** All repairs materialized as instances (Example 2's r1, r2, r3). *)

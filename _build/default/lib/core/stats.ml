@@ -1,0 +1,62 @@
+open Graphs
+
+type t = {
+  tuples : int;
+  conflict_edges : int;
+  conflicting_tuples : int;
+  components : int;
+  nontrivial_components : int;
+  largest_component : int;
+  oriented_edges : int;
+  total_priority : bool;
+  repair_count : int;
+  preferred_count : int;
+  certain : int;
+  disputed : int;
+  excluded : int;
+}
+
+let compute family c p =
+  let g = Conflict.graph c in
+  let n = Conflict.size c in
+  let d = Decompose.make c p in
+  let comps = Decompose.components d in
+  let certain = Decompose.certain_tuples family d in
+  let possible = Decompose.possible_tuples family d in
+  let conflicting =
+    Vset.filter
+      (fun v -> not (Vset.is_empty (Undirected.neighbors g v)))
+      (Vset.of_range n)
+  in
+  {
+    tuples = n;
+    conflict_edges = Undirected.edge_count g;
+    conflicting_tuples = Vset.cardinal conflicting;
+    components = List.length comps;
+    nontrivial_components =
+      List.length (List.filter (fun comp -> Vset.cardinal comp > 1) comps);
+    largest_component =
+      List.fold_left (fun acc comp -> max acc (Vset.cardinal comp)) 0 comps;
+    oriented_edges = Priority.arc_count p;
+    total_priority = Priority.is_total c p;
+    repair_count = Decompose.count Family.Rep d;
+    preferred_count = Decompose.count family d;
+    certain = Vset.cardinal certain;
+    disputed = Vset.cardinal (Vset.diff possible certain);
+    excluded = n - Vset.cardinal possible;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>tuples:                 %d@,\
+     conflict edges:         %d (%d tuples involved)@,\
+     components:             %d (%d non-trivial, largest %d)@,\
+     priority:               %d/%d edges oriented%s@,\
+     repairs:                %d@,\
+     preferred repairs:      %d@,\
+     tuple fates:            %d certain, %d disputed, %d excluded@]"
+    s.tuples s.conflict_edges s.conflicting_tuples s.components
+    s.nontrivial_components s.largest_component s.oriented_edges
+    s.conflict_edges
+    (if s.total_priority then " (total)" else "")
+    s.repair_count s.preferred_count s.certain s.disputed s.excluded

@@ -1,0 +1,28 @@
+(** Instance-level inconsistency statistics.
+
+    A one-stop summary of how inconsistent an instance is and how far the
+    given preferences go in resolving it — the numbers a data steward
+    looks at before deciding whether to clean, to query under preferred
+    repairs, or to go collect more preference information. Everything is
+    computed component-wise, so the summary is cheap even when the global
+    repair count is astronomical. *)
+
+type t = {
+  tuples : int;
+  conflict_edges : int;
+  conflicting_tuples : int;  (** tuples with at least one conflict *)
+  components : int;  (** connected components of the conflict graph *)
+  nontrivial_components : int;  (** components with ≥ 2 tuples *)
+  largest_component : int;
+  oriented_edges : int;  (** conflict edges the priority orients *)
+  total_priority : bool;
+  repair_count : int;  (** |Rep|, component-factorized (mod native int) *)
+  preferred_count : int;  (** |X-Rep| for the requested family *)
+  certain : int;  (** tuples in every preferred repair *)
+  disputed : int;  (** tuples in some but not all *)
+  excluded : int;  (** tuples in no preferred repair *)
+}
+
+val compute : Family.name -> Conflict.t -> Priority.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+open Graphs
+
+(* The naive restatement of Algorithm 1 recomputes ω≻ on every iteration,
+   which is quadratic. [clean] and [is_result] instead maintain the
+   winnow set incrementally: for every tuple, count its dominators still
+   present; a tuple enters the winnow set when the count reaches zero.
+   Every vertex is removed once and every conflict edge and priority arc
+   is processed once, so a run costs O((V + E + A) log V). *)
+
+type state = {
+  c : Conflict.t;
+  p : Priority.t;
+  mutable remaining : Vset.t;
+  dom_count : int array;  (* remaining dominators per vertex *)
+  mutable winnow : Vset.t;  (* ω≻(remaining) *)
+}
+
+let init c p =
+  let n = Conflict.size c in
+  let dom_count =
+    Array.init n (fun v -> Vset.cardinal (Priority.dominators p v))
+  in
+  let winnow = ref Vset.empty in
+  Array.iteri (fun v k -> if k = 0 then winnow := Vset.add v !winnow) dom_count;
+  { c; p; remaining = Vset.of_range n; dom_count; winnow = !winnow }
+
+(* Remove the picked vertex and its conflict neighbourhood, updating
+   dominator counts of the survivors. *)
+let pick st x =
+  let gone = Vset.inter (Conflict.vicinity st.c x) st.remaining in
+  st.remaining <- Vset.diff st.remaining gone;
+  st.winnow <- Vset.diff st.winnow gone;
+  Vset.iter
+    (fun w ->
+      Vset.iter
+        (fun y ->
+          if Vset.mem y st.remaining then begin
+            st.dom_count.(y) <- st.dom_count.(y) - 1;
+            if st.dom_count.(y) = 0 then st.winnow <- Vset.add y st.winnow
+          end)
+        (Priority.dominated st.p w))
+    gone
+
+let clean ?(choose = Vset.min_elt) c p =
+  let st = init c p in
+  let rec loop acc =
+    if Vset.is_empty st.remaining then acc
+    else begin
+      assert (not (Vset.is_empty st.winnow));
+      let x = choose st.winnow in
+      pick st x;
+      loop (Vset.add x acc)
+    end
+  in
+  loop Vset.empty
+
+let clean_naive ?(choose = Vset.min_elt) c p =
+  let rec loop remaining acc =
+    if Vset.is_empty remaining then acc
+    else begin
+      let w = Priority.winnow p remaining in
+      assert (not (Vset.is_empty w));
+      let x = choose w in
+      loop (Vset.diff remaining (Conflict.vicinity c x)) (Vset.add x acc)
+    end
+  in
+  loop (Vset.of_range (Conflict.size c)) Vset.empty
+
+(* All runs of Algorithm 1 (exponentially many states in the worst case,
+   like the repair space itself). Distinct choice sequences frequently
+   reach the same set of remaining tuples, so results are memoized per
+   state. *)
+let all_results c p =
+  let module H = Hashtbl in
+  let memo : (Vset.t, Vset.t list) H.t = H.create 64 in
+  let rec results remaining =
+    if Vset.is_empty remaining then [ Vset.empty ]
+    else
+      match H.find_opt memo remaining with
+      | Some rs -> rs
+      | None ->
+        let w = Priority.winnow p remaining in
+        let step x acc =
+          let rest = results (Vset.diff remaining (Conflict.vicinity c x)) in
+          List.fold_left (fun acc s -> Vset.add x s :: acc) acc rest
+        in
+        let rs = List.sort_uniq Vset.compare (Vset.fold step w []) in
+        H.replace memo remaining rs;
+        rs
+  in
+  results (Vset.of_range (Conflict.size c))
+
+let is_result c p candidate =
+  Undirected.is_independent (Conflict.graph c) candidate
+  && begin
+       let st = init c p in
+       let rec loop () =
+         if Vset.is_empty st.remaining then true
+         else
+           match Vset.min_elt_opt (Vset.inter st.winnow candidate) with
+           | None -> false
+           | Some x ->
+             pick st x;
+             loop ()
+       in
+       loop ()
+     end

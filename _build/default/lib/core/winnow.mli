@@ -1,0 +1,32 @@
+(** Algorithm 1 of the paper: cleaning through iterated winnow.
+
+    The algorithm repeatedly selects an undominated tuple, adds it to the
+    result, and discards the tuple together with its conflict
+    neighbourhood. For a total priority the result is a single repair
+    independent of the choices (Prop. 1); for a partial priority the set of
+    results over all choice sequences is exactly the family C-Rep of
+    common repairs (Prop. 7). *)
+
+open Graphs
+
+val clean : ?choose:(Vset.t -> int) -> Conflict.t -> Priority.t -> Vset.t
+(** One run of Algorithm 1; [choose] resolves Step 3 (default:
+    smallest vertex id, making the run deterministic). The result is
+    always a repair, and a globally optimal one (§3.4). The winnow set is
+    maintained incrementally, so a run costs O((V + E + A) log V). *)
+
+val clean_naive : ?choose:(Vset.t -> int) -> Conflict.t -> Priority.t -> Vset.t
+(** The literal restatement of Algorithm 1, recomputing ω≻ from scratch
+    on every iteration — quadratic. Kept as the reference implementation:
+    the test suite checks [clean] against it, and the benchmark harness
+    measures the gap (ablation of the incremental winnow). *)
+
+val all_results : Conflict.t -> Priority.t -> Vset.t list
+(** All outcomes of Algorithm 1 over every choice sequence = C-Rep
+    (Prop. 7), sorted. Memoizes on the set of remaining tuples; worst-case
+    exponential, like the repair space itself. *)
+
+val is_result : Conflict.t -> Priority.t -> Vset.t -> bool
+(** Polynomial-time C-Rep membership: simulate Algorithm 1 with Step-3
+    choices restricted to ω≻(r) ∩ r' (§4.2). Any greedy choice decides
+    membership — an exchange argument shows order independence. *)

@@ -1,0 +1,1 @@
+lib/dbio/instance_format.ml: Buffer Constraints Core In_channel List Printf Provenance Relation Relational Schema String Tuple Value

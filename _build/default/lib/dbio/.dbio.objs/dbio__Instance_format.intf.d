@@ -1,0 +1,1 @@
+lib/dbio/instance_format.mli: Constraints Core Provenance Relation Relational

@@ -1,0 +1,346 @@
+open Relational
+
+type pref =
+  | Source_pair of string * string
+  | Newest
+  | Oldest
+  | Attribute of string * [ `Larger | `Smaller ]
+  | Formula of Core.Pref_formula.t
+
+type spec = {
+  relation : Relation.t;
+  fds : Constraints.Fd.t list;
+  provenance : Provenance.t;
+  prefs : pref list;
+}
+
+(* --- tokenizing one line ------------------------------------------------ *)
+
+(* Split on whitespace, keeping quoted tokens ('...') together and
+   tagging them so 'R&D' stays a name even if it looks numeric. *)
+type token = Bare of string | Quoted of string
+
+let tokenize_line line =
+  let n = String.length line in
+  let rec loop i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      let c = line.[i] in
+      if c = ' ' || c = '\t' then loop (i + 1) acc
+      else if c = '#' then Ok (List.rev acc)
+      else if c = '\'' then
+        let rec scan j =
+          if j >= n then Error "unterminated quote"
+          else if line.[j] = '\'' then
+            loop (j + 1) (Quoted (String.sub line (i + 1) (j - i - 1)) :: acc)
+          else scan (j + 1)
+        in
+        scan (i + 1)
+      else
+        let rec scan j =
+          if j < n && line.[j] <> ' ' && line.[j] <> '\t' then scan (j + 1)
+          else j
+        in
+        let j = scan i in
+        loop j (Bare (String.sub line i (j - i)) :: acc)
+  in
+  loop 0 []
+
+let token_text = function Bare s | Quoted s -> s
+
+(* --- declaration parsers ------------------------------------------------ *)
+
+let parse_schema_decl body =
+  (* body looks like: Mgr(Name:name, Dept:name, Salary:int) *)
+  match String.index_opt body '(' with
+  | None -> Error "expected '(' in relation declaration"
+  | Some lp ->
+    if body.[String.length body - 1] <> ')' then
+      Error "expected ')' closing the relation declaration"
+    else begin
+      let rel_name = String.trim (String.sub body 0 lp) in
+      let inner = String.sub body (lp + 1) (String.length body - lp - 2) in
+      let parse_attr chunk =
+        match String.split_on_char ':' (String.trim chunk) with
+        | [ attr; ty ] -> (
+          match String.trim (String.lowercase_ascii ty) with
+          | "name" | "string" -> Ok (String.trim attr, Schema.TName)
+          | "int" | "nat" -> Ok (String.trim attr, Schema.TInt)
+          | other -> Error (Printf.sprintf "unknown attribute type %S" other))
+        | _ -> Error (Printf.sprintf "cannot parse attribute %S" chunk)
+      in
+      let rec collect = function
+        | [] -> Ok []
+        | chunk :: rest -> (
+          match parse_attr chunk with
+          | Error _ as e -> e
+          | Ok a -> (
+            match collect rest with Error _ as e -> e | Ok l -> Ok (a :: l)))
+      in
+      match collect (String.split_on_char ',' inner) with
+      | Error e -> Error e
+      | Ok attrs -> (
+        if rel_name = "" then Error "empty relation name"
+        else
+          try Ok (Schema.make rel_name attrs)
+          with Invalid_argument m -> Error m)
+    end
+
+let parse_value ty tok =
+  match (ty, tok) with
+  | Schema.TName, (Quoted s | Bare s) -> Ok (Value.Name s)
+  | Schema.TInt, Quoted s ->
+    Error (Printf.sprintf "quoted value %S for an int attribute" s)
+  | Schema.TInt, Bare s -> (
+    match int_of_string_opt s with
+    | Some n -> Ok (Value.Int n)
+    | None -> Error (Printf.sprintf "expected an integer, got %S" s))
+
+let parse_annotation info tok =
+  match String.index_opt tok '=' with
+  | None -> Error (Printf.sprintf "unexpected trailing token %S" tok)
+  | Some i -> (
+    let key = String.sub tok 0 i in
+    let value = String.sub tok (i + 1) (String.length tok - i - 1) in
+    match key with
+    | "source" -> Ok { info with Provenance.source = Some value }
+    | "timestamp" -> (
+      match int_of_string_opt value with
+      | Some ts -> Ok { info with Provenance.timestamp = Some ts }
+      | None -> Error (Printf.sprintf "timestamp %S is not an integer" value))
+    | _ -> Error (Printf.sprintf "unknown annotation %S" key))
+
+let parse_tuple_decl schema tokens =
+  let arity = Schema.arity schema in
+  if List.length tokens < arity then
+    Error
+      (Printf.sprintf "tuple has %d values but the schema needs %d"
+         (List.length tokens) arity)
+  else begin
+    let rec split i toks values =
+      if i = arity then Ok (List.rev values, toks)
+      else
+        match toks with
+        | [] -> assert false
+        | tok :: rest -> (
+          match parse_value (Schema.ty_at schema i) tok with
+          | Error e -> Error e
+          | Ok v -> split (i + 1) rest (v :: values))
+    in
+    match split 0 tokens [] with
+    | Error e -> Error e
+    | Ok (values, trailing) -> (
+      let rec annotations info = function
+        | [] -> Ok info
+        | tok :: rest -> (
+          match parse_annotation info (token_text tok) with
+          | Error _ as e -> e
+          | Ok info -> annotations info rest)
+      in
+      match annotations Provenance.no_info trailing with
+      | Error e -> Error e
+      | Ok info -> Ok (Tuple.make values, info))
+  end
+
+let parse_prefer_decl body tokens =
+  match List.map token_text tokens with
+  | "formula" :: _ :: _ ->
+    (* re-parse from the raw text to keep quoting and operators intact *)
+    let text = String.trim (String.sub body 7 (String.length body - 7)) in
+    (match Core.Pref_formula.parse text with
+    | Ok f -> Ok (Formula f)
+    | Error e -> Error e)
+  | [ "newest" ] -> Ok Newest
+  | [ "oldest" ] -> Ok Oldest
+  | [ "source"; hi; ">"; lo ] -> Ok (Source_pair (hi, lo))
+  | [ "attribute"; attr; "larger" ] -> Ok (Attribute (attr, `Larger))
+  | [ "attribute"; attr; "smaller" ] -> Ok (Attribute (attr, `Smaller))
+  | _ -> Error "cannot parse prefer declaration"
+
+let parse_pref body =
+  let body = String.trim body in
+  match tokenize_line body with
+  | Error e -> Error e
+  | Ok tokens -> parse_prefer_decl body tokens
+
+(* --- whole documents ---------------------------------------------------- *)
+
+type state = {
+  schema : Schema.t option;
+  tuples : (Tuple.t * Provenance.info) list;
+  fds_acc : Constraints.Fd.t list;
+  prefs_acc : pref list;
+}
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let step (lineno, acc) line =
+    let lineno = lineno + 1 in
+    match acc with
+    | Error _ -> (lineno, acc)
+    | Ok st -> (
+      let fail msg = (lineno, Error (Printf.sprintf "line %d: %s" lineno msg)) in
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then (lineno, acc)
+      else
+        match String.index_opt trimmed ' ' with
+        | None -> fail (Printf.sprintf "cannot parse %S" trimmed)
+        | Some sp -> (
+          let keyword = String.sub trimmed 0 sp in
+          let body = String.trim (String.sub trimmed sp (String.length trimmed - sp)) in
+          match keyword with
+          | "relation" -> (
+            if st.schema <> None then fail "duplicate relation declaration"
+            else
+              match parse_schema_decl body with
+              | Error e -> fail e
+              | Ok schema -> (lineno, Ok { st with schema = Some schema }))
+          | "fd" -> (
+            match Constraints.Fd.of_string body with
+            | Error e -> fail e
+            | Ok fd -> (lineno, Ok { st with fds_acc = fd :: st.fds_acc }))
+          | "tuple" -> (
+            match st.schema with
+            | None -> fail "tuple before relation declaration"
+            | Some schema -> (
+              match tokenize_line body with
+              | Error e -> fail e
+              | Ok tokens -> (
+                match parse_tuple_decl schema tokens with
+                | Error e -> fail e
+                | Ok entry -> (lineno, Ok { st with tuples = entry :: st.tuples }))))
+          | "prefer" -> (
+            match tokenize_line body with
+            | Error e -> fail e
+            | Ok tokens -> (
+              match parse_prefer_decl body tokens with
+              | Error e -> fail e
+              | Ok pref -> (lineno, Ok { st with prefs_acc = pref :: st.prefs_acc })))
+          | other -> fail (Printf.sprintf "unknown declaration %S" other)))
+  in
+  let _, result =
+    List.fold_left step
+      (0, Ok { schema = None; tuples = []; fds_acc = []; prefs_acc = [] })
+      lines
+  in
+  match result with
+  | Error _ as e -> e
+  | Ok st -> (
+    match st.schema with
+    | None -> Error "no relation declaration"
+    | Some schema -> (
+      let fds = List.rev st.fds_acc in
+      match Constraints.Fd.wf_all schema fds with
+      | Error e -> Error e
+      | Ok () -> (
+        try
+          let tuples = List.rev st.tuples in
+          let relation = Relation.of_tuples schema (List.map fst tuples) in
+          let provenance =
+            Provenance.of_list
+              (List.filter
+                 (fun (_, i) -> i <> Provenance.no_info)
+                 tuples)
+          in
+          Ok { relation; fds; provenance; prefs = List.rev st.prefs_acc }
+        with Invalid_argument m -> Error m)))
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error m -> Error m
+
+let to_rule spec =
+  let source_pairs =
+    List.filter_map
+      (function Source_pair (hi, lo) -> Some (hi, lo) | _ -> None)
+      spec.prefs
+  in
+  let source_rule =
+    if source_pairs = [] then Ok []
+    else
+      match
+        Core.Pref_rules.source_reliability spec.provenance
+          ~more_reliable_than:source_pairs
+      with
+      | Error e -> Error e
+      | Ok r -> Ok [ r ]
+  in
+  let schema = Relation.schema spec.relation in
+  let other_rules =
+    List.fold_left
+      (fun acc pref ->
+        match (acc, pref) with
+        | (Error _ as e), _ -> e
+        | Ok rules, Source_pair _ -> Ok rules
+        | Ok rules, Newest ->
+          Ok (Core.Pref_rules.newest_first spec.provenance :: rules)
+        | Ok rules, Oldest ->
+          Ok (Core.Pref_rules.oldest_first spec.provenance :: rules)
+        | Ok rules, Attribute (attr, prefer) -> (
+          match Core.Pref_rules.on_attribute schema attr ~prefer with
+          | Error e -> Error e
+          | Ok r -> Ok (r :: rules))
+        | Ok rules, Formula f -> (
+          match Core.Pref_formula.to_rule schema f with
+          | Error e -> Error e
+          | Ok r -> Ok (r :: rules)))
+      (Ok []) spec.prefs
+  in
+  match (source_rule, other_rules) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok src, Ok others -> Ok (Core.Pref_rules.lexicographic (src @ List.rev others))
+
+let print spec =
+  let buf = Buffer.create 1024 in
+  let schema = Relation.schema spec.relation in
+  let ty_name = function Schema.TName -> "name" | Schema.TInt -> "int" in
+  Buffer.add_string buf
+    (Printf.sprintf "relation %s(%s)\n" (Schema.name schema)
+       (String.concat ", "
+          (List.map
+             (fun a ->
+               Printf.sprintf "%s:%s" a.Schema.attr_name (ty_name a.Schema.attr_ty))
+             (Schema.attributes schema))));
+  List.iter
+    (fun fd ->
+      Buffer.add_string buf
+        (Printf.sprintf "fd %s\n" (Constraints.Fd.to_string fd)))
+    spec.fds;
+  Relation.iter
+    (fun t ->
+      let values =
+        List.map
+          (function
+            | Value.Name s -> Printf.sprintf "'%s'" s
+            | Value.Int n -> string_of_int n)
+          (Tuple.values t)
+      in
+      let info = Provenance.get spec.provenance t in
+      let annots =
+        (match info.Provenance.source with
+        | Some s -> [ Printf.sprintf "source=%s" s ]
+        | None -> [])
+        @
+        match info.Provenance.timestamp with
+        | Some ts -> [ Printf.sprintf "timestamp=%d" ts ]
+        | None -> []
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "tuple %s%s\n" (String.concat " " values)
+           (match annots with [] -> "" | l -> "  " ^ String.concat " " l)))
+    spec.relation;
+  List.iter
+    (fun pref ->
+      Buffer.add_string buf
+        (match pref with
+        | Source_pair (hi, lo) -> Printf.sprintf "prefer source %s > %s\n" hi lo
+        | Newest -> "prefer newest\n"
+        | Oldest -> "prefer oldest\n"
+        | Attribute (a, `Larger) -> Printf.sprintf "prefer attribute %s larger\n" a
+        | Attribute (a, `Smaller) ->
+          Printf.sprintf "prefer attribute %s smaller\n" a
+        | Formula f ->
+          Printf.sprintf "prefer formula %s\n" (Core.Pref_formula.to_string f)))
+    spec.prefs;
+  Buffer.contents buf

@@ -1,0 +1,66 @@
+(** A plain-text format for inconsistent-database instances.
+
+    One declaration per line; [#] starts a comment. Example (the paper's
+    running example with Example 3's reliability information):
+
+    {v
+    # integrated manager table
+    relation Mgr(Name:name, Dept:name, Salary:int, Reports:int)
+    fd Dept -> Name Salary Reports
+    fd Name -> Dept Salary Reports
+    tuple 'Mary' 'R&D' 40000 3  source=s1
+    tuple 'John' 'R&D' 10000 2  source=s2
+    tuple 'Mary' 'IT'  20000 1  source=s3
+    tuple 'John' 'PR'  30000 4  source=s3
+    prefer source s1 > s3
+    prefer source s2 > s3
+    v}
+
+    Tuple values are parsed against the schema: [name] attributes accept
+    quoted (['R&D']) or bare tokens, [int] attributes require integers.
+    Optional [source=…] and [timestamp=…] annotations feed the preference
+    rules. Preference declarations:
+
+    - [prefer source S > S']  — source reliability (Example 3)
+    - [prefer newest] / [prefer oldest]  — timestamp order (§1)
+    - [prefer attribute A larger] / [... smaller]  — numeric attribute
+    - [prefer formula F]  — an intrinsic preference formula over the
+      designators t1 (preferred) and t2, e.g.
+      [prefer formula t1.Salary > t2.Salary] (see {!Core.Pref_formula})
+
+    Multiple [prefer] lines combine lexicographically in file order
+    (source pairs are pooled into one reliability order first). *)
+
+open Relational
+
+type pref =
+  | Source_pair of string * string
+  | Newest
+  | Oldest
+  | Attribute of string * [ `Larger | `Smaller ]
+  | Formula of Core.Pref_formula.t
+
+type spec = {
+  relation : Relation.t;
+  fds : Constraints.Fd.t list;
+  provenance : Provenance.t;
+  prefs : pref list;
+}
+
+val parse : string -> (spec, string) result
+(** Errors carry the 1-based line number. *)
+
+val parse_pref : string -> (pref, string) result
+(** Parse the body of a single [prefer] declaration, e.g.
+    ["source s1 > s3"] or ["formula t1.B > t2.B"] — what follows the
+    [prefer] keyword on a line. Used by the interactive shell. *)
+
+val parse_file : string -> (spec, string) result
+
+val to_rule : spec -> (Core.Pref_rules.rule, string) result
+(** The combined preference rule declared by the spec (a rule that orders
+    nothing if no [prefer] lines are present). *)
+
+val print : spec -> string
+(** Renders a spec back to the textual format; [parse (print s)] yields a
+    spec with equal relation, FDs and preferences. *)

@@ -1,0 +1,1 @@
+lib/graphs/digraph.ml: Array Format List Printf Vset

@@ -1,0 +1,1 @@
+lib/graphs/digraph.mli: Format Vset

@@ -1,0 +1,1 @@
+lib/graphs/hypergraph.ml: Array Format Fun Hashtbl List Undirected Vset

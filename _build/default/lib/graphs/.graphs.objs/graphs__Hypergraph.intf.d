@@ -1,0 +1,1 @@
+lib/graphs/hypergraph.mli: Format Undirected Vset

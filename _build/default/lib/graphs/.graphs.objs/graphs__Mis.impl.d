@@ -1,0 +1,1 @@
+lib/graphs/mis.ml: List Undirected Vset

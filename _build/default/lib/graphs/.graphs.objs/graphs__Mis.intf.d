@@ -1,0 +1,1 @@
+lib/graphs/mis.mli: Undirected Vset

@@ -1,0 +1,1 @@
+lib/graphs/undirected.ml: Array Format Hashtbl List Printf Vset

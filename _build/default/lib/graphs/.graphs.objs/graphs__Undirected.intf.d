@@ -1,0 +1,1 @@
+lib/graphs/undirected.mli: Format Vset

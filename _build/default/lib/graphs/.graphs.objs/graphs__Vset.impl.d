@@ -1,0 +1,1 @@
+lib/graphs/vset.ml: Format Int Set

@@ -1,0 +1,1 @@
+lib/graphs/vset.mli: Format Set

@@ -1,0 +1,118 @@
+type t = { n : int; succ : Vset.t array; pred : Vset.t array }
+
+let check_vertex n v =
+  if v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Digraph: vertex %d out of range [0,%d)" v n)
+
+let create n arc_list =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  let succ = Array.make n Vset.empty in
+  let pred = Array.make n Vset.empty in
+  let add (u, v) =
+    check_vertex n u;
+    check_vertex n v;
+    if u = v then invalid_arg "Digraph.create: self-loop";
+    succ.(u) <- Vset.add v succ.(u);
+    pred.(v) <- Vset.add u pred.(v)
+  in
+  List.iter add arc_list;
+  { n; succ; pred }
+
+let size g = g.n
+
+let succ g v =
+  check_vertex g.n v;
+  g.succ.(v)
+
+let pred g v =
+  check_vertex g.n v;
+  g.pred.(v)
+
+let mem_arc g u v = Vset.mem v (succ g u)
+
+let arcs g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    Vset.iter (fun v -> acc := (u, v) :: !acc) g.succ.(u)
+  done;
+  List.sort compare !acc
+
+let arc_count g =
+  Array.fold_left (fun acc s -> acc + Vset.cardinal s) 0 g.succ
+
+let add_arc g u v =
+  check_vertex g.n u;
+  check_vertex g.n v;
+  if u = v then invalid_arg "Digraph.add_arc: self-loop";
+  let succ = Array.copy g.succ and pred = Array.copy g.pred in
+  succ.(u) <- Vset.add v succ.(u);
+  pred.(v) <- Vset.add u pred.(v);
+  { g with succ; pred }
+
+(* Three-colour DFS: 0 unvisited, 1 on the stack, 2 done. *)
+let has_cycle g =
+  let colour = Array.make g.n 0 in
+  let exception Cycle in
+  let rec visit v =
+    match colour.(v) with
+    | 1 -> raise Cycle
+    | 2 -> ()
+    | _ ->
+      colour.(v) <- 1;
+      Vset.iter visit g.succ.(v);
+      colour.(v) <- 2
+  in
+  try
+    for v = 0 to g.n - 1 do
+      if colour.(v) = 0 then visit v
+    done;
+    false
+  with Cycle -> true
+
+let topological_order g =
+  let colour = Array.make g.n 0 in
+  let order = ref [] in
+  let exception Cycle in
+  let rec visit v =
+    match colour.(v) with
+    | 1 -> raise Cycle
+    | 2 -> ()
+    | _ ->
+      colour.(v) <- 1;
+      Vset.iter visit g.succ.(v);
+      colour.(v) <- 2;
+      order := v :: !order
+  in
+  try
+    for v = 0 to g.n - 1 do
+      if colour.(v) = 0 then visit v
+    done;
+    Some !order
+  with Cycle -> None
+
+let reachable g start =
+  let seen = ref Vset.empty in
+  let rec visit v =
+    if not (Vset.mem v !seen) then begin
+      seen := Vset.add v !seen;
+      Vset.iter visit g.succ.(v)
+    end
+  in
+  Vset.iter visit g.succ.(start);
+  !seen
+
+let transitive_closure g =
+  let arcs = ref [] in
+  for u = 0 to g.n - 1 do
+    Vset.iter (fun v -> arcs := (u, v) :: !arcs) (reachable g u)
+  done;
+  create g.n !arcs
+
+let restrict g s =
+  let keep = List.filter (fun (u, v) -> Vset.mem u s && Vset.mem v s) (arcs g) in
+  create g.n keep
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph on %d vertices:@," g.n;
+  List.iter (fun (u, v) -> Format.fprintf ppf "  %d -> %d@," u v) (arcs g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** Directed graphs over vertices [0 .. n-1].
+
+    Priorities (paper, Def. 2) are acyclic directed edge sets laid over the
+    conflict graph; this module supplies the directed-graph machinery:
+    cycle detection, topological order, transitive closure, reachability. *)
+
+type t
+
+val create : int -> (int * int) list -> t
+(** [create n arcs] builds a digraph with arcs [(u, v)] meaning [u → v].
+    Self-loops are rejected; duplicate arcs are collapsed. *)
+
+val size : t -> int
+val arc_count : t -> int
+
+val arcs : t -> (int * int) list
+(** In lexicographic order. *)
+
+val mem_arc : t -> int -> int -> bool
+
+val succ : t -> int -> Vset.t
+(** Targets of arcs leaving [v]. *)
+
+val pred : t -> int -> Vset.t
+(** Sources of arcs entering [v]. *)
+
+val add_arc : t -> int -> int -> t
+(** Functional update; the original graph is unchanged. *)
+
+val has_cycle : t -> bool
+(** True iff some vertex reaches itself through a non-empty path, i.e.
+    the relation's transitive closure is not irreflexive. *)
+
+val topological_order : t -> int list option
+(** [Some order] listing all vertices, sources first, iff acyclic. *)
+
+val transitive_closure : t -> t
+
+val reachable : t -> int -> Vset.t
+(** All vertices reachable from [v] through non-empty paths.
+    [v] itself is included only if it lies on a cycle. *)
+
+val restrict : t -> Vset.t -> t
+(** Keep only arcs with both endpoints in the given set (vertex ids are
+    preserved; the vertex count is unchanged). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+type t = { n : int; edges : Vset.t list; incident : Vset.t list array }
+
+let create n raw_edges =
+  if n < 0 then invalid_arg "Hypergraph.create: negative size";
+  List.iter
+    (fun e ->
+      if Vset.is_empty e then invalid_arg "Hypergraph.create: empty edge";
+      Vset.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            invalid_arg "Hypergraph.create: vertex out of range")
+        e)
+    raw_edges;
+  let distinct = List.sort_uniq Vset.compare raw_edges in
+  (* Drop edges implied by a subset: if e ⊂ e' then any set containing e'
+     contains e, so e' never matters for independence. *)
+  let minimal =
+    List.filter
+      (fun e ->
+        not
+          (List.exists
+             (fun e' -> (not (Vset.equal e e')) && Vset.subset e' e)
+             distinct))
+      distinct
+  in
+  let incident = Array.make n [] in
+  List.iter
+    (fun e -> Vset.iter (fun v -> incident.(v) <- e :: incident.(v)) e)
+    minimal;
+  { n; edges = minimal; incident }
+
+let size h = h.n
+let edges h = h.edges
+
+let edges_containing h v =
+  if v < 0 || v >= h.n then invalid_arg "Hypergraph.edges_containing";
+  h.incident.(v)
+
+let is_independent h s =
+  not (List.exists (fun e -> Vset.subset e s) h.edges)
+
+(* v can be added to independent s iff no edge becomes fully contained. *)
+let addable h s v =
+  not (Vset.mem v s)
+  && not
+       (List.exists
+          (fun e -> Vset.subset (Vset.remove v e) s)
+          h.incident.(v))
+
+let is_maximal_independent h s =
+  is_independent h s
+  && not (List.exists (fun v -> addable h s v) (List.init h.n Fun.id))
+
+let enumerate h =
+  (* Branch on an uncovered edge, excluding one of its vertices; at each
+     leaf the excluded set is a transversal, so its complement is
+     independent; keep only the maximal ones and de-duplicate. Every
+     maximal independent set M is reached along the branch that always
+     excludes a vertex of V \ M. *)
+  let seen = Hashtbl.create 64 in
+  let results = ref [] in
+  let all = Vset.of_range h.n in
+  let rec go excluded = function
+    | [] ->
+      let candidate = Vset.diff all excluded in
+      if
+        is_maximal_independent h candidate
+        && not (Hashtbl.mem seen candidate)
+      then begin
+        Hashtbl.replace seen candidate ();
+        results := candidate :: !results
+      end
+    | e :: rest ->
+      if Vset.is_empty (Vset.inter e excluded) then
+        Vset.iter (fun v -> go (Vset.add v excluded) rest) e
+      else go excluded rest
+  in
+  (* Rescan the full edge list until every edge is hit: an edge skipped as
+     "already hit" stays hit because [excluded] only grows. *)
+  go Vset.empty h.edges;
+  List.sort Vset.compare !results
+
+let of_graph g =
+  let edges =
+    List.map (fun (u, v) -> Vset.of_list [ u; v ]) (Undirected.edges g)
+  in
+  create (Undirected.size g) edges
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>hypergraph on %d vertices:@," h.n;
+  List.iter (fun e -> Format.fprintf ppf "  %a@," Vset.pp e) h.edges;
+  Format.fprintf ppf "@]"

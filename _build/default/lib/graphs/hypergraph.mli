@@ -1,0 +1,35 @@
+(** Conflict hypergraphs.
+
+    The paper's §6 points to the generalization of conflict graphs to
+    hypergraphs [6], which handle denial constraints: a single conflict may
+    involve more than two tuples, so a conflict becomes a hyperedge and a
+    repair becomes a maximal set containing no hyperedge in full. *)
+
+type t
+
+val create : int -> Vset.t list -> t
+(** [create n edges] builds a hypergraph on vertices [0 .. n-1]. Edges of
+    cardinality 0 are rejected ([Invalid_argument]: an empty conflict would
+    make every subset inconsistent). Edges of cardinality 1 are allowed and
+    mean the vertex alone is inconsistent (e.g. a tuple violating a
+    one-tuple denial constraint). Duplicate edges are collapsed; an edge
+    that is a superset of another is dropped (it is implied). *)
+
+val size : t -> int
+val edges : t -> Vset.t list
+
+val edges_containing : t -> int -> Vset.t list
+
+val is_independent : t -> Vset.t -> bool
+(** No hyperedge is fully contained in the set. *)
+
+val is_maximal_independent : t -> Vset.t -> bool
+
+val enumerate : t -> Vset.t list
+(** All maximal independent sets, sorted by [Vset.compare]. Exponential in
+    the worst case, like its graph counterpart. *)
+
+val of_graph : Undirected.t -> t
+(** Each graph edge becomes a 2-element hyperedge. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+(* Bron–Kerbosch with pivoting, phrased for independent sets.
+
+   In clique terms on the complement graph: the complement-neighbourhood of
+   a vertex [v] is co(v) = V \ ({v} ∪ n(v)).  The branch set at a node with
+   candidates P and excluded X is P \ co(u) = P ∩ ({u} ∪ n(u)) for the
+   pivot u, so a pivot with few conflict-neighbours inside P is best; in
+   particular an isolated pivot yields a single branch. *)
+
+exception Stop
+
+let iter f g =
+  let n = Undirected.size g in
+  (* P ∩ co(v): candidates compatible with picking v. *)
+  let compatible p v = Vset.remove v (Vset.diff p (Undirected.neighbors g v)) in
+  let pick_pivot p x =
+    (* Minimize |P ∩ ({u} ∪ n(u))| over u ∈ P ∪ X. *)
+    let score u =
+      Vset.cardinal (Vset.inter p (Undirected.vicinity g u))
+    in
+    let best u acc =
+      match acc with
+      | Some (_, s) when s <= score u -> acc
+      | _ -> Some (u, score u)
+    in
+    match Vset.fold best p (Vset.fold best x None) with
+    | Some (u, _) -> u
+    | None -> assert false
+  in
+  let rec extend r p x =
+    if Vset.is_empty p && Vset.is_empty x then f r
+    else begin
+      let pivot = pick_pivot p x in
+      let branch = Vset.inter p (Undirected.vicinity g pivot) in
+      let step v (p, x) =
+        extend (Vset.add v r) (compatible p v) (compatible x v);
+        (Vset.remove v p, Vset.add v x)
+      in
+      ignore (Vset.fold step branch (p, x))
+    end
+  in
+  extend Vset.empty (Vset.of_range n) Vset.empty
+
+let fold f g acc =
+  let acc = ref acc in
+  iter (fun s -> acc := f s !acc) g;
+  !acc
+
+let enumerate g = List.sort Vset.compare (fold (fun s acc -> s :: acc) g [])
+let count g = fold (fun _ acc -> acc + 1) g 0
+
+let first g =
+  let n = Undirected.size g in
+  let rec loop v acc =
+    if v >= n then acc
+    else if Vset.is_empty (Vset.inter (Undirected.neighbors g v) acc) then
+      loop (v + 1) (Vset.add v acc)
+    else loop (v + 1) acc
+  in
+  loop 0 Vset.empty
+
+let exists p g =
+  try
+    iter (fun s -> if p s then raise Stop) g;
+    false
+  with Stop -> true
+
+let for_all p g = not (exists (fun s -> not (p s)) g)

@@ -1,0 +1,34 @@
+(** Enumeration of maximal independent sets.
+
+    The repairs of an instance w.r.t. a set of functional dependencies are
+    exactly the maximal independent sets of its conflict graph (paper,
+    §2.1), so this enumerator is the engine behind [Core.Repair.all].
+
+    The algorithm is Bron–Kerbosch with pivoting run on the complement
+    graph without materializing it: a maximal independent set of [g] is a
+    maximal clique of the complement of [g]. The pivot rule makes vertices
+    without conflicts cost a single branch, so the running time is governed
+    by the conflicting part of the instance only. Beware that the number of
+    maximal independent sets is exponential in the worst case (Example 4 of
+    the paper exhibits 2^n repairs on 2n tuples). *)
+
+val iter : (Vset.t -> unit) -> Undirected.t -> unit
+(** Calls the function once per maximal independent set, in no specified
+    order. The empty graph on 0 vertices has exactly one maximal
+    independent set: the empty set. *)
+
+val fold : (Vset.t -> 'a -> 'a) -> Undirected.t -> 'a -> 'a
+
+val enumerate : Undirected.t -> Vset.t list
+(** All maximal independent sets, sorted by [Vset.compare]. *)
+
+val count : Undirected.t -> int
+
+val first : Undirected.t -> Vset.t
+(** One maximal independent set, computed greedily in O(n + m). *)
+
+val exists : (Vset.t -> bool) -> Undirected.t -> bool
+(** [exists p g] stops the enumeration as soon as [p] holds for some
+    maximal independent set. *)
+
+val for_all : (Vset.t -> bool) -> Undirected.t -> bool

@@ -1,0 +1,102 @@
+type t = { n : int; adj : Vset.t array }
+
+let check_vertex n v =
+  if v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Undirected: vertex %d out of range [0,%d)" v n)
+
+let create n edge_list =
+  if n < 0 then invalid_arg "Undirected.create: negative size";
+  let adj = Array.make n Vset.empty in
+  let add_edge (u, v) =
+    check_vertex n u;
+    check_vertex n v;
+    if u = v then invalid_arg "Undirected.create: self-loop";
+    adj.(u) <- Vset.add v adj.(u);
+    adj.(v) <- Vset.add u adj.(v)
+  in
+  List.iter add_edge edge_list;
+  { n; adj }
+
+let size g = g.n
+
+let neighbors g v =
+  check_vertex g.n v;
+  g.adj.(v)
+
+let vicinity g v = Vset.add v (neighbors g v)
+let degree g v = Vset.cardinal (neighbors g v)
+let mem_edge g u v = Vset.mem v (neighbors g u)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let higher = Vset.filter (fun v -> v > u) g.adj.(u) in
+    Vset.iter (fun v -> acc := (u, v) :: !acc) higher
+  done;
+  List.sort compare !acc
+
+let edge_count g = List.length (edges g)
+let vertices g = Vset.of_range g.n
+
+let isolated g =
+  Vset.filter (fun v -> Vset.is_empty g.adj.(v)) (vertices g)
+
+let is_independent g s =
+  Vset.for_all (fun v -> Vset.is_empty (Vset.inter g.adj.(v) s)) s
+
+let is_maximal_independent g s =
+  is_independent g s
+  && Vset.for_all
+       (fun v -> Vset.mem v s || not (Vset.is_empty (Vset.inter g.adj.(v) s)))
+       (vertices g)
+
+let induced g s =
+  let mapping = Array.of_list (Vset.elements s) in
+  let back = Hashtbl.create (Array.length mapping) in
+  Array.iteri (fun i v -> Hashtbl.replace back v i) mapping;
+  let edge_list = ref [] in
+  Array.iteri
+    (fun i v ->
+      Vset.iter
+        (fun w ->
+          match Hashtbl.find_opt back w with
+          | Some j when i < j -> edge_list := (i, j) :: !edge_list
+          | Some _ | None -> ())
+        g.adj.(v))
+    mapping;
+  (create (Array.length mapping) !edge_list, mapping)
+
+let connected_components g =
+  let seen = Array.make g.n false in
+  let component start =
+    let rec visit v acc =
+      if seen.(v) then acc
+      else begin
+        seen.(v) <- true;
+        Vset.fold visit g.adj.(v) (Vset.add v acc)
+      end
+    in
+    visit start Vset.empty
+  in
+  let acc = ref [] in
+  for v = g.n - 1 downto 0 do
+    if not seen.(v) then acc := component v :: !acc
+  done;
+  (* Visiting from high to low and prepending yields increasing order of
+     smallest vertex because each component is discovered from a vertex
+     that may not be its smallest; sort to make the order canonical. *)
+  List.sort (fun a b -> compare (Vset.min_elt a) (Vset.min_elt b)) !acc
+
+let is_clique g s =
+  Vset.for_all
+    (fun u -> Vset.for_all (fun v -> u = v || mem_edge g u v) s)
+    s
+
+let union g1 g2 =
+  if g1.n <> g2.n then invalid_arg "Undirected.union: size mismatch";
+  { n = g1.n; adj = Array.init g1.n (fun v -> Vset.union g1.adj.(v) g2.adj.(v)) }
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph on %d vertices:@," g.n;
+  List.iter (fun (u, v) -> Format.fprintf ppf "  %d -- %d@," u v) (edges g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,57 @@
+(** Undirected graphs over vertices [0 .. n-1].
+
+    The conflict graph of an inconsistent database instance (paper, §2.1)
+    is represented with this structure: vertices are tuples and edges join
+    conflicting tuples. The representation is immutable once built. *)
+
+type t
+
+val create : int -> (int * int) list -> t
+(** [create n edges] builds a graph with [n] vertices and the given edges.
+    Self-loops are rejected ([Invalid_argument]); duplicate and symmetric
+    duplicates of edges are collapsed. Vertices must lie in [0 .. n-1]. *)
+
+val size : t -> int
+(** Number of vertices. *)
+
+val edge_count : t -> int
+
+val edges : t -> (int * int) list
+(** Each undirected edge reported once, as [(u, v)] with [u < v],
+    in lexicographic order. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val neighbors : t -> int -> Vset.t
+(** [neighbors g v] is the paper's n(v): all vertices adjacent to [v]. *)
+
+val vicinity : t -> int -> Vset.t
+(** [vicinity g v] is the paper's v(v) = [{v} ∪ n(v)]. *)
+
+val degree : t -> int -> int
+
+val vertices : t -> Vset.t
+
+val isolated : t -> Vset.t
+(** Vertices with no incident edge (tuples involved in no conflict). *)
+
+val is_independent : t -> Vset.t -> bool
+(** No two members are adjacent. *)
+
+val is_maximal_independent : t -> Vset.t -> bool
+(** Independent, and every outside vertex is adjacent to a member.
+    Maximal independent sets are exactly the repairs (paper, §2.1). *)
+
+val induced : t -> Vset.t -> t * int array
+(** [induced g s] is the subgraph induced by [s] together with the map
+    from new vertex ids to original ids. *)
+
+val connected_components : t -> Vset.t list
+(** Components in increasing order of their smallest vertex. *)
+
+val is_clique : t -> Vset.t -> bool
+
+val union : t -> t -> t
+(** Union of edge sets; both graphs must have the same size. *)
+
+val pp : Format.formatter -> t -> unit

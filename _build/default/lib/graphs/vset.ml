@@ -1,0 +1,16 @@
+include Set.Make (Int)
+
+let of_range n =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (add i acc) in
+  loop (n - 1) empty
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (elements s)
+
+let to_string s = Format.asprintf "%a" pp s
+
+let hash s = fold (fun v acc -> (acc * 1000003) + v + 1) s 0

@@ -1,0 +1,18 @@
+(** Sets of graph vertices (non-negative integers).
+
+    This is the set representation shared by every graph structure in the
+    repository: vertices of conflict graphs are indices into a tuple array,
+    and repairs are vertex sets. *)
+
+include Set.S with type elt = int
+
+val of_range : int -> t
+(** [of_range n] is [{0, 1, ..., n-1}]. [of_range 0] is [empty]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{0, 3, 5}]. *)
+
+val to_string : t -> string
+
+val hash : t -> int
+(** A structural hash, usable to memoize on vertex sets. *)

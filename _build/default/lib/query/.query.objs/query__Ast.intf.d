@@ -1,0 +1,1 @@
+lib/query/ast.mli: Relational Value

@@ -1,0 +1,1 @@
+lib/query/engine.ml: Database Eval Plan Relational

@@ -1,0 +1,1 @@
+lib/query/engine.mli: Ast Database Relation Relational Value

@@ -1,0 +1,1 @@
+lib/query/eval.ml: Ast Database List Map Printf Relation Relational Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/query/eval.mli: Ast Database Relation Relational Value

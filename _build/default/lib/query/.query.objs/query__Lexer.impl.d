@@ -1,0 +1,1 @@
+lib/query/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Ast Lexer Printf Relational Value

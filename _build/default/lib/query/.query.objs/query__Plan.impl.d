@@ -1,0 +1,1 @@
+lib/query/plan.ml: Algebra Ast Database Hashtbl List Printf Relation Relational Result Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/query/plan.mli: Algebra Ast Database Relational Value

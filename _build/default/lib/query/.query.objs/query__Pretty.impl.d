@@ -1,0 +1,1 @@
+lib/query/pretty.ml: Ast Format Relational Value

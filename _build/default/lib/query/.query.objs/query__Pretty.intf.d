@@ -1,0 +1,1 @@
+lib/query/pretty.mli: Ast Format

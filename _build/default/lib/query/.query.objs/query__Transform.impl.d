@@ -1,0 +1,1 @@
+lib/query/transform.ml: Ast Format List Option Relational String Tuple Value

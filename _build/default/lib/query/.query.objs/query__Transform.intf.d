@@ -1,0 +1,1 @@
+lib/query/transform.mli: Ast Format Relational Tuple

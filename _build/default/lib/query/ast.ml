@@ -1,0 +1,106 @@
+open Relational
+
+type term = Var of string | Const of Value.t
+
+type cmp = Eq | Neq | Lt | Gt | Leq | Geq
+
+type t =
+  | True
+  | False
+  | Atom of string * term list
+  | Cmp of cmp * term * term
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+
+let term_vars = function Var x -> [ x ] | Const _ -> []
+
+let rec vars = function
+  | True | False -> []
+  | Atom (_, ts) -> List.concat_map term_vars ts
+  | Cmp (_, a, b) -> term_vars a @ term_vars b
+  | Not f -> vars f
+  | And (f, g) | Or (f, g) | Implies (f, g) -> vars f @ vars g
+  | Exists (xs, f) | Forall (xs, f) ->
+    List.filter (fun v -> not (List.mem v xs)) (vars f)
+
+let free_vars f = List.sort_uniq String.compare (vars f)
+let is_closed f = free_vars f = []
+
+let rec is_quantifier_free = function
+  | True | False | Atom _ | Cmp _ -> true
+  | Not f -> is_quantifier_free f
+  | And (f, g) | Or (f, g) | Implies (f, g) ->
+    is_quantifier_free f && is_quantifier_free g
+  | Exists _ | Forall _ -> false
+
+let rec has_vars = function
+  | True | False -> false
+  | Atom (_, ts) -> List.exists (function Var _ -> true | Const _ -> false) ts
+  | Cmp (_, a, b) ->
+    (match (a, b) with Var _, _ | _, Var _ -> true | Const _, Const _ -> false)
+  | Not f -> has_vars f
+  | And (f, g) | Or (f, g) | Implies (f, g) -> has_vars f || has_vars g
+  | Exists _ | Forall _ -> true
+
+let is_ground f = is_quantifier_free f && not (has_vars f)
+
+let term_consts = function Var _ -> [] | Const v -> [ v ]
+
+let rec consts = function
+  | True | False -> []
+  | Atom (_, ts) -> List.concat_map term_consts ts
+  | Cmp (_, a, b) -> term_consts a @ term_consts b
+  | Not f -> consts f
+  | And (f, g) | Or (f, g) | Implies (f, g) -> consts f @ consts g
+  | Exists (_, f) | Forall (_, f) -> consts f
+
+let constants f = List.sort_uniq Value.compare (consts f)
+
+let subst_term env = function
+  | Const _ as t -> t
+  | Var x as t -> (
+    match List.assoc_opt x env with Some v -> Const v | None -> t)
+
+let rec substitute env = function
+  | (True | False) as f -> f
+  | Atom (r, ts) -> Atom (r, List.map (subst_term env) ts)
+  | Cmp (op, a, b) -> Cmp (op, subst_term env a, subst_term env b)
+  | Not f -> Not (substitute env f)
+  | And (f, g) -> And (substitute env f, substitute env g)
+  | Or (f, g) -> Or (substitute env f, substitute env g)
+  | Implies (f, g) -> Implies (substitute env f, substitute env g)
+  | Exists (xs, f) ->
+    Exists (xs, substitute (List.filter (fun (x, _) -> not (List.mem x xs)) env) f)
+  | Forall (xs, f) ->
+    Forall (xs, substitute (List.filter (fun (x, _) -> not (List.mem x xs)) env) f)
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let exists xs f = if xs = [] then f else Exists (xs, f)
+let forall xs f = if xs = [] then f else Forall (xs, f)
+
+let negate_cmp = function
+  | Eq -> Neq
+  | Neq -> Eq
+  | Lt -> Geq
+  | Geq -> Lt
+  | Gt -> Leq
+  | Leq -> Gt
+
+let equal (f : t) (g : t) = f = g
+
+let rec size = function
+  | True | False | Atom _ | Cmp _ -> 1
+  | Not f -> 1 + size f
+  | And (f, g) | Or (f, g) | Implies (f, g) -> 1 + size f + size g
+  | Exists (_, f) | Forall (_, f) -> 1 + size f

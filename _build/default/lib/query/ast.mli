@@ -1,0 +1,62 @@
+(** First-order queries.
+
+    The paper's query language (§2): first-order formulas over the alphabet
+    of relation symbols and the binary relation symbols [=], [≠], [<], [>]
+    (we also provide [≤], [≥] as derived forms). Closed queries are the
+    object of (preferred) consistent query answering; open queries are
+    supported along the lines of [1, 7] — see {!Eval.answers}. *)
+
+open Relational
+
+type term = Var of string | Const of Value.t
+
+type cmp = Eq | Neq | Lt | Gt | Leq | Geq
+
+type t =
+  | True
+  | False
+  | Atom of string * term list  (** [Atom (r, ts)] is the atom r(ts) *)
+  | Cmp of cmp * term * term
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+
+val free_vars : t -> string list
+(** Sorted, de-duplicated. *)
+
+val is_closed : t -> bool
+
+val is_quantifier_free : t -> bool
+(** No [Exists]/[Forall] — the paper's {∀,∃}-free class (Figure 5). *)
+
+val is_ground : t -> bool
+(** Quantifier-free and without variables. *)
+
+val constants : t -> Value.t list
+(** Sorted, de-duplicated. *)
+
+val substitute : (string * Value.t) list -> t -> t
+(** Capture is impossible since substituends are constants; bound
+    variables shadow the substitution. *)
+
+val conj : t list -> t
+(** [conj []] is [True]. *)
+
+val disj : t list -> t
+(** [disj []] is [False]. *)
+
+val exists : string list -> t -> t
+(** [exists [] f] is [f]. *)
+
+val forall : string list -> t -> t
+
+val negate_cmp : cmp -> cmp
+(** [¬(a op b)] as a comparison: e.g. [negate_cmp Lt = Geq]. *)
+
+val equal : t -> t -> bool
+
+val size : t -> int
+(** Number of AST nodes. *)

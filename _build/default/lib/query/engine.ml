@@ -1,0 +1,12 @@
+open Relational
+
+let holds db q =
+  match Plan.holds db q with Some answer -> answer | None -> Eval.holds db q
+
+let answers db q =
+  match Plan.answers db q with Some result -> result | None -> Eval.answers db q
+
+let as_db r = Database.of_relations [ r ]
+let holds_relation r q = holds (as_db r) q
+let answers_relation r q = answers (as_db r) q
+let planned db q = Plan.supported db q

@@ -1,0 +1,20 @@
+(** The query engine: planner with evaluator fallback.
+
+    Safe existential-conjunctive queries run through the algebraic
+    {!Plan} (hash joins); everything else falls back to the active-domain
+    {!Eval}. Both agree on the fragment (cross-validated by the test
+    suite), so callers get one semantics and the best available speed. *)
+
+open Relational
+
+val holds : Database.t -> Ast.t -> bool
+(** Closed queries; raises like {!Eval.holds} on ill-formed input. *)
+
+val holds_relation : Relation.t -> Ast.t -> bool
+
+val answers : Database.t -> Ast.t -> string list * Value.t list list
+
+val answers_relation : Relation.t -> Ast.t -> string list * Value.t list list
+
+val planned : Database.t -> Ast.t -> bool
+(** Whether the query runs through the planner (diagnostics). *)

@@ -1,0 +1,102 @@
+open Relational
+
+module Smap = Map.Make (String)
+
+let active_domain db q =
+  let db_values =
+    List.concat_map Relation.active_domain (Database.relations db)
+  in
+  List.sort_uniq Value.compare (Ast.constants q @ db_values)
+
+let check db q =
+  let rec go = function
+    | Ast.True | Ast.False | Ast.Cmp _ -> Ok ()
+    | Ast.Atom (r, ts) -> (
+      match Database.find db r with
+      | None -> Error (Printf.sprintf "unknown relation %S" r)
+      | Some rel ->
+        let arity = Schema.arity (Relation.schema rel) in
+        if List.length ts <> arity then
+          Error
+            (Printf.sprintf "atom %s has %d terms but the relation has arity %d"
+               r (List.length ts) arity)
+        else Ok ())
+    | Ast.Not f | Ast.Exists (_, f) | Ast.Forall (_, f) -> go f
+    | Ast.And (f, g) | Ast.Or (f, g) | Ast.Implies (f, g) -> (
+      match go f with Ok () -> go g | Error _ as e -> e)
+  in
+  go q
+
+let resolve env = function
+  | Ast.Const v -> v
+  | Ast.Var x -> (
+    match Smap.find_opt x env with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "unbound variable %S" x))
+
+(* Order predicates are the natural order on N; names are unordered. *)
+let eval_cmp op l r =
+  let both_ints =
+    match (l, r) with Value.Int _, Value.Int _ -> true | _, _ -> false
+  in
+  match op with
+  | Ast.Eq -> Value.equal l r
+  | Ast.Neq -> not (Value.equal l r)
+  | Ast.Lt -> both_ints && Value.compare l r < 0
+  | Ast.Gt -> both_ints && Value.compare l r > 0
+  | Ast.Leq -> Value.equal l r || (both_ints && Value.compare l r < 0)
+  | Ast.Geq -> Value.equal l r || (both_ints && Value.compare l r > 0)
+
+let rec eval db dom env = function
+  | Ast.True -> true
+  | Ast.False -> false
+  | Ast.Atom (r, ts) ->
+    let rel = Database.find_exn db r in
+    let row = List.map (resolve env) ts in
+    let tuple = Tuple.make row in
+    Tuple.conforms (Relation.schema rel) tuple && Relation.mem rel tuple
+  | Ast.Cmp (op, a, b) -> eval_cmp op (resolve env a) (resolve env b)
+  | Ast.Not f -> not (eval db dom env f)
+  | Ast.And (f, g) -> eval db dom env f && eval db dom env g
+  | Ast.Or (f, g) -> eval db dom env f || eval db dom env g
+  | Ast.Implies (f, g) -> (not (eval db dom env f)) || eval db dom env g
+  | Ast.Exists (xs, f) -> eval_exists db dom env xs f
+  | Ast.Forall (xs, f) ->
+    not (eval_exists db dom env xs (Ast.Not f))
+
+and eval_exists db dom env xs f =
+  match xs with
+  | [] -> eval db dom env f
+  | x :: rest ->
+    List.exists (fun v -> eval_exists db dom (Smap.add x v env) rest f) dom
+
+let holds db q =
+  (match check db q with Ok () -> () | Error e -> invalid_arg e);
+  match Ast.free_vars q with
+  | [] -> eval db (active_domain db q) Smap.empty q
+  | v :: _ ->
+    invalid_arg (Printf.sprintf "Eval.holds: query has free variable %S" v)
+
+let answers db q =
+  (match check db q with Ok () -> () | Error e -> invalid_arg e);
+  let dom = active_domain db q in
+  let free = Ast.free_vars q in
+  let rec assignments = function
+    | [] -> [ Smap.empty ]
+    | x :: rest ->
+      let tails = assignments rest in
+      List.concat_map (fun v -> List.map (Smap.add x v) tails) dom
+  in
+  let rows =
+    List.filter_map
+      (fun env ->
+        if eval db dom env q then
+          Some (List.map (fun x -> Smap.find x env) free)
+        else None)
+      (assignments free)
+  in
+  (free, List.sort_uniq (List.compare Value.compare) rows)
+
+let as_db r = Database.of_relations [ r ]
+let holds_relation r q = holds (as_db r) q
+let answers_relation r q = answers (as_db r) q

@@ -1,0 +1,36 @@
+(** Model-theoretic query evaluation.
+
+    An instance is a finite first-order structure (paper, §2); [r ⊨ Q] is
+    evaluated with quantifiers ranging over the {e active domain}: every
+    value occurring in the database plus every constant of the query. For
+    the generic queries of the paper this coincides with the natural
+    semantics; it is the standard finite-model evaluation used by CQA
+    systems. The order predicates [<], [>] hold only between numbers
+    (names are unordered, per §2), and [=] across the two domains is
+    false. *)
+
+open Relational
+
+val holds : Database.t -> Ast.t -> bool
+(** [holds db q] is [db ⊨ q] for a closed query. Raises
+    [Invalid_argument] when [q] has free variables, mentions an unknown
+    relation, or uses an atom with the wrong arity. *)
+
+val holds_relation : Relation.t -> Ast.t -> bool
+(** Single-relation convenience (the paper's setting): the relation is
+    addressed by its schema name. *)
+
+val answers : Database.t -> Ast.t -> string list * Value.t list list
+(** Open-query evaluation: returns the free variables (sorted) and the
+    list of satisfying assignments, each listing values in the same order,
+    sorted and de-duplicated. A closed query yields [([], [[]])] when it
+    holds and [([], [])] otherwise. *)
+
+val answers_relation : Relation.t -> Ast.t -> string list * Value.t list list
+
+val active_domain : Database.t -> Ast.t -> Value.t list
+(** The evaluation range: database values plus query constants. *)
+
+val check : Database.t -> Ast.t -> (unit, string) result
+(** Static well-formedness: every atom names an existing relation with
+    matching arity. *)

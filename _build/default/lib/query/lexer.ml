@@ -1,0 +1,114 @@
+type token =
+  | IDENT of string
+  | NAME of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | EQ
+  | NEQ
+  | LT
+  | GT
+  | LEQ
+  | GEQ
+  | KW_EXISTS
+  | KW_FORALL
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_IMPLIES
+  | KW_TRUE
+  | KW_FALSE
+  | EOF
+
+let keyword s =
+  match String.lowercase_ascii s with
+  | "exists" -> Some KW_EXISTS
+  | "forall" -> Some KW_FORALL
+  | "and" -> Some KW_AND
+  | "or" -> Some KW_OR
+  | "not" -> Some KW_NOT
+  | "implies" -> Some KW_IMPLIES
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let error i msg = Error (Printf.sprintf "lexical error at offset %d: %s" i msg) in
+  let rec loop i acc =
+    if i >= n then Ok (List.rev (EOF :: acc))
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then loop (i + 1) acc
+      else if c = '(' then loop (i + 1) (LPAREN :: acc)
+      else if c = ')' then loop (i + 1) (RPAREN :: acc)
+      else if c = ',' then loop (i + 1) (COMMA :: acc)
+      else if c = '.' then loop (i + 1) (DOT :: acc)
+      else if c = '=' then loop (i + 1) (EQ :: acc)
+      else if c = '!' then
+        if i + 1 < n && input.[i + 1] = '=' then loop (i + 2) (NEQ :: acc)
+        else error i "expected '=' after '!'"
+      else if c = '<' then
+        if i + 1 < n && input.[i + 1] = '=' then loop (i + 2) (LEQ :: acc)
+        else if i + 1 < n && input.[i + 1] = '>' then loop (i + 2) (NEQ :: acc)
+        else loop (i + 1) (LT :: acc)
+      else if c = '>' then
+        if i + 1 < n && input.[i + 1] = '=' then loop (i + 2) (GEQ :: acc)
+        else loop (i + 1) (GT :: acc)
+      else if c = '\'' then
+        let rec scan j =
+          if j >= n then error i "unterminated quoted name"
+          else if input.[j] = '\'' then begin
+            let s = String.sub input (i + 1) (j - i - 1) in
+            loop (j + 1) (NAME s :: acc)
+          end
+          else scan (j + 1)
+        in
+        scan (i + 1)
+      else if is_digit c then
+        let rec scan j = if j < n && is_digit input.[j] then scan (j + 1) else j in
+        let j = scan i in
+        loop j (INT (int_of_string (String.sub input i (j - i))) :: acc)
+      else if is_ident_start c then
+        let rec scan j =
+          if j < n && is_ident_char input.[j] then scan (j + 1) else j
+        in
+        let j = scan i in
+        let word = String.sub input i (j - i) in
+        let tok = match keyword word with Some k -> k | None -> IDENT word in
+        loop j (tok :: acc)
+      else error i (Printf.sprintf "unexpected character %C" c)
+  in
+  loop 0 []
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NAME s -> Printf.sprintf "'%s'" s
+  | INT n -> string_of_int n
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | GT -> ">"
+  | LEQ -> "<="
+  | GEQ -> ">="
+  | KW_EXISTS -> "exists"
+  | KW_FORALL -> "forall"
+  | KW_AND -> "and"
+  | KW_OR -> "or"
+  | KW_NOT -> "not"
+  | KW_IMPLIES -> "implies"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | EOF -> "end of input"

@@ -1,0 +1,36 @@
+(** Lexer for the concrete query syntax.
+
+    Tokens: identifiers (variables and relation names), quoted name
+    constants ['Mary'], integer literals, punctuation, comparison
+    operators, and the case-insensitive keywords [exists], [forall],
+    [and], [or], [not], [implies], [true], [false]. *)
+
+type token =
+  | IDENT of string
+  | NAME of string  (** quoted constant, quotes stripped *)
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | EQ
+  | NEQ
+  | LT
+  | GT
+  | LEQ
+  | GEQ
+  | KW_EXISTS
+  | KW_FORALL
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_IMPLIES
+  | KW_TRUE
+  | KW_FALSE
+  | EOF
+
+val tokenize : string -> (token list, string) result
+(** Errors carry a character position, e.g.
+    ["lexical error at offset 12: unexpected character '%'"]. *)
+
+val token_to_string : token -> string

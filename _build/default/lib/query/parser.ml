@@ -1,0 +1,144 @@
+open Relational
+
+exception Parse_error of string
+
+(* The token stream is threaded explicitly; each production returns the
+   parsed value and the remaining tokens. *)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let expect tok = function
+  | t :: rest when t = tok -> rest
+  | t :: _ ->
+    fail "expected %s but found %s" (Lexer.token_to_string tok)
+      (Lexer.token_to_string t)
+  | [] -> fail "unexpected end of token stream"
+
+let parse_var = function
+  | Lexer.IDENT x :: rest -> (x, rest)
+  | t :: _ -> fail "expected a variable but found %s" (Lexer.token_to_string t)
+  | [] -> fail "unexpected end of token stream"
+
+let parse_term = function
+  | Lexer.IDENT x :: rest -> (Ast.Var x, rest)
+  | Lexer.INT n :: rest -> (Ast.Const (Value.Int n), rest)
+  | Lexer.NAME s :: rest -> (Ast.Const (Value.Name s), rest)
+  | t :: _ -> fail "expected a term but found %s" (Lexer.token_to_string t)
+  | [] -> fail "unexpected end of token stream"
+
+let parse_cmp = function
+  | Lexer.EQ :: rest -> (Ast.Eq, rest)
+  | Lexer.NEQ :: rest -> (Ast.Neq, rest)
+  | Lexer.LT :: rest -> (Ast.Lt, rest)
+  | Lexer.GT :: rest -> (Ast.Gt, rest)
+  | Lexer.LEQ :: rest -> (Ast.Leq, rest)
+  | Lexer.GEQ :: rest -> (Ast.Geq, rest)
+  | t :: _ ->
+    fail "expected a comparison operator but found %s" (Lexer.token_to_string t)
+  | [] -> fail "unexpected end of token stream"
+
+let rec parse_formula tokens = parse_quantified tokens
+
+and parse_quantified tokens =
+  match tokens with
+  | Lexer.KW_EXISTS :: rest ->
+    let xs, rest = parse_var_list rest in
+    let rest = expect Lexer.DOT rest in
+    let body, rest = parse_quantified rest in
+    (Ast.Exists (xs, body), rest)
+  | Lexer.KW_FORALL :: rest ->
+    let xs, rest = parse_var_list rest in
+    let rest = expect Lexer.DOT rest in
+    let body, rest = parse_quantified rest in
+    (Ast.Forall (xs, body), rest)
+  | _ -> parse_implication tokens
+
+and parse_var_list tokens =
+  let x, rest = parse_var tokens in
+  match rest with
+  | Lexer.COMMA :: rest ->
+    let xs, rest = parse_var_list rest in
+    (x :: xs, rest)
+  | _ -> ([ x ], rest)
+
+and parse_implication tokens =
+  let lhs, rest = parse_disjunction tokens in
+  match rest with
+  | Lexer.KW_IMPLIES :: rest ->
+    let rhs, rest = parse_implication rest in
+    (Ast.Implies (lhs, rhs), rest)
+  | _ -> (lhs, rest)
+
+and parse_disjunction tokens =
+  let first, rest = parse_conjunction tokens in
+  let rec loop acc tokens =
+    match tokens with
+    | Lexer.KW_OR :: rest ->
+      let next, rest = parse_conjunction rest in
+      loop (Ast.Or (acc, next)) rest
+    | _ -> (acc, tokens)
+  in
+  loop first rest
+
+and parse_conjunction tokens =
+  let first, rest = parse_negation tokens in
+  let rec loop acc tokens =
+    match tokens with
+    | Lexer.KW_AND :: rest ->
+      let next, rest = parse_negation rest in
+      loop (Ast.And (acc, next)) rest
+    | _ -> (acc, tokens)
+  in
+  loop first rest
+
+and parse_negation tokens =
+  match tokens with
+  | Lexer.KW_NOT :: rest ->
+    let f, rest = parse_negation rest in
+    (Ast.Not f, rest)
+  (* Quantifiers may start an operand and then extend as far right as
+     possible: [A and exists x. B or C] is [A and (exists x. (B or C))]. *)
+  | Lexer.KW_EXISTS :: _ | Lexer.KW_FORALL :: _ -> parse_quantified tokens
+  | _ -> parse_atom tokens
+
+and parse_atom tokens =
+  match tokens with
+  | Lexer.KW_TRUE :: rest -> (Ast.True, rest)
+  | Lexer.KW_FALSE :: rest -> (Ast.False, rest)
+  | Lexer.LPAREN :: rest ->
+    let f, rest = parse_formula rest in
+    (f, expect Lexer.RPAREN rest)
+  | Lexer.IDENT r :: Lexer.LPAREN :: rest ->
+    let ts, rest = parse_term_list rest in
+    (Ast.Atom (r, ts), expect Lexer.RPAREN rest)
+  | _ ->
+    let left, rest = parse_term tokens in
+    let op, rest = parse_cmp rest in
+    let right, rest = parse_term rest in
+    (Ast.Cmp (op, left, right), rest)
+
+and parse_term_list tokens =
+  let t, rest = parse_term tokens in
+  match rest with
+  | Lexer.COMMA :: rest ->
+    let ts, rest = parse_term_list rest in
+    (t :: ts, rest)
+  | _ -> ([ t ], rest)
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error e -> Error e
+  | Ok tokens -> (
+    try
+      let f, rest = parse_formula tokens in
+      match rest with
+      | [ Lexer.EOF ] -> Ok f
+      | t :: _ ->
+        Error
+          (Printf.sprintf "parse error: trailing input starting at %s"
+             (Lexer.token_to_string t))
+      | [] -> Error "parse error: token stream ended without EOF"
+    with Parse_error msg -> Error (Printf.sprintf "parse error: %s" msg))
+
+let parse_exn input =
+  match parse input with Ok f -> f | Error e -> invalid_arg e

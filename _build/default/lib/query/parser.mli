@@ -1,0 +1,31 @@
+(** Recursive-descent parser for first-order queries.
+
+    Grammar (lowest to highest precedence; [implies] is right-associative,
+    quantifiers extend as far right as possible):
+
+    {v
+    formula    ::= quantified
+    quantified ::= ("exists" | "forall") var ("," var)* "." quantified
+                 | implication
+    implication::= disjunction ["implies" implication]
+    disjunction::= conjunction ("or" conjunction)*
+    conjunction::= negation ("and" negation)*
+    negation   ::= "not" negation | quantified | atom
+    atom       ::= "true" | "false" | "(" formula ")"
+                 | IDENT "(" term ("," term)* ")"
+                 | term cmp term
+    term       ::= IDENT | INT | "'" chars "'"
+    cmp        ::= "=" | "!=" | "<>" | "<" | ">" | "<=" | ">="
+    v}
+
+    Bare identifiers are variables; name constants must be quoted. Example
+    (the paper's Q1):
+
+    {[ "exists x1,y1,z1,x2,y2,z2. Mgr('Mary',x1,y1,z1) and \
+        Mgr('John',x2,y2,z2) and y1 < y2" ]} *)
+
+val parse : string -> (Ast.t, string) result
+
+val parse_exn : string -> Ast.t
+(** Raises [Invalid_argument] with the parse error. Convenient in examples
+    and tests where the query text is a trusted literal. *)

@@ -1,0 +1,270 @@
+open Relational
+
+type compiled = Plan of Algebra.t * string list | Always_false
+
+(* --- flattening the fragment ---------------------------------------------- *)
+
+type conjunct = CAtom of string * Ast.term list | CCmp of Ast.cmp * Ast.term * Ast.term
+
+exception Unsupported of string
+
+let rec flatten bound = function
+  | Ast.Exists (xs, f) -> flatten (xs @ bound) f
+  | f ->
+    let rec conjuncts = function
+      | Ast.And (f, g) -> conjuncts f @ conjuncts g
+      | Ast.Atom (r, ts) -> [ CAtom (r, ts) ]
+      | Ast.Cmp (op, a, b) -> [ CCmp (op, a, b) ]
+      | Ast.True -> []
+      | Ast.False | Ast.Or _ | Ast.Not _ | Ast.Implies _ | Ast.Exists _
+      | Ast.Forall _ ->
+        raise (Unsupported "not an existential-conjunctive query")
+    in
+    (bound, conjuncts f)
+
+(* --- type bookkeeping ------------------------------------------------------- *)
+
+let term_ty schema i = Schema.ty_to_poly (Schema.ty_at schema i)
+
+let cmp_to_algebra = function
+  | Ast.Eq -> Algebra.Eq
+  | Ast.Neq -> Algebra.Neq
+  | Ast.Lt -> Algebra.Lt
+  | Ast.Gt -> Algebra.Gt
+  | Ast.Leq -> Algebra.Leq
+  | Ast.Geq -> Algebra.Geq
+
+(* --- compiling one atom ------------------------------------------------------ *)
+
+(* Leaf plan for R(t̄): constant selections and intra-atom repeated
+   variables pushed into a Select; returns the variable→column map and the
+   column types. *)
+let compile_atom db r ts =
+  let rel =
+    match Database.find db r with
+    | Some rel -> rel
+    | None -> raise (Unsupported (Printf.sprintf "unknown relation %S" r))
+  in
+  let schema = Relation.schema rel in
+  if List.length ts <> Schema.arity schema then
+    raise
+      (Unsupported
+         (Printf.sprintf "atom %s has arity %d, expected %d" r (List.length ts)
+            (Schema.arity schema)));
+  let sels = ref [] in
+  let var_cols = Hashtbl.create 8 in
+  let unsat = ref false in
+  List.iteri
+    (fun i t ->
+      match t with
+      | Ast.Const v ->
+        let v_ty = match v with Value.Name _ -> `Name | Value.Int _ -> `Int in
+        if term_ty schema i <> v_ty then unsat := true
+        else sels := Algebra.Const_cmp (Algebra.Eq, i, v) :: !sels
+      | Ast.Var x -> (
+        match Hashtbl.find_opt var_cols x with
+        | None -> Hashtbl.replace var_cols x i
+        | Some j -> sels := Algebra.Attr_cmp (Algebra.Eq, i, j) :: !sels))
+    ts;
+  let plan =
+    if !sels = [] then Algebra.Rel rel
+    else Algebra.Select (Algebra.Conj !sels, Algebra.Rel rel)
+  in
+  let types = List.init (Schema.arity schema) (fun i -> term_ty schema i) in
+  (plan, var_cols, types, !unsat)
+
+(* --- joining atoms ------------------------------------------------------------ *)
+
+type acc = {
+  plan : Algebra.t;
+  cols : (string, int) Hashtbl.t;  (* variable -> column in [plan] *)
+  types : [ `Name | `Int ] list;
+}
+
+let join_step acc (plan, var_cols, types, _) =
+  let pairs =
+    Hashtbl.fold
+      (fun x j pairs ->
+        match Hashtbl.find_opt acc.cols x with
+        | Some i -> (i, j) :: pairs
+        | None -> pairs)
+      var_cols []
+  in
+  let offset = List.length acc.types in
+  let cols = Hashtbl.copy acc.cols in
+  Hashtbl.iter
+    (fun x j -> if not (Hashtbl.mem cols x) then Hashtbl.replace cols x (offset + j))
+    var_cols;
+  { plan = Algebra.Join (pairs, acc.plan, plan); cols; types = acc.types @ types }
+
+(* --- comparisons ---------------------------------------------------------------- *)
+
+(* Adding a comparison to the accumulated plan. Cross-domain and
+   name-ordering cases simplify statically:
+   - Eq/Lt/Gt/Leq/Geq across domains: unsatisfiable;
+   - Neq across domains: vacuous;
+   - Lt/Gt between names: unsatisfiable; Leq/Geq between names: = / =. *)
+exception Clause_false
+
+let operand acc = function
+  | Ast.Const v ->
+    `Const (v, match v with Value.Name _ -> `Name | Value.Int _ -> `Int)
+  | Ast.Var x -> (
+    match Hashtbl.find_opt acc.cols x with
+    | Some i -> `Col (i, List.nth acc.types i)
+    | None ->
+      raise
+        (Unsupported
+           (Printf.sprintf "variable %S occurs only in comparisons (unsafe)" x)))
+
+let static_cmp op l r =
+  let c = Value.compare l r in
+  match op with
+  | Ast.Eq -> Value.equal l r
+  | Ast.Neq -> not (Value.equal l r)
+  | Ast.Lt -> c < 0
+  | Ast.Gt -> c > 0
+  | Ast.Leq -> c <= 0
+  | Ast.Geq -> c >= 0
+
+let add_comparison acc (op, a, b) =
+  let name_order op =
+    (* comparisons between two name-typed operands *)
+    match op with
+    | Ast.Lt | Ast.Gt -> raise Clause_false
+    | Ast.Leq | Ast.Geq -> Ast.Eq
+    | Ast.Eq | Ast.Neq -> op
+  in
+  let cross_domain op =
+    match op with
+    | Ast.Neq -> None (* vacuously true *)
+    | Ast.Eq | Ast.Lt | Ast.Gt | Ast.Leq | Ast.Geq -> raise Clause_false
+  in
+  let sel =
+    match (operand acc a, operand acc b) with
+    | `Const (l, _), `Const (r, _) ->
+      let truth =
+        match (l, r) with
+        | Value.Int _, Value.Name _ | Value.Name _, Value.Int _ -> (
+          match op with Ast.Neq -> true | _ -> false)
+        | Value.Name _, Value.Name _ -> (
+          match op with
+          | Ast.Lt | Ast.Gt -> false
+          | Ast.Leq | Ast.Geq -> Value.equal l r
+          | _ -> static_cmp op l r)
+        | Value.Int _, Value.Int _ -> static_cmp op l r
+      in
+      if truth then None else raise Clause_false
+    | `Col (i, ti), `Col (j, tj) ->
+      if ti <> tj then cross_domain op
+      else
+        let op = if ti = `Name then name_order op else op in
+        Some (Algebra.Attr_cmp (cmp_to_algebra op, i, j))
+    | `Col (i, ti), `Const (v, tv) ->
+      if ti <> tv then cross_domain op
+      else
+        let op = if ti = `Name then name_order op else op in
+        Some (Algebra.Const_cmp (cmp_to_algebra op, i, v))
+    | `Const (v, tv), `Col (i, ti) ->
+      if ti <> tv then cross_domain op
+      else
+        let flip = function
+          | Ast.Lt -> Ast.Gt
+          | Ast.Gt -> Ast.Lt
+          | Ast.Leq -> Ast.Geq
+          | Ast.Geq -> Ast.Leq
+          | (Ast.Eq | Ast.Neq) as o -> o
+        in
+        let op = flip op in
+        let op = if ti = `Name then name_order op else op in
+        Some (Algebra.Const_cmp (cmp_to_algebra op, i, v))
+  in
+  match sel with
+  | None -> acc
+  | Some sel -> { acc with plan = Algebra.Select (sel, acc.plan) }
+
+(* --- putting it together ----------------------------------------------------------- *)
+
+let compile db q =
+  try
+    let bound, conjuncts = flatten [] q in
+    ignore bound;
+    let atoms =
+      List.filter_map (function CAtom (r, ts) -> Some (r, ts) | CCmp _ -> None)
+        conjuncts
+    in
+    let cmps =
+      List.filter_map
+        (function CCmp (op, a, b) -> Some (op, a, b) | CAtom _ -> None)
+        conjuncts
+    in
+    if atoms = [] then raise (Unsupported "no relational atoms");
+    let compiled_atoms = List.map (fun (r, ts) -> compile_atom db r ts) atoms in
+    if List.exists (fun (_, _, _, unsat) -> unsat) compiled_atoms then Ok Always_false
+    else begin
+      (* greedy join order: start from the first atom, repeatedly pick an
+         atom sharing a variable with the accumulated plan (cartesian
+         product only when the query is disconnected) *)
+      let shares_var acc (_, var_cols, _, _) =
+        Hashtbl.fold (fun x _ found -> found || Hashtbl.mem acc.cols x) var_cols false
+      in
+      match compiled_atoms with
+      | [] -> assert false
+      | (plan, var_cols, types, _) :: rest ->
+        let acc = ref { plan; cols = Hashtbl.copy var_cols; types } in
+        let pending = ref rest in
+        while !pending <> [] do
+          let connected, others =
+            List.partition (shares_var !acc) !pending
+          in
+          let next, others =
+            match (connected, others) with
+            | next :: more, others -> (next, more @ others)
+            | [], next :: more -> (next, more)
+            | [], [] -> assert false
+          in
+          acc := join_step !acc next;
+          pending := others
+        done;
+        let acc = List.fold_left add_comparison !acc cmps in
+        let free = Ast.free_vars q in
+        let missing =
+          List.filter (fun x -> not (Hashtbl.mem acc.cols x)) free
+        in
+        (match missing with
+        | x :: _ ->
+          raise (Unsupported (Printf.sprintf "free variable %S not bound by an atom" x))
+        | [] -> ());
+        if free = [] then Ok (Plan (acc.plan, []))
+        else begin
+          let projection = List.map (fun x -> Hashtbl.find acc.cols x) free in
+          Ok (Plan (Algebra.Project (projection, acc.plan), free))
+        end
+    end
+  with
+  | Unsupported m -> Error m
+  | Clause_false -> Ok Always_false
+
+let holds db q =
+  if not (Ast.is_closed q) then None
+  else
+    match compile db q with
+    | Error _ -> None
+    | Ok Always_false -> Some false
+    | Ok (Plan (plan, _)) -> Some (not (Algebra.is_empty plan))
+
+let answers db q =
+  match compile db q with
+  | Error _ -> None
+  | Ok Always_false -> Some (Ast.free_vars q, [])
+  | Ok (Plan (plan, [])) ->
+    (* closed query: one empty row iff it holds, as in Eval.answers *)
+    Some ([], if Algebra.is_empty plan then [] else [ [] ])
+  | Ok (Plan (plan, free)) ->
+    let result = Algebra.eval plan in
+    let rows =
+      Relation.fold (fun t acc -> Tuple.values t :: acc) result []
+    in
+    Some (free, List.sort_uniq (List.compare Value.compare) rows)
+
+let supported db q = Result.is_ok (compile db q)

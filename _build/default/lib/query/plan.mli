@@ -1,0 +1,37 @@
+(** Compiling conjunctive queries to relational algebra.
+
+    The naive evaluator ranges quantifiers over the active domain — fine
+    for the theory, wasteful for the common case. This planner compiles
+    the {e safe existential-conjunctive fragment}
+
+    {v [exists x̄.] A₁ and … and Aₖ and c₁ and … and cₘ v}
+
+    (atoms Aᵢ, comparisons cⱼ whose variables all occur in atoms) into an
+    {!Relational.Algebra} expression: one leaf per atom with pushed-down
+    constant selections, greedy join ordering along shared variables, and
+    a final projection onto the free variables. Everything outside the
+    fragment is rejected so callers can fall back to {!Eval}; inside the
+    fragment the plan computes exactly the active-domain semantics
+    (every variable is bound by an atom). *)
+
+open Relational
+
+type compiled =
+  | Plan of Algebra.t * string list
+      (** algebra expression whose columns are the sorted free variables *)
+  | Always_false
+      (** the conjunction contains an unsatisfiable comparison (e.g. an
+          order comparison between name-typed attributes) *)
+
+val compile : Database.t -> Ast.t -> (compiled, string) result
+(** [Error] when the query lies outside the supported fragment or
+    mentions unknown relations / wrong arities. *)
+
+val holds : Database.t -> Ast.t -> bool option
+(** [Some answer] for closed queries in the fragment, [None] otherwise. *)
+
+val answers : Database.t -> Ast.t -> (string list * Value.t list list) option
+(** Open-query evaluation in the fragment: sorted free variables and the
+    sorted, de-duplicated satisfying rows. *)
+
+val supported : Database.t -> Ast.t -> bool

@@ -1,0 +1,52 @@
+open Relational
+
+let pp_term ppf = function
+  | Ast.Var x -> Format.pp_print_string ppf x
+  | Ast.Const (Value.Name s) -> Format.fprintf ppf "'%s'" s
+  | Ast.Const (Value.Int n) -> Format.pp_print_int ppf n
+
+let pp_cmp ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Ast.Eq -> "="
+    | Ast.Neq -> "!="
+    | Ast.Lt -> "<"
+    | Ast.Gt -> ">"
+    | Ast.Leq -> "<="
+    | Ast.Geq -> ">=")
+
+let pp_vars ppf xs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    Format.pp_print_string ppf xs
+
+let rec pp ppf = function
+  | Ast.True -> Format.pp_print_string ppf "true"
+  | Ast.False -> Format.pp_print_string ppf "false"
+  | Ast.Atom (r, ts) ->
+    Format.fprintf ppf "%s(%a)" r
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_term)
+      ts
+  | Ast.Cmp (op, a, b) ->
+    Format.fprintf ppf "%a %a %a" pp_term a pp_cmp op pp_term b
+  | Ast.Not f -> Format.fprintf ppf "not %a" pp_protected f
+  | Ast.And (f, g) ->
+    Format.fprintf ppf "%a and %a" pp_protected f pp_protected g
+  | Ast.Or (f, g) -> Format.fprintf ppf "%a or %a" pp_protected f pp_protected g
+  | Ast.Implies (f, g) ->
+    Format.fprintf ppf "%a implies %a" pp_protected f pp_protected g
+  | Ast.Exists (xs, f) ->
+    Format.fprintf ppf "exists %a. %a" pp_vars xs pp f
+  | Ast.Forall (xs, f) ->
+    Format.fprintf ppf "forall %a. %a" pp_vars xs pp f
+
+and pp_protected ppf f =
+  match f with
+  | Ast.True | Ast.False | Ast.Atom _ | Ast.Cmp _ -> pp ppf f
+  | Ast.Not _ | Ast.And _ | Ast.Or _ | Ast.Implies _ | Ast.Exists _
+  | Ast.Forall _ ->
+    Format.fprintf ppf "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f

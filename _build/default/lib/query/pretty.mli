@@ -1,0 +1,10 @@
+(** Printing queries in the concrete syntax accepted by {!Parser}. *)
+
+val pp_term : Format.formatter -> Ast.term -> unit
+val pp_cmp : Format.formatter -> Ast.cmp -> unit
+
+val pp : Format.formatter -> Ast.t -> unit
+(** Fully parenthesizes binary connectives, so output always re-parses to
+    an equal AST. *)
+
+val to_string : Ast.t -> string

@@ -1,0 +1,123 @@
+open Relational
+
+let rec nnf = function
+  | (Ast.True | Ast.False | Ast.Atom _ | Ast.Cmp _) as f -> f
+  | Ast.And (f, g) -> Ast.And (nnf f, nnf g)
+  | Ast.Or (f, g) -> Ast.Or (nnf f, nnf g)
+  | Ast.Implies (f, g) -> Ast.Or (nnf (Ast.Not f), nnf g)
+  | Ast.Exists (xs, f) -> Ast.Exists (xs, nnf f)
+  | Ast.Forall (xs, f) -> Ast.Forall (xs, nnf f)
+  | Ast.Not f -> (
+    match f with
+    | Ast.True -> Ast.False
+    | Ast.False -> Ast.True
+    | Ast.Atom _ -> Ast.Not f
+    | Ast.Cmp (op, a, b) -> Ast.Cmp (Ast.negate_cmp op, a, b)
+    | Ast.Not g -> nnf g
+    | Ast.And (g, h) -> Ast.Or (nnf (Ast.Not g), nnf (Ast.Not h))
+    | Ast.Or (g, h) -> Ast.And (nnf (Ast.Not g), nnf (Ast.Not h))
+    | Ast.Implies (g, h) -> Ast.And (nnf g, nnf (Ast.Not h))
+    | Ast.Exists (xs, g) -> Ast.Forall (xs, nnf (Ast.Not g))
+    | Ast.Forall (xs, g) -> Ast.Exists (xs, nnf (Ast.Not g)))
+
+type ground_clause = {
+  positive : (string * Tuple.t) list;
+  negative : (string * Tuple.t) list;
+}
+
+let fact_compare (r1, t1) (r2, t2) =
+  let c = String.compare r1 r2 in
+  if c <> 0 then c else Tuple.compare t1 t2
+
+let clause_make positive negative =
+  let positive = List.sort_uniq fact_compare positive in
+  let negative = List.sort_uniq fact_compare negative in
+  let contradictory =
+    List.exists (fun f -> List.exists (fun g -> fact_compare f g = 0) negative)
+      positive
+  in
+  if contradictory then None else Some { positive; negative }
+
+let term_value = function
+  | Ast.Const v -> Some v
+  | Ast.Var _ -> None
+
+(* Decide a ground comparison using the evaluator's semantics. *)
+let decide_cmp op a b =
+  match (term_value a, term_value b) with
+  | Some l, Some r ->
+    let both_ints =
+      match (l, r) with Value.Int _, Value.Int _ -> true | _, _ -> false
+    in
+    let truth =
+      match op with
+      | Ast.Eq -> Value.equal l r
+      | Ast.Neq -> not (Value.equal l r)
+      | Ast.Lt -> both_ints && Value.compare l r < 0
+      | Ast.Gt -> both_ints && Value.compare l r > 0
+      | Ast.Leq -> Value.equal l r || (both_ints && Value.compare l r < 0)
+      | Ast.Geq -> Value.equal l r || (both_ints && Value.compare l r > 0)
+    in
+    Some truth
+  | _, _ -> None
+
+let ground_atom r ts =
+  let values = List.map term_value ts in
+  if List.for_all Option.is_some values then
+    Some (r, Tuple.make (List.map Option.get values))
+  else None
+
+exception Not_ground
+
+(* DNF of an NNF ground formula; clauses are (positive, negative) fact
+   lists. Distribution is exponential in the formula size, which is a
+   constant in the data-complexity setting. *)
+let rec dnf = function
+  | Ast.True -> [ ([], []) ]
+  | Ast.False -> []
+  | Ast.Atom (r, ts) -> (
+    match ground_atom r ts with
+    | Some fact -> [ ([ fact ], []) ]
+    | None -> raise Not_ground)
+  | Ast.Not (Ast.Atom (r, ts)) -> (
+    match ground_atom r ts with
+    | Some fact -> [ ([], [ fact ]) ]
+    | None -> raise Not_ground)
+  | Ast.Cmp (op, a, b) -> (
+    match decide_cmp op a b with
+    | Some true -> [ ([], []) ]
+    | Some false -> []
+    | None -> raise Not_ground)
+  | Ast.Or (f, g) -> dnf f @ dnf g
+  | Ast.And (f, g) ->
+    let left = dnf f and right = dnf g in
+    List.concat_map
+      (fun (p1, n1) -> List.map (fun (p2, n2) -> (p1 @ p2, n1 @ n2)) right)
+      left
+  | Ast.Not _ | Ast.Implies _ | Ast.Exists _ | Ast.Forall _ ->
+    (* nnf leaves none of these except Not over an atom. *)
+    raise Not_ground
+
+let ground_dnf f =
+  if not (Ast.is_ground f) then
+    Error "ground_dnf: formula has variables or quantifiers"
+  else
+    try
+      let clauses = List.filter_map (fun (p, n) -> clause_make p n) (dnf (nnf f)) in
+      Ok (List.sort_uniq compare clauses)
+    with Not_ground -> Error "ground_dnf: formula has variables or quantifiers"
+
+let pp_ground_clause ppf c =
+  let pp_fact ppf (r, t) = Format.fprintf ppf "%s%a" r Tuple.pp t in
+  let pp_neg ppf f = Format.fprintf ppf "not %a" pp_fact f in
+  let pp_list pp_item =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " and ")
+      pp_item
+  in
+  match (c.positive, c.negative) with
+  | [], [] -> Format.pp_print_string ppf "true"
+  | pos, [] -> pp_list pp_fact ppf pos
+  | [], neg -> pp_list pp_neg ppf neg
+  | pos, neg ->
+    Format.fprintf ppf "%a and %a" (pp_list pp_fact) pos (pp_list pp_neg) neg

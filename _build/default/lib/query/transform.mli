@@ -1,0 +1,31 @@
+(** Formula transformations.
+
+    The PTIME consistent-answer algorithm for quantifier-free ground
+    queries (paper Figure 5, first row, via [6, 7]) works on the DNF of
+    the {e negated} query: each disjunct is a demand "these facts in, those
+    facts out" to be satisfied by some repair. This module supplies
+    negation normal form and ground DNF. *)
+
+open Relational
+
+val nnf : Ast.t -> Ast.t
+(** Eliminates [Implies], pushes [Not] down to atoms and flips
+    comparisons; on literals, [Not (Atom _)] remains as the negative
+    literal form. Logically equivalent to the input. *)
+
+type ground_clause = {
+  positive : (string * Tuple.t) list;  (** facts required present *)
+  negative : (string * Tuple.t) list;  (** facts required absent *)
+}
+(** One DNF disjunct over ground facts, comparisons already decided.
+    Fact lists are sorted and duplicate-free. *)
+
+val ground_dnf : Ast.t -> (ground_clause list, string) result
+(** DNF of a {e ground} formula (no variables, no quantifiers):
+    the formula holds in an instance iff some clause does, where a clause
+    holds iff all [positive] facts are in and all [negative] facts out.
+    Contradictory clauses (same fact both polarities) are dropped; a
+    tautologous formula yields the single empty clause. [Error] when the
+    formula is not ground. *)
+
+val pp_ground_clause : Format.formatter -> ground_clause -> unit

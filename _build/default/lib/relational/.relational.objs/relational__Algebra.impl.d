@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Format Hashtbl List Option Printf Relation Schema String Tuple Value

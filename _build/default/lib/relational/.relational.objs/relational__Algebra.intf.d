@@ -1,0 +1,1 @@
+lib/relational/algebra.mli: Format Relation Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Format List Map Printf Relation Schema String

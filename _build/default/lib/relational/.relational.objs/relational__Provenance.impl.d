@@ -1,0 +1,1 @@
+lib/relational/provenance.ml: Format List Map Option Relation Tuple

@@ -1,0 +1,1 @@
+lib/relational/provenance.mli: Format Relation Tuple

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Format List Printf Schema Set Tuple Value

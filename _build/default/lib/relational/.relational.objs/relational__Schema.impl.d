@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Format List Printf String

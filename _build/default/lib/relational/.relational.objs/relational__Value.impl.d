@@ -1,0 +1,1 @@
+lib/relational/value.ml: Format Hashtbl Int Printf String

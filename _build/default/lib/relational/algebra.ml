@@ -1,0 +1,240 @@
+type cmp = Eq | Neq | Lt | Gt | Leq | Geq
+
+type selection =
+  | Attr_cmp of cmp * int * int
+  | Const_cmp of cmp * int * Value.t
+  | Conj of selection list
+
+type t =
+  | Rel of Relation.t
+  | Select of selection * t
+  | Project of int list * t
+  | Join of (int * int) list * t * t
+  | Union of t * t
+  | Diff of t * t
+
+(* --- static structure ---------------------------------------------------- *)
+
+(* Column types of the output, synthesized bottom-up. *)
+let rec column_types = function
+  | Rel r ->
+    List.map (fun a -> a.Schema.attr_ty) (Schema.attributes (Relation.schema r))
+  | Select (_, e) -> column_types e
+  | Project (cols, e) ->
+    let tys = Array.of_list (column_types e) in
+    List.map
+      (fun i ->
+        if i < 0 || i >= Array.length tys then
+          invalid_arg "Algebra: projection column out of range"
+        else tys.(i))
+      cols
+  | Join (_, l, r) -> column_types l @ column_types r
+  | Union (l, r) | Diff (l, r) ->
+    let tl = column_types l and tr = column_types r in
+    if tl <> tr then invalid_arg "Algebra: incompatible column types"
+    else tl
+
+let arity e = List.length (column_types e)
+
+let cmp_needs_order = function
+  | Lt | Gt | Leq | Geq -> true
+  | Eq | Neq -> false
+
+let rec check_selection tys = function
+  | Conj sels ->
+    List.fold_left
+      (fun acc s -> match acc with Ok () -> check_selection tys s | e -> e)
+      (Ok ()) sels
+  | Attr_cmp (op, i, j) ->
+    let n = Array.length tys in
+    if i < 0 || i >= n || j < 0 || j >= n then
+      Error "selection column out of range"
+    else if tys.(i) <> tys.(j) then
+      Error "selection compares columns of different types"
+    else if cmp_needs_order op && tys.(i) = Schema.TName then
+      Error "order comparison on name-typed column"
+    else Ok ()
+  | Const_cmp (op, i, v) ->
+    let n = Array.length tys in
+    if i < 0 || i >= n then Error "selection column out of range"
+    else
+      let v_ty =
+        match v with Value.Name _ -> Schema.TName | Value.Int _ -> Schema.TInt
+      in
+      if tys.(i) <> v_ty then
+        Error "selection compares a column with a constant of another type"
+      else if cmp_needs_order op && v_ty = Schema.TName then
+        Error "order comparison on name-typed column"
+      else Ok ()
+
+let rec check e =
+  match e with
+  | Rel _ -> Ok ()
+  | Select (sel, inner) -> (
+    match check inner with
+    | Error _ as err -> err
+    | Ok () -> check_selection (Array.of_list (column_types inner)) sel)
+  | Project (cols, inner) -> (
+    match check inner with
+    | Error _ as err -> err
+    | Ok () ->
+      let n = arity inner in
+      if List.for_all (fun i -> i >= 0 && i < n) cols then Ok ()
+      else Error "projection column out of range")
+  | Join (pairs, l, r) -> (
+    match (check l, check r) with
+    | (Error _ as err), _ | _, (Error _ as err) -> err
+    | Ok (), Ok () ->
+      let tl = Array.of_list (column_types l)
+      and tr = Array.of_list (column_types r) in
+      let ok (i, j) =
+        i >= 0 && i < Array.length tl && j >= 0 && j < Array.length tr
+        && tl.(i) = tr.(j)
+      in
+      if List.for_all ok pairs then Ok ()
+      else Error "join columns out of range or of different types")
+  | Union (l, r) | Diff (l, r) -> (
+    match (check l, check r) with
+    | (Error _ as err), _ | _, (Error _ as err) -> err
+    | Ok (), Ok () ->
+      if column_types l = column_types r then Ok ()
+      else Error "union/difference of incompatible arities or types")
+
+(* --- evaluation ------------------------------------------------------------ *)
+
+let eval_cmp op l r =
+  let both_ints =
+    match (l, r) with Value.Int _, Value.Int _ -> true | _, _ -> false
+  in
+  match op with
+  | Eq -> Value.equal l r
+  | Neq -> not (Value.equal l r)
+  | Lt -> both_ints && Value.compare l r < 0
+  | Gt -> both_ints && Value.compare l r > 0
+  | Leq -> Value.equal l r || (both_ints && Value.compare l r < 0)
+  | Geq -> Value.equal l r || (both_ints && Value.compare l r > 0)
+
+let rec selection_holds sel t =
+  match sel with
+  | Conj sels -> List.for_all (fun s -> selection_holds s t) sels
+  | Attr_cmp (op, i, j) -> eval_cmp op (Tuple.get t i) (Tuple.get t j)
+  | Const_cmp (op, i, v) -> eval_cmp op (Tuple.get t i) v
+
+let fresh_schema tys =
+  Schema.make "q" (List.mapi (fun i ty -> (Printf.sprintf "c%d" i, ty)) tys)
+
+(* Hash join: index the smaller side on its join key. *)
+let hash_join pairs left right out_schema =
+  let lkeys = List.map fst pairs and rkeys = List.map snd pairs in
+  let swap = Relation.cardinality right < Relation.cardinality left in
+  let build, probe, build_keys, probe_keys, combine =
+    if swap then
+      ( right, left, rkeys, lkeys,
+        fun probe_t build_t -> Tuple.values probe_t @ Tuple.values build_t )
+    else
+      ( left, right, lkeys, rkeys,
+        fun probe_t build_t -> Tuple.values build_t @ Tuple.values probe_t )
+  in
+  let index = Hashtbl.create (Relation.cardinality build) in
+  Relation.iter
+    (fun t ->
+      let key = Tuple.make (Tuple.project t build_keys) in
+      let existing = Option.value (Hashtbl.find_opt index key) ~default:[] in
+      Hashtbl.replace index key (t :: existing))
+    build;
+  let out = ref (Relation.empty out_schema) in
+  Relation.iter
+    (fun t ->
+      let key = Tuple.make (Tuple.project t probe_keys) in
+      List.iter
+        (fun bt -> out := Relation.add !out (Tuple.make (combine t bt)))
+        (Option.value (Hashtbl.find_opt index key) ~default:[]))
+    probe;
+  !out
+
+let rec eval e =
+  (match check e with Ok () -> () | Error m -> invalid_arg ("Algebra: " ^ m));
+  eval_unchecked e
+
+and eval_unchecked e =
+  match e with
+  | Rel r -> r
+  | Select (sel, inner) ->
+    Relation.filter (selection_holds sel) (eval_unchecked inner)
+  | Project (cols, inner) ->
+    let input = eval_unchecked inner in
+    let out_schema =
+      fresh_schema
+        (List.map
+           (fun i -> Schema.ty_at (Relation.schema input) i)
+           cols)
+    in
+    Relation.fold
+      (fun t acc -> Relation.add acc (Tuple.make (Tuple.project t cols)))
+      input (Relation.empty out_schema)
+  | Join (pairs, l, r) ->
+    let left = eval_unchecked l and right = eval_unchecked r in
+    let out_schema = fresh_schema (column_types e) in
+    if pairs = [] then begin
+      (* cartesian product *)
+      Relation.fold
+        (fun lt acc ->
+          Relation.fold
+            (fun rt acc ->
+              Relation.add acc (Tuple.make (Tuple.values lt @ Tuple.values rt)))
+            right acc)
+        left (Relation.empty out_schema)
+    end
+    else hash_join pairs left right out_schema
+  | Union (l, r) ->
+    let left = eval_unchecked l and right = eval_unchecked r in
+    let out_schema = fresh_schema (column_types e) in
+    let add input acc = Relation.fold (fun t a -> Relation.add a t) input acc in
+    add right (add left (Relation.empty out_schema))
+  | Diff (l, r) ->
+    let left = eval_unchecked l and right = eval_unchecked r in
+    let out_schema = fresh_schema (column_types e) in
+    Relation.fold
+      (fun t acc -> if Relation.mem right t then acc else Relation.add acc t)
+      left (Relation.empty out_schema)
+
+let cardinality e = Relation.cardinality (eval e)
+let is_empty e = Relation.is_empty (eval e)
+
+(* --- printing ----------------------------------------------------------------- *)
+
+let pp_cmp ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Eq -> "="
+    | Neq -> "!="
+    | Lt -> "<"
+    | Gt -> ">"
+    | Leq -> "<="
+    | Geq -> ">=")
+
+let rec pp_selection ppf = function
+  | Conj [] -> Format.pp_print_string ppf "true"
+  | Conj sels ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " and ")
+      pp_selection ppf sels
+  | Attr_cmp (op, i, j) -> Format.fprintf ppf "#%d %a #%d" i pp_cmp op j
+  | Const_cmp (op, i, v) -> Format.fprintf ppf "#%d %a %a" i pp_cmp op Value.pp v
+
+let rec pp ppf = function
+  | Rel r -> Format.fprintf ppf "rel %s[%d]" (Schema.name (Relation.schema r))
+               (Relation.cardinality r)
+  | Select (sel, e) ->
+    Format.fprintf ppf "@[<v 2>select %a@,%a@]" pp_selection sel pp e
+  | Project (cols, e) ->
+    Format.fprintf ppf "@[<v 2>project [%s]@,%a@]"
+      (String.concat "; " (List.map string_of_int cols))
+      pp e
+  | Join (pairs, l, r) ->
+    Format.fprintf ppf "@[<v 2>join {%s}@,%a@,%a@]"
+      (String.concat "; "
+         (List.map (fun (i, j) -> Printf.sprintf "%d=%d" i j) pairs))
+      pp l pp r
+  | Union (l, r) -> Format.fprintf ppf "@[<v 2>union@,%a@,%a@]" pp l pp r
+  | Diff (l, r) -> Format.fprintf ppf "@[<v 2>diff@,%a@,%a@]" pp l pp r

@@ -1,0 +1,58 @@
+(** Relational algebra over positional schemas.
+
+    The evaluation substrate beneath the query planner: selection,
+    projection, equi-join (hash join), product, union and difference over
+    {!Relation} values. Columns are addressed by position; output schemas
+    are synthesized with fresh column names, so expressions compose freely
+    regardless of the input relations' attribute names.
+
+    Set semantics throughout (projection de-duplicates), matching the
+    paper's instances. *)
+
+type cmp = Eq | Neq | Lt | Gt | Leq | Geq
+
+(** Selection predicates, structured so plans can be printed and
+    inspected. *)
+type selection =
+  | Attr_cmp of cmp * int * int  (** column [i] op column [j] *)
+  | Const_cmp of cmp * int * Value.t  (** column [i] op constant *)
+  | Conj of selection list  (** all of them; [Conj []] is true *)
+
+(** Algebra expressions. *)
+type t =
+  | Rel of Relation.t  (** leaf *)
+  | Select of selection * t
+  | Project of int list * t
+      (** keep the listed columns, in the listed order (duplicates
+          allowed: [Project [0;0]] duplicates a column) *)
+  | Join of (int * int) list * t * t
+      (** equi-join: pairs [(i, j)] equate column [i] of the left input
+          with column [j] of the right; output = left columns then right
+          columns. [Join [] _ _] is the cartesian product. *)
+  | Union of t * t
+  | Diff of t * t
+
+val arity : t -> int
+(** Output arity. Raises [Invalid_argument] on ill-formed expressions
+    (column indices out of range, arity mismatches in union/difference). *)
+
+val check : t -> (unit, string) result
+(** Full static validation: column ranges, selection typing against the
+    synthesized column types, union/difference compatibility. *)
+
+val eval : t -> Relation.t
+(** Evaluate. Joins build a hash table on the smaller input. The output
+    schema has fresh positional column names. Raises [Invalid_argument]
+    on expressions rejected by {!check}. *)
+
+val cardinality : t -> int
+(** [Relation.cardinality (eval e)] without keeping the result. *)
+
+val is_empty : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints an indented operator tree. *)
+
+val selection_holds : selection -> Tuple.t -> bool
+(** The predicate itself, for reuse and tests. Order comparisons hold
+    only between numbers, as in the query evaluator. *)

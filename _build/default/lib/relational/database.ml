@@ -1,0 +1,32 @@
+module Smap = Map.Make (String)
+
+type t = Relation.t Smap.t
+
+let empty = Smap.empty
+
+let add db r =
+  let name = Schema.name (Relation.schema r) in
+  if Smap.mem name db then
+    invalid_arg (Printf.sprintf "Database.add: relation %s already present" name)
+  else Smap.add name r db
+
+let replace db r = Smap.add (Schema.name (Relation.schema r)) r db
+let of_relations rs = List.fold_left add empty rs
+let find db name = Smap.find_opt name db
+
+let find_exn db name =
+  match find db name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Database: no relation named %S" name)
+
+let mem db name = Smap.mem name db
+let relations db = List.map snd (Smap.bindings db)
+let names db = List.map fst (Smap.bindings db)
+
+let total_tuples db =
+  List.fold_left (fun acc r -> acc + Relation.cardinality r) 0 (relations db)
+
+let pp ppf db =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun r -> Format.fprintf ppf "%a@," Relation.pp r) (relations db);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** Multi-relation databases.
+
+    The paper restricts itself to a single relation for clarity and notes
+    (§2) that the framework extends to multiple relations along the lines
+    of [7]: conflicts created by functional dependencies are always between
+    tuples of the same relation, so the conflict graph of a database is the
+    disjoint union of the per-relation conflict graphs. This module
+    supplies the container; [Core.Conflict.build_database] exploits the
+    disjointness. *)
+
+type t
+
+val empty : t
+
+val add : t -> Relation.t -> t
+(** Raises [Invalid_argument] when a relation with the same name is
+    already present. *)
+
+val replace : t -> Relation.t -> t
+(** Adds, overwriting any same-named relation. *)
+
+val of_relations : Relation.t list -> t
+
+val find : t -> string -> Relation.t option
+val find_exn : t -> string -> Relation.t
+val mem : t -> string -> bool
+val relations : t -> Relation.t list
+(** Sorted by relation name. *)
+
+val names : t -> string list
+val total_tuples : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+module Tmap = Map.Make (Tuple)
+
+type info = { source : string option; timestamp : int option }
+
+type t = info Tmap.t
+
+let empty = Tmap.empty
+let info ?source ?timestamp () = { source; timestamp }
+let no_info = { source = None; timestamp = None }
+let set m t i = Tmap.add t i m
+let get m t = Option.value (Tmap.find_opt t m) ~default:no_info
+let source m t = (get m t).source
+let timestamp m t = (get m t).timestamp
+let of_list l = List.fold_left (fun m (t, i) -> set m t i) empty l
+
+let tag_source src r m =
+  Relation.fold
+    (fun t m ->
+      let existing = get m t in
+      set m t { existing with source = Some src })
+    r m
+
+let pp_info ppf i =
+  let pp_opt name pp ppf = function
+    | None -> ()
+    | Some v -> Format.fprintf ppf "%s=%a " name pp v
+  in
+  Format.fprintf ppf "@[%a%a@]"
+    (pp_opt "source" Format.pp_print_string)
+    i.source
+    (pp_opt "timestamp" Format.pp_print_int)
+    i.timestamp

@@ -1,0 +1,35 @@
+(** Tuple provenance.
+
+    Data-cleaning systems expose, per tuple, the source it came from and a
+    creation/modification timestamp (paper, §1); preference rules such as
+    "source s1 is more reliable than s3" (Example 3) or "newer data wins"
+    are phrased over this metadata. Provenance lives alongside the relation
+    rather than inside tuples, so the relational core stays purely
+    set-based. *)
+
+type info = { source : string option; timestamp : int option }
+
+type t
+(** A provenance map for one relation instance. *)
+
+val empty : t
+val info : ?source:string -> ?timestamp:int -> unit -> info
+val no_info : info
+
+val set : t -> Tuple.t -> info -> t
+(** Later calls overwrite earlier ones for the same tuple — matching the
+    set semantics of instances, where a tuple contributed by two sources is
+    stored once. *)
+
+val get : t -> Tuple.t -> info
+(** [no_info] when the tuple was never annotated. *)
+
+val source : t -> Tuple.t -> string option
+val timestamp : t -> Tuple.t -> int option
+
+val of_list : (Tuple.t * info) list -> t
+
+val tag_source : string -> Relation.t -> t -> t
+(** Annotate every tuple of the relation with the given source name. *)
+
+val pp_info : Format.formatter -> info -> unit

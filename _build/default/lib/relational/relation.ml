@@ -1,0 +1,65 @@
+module Tset = Set.Make (Tuple)
+
+type t = { schema : Schema.t; tuples : Tset.t }
+
+let empty schema = { schema; tuples = Tset.empty }
+
+let check_tuple schema t =
+  if not (Tuple.conforms schema t) then
+    invalid_arg
+      (Printf.sprintf "tuple %s does not conform to schema %s"
+         (Tuple.to_string t) (Schema.name schema))
+
+let add r t =
+  check_tuple r.schema t;
+  { r with tuples = Tset.add t r.tuples }
+
+let of_tuples schema ts = List.fold_left add (empty schema) ts
+let of_rows schema rows = of_tuples schema (List.map Tuple.make rows)
+let schema r = r.schema
+let cardinality r = Tset.cardinal r.tuples
+let is_empty r = Tset.is_empty r.tuples
+let mem r t = Tset.mem t r.tuples
+let remove r t = { r with tuples = Tset.remove t r.tuples }
+let tuples r = Tset.elements r.tuples
+let tuple_array r = Array.of_list (tuples r)
+
+let check_same_schema r1 r2 =
+  if not (Schema.equal r1.schema r2.schema) then
+    invalid_arg "Relation: schema mismatch"
+
+let union r1 r2 =
+  check_same_schema r1 r2;
+  { r1 with tuples = Tset.union r1.tuples r2.tuples }
+
+let inter r1 r2 =
+  check_same_schema r1 r2;
+  { r1 with tuples = Tset.inter r1.tuples r2.tuples }
+
+let diff r1 r2 =
+  check_same_schema r1 r2;
+  { r1 with tuples = Tset.diff r1.tuples r2.tuples }
+
+let subset r1 r2 =
+  check_same_schema r1 r2;
+  Tset.subset r1.tuples r2.tuples
+
+let equal r1 r2 = Schema.equal r1.schema r2.schema && Tset.equal r1.tuples r2.tuples
+let compare r1 r2 = Tset.compare r1.tuples r2.tuples
+let filter p r = { r with tuples = Tset.filter p r.tuples }
+let for_all p r = Tset.for_all p r.tuples
+let exists p r = Tset.exists p r.tuples
+let fold f r acc = Tset.fold f r.tuples acc
+let iter f r = Tset.iter f r.tuples
+let restrict r ts = of_tuples r.schema ts
+
+let active_domain r =
+  let values =
+    fold (fun t acc -> List.rev_append (Tuple.values t) acc) r []
+  in
+  List.sort_uniq Value.compare values
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a = {@," Schema.pp r.schema;
+  iter (fun t -> Format.fprintf ppf "  %a@," Tuple.pp t) r;
+  Format.fprintf ppf "}@]"

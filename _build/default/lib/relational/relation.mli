@@ -1,0 +1,53 @@
+(** Relation instances.
+
+    An instance is a finite set of tuples over a schema (set semantics, as
+    in the paper). Insertion validates tuples against the schema, so a
+    well-typed instance is an invariant of the type. *)
+
+type t
+
+val empty : Schema.t -> t
+
+val of_tuples : Schema.t -> Tuple.t list -> t
+(** Duplicates are collapsed. Raises [Invalid_argument] when a tuple does
+    not conform to the schema. *)
+
+val of_rows : Schema.t -> Value.t list list -> t
+(** Convenience: each row becomes a tuple. *)
+
+val schema : t -> Schema.t
+val cardinality : t -> int
+val is_empty : t -> bool
+val mem : t -> Tuple.t -> bool
+val add : t -> Tuple.t -> t
+val remove : t -> Tuple.t -> t
+
+val tuples : t -> Tuple.t list
+(** In increasing {!Tuple.compare} order (canonical). *)
+
+val tuple_array : t -> Tuple.t array
+(** Same order as {!tuples}; a fresh array. The index of a tuple in this
+    array is its vertex id in the conflict graph built from the instance. *)
+
+val union : t -> t -> t
+(** Set union; schemas must be equal ([Invalid_argument] otherwise).
+    Models the source integration of Example 1, r = s1 ∪ s2 ∪ s3. *)
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val filter : (Tuple.t -> bool) -> t -> t
+val for_all : (Tuple.t -> bool) -> t -> bool
+val exists : (Tuple.t -> bool) -> t -> bool
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val restrict : t -> Tuple.t list -> t
+(** Keep only the listed tuples (used to materialize a repair). *)
+
+val active_domain : t -> Value.t list
+(** All values occurring in the instance, de-duplicated and sorted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type ty = TName | TInt
+
+type attribute = { attr_name : string; attr_ty : ty }
+
+type t = { name : string; attrs : attribute array }
+
+let make name attributes =
+  if attributes = [] then invalid_arg "Schema.make: no attributes";
+  let names = List.map fst attributes in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Schema.make: duplicate attribute names";
+  let attrs =
+    Array.of_list
+      (List.map (fun (attr_name, attr_ty) -> { attr_name; attr_ty }) attributes)
+  in
+  { name; attrs }
+
+let name s = s.name
+let arity s = Array.length s.attrs
+let attributes s = Array.to_list s.attrs
+let attribute_names s = List.map (fun a -> a.attr_name) (attributes s)
+
+let position s attr =
+  let rec loop i =
+    if i >= Array.length s.attrs then None
+    else if String.equal s.attrs.(i).attr_name attr then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let position_exn s attr =
+  match position s attr with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "schema %s has no attribute named %S" s.name attr)
+
+let positions_exn s attrs = List.map (position_exn s) attrs
+
+let pp_ty ppf = function
+  | TName -> Format.pp_print_string ppf "name"
+  | TInt -> Format.pp_print_string ppf "int"
+
+let ty_at s i =
+  if i < 0 || i >= Array.length s.attrs then invalid_arg "Schema.ty_at";
+  s.attrs.(i).attr_ty
+
+let attr_at s i =
+  if i < 0 || i >= Array.length s.attrs then invalid_arg "Schema.attr_at";
+  s.attrs.(i)
+
+let equal s1 s2 =
+  String.equal s1.name s2.name
+  && Array.length s1.attrs = Array.length s2.attrs
+  && Array.for_all2
+       (fun a b -> String.equal a.attr_name b.attr_name && a.attr_ty = b.attr_ty)
+       s1.attrs s2.attrs
+
+let ty_to_poly = function TName -> `Name | TInt -> `Int
+
+let pp ppf s =
+  Format.fprintf ppf "%s(%a)" s.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf a -> Format.fprintf ppf "%s:%a" a.attr_name pp_ty a.attr_ty))
+    (attributes s)

@@ -1,0 +1,39 @@
+(** Relation schemas.
+
+    A schema names a relation and lists its typed attributes (the paper's
+    set U of attributes, each typed over D or N, §2). Attribute names are
+    unique within a schema. *)
+
+type ty = TName | TInt
+
+type attribute = { attr_name : string; attr_ty : ty }
+
+type t
+
+val make : string -> (string * ty) list -> t
+(** [make rel_name attributes]. Raises [Invalid_argument] on an empty
+    attribute list or duplicate attribute names. *)
+
+val name : t -> string
+val arity : t -> int
+val attributes : t -> attribute list
+val attribute_names : t -> string list
+
+val position : t -> string -> int option
+(** Index of the named attribute, 0-based. *)
+
+val position_exn : t -> string -> int
+(** Like {!position}; raises [Invalid_argument] with context otherwise. *)
+
+val positions_exn : t -> string list -> int list
+
+val ty_at : t -> int -> ty
+
+val attr_at : t -> int -> attribute
+
+val equal : t -> t -> bool
+
+val ty_to_poly : ty -> [ `Name | `Int ]
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [R(A:name, B:int)]. *)

@@ -1,0 +1,51 @@
+type t = Value.t array
+
+let make values = Array.of_list values
+let of_array a = Array.copy a
+let arity = Array.length
+
+let get t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Tuple.get: out of range";
+  t.(i)
+
+let values t = Array.to_list t
+let project t positions = List.map (get t) positions
+
+let agree_on t1 t2 positions =
+  List.for_all (fun i -> Value.equal (get t1 i) (get t2 i)) positions
+
+let conforms schema t =
+  Array.length t = Schema.arity schema
+  && Array.for_all
+       (fun ok -> ok)
+       (Array.mapi
+          (fun i v ->
+            Value.ty_matches (Schema.ty_to_poly (Schema.ty_at schema i)) v)
+          t)
+
+let equal t1 t2 =
+  Array.length t1 = Array.length t2
+  && Array.for_all2 Value.equal t1 t2
+
+let compare t1 t2 =
+  let c = Int.compare (Array.length t1) (Array.length t2) in
+  if c <> 0 then c
+  else
+    let rec loop i =
+      if i >= Array.length t1 then 0
+      else
+        let c = Value.compare t1.(i) t2.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 1000003) + Value.hash v) 0 t
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (values t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,37 @@
+(** Tuples.
+
+    A tuple is an immutable vector of values. Tuples are compared
+    structurally; the order is the lexicographic lift of {!Value.compare},
+    used for canonical storage in relations and for assigning stable vertex
+    ids in conflict graphs. *)
+
+type t
+
+val make : Value.t list -> t
+val of_array : Value.t array -> t
+(** The array is copied. *)
+
+val arity : t -> int
+
+val get : t -> int -> Value.t
+(** [get t i] is the value of the [i]-th attribute (0-based).
+    Raises [Invalid_argument] when out of range. *)
+
+val values : t -> Value.t list
+
+val project : t -> int list -> Value.t list
+(** [project t [i; j]] is [[get t i; get t j]] — the paper's t[X]. *)
+
+val agree_on : t -> t -> int list -> bool
+(** Whether two tuples coincide on every listed position. *)
+
+val conforms : Schema.t -> t -> bool
+(** Arity matches and every value has the attribute's type. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Prints as [('Mary', 'R&D', 40000, 3)]. *)

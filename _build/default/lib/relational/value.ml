@@ -1,0 +1,47 @@
+type t = Name of string | Int of int
+
+let equal a b =
+  match (a, b) with
+  | Name x, Name y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Name _, Int _ | Int _, Name _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Name x, Name y -> String.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Name _, Int _ -> -1
+  | Int _, Name _ -> 1
+
+let lt a b =
+  match (a, b) with
+  | Int x, Int y -> Some (x < y)
+  | Name _, _ | _, Name _ -> None
+
+let ty_matches ty v =
+  match (ty, v) with
+  | `Name, Name _ | `Int, Int _ -> true
+  | `Name, Int _ | `Int, Name _ -> false
+
+let name s = Name s
+let int n = Int n
+let as_int = function Int n -> Some n | Name _ -> None
+let as_name = function Name s -> Some s | Int _ -> None
+
+let pp ppf = function
+  | Name s -> Format.fprintf ppf "'%s'" s
+  | Int n -> Format.pp_print_int ppf n
+
+let to_string = function Name s -> s | Int n -> string_of_int n
+
+let of_string ty s =
+  match ty with
+  | `Name -> Ok (Name s)
+  | `Int -> (
+    match int_of_string_opt s with
+    | Some n -> Ok (Int n)
+    | None -> Error (Printf.sprintf "expected an integer, got %S" s))
+
+let hash = function
+  | Name s -> Hashtbl.hash (0, s)
+  | Int n -> Hashtbl.hash (1, n)

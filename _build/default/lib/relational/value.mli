@@ -1,0 +1,33 @@
+(** Attribute values.
+
+    The paper works with two disjoint domains (§2): uninterpreted names D
+    and natural numbers N. Constants with different names are different;
+    [=], [≠], [<], [>] have their natural interpretation over N only. *)
+
+type t =
+  | Name of string  (** a constant from the uninterpreted domain D *)
+  | Int of int  (** a natural number from N *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** A total order used for canonical storage; [Name _ < Int _] by
+    convention. This is *not* the query-language [<], which is defined on
+    numbers only — see {!lt}. *)
+
+val lt : t -> t -> bool option
+(** The query-language strict order: defined on numbers, undefined
+    ([None]) when either side is a name. *)
+
+val ty_matches : [ `Name | `Int ] -> t -> bool
+val name : string -> t
+val int : int -> t
+val as_int : t -> int option
+val as_name : t -> string option
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : [ `Name | `Int ] -> string -> (t, string) result
+(** Parses according to the expected type; [Error] explains a mismatch
+    (e.g. non-numeric text for [`Int]). *)
+
+val hash : t -> int

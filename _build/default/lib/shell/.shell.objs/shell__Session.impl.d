@@ -1,0 +1,1 @@
+lib/shell/session.ml: Buffer Constraints Core Dbio Format Graphs List Out_channel Printf Query Relation Relational Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/shell/session.mli: Core Dbio

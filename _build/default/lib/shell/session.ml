@@ -1,0 +1,313 @@
+open Relational
+module IF = Dbio.Instance_format
+module Family = Core.Family
+
+type state = { spec : IF.spec option; family : Family.name }
+
+let initial = { spec = None; family = Family.C }
+let family st = st.family
+let loaded st = st.spec
+
+let help_text =
+  "commands:\n\
+  \  load FILE            load an instance file\n\
+  \  family rep|l|s|g|c   select the preferred-repair family\n\
+  \  info                 schema, constraints, conflicts\n\
+  \  repairs [N]          enumerate (at most N) preferred repairs\n\
+  \  count                count preferred repairs without enumerating\n\
+  \  stats                inconsistency summary\n\
+  \  facts                certain / disputed / excluded tuples\n\
+  \  clean                run Algorithm 1\n\
+  \  trace                run Algorithm 1 step by step\n\
+  \  query Q              (preferred) consistent answer to Q\n\
+  \  explain Q            answer with witness repairs\n\
+  \  status VALUES        a tuple's conflicts and fate\n\
+  \  aggregate SPEC       count | sum:A | min:A | max:A\n\
+  \  prefer DECL          add a preference (as in the file format)\n\
+  \  save FILE            write the instance and preferences back out\n\
+  \  help                 this text\n\
+  \  quit                 leave"
+
+(* Build the evaluation context of the loaded instance. *)
+let context spec =
+  let c = Core.Conflict.build spec.IF.fds spec.IF.relation in
+  match IF.to_rule spec with
+  | Error e -> Error e
+  | Ok rule -> (
+    match Core.Pref_rules.apply c rule with
+    | Error e -> Error e
+    | Ok p -> Ok (c, p))
+
+let with_context st k =
+  match st.spec with
+  | None -> "no instance loaded (use: load FILE)"
+  | Some spec -> (
+    match context spec with Error e -> "error: " ^ e | Ok (c, p) -> k spec c p)
+
+let buffer_out k =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  k ppf;
+  Format.pp_print_flush ppf ();
+  (* drop one trailing newline for tidy echoing *)
+  let s = Buffer.contents buf in
+  if String.length s > 0 && s.[String.length s - 1] = '\n' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+(* --- individual commands --------------------------------------------------- *)
+
+let cmd_load st path =
+  match IF.parse_file path with
+  | Error e -> (st, "error: " ^ e)
+  | Ok spec ->
+    ( { st with spec = Some spec },
+      Printf.sprintf "loaded %s: %d tuples, %d fd(s), %d preference(s)" path
+        (Relation.cardinality spec.IF.relation)
+        (List.length spec.IF.fds)
+        (List.length spec.IF.prefs) )
+
+let cmd_family st name =
+  match Family.name_of_string name with
+  | Some f -> ({ st with family = f }, "family: " ^ Family.name_to_string f)
+  | None -> (st, Printf.sprintf "unknown family %S (use rep|l|s|g|c)" name)
+
+let cmd_info st =
+  with_context st (fun spec c p ->
+      buffer_out (fun ppf ->
+          let schema = Relation.schema spec.IF.relation in
+          Format.fprintf ppf "relation: %a@." Schema.pp schema;
+          Format.fprintf ppf "tuples:   %d@." (Relation.cardinality spec.IF.relation);
+          List.iter
+            (fun fd -> Format.fprintf ppf "fd:       %a@." Constraints.Fd.pp fd)
+            spec.IF.fds;
+          Format.fprintf ppf "conflicts: %d (%d oriented)@."
+            (List.length (Core.Conflict.conflict_pairs c))
+            (Core.Priority.arc_count p);
+          Format.fprintf ppf "BCNF:     %b"
+            (Constraints.Fd.is_bcnf schema spec.IF.fds)))
+
+let cmd_repairs st limit =
+  with_context st (fun _spec c p ->
+      let repairs = Family.repairs st.family c p in
+      buffer_out (fun ppf ->
+          Format.fprintf ppf "%s: %d preferred repair(s)@."
+            (Family.name_to_string st.family)
+            (List.length repairs);
+          List.iteri
+            (fun i s ->
+              if i < limit then begin
+                Format.fprintf ppf "--- repair %d ---@." (i + 1);
+                Relation.iter
+                  (fun t -> Format.fprintf ppf "  %a@." Tuple.pp t)
+                  (Core.Repair.to_relation c s)
+              end)
+            repairs;
+          if List.length repairs > limit then
+            Format.fprintf ppf "... (%d more)" (List.length repairs - limit)))
+
+let cmd_count st =
+  with_context st (fun _spec c p ->
+      let d = Core.Decompose.make c p in
+      Printf.sprintf "%s: %d preferred repair(s) across %d component(s)"
+        (Family.name_to_string st.family)
+        (Core.Decompose.count st.family d)
+        (List.length (Core.Decompose.components d)))
+
+let cmd_facts st =
+  with_context st (fun _spec c p ->
+      let d = Core.Decompose.make c p in
+      let certain = Core.Decompose.certain_tuples st.family d in
+      let possible = Core.Decompose.possible_tuples st.family d in
+      let all = Graphs.Vset.of_range (Core.Conflict.size c) in
+      buffer_out (fun ppf ->
+          let show label s =
+            Format.fprintf ppf "%s (%d):@." label (Graphs.Vset.cardinal s);
+            Graphs.Vset.iter
+              (fun v -> Format.fprintf ppf "  %a@." Tuple.pp (Core.Conflict.tuple c v))
+              s
+          in
+          show "certain" certain;
+          show "disputed" (Graphs.Vset.diff possible certain);
+          show "excluded" (Graphs.Vset.diff all possible)))
+
+let cmd_stats st =
+  with_context st (fun _spec c p ->
+      buffer_out (fun ppf ->
+          Format.fprintf ppf "%a" Core.Stats.pp (Core.Stats.compute st.family c p)))
+
+let cmd_clean st =
+  with_context st (fun _spec c p ->
+      let report = Core.Clean.run_with_priority c p in
+      buffer_out (fun ppf ->
+          Format.fprintf ppf "%a@." Core.Clean.pp_report report;
+          Relation.iter
+            (fun t -> Format.fprintf ppf "  %a@." Tuple.pp t)
+            report.Core.Clean.cleaned))
+
+let cmd_trace st =
+  with_context st (fun _spec c p ->
+      buffer_out (fun ppf ->
+          Format.fprintf ppf "%a" (Core.Trace.pp c) (Core.Trace.clean c p)))
+
+let cmd_query st text =
+  with_context st (fun _spec c p ->
+      match Query.Parser.parse text with
+      | Error e -> "error: " ^ e
+      | Ok q ->
+        if Query.Ast.is_closed q then begin
+          let cert =
+            if Query.Ast.is_ground q then
+              match
+                Core.Decompose.certainty_ground st.family (Core.Decompose.make c p) q
+              with
+              | Ok cert -> cert
+              | Error e -> invalid_arg e
+            else Core.Cqa.certainty st.family c p q
+          in
+          Printf.sprintf "%s: %s"
+            (Family.name_to_string st.family)
+            (Core.Cqa.certainty_to_string cert)
+        end
+        else begin
+          let free, rows = Core.Cqa.consistent_answers_open st.family c p q in
+          buffer_out (fun ppf ->
+              Format.fprintf ppf "certain answers (%s):@." (String.concat ", " free);
+              List.iter
+                (fun row ->
+                  Format.fprintf ppf "  (%s)@."
+                    (String.concat ", " (List.map Value.to_string row)))
+                rows;
+              Format.fprintf ppf "%d certain answer(s)" (List.length rows))
+        end)
+
+let cmd_explain st text =
+  with_context st (fun _spec c p ->
+      match Query.Parser.parse text with
+      | Error e -> "error: " ^ e
+      | Ok q ->
+        if not (Query.Ast.is_closed q) then "error: explain requires a closed query"
+        else
+          buffer_out (fun ppf ->
+              Format.fprintf ppf "%a"
+                (Core.Explain.pp_verdict c)
+                (Core.Explain.query st.family c p q)))
+
+let cmd_status st values =
+  with_context st (fun spec c p ->
+      let schema = Relation.schema spec.IF.relation in
+      let schema_line =
+        Printf.sprintf "relation %s(%s)" (Schema.name schema)
+          (String.concat ", "
+             (List.map
+                (fun a ->
+                  Printf.sprintf "%s:%s" a.Schema.attr_name
+                    (match a.Schema.attr_ty with
+                    | Schema.TName -> "name"
+                    | Schema.TInt -> "int"))
+                (Schema.attributes schema)))
+      in
+      match IF.parse (Printf.sprintf "%s\ntuple %s\n" schema_line values) with
+      | Error e -> "error: " ^ e
+      | Ok s -> (
+        match Relation.tuples s.IF.relation with
+        | [ t ] -> (
+          match Core.Explain.tuple_status st.family c p t with
+          | status ->
+            buffer_out (fun ppf ->
+                Format.fprintf ppf "%a" Core.Explain.pp_tuple_status status)
+          | exception Invalid_argument m -> "error: " ^ m)
+        | _ -> "error: expected exactly one tuple"))
+
+let cmd_aggregate st spec_text =
+  with_context st (fun _spec c p ->
+      let agg =
+        match String.split_on_char ':' spec_text with
+        | [ "count" ] -> Ok Core.Aggregate.Count_all
+        | [ "sum"; a ] -> Ok (Core.Aggregate.Sum a)
+        | [ "min"; a ] -> Ok (Core.Aggregate.Min a)
+        | [ "max"; a ] -> Ok (Core.Aggregate.Max a)
+        | _ -> Error (Printf.sprintf "cannot parse aggregate %S" spec_text)
+      in
+      match agg with
+      | Error e -> "error: " ^ e
+      | Ok agg -> (
+        match Core.Decompose.aggregate_range st.family (Core.Decompose.make c p) agg with
+        | Error e -> "error: " ^ e
+        | Ok r ->
+          buffer_out (fun ppf ->
+              Format.fprintf ppf "%s over %s repairs: %a"
+                (Core.Aggregate.agg_to_string agg)
+                (Family.name_to_string st.family)
+                Core.Aggregate.pp_range r)))
+
+let cmd_prefer st body =
+  match st.spec with
+  | None -> (st, "no instance loaded (use: load FILE)")
+  | Some spec -> (
+    match IF.parse_pref body with
+    | Error e -> (st, "error: " ^ e)
+    | Ok pref -> (
+      let spec' = { spec with IF.prefs = spec.IF.prefs @ [ pref ] } in
+      (* reject preference sets that no longer induce a valid priority *)
+      match context spec' with
+      | Error e -> (st, "error: preference rejected: " ^ e)
+      | Ok (_, p) ->
+        ( { st with spec = Some spec' },
+          Printf.sprintf "preference added (%d conflict(s) now oriented)"
+            (Core.Priority.arc_count p) )))
+
+let cmd_save st path =
+  match st.spec with
+  | None -> (st, "no instance loaded (use: load FILE)")
+  | Some spec -> (
+    match
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (IF.print spec))
+    with
+    | () -> (st, "saved " ^ path)
+    | exception Sys_error m -> (st, "error: " ^ m))
+
+(* --- dispatch ---------------------------------------------------------------- *)
+
+let split_command line =
+  let trimmed = String.trim line in
+  match String.index_opt trimmed ' ' with
+  | None -> (trimmed, "")
+  | Some i ->
+    ( String.sub trimmed 0 i,
+      String.trim (String.sub trimmed i (String.length trimmed - i)) )
+
+let exec st line =
+  let cmd, rest = split_command line in
+  match (String.lowercase_ascii cmd, rest) with
+  | "", "" -> (st, "")
+  | "help", _ -> (st, help_text)
+  | "load", "" -> (st, "usage: load FILE")
+  | "load", path -> cmd_load st path
+  | "family", name -> cmd_family st name
+  | "info", _ -> (st, cmd_info st)
+  | "repairs", "" -> (st, cmd_repairs st 20)
+  | "repairs", n -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> (st, cmd_repairs st n)
+    | _ -> (st, "usage: repairs [N]"))
+  | "count", _ -> (st, cmd_count st)
+  | "stats", _ -> (st, cmd_stats st)
+  | "facts", _ -> (st, cmd_facts st)
+  | "clean", _ -> (st, cmd_clean st)
+  | "trace", _ -> (st, cmd_trace st)
+  | "query", "" -> (st, "usage: query Q")
+  | "query", q -> (st, cmd_query st q)
+  | "explain", "" -> (st, "usage: explain Q")
+  | "explain", q -> (st, cmd_explain st q)
+  | "status", "" -> (st, "usage: status VALUES")
+  | "status", v -> (st, cmd_status st v)
+  | "aggregate", "" -> (st, "usage: aggregate count|sum:A|min:A|max:A")
+  | "aggregate", a -> (st, cmd_aggregate st a)
+  | "prefer", "" -> (st, "usage: prefer source A > B | newest | oldest | attribute A larger|smaller | formula F")
+  | "prefer", body -> cmd_prefer st body
+  | "save", "" -> (st, "usage: save FILE")
+  | "save", path -> cmd_save st path
+  | other, _ ->
+    (st, Printf.sprintf "unknown command %S (try: help)" other)

@@ -1,0 +1,41 @@
+(** The interactive session: a pure command interpreter.
+
+    Drives the whole library from one-line commands, holding the loaded
+    instance and the selected repair family as state. The interpreter is
+    pure — [exec] maps a state and a command line to a new state and the
+    text to display — so the test suite exercises it without a terminal;
+    [bin/prefdb shell] wires it to stdin.
+
+    Commands:
+    {v
+    load FILE            load an instance file
+    family rep|l|s|g|c   select the preferred-repair family
+    info                 schema, constraints, conflicts
+    repairs [N]          enumerate (at most N) preferred repairs
+    count                count preferred repairs without enumerating
+    stats                inconsistency summary
+    facts                certain / disputed / excluded tuples
+    clean                run Algorithm 1
+    trace                run Algorithm 1 step by step
+    query Q              preferred consistent answer to a closed query,
+                         certain bindings of an open one
+    explain Q            answer with witness repairs
+    status VALUES        a tuple's conflicts and fate
+    aggregate SPEC       count | sum:A | min:A | max:A
+    prefer DECL          add a preference (file-format syntax)
+    save FILE            write the instance and preferences back out
+    help                 this text
+    v} *)
+
+type state
+
+val initial : state
+
+val family : state -> Core.Family.name
+
+val loaded : state -> Dbio.Instance_format.spec option
+
+val exec : state -> string -> state * string
+(** Execute one command line. Unknown commands and errors produce an
+    explanatory message and leave the state unchanged. The [quit]/[exit]
+    commands are the driver's business, not the interpreter's. *)

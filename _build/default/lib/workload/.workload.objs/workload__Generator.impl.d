@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Constraints Core Fun Graphs List Prng Provenance Relation Relational Schema Tuple Undirected Value Vset

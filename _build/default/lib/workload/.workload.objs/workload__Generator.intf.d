@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Constraints Core Graphs Prng Provenance Relation Relational Vset

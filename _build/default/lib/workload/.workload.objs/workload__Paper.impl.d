@@ -1,0 +1,1 @@
+lib/workload/paper.ml: Constraints Core Fun Generator Graphs List Relation Relational Schema Tuple Undirected Value Vset

@@ -1,0 +1,1 @@
+lib/workload/paper.mli: Core Graphs Vset

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Constraints Core Fun Graphs List Printf Prng Provenance Relation Relational Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Constraints Prng Provenance Relation Relational

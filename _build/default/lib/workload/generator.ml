@@ -1,0 +1,205 @@
+open Relational
+open Graphs
+
+let ladder n =
+  if n < 0 then invalid_arg "Generator.ladder: negative size";
+  let schema = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let rows =
+    List.concat_map
+      (fun i -> [ [ Value.Int i; Value.Int 0 ]; [ Value.Int i; Value.Int 1 ] ])
+      (List.init n Fun.id)
+  in
+  (Relation.of_rows schema rows, [ Constraints.Fd.make [ "A" ] [ "B" ] ])
+
+let key_clusters ~groups ~width =
+  if groups < 0 || width < 1 then invalid_arg "Generator.key_clusters";
+  let schema =
+    Schema.make "R"
+      [ ("A", Schema.TInt); ("B", Schema.TInt); ("C", Schema.TInt) ]
+  in
+  let rows =
+    List.concat_map
+      (fun g ->
+        List.map
+          (fun w -> [ Value.Int g; Value.Int w; Value.Int ((g * width) + w) ])
+          (List.init width Fun.id))
+      (List.init groups Fun.id)
+  in
+  (Relation.of_rows schema rows, [ Constraints.Fd.make [ "A" ] [ "B"; "C" ] ])
+
+(* Tuple i (1-based) pairs with i+1 on A when i is odd and on C when i is
+   even; B and D alternate inside each pair, so consecutive tuples
+   conflict w.r.t. alternating FDs and nothing else conflicts. *)
+let chain n =
+  if n < 0 then invalid_arg "Generator.chain: negative size";
+  let schema =
+    Schema.make "R"
+      [
+        ("A", Schema.TInt); ("B", Schema.TInt);
+        ("C", Schema.TInt); ("D", Schema.TInt);
+      ]
+  in
+  let row i =
+    (* i ranges over 1..n *)
+    [
+      Value.Int ((i + 1) / 2);
+      Value.Int (if i mod 2 = 1 then 1 else 2);
+      Value.Int (i / 2);
+      Value.Int (if i mod 2 = 0 then 1 else 2);
+    ]
+  in
+  let rows = List.map (fun i -> row (i + 1)) (List.init n Fun.id) in
+  ( Relation.of_rows schema rows,
+    [ Constraints.Fd.make [ "A" ] [ "B" ]; Constraints.Fd.make [ "C" ] [ "D" ] ]
+  )
+
+(* Cycle C_2k: tuple i has a = i/2 (pairing 2i with 2i+1 on A -> B) and
+   c = ((i+1) mod 2k)/2 (pairing 2i+1 with 2i+2, wrapping, on C -> D);
+   b = d = i mod 2 makes each pair conflict. *)
+let mutual_cycle k =
+  if k < 2 then invalid_arg "Generator.mutual_cycle: k must be >= 2";
+  let schema =
+    Schema.make "R"
+      [
+        ("A", Schema.TInt); ("B", Schema.TInt);
+        ("C", Schema.TInt); ("D", Schema.TInt);
+      ]
+  in
+  let n = 2 * k in
+  let row i =
+    [
+      Value.Int (i / 2);
+      Value.Int (i mod 2);
+      Value.Int ((i + 1) mod n / 2);
+      Value.Int (i mod 2);
+    ]
+  in
+  let rows = List.map row (List.init n Fun.id) in
+  ( Relation.of_rows schema rows,
+    [ Constraints.Fd.make [ "A" ] [ "B" ]; Constraints.Fd.make [ "C" ] [ "D" ] ]
+  )
+
+let mutual_cycle_priority c =
+  let fd_ab = Constraints.Fd.make [ "A" ] [ "B" ] in
+  let schema = Core.Conflict.schema c in
+  let arcs =
+    List.filter_map
+      (fun (u, v) ->
+        let tu = Core.Conflict.tuple c u and tv = Core.Conflict.tuple c v in
+        if Constraints.Fd.conflicting schema fd_ab tu tv then begin
+          (* orient from the even tuple (b = 0) to the odd one (b = 1) *)
+          match Value.as_int (Tuple.get tu 1) with
+          | Some 0 -> Some (u, v)
+          | Some _ -> Some (v, u)
+          | None -> None
+        end
+        else None)
+      (Graphs.Undirected.edges (Core.Conflict.graph c))
+  in
+  Core.Priority.of_arcs_exn c arcs
+
+let mgr_example () =
+  let schema =
+    Schema.make "Mgr"
+      [
+        ("Name", Schema.TName); ("Dept", Schema.TName);
+        ("Salary", Schema.TInt); ("Reports", Schema.TInt);
+      ]
+  in
+  let tup name dept salary reports =
+    Tuple.make
+      [ Value.Name name; Value.Name dept; Value.Int salary; Value.Int reports ]
+  in
+  let t_mary_rd = tup "Mary" "R&D" 40000 3 in
+  let t_john_rd = tup "John" "R&D" 10000 2 in
+  let t_mary_it = tup "Mary" "IT" 20000 1 in
+  let t_john_pr = tup "John" "PR" 30000 4 in
+  let relation =
+    Relation.of_tuples schema [ t_mary_rd; t_john_rd; t_mary_it; t_john_pr ]
+  in
+  let fds =
+    [
+      Constraints.Fd.make [ "Dept" ] [ "Name"; "Salary"; "Reports" ];
+      Constraints.Fd.make [ "Name" ] [ "Dept"; "Salary"; "Reports" ];
+    ]
+  in
+  let prov =
+    Provenance.of_list
+      [
+        (t_mary_rd, Provenance.info ~source:"s1" ());
+        (t_john_rd, Provenance.info ~source:"s2" ());
+        (t_mary_it, Provenance.info ~source:"s3" ());
+        (t_john_pr, Provenance.info ~source:"s3" ());
+      ]
+  in
+  (relation, fds, prov)
+
+let random_instance rng ~n ~key_values ~payload_values =
+  if n < 0 || key_values < 1 || payload_values < 1 then
+    invalid_arg "Generator.random_instance";
+  let schema =
+    Schema.make "R"
+      [ ("A", Schema.TInt); ("B", Schema.TInt); ("C", Schema.TInt) ]
+  in
+  let row () =
+    [
+      Value.Int (Prng.int rng key_values);
+      Value.Int (Prng.int rng payload_values);
+      Value.Int (Prng.int rng payload_values);
+    ]
+  in
+  let rows = List.init n (fun _ -> row ()) in
+  (Relation.of_rows schema rows, [ Constraints.Fd.make [ "A" ] [ "B"; "C" ] ])
+
+let random_two_fd_instance rng ~n ~a_values ~c_values ~v_values =
+  if n < 0 || a_values < 1 || c_values < 1 || v_values < 1 then
+    invalid_arg "Generator.random_two_fd_instance";
+  let schema =
+    Schema.make "R"
+      [
+        ("A", Schema.TInt); ("B", Schema.TInt);
+        ("C", Schema.TInt); ("D", Schema.TInt);
+      ]
+  in
+  let row () =
+    [
+      Value.Int (Prng.int rng a_values);
+      Value.Int (Prng.int rng v_values);
+      Value.Int (Prng.int rng c_values);
+      Value.Int (Prng.int rng v_values);
+    ]
+  in
+  let rows = List.init n (fun _ -> row ()) in
+  ( Relation.of_rows schema rows,
+    [ Constraints.Fd.make [ "A" ] [ "B" ]; Constraints.Fd.make [ "C" ] [ "D" ] ]
+  )
+
+let random_priority rng ~density c =
+  let n = Core.Conflict.size c in
+  let order = Array.init n Fun.id in
+  Prng.shuffle rng order;
+  let rank = Array.make n 0 in
+  Array.iteri (fun i v -> rank.(v) <- i) order;
+  let arcs =
+    List.filter_map
+      (fun (u, v) ->
+        let keep =
+          density >= 1.0
+          || float_of_int (Prng.int rng 1_000_000) < density *. 1_000_000.
+        in
+        if keep then Some (if rank.(u) < rank.(v) then (u, v) else (v, u))
+        else None)
+      (Undirected.edges (Core.Conflict.graph c))
+  in
+  Core.Priority.of_arcs_exn c arcs
+
+let random_repair rng c =
+  let g = Core.Conflict.graph c in
+  let order = Array.init (Core.Conflict.size c) Fun.id in
+  Prng.shuffle rng order;
+  Array.fold_left
+    (fun acc v ->
+      if Vset.is_empty (Vset.inter (Undirected.neighbors g v) acc) then
+        Vset.add v acc
+      else acc)
+    Vset.empty order

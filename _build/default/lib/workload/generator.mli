@@ -1,0 +1,72 @@
+(** Workload generators.
+
+    Deterministic families of inconsistent instances exercising the
+    conflict structures the paper reasons about, plus random instances and
+    random priorities for property-based testing and scaling experiments.
+    Each structured generator returns the instance together with the FDs
+    that make it inconsistent. *)
+
+open Relational
+open Graphs
+
+val ladder : int -> Relation.t * Constraints.Fd.t list
+(** Example 4's rₙ: [{(0,0), (0,1), …, (n-1,0), (n-1,1)}] over R(A, B)
+    with A → B. The conflict graph is n disjoint edges (Figure 1) and
+    there are exactly 2ⁿ repairs. *)
+
+val key_clusters : groups:int -> width:int -> Relation.t * Constraints.Fd.t list
+(** One key dependency A → B C; [groups] key values with [width] mutually
+    conflicting tuples each. The conflict graph is a disjoint union of
+    [groups] cliques of size [width]; there are width^groups repairs. *)
+
+val chain : int -> Relation.t * Constraints.Fd.t list
+(** Example 9 generalized to n tuples over R(A, B, C, D) with
+    F = [{A → B; C → D}]: tuple i conflicts with tuple i+1, FDs
+    alternating, so the conflict graph is a path — conflicts of the two
+    FDs are mutual in every interior tuple (§3.3's setting). For n = 5
+    this is exactly the instance of Example 9 up to renaming of values. *)
+
+val mutual_cycle : int -> Relation.t * Constraints.Fd.t list
+(** [mutual_cycle k] builds 2k tuples over R(A, B, C, D) with
+    F = [{A → B; C → D}] whose conflict graph is the cycle C_2k, edges
+    alternating between the two FDs. This is the minimal realization of
+    §3.3's mutual-conflict regime where S-Rep and G-Rep genuinely differ:
+    orienting only the A → B edges (even tuple over odd) leaves both the
+    even and the odd repair semi-globally optimal, while the even repair
+    ≪-dominates the odd one, so G-Rep rejects it. Requires [k ≥ 2]
+    (C₂ would be a multi-edge). *)
+
+val mutual_cycle_priority : Core.Conflict.t -> Core.Priority.t
+(** The partial priority described under {!mutual_cycle}: every A → B
+    conflict oriented from the even tuple to the odd one, C → D conflicts
+    left unoriented. *)
+
+val mgr_example : unit -> Relation.t * Constraints.Fd.t list * Provenance.t
+(** The running example of the paper (Examples 1–3): the Mgr relation
+    integrated from sources s1, s2, s3, with both key dependencies fd1
+    (Dept → rest) and fd2 (Name → rest), and provenance recording each
+    tuple's source. *)
+
+val random_instance :
+  Prng.t -> n:int -> key_values:int -> payload_values:int ->
+  Relation.t * Constraints.Fd.t list
+(** [n] random tuples over R(A, B, C) with key A → B C: attribute A drawn
+    from [key_values] values, payload from [payload_values]. Smaller
+    [key_values] means denser conflicts. Duplicates collapse, so the
+    instance may hold fewer than [n] tuples. *)
+
+val random_two_fd_instance :
+  Prng.t -> n:int -> a_values:int -> c_values:int -> v_values:int ->
+  Relation.t * Constraints.Fd.t list
+(** [n] random tuples over R(A, B, C, D) with F = [{A → B; C → D}] —
+    the two-FD mutual-conflict regime of §3.3. *)
+
+val random_priority : Prng.t -> density:float -> Core.Conflict.t -> Core.Priority.t
+(** Orient each conflict edge independently with probability [density],
+    directing every chosen edge from the lower to the higher position of a
+    random vertex permutation — acyclicity is structural. [density >= 1.]
+    yields a total priority. *)
+
+val random_repair : Prng.t -> Core.Conflict.t -> Vset.t
+(** A uniform-ish random repair: greedy maximal extension of the empty set
+    scanning vertices in random order. *)

@@ -1,0 +1,89 @@
+open Relational
+open Graphs
+
+let example7 () =
+  let schema = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let row a b = [ Value.Int a; Value.Int b ] in
+  let r = Relation.of_rows schema [ row 1 1; row 1 2; row 1 3 ] in
+  let fds = [ Constraints.Fd.make [ "A" ] [ "B" ] ] in
+  let c = Core.Conflict.build fds r in
+  (* canonical order: ta = 0, tb = 1, tc = 2 *)
+  (c, Core.Priority.of_arcs_exn c [ (0, 2); (0, 1) ])
+
+let example8 () =
+  let schema =
+    Schema.make "R"
+      [ ("A", Schema.TInt); ("B", Schema.TInt); ("C", Schema.TInt) ]
+  in
+  let row a b c = [ Value.Int a; Value.Int b; Value.Int c ] in
+  let r = Relation.of_rows schema [ row 1 1 1; row 1 1 2; row 1 2 3 ] in
+  let fds = [ Constraints.Fd.make [ "A" ] [ "B" ] ] in
+  let c = Core.Conflict.build fds r in
+  (c, Core.Priority.of_arcs_exn c [ (2, 0); (2, 1) ])
+
+let chain_order c =
+  let g = Core.Conflict.graph c in
+  let n = Core.Conflict.size c in
+  if n = 0 then []
+  else if n = 1 then [ 0 ]
+  else begin
+    let ends =
+      List.filter (fun v -> Undirected.degree g v = 1) (List.init n Fun.id)
+    in
+    let start = List.fold_left min (List.hd ends) ends in
+    let rec walk prev v acc =
+      let next =
+        Vset.elements (Undirected.neighbors g v)
+        |> List.filter (fun w -> Some w <> prev)
+      in
+      match next with
+      | [] -> List.rev (v :: acc)
+      | w :: _ -> walk (Some v) w (v :: acc)
+    in
+    walk None start []
+  end
+
+let chain_total_priority c =
+  let rec arcs = function
+    | a :: (b :: _ as rest) -> (a, b) :: arcs rest
+    | [ _ ] | [] -> []
+  in
+  Core.Priority.of_arcs_exn c (arcs (chain_order c))
+
+let example9 () =
+  let rel, fds = Generator.chain 5 in
+  let c = Core.Conflict.build fds rel in
+  (c, chain_total_priority c)
+
+let example9_partial () =
+  let rel, fds = Generator.chain 5 in
+  let c = Core.Conflict.build fds rel in
+  match chain_order c with
+  | [ t1; t2; t3; t4; _t5 ] ->
+    (c, Core.Priority.of_arcs_exn c [ (t1, t2); (t3, t4) ])
+  | _ -> assert false
+
+let s_vs_g_counterexample () =
+  let schema =
+    Schema.make "R"
+      [ ("A", Schema.TInt); ("B", Schema.TInt); ("C", Schema.TInt) ]
+  in
+  let row a b c = [ Value.Int a; Value.Int b; Value.Int c ] in
+  let rel =
+    Relation.of_rows schema [ row 1 0 0; row 1 0 2; row 1 1 1; row 1 1 2 ]
+  in
+  let c = Core.Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel in
+  (* K_{2,2} between {0,1} (B = 0) and {2,3} (B = 1) *)
+  (c, Core.Priority.of_arcs_exn c [ (2, 1); (3, 0) ])
+
+let evens_odds c =
+  let evens =
+    Vset.of_list
+      (List.filter_map
+         (fun v ->
+           match Value.as_int (Tuple.get (Core.Conflict.tuple c v) 1) with
+           | Some 0 -> Some v
+           | Some _ | None -> None)
+         (List.init (Core.Conflict.size c) Fun.id))
+  in
+  (evens, Vset.diff (Vset.of_range (Core.Conflict.size c)) evens)

@@ -1,0 +1,40 @@
+(** The paper's worked examples as ready-made conflict structures.
+
+    Shared by the test suite, the runnable examples and the benchmark
+    harness so that every consumer agrees on the exact instances. Vertex
+    ids refer to the canonical (sorted) tuple order of the instance. *)
+
+open Graphs
+
+val example7 : unit -> Core.Conflict.t * Core.Priority.t
+(** Example 7 / Figure 2: R(A, B) with key A → B, three mutually
+    conflicting tuples ta = (1,1), tb = (1,2), tc = (1,3) (vertices 0, 1,
+    2), priority ta ≻ tc, ta ≻ tb. *)
+
+val example8 : unit -> Core.Conflict.t * Core.Priority.t
+(** Example 8 / Figure 3: R(A, B, C) with A → B; ta = (1,1,1),
+    tb = (1,1,2) (duplicates on B), tc = (1,2,3); total priority tc ≻ ta,
+    tc ≻ tb. *)
+
+val chain_order : Core.Conflict.t -> int list
+(** The vertex sequence of a path-shaped conflict graph, starting from its
+    smaller endpoint (used to address the chain instances positionally). *)
+
+val chain_total_priority : Core.Conflict.t -> Core.Priority.t
+(** t1 ≻ t2 ≻ … along {!chain_order} — Example 9's printed priority. *)
+
+val example9 : unit -> Core.Conflict.t * Core.Priority.t
+(** Example 9 / Figure 4 as printed: the 5-tuple two-FD chain with the
+    total path priority. NOTE: the paper's prose about this example is
+    inconsistent with its own definitions; see EXPERIMENTS.md. *)
+
+val example9_partial : unit -> Core.Conflict.t * Core.Priority.t
+(** The same instance with priority only on the A → B conflicts. *)
+
+val s_vs_g_counterexample : unit -> Core.Conflict.t * Core.Priority.t
+(** The K₂,₂ duplicate-regime instance witnessing that one non-key FD
+    already separates S-Rep from G-Rep (EXPERIMENTS.md erratum 3). *)
+
+val evens_odds : Core.Conflict.t -> Vset.t * Vset.t
+(** For {!Workload.Generator.mutual_cycle} instances: the two alternating
+    repairs (tuples with B = 0 and with B = 1). *)

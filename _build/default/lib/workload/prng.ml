@@ -1,0 +1,33 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy s = { state = s.state }
+
+(* splitmix64 (Steele, Lea, Flood 2014). *)
+let next64 s =
+  s.state <- Int64.add s.state 0x9E3779B97F4A7C15L;
+  let z = s.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int s bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Drop two bits so the value fits OCaml's 63-bit native int without
+     wrapping negative. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next64 s) 2) in
+  v mod bound
+
+let bool s = Int64.logand (next64 s) 1L = 1L
+
+let pick s = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | l -> List.nth l (int s (List.length l))
+
+let shuffle s a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int s (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

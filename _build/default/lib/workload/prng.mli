@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Workloads must be reproducible across runs and machines, so the
+    generators take an explicit seeded state rather than using the global
+    [Random]. Splitmix64 is small, fast and statistically adequate for
+    workload synthesis. *)
+
+type t
+
+val create : int -> t
+(** A fresh state from a seed. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+
+val next64 : t -> int64
+(** The raw 64-bit stream. *)
+
+val int : t -> int -> int
+(** [int s bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

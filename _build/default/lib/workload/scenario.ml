@@ -1,0 +1,95 @@
+open Relational
+
+type t = {
+  relation : Relation.t;
+  fds : Constraints.Fd.t list;
+  provenance : Provenance.t;
+  reliability : (string * string) list;
+  sources : string list;
+}
+
+let departments = [| "R&D"; "IT"; "PR"; "Sales"; "HR"; "Legal" |]
+
+let integration rng ~employees ~sources_per_tier ~overlap =
+  if employees < 0 then invalid_arg "Scenario.integration: negative employees";
+  if sources_per_tier = [] then
+    invalid_arg "Scenario.integration: no source tiers";
+  let schema =
+    Schema.make "Emp"
+      [ ("Name", Schema.TName); ("Dept", Schema.TName); ("Salary", Schema.TInt) ]
+  in
+  (* Tiered source names: s<tier>_<index>. *)
+  let tiers =
+    List.mapi
+      (fun tier count ->
+        List.init count (fun i -> Printf.sprintf "s%d_%d" (tier + 1) i))
+      sources_per_tier
+  in
+  let sources = List.concat tiers in
+  let reliability =
+    (* Every source of a tier is more reliable than every source of all
+       later tiers; tiers are incomparable inside. *)
+    let rec spans = function
+      | [] | [ _ ] -> []
+      | tier :: rest ->
+        List.concat_map
+          (fun hi -> List.map (fun lo -> (hi, lo)) (List.concat rest))
+          tier
+        @ spans rest
+    in
+    spans tiers
+  in
+  (* Each employee has a "true" record; a source either reports it
+     faithfully or garbles department/salary. *)
+  let contributions = ref [] in
+  let report person =
+    let name = Printf.sprintf "emp%04d" person in
+    let true_dept = departments.(Prng.int rng (Array.length departments)) in
+    let true_salary = 30_000 + (1000 * Prng.int rng 70) in
+    let reporters =
+      let chosen =
+        List.filter
+          (fun _ -> float_of_int (Prng.int rng 1000) < overlap *. 1000.)
+          sources
+      in
+      if chosen = [] then [ Prng.pick rng sources ] else chosen
+    in
+    List.iter
+      (fun src ->
+        let garbled = Prng.int rng 100 < 40 in
+        let dept =
+          if garbled && Prng.bool rng then
+            departments.(Prng.int rng (Array.length departments))
+          else true_dept
+        in
+        let salary =
+          if garbled then true_salary + (1000 * (1 + Prng.int rng 10))
+          else true_salary
+        in
+        let tuple =
+          Tuple.make [ Value.Name name; Value.Name dept; Value.Int salary ]
+        in
+        contributions := (tuple, src) :: !contributions)
+      reporters
+  in
+  List.iter report (List.init employees Fun.id);
+  let relation = Relation.of_tuples schema (List.map fst !contributions) in
+  let provenance =
+    (* Set semantics: when two sources contribute the same tuple, the
+       later [set] wins; conflicts only matter between distinct tuples, so
+       any single witness source is adequate. *)
+    Provenance.of_list
+      (List.map
+         (fun (t, src) -> (t, Provenance.info ~source:src ()))
+         !contributions)
+  in
+  let fds = [ Constraints.Fd.make [ "Name" ] [ "Dept"; "Salary" ] ] in
+  { relation; fds; provenance; reliability; sources }
+
+let conflicting_tuples t =
+  let c = Core.Conflict.build t.fds t.relation in
+  let g = Core.Conflict.graph c in
+  Graphs.Vset.cardinal
+    (Graphs.Vset.filter
+       (fun v -> not (Graphs.Vset.is_empty (Graphs.Undirected.neighbors g v)))
+       (Graphs.Undirected.vertices g))

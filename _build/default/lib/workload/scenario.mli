@@ -1,0 +1,34 @@
+(** A data-integration scenario at adjustable scale.
+
+    The paper's motivating scenario (§1, Examples 1–3): several
+    autonomous, individually consistent sources are unioned into one
+    inconsistent instance, and partial reliability information orders some
+    of the conflicts. This module synthesizes such workloads: an employee
+    directory integrated from k sources where sources may disagree on a
+    person's department and salary.
+
+    The reliability order is deliberately partial (as in Example 3):
+    sources come in tiers, tiers are totally ordered, sources inside a
+    tier are incomparable. *)
+
+open Relational
+
+type t = {
+  relation : Relation.t;  (** the integrated instance *)
+  fds : Constraints.Fd.t list;  (** the key: Name → Dept Salary *)
+  provenance : Provenance.t;  (** which source contributed each tuple *)
+  reliability : (string * string) list;
+      (** source pairs (more, less) spanning the tier order *)
+  sources : string list;
+}
+
+val integration :
+  Prng.t -> employees:int -> sources_per_tier:int list -> overlap:float -> t
+(** [employees] people; one source tier list, e.g. [[2; 1]] = two
+    top-tier sources and one lower-tier source (Example 3's shape);
+    [overlap] is the probability that a given source also reports a given
+    employee (every employee is reported by at least one source).
+    Disagreeing reports create key conflicts on Name. *)
+
+val conflicting_tuples : t -> int
+(** Number of tuples involved in at least one conflict. *)

@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest Constraints Core List Relation Relational Result Schema Value Workload

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Char Database List Printf Query Relation Relational Result Schema String Value Workload

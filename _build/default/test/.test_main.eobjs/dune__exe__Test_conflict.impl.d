@@ -1,0 +1,1 @@
+test/test_conflict.ml: Alcotest Constraints Core Graphs List Relation Relational Schema Testlib Tuple Undirected Value Vset Workload

@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Constraints List Relation Relational Result Schema Testlib Tuple Value

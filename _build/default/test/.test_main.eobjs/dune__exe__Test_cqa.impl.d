@@ -1,0 +1,1 @@
+test/test_cqa.ml: Alcotest Core Format List Printf Query Result Testlib Workload

@@ -1,0 +1,1 @@
+test/test_dbio.ml: Alcotest Constraints Core Dbio List Provenance Query Relation Relational Result String Testlib Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Array Core Format Fun Graphs List Query Relational Result Testlib Vset Workload

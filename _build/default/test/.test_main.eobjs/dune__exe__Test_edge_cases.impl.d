@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Constraints Core Graphs List Option Printf Query Relational Vset Workload

@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Constraints Core Format List Query Relation Relational Result Schema String Testlib Tuple Value

@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Digraph Fun Graphs Hypergraph List Mis Printf Testlib Undirected Vset Workload

@@ -1,0 +1,1 @@
+test/test_hyper.ml: Alcotest Constraints Core Format Fun Graphs Hypergraph List Printf Query Relation Relational Result Schema Testlib Value Vset Workload

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Constraints Core Database Format List Query Relation Relational Result Schema Testlib Value

@@ -1,0 +1,1 @@
+test/test_optimality.ml: Alcotest Constraints Core Fun Graphs List Relation Relational Schema Testlib Undirected Value Vset Workload

@@ -1,0 +1,1 @@
+test/test_pref_formula.ml: Alcotest Constraints Core Dbio List Printf Relation Relational Result Schema Tuple Value

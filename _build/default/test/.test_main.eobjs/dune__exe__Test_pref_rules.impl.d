@@ -1,0 +1,1 @@
+test/test_pref_rules.ml: Alcotest Constraints Core List Option Provenance Relation Relational Result Schema Testlib Tuple Value

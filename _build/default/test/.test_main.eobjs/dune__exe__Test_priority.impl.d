@@ -1,0 +1,1 @@
+test/test_priority.ml: Alcotest Core Graphs List Relational Result Testlib Vset Workload

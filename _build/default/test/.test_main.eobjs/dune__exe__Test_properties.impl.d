@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Core Format List Testlib Workload

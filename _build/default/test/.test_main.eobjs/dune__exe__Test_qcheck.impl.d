@@ -1,0 +1,1 @@
+test/test_qcheck.ml: Array Constraints Core Digraph Graphs List Printf QCheck2 QCheck_alcotest Query Relational Vset Workload

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Database List Printf Query Relation Relational Result Schema Testlib Value

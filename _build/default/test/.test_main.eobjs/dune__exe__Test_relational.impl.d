@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Database Fun List Provenance Relation Relational Result Schema Testlib Tuple Value

@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Constraints Core Graphs List Printf Relation Relational Result Schema Testlib Tuple Value Vset Workload

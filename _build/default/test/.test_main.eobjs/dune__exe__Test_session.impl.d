@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Core Dbio Filename Out_channel Shell String Testlib

@@ -1,0 +1,1 @@
+test/test_stats_trace.ml: Alcotest Constraints Core Format Graphs List Relational Result String Testlib Vset Workload

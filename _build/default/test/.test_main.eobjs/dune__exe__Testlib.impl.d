@@ -1,0 +1,1 @@
+test/testlib.ml: Alcotest Fmt Graphs List Relational Vset Workload

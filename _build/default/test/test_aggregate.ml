@@ -1,0 +1,137 @@
+(* Tests for range-consistent aggregation (§6 / [2]). *)
+
+open Relational
+module Conflict = Core.Conflict
+module Priority = Core.Priority
+module Family = Core.Family
+module Aggregate = Core.Aggregate
+
+let check = Alcotest.check
+
+let range =
+  Alcotest.testable Aggregate.pp_range (fun a b ->
+      a.Aggregate.glb = b.Aggregate.glb && a.Aggregate.lub = b.Aggregate.lub)
+
+let r = Aggregate.{ glb = None; lub = None }
+let mk glb lub = Aggregate.{ glb = Some glb; lub = Some lub }
+let _ = r
+
+(* one key, two clusters:
+   A=1: (1, 10, 100), (1, 20, 200)
+   A=2: (2, 5, 500) *)
+let two_clusters () =
+  let schema =
+    Schema.make "R"
+      [ ("A", Schema.TInt); ("B", Schema.TInt); ("C", Schema.TInt) ]
+  in
+  let rel =
+    Relation.of_rows schema
+      [
+        [ Value.int 1; Value.int 10; Value.int 100 ];
+        [ Value.int 1; Value.int 20; Value.int 200 ];
+        [ Value.int 2; Value.int 5; Value.int 500 ];
+      ]
+  in
+  Conflict.build [ Constraints.Fd.make [ "A" ] [ "B"; "C" ] ] rel
+
+let test_cluster_detection () =
+  Alcotest.(check bool) "key graph is cluster graph" true
+    (Aggregate.is_cluster_graph (two_clusters ()));
+  let rel, fds = Workload.Generator.chain 5 in
+  Alcotest.(check bool) "path is not" false
+    (Aggregate.is_cluster_graph (Conflict.build fds rel))
+
+let test_count () =
+  let c = two_clusters () in
+  check range "COUNT = #clusters" (mk 2 2)
+    (Result.get_ok (Aggregate.range c Aggregate.Count_all))
+
+let test_sum () =
+  let c = two_clusters () in
+  check range "SUM(B) in [15, 25]" (mk 15 25)
+    (Result.get_ok (Aggregate.range c (Aggregate.Sum "B")));
+  check range "SUM(C) in [600, 700]" (mk 600 700)
+    (Result.get_ok (Aggregate.range c (Aggregate.Sum "C")))
+
+let test_min_max () =
+  let c = two_clusters () in
+  check range "MIN(B): glb 5, lub 5" (mk 5 5)
+    (Result.get_ok (Aggregate.range c (Aggregate.Min "B")));
+  check range "MAX(B): glb 10, lub 20" (mk 10 20)
+    (Result.get_ok (Aggregate.range c (Aggregate.Max "B")));
+  check range "MIN(C): glb 100, lub 200" (mk 100 200)
+    (Result.get_ok (Aggregate.range c (Aggregate.Min "C")))
+
+let test_errors () =
+  let c = two_clusters () in
+  Alcotest.(check bool) "unknown attribute" true
+    (Result.is_error (Aggregate.range c (Aggregate.Sum "Z")));
+  let schema = Schema.make "R" [ ("A", Schema.TName); ("B", Schema.TName) ] in
+  let rel = Relation.of_rows schema [ [ Value.name "x"; Value.name "y" ] ] in
+  let c2 = Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel in
+  Alcotest.(check bool) "name attribute rejected" true
+    (Result.is_error (Aggregate.range c2 (Aggregate.Sum "B")))
+
+let test_closed_form_matches_enumeration () =
+  let rng = Workload.Prng.create 71 in
+  for _ = 1 to 20 do
+    let rel, fds =
+      Workload.Generator.random_instance rng ~n:10 ~key_values:4 ~payload_values:5
+    in
+    let c = Conflict.build fds rel in
+    List.iter
+      (fun agg ->
+        let closed = Result.get_ok (Aggregate.range c agg) in
+        let enum =
+          Result.get_ok
+            (Aggregate.range_preferred Family.Rep c (Priority.empty c) agg)
+        in
+        check range (Aggregate.agg_to_string agg) enum closed)
+      [ Aggregate.Count_all; Aggregate.Sum "B"; Aggregate.Min "B"; Aggregate.Max "C" ]
+  done
+
+let test_non_cluster_fallback () =
+  (* chain: not a cluster graph; enumeration fallback used. 5-path has
+     repairs of sizes 2 or 3, so COUNT ranges over [2, 3]. *)
+  let rel, fds = Workload.Generator.chain 5 in
+  let c = Conflict.build fds rel in
+  check range "COUNT on path" (mk 2 3)
+    (Result.get_ok (Aggregate.range c Aggregate.Count_all))
+
+let test_preferred_range_collapses () =
+  (* with a total priority and X = C, the preferred range is a point
+     (P4: a single preferred repair). *)
+  let c = two_clusters () in
+  let p = Priority.totalize c (Priority.empty c) in
+  let pref = Result.get_ok (Aggregate.range_preferred Family.C c p (Aggregate.Sum "B")) in
+  Alcotest.(check bool) "point range" true (pref.Aggregate.glb = pref.Aggregate.lub);
+  (* and it lies within the unpreferred range *)
+  let full = Result.get_ok (Aggregate.range c (Aggregate.Sum "B")) in
+  let within =
+    match (pref.Aggregate.glb, full.Aggregate.glb, full.Aggregate.lub) with
+    | Some v, Some lo, Some hi -> lo <= v && v <= hi
+    | _ -> false
+  in
+  Alcotest.(check bool) "inside full range" true within
+
+let test_empty_instance () =
+  let schema = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let rel = Relation.of_rows schema [] in
+  let c = Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel in
+  check range "COUNT of empty" (mk 0 0)
+    (Result.get_ok (Aggregate.range c Aggregate.Count_all));
+  let minr = Result.get_ok (Aggregate.range c (Aggregate.Min "B")) in
+  Alcotest.(check bool) "MIN undefined" true (minr.Aggregate.glb = None)
+
+let suite =
+  [
+    ("cluster graph detection", `Quick, test_cluster_detection);
+    ("COUNT range", `Quick, test_count);
+    ("SUM range", `Quick, test_sum);
+    ("MIN/MAX ranges", `Quick, test_min_max);
+    ("error conditions", `Quick, test_errors);
+    ("closed form = enumeration", `Quick, test_closed_form_matches_enumeration);
+    ("non-cluster fallback", `Quick, test_non_cluster_fallback);
+    ("preferred range collapses under P4", `Quick, test_preferred_range_collapses);
+    ("empty instance", `Quick, test_empty_instance);
+  ]

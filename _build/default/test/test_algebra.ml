@@ -1,0 +1,216 @@
+(* Tests for the relational algebra and the conjunctive-query planner. *)
+
+open Relational
+module A = Algebra
+module Plan = Query.Plan
+module Engine = Query.Engine
+
+let check = Alcotest.check
+let parse = Query.Parser.parse_exn
+
+let r_schema = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ]
+let s_schema = Schema.make "S" [ ("B", Schema.TInt); ("C", Schema.TName) ]
+
+let r () =
+  Relation.of_rows r_schema
+    [
+      [ Value.int 1; Value.int 10 ];
+      [ Value.int 2; Value.int 20 ];
+      [ Value.int 3; Value.int 20 ];
+    ]
+
+let s () =
+  Relation.of_rows s_schema
+    [
+      [ Value.int 10; Value.name "x" ];
+      [ Value.int 20; Value.name "y" ];
+      [ Value.int 30; Value.name "z" ];
+    ]
+
+(* --- algebra --------------------------------------------------------------- *)
+
+let test_select () =
+  let e = A.Select (A.Const_cmp (A.Gt, 1, Value.int 10), A.Rel (r ())) in
+  check Alcotest.int "two rows" 2 (A.cardinality e);
+  let e2 = A.Select (A.Attr_cmp (A.Lt, 0, 1), A.Rel (r ())) in
+  check Alcotest.int "all rows (A < B)" 3 (A.cardinality e2);
+  let e3 = A.Select (A.Conj [], A.Rel (r ())) in
+  check Alcotest.int "empty conj = true" 3 (A.cardinality e3)
+
+let test_project () =
+  let e = A.Project ([ 1 ], A.Rel (r ())) in
+  (* B values 10, 20, 20 -> dedup to 2 *)
+  check Alcotest.int "set semantics" 2 (A.cardinality e);
+  let dup = A.Project ([ 0; 0 ], A.Rel (r ())) in
+  check Alcotest.int "duplicated column" 3 (A.cardinality dup);
+  check Alcotest.int "arity" 2 (A.arity dup)
+
+let test_join () =
+  let e = A.Join ([ (1, 0) ], A.Rel (r ()), A.Rel (s ())) in
+  (* R.B = S.B: (1,10)-(10,x), (2,20)-(20,y), (3,20)-(20,y) *)
+  check Alcotest.int "join rows" 3 (A.cardinality e);
+  check Alcotest.int "join arity" 4 (A.arity e);
+  (* product *)
+  let prod = A.Join ([], A.Rel (r ()), A.Rel (s ())) in
+  check Alcotest.int "product" 9 (A.cardinality prod);
+  (* join = select over product *)
+  let via_product =
+    A.Select (A.Attr_cmp (A.Eq, 1, 2), A.Join ([], A.Rel (r ()), A.Rel (s ())))
+  in
+  Alcotest.(check bool) "hash join = filtered product" true
+    (Relation.equal
+       (Relation.of_tuples (Relation.schema (A.eval e)) (Relation.tuples (A.eval e)))
+       (Relation.of_tuples
+          (Relation.schema (A.eval e))
+          (Relation.tuples (A.eval via_product))))
+
+let test_union_diff () =
+  let top = A.Select (A.Const_cmp (A.Geq, 1, Value.int 20), A.Rel (r ())) in
+  let bottom = A.Select (A.Const_cmp (A.Leq, 1, Value.int 10), A.Rel (r ())) in
+  check Alcotest.int "union" 3 (A.cardinality (A.Union (top, bottom)));
+  check Alcotest.int "diff" 1 (A.cardinality (A.Diff (A.Rel (r ()), top)));
+  check Alcotest.int "self diff" 0 (A.cardinality (A.Diff (top, top)))
+
+let test_check_errors () =
+  let expect_error e =
+    Alcotest.(check bool) "rejected" true (Result.is_error (A.check e))
+  in
+  expect_error (A.Project ([ 5 ], A.Rel (r ())));
+  expect_error (A.Select (A.Attr_cmp (A.Eq, 0, 9), A.Rel (r ())));
+  expect_error (A.Union (A.Rel (r ()), A.Rel (s ())));
+  (* name-typed order comparison *)
+  expect_error (A.Select (A.Const_cmp (A.Lt, 1, Value.name "x"), A.Rel (s ())));
+  (* cross-type join *)
+  expect_error (A.Join ([ (0, 1) ], A.Rel (r ()), A.Rel (s ())));
+  Alcotest.(check bool) "valid plan accepted" true
+    (Result.is_ok (A.check (A.Join ([ (1, 0) ], A.Rel (r ()), A.Rel (s ())))))
+
+(* --- planner ----------------------------------------------------------------- *)
+
+let db () = Database.of_relations [ r (); s () ]
+
+let test_plan_simple () =
+  let q = parse "exists a, b. R(a, b) and b > 10" in
+  Alcotest.(check (option bool)) "holds" (Some true) (Plan.holds (db ()) q);
+  let q2 = parse "exists a. R(a, 99)" in
+  Alcotest.(check (option bool)) "no match" (Some false) (Plan.holds (db ()) q2)
+
+let test_plan_join_query () =
+  let q = parse "exists a, b, c. R(a, b) and S(b, c) and c = 'y'" in
+  Alcotest.(check (option bool)) "join via planner" (Some true)
+    (Plan.holds (db ()) q);
+  let q2 = parse "exists a, b, c. R(a, b) and S(b, c) and c = 'z'" in
+  Alcotest.(check (option bool)) "S(30,z) unreachable" (Some false)
+    (Plan.holds (db ()) q2)
+
+let test_plan_open_query () =
+  match Plan.answers (db ()) (parse "exists b. R(a, b) and S(b, c)") with
+  | None -> Alcotest.fail "expected planner support"
+  | Some (free, rows) ->
+    check Alcotest.(list string) "free" [ "a"; "c" ] free;
+    check Alcotest.int "rows" 3 (List.length rows)
+
+let test_plan_static_simplification () =
+  (* cross-domain equality and name ordering decide statically *)
+  let q = parse "exists a, b. R(a, b) and a = 'nope'" in
+  Alcotest.(check (option bool)) "cross-type constant" (Some false)
+    (Plan.holds (db ()) q);
+  let q2 = parse "exists b, c. S(b, c) and c < 'z'" in
+  Alcotest.(check (option bool)) "name order unsatisfiable" (Some false)
+    (Plan.holds (db ()) q2);
+  let q3 = parse "exists b, c. S(b, c) and c <= 'y' and b = 20" in
+  Alcotest.(check (option bool)) "name <= collapses to equality" (Some true)
+    (Plan.holds (db ()) q3);
+  let q4 = parse "exists a, b. R(a, b) and a != 'name'" in
+  Alcotest.(check (option bool)) "cross-type inequality vacuous" (Some true)
+    (Plan.holds (db ()) q4)
+
+let test_plan_unsupported () =
+  let unsupported q = Plan.holds (db ()) (parse q) = None in
+  Alcotest.(check bool) "disjunction" true (unsupported "R(1, 10) or R(2, 20)");
+  Alcotest.(check bool) "negation" true (unsupported "not R(1, 10)");
+  Alcotest.(check bool) "universal" true (unsupported "forall a, b. R(a, b)");
+  Alcotest.(check bool) "unsafe comparison" true
+    (unsupported "exists a, b, x. R(a, b) and x > 3");
+  Alcotest.(check bool) "no atoms" true (unsupported "1 < 2")
+
+let test_plan_repeated_vars () =
+  let schema = Schema.make "T" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let t =
+    Relation.of_rows schema
+      [ [ Value.int 1; Value.int 1 ]; [ Value.int 1; Value.int 2 ] ]
+  in
+  let db = Database.of_relations [ t ] in
+  Alcotest.(check (option bool)) "diagonal atom" (Some true)
+    (Plan.holds db (parse "exists x. T(x, x)"));
+  match Plan.answers db (parse "T(x, x)") with
+  | Some (_, rows) -> check Alcotest.int "one diagonal row" 1 (List.length rows)
+  | None -> Alcotest.fail "expected support"
+
+(* --- engine = eval cross-validation -------------------------------------------- *)
+
+let test_engine_matches_eval_random () =
+  let rng = Workload.Prng.create 503 in
+  for _ = 1 to 40 do
+    let n_r = 1 + Workload.Prng.int rng 8 in
+    let rel =
+      Relation.of_rows r_schema
+        (List.init n_r (fun _ ->
+             [
+               Value.int (Workload.Prng.int rng 3);
+               Value.int (10 * (1 + Workload.Prng.int rng 3));
+             ]))
+    in
+    let srel =
+      Relation.of_rows s_schema
+        (List.init n_r (fun _ ->
+             [
+               Value.int (10 * (1 + Workload.Prng.int rng 3));
+               Value.name (String.make 1 (Char.chr (Char.code 'x' + Workload.Prng.int rng 3)));
+             ]))
+    in
+    let db = Database.of_relations [ rel; srel ] in
+    let queries =
+      [
+        "exists a, b. R(a, b)";
+        "exists a, b, c. R(a, b) and S(b, c)";
+        "exists a, b. R(a, b) and b >= 20 and a != 1";
+        "exists a, b, c. R(a, b) and S(b, c) and c = 'x'";
+        "exists a. R(a, 10) and R(a, 20)";
+        "exists x. R(x, x)";
+      ]
+    in
+    List.iter
+      (fun qs ->
+        let q = parse qs in
+        Alcotest.(check bool)
+          (Printf.sprintf "planner = eval on %s" qs)
+          (Query.Eval.holds db q) (Engine.holds db q);
+        Alcotest.(check bool)
+          (Printf.sprintf "planned: %s" qs)
+          true
+          (Engine.planned db q))
+      queries;
+    (* open query comparison *)
+    let open_q = parse "exists b. R(a, b) and S(b, c)" in
+    let free_e, rows_e = Query.Eval.answers db open_q in
+    let free_p, rows_p = Engine.answers db open_q in
+    check Alcotest.(list string) "free vars agree" free_e free_p;
+    Alcotest.(check bool) "rows agree" true (rows_e = rows_p)
+  done
+
+let suite =
+  [
+    ("algebra: selection", `Quick, test_select);
+    ("algebra: projection with set semantics", `Quick, test_project);
+    ("algebra: hash join = filtered product", `Quick, test_join);
+    ("algebra: union and difference", `Quick, test_union_diff);
+    ("algebra: static validation", `Quick, test_check_errors);
+    ("plan: simple selections", `Quick, test_plan_simple);
+    ("plan: join queries", `Quick, test_plan_join_query);
+    ("plan: open queries", `Quick, test_plan_open_query);
+    ("plan: static simplification of comparisons", `Quick, test_plan_static_simplification);
+    ("plan: unsupported fragment falls back", `Quick, test_plan_unsupported);
+    ("plan: repeated variables in atoms", `Quick, test_plan_repeated_vars);
+    ("engine: planner = evaluator on random databases", `Quick, test_engine_matches_eval_random);
+  ]

@@ -1,0 +1,128 @@
+(* Unit tests for conflict graph construction (paper §2.1). *)
+
+open Relational
+open Graphs
+module Conflict = Core.Conflict
+
+let check = Alcotest.check
+let vs = Testlib.vs
+
+let test_mgr_conflicts () =
+  (* Example 1: exactly three conflicts. *)
+  let rel, fds, _ = Testlib.mgr () in
+  let c = Conflict.build fds rel in
+  check Alcotest.int "4 vertices" 4 (Conflict.size c);
+  check Alcotest.int "3 conflicts" 3 (Undirected.edge_count (Conflict.graph c));
+  Alcotest.(check bool) "inconsistent" false (Conflict.is_consistent c);
+  (* the conflicts are exactly the ones listed in Example 1 *)
+  let t name dept salary reports =
+    Tuple.make
+      [ Value.name name; Value.name dept; Value.int salary; Value.int reports ]
+  in
+  let mary_rd = Conflict.index_exn c (t "Mary" "R&D" 40000 3) in
+  let john_rd = Conflict.index_exn c (t "John" "R&D" 10000 2) in
+  let mary_it = Conflict.index_exn c (t "Mary" "IT" 20000 1) in
+  let john_pr = Conflict.index_exn c (t "John" "PR" 30000 4) in
+  let g = Conflict.graph c in
+  Alcotest.(check bool) "conflict 1 (fd1)" true (Undirected.mem_edge g mary_rd john_rd);
+  Alcotest.(check bool) "conflict 2 (fd2)" true (Undirected.mem_edge g mary_rd mary_it);
+  Alcotest.(check bool) "conflict 3 (fd2)" true (Undirected.mem_edge g john_rd john_pr);
+  Alcotest.(check bool) "no other conflict" false (Undirected.mem_edge g mary_it john_pr)
+
+let test_mgr_conflicting_fds () =
+  let rel, fds, _ = Testlib.mgr () in
+  let c = Conflict.build fds rel in
+  let t name dept salary reports =
+    Tuple.make
+      [ Value.name name; Value.name dept; Value.int salary; Value.int reports ]
+  in
+  let mary_rd = Conflict.index_exn c (t "Mary" "R&D" 40000 3) in
+  let john_rd = Conflict.index_exn c (t "John" "R&D" 10000 2) in
+  (* Mary-R&D vs John-R&D violate fd1 (Dept -> ...) only. *)
+  check Alcotest.int "one witnessing fd" 1
+    (List.length (Conflict.conflicting_fds c mary_rd john_rd));
+  check Alcotest.int "non-adjacent: none" 0
+    (List.length
+       (Conflict.conflicting_fds c mary_rd (Conflict.index_exn c (t "John" "PR" 30000 4))))
+
+let test_ladder_structure () =
+  (* Figure 1: the conflict graph of r_4 is 4 disjoint edges. *)
+  let rel, fds = Workload.Generator.ladder 4 in
+  let c = Conflict.build fds rel in
+  check Alcotest.int "8 tuples" 8 (Conflict.size c);
+  check Alcotest.int "4 edges" 4 (Undirected.edge_count (Conflict.graph c));
+  List.iter
+    (fun comp -> check Alcotest.int "components are edges" 2 (Vset.cardinal comp))
+    (Undirected.connected_components (Conflict.graph c))
+
+let test_chain_structure () =
+  (* Example 9's conflict graph is a path (Figure 4). *)
+  let rel, fds = Workload.Generator.chain 5 in
+  let c = Conflict.build fds rel in
+  check Alcotest.int "5 tuples" 5 (Conflict.size c);
+  check Alcotest.int "4 edges" 4 (Undirected.edge_count (Conflict.graph c));
+  let degrees =
+    List.sort compare
+      (List.init 5 (fun v -> Undirected.degree (Conflict.graph c) v))
+  in
+  check Alcotest.(list int) "path degrees" [ 1; 1; 2; 2; 2 ] degrees
+
+let test_consistent_instance () =
+  let schema = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let rel = Relation.of_rows schema [ [ Value.int 1; Value.int 1 ]; [ Value.int 2; Value.int 1 ] ] in
+  let c = Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel in
+  Alcotest.(check bool) "consistent" true (Conflict.is_consistent c);
+  check Alcotest.int "no edges" 0 (Undirected.edge_count (Conflict.graph c))
+
+let test_vset_relation_roundtrip () =
+  let rel, fds, _ = Testlib.mgr () in
+  let c = Conflict.build fds rel in
+  let s = vs [ 0; 2 ] in
+  let r = Conflict.relation_of_vset c s in
+  check Testlib.vset "roundtrip" s (Conflict.vset_of_relation c r);
+  Alcotest.(check bool) "foreign tuple rejected" true
+    (try
+       let other = Relation.of_tuples (Relation.schema rel)
+         [ Tuple.make [ Value.name "X"; Value.name "Y"; Value.int 0; Value.int 0 ] ] in
+       ignore (Conflict.vset_of_relation c other);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bad_fd_rejected () =
+  let rel, _, _ = Testlib.mgr () in
+  Alcotest.(check bool) "unknown attribute in FD" true
+    (try
+       ignore (Conflict.build [ Constraints.Fd.make [ "Phone" ] [ "Name" ] ] rel);
+       false
+     with Invalid_argument _ -> true)
+
+let test_duplicates_no_conflict () =
+  (* §3.2's duplicate phenomenon: tuples equal on the FD's attributes but
+     different elsewhere are NOT conflicting. *)
+  let schema =
+    Schema.make "R"
+      [ ("A", Schema.TInt); ("B", Schema.TInt); ("C", Schema.TInt) ]
+  in
+  let rel =
+    Relation.of_rows schema
+      [
+        [ Value.int 1; Value.int 1; Value.int 1 ];
+        [ Value.int 1; Value.int 1; Value.int 2 ];
+        [ Value.int 1; Value.int 2; Value.int 3 ];
+      ]
+  in
+  let c = Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel in
+  check Alcotest.int "two edges (star around tc)" 2
+    (Undirected.edge_count (Conflict.graph c))
+
+let suite =
+  [
+    ("mgr: Example 1's three conflicts", `Quick, test_mgr_conflicts);
+    ("mgr: witnessing FDs per edge", `Quick, test_mgr_conflicting_fds);
+    ("ladder: Figure 1 structure", `Quick, test_ladder_structure);
+    ("chain: Figure 4 path structure", `Quick, test_chain_structure);
+    ("consistent instance: empty graph", `Quick, test_consistent_instance);
+    ("vertex set <-> relation roundtrip", `Quick, test_vset_relation_roundtrip);
+    ("ill-formed FDs rejected", `Quick, test_bad_fd_rejected);
+    ("duplicates do not conflict (Example 8 shape)", `Quick, test_duplicates_no_conflict);
+  ]

@@ -1,0 +1,223 @@
+(* Unit tests for functional dependencies and denial constraints. *)
+
+open Relational
+module Fd = Constraints.Fd
+module Denial = Constraints.Denial
+
+let check = Alcotest.check
+
+let schema_abc () =
+  Schema.make "R"
+    [ ("A", Schema.TInt); ("B", Schema.TInt); ("C", Schema.TInt) ]
+
+let rel rows = Relation.of_rows (schema_abc ()) (List.map (List.map Value.int) rows)
+
+(* --- FDs: construction and parsing -------------------------------------- *)
+
+let test_fd_make_normalizes () =
+  let fd = Fd.make [ "B"; "A"; "A" ] [ "C" ] in
+  check Alcotest.(list string) "lhs sorted dedup" [ "A"; "B" ] (Fd.lhs fd);
+  Alcotest.(check bool) "empty side rejected" true
+    (try
+       ignore (Fd.make [] [ "C" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fd_of_string () =
+  (match Fd.of_string "A B -> C" with
+  | Ok fd ->
+    check Alcotest.(list string) "lhs" [ "A"; "B" ] (Fd.lhs fd);
+    check Alcotest.(list string) "rhs" [ "C" ] (Fd.rhs fd)
+  | Error e -> Alcotest.fail e);
+  (match Fd.of_string "A,B -> C,D" with
+  | Ok fd -> check Alcotest.(list string) "commas ok" [ "A"; "B" ] (Fd.lhs fd)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "garbage rejected" true (Result.is_error (Fd.of_string "A B C"));
+  Alcotest.(check bool) "empty rhs rejected" true (Result.is_error (Fd.of_string "A -> "))
+
+let test_fd_wf () =
+  let s = schema_abc () in
+  Alcotest.(check bool) "wf ok" true (Result.is_ok (Fd.wf s (Fd.make [ "A" ] [ "B" ])));
+  Alcotest.(check bool) "unknown attr" true
+    (Result.is_error (Fd.wf s (Fd.make [ "A" ] [ "Z" ])))
+
+(* --- FDs: conflicts ------------------------------------------------------ *)
+
+let test_fd_conflicting () =
+  let s = schema_abc () in
+  let fd = Fd.make [ "A" ] [ "B" ] in
+  let t1 = Tuple.make [ Value.int 1; Value.int 1; Value.int 1 ] in
+  let t2 = Tuple.make [ Value.int 1; Value.int 2; Value.int 1 ] in
+  let t3 = Tuple.make [ Value.int 1; Value.int 1; Value.int 9 ] in
+  let t4 = Tuple.make [ Value.int 2; Value.int 5; Value.int 1 ] in
+  Alcotest.(check bool) "same key, different B" true (Fd.conflicting s fd t1 t2);
+  Alcotest.(check bool) "duplicate B values do not conflict" false
+    (Fd.conflicting s fd t1 t3);
+  Alcotest.(check bool) "different keys" false (Fd.conflicting s fd t1 t4);
+  Alcotest.(check bool) "no self conflict" false (Fd.conflicting s fd t1 t1)
+
+let test_fd_violations () =
+  let fd = Fd.make [ "A" ] [ "B" ] in
+  let r = rel [ [ 1; 1; 1 ]; [ 1; 2; 2 ]; [ 1; 2; 3 ]; [ 2; 1; 1 ] ] in
+  let s = schema_abc () in
+  let pairs = Fd.violations s fd r in
+  (* group A=1: (1,1,1)-(1,2,2) and (1,1,1)-(1,2,3) conflict on B;
+     (1,2,2)-(1,2,3) agree on B (duplicates). *)
+  check Alcotest.int "two conflicting pairs" 2 (List.length pairs);
+  Alcotest.(check bool) "consistent check" false (Fd.satisfied s fd r);
+  Alcotest.(check bool) "all_satisfied on consistent subset" true
+    (Fd.all_satisfied s [ fd ] (rel [ [ 1; 1; 1 ]; [ 2; 1; 1 ] ]))
+
+let test_fd_violation_order () =
+  let fd = Fd.make [ "A" ] [ "B" ] in
+  let s = schema_abc () in
+  let r = rel [ [ 1; 2; 0 ]; [ 1; 1; 0 ] ] in
+  match Fd.violations s fd r with
+  | [ (a, b) ] -> Alcotest.(check bool) "smaller first" true (Tuple.compare a b < 0)
+  | l -> Alcotest.failf "expected one pair, got %d" (List.length l)
+
+(* --- FDs: dependency theory ---------------------------------------------- *)
+
+let test_fd_closure () =
+  let s = schema_abc () in
+  let fds = [ Fd.make [ "A" ] [ "B" ]; Fd.make [ "B" ] [ "C" ] ] in
+  check Alcotest.(list string) "A+ = ABC" [ "A"; "B"; "C" ] (Fd.closure s fds [ "A" ]);
+  check Alcotest.(list string) "B+ = BC" [ "B"; "C" ] (Fd.closure s fds [ "B" ]);
+  Alcotest.(check bool) "implies A->C" true (Fd.implies s fds (Fd.make [ "A" ] [ "C" ]));
+  Alcotest.(check bool) "not C->A" false (Fd.implies s fds (Fd.make [ "C" ] [ "A" ]))
+
+let test_fd_keys () =
+  let s = schema_abc () in
+  let fds = [ Fd.make [ "A" ] [ "B" ]; Fd.make [ "B" ] [ "C" ] ] in
+  Alcotest.(check bool) "A is a key" true (Fd.is_key s fds [ "A" ]);
+  Alcotest.(check bool) "B is not" false (Fd.is_key s fds [ "B" ]);
+  check
+    Alcotest.(list (list string))
+    "candidate keys" [ [ "A" ] ] (Fd.candidate_keys s fds)
+
+let test_fd_candidate_keys_composite () =
+  let s =
+    Schema.make "R"
+      [ ("A", Schema.TInt); ("B", Schema.TInt); ("C", Schema.TInt); ("D", Schema.TInt) ]
+  in
+  (* AB -> C, CD -> A: candidate keys are ABD and BCD. *)
+  let fds = [ Fd.make [ "A"; "B" ] [ "C" ]; Fd.make [ "C"; "D" ] [ "A" ] ] in
+  check
+    Alcotest.(list (list string))
+    "two composite keys"
+    [ [ "A"; "B"; "D" ]; [ "B"; "C"; "D" ] ]
+    (Fd.candidate_keys s fds)
+
+let test_fd_bcnf () =
+  let s = schema_abc () in
+  Alcotest.(check bool) "key schema is BCNF" true
+    (Fd.is_bcnf s [ Fd.make [ "A" ] [ "B"; "C" ] ]);
+  Alcotest.(check bool) "non-key lhs violates BCNF" false
+    (Fd.is_bcnf s [ Fd.make [ "A" ] [ "B" ]; Fd.make [ "B" ] [ "C" ] ]);
+  Alcotest.(check bool) "trivial FDs fine" true (Fd.is_bcnf s [ Fd.make [ "A"; "B" ] [ "A" ] ])
+
+let test_fd_key_helper () =
+  let s = schema_abc () in
+  let fd = Fd.key s [ "A" ] in
+  check Alcotest.(list string) "key rhs is U" [ "A"; "B"; "C" ] (Fd.rhs fd);
+  Alcotest.(check bool) "trivial on lhs" false (Fd.is_trivial fd)
+
+(* --- Denial constraints --------------------------------------------------- *)
+
+let test_denial_fd_encoding () =
+  let s = schema_abc () in
+  let fd = Fd.make [ "A" ] [ "B"; "C" ] in
+  let dcs = Denial.of_fd s fd in
+  check Alcotest.int "one dc per rhs attribute" 2 (List.length dcs);
+  let r = rel [ [ 1; 1; 1 ]; [ 1; 2; 1 ]; [ 2; 1; 1 ] ] in
+  let all_violations = List.concat_map (fun dc -> Denial.violations s dc r) dcs in
+  check Alcotest.int "same pair found once (per dc)" 1
+    (List.length (List.sort_uniq compare all_violations))
+
+let test_denial_single_tuple () =
+  let s = schema_abc () in
+  (* no C above 100 *)
+  let dc =
+    Denial.make ~label:"cap" ~nvars:1
+      [ { Denial.left = Denial.Attr (0, "C"); op = Denial.Gt; right = Denial.Const (Value.int 100) } ]
+  in
+  let r = rel [ [ 1; 1; 50 ]; [ 2; 1; 200 ] ] in
+  (match Denial.violations s dc r with
+  | [ [ t ] ] -> check Testlib.value "offender" (Value.int 200) (Tuple.get t 2)
+  | other -> Alcotest.failf "expected one singleton witness, got %d" (List.length other));
+  Alcotest.(check bool) "satisfied on clean data" true
+    (Denial.satisfied s dc (rel [ [ 1; 1; 50 ] ]))
+
+let test_denial_three_tuples () =
+  let s = schema_abc () in
+  (* forbid three tuples with the same A: t1.A=t2.A ∧ t2.A=t3.A ∧ pairwise
+     distinct via B ordering to avoid counting permutations twice *)
+  let atom l op r = { Denial.left = l; op; right = r } in
+  let dc =
+    Denial.make ~label:"no-triple" ~nvars:3
+      [
+        atom (Denial.Attr (0, "A")) Denial.Eq (Denial.Attr (1, "A"));
+        atom (Denial.Attr (1, "A")) Denial.Eq (Denial.Attr (2, "A"));
+        atom (Denial.Attr (0, "B")) Denial.Lt (Denial.Attr (1, "B"));
+        atom (Denial.Attr (1, "B")) Denial.Lt (Denial.Attr (2, "B"));
+      ]
+  in
+  let r = rel [ [ 1; 1; 0 ]; [ 1; 2; 0 ]; [ 1; 3; 0 ]; [ 2; 1; 0 ] ] in
+  match Denial.violations s dc r with
+  | [ witness ] -> check Alcotest.int "three tuples involved" 3 (List.length witness)
+  | other -> Alcotest.failf "expected one witness, got %d" (List.length other)
+
+let test_denial_wf () =
+  let s = schema_abc () in
+  let name_schema = Schema.make "R" [ ("A", Schema.TName) ] in
+  let dc =
+    Denial.make ~nvars:1
+      [ { Denial.left = Denial.Attr (0, "A"); op = Denial.Lt; right = Denial.Const (Value.name "x") } ]
+  in
+  Alcotest.(check bool) "order on names rejected" true
+    (Result.is_error (Denial.wf name_schema dc));
+  let bad_attr =
+    Denial.make ~nvars:1
+      [ { Denial.left = Denial.Attr (0, "Z"); op = Denial.Eq; right = Denial.Const (Value.int 0) } ]
+  in
+  Alcotest.(check bool) "unknown attribute" true (Result.is_error (Denial.wf s bad_attr));
+  let mixed =
+    Denial.make ~nvars:1
+      [ { Denial.left = Denial.Attr (0, "A"); op = Denial.Eq; right = Denial.Const (Value.name "x") } ]
+  in
+  Alcotest.(check bool) "cross-type comparison rejected" true
+    (Result.is_error (Denial.wf s mixed))
+
+let test_denial_make_validation () =
+  Alcotest.(check bool) "nvars 0 rejected" true
+    (try
+       ignore (Denial.make ~nvars:0 [ { Denial.left = Denial.Const (Value.int 0); op = Denial.Eq; right = Denial.Const (Value.int 0) } ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "var out of range" true
+    (try
+       ignore
+         (Denial.make ~nvars:1
+            [ { Denial.left = Denial.Attr (3, "A"); op = Denial.Eq; right = Denial.Const (Value.int 0) } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ("fd: normalization", `Quick, test_fd_make_normalizes);
+    ("fd: parsing", `Quick, test_fd_of_string);
+    ("fd: well-formedness", `Quick, test_fd_wf);
+    ("fd: conflict detection", `Quick, test_fd_conflicting);
+    ("fd: violations with duplicates", `Quick, test_fd_violations);
+    ("fd: violation pair order", `Quick, test_fd_violation_order);
+    ("fd: attribute closure and implication", `Quick, test_fd_closure);
+    ("fd: keys", `Quick, test_fd_keys);
+    ("fd: composite candidate keys", `Quick, test_fd_candidate_keys_composite);
+    ("fd: BCNF conformance", `Quick, test_fd_bcnf);
+    ("fd: key helper", `Quick, test_fd_key_helper);
+    ("denial: FD encoding", `Quick, test_denial_fd_encoding);
+    ("denial: single-tuple constraint", `Quick, test_denial_single_tuple);
+    ("denial: three-tuple constraint", `Quick, test_denial_three_tuples);
+    ("denial: typing", `Quick, test_denial_wf);
+    ("denial: construction validation", `Quick, test_denial_make_validation);
+  ]

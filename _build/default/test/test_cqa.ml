@@ -1,0 +1,181 @@
+(* Tests for (preferred) consistent query answers, Definition 3 and §4. *)
+
+module Conflict = Core.Conflict
+module Priority = Core.Priority
+module Family = Core.Family
+module Cqa = Core.Cqa
+
+let check = Alcotest.check
+let parse = Query.Parser.parse_exn
+
+let certainty =
+  Alcotest.testable
+    (fun ppf c -> Format.pp_print_string ppf (Cqa.certainty_to_string c))
+    (fun a b -> a = b)
+
+let q1 =
+  "exists x1,y1,z1,x2,y2,z2. Mgr('Mary',x1,y1,z1) and Mgr('John',x2,y2,z2) \
+   and y1 < y2"
+
+let q2 =
+  "exists x1,y1,z1,x2,y2,z2. Mgr('Mary',x1,y1,z1) and Mgr('John',x2,y2,z2) \
+   and y1 > y2 and z1 < z2"
+
+let mgr_with_priority () =
+  let rel, fds, prov = Testlib.mgr () in
+  let c = Conflict.build fds rel in
+  let rule =
+    Result.get_ok
+      (Core.Pref_rules.source_reliability prov
+         ~more_reliable_than:[ ("s1", "s3"); ("s2", "s3") ])
+  in
+  (c, Core.Pref_rules.apply_exn c rule)
+
+let test_example2_q1 () =
+  (* true is NOT a consistent answer to Q1 (it fails in r1, r2). *)
+  let c, _ = mgr_with_priority () in
+  let p = Priority.empty c in
+  Alcotest.(check bool) "Q1 not certain" false
+    (Cqa.consistent_answer Family.Rep c p (parse q1));
+  check certainty "Q1 ambiguous across repairs" Cqa.Ambiguous
+    (Cqa.certainty Family.Rep c p (parse q1))
+
+let test_example3_q2 () =
+  let c, p = mgr_with_priority () in
+  (* without preferences, Q2 is ambiguous *)
+  Alcotest.(check bool) "Q2 not Rep-certain" false
+    (Cqa.consistent_answer Family.Rep c (Priority.empty c) (parse q2));
+  (* with the reliability priority, every preferred family answers true *)
+  List.iter
+    (fun family ->
+      Alcotest.(check bool)
+        (Family.name_to_string family ^ " answers true")
+        true
+        (Cqa.consistent_answer family c p (parse q2)))
+    [ Family.L; Family.S; Family.G; Family.C ]
+
+let test_certainty_three_values () =
+  let c, p = mgr_with_priority () in
+  check certainty "tautology" Cqa.Certainly_true
+    (Cqa.certainty Family.Rep c p (parse "true"));
+  check certainty "contradiction" Cqa.Certainly_false
+    (Cqa.certainty Family.Rep c p (parse "false"));
+  check certainty "preferred Q2 true" Cqa.Certainly_true
+    (Cqa.certainty Family.C c p (parse q2))
+
+let test_open_queries () =
+  let c, p = mgr_with_priority () in
+  (* who manages which department, in every preferred repair? *)
+  let free, rows = Cqa.consistent_answers_open Family.C c p (parse "exists y, z. Mgr(n, d, y, z)") in
+  check Alcotest.(list string) "free vars" [ "d"; "n" ] free;
+  (* r1: Mary/R&D, John/PR. r2: John/R&D, Mary/IT. No common pair. *)
+  check Alcotest.int "no certain manager-department pair" 0 (List.length rows);
+  (* but both repairs agree Mary and John are managers *)
+  let _, names =
+    Cqa.consistent_answers_open Family.C c p (parse "exists d, y, z. Mgr(n, d, y, z)")
+  in
+  check Alcotest.int "two certain names" 2 (List.length names)
+
+let test_open_queries_rep_family () =
+  let rel, fds = Workload.Generator.ladder 2 in
+  let c = Conflict.build fds rel in
+  let p = Priority.empty c in
+  ignore rel;
+  (* R(A,B): key values 0 and 1 each have two variants; A values certain *)
+  let _, rows = Cqa.consistent_answers_open Family.Rep c p (parse "exists b. R(a, b)") in
+  check Alcotest.int "both keys certain" 2 (List.length rows)
+
+(* --- the polynomial ground algorithm ------------------------------------- *)
+
+let test_ground_matches_naive () =
+  (* cross-validate the PTIME algorithm against repair enumeration on
+     random instances and random ground queries *)
+  let rng = Workload.Prng.create 101 in
+  let random_fact rng =
+    Printf.sprintf "R(%d, %d, %d)" (Workload.Prng.int rng 3)
+      (Workload.Prng.int rng 2) (Workload.Prng.int rng 2)
+  in
+  let rec random_query rng depth =
+    if depth = 0 || Workload.Prng.int rng 3 = 0 then random_fact rng
+    else
+      match Workload.Prng.int rng 3 with
+      | 0 -> Printf.sprintf "(%s and %s)" (random_query rng (depth - 1)) (random_query rng (depth - 1))
+      | 1 -> Printf.sprintf "(%s or %s)" (random_query rng (depth - 1)) (random_query rng (depth - 1))
+      | _ -> Printf.sprintf "(not %s)" (random_query rng (depth - 1))
+  in
+  for _ = 1 to 60 do
+    let rel, fds =
+      Workload.Generator.random_instance rng ~n:8 ~key_values:3 ~payload_values:2
+    in
+    let c = Conflict.build fds rel in
+    let q = parse (random_query rng 3) in
+    let naive = Cqa.certainty Family.Rep c (Priority.empty c) q in
+    match Cqa.ground_certainty c q with
+    | Error e -> Alcotest.fail e
+    | Ok fast -> check certainty "PTIME = naive" naive fast
+  done
+
+let test_ground_simple_cases () =
+  let rel, fds = Workload.Generator.ladder 2 in
+  let c = Conflict.build fds rel in
+  (* every repair keeps exactly one of R(0,0), R(0,1) *)
+  let cert q = Result.get_ok (Cqa.ground_certainty c (parse q)) in
+  check certainty "disjunction certain" Cqa.Certainly_true
+    (cert "R(0, 0) or R(0, 1)");
+  check certainty "single fact ambiguous" Cqa.Ambiguous (cert "R(0, 0)");
+  check certainty "conjunction impossible" Cqa.Certainly_false
+    (cert "R(0, 0) and R(0, 1)");
+  check certainty "fact not in instance" Cqa.Certainly_false (cert "R(7, 7)");
+  check certainty "negated absent fact" Cqa.Certainly_true (cert "not R(7, 7)");
+  check certainty "cross-pair ambiguous" Cqa.Ambiguous
+    (cert "R(0, 0) and R(1, 1)")
+
+let test_ground_rejects_non_ground () =
+  let rel, fds = Workload.Generator.ladder 1 in
+  let c = Conflict.build fds rel in
+  Alcotest.(check bool) "variable rejected" true
+    (Result.is_error (Cqa.ground_certainty c (parse "R(x, 0)")));
+  Alcotest.(check bool) "quantifier rejected" true
+    (Result.is_error (Cqa.ground_certainty c (parse "exists x. R(x, 0)")));
+  Alcotest.(check bool) "unknown relation" true
+    (Result.is_error (Cqa.ground_certainty c (parse "S(1, 2)")))
+
+let test_ground_consistent_answer () =
+  let rel, fds = Workload.Generator.ladder 2 in
+  let c = Conflict.build fds rel in
+  Alcotest.(check bool) "certain disjunction" true
+    (Result.get_ok (Cqa.ground_consistent_answer c (parse "R(0, 0) or R(0, 1)")));
+  Alcotest.(check bool) "ambiguous fact" false
+    (Result.get_ok (Cqa.ground_consistent_answer c (parse "R(0, 0)")))
+
+let test_theorem3_shape () =
+  (* The quantifier-free single-atom query of Theorems 3-5: preferred CQA
+     can flip a ground fact from ambiguous to certain. *)
+  let c, p = mgr_with_priority () in
+  let q = parse "Mgr('Mary', 'IT', 20000, 1)" in
+  check certainty "ambiguous under Rep" Cqa.Ambiguous
+    (Cqa.certainty Family.Rep c (Priority.empty c) q);
+  check certainty "still ambiguous under C (r2 keeps Mary-IT)" Cqa.Ambiguous
+    (Cqa.certainty Family.C c p q);
+  (* The flip: preferences exclude the s3-only repair r3, so the
+     disjunction "Mary manages R&D or John manages R&D" — false in r3,
+     true in r1 and r2 — becomes certain. *)
+  let q_or = parse "Mgr('Mary', 'R&D', 40000, 3) or Mgr('John', 'R&D', 10000, 2)" in
+  check certainty "disjunction ambiguous under Rep" Cqa.Ambiguous
+    (Cqa.certainty Family.Rep c (Priority.empty c) q_or);
+  check certainty "certain under preferences" Cqa.Certainly_true
+    (Cqa.certainty Family.C c p q_or)
+
+let suite =
+  [
+    ("Example 2: Q1 has no consistent answer", `Quick, test_example2_q1);
+    ("Example 3: preferences make Q2 certain", `Quick, test_example3_q2);
+    ("three-valued certainty", `Quick, test_certainty_three_values);
+    ("open queries: certain bindings", `Quick, test_open_queries);
+    ("open queries under Rep", `Quick, test_open_queries_rep_family);
+    ("PTIME ground CQA = naive enumeration", `Quick, test_ground_matches_naive);
+    ("ground CQA basics", `Quick, test_ground_simple_cases);
+    ("ground CQA rejects non-ground input", `Quick, test_ground_rejects_non_ground);
+    ("ground consistent answers", `Quick, test_ground_consistent_answer);
+    ("preferences flip ground certainty", `Quick, test_theorem3_shape);
+  ]

@@ -1,0 +1,160 @@
+(* Tests for the instance file format and the workload generators. *)
+
+open Relational
+module IF = Dbio.Instance_format
+
+let check = Alcotest.check
+
+let mgr_text =
+  "# the paper's running example\n\
+   relation Mgr(Name:name, Dept:name, Salary:int, Reports:int)\n\
+   fd Dept -> Name Salary Reports\n\
+   fd Name -> Dept Salary Reports\n\
+   tuple 'Mary' 'R&D' 40000 3  source=s1\n\
+   tuple 'John' 'R&D' 10000 2  source=s2\n\
+   tuple 'Mary' 'IT'  20000 1  source=s3\n\
+   tuple 'John' 'PR'  30000 4  source=s3\n\
+   prefer source s1 > s3\n\
+   prefer source s2 > s3\n"
+
+let test_parse_mgr () =
+  match IF.parse mgr_text with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+    check Alcotest.int "4 tuples" 4 (Relation.cardinality spec.IF.relation);
+    check Alcotest.int "2 fds" 2 (List.length spec.IF.fds);
+    check Alcotest.int "2 prefs" 2 (List.length spec.IF.prefs);
+    let t = Tuple.make [ Value.name "Mary"; Value.name "R&D"; Value.int 40000; Value.int 3 ] in
+    Alcotest.(check (option string)) "provenance" (Some "s1")
+      (Provenance.source spec.IF.provenance t)
+
+let test_parse_matches_generator () =
+  let spec = Result.get_ok (IF.parse mgr_text) in
+  let rel, fds, _ = Testlib.mgr () in
+  Alcotest.(check bool) "same relation" true (Relation.equal rel spec.IF.relation);
+  Alcotest.(check bool) "same fds" true
+    (List.equal Constraints.Fd.equal fds spec.IF.fds)
+
+let test_end_to_end_preferred_answer () =
+  (* parse → rule → priority → preferred CQA reproduces Example 3 *)
+  let spec = Result.get_ok (IF.parse mgr_text) in
+  let c = Core.Conflict.build spec.IF.fds spec.IF.relation in
+  let rule = Result.get_ok (IF.to_rule spec) in
+  let p = Core.Pref_rules.apply_exn c rule in
+  let q2 =
+    Query.Parser.parse_exn
+      "exists x1,y1,z1,x2,y2,z2. Mgr('Mary',x1,y1,z1) and Mgr('John',x2,y2,z2) \
+       and y1 > y2 and z1 < z2"
+  in
+  Alcotest.(check bool) "Q2 preferred-certain" true
+    (Core.Cqa.consistent_answer Core.Family.C c p q2)
+
+let test_roundtrip () =
+  let spec = Result.get_ok (IF.parse mgr_text) in
+  let spec' = Result.get_ok (IF.parse (IF.print spec)) in
+  Alcotest.(check bool) "relation" true (Relation.equal spec.IF.relation spec'.IF.relation);
+  Alcotest.(check bool) "fds" true (List.equal Constraints.Fd.equal spec.IF.fds spec'.IF.fds);
+  Alcotest.(check bool) "prefs" true (spec.IF.prefs = spec'.IF.prefs)
+
+let test_annotations () =
+  let text =
+    "relation R(A:int, B:int)\n\
+     tuple 1 2 source=s1 timestamp=99\n\
+     prefer newest\n"
+  in
+  let spec = Result.get_ok (IF.parse text) in
+  let t = Tuple.make [ Value.int 1; Value.int 2 ] in
+  Alcotest.(check (option int)) "timestamp" (Some 99)
+    (Provenance.timestamp spec.IF.provenance t);
+  Alcotest.(check bool) "newest pref" true (spec.IF.prefs = [ IF.Newest ])
+
+let test_parse_errors () =
+  let expect_error text =
+    match IF.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" text
+  in
+  expect_error "tuple 1 2\n";
+  expect_error "relation R(A:int)\ntuple x\n";
+  expect_error "relation R(A:int)\ntuple 1 extra_token\n";
+  expect_error "relation R(A:int)\nfd B -> A\n";
+  expect_error "relation R(A:int)\nprefer loudest\n";
+  expect_error "relation R(A:int)\nrelation S(B:int)\n";
+  expect_error "relation R(A:bogus)\n";
+  expect_error "nonsense here\n";
+  expect_error ""
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_error_line_numbers () =
+  match IF.parse "relation R(A:int)\n# fine\ntuple nope\n" with
+  | Error e ->
+    Alcotest.(check bool) "mentions line 3" true (contains ~needle:"line 3" e)
+  | Ok _ -> Alcotest.fail "accepted bad tuple"
+
+(* --- workload generators --------------------------------------------------- *)
+
+let test_generator_determinism () =
+  let run seed =
+    let rng = Workload.Prng.create seed in
+    let rel, _ =
+      Workload.Generator.random_instance rng ~n:20 ~key_values:5 ~payload_values:3
+    in
+    rel
+  in
+  Alcotest.(check bool) "same seed, same instance" true
+    (Relation.equal (run 7) (run 7));
+  Alcotest.(check bool) "different seeds differ" false
+    (Relation.equal (run 7) (run 8))
+
+let test_scenario_integration () =
+  let rng = Workload.Prng.create 13 in
+  let s =
+    Workload.Scenario.integration rng ~employees:30 ~sources_per_tier:[ 2; 1 ]
+      ~overlap:0.7
+  in
+  check Alcotest.int "three sources" 3 (List.length s.Workload.Scenario.sources);
+  (* tier spans: both top-tier sources above the single bottom one *)
+  check Alcotest.int "two reliability pairs" 2
+    (List.length s.Workload.Scenario.reliability);
+  Alcotest.(check bool) "has tuples" true
+    (Relation.cardinality s.Workload.Scenario.relation >= 30);
+  Alcotest.(check bool) "some conflicts" true
+    (Workload.Scenario.conflicting_tuples s > 0);
+  (* the reliability rule yields a valid (acyclic) priority *)
+  let c = Core.Conflict.build s.Workload.Scenario.fds s.Workload.Scenario.relation in
+  let rule =
+    Result.get_ok
+      (Core.Pref_rules.source_reliability s.Workload.Scenario.provenance
+         ~more_reliable_than:s.Workload.Scenario.reliability)
+  in
+  Alcotest.(check bool) "priority builds" true
+    (Result.is_ok (Core.Pref_rules.apply c rule))
+
+let test_random_repair_is_repair () =
+  let rng = Workload.Prng.create 91 in
+  for _ = 1 to 15 do
+    let rel, fds =
+      Workload.Generator.random_instance rng ~n:15 ~key_values:4 ~payload_values:2
+    in
+    let c = Core.Conflict.build fds rel in
+    Alcotest.(check bool) "random repair valid" true
+      (Core.Repair.is_repair c (Workload.Generator.random_repair rng c))
+  done
+
+let suite =
+  [
+    ("parse the Mgr instance file", `Quick, test_parse_mgr);
+    ("parsed instance matches the generator", `Quick, test_parse_matches_generator);
+    ("file → preferences → certain answer (Example 3)", `Quick, test_end_to_end_preferred_answer);
+    ("print/parse roundtrip", `Quick, test_roundtrip);
+    ("tuple annotations", `Quick, test_annotations);
+    ("parse errors", `Quick, test_parse_errors);
+    ("errors carry line numbers", `Quick, test_error_line_numbers);
+    ("generators are deterministic", `Quick, test_generator_determinism);
+    ("integration scenario", `Quick, test_scenario_integration);
+    ("random repairs are repairs", `Quick, test_random_repair_is_repair);
+  ]

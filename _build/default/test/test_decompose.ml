@@ -1,0 +1,232 @@
+(* Tests for component-wise evaluation (Core.Decompose): the factorized
+   engines must agree with the monolithic ones on every family. *)
+
+open Graphs
+module Conflict = Core.Conflict
+module Priority = Core.Priority
+module Family = Core.Family
+module Decompose = Core.Decompose
+module Cqa = Core.Cqa
+
+let check = Alcotest.check
+
+let certainty =
+  Alcotest.testable
+    (fun ppf c -> Format.pp_print_string ppf (Cqa.certainty_to_string c))
+    (fun a b -> a = b)
+
+let random_case rng =
+  let rel, fds =
+    Workload.Generator.random_instance rng ~n:10 ~key_values:4 ~payload_values:2
+  in
+  let c = Conflict.build fds rel in
+  let p = Workload.Generator.random_priority rng ~density:0.5 c in
+  (c, p)
+
+let test_count_matches_enumeration () =
+  let rng = Workload.Prng.create 401 in
+  for _ = 1 to 20 do
+    let c, p = random_case rng in
+    let d = Decompose.make c p in
+    List.iter
+      (fun family ->
+        check Alcotest.int
+          (Family.name_to_string family)
+          (List.length (Family.repairs family c p))
+          (Decompose.count family d))
+      Family.all_names
+  done
+
+let test_preferred_within_union () =
+  (* stitching one preferred repair per component yields a preferred
+     repair of the whole instance *)
+  let rng = Workload.Prng.create 403 in
+  for _ = 1 to 15 do
+    let c, p = random_case rng in
+    let d = Decompose.make c p in
+    List.iter
+      (fun family ->
+        let stitched =
+          List.fold_left
+            (fun acc comp ->
+              match Decompose.preferred_within family d comp with
+              | first :: _ -> Vset.union first acc
+              | [] -> Alcotest.fail "component family empty")
+            Vset.empty (Decompose.components d)
+        in
+        Alcotest.(check bool)
+          (Family.name_to_string family ^ " stitched is preferred")
+          true
+          (Family.check family c p stitched))
+      Family.all_names
+  done
+
+let test_certainty_matches_naive () =
+  let rng = Workload.Prng.create 405 in
+  for _ = 1 to 25 do
+    let c, p = random_case rng in
+    let d = Decompose.make c p in
+    let tuples = Conflict.tuples c in
+    if Array.length tuples >= 2 then begin
+      let atom i =
+        Query.Ast.Atom
+          ( Relational.Schema.name (Conflict.schema c),
+            List.map
+              (fun v -> Query.Ast.Const v)
+              (Relational.Tuple.values tuples.(i)) )
+      in
+      let pick () = Workload.Prng.int rng (Array.length tuples) in
+      let q =
+        Query.Ast.Or
+          ( Query.Ast.And (atom (pick ()), Query.Ast.Not (atom (pick ()))),
+            atom (pick ()) )
+      in
+      List.iter
+        (fun family ->
+          let naive = Cqa.certainty family c p q in
+          match Decompose.certainty_ground family d q with
+          | Error e -> Alcotest.fail e
+          | Ok fast ->
+            check certainty (Family.name_to_string family) naive fast)
+        Family.all_names
+    end
+  done
+
+let test_certainty_example3 () =
+  (* the Mgr disjunction certified by preferences, through the factorized
+     engine this time *)
+  let rel, fds, prov = Testlib.mgr () in
+  let c = Conflict.build fds rel in
+  let rule =
+    Result.get_ok
+      (Core.Pref_rules.source_reliability prov
+         ~more_reliable_than:[ ("s1", "s3"); ("s2", "s3") ])
+  in
+  let p = Core.Pref_rules.apply_exn c rule in
+  let d = Decompose.make c p in
+  let q =
+    Query.Parser.parse_exn
+      "Mgr('Mary', 'R&D', 40000, 3) or Mgr('John', 'R&D', 10000, 2)"
+  in
+  check certainty "certain under C" Cqa.Certainly_true
+    (Result.get_ok (Decompose.certainty_ground Family.C d q))
+
+let test_aggregate_matches_enumeration () =
+  let rng = Workload.Prng.create 407 in
+  let range =
+    Alcotest.testable Core.Aggregate.pp_range (fun a b ->
+        a.Core.Aggregate.glb = b.Core.Aggregate.glb
+        && a.Core.Aggregate.lub = b.Core.Aggregate.lub)
+  in
+  for _ = 1 to 15 do
+    let c, p = random_case rng in
+    let d = Decompose.make c p in
+    List.iter
+      (fun family ->
+        List.iter
+          (fun agg ->
+            let naive =
+              Result.get_ok (Core.Aggregate.range_preferred family c p agg)
+            in
+            let fast = Result.get_ok (Decompose.aggregate_range family d agg) in
+            check range
+              (Family.name_to_string family ^ "/" ^ Core.Aggregate.agg_to_string agg)
+              naive fast)
+          [
+            Core.Aggregate.Count_all;
+            Core.Aggregate.Sum "B";
+            Core.Aggregate.Min "B";
+            Core.Aggregate.Max "C";
+          ])
+      Family.all_names
+  done
+
+let test_scales_beyond_enumeration () =
+  (* 120 tuples in 30 clusters: 4^30 ≈ 10^18 repairs globally — far past
+     enumeration — yet counting and ground certainty stay immediate *)
+  let rel, fds = Workload.Generator.key_clusters ~groups:30 ~width:4 in
+  let c = Conflict.build fds rel in
+  let rng = Workload.Prng.create 409 in
+  let p = Workload.Generator.random_priority rng ~density:0.7 c in
+  let d = Decompose.make c p in
+  check Alcotest.int "30 components" 30 (List.length (Decompose.components d));
+  let pow b e = List.fold_left (fun a _ -> a * b) 1 (List.init e Fun.id) in
+  check Alcotest.int "Rep count = 4^30" (pow 4 30) (Decompose.count Family.Rep d);
+  let g_count = Decompose.count Family.G d in
+  Alcotest.(check bool) "G count positive and below Rep" true
+    (g_count > 0 && g_count <= pow 4 30);
+  let t = Conflict.tuple c 0 in
+  let q =
+    Query.Ast.Atom
+      ( "R",
+        List.map (fun v -> Query.Ast.Const v) (Relational.Tuple.values t) )
+  in
+  match Decompose.certainty_ground Family.G d q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_certain_possible_tuples () =
+  let rng = Workload.Prng.create 411 in
+  for _ = 1 to 15 do
+    let c, p = random_case rng in
+    let d = Decompose.make c p in
+    List.iter
+      (fun family ->
+        let repairs = Family.repairs family c p in
+        let expected_certain =
+          match repairs with
+          | [] -> Vset.empty
+          | first :: rest -> List.fold_left Vset.inter first rest
+        in
+        let expected_possible = List.fold_left Vset.union Vset.empty repairs in
+        check Testlib.vset
+          (Family.name_to_string family ^ " certain")
+          expected_certain
+          (Decompose.certain_tuples family d);
+        check Testlib.vset
+          (Family.name_to_string family ^ " possible")
+          expected_possible
+          (Decompose.possible_tuples family d))
+      Family.all_names
+  done
+
+let test_certain_tuples_mgr () =
+  (* with Example 3's preferences, no Mgr tuple is certain (r1 and r2 are
+     disjoint) but the s3-only combination is excluded: John-PR and
+     Mary-IT remain possible, all four tuples remain possible, none
+     certain *)
+  let rel, fds, prov = Testlib.mgr () in
+  let c = Core.Conflict.build fds rel in
+  let rule =
+    Result.get_ok
+      (Core.Pref_rules.source_reliability prov
+         ~more_reliable_than:[ ("s1", "s3"); ("s2", "s3") ])
+  in
+  let p = Core.Pref_rules.apply_exn c rule in
+  let d = Decompose.make c p in
+  check Alcotest.int "no certain tuples" 0
+    (Vset.cardinal (Decompose.certain_tuples Family.C d));
+  check Alcotest.int "all four possible" 4
+    (Vset.cardinal (Decompose.possible_tuples Family.C d))
+
+let test_component_of () =
+  let rel, fds = Workload.Generator.ladder 3 in
+  let c = Conflict.build fds rel in
+  let d = Decompose.make c (Priority.empty c) in
+  check Alcotest.int "3 components" 3 (List.length (Decompose.components d));
+  let comp0 = Decompose.component_of d 0 in
+  Alcotest.(check bool) "vertex in its component" true (Vset.mem 0 comp0);
+  check Alcotest.int "ladder components are edges" 2 (Vset.cardinal comp0)
+
+let suite =
+  [
+    ("preferred-repair counts match enumeration", `Quick, test_count_matches_enumeration);
+    ("stitched component repairs are preferred", `Quick, test_preferred_within_union);
+    ("factorized ground certainty = naive", `Quick, test_certainty_matches_naive);
+    ("Example 3 through the factorized engine", `Quick, test_certainty_example3);
+    ("factorized aggregates = enumeration", `Quick, test_aggregate_matches_enumeration);
+    ("scales where enumeration cannot", `Quick, test_scales_beyond_enumeration);
+    ("certain/possible tuples = repair intersection/union", `Quick, test_certain_possible_tuples);
+    ("certain tuples on the Mgr instance", `Quick, test_certain_tuples_mgr);
+    ("component lookup", `Quick, test_component_of);
+  ]

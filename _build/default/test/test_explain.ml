@@ -1,0 +1,129 @@
+(* Tests for answer explanations. *)
+
+open Relational
+module Explain = Core.Explain
+module Family = Core.Family
+module Cqa = Core.Cqa
+module Conflict = Core.Conflict
+
+let check = Alcotest.check
+let parse = Query.Parser.parse_exn
+
+let mgr_with_priority () =
+  let rel, fds, prov = Testlib.mgr () in
+  let c = Conflict.build fds rel in
+  let rule =
+    Result.get_ok
+      (Core.Pref_rules.source_reliability prov
+         ~more_reliable_than:[ ("s1", "s3"); ("s2", "s3") ])
+  in
+  (c, Core.Pref_rules.apply_exn c rule)
+
+let test_query_witnesses () =
+  let c, p = mgr_with_priority () in
+  (* Mary-IT is ambiguous under C: one witness each way *)
+  let v = Explain.query Family.C c p (parse "Mgr('Mary', 'IT', 20000, 1)") in
+  Alcotest.(check bool) "ambiguous" true (v.Explain.certainty = Cqa.Ambiguous);
+  Alcotest.(check bool) "has supporting witness" true (v.Explain.supporting <> None);
+  Alcotest.(check bool) "has refuting witness" true (v.Explain.refuting <> None);
+  (* a certainly-true query has no refuting witness *)
+  let v2 =
+    Explain.query Family.C c p
+      (parse "Mgr('Mary', 'R&D', 40000, 3) or Mgr('John', 'R&D', 10000, 2)")
+  in
+  Alcotest.(check bool) "certain" true (v2.Explain.certainty = Cqa.Certainly_true);
+  Alcotest.(check bool) "no refuter" true (v2.Explain.refuting = None)
+
+let test_witnesses_are_preferred_repairs () =
+  let c, p = mgr_with_priority () in
+  let v = Explain.query Family.G c p (parse "Mgr('John', 'PR', 30000, 4)") in
+  List.iter
+    (fun w ->
+      match w with
+      | Some s ->
+        Alcotest.(check bool) "witness is preferred" true (Family.check Family.G c p s)
+      | None -> ())
+    [ v.Explain.supporting; v.Explain.refuting ]
+
+let test_verdict_matches_certainty () =
+  let c, p = mgr_with_priority () in
+  List.iter
+    (fun qs ->
+      let q = parse qs in
+      List.iter
+        (fun family ->
+          let v = Explain.query family c p q in
+          check
+            (Alcotest.testable
+               (fun ppf x -> Format.pp_print_string ppf (Cqa.certainty_to_string x))
+               ( = ))
+            (qs ^ " / " ^ Family.name_to_string family)
+            (Cqa.certainty family c p q) v.Explain.certainty)
+        Family.all_names)
+    [
+      "Mgr('Mary', 'IT', 20000, 1)";
+      "exists d, s, r. Mgr('Mary', d, s, r)";
+      "false";
+    ]
+
+let test_tuple_status () =
+  let c, p = mgr_with_priority () in
+  let t name dept salary reports =
+    Tuple.make
+      [ Value.name name; Value.name dept; Value.int salary; Value.int reports ]
+  in
+  (* Mary-R&D: conflicts with John-R&D and Mary-IT, dominates Mary-IT *)
+  let st = Explain.tuple_status Family.C c p (t "Mary" "R&D" 40000 3) in
+  check Alcotest.int "two conflicts" 2 (List.length st.Explain.conflicts_with);
+  check Alcotest.int "dominates one" 1 (List.length st.Explain.dominates);
+  check Alcotest.int "dominated by none" 0 (List.length st.Explain.dominated_by);
+  Alcotest.(check bool) "disputed" true
+    (st.Explain.in_some && not st.Explain.in_all);
+  (* Mary-IT is dominated but still appears in r2 *)
+  let st2 = Explain.tuple_status Family.C c p (t "Mary" "IT" 20000 1) in
+  check Alcotest.int "dominated by Mary-R&D" 1 (List.length st2.Explain.dominated_by);
+  Alcotest.(check bool) "still in some" true st2.Explain.in_some;
+  Alcotest.(check bool) "unknown tuple raises" true
+    (try
+       ignore (Explain.tuple_status Family.C c p (t "Zoe" "HR" 1 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_tuple_status_consistent_tuple () =
+  (* a conflict-free tuple is in every repair *)
+  let schema = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let rel =
+    Relation.of_rows schema
+      [ [ Value.int 1; Value.int 1 ]; [ Value.int 2; Value.int 1 ];
+        [ Value.int 2; Value.int 2 ] ]
+  in
+  let c = Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel in
+  let st =
+    Explain.tuple_status Family.Rep c (Core.Priority.empty c)
+      (Tuple.make [ Value.int 1; Value.int 1 ])
+  in
+  Alcotest.(check bool) "in all" true st.Explain.in_all;
+  check Alcotest.int "no conflicts" 0 (List.length st.Explain.conflicts_with)
+
+let test_pp_smoke () =
+  let c, p = mgr_with_priority () in
+  let v = Explain.query Family.C c p (parse "Mgr('Mary', 'IT', 20000, 1)") in
+  let rendered = Format.asprintf "%a" (Explain.pp_verdict c) v in
+  Alcotest.(check bool) "mentions ambiguity" true
+    (String.length rendered > 10);
+  let st =
+    Explain.tuple_status Family.C c p
+      (Tuple.make [ Value.name "Mary"; Value.name "IT"; Value.int 20000; Value.int 1 ])
+  in
+  Alcotest.(check bool) "status renders" true
+    (String.length (Format.asprintf "%a" Explain.pp_tuple_status st) > 10)
+
+let suite =
+  [
+    ("query witnesses", `Quick, test_query_witnesses);
+    ("witnesses are preferred repairs", `Quick, test_witnesses_are_preferred_repairs);
+    ("verdict matches certainty", `Quick, test_verdict_matches_certainty);
+    ("tuple status on the Mgr instance", `Quick, test_tuple_status);
+    ("conflict-free tuples are certain", `Quick, test_tuple_status_consistent_tuple);
+    ("printers render", `Quick, test_pp_smoke);
+  ]

@@ -1,0 +1,287 @@
+(* Unit tests for the graph substrate: Vset, Undirected, Digraph, Mis,
+   Hypergraph. *)
+
+open Graphs
+
+let check = Alcotest.check
+let vset = Testlib.vset
+let vs = Testlib.vs
+
+(* --- Vset --------------------------------------------------------------- *)
+
+let test_vset_of_range () =
+  check vset "range 4" (vs [ 0; 1; 2; 3 ]) (Vset.of_range 4);
+  check vset "range 0" Vset.empty (Vset.of_range 0);
+  check Alcotest.string "pp" "{0, 2}" (Vset.to_string (vs [ 2; 0 ]))
+
+let test_vset_hash_stable () =
+  Alcotest.(check bool)
+    "equal sets hash equal" true
+    (Vset.hash (vs [ 3; 1; 2 ]) = Vset.hash (vs [ 1; 2; 3 ]))
+
+(* --- Undirected --------------------------------------------------------- *)
+
+let path4 () = Undirected.create 4 [ (0, 1); (1, 2); (2, 3) ]
+
+let test_undirected_basics () =
+  let g = path4 () in
+  check Alcotest.int "size" 4 (Undirected.size g);
+  check Alcotest.int "edges" 3 (Undirected.edge_count g);
+  check vset "neighbors of 1" (vs [ 0; 2 ]) (Undirected.neighbors g 1);
+  check vset "vicinity of 1" (vs [ 0; 1; 2 ]) (Undirected.vicinity g 1);
+  Alcotest.(check bool) "mem edge" true (Undirected.mem_edge g 2 1);
+  Alcotest.(check bool) "no edge" false (Undirected.mem_edge g 0 3);
+  check Alcotest.int "degree" 1 (Undirected.degree g 0)
+
+let test_undirected_dedup_and_errors () =
+  let g = Undirected.create 3 [ (0, 1); (1, 0); (0, 1) ] in
+  check Alcotest.int "duplicate edges collapse" 1 (Undirected.edge_count g);
+  Alcotest.check_raises "self-loop" (Invalid_argument "Undirected.create: self-loop")
+    (fun () -> ignore (Undirected.create 2 [ (1, 1) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Undirected: vertex 5 out of range [0,3)") (fun () ->
+      ignore (Undirected.create 3 [ (0, 5) ]))
+
+let test_undirected_independence () =
+  let g = path4 () in
+  Alcotest.(check bool) "independent" true (Undirected.is_independent g (vs [ 0; 2 ]));
+  Alcotest.(check bool) "not independent" false
+    (Undirected.is_independent g (vs [ 0; 1 ]));
+  Alcotest.(check bool) "maximal" true
+    (Undirected.is_maximal_independent g (vs [ 0; 2 ]));
+  Alcotest.(check bool) "not maximal" false
+    (Undirected.is_maximal_independent g (vs [ 0 ]));
+  Alcotest.(check bool) "maximal {1,3}" true
+    (Undirected.is_maximal_independent g (vs [ 1; 3 ]));
+  Alcotest.(check bool) "empty set not maximal in nonempty graph" false
+    (Undirected.is_maximal_independent g Vset.empty)
+
+let test_undirected_components () =
+  let g = Undirected.create 6 [ (0, 1); (1, 2); (4, 5) ] in
+  Testlib.check_vsets "components"
+    [ vs [ 0; 1; 2 ]; vs [ 3 ]; vs [ 4; 5 ] ]
+    (Undirected.connected_components g);
+  check vset "isolated" (vs [ 3 ]) (Undirected.isolated g)
+
+let test_undirected_induced () =
+  let g = path4 () in
+  let sub, mapping = Undirected.induced g (vs [ 0; 1; 3 ]) in
+  check Alcotest.int "induced size" 3 (Undirected.size sub);
+  check Alcotest.int "induced edges" 1 (Undirected.edge_count sub);
+  check Alcotest.(list int) "mapping" [ 0; 1; 3 ] (Array.to_list mapping)
+
+let test_undirected_clique_union () =
+  let g = Undirected.create 3 [ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check bool) "triangle clique" true (Undirected.is_clique g (vs [ 0; 1; 2 ]));
+  let h = Undirected.create 3 [ (0, 1) ] in
+  Alcotest.(check bool) "not clique" false (Undirected.is_clique h (vs [ 0; 1; 2 ]));
+  Alcotest.(check bool) "singleton clique" true (Undirected.is_clique h (vs [ 2 ]));
+  let u = Undirected.union h (Undirected.create 3 [ (1, 2) ]) in
+  check Alcotest.int "union edges" 2 (Undirected.edge_count u)
+
+(* --- Digraph ------------------------------------------------------------ *)
+
+let test_digraph_basics () =
+  let g = Digraph.create 4 [ (0, 1); (1, 2); (0, 2) ] in
+  check Alcotest.int "arcs" 3 (Digraph.arc_count g);
+  check vset "succ 0" (vs [ 1; 2 ]) (Digraph.succ g 0);
+  check vset "pred 2" (vs [ 0; 1 ]) (Digraph.pred g 2);
+  Alcotest.(check bool) "mem" true (Digraph.mem_arc g 0 1);
+  Alcotest.(check bool) "directed" false (Digraph.mem_arc g 1 0);
+  let g' = Digraph.add_arc g 3 0 in
+  Alcotest.(check bool) "functional add" false (Digraph.mem_arc g 3 0);
+  Alcotest.(check bool) "added" true (Digraph.mem_arc g' 3 0)
+
+let test_digraph_cycles () =
+  let acyclic = Digraph.create 3 [ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check bool) "dag" false (Digraph.has_cycle acyclic);
+  let cyclic = Digraph.create 3 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check bool) "cycle" true (Digraph.has_cycle cyclic);
+  let two_cycle = Digraph.create 2 [ (0, 1); (1, 0) ] in
+  Alcotest.(check bool) "2-cycle" true (Digraph.has_cycle two_cycle)
+
+let test_digraph_topological () =
+  let g = Digraph.create 4 [ (3, 1); (1, 0); (2, 0) ] in
+  (match Digraph.topological_order g with
+  | None -> Alcotest.fail "expected an order"
+  | Some order ->
+    let pos v =
+      let rec find i = function
+        | [] -> Alcotest.fail "vertex missing from order"
+        | x :: rest -> if x = v then i else find (i + 1) rest
+      in
+      find 0 order
+    in
+    List.iter
+      (fun (u, v) ->
+        Alcotest.(check bool) "order respects arcs" true (pos u < pos v))
+      (Digraph.arcs g));
+  let cyclic = Digraph.create 2 [ (0, 1); (1, 0) ] in
+  Alcotest.(check bool) "no order on cycle" true
+    (Digraph.topological_order cyclic = None)
+
+let test_digraph_closure_reachable () =
+  let g = Digraph.create 4 [ (0, 1); (1, 2); (2, 3) ] in
+  check vset "reachable from 0" (vs [ 1; 2; 3 ]) (Digraph.reachable g 0);
+  check vset "reachable from 3" Vset.empty (Digraph.reachable g 3);
+  let tc = Digraph.transitive_closure g in
+  Alcotest.(check bool) "closure arc" true (Digraph.mem_arc tc 0 3);
+  Alcotest.(check bool) "no inverse" false (Digraph.mem_arc tc 3 0);
+  check Alcotest.int "closure arc count" 6 (Digraph.arc_count tc)
+
+let test_digraph_restrict () =
+  let g = Digraph.create 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let r = Digraph.restrict g (vs [ 0; 1; 3 ]) in
+  check Alcotest.int "restricted arcs" 1 (Digraph.arc_count r);
+  Alcotest.(check bool) "kept" true (Digraph.mem_arc r 0 1)
+
+(* --- Mis ---------------------------------------------------------------- *)
+
+let test_mis_path () =
+  let g = path4 () in
+  Testlib.check_vsets "path4 MIS"
+    [ vs [ 0; 2 ]; vs [ 0; 3 ]; vs [ 1; 3 ] ]
+    (Mis.enumerate g)
+
+let test_mis_empty_and_isolated () =
+  Testlib.check_vsets "empty graph" [ Vset.empty ] (Mis.enumerate (Undirected.create 0 []));
+  Testlib.check_vsets "3 isolated vertices"
+    [ vs [ 0; 1; 2 ] ]
+    (Mis.enumerate (Undirected.create 3 []))
+
+let test_mis_ladder_count () =
+  (* n disjoint edges: 2^n maximal independent sets (Example 4). *)
+  let ladder n =
+    Undirected.create (2 * n) (List.init n (fun i -> (2 * i, (2 * i) + 1)))
+  in
+  List.iter
+    (fun n ->
+      check Alcotest.int
+        (Printf.sprintf "2^%d repairs" n)
+        (1 lsl n)
+        (Mis.count (ladder n)))
+    [ 0; 1; 2; 3; 4; 5; 8 ]
+
+let test_mis_triangle () =
+  let g = Undirected.create 3 [ (0, 1); (1, 2); (0, 2) ] in
+  Testlib.check_vsets "triangle"
+    [ vs [ 0 ]; vs [ 1 ]; vs [ 2 ] ]
+    (Mis.enumerate g)
+
+let test_mis_all_results_are_maximal () =
+  let rng = Workload.Prng.create 42 in
+  for _ = 1 to 20 do
+    let n = 2 + Workload.Prng.int rng 8 in
+    let edges =
+      List.concat_map
+        (fun u ->
+          List.filter_map
+            (fun v ->
+              if v > u && Workload.Prng.int rng 3 = 0 then Some (u, v) else None)
+            (List.init n Fun.id))
+        (List.init n Fun.id)
+    in
+    let g = Undirected.create n edges in
+    let sets = Mis.enumerate g in
+    Alcotest.(check bool) "at least one MIS" true (sets <> []);
+    List.iter
+      (fun s ->
+        Alcotest.(check bool) "maximal independent" true
+          (Undirected.is_maximal_independent g s))
+      sets;
+    (* no duplicates *)
+    check Alcotest.int "distinct"
+      (List.length sets)
+      (List.length (List.sort_uniq Vset.compare sets))
+  done
+
+let test_mis_first_exists_forall () =
+  let g = path4 () in
+  Alcotest.(check bool) "first maximal" true
+    (Undirected.is_maximal_independent g (Mis.first g));
+  Alcotest.(check bool) "exists with 0" true
+    (Mis.exists (fun s -> Vset.mem 0 s) g);
+  Alcotest.(check bool) "not all with 0" false
+    (Mis.for_all (fun s -> Vset.mem 0 s) g);
+  Alcotest.(check bool) "all size 2" true
+    (Mis.for_all (fun s -> Vset.cardinal s = 2) g)
+
+(* --- Hypergraph --------------------------------------------------------- *)
+
+let test_hypergraph_build () =
+  let h = Hypergraph.create 4 [ vs [ 0; 1; 2 ]; vs [ 0; 1 ]; vs [ 2; 3 ] ] in
+  (* {0,1,2} is a superset of {0,1} and gets dropped *)
+  check Alcotest.int "minimal edges" 2 (List.length (Hypergraph.edges h));
+  Alcotest.check_raises "empty edge"
+    (Invalid_argument "Hypergraph.create: empty edge") (fun () ->
+      ignore (Hypergraph.create 2 [ Vset.empty ]))
+
+let test_hypergraph_independence () =
+  let h = Hypergraph.create 4 [ vs [ 0; 1; 2 ] ] in
+  Alcotest.(check bool) "partial edge ok" true
+    (Hypergraph.is_independent h (vs [ 0; 1; 3 ]));
+  Alcotest.(check bool) "full edge bad" false
+    (Hypergraph.is_independent h (vs [ 0; 1; 2; 3 ]));
+  Alcotest.(check bool) "maximal" true
+    (Hypergraph.is_maximal_independent h (vs [ 0; 1; 3 ]))
+
+let test_hypergraph_enumerate_triangle_edge () =
+  let h = Hypergraph.create 3 [ vs [ 0; 1; 2 ] ] in
+  Testlib.check_vsets "drop one vertex each"
+    [ vs [ 0; 1 ]; vs [ 0; 2 ]; vs [ 1; 2 ] ]
+    (Hypergraph.enumerate h)
+
+let test_hypergraph_singleton_edge () =
+  (* A 1-element hyperedge bans its vertex from every repair. *)
+  let h = Hypergraph.create 3 [ vs [ 0 ]; vs [ 1; 2 ] ] in
+  Testlib.check_vsets "vertex 0 banned"
+    [ vs [ 1 ]; vs [ 2 ] ]
+    (Hypergraph.enumerate h)
+
+let test_hypergraph_matches_graph () =
+  (* On 2-element edges, hypergraph MIS = graph MIS. *)
+  let rng = Workload.Prng.create 7 in
+  for _ = 1 to 10 do
+    let n = 2 + Workload.Prng.int rng 6 in
+    let edges =
+      List.concat_map
+        (fun u ->
+          List.filter_map
+            (fun v ->
+              if v > u && Workload.Prng.int rng 2 = 0 then Some (u, v) else None)
+            (List.init n Fun.id))
+        (List.init n Fun.id)
+    in
+    let g = Undirected.create n edges in
+    Testlib.check_vsets "hypergraph = graph"
+      (Mis.enumerate g)
+      (Hypergraph.enumerate (Hypergraph.of_graph g))
+  done
+
+let suite =
+  [
+    ("vset: of_range and pp", `Quick, test_vset_of_range);
+    ("vset: hash stability", `Quick, test_vset_hash_stable);
+    ("undirected: basics", `Quick, test_undirected_basics);
+    ("undirected: dedup and errors", `Quick, test_undirected_dedup_and_errors);
+    ("undirected: independence", `Quick, test_undirected_independence);
+    ("undirected: components", `Quick, test_undirected_components);
+    ("undirected: induced subgraph", `Quick, test_undirected_induced);
+    ("undirected: cliques and union", `Quick, test_undirected_clique_union);
+    ("digraph: basics", `Quick, test_digraph_basics);
+    ("digraph: cycle detection", `Quick, test_digraph_cycles);
+    ("digraph: topological order", `Quick, test_digraph_topological);
+    ("digraph: closure and reachability", `Quick, test_digraph_closure_reachable);
+    ("digraph: restrict", `Quick, test_digraph_restrict);
+    ("mis: path", `Quick, test_mis_path);
+    ("mis: empty and isolated", `Quick, test_mis_empty_and_isolated);
+    ("mis: ladder counts 2^n", `Quick, test_mis_ladder_count);
+    ("mis: triangle", `Quick, test_mis_triangle);
+    ("mis: random graphs all maximal", `Quick, test_mis_all_results_are_maximal);
+    ("mis: first/exists/for_all", `Quick, test_mis_first_exists_forall);
+    ("hypergraph: build and minimality", `Quick, test_hypergraph_build);
+    ("hypergraph: independence", `Quick, test_hypergraph_independence);
+    ("hypergraph: 3-edge enumeration", `Quick, test_hypergraph_enumerate_triangle_edge);
+    ("hypergraph: singleton edge", `Quick, test_hypergraph_singleton_edge);
+    ("hypergraph: agrees with graph MIS", `Quick, test_hypergraph_matches_graph);
+  ]

@@ -1,0 +1,165 @@
+(* Tests for the conflict-hypergraph extension (§6, after [6]). *)
+
+open Relational
+open Graphs
+module Denial = Constraints.Denial
+module Hyper = Core.Hyper
+module Cqa = Core.Cqa
+
+let check = Alcotest.check
+let parse = Query.Parser.parse_exn
+
+let certainty =
+  Alcotest.testable
+    (fun ppf c -> Format.pp_print_string ppf (Cqa.certainty_to_string c))
+    (fun a b -> a = b)
+
+let schema () =
+  Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ]
+
+let atom l op r = { Denial.left = l; op; right = r }
+
+(* "no three tuples share the same A": a genuinely ternary constraint *)
+let no_triple () =
+  Denial.make ~label:"no-triple" ~nvars:3
+    [
+      atom (Denial.Attr (0, "A")) Denial.Eq (Denial.Attr (1, "A"));
+      atom (Denial.Attr (1, "A")) Denial.Eq (Denial.Attr (2, "A"));
+      atom (Denial.Attr (0, "B")) Denial.Lt (Denial.Attr (1, "B"));
+      atom (Denial.Attr (1, "B")) Denial.Lt (Denial.Attr (2, "B"));
+    ]
+
+let test_hyper_build () =
+  let rel =
+    Relation.of_rows (schema ())
+      [
+        [ Value.int 1; Value.int 0 ]; [ Value.int 1; Value.int 1 ];
+        [ Value.int 1; Value.int 2 ]; [ Value.int 2; Value.int 0 ];
+      ]
+  in
+  let h = Hyper.build [ no_triple () ] rel in
+  check Alcotest.int "4 vertices" 4 (Hyper.size h);
+  check Alcotest.int "one 3-edge" 1 (List.length (Hypergraph.edges (Hyper.hypergraph h)));
+  Alcotest.(check bool) "inconsistent" false (Hyper.is_consistent h)
+
+let test_hyper_repairs_drop_one_of_three () =
+  let rel =
+    Relation.of_rows (schema ())
+      [
+        [ Value.int 1; Value.int 0 ]; [ Value.int 1; Value.int 1 ];
+        [ Value.int 1; Value.int 2 ]; [ Value.int 2; Value.int 0 ];
+      ]
+  in
+  let h = Hyper.build [ no_triple () ] rel in
+  let repairs = Hyper.repairs h in
+  check Alcotest.int "three repairs" 3 (List.length repairs);
+  List.iter
+    (fun s ->
+      check Alcotest.int "each keeps 3 of 4 tuples" 3 (Vset.cardinal s);
+      Alcotest.(check bool) "is repair" true (Hyper.is_repair h s))
+    repairs
+
+let test_hyper_of_fds_matches_graph () =
+  (* FDs through the hypergraph encoding give the same repairs as the
+     conflict-graph route. *)
+  let rng = Workload.Prng.create 57 in
+  for _ = 1 to 10 do
+    let rel, fds =
+      Workload.Generator.random_two_fd_instance rng ~n:8 ~a_values:3 ~c_values:3
+        ~v_values:2
+    in
+    let h = Hyper.of_fds fds rel in
+    let c = Core.Conflict.build fds rel in
+    Testlib.check_vsets "same repairs" (Core.Repair.all c) (Hyper.repairs h)
+  done
+
+let test_hyper_ground_cqa_matches_enumeration () =
+  let rel =
+    Relation.of_rows (schema ())
+      [
+        [ Value.int 1; Value.int 0 ]; [ Value.int 1; Value.int 1 ];
+        [ Value.int 1; Value.int 2 ]; [ Value.int 2; Value.int 0 ];
+      ]
+  in
+  let h = Hyper.build [ no_triple () ] rel in
+  let naive q =
+    let truths =
+      List.map (fun s -> Query.Eval.holds_relation (Hyper.to_relation h s) q)
+        (Hyper.repairs h)
+    in
+    if List.for_all Fun.id truths then Cqa.Certainly_true
+    else if List.for_all not truths then Cqa.Certainly_false
+    else Cqa.Ambiguous
+  in
+  List.iter
+    (fun qs ->
+      let q = parse qs in
+      check certainty qs (naive q) (Result.get_ok (Hyper.ground_certainty h q)))
+    [
+      "R(2, 0)";
+      "R(1, 0)";
+      "R(1, 0) and R(1, 1) and R(1, 2)";
+      "R(1, 0) or R(1, 1)";
+      "R(1, 0) or R(1, 1) or R(1, 2)";
+      "not R(1, 0)";
+      "not (R(1, 0) and R(1, 1))";
+      "R(9, 9)";
+    ]
+
+let test_hyper_singleton_constraint () =
+  (* one-tuple denial constraint: the offending tuple is in no repair *)
+  let cap =
+    Denial.make ~label:"cap" ~nvars:1
+      [ atom (Denial.Attr (0, "B")) Denial.Gt (Denial.Const (Value.int 10)) ]
+  in
+  let rel =
+    Relation.of_rows (schema ())
+      [ [ Value.int 1; Value.int 5 ]; [ Value.int 2; Value.int 50 ] ]
+  in
+  let h = Hyper.build [ cap ] rel in
+  (match Hyper.repairs h with
+  | [ s ] -> check Alcotest.int "one tuple survives" 1 (Vset.cardinal s)
+  | l -> Alcotest.failf "expected 1 repair, got %d" (List.length l));
+  check certainty "banned fact certainly false" Cqa.Certainly_false
+    (Result.get_ok (Hyper.ground_certainty h (parse "R(2, 50)")));
+  check certainty "clean fact certainly true" Cqa.Certainly_true
+    (Result.get_ok (Hyper.ground_certainty h (parse "R(1, 5)")))
+
+let test_hyper_random_cqa_cross_validation () =
+  let rng = Workload.Prng.create 59 in
+  let dc = no_triple () in
+  for _ = 1 to 15 do
+    let rows =
+      List.init 7 (fun _ ->
+          [ Value.int (Workload.Prng.int rng 2); Value.int (Workload.Prng.int rng 4) ])
+    in
+    let rel = Relation.of_rows (schema ()) rows in
+    let h = Hyper.build [ dc ] rel in
+    let repairs = Hyper.repairs h in
+    let q =
+      parse
+        (Printf.sprintf "R(%d, %d) and not R(%d, %d)" (Workload.Prng.int rng 2)
+           (Workload.Prng.int rng 4) (Workload.Prng.int rng 2)
+           (Workload.Prng.int rng 4))
+    in
+    let truths =
+      List.map (fun s -> Query.Eval.holds_relation (Hyper.to_relation h s) q) repairs
+    in
+    let naive =
+      if List.for_all Fun.id truths then Cqa.Certainly_true
+      else if List.for_all not truths then Cqa.Certainly_false
+      else Cqa.Ambiguous
+    in
+    check certainty "hyper CQA cross-validation" naive
+      (Result.get_ok (Hyper.ground_certainty h q))
+  done
+
+let suite =
+  [
+    ("hypergraph construction from denial constraints", `Quick, test_hyper_build);
+    ("ternary conflicts: drop one of three", `Quick, test_hyper_repairs_drop_one_of_three);
+    ("FD encoding matches conflict graph", `Quick, test_hyper_of_fds_matches_graph);
+    ("ground CQA over hyperedges = enumeration", `Quick, test_hyper_ground_cqa_matches_enumeration);
+    ("single-tuple constraints", `Quick, test_hyper_singleton_constraint);
+    ("random cross-validation of hyper CQA", `Quick, test_hyper_random_cqa_cross_validation);
+  ]

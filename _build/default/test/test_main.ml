@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "prefrepair"
+    [
+      ("graphs", Test_graphs.suite);
+      ("relational", Test_relational.suite);
+      ("constraints", Test_constraints.suite);
+      ("query", Test_query.suite);
+      ("conflict", Test_conflict.suite);
+      ("priority", Test_priority.suite);
+      ("repair", Test_repair.suite);
+      ("optimality", Test_optimality.suite);
+      ("cqa", Test_cqa.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("properties", Test_properties.suite);
+      ("pref_rules", Test_pref_rules.suite);
+      ("hyper", Test_hyper.suite);
+      ("dbio", Test_dbio.suite);
+      ("pref_formula", Test_pref_formula.suite);
+      ("multi", Test_multi.suite);
+      ("algebra", Test_algebra.suite);
+      ("explain", Test_explain.suite);
+      ("session", Test_session.suite);
+      ("stats_trace", Test_stats_trace.suite);
+      ("edge_cases", Test_edge_cases.suite);
+      ("decompose", Test_decompose.suite);
+      ("qcheck", Test_qcheck.suite);
+    ]

@@ -1,0 +1,171 @@
+(* Tests for multi-relation databases (Core.Multi) — the §2 extension
+   "along the lines of [7]". *)
+
+open Relational
+module Multi = Core.Multi
+module Family = Core.Family
+module Cqa = Core.Cqa
+
+let check = Alcotest.check
+let parse = Query.Parser.parse_exn
+
+let certainty =
+  Alcotest.testable
+    (fun ppf c -> Format.pp_print_string ppf (Cqa.certainty_to_string c))
+    (fun a b -> a = b)
+
+(* Mgr (the paper's instance) + a consistent Dept relation + an
+   inconsistent Emp relation. *)
+let setup () =
+  let mgr, mgr_fds, _ = Testlib.mgr () in
+  let dept_schema =
+    Schema.make "Dept" [ ("DName", Schema.TName); ("Floor", Schema.TInt) ]
+  in
+  let dept =
+    Relation.of_rows dept_schema
+      [
+        [ Value.name "R&D"; Value.int 3 ];
+        [ Value.name "IT"; Value.int 1 ];
+        [ Value.name "PR"; Value.int 2 ];
+      ]
+  in
+  let emp_schema =
+    Schema.make "Emp" [ ("EName", Schema.TName); ("EDept", Schema.TName) ]
+  in
+  let emp =
+    Relation.of_rows emp_schema
+      [
+        [ Value.name "Ann"; Value.name "R&D" ];
+        [ Value.name "Ann"; Value.name "IT" ];
+        [ Value.name "Bob"; Value.name "PR" ];
+      ]
+  in
+  let db = Database.of_relations [ mgr; dept; emp ] in
+  Multi.build
+    ~fds:
+      [
+        ("Mgr", mgr_fds);
+        ("Emp", [ Constraints.Fd.make [ "EName" ] [ "EDept" ] ]);
+      ]
+    db
+
+let test_build_structure () =
+  let m = setup () in
+  check Alcotest.(list string) "relations" [ "Dept"; "Emp"; "Mgr" ]
+    (Multi.relation_names m);
+  Alcotest.(check bool) "Dept consistent" true
+    (Core.Conflict.is_consistent (Multi.conflict m "Dept"));
+  Alcotest.(check bool) "Emp inconsistent" false
+    (Core.Conflict.is_consistent (Multi.conflict m "Emp"));
+  Alcotest.(check bool) "unknown relation rejected" true
+    (try
+       ignore (Multi.build ~fds:[ ("Nope", []) ] Database.empty);
+       false
+     with Invalid_argument _ -> true)
+
+let test_repair_product () =
+  let m = setup () in
+  (* Mgr has 3 repairs, Dept 1, Emp 2 -> 6 database repairs *)
+  check Alcotest.int "count" 6 (Multi.repair_count Family.Rep m);
+  let repairs = Multi.repairs Family.Rep m in
+  check Alcotest.int "materialized" 6 (List.length repairs);
+  List.iter
+    (fun db ->
+      (* each database repair restricts every relation to a repair *)
+      List.iter
+        (fun name ->
+          let c = Multi.conflict m name in
+          let rel = Database.find_exn db name in
+          Alcotest.(check bool) "relation-wise repair" true
+            (Core.Repair.is_repair c (Multi.vset_of m name rel)))
+        (Multi.relation_names m))
+    repairs
+
+let test_join_query () =
+  let m = setup () in
+  (* is some manager on floor 2? PR is on floor 2; John-PR present in
+     some repairs only *)
+  let q =
+    parse
+      "exists n, d, s, r. Mgr(n, d, s, r) and Dept(d, 2)"
+  in
+  check certainty "join ambiguous" Cqa.Ambiguous (Multi.certainty Family.Rep m q);
+  (* every repair keeps a manager on some floor *)
+  let q2 = parse "exists n, d, s, r, f. Mgr(n, d, s, r) and Dept(d, f)" in
+  check certainty "join certain" Cqa.Certainly_true
+    (Multi.certainty Family.Rep m q2)
+
+let test_preferences_per_relation () =
+  let m = setup () in
+  let _, _, prov = Testlib.mgr () in
+  let rule =
+    Result.get_ok
+      (Core.Pref_rules.source_reliability prov
+         ~more_reliable_than:[ ("s1", "s3"); ("s2", "s3") ])
+  in
+  let m = Result.get_ok (Multi.set_rule m "Mgr" rule) in
+  (* Mgr now has 2 preferred repairs; Emp still 2; Dept 1 -> 4 *)
+  check Alcotest.int "preferred count" 4 (Multi.repair_count Family.C m);
+  (* Example 3's Q2 holds across the whole database now *)
+  let q2 =
+    parse
+      "exists x1,y1,z1,x2,y2,z2. Mgr('Mary',x1,y1,z1) and \
+       Mgr('John',x2,y2,z2) and y1 > y2 and z1 < z2"
+  in
+  Alcotest.(check bool) "Q2 certain" true (Multi.consistent_answer Family.C m q2)
+
+let test_ground_factorized_matches_naive () =
+  let m = setup () in
+  let queries =
+    [
+      "Mgr('Mary', 'R&D', 40000, 3)";
+      "Dept('R&D', 3)";
+      "Emp('Ann', 'IT') or Emp('Ann', 'R&D')";
+      "Mgr('John', 'PR', 30000, 4) and Emp('Bob', 'PR')";
+      "not Emp('Ann', 'IT') and Dept('IT', 1)";
+      "Mgr('Mary', 'R&D', 40000, 3) or Mgr('John', 'R&D', 10000, 2)";
+    ]
+  in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun qs ->
+          let q = parse qs in
+          let naive = Multi.certainty family m q in
+          match Multi.certainty_ground family m q with
+          | Error e -> Alcotest.fail e
+          | Ok fast ->
+            check certainty (Family.name_to_string family ^ " " ^ qs) naive fast)
+        queries)
+    Family.all_names
+
+let test_ground_factorized_with_preferences () =
+  let m = setup () in
+  let _, _, prov = Testlib.mgr () in
+  let rule =
+    Result.get_ok
+      (Core.Pref_rules.source_reliability prov
+         ~more_reliable_than:[ ("s1", "s3"); ("s2", "s3") ])
+  in
+  let m = Result.get_ok (Multi.set_rule m "Mgr" rule) in
+  let q = parse "Mgr('Mary', 'R&D', 40000, 3) or Mgr('John', 'R&D', 10000, 2)" in
+  check certainty "preference-certified disjunction" Cqa.Certainly_true
+    (Result.get_ok (Multi.certainty_ground Family.C m q));
+  check certainty "matches the product engine" (Multi.certainty Family.C m q)
+    (Result.get_ok (Multi.certainty_ground Family.C m q))
+
+let test_ground_unknown_relation () =
+  let m = setup () in
+  Alcotest.(check bool) "unknown relation" true
+    (Result.is_error (Multi.certainty_ground Family.Rep m (parse "Zzz(1)")))
+
+let suite =
+  [
+    ("build and structure", `Quick, test_build_structure);
+    ("database repairs = product of relation repairs", `Quick, test_repair_product);
+    ("joins across relations", `Quick, test_join_query);
+    ("per-relation preferences", `Quick, test_preferences_per_relation);
+    ("factorized ground engine = product engine", `Quick, test_ground_factorized_matches_naive);
+    ("factorized engine with preferences", `Quick, test_ground_factorized_with_preferences);
+    ("unknown relations rejected", `Quick, test_ground_unknown_relation);
+  ]

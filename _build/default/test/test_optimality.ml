@@ -1,0 +1,338 @@
+(* Unit tests for repair optimality (§3) and the preferred families.
+
+   Ground truth is the paper's worked examples. Note on Example 9: as
+   printed it is internally inconsistent — the 5-tuple chain instance has
+   four repairs (maximal independent sets of a 5-path), not the two the
+   paper lists, and under the printed total priority the §4.2
+   characterization of semi-global optimality leaves a single repair. The
+   tests below (a) verify what the definitions actually imply on that
+   instance, (b) verify the intended S-vs-G separation on the corrected
+   partial-priority variant, and (c) verify exhaustively that no total
+   priority on that instance makes S-Rep non-categorical. See
+   EXPERIMENTS.md. *)
+
+open Graphs
+module Conflict = Core.Conflict
+module Priority = Core.Priority
+module Repair = Core.Repair
+module Optimality = Core.Optimality
+module Family = Core.Family
+
+let check = Alcotest.check
+let vs = Testlib.vs
+
+(* --- Example 7: local optimality on one key ------------------------------- *)
+
+let test_example7_lrep () =
+  let c, p = Testlib.example7 () in
+  Testlib.check_vsets "Rep = three singletons"
+    [ vs [ 0 ]; vs [ 1 ]; vs [ 2 ] ]
+    (Repair.all c);
+  Testlib.check_vsets "only r1 = {ta} locally optimal" [ vs [ 0 ] ]
+    (Family.repairs Family.L c p);
+  (* one key dependency: L and S coincide (Prop. 3) *)
+  Testlib.check_vsets "L = S on one key"
+    (Family.repairs Family.L c p)
+    (Family.repairs Family.S c p)
+
+let test_example7_witness () =
+  let c, p = Testlib.example7 () in
+  (match Optimality.improving_swap c p (vs [ 1 ]) with
+  | Some (y, x) ->
+    check Alcotest.int "y = ta" 0 y;
+    check Alcotest.int "x = tb" 1 x
+  | None -> Alcotest.fail "expected an improving swap");
+  Alcotest.(check bool) "r1 has no witness" true
+    (Optimality.improving_swap c p (vs [ 0 ]) = None)
+
+(* --- Example 8: L non-categorical, S decides ------------------------------- *)
+
+let test_example8 () =
+  let c, p = Testlib.example8 () in
+  Testlib.check_vsets "two repairs" [ vs [ 0; 1 ]; vs [ 2 ] ] (Repair.all c);
+  (* both are locally optimal: tc conflicts with two tuples of r1, no
+     single swap applies *)
+  Testlib.check_vsets "L-Rep = all repairs (non-categorical, total priority!)"
+    [ vs [ 0; 1 ]; vs [ 2 ] ]
+    (Family.repairs Family.L c p);
+  Alcotest.(check bool) "priority is total" true (Priority.is_total c p);
+  (* S rejects r1: tc dominates both of its neighbours there *)
+  Testlib.check_vsets "S-Rep = {r2}" [ vs [ 2 ] ] (Family.repairs Family.S c p);
+  (* one FD: S and G coincide (Prop. 4) *)
+  Testlib.check_vsets "G = S on one FD"
+    (Family.repairs Family.S c p)
+    (Family.repairs Family.G c p)
+
+(* --- Example 9 as printed --------------------------------------------------- *)
+
+let test_example9_as_printed () =
+  let c, p = Testlib.example9 () in
+  let order = Testlib.chain_order c in
+  let pick idxs = vs (List.map (List.nth order) idxs) in
+  (* the chain instance has FOUR repairs, not the two listed in the paper *)
+  Testlib.check_vsets "four repairs of the 5-path"
+    [ pick [ 0; 2; 4 ]; pick [ 0; 3 ]; pick [ 1; 3 ]; pick [ 1; 4 ] ]
+    (Repair.all c);
+  Alcotest.(check bool) "printed priority is total" true (Priority.is_total c p);
+  (* under Definition §3.2, only r1 = {ta, tc, te} survives *)
+  Testlib.check_vsets "S-Rep = {r1} (categorical, contra the paper's text)"
+    [ pick [ 0; 2; 4 ] ]
+    (Family.repairs Family.S c p);
+  Testlib.check_vsets "G-Rep likewise" [ pick [ 0; 2; 4 ] ]
+    (Family.repairs Family.G c p)
+
+let test_example9_no_total_priority_splits_s () =
+  (* Exhaustive: every total priority over the 5-path yields |S-Rep| = 1,
+     so Example 9 cannot demonstrate non-categoricity of S-Rep. *)
+  let c, _ = Testlib.example9 () in
+  let edges = Undirected.edges (Conflict.graph c) in
+  let n_edges = List.length edges in
+  let count = ref 0 in
+  for mask = 0 to (1 lsl n_edges) - 1 do
+    let arcs =
+      List.mapi
+        (fun i (u, v) -> if mask land (1 lsl i) <> 0 then (u, v) else (v, u))
+        edges
+    in
+    match Priority.of_arcs c arcs with
+    | Error _ -> () (* cyclic orientation *)
+    | Ok p ->
+      incr count;
+      check Alcotest.int "S-Rep singleton under every total priority" 1
+        (List.length (Family.repairs Family.S c p))
+  done;
+  Alcotest.(check bool) "some acyclic total orientations exist" true (!count > 0)
+
+(* --- Example 9 with a partial priority -------------------------------------- *)
+
+let test_example9_partial_priority () =
+  let c, p = Testlib.example9_partial () in
+  let order = Testlib.chain_order c in
+  let pick idxs = vs (List.map (List.nth order) idxs) in
+  Alcotest.(check bool) "priority is partial" false (Priority.is_total c p);
+  (* On a path even a partial priority leaves S categorical here — the
+     single-tuple witnesses of §4.2 are as strong as ≪ on paths. *)
+  Testlib.check_vsets "S-Rep = {{ta, tc, te}}"
+    [ pick [ 0; 2; 4 ] ]
+    (Family.repairs Family.S c p);
+  Testlib.check_vsets "G-Rep agrees" [ pick [ 0; 2; 4 ] ]
+    (Family.repairs Family.G c p);
+  Testlib.check_vsets "C-Rep agrees" [ pick [ 0; 2; 4 ] ]
+    (Family.repairs Family.C c p)
+
+(* --- §3.3's mutual-conflict regime: S and G genuinely differ ----------------- *)
+
+let test_mutual_cycle_separates_s_from_g () =
+  (* C4 from two FDs, A->B edges oriented even-over-odd: both the even and
+     the odd repair are semi-globally optimal, but the even repair
+     ≪-dominates the odd one, so G (and C) reject it. This realizes the
+     phenomenon Example 9 was intended to illustrate. *)
+  let rel, fds = Workload.Generator.mutual_cycle 2 in
+  let c = Conflict.build fds rel in
+  let p = Workload.Generator.mutual_cycle_priority c in
+  Alcotest.(check bool) "priority is partial" false (Priority.is_total c p);
+  let evens, odds =
+    let even_set =
+      Vset.of_list
+        (List.filter_map
+           (fun v ->
+             match Relational.Value.as_int (Relational.Tuple.get (Conflict.tuple c v) 1) with
+             | Some 0 -> Some v
+             | _ -> None)
+           (List.init (Conflict.size c) Fun.id))
+    in
+    (even_set, Vset.diff (Vset.of_range (Conflict.size c)) even_set)
+  in
+  Testlib.check_vsets "Rep = {evens, odds}" [ evens; odds ] (Repair.all c);
+  Testlib.check_vsets "S-Rep keeps both (non-categorical!)" [ evens; odds ]
+    (Family.repairs Family.S c p);
+  Testlib.check_vsets "G-Rep decides for the dominating repair" [ evens ]
+    (Family.repairs Family.G c p);
+  Testlib.check_vsets "C-Rep agrees with G here" [ evens ]
+    (Family.repairs Family.C c p);
+  Alcotest.(check bool) "odds << evens" true (Optimality.preferred_to c p odds evens)
+
+let test_mutual_cycle_larger () =
+  (* C8: S keeps both alternating repairs, G rejects the odd one. *)
+  let rel, fds = Workload.Generator.mutual_cycle 4 in
+  let c = Conflict.build fds rel in
+  let p = Workload.Generator.mutual_cycle_priority c in
+  let s = Family.repairs Family.S c p in
+  let g = Family.repairs Family.G c p in
+  Alcotest.(check bool) "S strictly larger than G" true
+    (List.length s > List.length g);
+  let evens =
+    Vset.of_list
+      (List.filter_map
+         (fun v ->
+           match Relational.Value.as_int (Relational.Tuple.get (Conflict.tuple c v) 1) with
+           | Some 0 -> Some v
+           | _ -> None)
+         (List.init (Conflict.size c) Fun.id))
+  in
+  Alcotest.(check bool) "evens globally optimal" true
+    (List.exists (Vset.equal evens) g)
+
+(* --- erratum: Prop 4's "one FD ⇒ S = G" fails with duplicates --------------- *)
+
+let test_one_fd_duplicates_separate_s_from_g () =
+  (* One non-key FD A -> B over R(A,B,C); two tuples with B=0 and two with
+     B=1 in the same key group form a K_{2,2} conflict graph (the
+     duplicate regime of §3.2). Priority t3 > t2, t4 > t1: no single
+     tuple improves either side (S keeps both repairs), but the pair
+     {t3, t4} jointly dominates {t1, t2}, so G rejects one. Found by the
+     property-based suite; see EXPERIMENTS.md erratum 3. *)
+  let open Relational in
+  let schema =
+    Schema.make "R"
+      [ ("A", Schema.TInt); ("B", Schema.TInt); ("C", Schema.TInt) ]
+  in
+  let row a b cc = [ Value.int a; Value.int b; Value.int cc ] in
+  let rel =
+    Relation.of_rows schema [ row 1 0 0; row 1 0 2; row 1 1 1; row 1 1 2 ]
+  in
+  let c = Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel in
+  (* canonical order: t0=(1,0,0) t1=(1,0,2) t2=(1,1,1) t3=(1,1,2);
+     edges 0-2, 0-3, 1-2, 1-3 *)
+  let p = Priority.of_arcs_exn c [ (2, 1); (3, 0) ] in
+  Testlib.check_vsets "two repairs" [ vs [ 0; 1 ]; vs [ 2; 3 ] ] (Repair.all c);
+  Testlib.check_vsets "S keeps both (single FD!)"
+    [ vs [ 0; 1 ]; vs [ 2; 3 ] ]
+    (Family.repairs Family.S c p);
+  Testlib.check_vsets "G rejects the dominated side" [ vs [ 2; 3 ] ]
+    (Family.repairs Family.G c p)
+
+(* --- the ≪ relation (Prop. 5) ---------------------------------------------- *)
+
+let test_preferred_to () =
+  let c, p = Testlib.example9_partial () in
+  let order = Testlib.chain_order c in
+  let pick idxs = vs (List.map (List.nth order) idxs) in
+  let r1 = pick [ 0; 2; 4 ] and r_alt = pick [ 0; 3 ] in
+  Alcotest.(check bool) "r_alt << r1" true (Optimality.preferred_to c p r_alt r1);
+  Alcotest.(check bool) "not r1 << r_alt" false (Optimality.preferred_to c p r1 r_alt);
+  Alcotest.(check bool) "reflexive" true (Optimality.preferred_to c p r1 r1)
+
+let test_dominating_witness () =
+  let c, p = Testlib.example9_partial () in
+  let order = Testlib.chain_order c in
+  let pick idxs = vs (List.map (List.nth order) idxs) in
+  (match Optimality.dominating_witness c p (pick [ 0; 3 ]) with
+  | Some w -> check Testlib.vset "witness is r1" (pick [ 0; 2; 4 ]) w
+  | None -> Alcotest.fail "expected a dominating repair");
+  Alcotest.(check bool) "r1 undominated" true
+    (Optimality.dominating_witness c p (pick [ 0; 2; 4 ]) = None)
+
+(* --- Prop. 5: ≪-maximality = replacement definition ------------------------- *)
+
+let test_prop5_equivalence () =
+  let rng = Workload.Prng.create 41 in
+  for _ = 1 to 30 do
+    let rel, fds =
+      Workload.Generator.random_two_fd_instance rng ~n:7 ~a_values:2 ~c_values:2
+        ~v_values:2
+    in
+    let c = Conflict.build fds rel in
+    let p = Workload.Generator.random_priority rng ~density:0.6 c in
+    List.iter
+      (fun r' ->
+        Alcotest.(check bool) "Prop 5"
+          (Optimality.is_globally_optimal c p r')
+          (Optimality.is_globally_optimal_by_replacement c p r'))
+      (Repair.all c)
+  done
+
+(* --- containments C ⊆ G ⊆ S ⊆ L ⊆ Rep --------------------------------------- *)
+
+let test_containments () =
+  let rng = Workload.Prng.create 43 in
+  let subset l1 l2 = List.for_all (fun s -> List.exists (Vset.equal s) l2) l1 in
+  for _ = 1 to 25 do
+    let rel, fds =
+      Workload.Generator.random_two_fd_instance rng ~n:9 ~a_values:3 ~c_values:3
+        ~v_values:2
+    in
+    let c = Conflict.build fds rel in
+    let p = Workload.Generator.random_priority rng ~density:0.5 c in
+    let rep = Family.repairs Family.Rep c p in
+    let l = Family.repairs Family.L c p in
+    let s = Family.repairs Family.S c p in
+    let g = Family.repairs Family.G c p in
+    let cr = Family.repairs Family.C c p in
+    Alcotest.(check bool) "C ⊆ G" true (subset cr g);
+    Alcotest.(check bool) "G ⊆ S" true (subset g s);
+    Alcotest.(check bool) "S ⊆ L" true (subset s l);
+    Alcotest.(check bool) "L ⊆ Rep" true (subset l rep);
+    (* every family non-empty (P1; for G via C ⊆ G) *)
+    Alcotest.(check bool) "all non-empty" true
+      (List.for_all (fun f -> f <> []) [ rep; l; s; g; cr ])
+  done
+
+(* --- family checks agree with enumeration ------------------------------------ *)
+
+let test_check_agrees_with_enumeration () =
+  let rng = Workload.Prng.create 47 in
+  for _ = 1 to 20 do
+    let rel, fds =
+      Workload.Generator.random_two_fd_instance rng ~n:8 ~a_values:3 ~c_values:2
+        ~v_values:2
+    in
+    let c = Conflict.build fds rel in
+    let p = Workload.Generator.random_priority rng ~density:0.5 c in
+    let all = Repair.all c in
+    List.iter
+      (fun family ->
+        let selected = Family.repairs family c p in
+        List.iter
+          (fun r' ->
+            let expected = List.exists (Vset.equal r') selected in
+            Alcotest.(check bool)
+              (Family.name_to_string family)
+              expected
+              (Family.check family c p r'))
+          all)
+      Family.all_names
+  done
+
+let test_family_one () =
+  let c, p = Testlib.example9_partial () in
+  List.iter
+    (fun family ->
+      match Family.one family c p with
+      | Some r' ->
+        Alcotest.(check bool)
+          (Family.name_to_string family ^ " one is member")
+          true
+          (Family.check family c p r')
+      | None -> Alcotest.fail "family unexpectedly empty")
+    Family.all_names
+
+let test_family_names () =
+  List.iter
+    (fun f ->
+      check
+        (Alcotest.option
+           (Alcotest.testable Family.pp_name (fun a b -> a = b)))
+        "roundtrip" (Some f)
+        (Family.name_of_string (Family.name_to_string f)))
+    Family.all_names
+
+let suite =
+  [
+    ("Example 7: L-Rep on one key", `Quick, test_example7_lrep);
+    ("Example 7: improving swap witness", `Quick, test_example7_witness);
+    ("Example 8: L fails P4, S decides, S = G", `Quick, test_example8);
+    ("Example 9 as printed: definitions disagree with the text", `Quick, test_example9_as_printed);
+    ("Example 9: no total priority splits S-Rep", `Quick, test_example9_no_total_priority_splits_s);
+    ("Example 9 with partial priority", `Quick, test_example9_partial_priority);
+    ("mutual-conflict cycle separates S from G (§3.3)", `Quick, test_mutual_cycle_separates_s_from_g);
+    ("mutual-conflict C8", `Quick, test_mutual_cycle_larger);
+    ("erratum: one non-key FD separates S from G", `Quick, test_one_fd_duplicates_separate_s_from_g);
+    ("the << relation", `Quick, test_preferred_to);
+    ("dominating witnesses", `Quick, test_dominating_witness);
+    ("Prop 5: two G definitions agree", `Quick, test_prop5_equivalence);
+    ("containments C ⊆ G ⊆ S ⊆ L ⊆ Rep", `Quick, test_containments);
+    ("family checking = enumeration membership", `Quick, test_check_agrees_with_enumeration);
+    ("Family.one returns members", `Quick, test_family_one);
+    ("family name round-trips", `Quick, test_family_names);
+  ]

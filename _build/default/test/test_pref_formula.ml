@@ -1,0 +1,142 @@
+(* Tests for intrinsic preference formulas (after [5]). *)
+
+open Relational
+module PF = Core.Pref_formula
+module Conflict = Core.Conflict
+module Priority = Core.Priority
+
+let check = Alcotest.check
+
+let schema () =
+  Schema.make "R"
+    [ ("A", Schema.TInt); ("B", Schema.TInt); ("Name", Schema.TName) ]
+
+let tuple a b n = Tuple.make [ Value.int a; Value.int b; Value.name n ]
+
+let test_parse_and_holds () =
+  let f = PF.parse_exn "t1.B > t2.B" in
+  let s = schema () in
+  Alcotest.(check bool) "larger B preferred" true
+    (PF.holds s f (tuple 1 5 "x") (tuple 1 3 "y"));
+  Alcotest.(check bool) "not the reverse" false
+    (PF.holds s f (tuple 1 3 "x") (tuple 1 5 "y"))
+
+let test_parse_connectives () =
+  let f = PF.parse_exn "t1.B > t2.B and (t1.Name = 'fresh' or not t2.A = 0)" in
+  let s = schema () in
+  Alcotest.(check bool) "conjunction left" true
+    (PF.holds s f (tuple 1 9 "fresh") (tuple 0 1 "old"));
+  Alcotest.(check bool) "fails when both disjuncts fail" false
+    (PF.holds s f (tuple 0 9 "stale") (tuple 0 1 "old"))
+
+let test_parse_constants () =
+  let f = PF.parse_exn "t1.B >= 100 and t2.B < 100" in
+  let s = schema () in
+  Alcotest.(check bool) "threshold" true
+    (PF.holds s f (tuple 1 100 "x") (tuple 1 99 "y"))
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reject %S" text)
+        true
+        (Result.is_error (PF.parse text)))
+    [
+      "t3.A > t2.A"; "t1.A >"; "t1.A"; "t1.A > t2.A and"; "";
+      "t1 > t2"; "exists x. t1.A = x";
+    ]
+
+let test_wf () =
+  let s = schema () in
+  Alcotest.(check bool) "unknown attribute" true
+    (Result.is_error (PF.wf s (PF.parse_exn "t1.Z > t2.Z")));
+  Alcotest.(check bool) "order on names" true
+    (Result.is_error (PF.wf s (PF.parse_exn "t1.Name < t2.Name")));
+  Alcotest.(check bool) "name equality fine" true
+    (Result.is_ok (PF.wf s (PF.parse_exn "t1.Name = t2.Name")));
+  Alcotest.(check bool) "cross-type comparison" true
+    (Result.is_error (PF.wf s (PF.parse_exn "t1.Name = t2.A")))
+
+let test_pp_roundtrip () =
+  List.iter
+    (fun text ->
+      let f = PF.parse_exn text in
+      let f' = PF.parse_exn (PF.to_string f) in
+      Alcotest.(check bool) (Printf.sprintf "roundtrip %S" text) true (f = f'))
+    [
+      "t1.A > t2.A";
+      "t1.A > t2.A and t1.B <= t2.B";
+      "not (t1.A = t2.A or t1.B != 3)";
+      "t1.Name = 'R&D' or true";
+    ]
+
+let test_to_rule_orients () =
+  let s = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let rel =
+    Relation.of_rows s
+      [ [ Value.int 1; Value.int 10 ]; [ Value.int 1; Value.int 20 ] ]
+  in
+  let c = Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel in
+  let rule = Result.get_ok (PF.to_rule s (PF.parse_exn "t1.B > t2.B")) in
+  let p = Core.Pref_rules.apply_exn c rule in
+  check Alcotest.int "one arc" 1 (Priority.arc_count p);
+  let hi = Conflict.index_exn c (Tuple.make [ Value.int 1; Value.int 20 ]) in
+  let lo = Conflict.index_exn c (Tuple.make [ Value.int 1; Value.int 10 ]) in
+  Alcotest.(check bool) "20 dominates 10" true (Priority.dominates p hi lo)
+
+let test_symmetric_formula_orients_nothing () =
+  let s = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let rel =
+    Relation.of_rows s
+      [ [ Value.int 1; Value.int 10 ]; [ Value.int 1; Value.int 20 ] ]
+  in
+  let c = Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel in
+  (* true in both directions -> no orientation *)
+  let rule = Result.get_ok (PF.to_rule s (PF.parse_exn "t1.A = t2.A")) in
+  let p = Core.Pref_rules.apply_exn c rule in
+  check Alcotest.int "no arcs" 0 (Priority.arc_count p)
+
+let test_instance_format_formula () =
+  let text =
+    "relation R(A:int, B:int)\n\
+     fd A -> B\n\
+     tuple 1 10\n\
+     tuple 1 20\n\
+     prefer formula t1.B > t2.B\n"
+  in
+  let spec = Result.get_ok (Dbio.Instance_format.parse text) in
+  (match spec.Dbio.Instance_format.prefs with
+  | [ Dbio.Instance_format.Formula _ ] -> ()
+  | _ -> Alcotest.fail "expected one formula preference");
+  let c =
+    Conflict.build spec.Dbio.Instance_format.fds spec.Dbio.Instance_format.relation
+  in
+  let rule = Result.get_ok (Dbio.Instance_format.to_rule spec) in
+  let p = Core.Pref_rules.apply_exn c rule in
+  check Alcotest.int "edge oriented" 1 (Priority.arc_count p);
+  (* and the spec round-trips through print *)
+  let spec' =
+    Result.get_ok (Dbio.Instance_format.parse (Dbio.Instance_format.print spec))
+  in
+  Alcotest.(check bool) "roundtrip prefs" true
+    (spec.Dbio.Instance_format.prefs = spec'.Dbio.Instance_format.prefs)
+
+let test_instance_format_bad_formula () =
+  let text = "relation R(A:int)\nprefer formula t9.A > t2.A\n" in
+  Alcotest.(check bool) "bad designator rejected" true
+    (Result.is_error (Dbio.Instance_format.parse text))
+
+let suite =
+  [
+    ("parse and evaluate", `Quick, test_parse_and_holds);
+    ("connectives", `Quick, test_parse_connectives);
+    ("constants", `Quick, test_parse_constants);
+    ("parse errors", `Quick, test_parse_errors);
+    ("well-formedness", `Quick, test_wf);
+    ("pretty-print roundtrip", `Quick, test_pp_roundtrip);
+    ("formula rules orient conflicts", `Quick, test_to_rule_orients);
+    ("symmetric formulas orient nothing", `Quick, test_symmetric_formula_orients_nothing);
+    ("instance-format integration", `Quick, test_instance_format_formula);
+    ("instance-format rejects bad formulas", `Quick, test_instance_format_bad_formula);
+  ]

@@ -1,0 +1,174 @@
+(* Tests for preference rules and the cleaning pipeline. *)
+
+open Relational
+module Conflict = Core.Conflict
+module Priority = Core.Priority
+module Pref_rules = Core.Pref_rules
+module Clean = Core.Clean
+
+let check = Alcotest.check
+
+let schema () =
+  Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ]
+
+let key_pair b1 b2 =
+  (* two tuples conflicting on the key A *)
+  let rel =
+    Relation.of_rows (schema ())
+      [ [ Value.int 1; Value.int b1 ]; [ Value.int 1; Value.int b2 ] ]
+  in
+  Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel
+
+let test_by_score () =
+  let c = key_pair 10 20 in
+  let score t = Option.get (Value.as_int (Tuple.get t 1)) in
+  let p = Pref_rules.apply_exn c (Pref_rules.by_score score) in
+  check Alcotest.int "one arc" 1 (Priority.arc_count p);
+  (* the B=20 tuple dominates *)
+  let hi = Conflict.index_exn c (Tuple.make [ Value.int 1; Value.int 20 ]) in
+  let lo = Conflict.index_exn c (Tuple.make [ Value.int 1; Value.int 10 ]) in
+  Alcotest.(check bool) "larger wins" true (Priority.dominates p hi lo)
+
+let test_by_score_ties_unoriented () =
+  let c = key_pair 10 20 in
+  let p = Pref_rules.apply_exn c (Pref_rules.by_score (fun _ -> 0)) in
+  check Alcotest.int "tie leaves edge unoriented" 0 (Priority.arc_count p)
+
+let test_timestamps () =
+  let c = key_pair 1 2 in
+  let t1 = Tuple.make [ Value.int 1; Value.int 1 ] in
+  let t2 = Tuple.make [ Value.int 1; Value.int 2 ] in
+  let prov =
+    Provenance.of_list
+      [
+        (t1, Provenance.info ~timestamp:100 ());
+        (t2, Provenance.info ~timestamp:200 ());
+      ]
+  in
+  let newest = Pref_rules.apply_exn c (Pref_rules.newest_first prov) in
+  Alcotest.(check bool) "newest wins" true
+    (Priority.dominates newest (Conflict.index_exn c t2) (Conflict.index_exn c t1));
+  let oldest = Pref_rules.apply_exn c (Pref_rules.oldest_first prov) in
+  Alcotest.(check bool) "oldest wins" true
+    (Priority.dominates oldest (Conflict.index_exn c t1) (Conflict.index_exn c t2));
+  (* missing timestamps: incomparable *)
+  let partial = Provenance.of_list [ (t1, Provenance.info ~timestamp:100 ()) ] in
+  let p = Pref_rules.apply_exn c (Pref_rules.newest_first partial) in
+  check Alcotest.int "no orientation" 0 (Priority.arc_count p)
+
+let test_source_reliability_transitive () =
+  let c = key_pair 1 2 in
+  let t1 = Tuple.make [ Value.int 1; Value.int 1 ] in
+  let t2 = Tuple.make [ Value.int 1; Value.int 2 ] in
+  let prov =
+    Provenance.of_list
+      [
+        (t1, Provenance.info ~source:"a" ());
+        (t2, Provenance.info ~source:"c" ());
+      ]
+  in
+  (* a > b > c: transitively a > c *)
+  let rule =
+    Result.get_ok
+      (Pref_rules.source_reliability prov
+         ~more_reliable_than:[ ("a", "b"); ("b", "c") ])
+  in
+  let p = Pref_rules.apply_exn c rule in
+  Alcotest.(check bool) "transitive closure" true
+    (Priority.dominates p (Conflict.index_exn c t1) (Conflict.index_exn c t2))
+
+let test_source_reliability_cycle () =
+  let prov = Provenance.empty in
+  Alcotest.(check bool) "cyclic order rejected" true
+    (Result.is_error
+       (Pref_rules.source_reliability prov
+          ~more_reliable_than:[ ("a", "b"); ("b", "a") ]))
+
+let test_on_attribute () =
+  let c = key_pair 10 20 in
+  let rule =
+    Result.get_ok (Pref_rules.on_attribute (schema ()) "B" ~prefer:`Smaller)
+  in
+  let p = Pref_rules.apply_exn c rule in
+  let lo = Conflict.index_exn c (Tuple.make [ Value.int 1; Value.int 10 ]) in
+  let hi = Conflict.index_exn c (Tuple.make [ Value.int 1; Value.int 20 ]) in
+  Alcotest.(check bool) "smaller wins" true (Priority.dominates p lo hi);
+  Alcotest.(check bool) "unknown attr" true
+    (Result.is_error (Pref_rules.on_attribute (schema ()) "Z" ~prefer:`Larger));
+  let name_schema = Schema.make "R" [ ("A", Schema.TName) ] in
+  Alcotest.(check bool) "name attr rejected" true
+    (Result.is_error (Pref_rules.on_attribute name_schema "A" ~prefer:`Larger))
+
+let test_lexicographic () =
+  let c = key_pair 10 20 in
+  let t_lo = Tuple.make [ Value.int 1; Value.int 10 ] in
+  let t_hi = Tuple.make [ Value.int 1; Value.int 20 ] in
+  let silent _ _ = false in
+  let prefer_lo x _ = Tuple.equal x t_lo in
+  let prefer_hi x _ = Tuple.equal x t_hi in
+  (* the first opinionated rule decides; later rules cannot override *)
+  let rule = Pref_rules.lexicographic [ silent; prefer_hi; prefer_lo ] in
+  let p = Pref_rules.apply_exn c rule in
+  Alcotest.(check bool) "second rule decides" true
+    (Priority.dominates p (Conflict.index_exn c t_hi) (Conflict.index_exn c t_lo))
+
+let test_cyclic_rule_detected () =
+  (* a rule producing a priority cycle across a conflict triangle *)
+  let rel =
+    Relation.of_rows (schema ())
+      [ [ Value.int 1; Value.int 0 ]; [ Value.int 1; Value.int 1 ]; [ Value.int 1; Value.int 2 ] ]
+  in
+  let c = Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel in
+  let rotation x y =
+    (* 0 beats 1 beats 2 beats 0 *)
+    let b t = Option.get (Value.as_int (Tuple.get t 1)) in
+    (b x + 1) mod 3 = b y
+  in
+  match Pref_rules.apply c rotation with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cyclic rule accepted"
+
+(* --- cleaning pipeline ----------------------------------------------------- *)
+
+let test_clean_pipeline () =
+  let rel, fds, prov = Testlib.mgr () in
+  let rule =
+    Result.get_ok
+      (Pref_rules.source_reliability prov
+         ~more_reliable_than:[ ("s1", "s3"); ("s2", "s3") ])
+  in
+  match Clean.run fds rel rule with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+    check Alcotest.int "3 conflicts" 3 report.Clean.conflicts;
+    check Alcotest.int "2 oriented" 2 report.Clean.oriented;
+    Alcotest.(check bool) "partial: nondeterministic warning" false
+      report.Clean.deterministic;
+    check Alcotest.int "2 tuples kept" 2 (Relation.cardinality report.Clean.cleaned);
+    check Alcotest.int "2 removed" 2 (List.length report.Clean.removed);
+    (* the cleaned instance is one of the two common repairs *)
+    let c = Conflict.build fds rel in
+    let p = Pref_rules.apply_exn c rule in
+    Alcotest.(check bool) "cleaned is a common repair" true
+      (Core.Winnow.is_result c p (Conflict.vset_of_relation c report.Clean.cleaned))
+
+let test_clean_total () =
+  let c = key_pair 10 20 in
+  let p = Priority.totalize c (Priority.empty c) in
+  let report = Clean.run_with_priority c p in
+  Alcotest.(check bool) "deterministic" true report.Clean.deterministic;
+  check Alcotest.int "one tuple" 1 (Relation.cardinality report.Clean.cleaned)
+
+let suite =
+  [
+    ("by_score", `Quick, test_by_score);
+    ("score ties leave edges unoriented", `Quick, test_by_score_ties_unoriented);
+    ("timestamp rules", `Quick, test_timestamps);
+    ("source reliability is transitive", `Quick, test_source_reliability_transitive);
+    ("cyclic source order rejected", `Quick, test_source_reliability_cycle);
+    ("attribute preference", `Quick, test_on_attribute);
+    ("lexicographic combination", `Quick, test_lexicographic);
+    ("cyclic rules rejected at apply", `Quick, test_cyclic_rule_detected);
+    ("cleaning pipeline on Mgr", `Quick, test_clean_pipeline);
+    ("cleaning with a total priority", `Quick, test_clean_total);
+  ]

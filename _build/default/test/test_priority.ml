@@ -1,0 +1,153 @@
+(* Unit tests for priorities (paper, Definition 2). *)
+
+open Graphs
+module Conflict = Core.Conflict
+module Priority = Core.Priority
+
+let check = Alcotest.check
+let vs = Testlib.vs
+
+(* A triangle of mutually conflicting tuples (key violation, Example 7). *)
+let triangle () =
+  let c, _ = Testlib.example7 () in
+  c
+
+let test_validation_only_conflicting () =
+  let rel, fds = Workload.Generator.ladder 2 in
+  let c = Conflict.build fds rel in
+  (* vertices 0-1 and 2-3 are the two conflict edges *)
+  (match Priority.of_arcs c [ (0, 2) ] with
+  | Error (Priority.Not_conflicting _) -> ()
+  | Error Priority.Cyclic -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "non-conflict arc accepted");
+  Alcotest.(check bool) "conflict arc fine" true
+    (Result.is_ok (Priority.of_arcs c [ (0, 1); (3, 2) ]))
+
+let test_validation_acyclic () =
+  let c = triangle () in
+  (match Priority.of_arcs c [ (0, 1); (1, 2); (2, 0) ] with
+  | Error Priority.Cyclic -> ()
+  | _ -> Alcotest.fail "cycle accepted");
+  (* transitivity is NOT assumed: 0>1, 1>2 without 0>2 is fine (the §5
+     discussion of non-transitive priorities) *)
+  Alcotest.(check bool) "non-transitive chain ok" true
+    (Result.is_ok (Priority.of_arcs c [ (0, 1); (1, 2) ]))
+
+let test_dominates_and_winnow () =
+  let c = triangle () in
+  let p = Priority.of_arcs_exn c [ (0, 2); (0, 1) ] in
+  Alcotest.(check bool) "0 > 2" true (Priority.dominates p 0 2);
+  Alcotest.(check bool) "not 2 > 0" false (Priority.dominates p 2 0);
+  check Testlib.vset "dominators of 2" (vs [ 0 ]) (Priority.dominators p 2);
+  check Testlib.vset "dominated by 0" (vs [ 1; 2 ]) (Priority.dominated p 0);
+  check Testlib.vset "winnow keeps undominated" (vs [ 0 ])
+    (Priority.winnow p (vs [ 0; 1; 2 ]));
+  check Testlib.vset "winnow of subset" (vs [ 1; 2 ])
+    (Priority.winnow p (vs [ 1; 2 ]))
+
+let test_winnow_nonempty () =
+  (* Acyclicity => winnow of a non-empty set is non-empty. *)
+  let rng = Workload.Prng.create 11 in
+  for _ = 1 to 25 do
+    let rel, fds =
+      Workload.Generator.random_instance rng ~n:12 ~key_values:4 ~payload_values:2
+    in
+    let c = Conflict.build fds rel in
+    let p = Workload.Generator.random_priority rng ~density:0.7 c in
+    let all = Vset.of_range (Conflict.size c) in
+    if not (Vset.is_empty all) then
+      Alcotest.(check bool) "nonempty winnow" false
+        (Vset.is_empty (Priority.winnow p all))
+  done
+
+let test_totality () =
+  let c = triangle () in
+  let p = Priority.of_arcs_exn c [ (0, 2); (0, 1) ] in
+  Alcotest.(check bool) "partial" false (Priority.is_total c p);
+  check Alcotest.int "one unoriented edge" 1 (List.length (Priority.unoriented c p));
+  let total = Priority.of_arcs_exn c [ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check bool) "total" true (Priority.is_total c total);
+  Alcotest.(check bool) "empty not total here" false
+    (Priority.is_total c (Priority.empty c))
+
+let test_extend () =
+  let c = triangle () in
+  let p = Priority.of_arcs_exn c [ (0, 1) ] in
+  (match Priority.extend c p [ (1, 2) ] with
+  | Ok p' ->
+    Alcotest.(check bool) "extension" true (Priority.is_extension_of p' p);
+    Alcotest.(check bool) "not the other way" false (Priority.is_extension_of p p')
+  | Error _ -> Alcotest.fail "valid extension rejected");
+  (match Priority.extend c p [ (1, 0) ] with
+  | Error Priority.Cyclic -> ()
+  | _ -> Alcotest.fail "2-cycle extension accepted")
+
+let test_one_step_extensions () =
+  let c = triangle () in
+  let p = Priority.of_arcs_exn c [ (0, 1); (1, 2) ] in
+  (* remaining edge {0,2}: orientation (2,0) creates the cycle 0>1>2>0;
+     only (0,2) is acyclic. *)
+  let exts = Priority.one_step_extensions c p in
+  check Alcotest.int "one acyclic completion" 1 (List.length exts);
+  List.iter
+    (fun p' -> Alcotest.(check bool) "is extension" true (Priority.is_extension_of p' p))
+    exts;
+  (* empty priority on the triangle: 3 edges x 2 directions, all acyclic *)
+  check Alcotest.int "six one-step extensions" 6
+    (List.length (Priority.one_step_extensions c (Priority.empty c)))
+
+let test_totalize () =
+  let rng = Workload.Prng.create 5 in
+  for _ = 1 to 25 do
+    let rel, fds =
+      Workload.Generator.random_instance rng ~n:10 ~key_values:3 ~payload_values:2
+    in
+    let c = Conflict.build fds rel in
+    let p = Workload.Generator.random_priority rng ~density:0.4 c in
+    let total = Priority.totalize c p in
+    Alcotest.(check bool) "total" true (Priority.is_total c total);
+    Alcotest.(check bool) "extends" true (Priority.is_extension_of total p)
+  done;
+  (* deterministic *)
+  let c = triangle () in
+  let p = Priority.of_arcs_exn c [ (0, 1) ] in
+  Alcotest.(check bool) "deterministic" true
+    (Priority.arcs (Priority.totalize c p) = Priority.arcs (Priority.totalize c p))
+
+let test_of_tuple_pairs () =
+  let rel, fds, prov = Testlib.mgr () in
+  ignore prov;
+  let c = Conflict.build fds rel in
+  let t name dept salary reports =
+    Relational.Tuple.make
+      [
+        Relational.Value.name name; Relational.Value.name dept;
+        Relational.Value.int salary; Relational.Value.int reports;
+      ]
+  in
+  match
+    Priority.of_tuple_pairs c
+      [ (t "Mary" "R&D" 40000 3, t "Mary" "IT" 20000 1) ]
+  with
+  | Ok p -> check Alcotest.int "one arc" 1 (Priority.arc_count p)
+  | Error e -> Alcotest.fail (Priority.error_to_string e)
+
+let test_restrict () =
+  let c = triangle () in
+  let p = Priority.of_arcs_exn c [ (0, 1); (1, 2) ] in
+  let p' = Priority.restrict p (vs [ 0; 1 ]) in
+  check Alcotest.int "restricted" 1 (Priority.arc_count p')
+
+let suite =
+  [
+    ("arcs must join conflicting tuples", `Quick, test_validation_only_conflicting);
+    ("acyclicity enforced", `Quick, test_validation_acyclic);
+    ("domination and winnow", `Quick, test_dominates_and_winnow);
+    ("winnow never empties a non-empty set", `Quick, test_winnow_nonempty);
+    ("totality", `Quick, test_totality);
+    ("extension", `Quick, test_extend);
+    ("one-step extensions", `Quick, test_one_step_extensions);
+    ("totalize: total, extending, deterministic", `Quick, test_totalize);
+    ("priorities from tuple pairs", `Quick, test_of_tuple_pairs);
+    ("restriction", `Quick, test_restrict);
+  ]

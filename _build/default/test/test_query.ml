@@ -1,0 +1,305 @@
+(* Unit tests for the query language: AST utilities, lexer, parser,
+   evaluator, transforms. *)
+
+open Relational
+module Ast = Query.Ast
+module Parser = Query.Parser
+module Eval = Query.Eval
+module Transform = Query.Transform
+
+let check = Alcotest.check
+
+let parse s = Parser.parse_exn s
+
+(* --- AST utilities -------------------------------------------------------- *)
+
+let test_free_vars () =
+  let q = parse "exists x. R(x, y) and x < z" in
+  check Alcotest.(list string) "free vars" [ "y"; "z" ] (Ast.free_vars q);
+  Alcotest.(check bool) "open" false (Ast.is_closed q);
+  Alcotest.(check bool) "closed" true
+    (Ast.is_closed (parse "exists x,y,z. R(x, y) and x < z"))
+
+let test_shadowing () =
+  let q = parse "exists x. R(x, x) and exists x. S(x)" in
+  check Alcotest.(list string) "no free vars" [] (Ast.free_vars q);
+  let q2 = Ast.substitute [ ("x", Value.int 5) ] (parse "R(x) and exists x. S(x)") in
+  (match q2 with
+  | Ast.And (Ast.Atom (_, [ Ast.Const v ]), Ast.Exists ([ "x" ], Ast.Atom (_, [ Ast.Var "x" ]))) ->
+    check Testlib.value "substituted free occurrence" (Value.int 5) v
+  | _ -> Alcotest.fail "unexpected substitution result")
+
+let test_classes () =
+  Alcotest.(check bool) "qf" true (Ast.is_quantifier_free (parse "R(1, 2) or not R(2, 1)"));
+  Alcotest.(check bool) "not qf" false (Ast.is_quantifier_free (parse "exists x. R(x, x)"));
+  Alcotest.(check bool) "ground" true (Ast.is_ground (parse "R(1, 'a') and 1 < 2"));
+  Alcotest.(check bool) "not ground" false (Ast.is_ground (parse "R(x, 1)"))
+
+let test_constants_size () =
+  let q = parse "R(1, 'a') and 2 < 3" in
+  check Alcotest.int "constants" 4 (List.length (Ast.constants q));
+  check Alcotest.int "size" 3 (Ast.size q)
+
+(* --- Lexer ----------------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  match Query.Lexer.tokenize "exists x . R(x,'R&D') and x <= 10 or x <> 2" with
+  | Error e -> Alcotest.fail e
+  | Ok toks ->
+    check Alcotest.int "token count" 18 (List.length toks);
+    Alcotest.(check bool) "has NAME" true
+      (List.mem (Query.Lexer.NAME "R&D") toks);
+    Alcotest.(check bool) "<> becomes NEQ" true (List.mem Query.Lexer.NEQ toks)
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated quote" true
+    (Result.is_error (Query.Lexer.tokenize "R('abc"));
+  Alcotest.(check bool) "stray char" true (Result.is_error (Query.Lexer.tokenize "R(x) % 2"));
+  Alcotest.(check bool) "bang without equals" true
+    (Result.is_error (Query.Lexer.tokenize "x ! y"))
+
+(* --- Parser ----------------------------------------------------------------- *)
+
+let test_parser_precedence () =
+  (* and binds tighter than or; or tighter than implies *)
+  (match parse "R(1) or R(2) and R(3)" with
+  | Ast.Or (Ast.Atom ("R", _), Ast.And _) -> ()
+  | _ -> Alcotest.fail "or/and precedence");
+  (match parse "R(1) implies R(2) implies R(3)" with
+  | Ast.Implies (_, Ast.Implies (_, _)) -> ()
+  | _ -> Alcotest.fail "implies right-assoc");
+  match parse "not R(1) and R(2)" with
+  | Ast.And (Ast.Not _, _) -> ()
+  | _ -> Alcotest.fail "not binds tightest"
+
+let test_parser_quantifier_scope () =
+  match parse "exists x, y. R(x, y) and x = y" with
+  | Ast.Exists ([ "x"; "y" ], Ast.And (_, _)) -> ()
+  | _ -> Alcotest.fail "quantifier extends right"
+
+let test_parser_paper_q1 () =
+  let q =
+    parse
+      "exists x1,y1,z1,x2,y2,z2. Mgr('Mary',x1,y1,z1) and Mgr('John',x2,y2,z2) \
+       and y1 < y2"
+  in
+  Alcotest.(check bool) "closed" true (Ast.is_closed q);
+  match q with
+  | Ast.Exists (vars, _) -> check Alcotest.int "six vars" 6 (List.length vars)
+  | _ -> Alcotest.fail "expected exists"
+
+let test_parser_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reject %S" s)
+        true
+        (Result.is_error (Parser.parse s)))
+    [ "R(x" ; "exists . R(x)"; "R(x) and"; "R(x) R(y)"; ""; "exists x R(x)" ]
+
+let test_parser_roundtrip () =
+  List.iter
+    (fun s ->
+      let q = parse s in
+      let q' = parse (Query.Pretty.to_string q) in
+      Alcotest.(check bool) (Printf.sprintf "roundtrip %S" s) true (Ast.equal q q'))
+    [
+      "exists x, y. R(x, y) and (x < y or not R(y, x))";
+      "forall x. R(x, x) implies false";
+      "R(1, 'a') or true";
+      "not not R(1, 2)";
+      "forall a. exists b. R(a, b) and a != b";
+    ]
+
+(* --- Evaluator ---------------------------------------------------------------- *)
+
+let db () =
+  let schema = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let r =
+    Relation.of_rows schema
+      [
+        [ Value.int 1; Value.int 10 ];
+        [ Value.int 2; Value.int 20 ];
+        [ Value.int 3; Value.int 20 ];
+      ]
+  in
+  Database.of_relations [ r ]
+
+let test_eval_atoms () =
+  let db = db () in
+  Alcotest.(check bool) "fact present" true (Eval.holds db (parse "R(1, 10)"));
+  Alcotest.(check bool) "fact absent" false (Eval.holds db (parse "R(1, 20)"));
+  Alcotest.(check bool) "negation" true (Eval.holds db (parse "not R(1, 20)"))
+
+let test_eval_quantifiers () =
+  let db = db () in
+  Alcotest.(check bool) "exists" true (Eval.holds db (parse "exists x. R(x, 20)"));
+  Alcotest.(check bool) "forall fails" false
+    (Eval.holds db (parse "forall x, y. R(x, y) implies y = 10"));
+  Alcotest.(check bool) "forall holds" true
+    (Eval.holds db (parse "forall x, y. R(x, y) implies x < y"));
+  Alcotest.(check bool) "nested" true
+    (Eval.holds db (parse "exists x, y. R(x, y) and forall u, v. R(u, v) implies y >= v"))
+
+let test_eval_comparisons () =
+  let db = db () in
+  Alcotest.(check bool) "lt" true (Eval.holds db (parse "1 < 2"));
+  Alcotest.(check bool) "leq equal" true (Eval.holds db (parse "2 <= 2"));
+  Alcotest.(check bool) "names unordered" false (Eval.holds db (parse "'a' < 'b'"));
+  Alcotest.(check bool) "name equality" true (Eval.holds db (parse "'a' = 'a'"));
+  Alcotest.(check bool) "cross-domain equality" false (Eval.holds db (parse "'1' = 1"))
+
+let test_eval_open_queries () =
+  let db = db () in
+  let free, rows = Eval.answers db (parse "R(x, 20)") in
+  check Alcotest.(list string) "free" [ "x" ] free;
+  check Alcotest.int "two answers" 2 (List.length rows);
+  let _, rows2 = Eval.answers db (parse "R(x, y) and y > 15") in
+  check Alcotest.int "pairs" 2 (List.length rows2)
+
+let test_eval_errors () =
+  let db = db () in
+  Alcotest.(check bool) "unknown relation" true
+    (try
+       ignore (Eval.holds db (parse "S(1)"));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "arity mismatch" true
+    (try
+       ignore (Eval.holds db (parse "R(1)"));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "free variable" true
+    (try
+       ignore (Eval.holds db (parse "R(x, 10)"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_eval_example1_q1 () =
+  (* Q1 over the inconsistent Mgr instance is (misleadingly) true. *)
+  let rel, _, _ = Testlib.mgr () in
+  let q1 =
+    parse
+      "exists x1,y1,z1,x2,y2,z2. Mgr('Mary',x1,y1,z1) and Mgr('John',x2,y2,z2) \
+       and y1 < y2"
+  in
+  Alcotest.(check bool) "Q1 true in r" true (Eval.holds_relation rel q1)
+
+(* --- Transform ------------------------------------------------------------------ *)
+
+let test_nnf () =
+  let q = parse "not (R(1, 2) and not R(2, 1))" in
+  (match Transform.nnf q with
+  | Ast.Or (Ast.Not (Ast.Atom _), Ast.Atom _) -> ()
+  | _ -> Alcotest.fail "nnf shape");
+  (* nnf preserves truth on a database *)
+  let db = db () in
+  List.iter
+    (fun s ->
+      let q = parse s in
+      Alcotest.(check bool) (Printf.sprintf "nnf equivalent: %s" s)
+        (Eval.holds db q)
+        (Eval.holds db (Transform.nnf q)))
+    [
+      "not (R(1, 10) implies R(1, 20))";
+      "not (exists x. R(x, 10) and x > 1)";
+      "not (forall x. R(x, 10))";
+      "not (1 < 2)";
+      "not not not R(1, 10)";
+    ]
+
+let test_ground_dnf () =
+  let q = parse "R(1, 10) and (not R(2, 20) or 1 < 0)" in
+  match Transform.ground_dnf q with
+  | Error e -> Alcotest.fail e
+  | Ok [ clause ] ->
+    check Alcotest.int "one positive" 1 (List.length clause.Transform.positive);
+    check Alcotest.int "one negative" 1 (List.length clause.Transform.negative)
+  | Ok l -> Alcotest.failf "expected 1 clause, got %d" (List.length l)
+
+let test_ground_dnf_simplification () =
+  (* contradictory clause dropped; tautology keeps empty clause *)
+  (match Transform.ground_dnf (parse "R(1, 1) and not R(1, 1)") with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "contradiction should yield no clauses"
+  | Error e -> Alcotest.fail e);
+  (match Transform.ground_dnf (parse "1 < 2 or R(1, 1)") with
+  | Ok clauses ->
+    Alcotest.(check bool) "tautologous clause present" true
+      (List.exists
+         (fun c -> c.Transform.positive = [] && c.Transform.negative = [])
+         clauses)
+  | Error e -> Alcotest.fail e);
+  match Transform.ground_dnf (parse "R(x, 1)") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-ground must be rejected"
+
+let test_ground_dnf_faithful () =
+  (* the DNF predicts evaluation on concrete instances *)
+  let schema = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let facts = [ (1, 10); (2, 20); (3, 30) ] in
+  let queries =
+    [
+      "R(1, 10) and not R(2, 20)";
+      "R(1, 10) or (R(2, 20) and R(3, 30))";
+      "not (R(1, 10) implies R(2, 20))";
+      "(R(1, 10) or R(2, 20)) and not (R(3, 30) and R(1, 10))";
+    ]
+  in
+  (* all 8 sub-instances of facts *)
+  let rec sublists = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let t = sublists rest in
+      t @ List.map (fun l -> x :: l) t
+  in
+  List.iter
+    (fun qs ->
+      let q = Parser.parse_exn qs in
+      let clauses = Result.get_ok (Transform.ground_dnf q) in
+      List.iter
+        (fun sub ->
+          let r =
+            Relation.of_rows schema
+              (List.map (fun (a, b) -> [ Value.int a; Value.int b ]) sub)
+          in
+          let direct = Eval.holds_relation r q in
+          let via_dnf =
+            List.exists
+              (fun c ->
+                List.for_all (fun (_, t) -> Relation.mem r t) c.Transform.positive
+                && List.for_all
+                     (fun (_, t) -> not (Relation.mem r t))
+                     c.Transform.negative)
+              clauses
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %d facts" qs (List.length sub))
+            direct via_dnf)
+        (sublists facts))
+    queries
+
+let suite =
+  [
+    ("ast: free variables", `Quick, test_free_vars);
+    ("ast: shadowing and substitution", `Quick, test_shadowing);
+    ("ast: syntactic classes", `Quick, test_classes);
+    ("ast: constants and size", `Quick, test_constants_size);
+    ("lexer: tokens", `Quick, test_lexer_tokens);
+    ("lexer: errors", `Quick, test_lexer_errors);
+    ("parser: precedence", `Quick, test_parser_precedence);
+    ("parser: quantifier scope", `Quick, test_parser_quantifier_scope);
+    ("parser: the paper's Q1", `Quick, test_parser_paper_q1);
+    ("parser: rejects malformed input", `Quick, test_parser_errors);
+    ("parser: pretty-print roundtrip", `Quick, test_parser_roundtrip);
+    ("eval: ground atoms", `Quick, test_eval_atoms);
+    ("eval: quantifiers", `Quick, test_eval_quantifiers);
+    ("eval: comparison semantics", `Quick, test_eval_comparisons);
+    ("eval: open queries", `Quick, test_eval_open_queries);
+    ("eval: error conditions", `Quick, test_eval_errors);
+    ("eval: Example 1 Q1 misleading answer", `Quick, test_eval_example1_q1);
+    ("transform: nnf", `Quick, test_nnf);
+    ("transform: ground dnf", `Quick, test_ground_dnf);
+    ("transform: dnf simplification", `Quick, test_ground_dnf_simplification);
+    ("transform: dnf faithful on all sub-instances", `Quick, test_ground_dnf_faithful);
+  ]

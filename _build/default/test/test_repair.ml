@@ -1,0 +1,211 @@
+(* Unit tests for repairs (Definition 1) and Algorithm 1 / C-Rep. *)
+
+open Graphs
+open Relational
+module Conflict = Core.Conflict
+module Priority = Core.Priority
+module Repair = Core.Repair
+module Winnow = Core.Winnow
+
+let check = Alcotest.check
+let vs = Testlib.vs
+
+let test_example2_repairs () =
+  (* Example 2: the Mgr instance has exactly the repairs r1, r2, r3. *)
+  let rel, fds, _ = Testlib.mgr () in
+  let c = Conflict.build fds rel in
+  let repairs = Repair.all_relations c in
+  check Alcotest.int "three repairs" 3 (List.length repairs);
+  let t name dept salary reports =
+    Tuple.make
+      [ Value.name name; Value.name dept; Value.int salary; Value.int reports ]
+  in
+  let expect tuples =
+    let r = Relation.of_tuples (Relation.schema rel) tuples in
+    Alcotest.(check bool)
+      (Printf.sprintf "repair present")
+      true
+      (List.exists (Relation.equal r) repairs)
+  in
+  expect [ t "Mary" "R&D" 40000 3; t "John" "PR" 30000 4 ];
+  expect [ t "John" "R&D" 10000 2; t "Mary" "IT" 20000 1 ];
+  expect [ t "Mary" "IT" 20000 1; t "John" "PR" 30000 4 ]
+
+let test_example4_count () =
+  (* Example 4: r_n has 2^n repairs. *)
+  List.iter
+    (fun n ->
+      let rel, fds = Workload.Generator.ladder n in
+      let c = Conflict.build fds rel in
+      check Alcotest.int (Printf.sprintf "2^%d" n) (1 lsl n) (Repair.count c))
+    [ 0; 1; 3; 6; 10 ]
+
+let test_consistent_relation_single_repair () =
+  (* "the set of repairs of a consistent relation r contains only r" *)
+  let schema = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let rel =
+    Relation.of_rows schema
+      [ [ Value.int 1; Value.int 1 ]; [ Value.int 2; Value.int 2 ] ]
+  in
+  let c = Conflict.build [ Constraints.Fd.make [ "A" ] [ "B" ] ] rel in
+  match Repair.all_relations c with
+  | [ r ] -> check Testlib.relation "repair = r" rel r
+  | l -> Alcotest.failf "expected 1 repair, got %d" (List.length l)
+
+let test_repair_checking () =
+  let rel, fds, _ = Testlib.mgr () in
+  let c = Conflict.build fds rel in
+  List.iter
+    (fun s -> Alcotest.(check bool) "enumerated are repairs" true (Repair.is_repair c s))
+    (Repair.all c);
+  Alcotest.(check bool) "non-maximal rejected" false (Repair.is_repair c Vset.empty);
+  Alcotest.(check bool) "conflicting rejected" false
+    (Repair.is_repair c (Vset.of_range (Conflict.size c)));
+  let sub = Relation.filter (fun t -> Value.equal (Tuple.get t 0) (Value.name "Mary")) rel in
+  (* {Mary-R&D, Mary-IT} is conflicting, not a repair *)
+  Alcotest.(check bool) "relation-level check" false (Repair.is_repair_relation c sub)
+
+let test_repairs_are_subsets_consistent () =
+  let rng = Workload.Prng.create 3 in
+  for _ = 1 to 15 do
+    let rel, fds =
+      Workload.Generator.random_two_fd_instance rng ~n:10 ~a_values:3 ~c_values:3
+        ~v_values:2
+    in
+    let c = Conflict.build fds rel in
+    let schema = Relation.schema rel in
+    List.iter
+      (fun s ->
+        let r = Repair.to_relation c s in
+        Alcotest.(check bool) "subset" true (Relation.subset r rel);
+        Alcotest.(check bool) "consistent" true
+          (Constraints.Fd.all_satisfied schema fds r);
+        (* maximality: adding any removed tuple breaks consistency *)
+        Relation.iter
+          (fun t ->
+            if not (Relation.mem r t) then
+              Alcotest.(check bool) "maximal" false
+                (Constraints.Fd.all_satisfied schema fds (Relation.add r t)))
+          rel)
+      (Repair.all c)
+  done
+
+(* --- Algorithm 1 --------------------------------------------------------- *)
+
+let test_clean_is_repair () =
+  let rng = Workload.Prng.create 17 in
+  for _ = 1 to 20 do
+    let rel, fds =
+      Workload.Generator.random_instance rng ~n:14 ~key_values:4 ~payload_values:2
+    in
+    let c = Conflict.build fds rel in
+    let p = Workload.Generator.random_priority rng ~density:0.5 c in
+    Alcotest.(check bool) "clean yields a repair" true
+      (Repair.is_repair c (Winnow.clean c p))
+  done
+
+let test_prop1_total_priority_unique () =
+  (* Prop. 1: with a total priority every choice sequence gives the same
+     repair. Exercise several tie-breaking strategies. *)
+  let rng = Workload.Prng.create 23 in
+  for _ = 1 to 20 do
+    let rel, fds =
+      Workload.Generator.random_instance rng ~n:12 ~key_values:3 ~payload_values:2
+    in
+    let c = Conflict.build fds rel in
+    let p = Workload.Generator.random_priority rng ~density:1.0 c in
+    let by_min = Winnow.clean ~choose:Vset.min_elt c p in
+    let by_max = Winnow.clean ~choose:Vset.max_elt c p in
+    check Testlib.vset "choice-independent" by_min by_max;
+    match Winnow.all_results c p with
+    | [ unique ] -> check Testlib.vset "all_results singleton" by_min unique
+    | l -> Alcotest.failf "total priority gave %d results" (List.length l)
+  done
+
+let test_all_results_no_priority () =
+  (* With the empty priority Algorithm 1 can produce every repair. *)
+  let rel, fds = Workload.Generator.ladder 3 in
+  let c = Conflict.build fds rel in
+  Testlib.check_vsets "C-Rep with empty priority = Rep" (Repair.all c)
+    (Winnow.all_results c (Priority.empty c))
+
+let test_is_result_agrees_with_enumeration () =
+  let rng = Workload.Prng.create 31 in
+  for _ = 1 to 25 do
+    let rel, fds =
+      Workload.Generator.random_two_fd_instance rng ~n:9 ~a_values:3 ~c_values:3
+        ~v_values:2
+    in
+    let c = Conflict.build fds rel in
+    let p = Workload.Generator.random_priority rng ~density:0.5 c in
+    let c_rep = Winnow.all_results c p in
+    List.iter
+      (fun r' ->
+        let expected = List.exists (Vset.equal r') c_rep in
+        Alcotest.(check bool) "membership agrees" expected (Winnow.is_result c p r'))
+      (Repair.all c)
+  done
+
+let test_is_result_rejects_non_repairs () =
+  let rel, fds = Workload.Generator.ladder 2 in
+  let c = Conflict.build fds rel in
+  let p = Priority.empty c in
+  Alcotest.(check bool) "conflicting set" false
+    (Winnow.is_result c p (vs [ 0; 1 ]));
+  Alcotest.(check bool) "non-maximal set" false (Winnow.is_result c p (vs [ 0 ]))
+
+let test_incremental_clean_matches_reference () =
+  (* the incremental Algorithm 1 must coincide with the literal
+     restatement for every choice strategy *)
+  let rng = Workload.Prng.create 37 in
+  for _ = 1 to 25 do
+    let rel, fds =
+      Workload.Generator.random_two_fd_instance rng ~n:14 ~a_values:4 ~c_values:4
+        ~v_values:2
+    in
+    let c = Conflict.build fds rel in
+    let p = Workload.Generator.random_priority rng ~density:0.6 c in
+    List.iter
+      (fun choose ->
+        check Testlib.vset "incremental = naive"
+          (Winnow.clean_naive ~choose c p)
+          (Winnow.clean ~choose c p))
+      [ Vset.min_elt; Vset.max_elt ]
+  done
+
+let test_mgr_crep () =
+  (* Example 3: with s1,s2 > s3 the common repairs are exactly r1, r2. *)
+  let rel, fds, prov = Testlib.mgr () in
+  let c = Conflict.build fds rel in
+  let rule =
+    Result.get_ok
+      (Core.Pref_rules.source_reliability prov
+         ~more_reliable_than:[ ("s1", "s3"); ("s2", "s3") ])
+  in
+  let p = Core.Pref_rules.apply_exn c rule in
+  let c_rep = Winnow.all_results c p in
+  check Alcotest.int "two common repairs" 2 (List.length c_rep);
+  let t name dept salary reports =
+    Tuple.make
+      [ Value.name name; Value.name dept; Value.int salary; Value.int reports ]
+  in
+  let as_vset tuples = Conflict.vset_of_relation c (Relation.of_tuples (Relation.schema rel) tuples) in
+  let r1 = as_vset [ t "Mary" "R&D" 40000 3; t "John" "PR" 30000 4 ] in
+  let r2 = as_vset [ t "John" "R&D" 10000 2; t "Mary" "IT" 20000 1 ] in
+  Testlib.check_vsets "C-Rep = {r1, r2}" [ r1; r2 ] c_rep
+
+let suite =
+  [
+    ("Example 2: the three Mgr repairs", `Quick, test_example2_repairs);
+    ("Example 4: 2^n repairs", `Quick, test_example4_count);
+    ("consistent relation repairs to itself", `Quick, test_consistent_relation_single_repair);
+    ("repair checking", `Quick, test_repair_checking);
+    ("repairs are maximal consistent subsets", `Quick, test_repairs_are_subsets_consistent);
+    ("Algorithm 1 returns a repair", `Quick, test_clean_is_repair);
+    ("Prop 1: total priority, unique result", `Quick, test_prop1_total_priority_unique);
+    ("C-Rep with no priorities = Rep", `Quick, test_all_results_no_priority);
+    ("PTIME C-check = enumeration (Prop 7)", `Quick, test_is_result_agrees_with_enumeration);
+    ("C-check rejects non-repairs", `Quick, test_is_result_rejects_non_repairs);
+    ("incremental Algorithm 1 = reference", `Quick, test_incremental_clean_matches_reference);
+    ("Example 3: common repairs of Mgr", `Quick, test_mgr_crep);
+  ]
