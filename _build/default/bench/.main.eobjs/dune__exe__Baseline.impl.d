@@ -1,0 +1,1 @@
+bench/baseline.ml: Array Graphs Int List Set

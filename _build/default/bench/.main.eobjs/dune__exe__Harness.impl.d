@@ -1,1 +1,1 @@
-bench/harness.ml: Format List String Unix
+bench/harness.ml: Format List Printf String Unix

@@ -9,9 +9,21 @@
 
 let now () = Unix.gettimeofday ()
 
+(* Smoke mode (--quick): tiny calibration budget and fewer samples, so a
+   full harness pass fits inside `dune runtest`. *)
+let quick = ref false
+
 (* Median seconds per run; each sample runs [f] enough times to dominate
    timer noise. *)
-let measure ?(min_time = 0.02) ?(samples = 5) f =
+let measure ?min_time ?samples f =
+  let min_time =
+    match min_time with
+    | Some t -> t
+    | None -> if !quick then 0.0005 else 0.02
+  in
+  let samples =
+    match samples with Some s -> s | None -> if !quick then 3 else 5
+  in
   ignore (f ());
   (* warm-up *)
   let timed_batch () =
@@ -98,3 +110,26 @@ let table ~header rows =
   List.iter print_row rows
 
 let time_cell t = Format.asprintf "%a" pp_time t
+
+(* --- machine-readable output -------------------------------------------- *)
+
+(* Before/after records accumulated by the VSET section and dumped as
+   BENCH_vset.json, so the perf trajectory across PRs is diffable. *)
+let comparisons : (string * float * float) list ref = ref []
+
+let record_comparison ~name ~baseline ~bitset =
+  comparisons := (name, baseline, bitset) :: !comparisons
+
+let write_comparisons_json path =
+  let oc = open_out path in
+  let entry (name, baseline, bitset) =
+    Printf.sprintf
+      "    {\"name\": %S, \"baseline_median_s\": %.9f, \
+       \"bitset_median_s\": %.9f, \"speedup\": %.2f}"
+      name baseline bitset (baseline /. bitset)
+  in
+  Printf.fprintf oc "{\n  \"representation\": \"bitset-vset\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map entry (List.rev !comparisons)));
+  close_out oc

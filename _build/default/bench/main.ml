@@ -28,6 +28,10 @@ module Prng = Workload.Prng
 
 let parse = Query.Parser.parse_exn
 
+(* Size ladders shrink under --quick so `dune runtest` can afford a full
+   end-to-end pass of the harness. *)
+let sz full quick = if !Harness.quick then quick else full
+
 (* --- workload builders ---------------------------------------------------- *)
 
 let cluster_case n =
@@ -66,7 +70,7 @@ let ladder_ground_query c =
 
 let fig1 () =
   Harness.section "FIG1" "Example 4 / Figure 1: the ladder r_n has 2^n repairs";
-  let sizes = [ 2; 4; 6; 8; 10; 12; 14; 16 ] in
+  let sizes = sz [ 2; 4; 6; 8; 10; 12; 14; 16 ] [ 2; 4; 6; 8 ] in
   let rows =
     List.map
       (fun n ->
@@ -89,7 +93,7 @@ let fig1 () =
       (fun n ->
         let c, _ = ladder_case n in
         (n, Harness.measure (fun () -> Repair.count c)))
-      [ 10; 12; 14; 16 ]
+      (sz [ 10; 12; 14; 16 ] [ 6; 8 ])
   in
   Harness.note "growth ratio per +2 conflicts: %.2f (4.0 = clean 2^n)"
     (Harness.step_ratio points)
@@ -134,7 +138,7 @@ let fig234 () =
 let fig5_check () =
   Harness.section "FIG5-CHECK"
     "Figure 5, column 'repair check': PTIME families vs co-NP-complete G";
-  let sizes = [ 200; 400; 800; 1600 ] in
+  let sizes = sz [ 200; 400; 800; 1600 ] [ 100; 200 ] in
   let families = [ Family.Rep; Family.L; Family.S; Family.C ] in
   let series =
     List.map
@@ -168,7 +172,7 @@ let fig5_check () =
   Harness.note "set operations), as Figure 5 claims.";
   Format.printf "@.";
   (* G: witness search over the repair space *)
-  let rungs = [ 8; 10; 12; 14; 16 ] in
+  let rungs = sz [ 8; 10; 12; 14; 16 ] [ 6; 8 ] in
   let points =
     List.map
       (fun r ->
@@ -194,7 +198,7 @@ let fig5_cqa () =
   Harness.section "FIG5-CQA"
     "Figure 5, columns 'consistent answers': ground PTIME vs enumeration";
   (* Rep + ground queries: the PTIME algorithm *)
-  let sizes = [ 200; 400; 800; 1600; 3200 ] in
+  let sizes = sz [ 200; 400; 800; 1600; 3200 ] [ 100; 200 ] in
   let points =
     List.map
       (fun n ->
@@ -210,7 +214,7 @@ let fig5_cqa () =
     (Harness.loglog_slope points);
   Format.printf "@.";
   (* naive enumeration for the same query *)
-  let rungs = [ 6; 8; 10; 12; 14 ] in
+  let rungs = sz [ 6; 8; 10; 12; 14 ] [ 4; 6 ] in
   let points =
     List.map
       (fun r ->
@@ -228,7 +232,7 @@ let fig5_cqa () =
     (Harness.step_ratio points);
   Format.printf "@.";
   (* preferred CQA per family (co-NP-complete / Pi^p_2-complete rows) *)
-  let rungs = [ 4; 6; 8; 10 ] in
+  let rungs = sz [ 4; 6; 8; 10 ] [ 4; 6 ] in
   let rows =
     List.map
       (fun family ->
@@ -257,7 +261,7 @@ let fig5_cqa () =
   Harness.note "Theorem 3; Pi^p_2-complete for G, Theorem 5).";
   Format.printf "@.";
   (* conjunctive (quantified) queries: co-NP-complete already for Rep *)
-  let rungs = [ 2; 4; 6 ] in
+  let rungs = sz [ 2; 4; 6 ] [ 2; 4 ] in
   let points =
     List.map
       (fun r ->
@@ -282,7 +286,7 @@ let factorized () =
   (* preferred CQA for EVERY family, at sizes far beyond enumeration:
      components stay bounded (clusters of 4), so the per-component
      exponential never bites *)
-  let sizes = [ 400; 800; 1600; 3200 ] in
+  let sizes = sz [ 400; 800; 1600; 3200 ] [ 200; 400 ] in
   let rows =
     List.map
       (fun family ->
@@ -335,7 +339,7 @@ let factorized () =
 
 let alg1 () =
   Harness.section "ALG1" "Algorithm 1: cleaning scales polynomially";
-  let sizes = [ 500; 1000; 2000; 4000; 8000 ] in
+  let sizes = sz [ 500; 1000; 2000; 4000; 8000 ] [ 250; 500 ] in
   let points =
     List.map
       (fun n ->
@@ -362,7 +366,7 @@ let alg1 () =
   Harness.note "log-log slope %.2f" (Harness.loglog_slope build_points);
   Format.printf "@.";
   (* ablation: incremental winnow maintenance vs the literal Algorithm 1 *)
-  let ablation_sizes = [ 500; 1000; 2000; 4000 ] in
+  let ablation_sizes = sz [ 500; 1000; 2000; 4000 ] [ 250; 500 ] in
   let rows =
     List.map
       (fun n ->
@@ -393,7 +397,9 @@ let quality () =
     "2000 tuples, key clusters of width 4; priority density swept 0 -> 1.";
   Harness.note
     "'decided' = conflicting tuples that are in every / in no preferred repair.";
-  let rel, fds = Generator.key_clusters ~groups:500 ~width:4 in
+  let rel, fds =
+    Generator.key_clusters ~groups:(sz 500 100) ~width:4
+  in
   let c = Conflict.build fds rel in
   let conflicted =
     Vset.filter
@@ -443,7 +449,7 @@ let quality () =
           Printf.sprintf "%d / %d" (decided Family.G) (Vset.cardinal conflicted);
           Printf.sprintf "%d / %d" (decided Family.C) (Vset.cardinal conflicted);
         ])
-      [ 0; 25; 50; 75; 100 ]
+      (sz [ 0; 25; 50; 75; 100 ] [ 0; 50; 100 ])
   in
   Harness.table
     ~header:
@@ -463,7 +469,7 @@ let quality () =
 let ext_aggregate () =
   Harness.section "EXT-AGG"
     "§6 extension: aggregation ranges — closed form vs enumeration";
-  let closed_sizes = [ 1000; 4000; 16000; 64000 ] in
+  let closed_sizes = sz [ 1000; 4000; 16000; 64000 ] [ 500; 1000 ] in
   let points =
     List.map
       (fun n ->
@@ -477,7 +483,7 @@ let ext_aggregate () =
     ~header:[ "closed form SUM (cluster graph)"; "time" ]
     (List.map (fun (n, t) -> [ Printf.sprintf "n=%d" n; Harness.time_cell t ]) points);
   Harness.note "log-log slope %.2f" (Harness.loglog_slope points);
-  let enum_groups = [ 4; 8; 12; 16 ] in
+  let enum_groups = sz [ 4; 8; 12; 16 ] [ 4; 8 ] in
   let points =
     List.map
       (fun g ->
@@ -531,7 +537,7 @@ let hyper_instance n =
 let ext_hyper () =
   Harness.section "EXT-HYPER"
     "§6 extension: denial constraints via conflict hypergraphs";
-  let sizes = [ 20; 40; 80; 160 ] in
+  let sizes = sz [ 20; 40; 80; 160 ] [ 20; 40 ] in
   let rows =
     List.map
       (fun n ->
@@ -555,6 +561,98 @@ let ext_hyper () =
   let small = hyper_instance 14 in
   Harness.note "repairs of the n=14 instance: %d"
     (List.length (Core.Hyper.repairs small))
+
+(* --- VSET: bitset representation vs the tree-backed seed ---------------------------- *)
+
+(* Before/after microbenchmarks for the packed-bitset Vset. The "before"
+   side is [Baseline]: the seed's kernels kept verbatim over
+   [Set.Make (Int)], measured in the same run and on the same instances,
+   so BENCH_vset.json records an honest speedup. Each pair also
+   cross-checks that both sides compute the same result. *)
+let vset_bench () =
+  Harness.section "VSET"
+    "bitset-backed Vset vs the tree-backed (Set.Make(Int)) seed kernels";
+  let rows = ref [] in
+  let bench ~name ~check baseline bitset =
+    if not (check ()) then
+      failwith (Printf.sprintf "VSET %s: baseline and bitset disagree" name);
+    let tb = Harness.measure baseline in
+    let ta = Harness.measure bitset in
+    Harness.record_comparison ~name ~baseline:tb ~bitset:ta;
+    rows :=
+      [ name; Harness.time_cell tb; Harness.time_cell ta;
+        Printf.sprintf "x%.1f" (tb /. ta) ]
+      :: !rows
+  in
+  (* 1. MIS enumeration on the n=16 ladder (2^16 repairs, 32 vertices). *)
+  let lad16, _ = ladder_case 16 in
+  let g16 = Conflict.graph lad16 in
+  let b16 = Baseline.of_undirected g16 in
+  bench ~name:"mis/ladder-n16"
+    ~check:(fun () -> Baseline.mis_count b16 = Graphs.Mis.count g16)
+    (fun () -> Baseline.mis_count b16)
+    (fun () -> Graphs.Mis.count g16);
+  (* 2. MIS enumeration on a clustered instance: k disjoint 4-cliques
+     have 4^k repairs, so the size is kept small enough to enumerate
+     (n=32 tuples -> 65536 repairs). *)
+  let n_clu = sz 32 16 in
+  let cclu, _ = cluster_case n_clu in
+  let gclu = Conflict.graph cclu in
+  let bclu = Baseline.of_undirected gclu in
+  bench ~name:(Printf.sprintf "mis/cluster-n%d" n_clu)
+    ~check:(fun () -> Baseline.mis_count bclu = Graphs.Mis.count gclu)
+    (fun () -> Baseline.mis_count bclu)
+    (fun () -> Graphs.Mis.count gclu);
+  (* 3. G-Rep filtering on the ladder: enumerate 2^n repairs and keep
+     the ≪-maximal ones (pairwise domination tests). *)
+  let n_grep = sz 10 8 in
+  let ladg, _ = ladder_case n_grep in
+  let rng = Prng.create 42 in
+  let pg = Generator.random_priority rng ~density:0.5 ladg in
+  let gg = Conflict.graph ladg in
+  let bg = Baseline.of_undirected gg in
+  let dominates y x = Priority.dominates pg y x in
+  bench ~name:(Printf.sprintf "grep-filter/ladder-n%d" n_grep)
+    ~check:(fun () ->
+      List.length (Baseline.g_rep dominates bg)
+      = List.length (Family.repairs Family.G ladg pg))
+    (fun () -> ignore (Baseline.g_rep dominates bg))
+    (fun () -> ignore (Family.repairs Family.G ladg pg));
+  (* 4. Ground CQA on the 256-tuple cluster instance: the clause kernel
+     (demand satisfiability over the conflict graph) on a demand touching
+     every cluster — one fact required in each even cluster, the whole of
+     each odd cluster forbidden except one escape tuple. *)
+  let c256, _ = cluster_case 256 in
+  let g256 = Conflict.graph c256 in
+  let b256 = Baseline.of_undirected g256 in
+  let required = ref Vset.empty and forbidden = ref Vset.empty in
+  for k = 0 to 31 do
+    required := Vset.add (8 * k) !required;
+    (* odd cluster at 8k+4..8k+7: forbid three, leave 8k+7 as blocker *)
+    for j = 4 to 6 do
+      forbidden := Vset.add ((8 * k) + j) !forbidden
+    done
+  done;
+  let demand =
+    { Core.Ground.required = !required; forbidden = !forbidden }
+  in
+  let req_t = Baseline.of_vset !required
+  and forb_t = Baseline.of_vset !forbidden in
+  bench ~name:"ground-cqa/cluster-n256"
+    ~check:(fun () ->
+      Baseline.demand_satisfiable b256 ~required:req_t ~forbidden:forb_t
+      = Cqa.demand_satisfiable c256 demand)
+    (fun () ->
+      ignore
+        (Baseline.demand_satisfiable b256 ~required:req_t ~forbidden:forb_t))
+    (fun () -> ignore (Cqa.demand_satisfiable c256 demand));
+  Harness.table
+    ~header:[ "kernel"; "tree (seed)"; "bitset"; "speedup" ]
+    (List.rev !rows);
+  Harness.note
+    "tree = the seed's Set.Make(Int) kernels, re-measured in this run;";
+  Harness.note
+    "bitset = the live Vset. Written to BENCH_vset.json."
 
 (* --- Bechamel microbenchmarks ------------------------------------------------------ *)
 
@@ -661,8 +759,18 @@ let run_bechamel () =
   Notty_unix.output_image Notty_unix.(eol img)
 
 let () =
+  Arg.parse
+    [
+      ( "--quick",
+        Arg.Set Harness.quick,
+        " smoke mode: small sizes, minimal calibration, no Bechamel \
+         (wired into `dune runtest`)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unknown argument: " ^ a)))
+    "main.exe [--quick]";
   Format.printf
-    "prefrepair experiment harness — regenerates the paper's figures@.";
+    "prefrepair experiment harness — regenerates the paper's figures%s@."
+    (if !Harness.quick then " (--quick smoke mode)" else "");
   fig1 ();
   fig234 ();
   fig5_check ();
@@ -672,5 +780,8 @@ let () =
   quality ();
   ext_aggregate ();
   ext_hyper ();
-  run_bechamel ();
+  vset_bench ();
+  Harness.write_comparisons_json "BENCH_vset.json";
+  Format.printf "@.  BENCH_vset.json written.@.";
+  if not !Harness.quick then run_bechamel ();
   Format.printf "@.done.@."

@@ -1,1 +1,1 @@
-lib/core/cqa.ml: Conflict Family Fun Graphs Ground List Query Relational Repair Schema Undirected Vset
+lib/core/cqa.ml: Conflict Family Graphs Ground Hashtbl List Query Relational Repair Schema Undirected Vset

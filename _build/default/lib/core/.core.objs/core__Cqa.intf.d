@@ -1,1 +1,1 @@
-lib/core/cqa.mli: Conflict Family Graphs Priority Query Relational Value Vset
+lib/core/cqa.mli: Conflict Family Graphs Ground Priority Query Relational Value Vset

@@ -11,30 +11,48 @@ let certainty_to_string = function
 let evaluate_in_repair c r' q =
   Query.Engine.holds_relation (Repair.to_relation c r') q
 
+(* Streaming: the repair enumeration stops at the first counterexample
+   instead of materializing [Family.repairs] as a full list. *)
 let consistent_answer family c p q =
-  List.for_all
-    (fun r' -> evaluate_in_repair c r' q)
-    (Family.repairs family c p)
+  Family.for_all family c p (fun r' -> evaluate_in_repair c r' q)
+
+exception Mixed
 
 let certainty family c p q =
-  let truths =
-    List.map (fun r' -> evaluate_in_repair c r' q) (Family.repairs family c p)
-  in
-  if List.for_all Fun.id truths then Certainly_true
-  else if List.for_all not truths then Certainly_false
-  else Ambiguous
+  (* One pass: remember the first repair's verdict and bail out the
+     moment a repair disagrees with it. *)
+  let first = ref None in
+  try
+    Family.iter family c p (fun r' ->
+        let b = evaluate_in_repair c r' q in
+        match !first with
+        | None -> first := Some b
+        | Some b0 -> if b0 <> b then raise Mixed);
+    match !first with
+    | None | Some true -> Certainly_true
+    | Some false -> Certainly_false
+  with Mixed -> Ambiguous
 
 let consistent_answers_open family c p q =
-  let per_repair =
-    List.map
-      (fun r' -> Query.Engine.answers_relation (Repair.to_relation c r') q)
-      (Family.repairs family c p)
-  in
-  match per_repair with
+  match Family.repairs family c p with
   | [] -> (Query.Ast.free_vars q, [])
-  | (free, first) :: rest ->
-    let inter rows (_, rows') =
-      List.filter (fun row -> List.mem row rows') rows
+  | r0 :: rest ->
+    let free, first =
+      Query.Engine.answers_relation (Repair.to_relation c r0) q
+    in
+    (* Intersect per-repair answer sets through a hashtable on the rows
+       of the smaller side; evaluation stops early once the running
+       intersection is empty. *)
+    let inter rows r' =
+      if rows = [] then []
+      else begin
+        let _, rows' =
+          Query.Engine.answers_relation (Repair.to_relation c r') q
+        in
+        let present = Hashtbl.create (List.length rows') in
+        List.iter (fun row -> Hashtbl.replace present row ()) rows';
+        List.filter (fun row -> Hashtbl.mem present row) rows
+      end
     in
     (free, List.fold_left inter first rest)
 
@@ -52,12 +70,12 @@ let demand_of_clause c clause =
    with backtracking. *)
 let demand_satisfiable c { Ground.required; forbidden } =
   let g = Conflict.graph c in
-  if not (Vset.is_empty (Vset.inter required forbidden)) then false
+  if not (Vset.disjoint required forbidden) then false
   else if not (Undirected.is_independent g required) then false
   else begin
     let needs_blocker =
       Vset.filter
-        (fun b -> Vset.is_empty (Vset.inter (Undirected.neighbors g b) required))
+        (fun b -> Vset.disjoint (Undirected.neighbors g b) required)
         forbidden
     in
     (* A fresh blocker must keep S = required ∪ chosen independent and
@@ -66,15 +84,15 @@ let demand_satisfiable c { Ground.required; forbidden } =
     let compatible chosen v =
       (not (Vset.mem v forbidden))
       && (not (Vset.mem v chosen))
-      && Vset.is_empty (Vset.inter (Undirected.neighbors g v) required)
-      && Vset.is_empty (Vset.inter (Undirected.neighbors g v) chosen)
+      && Vset.disjoint (Undirected.neighbors g v) required
+      && Vset.disjoint (Undirected.neighbors g v) chosen
     in
     let rec assign chosen = function
       | [] -> true
       | b :: rest ->
         (* b may already be blocked by a previously chosen blocker. *)
-        if not (Vset.is_empty (Vset.inter (Undirected.neighbors g b) chosen))
-        then assign chosen rest
+        if not (Vset.disjoint (Undirected.neighbors g b) chosen) then
+          assign chosen rest
         else
           Vset.exists
             (fun v -> compatible chosen v && assign (Vset.add v chosen) rest)

@@ -27,9 +27,13 @@ val certainty_to_string : certainty -> string
 val consistent_answer :
   Family.name -> Conflict.t -> Priority.t -> Query.Ast.t -> bool
 (** [true] iff the closed query holds in every X-preferred repair. Raises
-    [Invalid_argument] on open queries or ill-formed atoms. *)
+    [Invalid_argument] on open queries or ill-formed atoms. Streaming:
+    the repair enumeration stops at the first repair falsifying the
+    query. *)
 
 val certainty : Family.name -> Conflict.t -> Priority.t -> Query.Ast.t -> certainty
+(** Streaming like {!consistent_answer}: returns [Ambiguous] as soon as
+    two repairs disagree, without enumerating the rest. *)
 
 val consistent_answers_open :
   Family.name ->
@@ -42,6 +46,11 @@ val consistent_answers_open :
 
 val evaluate_in_repair : Conflict.t -> Vset.t -> Query.Ast.t -> bool
 (** [r' ⊨ Q] for one repair given as a vertex set. *)
+
+val demand_satisfiable : Conflict.t -> Ground.demand -> bool
+(** The inner kernel of {!ground_certainty}: is there a repair containing
+    [required] and avoiding [forbidden]? Exposed for the benchmark
+    harness and for cross-validation against reference implementations. *)
 
 val ground_certainty : Conflict.t -> Query.Ast.t -> (certainty, string) result
 (** Polynomial-time certainty w.r.t. the full repair family Rep, for

@@ -4,27 +4,30 @@ open Graphs
 type t = {
   conflict : Conflict.t;
   priority : Priority.t;
-  components : Vset.t list;
+  components : Vset.t array;
+      (* indexed by component id, so [component_of] is O(1) *)
   comp_index : int array;
   cache : (Family.name * int, Vset.t list) Hashtbl.t;
       (* (family, component id) -> preferred repairs in original ids *)
 }
 
 let make conflict priority =
-  let components = Undirected.connected_components (Conflict.graph conflict) in
+  let components =
+    Array.of_list (Undirected.connected_components (Conflict.graph conflict))
+  in
   let comp_index = Array.make (Conflict.size conflict) 0 in
-  List.iteri
+  Array.iteri
     (fun i comp -> Vset.iter (fun v -> comp_index.(v) <- i) comp)
     components;
   { conflict; priority; components; comp_index; cache = Hashtbl.create 16 }
 
 let conflict d = d.conflict
-let components d = d.components
+let components d = Array.to_list d.components
 
 let component_of d v =
   if v < 0 || v >= Conflict.size d.conflict then
     invalid_arg "Decompose.component_of";
-  List.nth d.components d.comp_index.(v)
+  d.components.(d.comp_index.(v))
 
 (* The sub-instance of one component. Tuples keep their relative order
    under restriction, so new vertex i is the i-th smallest original id. *)
@@ -59,7 +62,7 @@ let preferred_within family d comp =
     repairs
 
 let count family d =
-  List.fold_left
+  Array.fold_left
     (fun acc comp -> acc * List.length (preferred_within family d comp))
     1 d.components
 
@@ -83,7 +86,7 @@ let clause_satisfiable family d { Ground.required; forbidden } =
   in
   Vset.for_all
     (fun ci ->
-      let comp = List.nth d.components ci in
+      let comp = d.components.(ci) in
       let req = Vset.inter required comp and forb = Vset.inter forbidden comp in
       List.exists
         (fun r -> Vset.subset req r && Vset.is_empty (Vset.inter forb r))
@@ -119,7 +122,7 @@ let certainty_ground family d q =
       | Ok true -> Ok Cqa.Ambiguous)
 
 let certain_tuples family d =
-  List.fold_left
+  Array.fold_left
     (fun acc comp ->
       match preferred_within family d comp with
       | [] -> acc
@@ -128,7 +131,7 @@ let certain_tuples family d =
     Vset.empty d.components
 
 let possible_tuples family d =
-  List.fold_left
+  Array.fold_left
     (fun acc comp ->
       List.fold_left Vset.union acc (preferred_within family d comp))
     Vset.empty d.components
@@ -186,7 +189,9 @@ let aggregate_range family d agg =
       | [] -> None
       | v :: vs -> Some (List.fold_left min v vs, List.fold_left max v vs)
     in
-    let per_component = List.filter_map extremes d.components in
+    let per_component =
+      List.filter_map extremes (Array.to_list d.components)
+    in
     let range =
       match agg with
       | Aggregate.Count_all | Aggregate.Sum _ ->

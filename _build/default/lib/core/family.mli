@@ -30,6 +30,19 @@ val check : name -> Conflict.t -> Priority.t -> Vset.t -> bool
 
 val check_relation : name -> Conflict.t -> Priority.t -> Relation.t -> bool
 
+val iter : name -> Conflict.t -> Priority.t -> (Vset.t -> unit) -> unit
+(** Streams the family's preferred repairs without materializing the
+    list: the repair enumerator feeds a per-candidate membership test
+    (for C the PTIME re-run of Algorithm 1, avoiding the exponential
+    memoized enumeration). Order unspecified. *)
+
+val exists : name -> Conflict.t -> Priority.t -> (Vset.t -> bool) -> bool
+(** [exists family c p pred]: does some preferred repair satisfy [pred]?
+    Stops the enumeration at the first witness. *)
+
+val for_all : name -> Conflict.t -> Priority.t -> (Vset.t -> bool) -> bool
+(** Stops at the first counterexample repair. *)
+
 val one : name -> Conflict.t -> Priority.t -> Vset.t option
 (** Some preferred repair of the family, if any. For [C] this is a single
     deterministic run of Algorithm 1 (always succeeds); for the other

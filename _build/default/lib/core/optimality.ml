@@ -7,11 +7,13 @@ let improving_swap c p r' =
   let candidate y acc =
     match acc with
     | Some _ -> acc
-    | None -> (
-      let inside = Vset.inter (Conflict.neighbors c y) r' in
-      match Vset.elements inside with
-      | [ x ] when Priority.dominates p y x -> Some (y, x)
-      | _ -> None)
+    | None ->
+      let nb = Conflict.neighbors c y in
+      if Vset.inter_cardinal nb r' = 1 then begin
+        let x = Vset.min_elt (Vset.inter nb r') in
+        if Priority.dominates p y x then Some (y, x) else None
+      end
+      else None
   in
   Vset.fold candidate (outside c r') None
 

@@ -1,1 +1,1 @@
-lib/graphs/mis.ml: List Undirected Vset
+lib/graphs/mis.ml: Array List Undirected Vset

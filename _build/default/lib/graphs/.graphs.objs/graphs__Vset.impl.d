@@ -1,1 +1,1 @@
-lib/graphs/vset.ml: Format Int Set
+lib/graphs/vset.ml: Array Format List

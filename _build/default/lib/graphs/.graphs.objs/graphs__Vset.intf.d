@@ -1,1 +1,1 @@
-lib/graphs/vset.mli: Format Set
+lib/graphs/vset.mli: Format

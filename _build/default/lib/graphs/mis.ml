@@ -8,37 +8,78 @@
 
 exception Stop
 
+(* The recursion runs on raw mutable word arrays in [Vset]'s packed
+   layout rather than on [Vset.t] values: P and X are bit masks updated
+   with AND-NOT, the pivot is an intersect-and-popcount scan, and a
+   [Vset.t] is materialized only at each leaf. Each recursion node owns
+   its own P and X arrays (fresh copies are made for every branch), so
+   the in-place updates of the classic loop are safe; the growing
+   independent set R is a single shared array with bits set and cleared
+   around each recursive call. *)
 let iter f g =
   let n = Undirected.size g in
-  (* P ∩ co(v): candidates compatible with picking v. *)
-  let compatible p v = Vset.remove v (Vset.diff p (Undirected.neighbors g v)) in
-  let pick_pivot p x =
-    (* Minimize |P ∩ ({u} ∪ n(u))| over u ∈ P ∪ X. *)
-    let score u =
-      Vset.cardinal (Vset.inter p (Undirected.vicinity g u))
+  if n = 0 then f Vset.empty
+  else begin
+    let ws = Vset.word_size in
+    let w = ((n - 1) / ws) + 1 in
+    (* vic.(v) = {v} ∪ n(v), the paper's v(v), as a padded word array. *)
+    let vic =
+      Array.init n (fun v -> Vset.to_words ~width:w (Undirected.vicinity g v))
     in
-    let best u acc =
-      match acc with
-      | Some (_, s) when s <= score u -> acc
-      | _ -> Some (u, score u)
+    let r = Array.make w 0 in
+    let inter_card a b =
+      let c = ref 0 in
+      for i = 0 to w - 1 do
+        c := !c + Vset.popcount (a.(i) land b.(i))
+      done;
+      !c
     in
-    match Vset.fold best p (Vset.fold best x None) with
-    | Some (u, _) -> u
-    | None -> assert false
-  in
-  let rec extend r p x =
-    if Vset.is_empty p && Vset.is_empty x then f r
-    else begin
-      let pivot = pick_pivot p x in
-      let branch = Vset.inter p (Undirected.vicinity g pivot) in
-      let step v (p, x) =
-        extend (Vset.add v r) (compatible p v) (compatible x v);
-        (Vset.remove v p, Vset.add v x)
-      in
-      ignore (Vset.fold step branch (p, x))
-    end
-  in
-  extend Vset.empty (Vset.of_range n) Vset.empty
+    let is_empty a =
+      let rec go i = i >= w || (a.(i) = 0 && go (i + 1)) in
+      go 0
+    in
+    let rec extend p x =
+      if is_empty p && is_empty x then f (Vset.of_words r)
+      else begin
+        (* Minimize |P ∩ vic(u)| over u ∈ P ∪ X. *)
+        let pivot = ref (-1) and best = ref max_int in
+        for i = 0 to w - 1 do
+          let m = ref (p.(i) lor x.(i)) in
+          while !m <> 0 do
+            let lsb = !m land - !m in
+            let s = inter_card p vic.((i * ws) + Vset.popcount (lsb - 1)) in
+            if s < !best then begin
+              best := s;
+              pivot := (i * ws) + Vset.popcount (lsb - 1)
+            end;
+            m := !m lxor lsb
+          done
+        done;
+        (* Branch over P ∩ vic(pivot): recurse on P, X stripped of
+           vic(v), then move v from P to X. *)
+        let pv = vic.(!pivot) in
+        for i = 0 to w - 1 do
+          let m = ref (p.(i) land pv.(i)) in
+          while !m <> 0 do
+            let lsb = !m land - !m in
+            let vv = vic.((i * ws) + Vset.popcount (lsb - 1)) in
+            let p' = Array.make w 0 and x' = Array.make w 0 in
+            for k = 0 to w - 1 do
+              p'.(k) <- p.(k) land lnot vv.(k);
+              x'.(k) <- x.(k) land lnot vv.(k)
+            done;
+            r.(i) <- r.(i) lor lsb;
+            extend p' x';
+            r.(i) <- r.(i) land lnot lsb;
+            p.(i) <- p.(i) land lnot lsb;
+            x.(i) <- x.(i) lor lsb;
+            m := !m lxor lsb
+          done
+        done
+      end
+    in
+    extend (Vset.to_words ~width:w (Vset.of_range n)) (Array.make w 0)
+  end
 
 let fold f g acc =
   let acc = ref acc in
@@ -52,7 +93,7 @@ let first g =
   let n = Undirected.size g in
   let rec loop v acc =
     if v >= n then acc
-    else if Vset.is_empty (Vset.inter (Undirected.neighbors g v) acc) then
+    else if Vset.disjoint (Undirected.neighbors g v) acc then
       loop (v + 1) (Vset.add v acc)
     else loop (v + 1) acc
   in

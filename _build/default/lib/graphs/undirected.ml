@@ -1,8 +1,12 @@
-type t = { n : int; adj : Vset.t array }
+type t = { n : int; adj : Vset.t array; m : int }
 
 let check_vertex n v =
   if v < 0 || v >= n then
     invalid_arg (Printf.sprintf "Undirected: vertex %d out of range [0,%d)" v n)
+
+(* Distinct edges, after the duplicate collapsing of [Vset.add]. *)
+let count_edges adj =
+  Array.fold_left (fun acc s -> acc + Vset.cardinal s) 0 adj / 2
 
 let create n edge_list =
   if n < 0 then invalid_arg "Undirected.create: negative size";
@@ -15,7 +19,7 @@ let create n edge_list =
     adj.(v) <- Vset.add u adj.(v)
   in
   List.iter add_edge edge_list;
-  { n; adj }
+  { n; adj; m = count_edges adj }
 
 let size g = g.n
 
@@ -35,20 +39,25 @@ let edges g =
   done;
   List.sort compare !acc
 
-let edge_count g = List.length (edges g)
+let edge_count g = g.m
 let vertices g = Vset.of_range g.n
 
 let isolated g =
   Vset.filter (fun v -> Vset.is_empty g.adj.(v)) (vertices g)
 
 let is_independent g s =
-  Vset.for_all (fun v -> Vset.is_empty (Vset.inter g.adj.(v) s)) s
+  Vset.for_all (fun v -> Vset.disjoint g.adj.(v) s) s
 
 let is_maximal_independent g s =
   is_independent g s
-  && Vset.for_all
-       (fun v -> Vset.mem v s || not (Vset.is_empty (Vset.inter g.adj.(v) s)))
-       (vertices g)
+  &&
+  (* every outside vertex has a neighbour inside — a plain loop, to skip
+     materializing [vertices g] *)
+  let rec covered v =
+    v >= g.n
+    || ((Vset.mem v s || not (Vset.disjoint g.adj.(v) s)) && covered (v + 1))
+  in
+  covered 0
 
 let induced g s =
   let mapping = Array.of_list (Vset.elements s) in
@@ -94,7 +103,8 @@ let is_clique g s =
 
 let union g1 g2 =
   if g1.n <> g2.n then invalid_arg "Undirected.union: size mismatch";
-  { n = g1.n; adj = Array.init g1.n (fun v -> Vset.union g1.adj.(v) g2.adj.(v)) }
+  let adj = Array.init g1.n (fun v -> Vset.union g1.adj.(v) g2.adj.(v)) in
+  { n = g1.n; adj; m = count_edges adj }
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph on %d vertices:@," g.n;

@@ -15,6 +15,7 @@ val size : t -> int
 (** Number of vertices. *)
 
 val edge_count : t -> int
+(** O(1): counted once at {!create} (called on every consistency check). *)
 
 val edges : t -> (int * int) list
 (** Each undirected edge reported once, as [(u, v)] with [u < v],

@@ -1,8 +1,289 @@
-include Set.Make (Int)
+(* Packed immutable bitsets of non-negative ints.
+
+   Representation: an array of 63-bit words (bit j of word i is element
+   i*63 + j) with the cardinality cached at construction. The canonical
+   form keeps no trailing zero words, so structural equality of the
+   record coincides with set equality and the polymorphic [Hashtbl.hash]
+   is usable on values of this type.
+
+   Every inner loop of the repair/CQA stack bottoms out here, so the
+   binary operations are single passes of word-parallel AND / OR /
+   ANDNOT with a SWAR popcount, instead of the balanced-tree traversals
+   of [Set.Make (Int)] that this module replaces. [compare] preserves
+   the stdlib's ordering (lexicographic on the sorted element
+   sequences), so sorted enumerations are unchanged. *)
+
+type t = { words : int array; card : int }
+
+let bits = 63
+
+(* SWAR popcount on the 63-bit word domain. The masks exceed [max_int]
+   as literals, so they are assembled from 32-bit halves; the truncation
+   of the top (64th) bit is harmless because inputs carry at most 63
+   bits and all byte sums stay below 128. *)
+let m1 = (0x55555555 lsl 32) lor 0x55555555
+let m2 = (0x33333333 lsl 32) lor 0x33333333
+let m4 = (0x0F0F0F0F lsl 32) lor 0x0F0F0F0F
+let h01 = (0x01010101 lsl 32) lor 0x01010101
+
+let popcount x =
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * h01) lsr 56
+
+(* Index of the lowest set bit of a non-zero word. *)
+let lowest_bit x = popcount ((x land -x) - 1)
+
+let empty = { words = [||]; card = 0 }
+
+(* Drop trailing zero words; [card] is the already-known cardinality. *)
+let trimmed words card =
+  let n = ref (Array.length words) in
+  while !n > 0 && words.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then empty
+  else if !n = Array.length words then { words; card }
+  else { words = Array.sub words 0 !n; card }
+
+let is_empty s = s.card = 0
+let cardinal s = s.card
+
+let check_elt v =
+  if v < 0 then invalid_arg "Vset: negative element"
+
+let mem v s =
+  v >= 0
+  &&
+  let w = v / bits in
+  w < Array.length s.words && s.words.(w) land (1 lsl (v mod bits)) <> 0
+
+let add v s =
+  check_elt v;
+  if mem v s then s
+  else begin
+    let w = v / bits in
+    let len = Array.length s.words in
+    let words = Array.make (max len (w + 1)) 0 in
+    Array.blit s.words 0 words 0 len;
+    words.(w) <- words.(w) lor (1 lsl (v mod bits));
+    { words; card = s.card + 1 }
+  end
+
+let singleton v = add v empty
+
+let remove v s =
+  if not (mem v s) then s
+  else begin
+    let words = Array.copy s.words in
+    let w = v / bits in
+    words.(w) <- words.(w) land lnot (1 lsl (v mod bits));
+    trimmed words (s.card - 1)
+  end
+
+let union a b =
+  if a.card = 0 then b
+  else if b.card = 0 then a
+  else begin
+    let big, small =
+      if Array.length a.words >= Array.length b.words then (a, b) else (b, a)
+    in
+    let words = Array.copy big.words in
+    let card = ref big.card in
+    for i = 0 to Array.length small.words - 1 do
+      let w = words.(i) lor small.words.(i) in
+      card := !card + popcount (w lxor words.(i));
+      words.(i) <- w
+    done;
+    { words; card = !card }
+  end
+
+let inter a b =
+  let l = min (Array.length a.words) (Array.length b.words) in
+  if l = 0 then empty
+  else begin
+    let words = Array.make l 0 in
+    let card = ref 0 in
+    for i = 0 to l - 1 do
+      let w = a.words.(i) land b.words.(i) in
+      words.(i) <- w;
+      card := !card + popcount w
+    done;
+    trimmed words !card
+  end
+
+let diff a b =
+  let la = Array.length a.words in
+  let l = min la (Array.length b.words) in
+  if l = 0 then a
+  else begin
+    let words = Array.copy a.words in
+    let card = ref a.card in
+    for i = 0 to l - 1 do
+      let w = words.(i) land lnot b.words.(i) in
+      card := !card - popcount (words.(i) lxor w);
+      words.(i) <- w
+    done;
+    trimmed words !card
+  end
+
+(* --- specialized single-pass predicates --------------------------------- *)
+
+let disjoint a b =
+  let l = min (Array.length a.words) (Array.length b.words) in
+  let rec go i = i >= l || (a.words.(i) land b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let inter_cardinal a b =
+  let l = min (Array.length a.words) (Array.length b.words) in
+  let c = ref 0 in
+  for i = 0 to l - 1 do
+    c := !c + popcount (a.words.(i) land b.words.(i))
+  done;
+  !c
+
+let subset a b =
+  a.card <= b.card
+  && Array.length a.words <= Array.length b.words
+  &&
+  let rec go i =
+    i >= Array.length a.words
+    || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let equal a b =
+  a.card = b.card
+  && Array.length a.words = Array.length b.words
+  &&
+  let rec go i =
+    i >= Array.length a.words || (a.words.(i) = b.words.(i) && go (i + 1))
+  in
+  go 0
+
+(* The stdlib Set order: lexicographic comparison of the increasing
+   element sequences. Locate the smallest differing element m; the set
+   holding m is smaller, unless the other set has nothing beyond m — in
+   the canonical form "some element > m" is "a higher set bit in the
+   same word, or a later word" (the last word is never zero). *)
+let compare a b =
+  let la = Array.length a.words and lb = Array.length b.words in
+  let word s i = if i < Array.length s.words then s.words.(i) else 0 in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else
+      let wa = word a i and wb = word b i in
+      if wa = wb then go (i + 1)
+      else begin
+        let j = lowest_bit (wa lxor wb) in
+        let beyond w len =
+          (if j = bits - 1 then false else w lsr (j + 1) <> 0) || i + 1 < len
+        in
+        if wa land (1 lsl j) <> 0 then if beyond wb lb then -1 else 1
+        else if beyond wa la then 1
+        else -1
+      end
+  in
+  go 0
+
+(* --- iteration (always in increasing element order) --------------------- *)
+
+let iter f s =
+  for i = 0 to Array.length s.words - 1 do
+    let w = ref s.words.(i) in
+    while !w <> 0 do
+      let lsb = !w land - !w in
+      f ((i * bits) + popcount (lsb - 1));
+      w := !w lxor lsb
+    done
+  done
+
+let fold f s acc =
+  let acc = ref acc in
+  iter (fun v -> acc := f v !acc) s;
+  !acc
+
+exception Short_circuit
+
+let exists p s =
+  try
+    iter (fun v -> if p v then raise Short_circuit) s;
+    false
+  with Short_circuit -> true
+
+let for_all p s = not (exists (fun v -> not (p v)) s)
+
+let filter p s =
+  if s.card = 0 then empty
+  else begin
+    let words = Array.copy s.words in
+    let card = ref s.card in
+    iter
+      (fun v ->
+        if not (p v) then begin
+          words.(v / bits) <- words.(v / bits) land lnot (1 lsl (v mod bits));
+          decr card
+        end)
+      s;
+    trimmed words !card
+  end
+
+let map f s = fold (fun v acc -> add (f v) acc) s empty
+let elements s = List.rev (fold (fun v acc -> v :: acc) s [])
+
+let min_elt s =
+  if s.card = 0 then raise Not_found;
+  let rec go i =
+    if s.words.(i) <> 0 then (i * bits) + lowest_bit s.words.(i) else go (i + 1)
+  in
+  go 0
+
+let min_elt_opt s = if s.card = 0 then None else Some (min_elt s)
+
+let max_elt s =
+  if s.card = 0 then raise Not_found;
+  let i = Array.length s.words - 1 in
+  let w = s.words.(i) in
+  let rec hi j = if w land (1 lsl j) <> 0 then j else hi (j - 1) in
+  (i * bits) + hi (bits - 1)
+
+let max_elt_opt s = if s.card = 0 then None else Some (max_elt s)
+
+let of_list l =
+  let mx = List.fold_left (fun m v -> check_elt v; max m v) (-1) l in
+  if mx < 0 then empty
+  else begin
+    let words = Array.make ((mx / bits) + 1) 0 in
+    List.iter
+      (fun v -> words.(v / bits) <- words.(v / bits) lor (1 lsl (v mod bits)))
+      l;
+    let card = Array.fold_left (fun acc w -> acc + popcount w) 0 words in
+    { words; card }
+  end
 
 let of_range n =
-  let rec loop i acc = if i < 0 then acc else loop (i - 1) (add i acc) in
-  loop (n - 1) empty
+  if n <= 0 then empty
+  else begin
+    let full = n / bits and rest = n mod bits in
+    let all_ones = (1 lsl (bits - 1)) lor ((1 lsl (bits - 1)) - 1) in
+    let words = Array.make (full + if rest = 0 then 0 else 1) all_ones in
+    if rest <> 0 then words.(full) <- (1 lsl rest) - 1;
+    { words; card = n }
+  end
+
+(* --- raw word access, for word-parallel kernels -------------------------- *)
+
+let word_size = bits
+
+let to_words ~width s =
+  let a = Array.make width 0 in
+  Array.blit s.words 0 a 0 (Array.length s.words);
+  a
+
+let of_words a =
+  let card = Array.fold_left (fun acc w -> acc + popcount w) 0 a in
+  trimmed (Array.copy a) card
 
 let pp ppf s =
   Format.fprintf ppf "{%a}"

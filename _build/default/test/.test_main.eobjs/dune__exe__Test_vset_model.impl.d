@@ -1,0 +1,1 @@
+test/test_vset_model.ml: Fun Graphs Hashtbl Int List Mis Printf QCheck2 QCheck_alcotest Set Undirected Vset Workload

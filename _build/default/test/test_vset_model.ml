@@ -1,0 +1,196 @@
+(* Model-based equivalence tests for the packed bitset [Graphs.Vset]
+   against the reference implementation it replaced, [Set.Make (Int)].
+
+   A random operation sequence is applied in lockstep to a bitset and to
+   the model, checking after every step that all observables agree —
+   including [compare], whose bitset implementation must reproduce the
+   stdlib's lexicographic order on sorted element sequences so that
+   sorted enumerations ([Mis.enumerate], [Family.repairs]) are unchanged
+   from the tree-backed seed. Element values span several 63-bit words
+   to exercise the multi-word paths that the unit tests' small instances
+   never reach.
+
+   The same style of oracle pins down [Mis.enumerate]: on random graphs
+   it must equal a brute-force enumeration of all maximal independent
+   sets. *)
+
+open Graphs
+module M = Set.Make (Int)
+
+type vcase = { seed : int; len : int }
+
+let vcase_gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* len = int_range 1 40 in
+    return { seed; len })
+
+let vcase_print c = Printf.sprintf "{seed=%d; len=%d}" c.seed c.len
+
+(* Elements up to 200 span four packed words and keep sets sparse enough
+   that remove/diff/filter regularly produce trailing zero words. *)
+let elt_bound = 200
+
+let random_list rng =
+  List.init (Workload.Prng.int rng 12) (fun _ ->
+      Workload.Prng.int rng elt_bound)
+
+let model_of_range n = M.of_list (List.init n Fun.id)
+
+(* One random operation applied to both representations. *)
+let step rng (s, m) =
+  match Workload.Prng.int rng 8 with
+  | 0 ->
+    let v = Workload.Prng.int rng elt_bound in
+    (Vset.add v s, M.add v m)
+  | 1 ->
+    let v = Workload.Prng.int rng elt_bound in
+    (Vset.remove v s, M.remove v m)
+  | 2 ->
+    let l = random_list rng in
+    (Vset.union s (Vset.of_list l), M.union m (M.of_list l))
+  | 3 ->
+    let l = random_list rng in
+    (Vset.inter s (Vset.of_list l), M.inter m (M.of_list l))
+  | 4 ->
+    let l = random_list rng in
+    (Vset.diff s (Vset.of_list l), M.diff m (M.of_list l))
+  | 5 ->
+    let r = Workload.Prng.int rng 2 in
+    (Vset.filter (fun v -> v mod 2 = r) s, M.filter (fun v -> v mod 2 = r) m)
+  | 6 ->
+    let k = Workload.Prng.int rng 5 in
+    (Vset.map (fun v -> v + k) s, M.map (fun v -> v + k) m)
+  | _ ->
+    let n = Workload.Prng.int rng 70 in
+    (Vset.of_range n, model_of_range n)
+
+let run_ops seed len =
+  let rng = Workload.Prng.create seed in
+  let rec go k acc = if k = 0 then acc else go (k - 1) (step rng acc) in
+  go len (Vset.empty, M.empty)
+
+let agree (s, m) =
+  Vset.cardinal s = M.cardinal m
+  && Vset.is_empty s = M.is_empty m
+  && Vset.elements s = M.elements m
+  && Vset.min_elt_opt s = M.min_elt_opt m
+  && Vset.max_elt_opt s = (if M.is_empty m then None else Some (M.max_elt m))
+  && Vset.fold (fun v acc -> v :: acc) s []
+     = M.fold (fun v acc -> v :: acc) m []
+
+let prop name ?(count = 200) f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print:vcase_print vcase_gen f)
+
+let unary_observables =
+  prop "unary observables agree with Set.Make(Int) after every op"
+    (fun c ->
+      let rng = Workload.Prng.create c.seed in
+      let rec go k acc =
+        agree acc && (k = 0 || go (k - 1) (step rng acc))
+      in
+      go c.len (Vset.empty, M.empty))
+
+let sign x = compare x 0
+
+let binary_observables =
+  prop "binary observables agree on independent random sets" (fun c ->
+      let s1, m1 = run_ops c.seed c.len in
+      let s2, m2 = run_ops (c.seed + 524287) (1 + (c.len / 2)) in
+      sign (Vset.compare s1 s2) = sign (M.compare m1 m2)
+      && Vset.equal s1 s2 = M.equal m1 m2
+      && Vset.subset s1 s2 = M.subset m1 m2
+      && Vset.subset s2 s1 = M.subset m2 m1
+      && Vset.disjoint s1 s2 = M.is_empty (M.inter m1 m2)
+      && Vset.inter_cardinal s1 s2 = M.cardinal (M.inter m1 m2)
+      && Vset.elements (Vset.union s1 s2) = M.elements (M.union m1 m2)
+      && Vset.elements (Vset.inter s1 s2) = M.elements (M.inter m1 m2)
+      && Vset.elements (Vset.diff s1 s2) = M.elements (M.diff m1 m2))
+
+let membership_probes =
+  prop "mem / exists / for_all agree under random probes" (fun c ->
+      let s, m = run_ops c.seed c.len in
+      let rng = Workload.Prng.create (c.seed + 104729) in
+      let probes = List.init 20 (fun _ -> Workload.Prng.int rng elt_bound) in
+      List.for_all (fun v -> Vset.mem v s = M.mem v m) probes
+      && (not (Vset.mem (-1) s))
+      && Vset.exists (fun v -> v mod 3 = 0) s = M.exists (fun v -> v mod 3 = 0) m
+      && Vset.for_all (fun v -> v mod 3 = 0) s
+         = M.for_all (fun v -> v mod 3 = 0) m)
+
+let equal_sets_indistinguishable =
+  (* equal sets built along different op paths must agree on the
+     structure-sensitive observables: equality, compare = 0, hash *)
+  prop "equal sets have equal hash and compare 0" (fun c ->
+      let s1, m1 = run_ops c.seed c.len in
+      let s2 = Vset.of_list (M.elements m1) in
+      Vset.equal s1 s2
+      && Vset.compare s1 s2 = 0
+      && Vset.hash s1 = Vset.hash s2
+      && Hashtbl.hash s1 = Hashtbl.hash s2)
+
+let words_roundtrip =
+  prop "to_words / of_words round-trips" (fun c ->
+      let s, _ = run_ops c.seed c.len in
+      let width = 1 + (elt_bound + 4) / Vset.word_size in
+      Vset.equal s (Vset.of_words (Vset.to_words ~width s)))
+
+(* --- Mis.enumerate against a brute-force oracle ------------------------- *)
+
+type gcase = { gseed : int; gn : int; edge_pct : int }
+
+let gcase_gen =
+  QCheck2.Gen.(
+    let* gseed = int_bound 1_000_000 in
+    let* gn = int_range 1 12 in
+    let* edge_pct = int_bound 100 in
+    return { gseed; gn; edge_pct })
+
+let gcase_print c =
+  Printf.sprintf "{seed=%d; n=%d; edges=%d%%}" c.gseed c.gn c.edge_pct
+
+let random_graph c =
+  let rng = Workload.Prng.create c.gseed in
+  let edges = ref [] in
+  for u = 0 to c.gn - 1 do
+    for v = u + 1 to c.gn - 1 do
+      if Workload.Prng.int rng 100 < c.edge_pct then edges := (u, v) :: !edges
+    done
+  done;
+  Undirected.create c.gn !edges
+
+(* All maximal independent sets by subset enumeration: n <= 12 keeps
+   this at 4096 subsets, each checked directly against the graph. *)
+let brute_force_mis g =
+  let n = Undirected.size g in
+  let subsets = List.init (1 lsl n) Fun.id in
+  let to_set mask =
+    Vset.of_list
+      (List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n Fun.id))
+  in
+  subsets
+  |> List.map to_set
+  |> List.filter (Undirected.is_maximal_independent g)
+  |> List.sort Vset.compare
+
+let mis_matches_brute_force =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"Mis.enumerate = brute-force maximal sets"
+       ~count:80 ~print:gcase_print gcase_gen (fun c ->
+         let g = random_graph c in
+         let reference = brute_force_mis g in
+         let enumerated = Mis.enumerate g in
+         List.length enumerated = List.length reference
+         && List.for_all2 Vset.equal enumerated reference
+         && Mis.count g = List.length reference))
+
+let suite =
+  [
+    unary_observables;
+    binary_observables;
+    membership_probes;
+    equal_sets_indistinguishable;
+    words_roundtrip;
+    mis_matches_brute_force;
+  ]

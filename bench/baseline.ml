@@ -1,0 +1,120 @@
+(* Tree-backed reference kernels for the VSET before/after benchmark.
+
+   These are the seed implementations of the hot algorithms — Bron–
+   Kerbosch MIS enumeration, the ≪-maximality filter behind G-Rep, and
+   the ground-CQA clause kernel — kept verbatim over [Set.Make (Int)],
+   the representation [Graphs.Vset] used before it became a packed
+   bitset. Measuring them in the same run as the bitset versions makes
+   the speedup in BENCH_vset.json an apples-to-apples comparison. *)
+
+module ISet = Set.Make (Int)
+
+type graph = { n : int; adj : ISet.t array }
+
+let of_undirected g =
+  let n = Graphs.Undirected.size g in
+  let adj = Array.make n ISet.empty in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- ISet.add v adj.(u);
+      adj.(v) <- ISet.add u adj.(v))
+    (Graphs.Undirected.edges g);
+  { n; adj }
+
+let of_vset s = ISet.of_list (Graphs.Vset.elements s)
+
+let of_range n =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (ISet.add i acc) in
+  loop (n - 1) ISet.empty
+
+(* --- Bron–Kerbosch with pivoting, as in the seed Mis ------------------- *)
+
+let mis_iter f g =
+  let vicinity v = ISet.add v g.adj.(v) in
+  let compatible p v = ISet.remove v (ISet.diff p g.adj.(v)) in
+  let pick_pivot p x =
+    let score u = ISet.cardinal (ISet.inter p (vicinity u)) in
+    let best u acc =
+      match acc with
+      | Some (_, s) when s <= score u -> acc
+      | _ -> Some (u, score u)
+    in
+    match ISet.fold best p (ISet.fold best x None) with
+    | Some (u, _) -> u
+    | None -> assert false
+  in
+  let rec extend r p x =
+    if ISet.is_empty p && ISet.is_empty x then f r
+    else begin
+      let pivot = pick_pivot p x in
+      let branch = ISet.inter p (vicinity pivot) in
+      let step v (p, x) =
+        extend (ISet.add v r) (compatible p v) (compatible x v);
+        (ISet.remove v p, ISet.add v x)
+      in
+      ignore (ISet.fold step branch (p, x))
+    end
+  in
+  extend ISet.empty (of_range g.n) ISet.empty
+
+let mis_count g =
+  let k = ref 0 in
+  mis_iter (fun _ -> incr k) g;
+  !k
+
+let mis_enumerate g =
+  let acc = ref [] in
+  mis_iter (fun s -> acc := s :: !acc) g;
+  List.sort ISet.compare !acc
+
+(* --- ≪-maximality filtering, as in the seed Optimality/Family ---------- *)
+
+let preferred_to dominates r1 r2 =
+  ISet.for_all
+    (fun x -> ISet.exists (fun y -> dominates y x) (ISet.diff r2 r1))
+    (ISet.diff r1 r2)
+
+let globally_optimal_among dominates all =
+  List.filter
+    (fun r' ->
+      not
+        (List.exists
+           (fun r'' ->
+             (not (ISet.equal r' r'')) && preferred_to dominates r' r'')
+           all))
+    all
+
+let g_rep dominates g = globally_optimal_among dominates (mis_enumerate g)
+
+(* --- the ground-CQA clause kernel, as in the seed Cqa ------------------ *)
+
+let is_independent g s =
+  ISet.for_all (fun v -> ISet.is_empty (ISet.inter g.adj.(v) s)) s
+
+let demand_satisfiable g ~required ~forbidden =
+  if not (ISet.is_empty (ISet.inter required forbidden)) then false
+  else if not (is_independent g required) then false
+  else begin
+    let needs_blocker =
+      ISet.filter
+        (fun b -> ISet.is_empty (ISet.inter g.adj.(b) required))
+        forbidden
+    in
+    let compatible chosen v =
+      (not (ISet.mem v forbidden))
+      && (not (ISet.mem v chosen))
+      && ISet.is_empty (ISet.inter g.adj.(v) required)
+      && ISet.is_empty (ISet.inter g.adj.(v) chosen)
+    in
+    let rec assign chosen = function
+      | [] -> true
+      | b :: rest ->
+        if not (ISet.is_empty (ISet.inter g.adj.(b) chosen)) then
+          assign chosen rest
+        else
+          ISet.exists
+            (fun v -> compatible chosen v && assign (ISet.add v chosen) rest)
+            g.adj.(b)
+    in
+    assign ISet.empty (ISet.elements needs_blocker)
+  end

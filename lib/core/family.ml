@@ -56,6 +56,29 @@ let check family c p candidate =
 let check_relation family c p r =
   check family c p (Conflict.vset_of_relation c r)
 
+(* --- streaming enumeration ---------------------------------------------- *)
+
+(* Membership in the family of one already-enumerated repair. Unlike
+   [check] this skips the maximality test (the enumerator only yields
+   repairs), and for C it uses the PTIME re-run of Algorithm 1 instead of
+   materializing the exponential [Winnow.all_results]. *)
+let member family c p r' =
+  match family with
+  | Rep -> true
+  | L -> Optimality.is_locally_optimal c p r'
+  | S -> Optimality.is_semi_globally_optimal c p r'
+  | G -> Optimality.is_globally_optimal c p r'
+  | C -> Winnow.is_result c p r'
+
+let iter family c p f =
+  Repair.iter (fun r' -> if member family c p r' then f r') c
+
+let exists family c p pred =
+  Repair.exists (fun r' -> pred r' && member family c p r') c
+
+let for_all family c p pred =
+  not (exists family c p (fun r' -> not (pred r')))
+
 let one family c p =
   match family with
   | Rep -> Some (Repair.one c)
@@ -63,13 +86,9 @@ let one family c p =
   | L | S | G -> (
     let found = ref None in
     (try
-       Repair.iter
-         (fun r' ->
-           if check family c p r' then begin
-             found := Some r';
-             raise Exit
-           end)
-         c
+       iter family c p (fun r' ->
+           found := Some r';
+           raise Exit)
      with Exit -> ());
     !found)
 

@@ -2,12 +2,97 @@
 
     This is the set representation shared by every graph structure in the
     repository: vertices of conflict graphs are indices into a tuple array,
-    and repairs are vertex sets. *)
+    and repairs are vertex sets.
 
-include Set.S with type elt = int
+    The representation is a packed immutable bitset — an array of 63-bit
+    words with a cached cardinality — so the intersection/difference/
+    emptiness tests at the heart of repair enumeration and CQA are
+    word-parallel single passes instead of balanced-tree walks. The
+    interface is the fragment of [Set.S] this repository uses, with the
+    same semantics; in particular {!compare} orders sets exactly like
+    [Set.Make(Int).compare] (lexicographically on the increasing element
+    sequences), so sorted enumerations are stable across the
+    representation change. Elements must be non-negative: [add],
+    [singleton], [of_list] and [of_range] raise [Invalid_argument] on a
+    negative element, and [mem] of a negative element is [false]. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val mem : int -> t -> bool
+val add : int -> t -> t
+val singleton : int -> t
+val remove : int -> t -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val disjoint : t -> t -> bool
+(** [disjoint a b] = [is_empty (inter a b)], without materializing the
+    intersection: a word-level AND scan with early exit. *)
+
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b] = [cardinal (inter a b)], as a single
+    AND-and-popcount pass with no allocation. *)
+
+val subset : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order, identical to [Set.Make(Int).compare]: lexicographic on
+    the increasing element sequences. *)
+
+val equal : t -> t -> bool
+
+val cardinal : t -> int
+(** O(1): the cardinality is cached at construction via popcount. *)
+
+val iter : (int -> unit) -> t -> unit
+(** In increasing element order, like every traversal below. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (int -> bool) -> t -> bool
+val for_all : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+
+val map : (int -> int) -> t -> t
+
+val elements : t -> int list
+
+val min_elt : t -> int
+(** Raises [Not_found] on the empty set, like [Set.S.min_elt]. *)
+
+val min_elt_opt : t -> int option
+
+val max_elt : t -> int
+(** Raises [Not_found] on the empty set. *)
+
+val max_elt_opt : t -> int option
+
+val of_list : int list -> t
 
 val of_range : int -> t
 (** [of_range n] is [{0, 1, ..., n-1}]. [of_range 0] is [empty]. *)
+
+(** {2 Raw word access}
+
+    Escape hatch for word-parallel kernels ([Mis]): bit [j] of word [i]
+    is element [i * word_size + j]. *)
+
+val word_size : int
+(** Bits per packed word (63 on 64-bit platforms). *)
+
+val popcount : int -> int
+(** Population count of one packed word. *)
+
+val to_words : width:int -> t -> int array
+(** A fresh word array of length [width], zero-padded. [width] must
+    cover the set's maximum element. *)
+
+val of_words : int array -> t
+(** The set a word array denotes; the array is copied, not captured. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [{0, 3, 5}]. *)
