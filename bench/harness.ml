@@ -133,3 +133,34 @@ let write_comparisons_json path =
   Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map entry (List.rev !comparisons)));
   close_out oc
+
+(* Whole-graph vs component-sharded records for BENCH_decompose.json.
+   [whole = None] marks a frontier workload the whole-graph path cannot
+   finish in reasonable time: the sharded number stands alone and the
+   entry carries a note instead of a speedup. *)
+let decompose_entries : (string * float option * float * string) list ref =
+  ref []
+
+let record_decompose ~name ?whole ~sharded ?(note = "") () =
+  decompose_entries := (name, whole, sharded, note) :: !decompose_entries
+
+let write_decompose_json path =
+  let oc = open_out path in
+  let entry (name, whole, sharded, note) =
+    let whole_field, speedup_field =
+      match whole with
+      | Some w ->
+        ( Printf.sprintf "%.9f" w,
+          Printf.sprintf "%.2f" (w /. sharded) )
+      | None -> ("null", "null")
+    in
+    Printf.sprintf
+      "    {\"name\": %S, \"whole_graph_median_s\": %s, \
+       \"sharded_median_s\": %.9f, \"speedup\": %s, \"note\": %S}"
+      name whole_field sharded speedup_field note
+  in
+  Printf.fprintf oc "{\n  \"experiment\": \"component-sharded-cqa\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map entry (List.rev !decompose_entries)));
+  close_out oc

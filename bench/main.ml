@@ -335,6 +335,135 @@ let factorized () =
        count_points);
   Harness.note "log-log slope %.2f" (Harness.loglog_slope count_points)
 
+(* --- DECOMP: component-sharded streaming CQA vs whole-graph enumeration --------- *)
+
+(* Before/after for the sharded certainty paths of this PR: the baseline
+   is [Cqa.certainty] (streams the whole conflict graph's repair space),
+   the after side [Decompose.certainty] on the same instance and query.
+   Both sides are cross-checked for equality before timing. Written to
+   BENCH_decompose.json. *)
+let decomp_bench () =
+  Harness.section "DECOMP"
+    "component-sharded streaming CQA vs whole-graph enumeration";
+  let ground_atom c v =
+    Query.Ast.Atom
+      ( Relational.Schema.name (Conflict.schema c),
+        List.map
+          (fun x -> Query.Ast.Const x)
+          (Relational.Tuple.values (Conflict.tuple c v)) )
+  in
+  let rows = ref [] in
+  let bench ~name ~note whole sharded =
+    let vw = whole () and vs = sharded () in
+    if vw <> vs then
+      failwith
+        (Printf.sprintf "DECOMP %s: whole-graph %s <> sharded %s" name
+           (Cqa.certainty_to_string vw)
+           (Cqa.certainty_to_string vs));
+    let tw = Harness.measure whole in
+    let ts = Harness.measure sharded in
+    Harness.record_decompose ~name ~whole:tw ~sharded:ts ~note ();
+    rows :=
+      [ name; Cqa.certainty_to_string vw; Harness.time_cell tw;
+        Harness.time_cell ts; Printf.sprintf "x%.1f" (tw /. ts) ]
+      :: !rows
+  in
+  (* many small components: disjoint chains *)
+  let comps = sz 8 4 and size = sz 4 3 in
+  let rel, fds = Generator.chain_components ~components:comps ~size in
+  let c = Conflict.build fds rel in
+  let p = Priority.empty c in
+  let d = Core.Decompose.make c p in
+  let shape = Printf.sprintf "chains-%dx%d" comps size in
+  (* tuples 0 and 1 conflict, so every maximal independent set keeps one
+     of them: certainly true, and certainty must exhaust the space *)
+  let q_certain = Query.Ast.Or (ground_atom c 0, ground_atom c 1) in
+  List.iter
+    (fun family ->
+      bench
+        ~name:
+          (Printf.sprintf "certainty-ground-certain/%s/%s" shape
+             (Family.name_to_string family))
+        ~note:"ground certain query; whole graph exhausts the cross product"
+        (fun () -> Cqa.certainty family c p q_certain)
+        (fun () -> Core.Decompose.certainty family d q_certain))
+    [ Family.Rep; Family.C ];
+  (* a quantified query deciding on the FIRST component: matches tuple 0
+     and nothing else, so it is ambiguous; the sharded side settles it by
+     the deviation scan, the whole-graph side has to reach an enumeration
+     leaf flipping that component's choice *)
+  let q_amb =
+    let values = Relational.Tuple.values (Conflict.tuple c 0) in
+    match values with
+    | [ a; b; _; dd ] ->
+      Query.Ast.Exists
+        ( [ "x" ],
+          Query.Ast.Atom
+            ( "R",
+              [
+                Query.Ast.Const a; Query.Ast.Const b; Query.Ast.Var "x";
+                Query.Ast.Const dd;
+              ] ) )
+    | _ -> assert false
+  in
+  bench
+    ~name:(Printf.sprintf "certainty-quantified-ambiguous/%s/rep" shape)
+    ~note:"quantified query on the first component; sharded deviation scan"
+    (fun () -> Cqa.certainty Family.Rep c p q_amb)
+    (fun () -> Core.Decompose.certainty Family.Rep d q_amb);
+  (* one giant component: the honest contrast — sharding cannot help when
+     the graph does not decompose *)
+  let k = sz 7 4 in
+  let relg, fdsg = Generator.mutual_cycle k in
+  let cg = Conflict.build fdsg relg in
+  let pg = Priority.empty cg in
+  let dg = Core.Decompose.make cg pg in
+  let qg = Query.Ast.Or (ground_atom cg 0, ground_atom cg 1) in
+  bench
+    ~name:(Printf.sprintf "certainty-ground/giant-cycle-C%d/rep" (2 * k))
+    ~note:
+      "single giant component: no decomposition win; the residual gain is \
+       the cached clause engine vs re-enumeration per call"
+    (fun () -> Cqa.certainty Family.Rep cg pg qg)
+    (fun () -> Core.Decompose.certainty Family.Rep dg qg);
+  Harness.table
+    ~header:[ "scenario"; "verdict"; "whole graph"; "sharded"; "speedup" ]
+    (List.rev !rows);
+  Format.printf "@.";
+  (* frontier: far beyond what the whole-graph path can enumerate *)
+  let fcomps = sz 32 6 and fsize = sz 8 4 in
+  let relf, fdsf = Generator.chain_components ~components:fcomps ~size:fsize in
+  let cf = Conflict.build fdsf relf in
+  let df = Core.Decompose.make cf (Priority.empty cf) in
+  let qf = Query.Ast.Or (ground_atom cf 0, ground_atom cf 1) in
+  let vf = Core.Decompose.certainty Family.Rep df qf in
+  let tf =
+    Harness.measure (fun () -> Core.Decompose.certainty Family.Rep df qf)
+  in
+  let fname =
+    Printf.sprintf "certainty-ground-certain/chains-%dx%d/rep" fcomps fsize
+  in
+  let per_component =
+    List.length
+      (Core.Decompose.preferred_within Family.Rep df
+         (Core.Decompose.component_of df 0))
+  in
+  Harness.record_decompose ~name:fname ~sharded:tf
+    ~note:
+      (Printf.sprintf
+         "frontier: %d components x %d repairs each (~%d^%d total), \
+          whole-graph enumeration infeasible"
+         fcomps per_component per_component fcomps)
+    ();
+  Harness.note "frontier %s: %s in %s (whole-graph enumeration infeasible)"
+    fname
+    (Cqa.certainty_to_string vf)
+    (Harness.time_cell tf);
+  (* surface the observability counters for the frontier decomposition *)
+  Format.printf "  counters after the frontier query:@.";
+  Format.printf "  %a@." Core.Decompose.pp_counters
+    (Core.Decompose.counters df)
+
 (* --- Algorithm 1 scaling -------------------------------------------------------- *)
 
 let alg1 () =
@@ -776,6 +905,7 @@ let () =
   fig5_check ();
   fig5_cqa ();
   factorized ();
+  decomp_bench ();
   alg1 ();
   quality ();
   ext_aggregate ();
@@ -783,5 +913,7 @@ let () =
   vset_bench ();
   Harness.write_comparisons_json "BENCH_vset.json";
   Format.printf "@.  BENCH_vset.json written.@.";
+  Harness.write_decompose_json "BENCH_decompose.json";
+  Format.printf "  BENCH_decompose.json written.@.";
   if not !Harness.quick then run_bechamel ();
   Format.printf "@.done.@."

@@ -224,33 +224,38 @@ let query_cmd =
     Arg.(required & pos 1 (some string) None
          & info [] ~docv:"QUERY" ~doc:"First-order query text.")
   in
-  let run path family qtext =
+  let trace_arg =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:
+               "Also report what the component decomposition did: \
+                per-component repair counts, cache traffic, combinations \
+                streamed, early exits.")
+  in
+  let run path family qtext trace =
     with_context path (fun _spec c p ->
         match Query.Parser.parse qtext with
         | Error e ->
           Format.eprintf "error: %s@." e;
           1
         | Ok q ->
+          (* every route goes through the component decomposition: ground
+             queries hit the clause engine, quantified ones the streaming
+             deviation scan — exponential only in the largest component *)
+          let d = Core.Decompose.make c p in
           if Query.Ast.is_closed q then begin
-            (* ground queries go through the factorized engine; quantified
-               ones fall back to repair enumeration *)
-            let cert =
-              if Query.Ast.is_ground q then
-                match
-                  Core.Decompose.certainty_ground family
-                    (Core.Decompose.make c p) q
-                with
-                | Ok cert -> cert
-                | Error e -> invalid_arg e
-              else Core.Cqa.certainty family c p q
-            in
-            Format.printf "%s-consistent answer: %s@."
-              (Family.name_to_string family)
-              (Core.Cqa.certainty_to_string cert);
+            if trace then
+              Format.printf "%a@." Core.Trace.pp_cqa
+                (Core.Trace.certainty family d q)
+            else
+              Format.printf "%s-consistent answer: %s@."
+                (Family.name_to_string family)
+                (Core.Cqa.certainty_to_string
+                   (Core.Decompose.certainty family d q));
             0
           end
           else begin
-            let free, rows = Core.Cqa.consistent_answers_open family c p q in
+            let free, rows = Core.Decompose.consistent_answers_open family d q in
             Format.printf "certain answers (%s):@."
               (String.concat ", " free);
             List.iter
@@ -260,6 +265,9 @@ let query_cmd =
                      (List.map Relational.Value.to_string row)))
               rows;
             Format.printf "%d certain answer(s)@." (List.length rows);
+            if trace then
+              Format.printf "%a@." Core.Decompose.pp_counters
+                (Core.Decompose.counters d);
             0
           end)
   in
@@ -267,8 +275,9 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:
          "Compute the preferred consistent answer to a closed query, or \
-          the certain bindings of an open one.")
-    Term.(const run $ file_arg $ family_arg $ query_arg)
+          the certain bindings of an open one. Answers are computed \
+          through the conflict-component decomposition.")
+    Term.(const run $ file_arg $ family_arg $ query_arg $ trace_arg)
 
 (* --- facts ------------------------------------------------------------------- *)
 

@@ -11,10 +11,23 @@ let certainty_to_string = function
 let evaluate_in_repair c r' q =
   Query.Engine.holds_relation (Repair.to_relation c r') q
 
+exception Empty_family of Family.name
+
 (* Streaming: the repair enumeration stops at the first counterexample
-   instead of materializing [Family.repairs] as a full list. *)
+   instead of materializing [Family.repairs] as a full list. The [seen]
+   flag distinguishes "all enumerated repairs satisfy Q" from "nothing
+   was enumerated at all": the latter violates P1 and must not pass as a
+   (vacuously true) consistent answer. [Family.for_all] alone cannot tell
+   the two apart. *)
 let consistent_answer family c p q =
-  Family.for_all family c p (fun r' -> evaluate_in_repair c r' q)
+  let seen = ref false in
+  let ok =
+    Family.for_all family c p (fun r' ->
+        seen := true;
+        evaluate_in_repair c r' q)
+  in
+  if ok && not !seen then raise (Empty_family family);
+  ok
 
 exception Mixed
 
@@ -29,13 +42,14 @@ let certainty family c p q =
         | None -> first := Some b
         | Some b0 -> if b0 <> b then raise Mixed);
     match !first with
-    | None | Some true -> Certainly_true
+    | None -> raise (Empty_family family)
+    | Some true -> Certainly_true
     | Some false -> Certainly_false
   with Mixed -> Ambiguous
 
 let consistent_answers_open family c p q =
   match Family.repairs family c p with
-  | [] -> (Query.Ast.free_vars q, [])
+  | [] -> raise (Empty_family family)
   | r0 :: rest ->
     let free, first =
       Query.Engine.answers_relation (Repair.to_relation c r0) q

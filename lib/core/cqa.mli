@@ -24,16 +24,35 @@ type certainty =
 
 val certainty_to_string : certainty -> string
 
+exception Empty_family of Family.name
+(** Raised when a certainty computation enumerates {e no} repairs at all,
+    instead of letting the universally-quantified definitions degenerate
+    to vacuous verdicts ([Certainly_true] for certainty, [true] for
+    consistent answers, every binding for open queries).
+
+    By P1 this is an invariant violation, never a legitimate outcome:
+    each of the paper's families selects at least one repair of every
+    instance — Rep because maximal independent sets always exist (the
+    empty instance has the single repair ∅), C because Algorithm 1 always
+    terminates with a result (Prop. 6), L and S because C ⊆ S ⊆ L, and G
+    because C ⊆ G. An empty enumeration therefore means a broken
+    [Conflict]/[Priority] pair or a bug in the enumerator, and silently
+    answering [Certainly_true] would launder that bug into a confident
+    query answer. Locked by the empty-family tests in [test_cqa]. *)
+
 val consistent_answer :
   Family.name -> Conflict.t -> Priority.t -> Query.Ast.t -> bool
 (** [true] iff the closed query holds in every X-preferred repair. Raises
-    [Invalid_argument] on open queries or ill-formed atoms. Streaming:
-    the repair enumeration stops at the first repair falsifying the
-    query. *)
+    [Invalid_argument] on open queries or ill-formed atoms, and
+    {!Empty_family} if the enumeration yields no repair (see above).
+    Streaming: the repair enumeration stops at the first repair
+    falsifying the query. *)
 
 val certainty : Family.name -> Conflict.t -> Priority.t -> Query.Ast.t -> certainty
 (** Streaming like {!consistent_answer}: returns [Ambiguous] as soon as
-    two repairs disagree, without enumerating the rest. *)
+    two repairs disagree, without enumerating the rest. Raises
+    {!Empty_family} instead of a vacuous [Certainly_true] when the
+    enumeration yields no repair. *)
 
 val consistent_answers_open :
   Family.name ->
@@ -42,7 +61,8 @@ val consistent_answers_open :
   Query.Ast.t ->
   string list * Value.t list list
 (** Free variables (sorted) and the bindings answering the query in every
-    X-preferred repair. *)
+    X-preferred repair. Raises {!Empty_family} when the family
+    materializes no repairs (P1 violation; see above). *)
 
 val evaluate_in_repair : Conflict.t -> Vset.t -> Query.Ast.t -> bool
 (** [r' ⊨ Q] for one repair given as a vertex set. *)

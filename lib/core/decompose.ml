@@ -1,6 +1,25 @@
 open Relational
 open Graphs
 
+type counters = {
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable component_repairs : int;
+  mutable combos_streamed : int;
+  mutable components_examined : int;
+  mutable early_exits : int;
+}
+
+let fresh_counters () =
+  {
+    cache_hits = 0;
+    cache_misses = 0;
+    component_repairs = 0;
+    combos_streamed = 0;
+    components_examined = 0;
+    early_exits = 0;
+  }
+
 type t = {
   conflict : Conflict.t;
   priority : Priority.t;
@@ -9,6 +28,7 @@ type t = {
   comp_index : int array;
   cache : (Family.name * int, Vset.t list) Hashtbl.t;
       (* (family, component id) -> preferred repairs in original ids *)
+  counters : counters;
 }
 
 let make conflict priority =
@@ -19,10 +39,51 @@ let make conflict priority =
   Array.iteri
     (fun i comp -> Vset.iter (fun v -> comp_index.(v) <- i) comp)
     components;
-  { conflict; priority; components; comp_index; cache = Hashtbl.create 16 }
+  {
+    conflict;
+    priority;
+    components;
+    comp_index;
+    cache = Hashtbl.create 16;
+    counters = fresh_counters ();
+  }
 
 let conflict d = d.conflict
+let priority d = d.priority
 let components d = Array.to_list d.components
+
+let max_component d =
+  Array.fold_left (fun acc comp -> max acc (Vset.cardinal comp)) 0 d.components
+
+(* an immutable snapshot, so callers can diff across a run *)
+let counters d =
+  let z = d.counters in
+  {
+    cache_hits = z.cache_hits;
+    cache_misses = z.cache_misses;
+    component_repairs = z.component_repairs;
+    combos_streamed = z.combos_streamed;
+    components_examined = z.components_examined;
+    early_exits = z.early_exits;
+  }
+
+let reset_counters d =
+  let z = d.counters in
+  z.cache_hits <- 0;
+  z.cache_misses <- 0;
+  z.component_repairs <- 0;
+  z.combos_streamed <- 0;
+  z.components_examined <- 0;
+  z.early_exits <- 0
+
+let pp_counters ppf z =
+  Format.fprintf ppf
+    "@[<v>component cache:        %d hit(s), %d miss(es), %d repair(s) \
+     materialized@,\
+     streamed:               %d repair combination(s)@,\
+     components examined:    %d (%d early exit(s))@]"
+    z.cache_hits z.cache_misses z.component_repairs z.combos_streamed
+    z.components_examined z.early_exits
 
 let component_of d v =
   if v < 0 || v >= Conflict.size d.conflict then
@@ -50,14 +111,19 @@ let sub_context d comp =
 let preferred_within family d comp =
   let key = (family, d.comp_index.(Vset.min_elt comp)) in
   match Hashtbl.find_opt d.cache key with
-  | Some repairs -> repairs
+  | Some repairs ->
+    d.counters.cache_hits <- d.counters.cache_hits + 1;
+    repairs
   | None ->
+    d.counters.cache_misses <- d.counters.cache_misses + 1;
     let sub, p, mapping = sub_context d comp in
     let repairs =
       List.map
         (fun s -> Vset.map (fun v -> mapping.(v)) s)
         (Family.repairs family sub p)
     in
+    d.counters.component_repairs <-
+      d.counters.component_repairs + List.length repairs;
     Hashtbl.replace d.cache key repairs;
     repairs
 
@@ -77,6 +143,8 @@ let demand_of_clause d clause =
    component has a preferred repair meeting the clause's demands there
    (P1 supplies arbitrary preferred repairs for untouched components, and
    the family factorizes). *)
+exception Stop
+
 let clause_satisfiable family d { Ground.required; forbidden } =
   let touched =
     Vset.fold
@@ -84,14 +152,28 @@ let clause_satisfiable family d { Ground.required; forbidden } =
       (Vset.union required forbidden)
       Vset.empty
   in
-  Vset.for_all
-    (fun ci ->
-      let comp = d.components.(ci) in
-      let req = Vset.inter required comp and forb = Vset.inter forbidden comp in
-      List.exists
-        (fun r -> Vset.subset req r && Vset.is_empty (Vset.inter forb r))
-        (preferred_within family d comp))
-    touched
+  let remaining = ref (Vset.cardinal touched) in
+  try
+    Vset.iter
+      (fun ci ->
+        d.counters.components_examined <- d.counters.components_examined + 1;
+        decr remaining;
+        let comp = d.components.(ci) in
+        let req = Vset.inter required comp
+        and forb = Vset.inter forbidden comp in
+        let ok =
+          List.exists
+            (fun r -> Vset.subset req r && Vset.is_empty (Vset.inter forb r))
+            (preferred_within family d comp)
+        in
+        if not ok then begin
+          if !remaining > 0 then
+            d.counters.early_exits <- d.counters.early_exits + 1;
+          raise Stop
+        end)
+      touched;
+    true
+  with Stop -> false
 
 let some_preferred_satisfies family d q =
   match Query.Transform.ground_dnf q with
@@ -120,6 +202,182 @@ let certainty_ground family d q =
       | Error e -> Error e
       | Ok false -> Ok Cqa.Certainly_false
       | Ok true -> Ok Cqa.Ambiguous)
+
+(* --- streaming over the cross product ----------------------------------- *)
+
+(* The per-component preferred repairs, as arrays for cheap indexing.
+   Raises [Cqa.Empty_family] if any component contributes nothing: the
+   cross product would be empty, which P1 rules out (see [Cqa]). *)
+let repair_matrix family d =
+  let lists =
+    Array.map
+      (fun comp -> Array.of_list (preferred_within family d comp))
+      d.components
+  in
+  Array.iter
+    (fun l -> if Array.length l = 0 then raise (Cqa.Empty_family family))
+    lists;
+  lists
+
+let iter family d f =
+  let k = Array.length d.components in
+  if k = 0 then begin
+    (* no conflicts at all: the single repair is the empty vertex set
+       (every tuple survives) — mirrors [Mis.iter] on the empty graph *)
+    d.counters.combos_streamed <- d.counters.combos_streamed + 1;
+    f Vset.empty
+  end
+  else begin
+    let lists = repair_matrix family d in
+    let rec go i acc =
+      if i = k then begin
+        d.counters.combos_streamed <- d.counters.combos_streamed + 1;
+        f acc
+      end
+      else Array.iter (fun s -> go (i + 1) (Vset.union acc s)) lists.(i)
+    in
+    go 0 Vset.empty
+  end
+
+let exists family d pred =
+  try
+    iter family d (fun r -> if pred r then raise Stop);
+    false
+  with Stop -> true
+
+let for_all family d pred = not (exists family d (fun r -> not (pred r)))
+
+let member family d r =
+  (match Vset.max_elt_opt r with
+  | Some v -> v < Conflict.size d.conflict
+  | None -> true)
+  && Array.for_all
+       (fun comp ->
+         let local = Vset.inter r comp in
+         List.exists (Vset.equal local) (preferred_within family d comp))
+       d.components
+
+let one family d =
+  match repair_matrix family d with
+  | exception Cqa.Empty_family _ -> None
+  | lists -> Some (Array.fold_left (fun acc l -> Vset.union acc l.(0)) Vset.empty lists)
+
+(* Certainty of a quantified query by deviation scan + product fallback.
+
+   General (non-ground) queries do not reduce to per-component verdicts:
+   certainty is about the *combinations*, and a query can hold in every
+   single-deviation neighbour of a baseline repair yet fail in a repair
+   differing in two components at once. So:
+   - pass 1 scans all repairs at Hamming component-distance <= 1 from a
+     baseline; any disagreement settles [Ambiguous] early, after
+     enumerating only sum-per-component many repairs (exp in the largest
+     component, not the total);
+   - pass 2, needed only for a certain verdict when >= 2 components have
+     more than one preferred repair, walks the full cross product. *)
+let certainty_streaming family d q =
+  let eval r = Cqa.evaluate_in_repair d.conflict r q in
+  let k = Array.length d.components in
+  if k = 0 then begin
+    d.counters.combos_streamed <- d.counters.combos_streamed + 1;
+    if eval Vset.empty then Cqa.Certainly_true else Cqa.Certainly_false
+  end
+  else begin
+    let lists = repair_matrix family d in
+    let base = Array.map (fun l -> l.(0)) lists in
+    (* pre.(i) = union of base.(0..i-1); suf.(i) = union of base.(i..k-1) *)
+    let pre = Array.make (k + 1) Vset.empty in
+    for i = 0 to k - 1 do
+      pre.(i + 1) <- Vset.union pre.(i) base.(i)
+    done;
+    let suf = Array.make (k + 1) Vset.empty in
+    for i = k - 1 downto 0 do
+      suf.(i) <- Vset.union suf.(i + 1) base.(i)
+    done;
+    d.counters.combos_streamed <- d.counters.combos_streamed + 1;
+    let v0 = eval pre.(k) in
+    try
+      (* pass 1: single-component deviations from the baseline *)
+      for i = 0 to k - 1 do
+        d.counters.components_examined <- d.counters.components_examined + 1;
+        for j = 1 to Array.length lists.(i) - 1 do
+          d.counters.combos_streamed <- d.counters.combos_streamed + 1;
+          let r = Vset.union (Vset.union pre.(i) lists.(i).(j)) suf.(i + 1) in
+          if eval r <> v0 then begin
+            d.counters.early_exits <- d.counters.early_exits + 1;
+            raise Stop
+          end
+        done
+      done;
+      (* pass 2: a certain verdict needs the full product whenever two or
+         more components can deviate simultaneously *)
+      let multi =
+        Array.fold_left
+          (fun acc l -> if Array.length l > 1 then acc + 1 else acc)
+          0 lists
+      in
+      if multi >= 2 then begin
+        let rec go i acc =
+          if i = k then begin
+            d.counters.combos_streamed <- d.counters.combos_streamed + 1;
+            if eval acc <> v0 then begin
+              d.counters.early_exits <- d.counters.early_exits + 1;
+              raise Stop
+            end
+          end
+          else Array.iter (fun s -> go (i + 1) (Vset.union acc s)) lists.(i)
+        in
+        go 0 Vset.empty
+      end;
+      if v0 then Cqa.Certainly_true else Cqa.Certainly_false
+    with Stop -> Cqa.Ambiguous
+  end
+
+let certainty family d q =
+  if not (Query.Ast.is_closed q) then
+    invalid_arg "Decompose.certainty: open query";
+  if Query.Ast.is_ground q then
+    match certainty_ground family d q with
+    | Ok cert -> cert
+    | Error _ ->
+      (* unknown relation, arity mismatch, ...: fall back to the generic
+         evaluator so the verdict matches the whole-graph path *)
+      certainty_streaming family d q
+  else certainty_streaming family d q
+
+let consistent_answer family d q =
+  if Query.Ast.is_ground q then
+    match some_preferred_satisfies family d (Query.Ast.Not q) with
+    | Ok sat -> not sat
+    | Error _ ->
+      for_all family d (fun r -> Cqa.evaluate_in_repair d.conflict r q)
+  else begin
+    if not (Query.Ast.is_closed q) then
+      invalid_arg "Decompose.consistent_answer: open query";
+    for_all family d (fun r -> Cqa.evaluate_in_repair d.conflict r q)
+  end
+
+let consistent_answers_open family d q =
+  let result = ref None in
+  (try
+     iter family d (fun r ->
+         let free, rows =
+           Query.Engine.answers_relation (Repair.to_relation d.conflict r) q
+         in
+         match !result with
+         | None -> result := Some (free, rows)
+         | Some (free0, rows0) ->
+           let present = Hashtbl.create (List.length rows) in
+           List.iter (fun row -> Hashtbl.replace present row ()) rows;
+           let rows0 = List.filter (fun row -> Hashtbl.mem present row) rows0 in
+           result := Some (free0, rows0);
+           if rows0 = [] then begin
+             d.counters.early_exits <- d.counters.early_exits + 1;
+             raise Stop
+           end)
+   with Stop -> ());
+  match !result with
+  | Some answer -> answer
+  | None -> assert false (* iter raises Empty_family before this *)
 
 let certain_tuples family d =
   Array.fold_left

@@ -26,11 +26,48 @@ open Graphs
 
 type t
 
+type counters = {
+  mutable cache_hits : int;
+      (** [preferred_within] served from the component cache *)
+  mutable cache_misses : int;
+      (** component repair lists actually computed *)
+  mutable component_repairs : int;
+      (** repairs materialized by cache misses, summed over components *)
+  mutable combos_streamed : int;
+      (** cross-product combinations handed to a consumer ([iter],
+          [certainty], ...) *)
+  mutable components_examined : int;
+      (** per-component checks performed (clause demands, deviation
+          scans) *)
+  mutable early_exits : int;
+      (** evaluations cut short before exhausting their search space *)
+}
+(** Observability counters, accumulated across every query answered
+    through one [t]. The fields are mutable only so the implementation
+    can bump them in place; treat values returned by {!counters} as a
+    snapshot. *)
+
 val make : Conflict.t -> Priority.t -> t
 (** Precomputes the components. O(V + E). *)
 
 val conflict : t -> Conflict.t
+val priority : t -> Priority.t
 val components : t -> Vset.t list
+
+val max_component : t -> int
+(** Size of the largest connected component — the parameter every
+    exponential bound below is measured in. 0 iff there are no
+    conflicts. *)
+
+val counters : t -> counters
+(** A snapshot of the counters accumulated so far (callers can diff two
+    snapshots around a query). *)
+
+val reset_counters : t -> unit
+(** Zeroes the live counters. The repair cache itself is kept, so a
+    query replayed after a reset reports pure cache hits. *)
+
+val pp_counters : Format.formatter -> counters -> unit
 
 val component_of : t -> int -> Vset.t
 (** The component containing the given vertex. *)
@@ -54,6 +91,66 @@ val certainty_ground :
     preferred repair of that component (untouched components are free by
     P1). Exponential only in the largest component touched by the
     query. *)
+
+(** {2 Streaming the family through the component decomposition}
+
+    Sharded counterparts of [Family.iter/exists/for_all/member/one] and
+    [Cqa.certainty/consistent_answer/consistent_answers_open]. They
+    enumerate the global family as the cross product of per-component
+    preferred repairs (cached per [(family, component)]), so the
+    per-component work is exponential only in the largest component —
+    the whole-graph paths in [Family]/[Cqa] pay exponential cost in the
+    {e total} number of conflicts for the same answers. Enumeration
+    order is unspecified and differs from [Family.iter]. *)
+
+val iter : Family.name -> t -> (Vset.t -> unit) -> unit
+(** Streams every preferred repair of the whole instance without
+    materializing the product. Raises [Cqa.Empty_family] if some
+    component contributes no preferred repair (a P1 violation — see
+    [Cqa]); with no conflicts at all, yields the single repair [∅]. *)
+
+val exists : Family.name -> t -> (Vset.t -> bool) -> bool
+(** First-witness early exit over {!iter}. *)
+
+val for_all : Family.name -> t -> (Vset.t -> bool) -> bool
+(** First-counterexample early exit over {!iter}. Never vacuous:
+    {!iter} raises [Cqa.Empty_family] rather than yield nothing. *)
+
+val member : Family.name -> t -> Vset.t -> bool
+(** Membership in the global family, decided component-wise: [r] is a
+    preferred repair iff its restriction to each component is a
+    preferred repair of that component. Exponential only in the largest
+    component, even for G (whose whole-graph [Family.check] searches
+    the global repair space). *)
+
+val one : Family.name -> t -> Vset.t option
+(** Some preferred repair — the union of one preferred repair per
+    component. [None] only on a P1 violation. *)
+
+val certainty : Family.name -> t -> Query.Ast.t -> Cqa.certainty
+(** Certainty of a closed query. Ground quantifier-free queries route
+    through {!certainty_ground} (exponential only in the largest
+    component {e touched by the query}). Quantified queries get a
+    two-pass evaluation: a deviation scan over all repairs at component
+    Hamming distance ≤ 1 from a baseline settles [Ambiguous] verdicts
+    after only sum-per-component many evaluations, and only a certain
+    verdict (with ≥ 2 multi-repair components) falls back to the full
+    cross product. That fallback is unavoidable: certainty of
+    quantified queries is co-NP-hard already for instances whose
+    components all have ≤ 2 tuples, so no algorithm can be exponential
+    in the largest component alone. Raises [Cqa.Empty_family] on a P1
+    violation and [Invalid_argument] on open queries. *)
+
+val consistent_answer : Family.name -> t -> Query.Ast.t -> bool
+(** [certainty = Certainly_true], with the ground route short-cut to a
+    single ¬Q satisfiability check. *)
+
+val consistent_answers_open :
+  Family.name -> t -> Query.Ast.t -> string list * Relational.Value.t list list
+(** Free variables (sorted) and the bindings answering the query in
+    every preferred repair, intersected streamingly over {!iter} with an
+    early exit once the running intersection empties. Raises
+    [Cqa.Empty_family] on a P1 violation. *)
 
 val certain_tuples : Family.name -> t -> Vset.t
 (** Tuples belonging to {e every} preferred repair — the certain answers

@@ -34,14 +34,27 @@ val iter : name -> Conflict.t -> Priority.t -> (Vset.t -> unit) -> unit
 (** Streams the family's preferred repairs without materializing the
     list: the repair enumerator feeds a per-candidate membership test
     (for C the PTIME re-run of Algorithm 1, avoiding the exponential
-    memoized enumeration). Order unspecified. *)
+    memoized enumeration). Order unspecified.
+
+    Cost is exponential in the {e total} number of conflicts, because
+    the enumerator walks the whole conflict graph's repair space. When
+    the conflict graph splits into components, the [Decompose]-backed
+    streaming variants ([Decompose.iter] and friends) enumerate the same
+    family as a cross product of per-component preferred repairs —
+    exponential only in the largest component — and should be preferred
+    for anything beyond one-component instances. *)
 
 val exists : name -> Conflict.t -> Priority.t -> (Vset.t -> bool) -> bool
 (** [exists family c p pred]: does some preferred repair satisfy [pred]?
     Stops the enumeration at the first witness. *)
 
 val for_all : name -> Conflict.t -> Priority.t -> (Vset.t -> bool) -> bool
-(** Stops at the first counterexample repair. *)
+(** Stops at the first counterexample repair. Vacuously [true] when the
+    enumeration yields no repair at all — a situation P1 rules out for
+    every family of the paper, so callers that must distinguish "all
+    repairs satisfy" from "no repairs at all" (notably [Cqa], which
+    raises [Cqa.Empty_family] rather than report a vacuous certainty)
+    have to track emptiness themselves. *)
 
 val one : name -> Conflict.t -> Priority.t -> Vset.t option
 (** Some preferred repair of the family, if any. For [C] this is a single

@@ -14,12 +14,17 @@ type t = {
   certain : int;
   disputed : int;
   excluded : int;
+  cache_hits : int;
+  cache_misses : int;
+  cached_repairs : int;
 }
 
-let compute family c p =
+let compute_with family d =
+  let c = Decompose.conflict d in
+  let p = Decompose.priority d in
   let g = Conflict.graph c in
   let n = Conflict.size c in
-  let d = Decompose.make c p in
+  let before = Decompose.counters d in
   let comps = Decompose.components d in
   let certain = Decompose.certain_tuples family d in
   let possible = Decompose.possible_tuples family d in
@@ -44,7 +49,13 @@ let compute family c p =
     certain = Vset.cardinal certain;
     disputed = Vset.cardinal (Vset.diff possible certain);
     excluded = n - Vset.cardinal possible;
+    cache_hits = (Decompose.counters d).cache_hits - before.cache_hits;
+    cache_misses = (Decompose.counters d).cache_misses - before.cache_misses;
+    cached_repairs =
+      (Decompose.counters d).component_repairs - before.component_repairs;
   }
+
+let compute family c p = compute_with family (Decompose.make c p)
 
 let pp ppf s =
   Format.fprintf ppf
@@ -54,9 +65,11 @@ let pp ppf s =
      priority:               %d/%d edges oriented%s@,\
      repairs:                %d@,\
      preferred repairs:      %d@,\
-     tuple fates:            %d certain, %d disputed, %d excluded@]"
+     tuple fates:            %d certain, %d disputed, %d excluded@,\
+     component cache:        %d hit(s), %d miss(es), %d repair(s) cached@]"
     s.tuples s.conflict_edges s.conflicting_tuples s.components
     s.nontrivial_components s.largest_component s.oriented_edges
     s.conflict_edges
     (if s.total_priority then " (total)" else "")
     s.repair_count s.preferred_count s.certain s.disputed s.excluded
+    s.cache_hits s.cache_misses s.cached_repairs

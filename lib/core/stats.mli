@@ -21,8 +21,16 @@ type t = {
   certain : int;  (** tuples in every preferred repair *)
   disputed : int;  (** tuples in some but not all *)
   excluded : int;  (** tuples in no preferred repair *)
+  cache_hits : int;  (** [Decompose] cache hits while computing this summary *)
+  cache_misses : int;  (** component repair lists computed from scratch *)
+  cached_repairs : int;  (** repairs materialized into the component cache *)
 }
 
 val compute : Family.name -> Conflict.t -> Priority.t -> t
+
+val compute_with : Family.name -> Decompose.t -> t
+(** Like {!compute} but reuses an existing decomposition and its
+    component-repair cache — the cache columns then report how much of
+    the summary was served from prior queries on the same [Decompose.t]. *)
 
 val pp : Format.formatter -> t -> unit

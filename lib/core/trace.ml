@@ -22,6 +22,63 @@ let clean ?(choose = Vset.min_elt) c p =
   in
   loop (Vset.of_range (Conflict.size c)) [] Vset.empty
 
+(* --- sharded-CQA traces -------------------------------------------------- *)
+
+type cqa = {
+  family : Family.name;
+  verdict : Cqa.certainty;
+  components : int;
+  max_component : int;
+  per_component_repairs : int list;
+  counters : Decompose.counters;
+}
+
+let diff_counters (a : Decompose.counters) (b : Decompose.counters) :
+    Decompose.counters =
+  {
+    cache_hits = a.cache_hits - b.cache_hits;
+    cache_misses = a.cache_misses - b.cache_misses;
+    component_repairs = a.component_repairs - b.component_repairs;
+    combos_streamed = a.combos_streamed - b.combos_streamed;
+    components_examined = a.components_examined - b.components_examined;
+    early_exits = a.early_exits - b.early_exits;
+  }
+
+let certainty family d q =
+  let before = Decompose.counters d in
+  let verdict = Decompose.certainty family d q in
+  let counters = diff_counters (Decompose.counters d) before in
+  (* warm by construction after the query ran, so this only reads the
+     cache (and its hits are not part of [counters]) *)
+  let per_component_repairs =
+    List.map
+      (fun comp -> List.length (Decompose.preferred_within family d comp))
+      (Decompose.components d)
+  in
+  {
+    family;
+    verdict;
+    components = List.length per_component_repairs;
+    max_component = Decompose.max_component d;
+    per_component_repairs;
+    counters;
+  }
+
+let pp_cqa ppf t =
+  let product =
+    List.fold_left (fun acc n -> acc * n) 1 t.per_component_repairs
+  in
+  Format.fprintf ppf
+    "@[<v>verdict:                %s (%a)@,\
+     components:             %d (largest %d)@,\
+     preferred repairs:      %d total, per component [%a]@,%a@]"
+    (Cqa.certainty_to_string t.verdict)
+    Family.pp_name t.family t.components t.max_component product
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    t.per_component_repairs Decompose.pp_counters t.counters
+
 let pp c ppf t =
   let pp_tuple ppf v = Relational.Tuple.pp ppf (Conflict.tuple c v) in
   let pp_set ppf s =

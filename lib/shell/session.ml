@@ -20,6 +20,7 @@ let help_text =
   \  clean                run Algorithm 1\n\
   \  trace                run Algorithm 1 step by step\n\
   \  query Q              (preferred) consistent answer to Q\n\
+  \  qtrace Q             answer plus the decomposition's work report\n\
   \  explain Q            answer with witness repairs\n\
   \  status VALUES        a tuple's conflicts and fate\n\
   \  aggregate SPEC       count | sum:A | min:A | max:A\n\
@@ -150,27 +151,21 @@ let cmd_trace st =
       buffer_out (fun ppf ->
           Format.fprintf ppf "%a" (Core.Trace.pp c) (Core.Trace.clean c p)))
 
+(* All query routes go through the component decomposition: ground
+   queries hit the clause engine, quantified ones the deviation-scan
+   streaming — both exponential only in the largest component. *)
 let cmd_query st text =
   with_context st (fun _spec c p ->
       match Query.Parser.parse text with
       | Error e -> "error: " ^ e
       | Ok q ->
-        if Query.Ast.is_closed q then begin
-          let cert =
-            if Query.Ast.is_ground q then
-              match
-                Core.Decompose.certainty_ground st.family (Core.Decompose.make c p) q
-              with
-              | Ok cert -> cert
-              | Error e -> invalid_arg e
-            else Core.Cqa.certainty st.family c p q
-          in
+        let d = Core.Decompose.make c p in
+        if Query.Ast.is_closed q then
           Printf.sprintf "%s: %s"
             (Family.name_to_string st.family)
-            (Core.Cqa.certainty_to_string cert)
-        end
+            (Core.Cqa.certainty_to_string (Core.Decompose.certainty st.family d q))
         else begin
-          let free, rows = Core.Cqa.consistent_answers_open st.family c p q in
+          let free, rows = Core.Decompose.consistent_answers_open st.family d q in
           buffer_out (fun ppf ->
               Format.fprintf ppf "certain answers (%s):@." (String.concat ", " free);
               List.iter
@@ -180,6 +175,19 @@ let cmd_query st text =
                 rows;
               Format.fprintf ppf "%d certain answer(s)" (List.length rows))
         end)
+
+let cmd_qtrace st text =
+  with_context st (fun _spec c p ->
+      match Query.Parser.parse text with
+      | Error e -> "error: " ^ e
+      | Ok q ->
+        if not (Query.Ast.is_closed q) then
+          "error: qtrace requires a closed query"
+        else
+          let d = Core.Decompose.make c p in
+          buffer_out (fun ppf ->
+              Format.fprintf ppf "%a" Core.Trace.pp_cqa
+                (Core.Trace.certainty st.family d q)))
 
 let cmd_explain st text =
   with_context st (fun _spec c p ->
@@ -299,6 +307,8 @@ let exec st line =
   | "trace", _ -> (st, cmd_trace st)
   | "query", "" -> (st, "usage: query Q")
   | "query", q -> (st, cmd_query st q)
+  | "qtrace", "" -> (st, "usage: qtrace Q")
+  | "qtrace", q -> (st, cmd_qtrace st q)
   | "explain", "" -> (st, "usage: explain Q")
   | "explain", q -> (st, cmd_explain st q)
   | "status", "" -> (st, "usage: status VALUES")

@@ -18,7 +18,11 @@
     clean                run Algorithm 1
     trace                run Algorithm 1 step by step
     query Q              preferred consistent answer to a closed query,
-                         certain bindings of an open one
+                         certain bindings of an open one (answered
+                         through the component decomposition)
+    qtrace Q             answer plus the decomposition's work report:
+                         per-component repair counts, cache traffic,
+                         combinations streamed, early exits
     explain Q            answer with witness repairs
     status VALUES        a tuple's conflicts and fate
     aggregate SPEC       count | sum:A | min:A | max:A

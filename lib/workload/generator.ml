@@ -53,6 +53,37 @@ let chain n =
     [ Constraints.Fd.make [ "A" ] [ "B" ]; Constraints.Fd.make [ "C" ] [ "D" ] ]
   )
 
+(* [components] disjoint copies of [chain size], key values offset per
+   copy so no conflict crosses copies: the conflict graph is a disjoint
+   union of paths, the regime where sharded evaluation shines. *)
+let chain_components ~components ~size =
+  if components < 0 || size < 0 then invalid_arg "Generator.chain_components";
+  let schema =
+    Schema.make "R"
+      [
+        ("A", Schema.TInt); ("B", Schema.TInt);
+        ("C", Schema.TInt); ("D", Schema.TInt);
+      ]
+  in
+  let stride = size + 1 in
+  let row k i =
+    (* component k, tuple i in 1..size *)
+    [
+      Value.Int ((k * stride) + ((i + 1) / 2));
+      Value.Int (if i mod 2 = 1 then 1 else 2);
+      Value.Int ((k * stride) + (i / 2));
+      Value.Int (if i mod 2 = 0 then 1 else 2);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun k -> List.map (fun i -> row k (i + 1)) (List.init size Fun.id))
+      (List.init components Fun.id)
+  in
+  ( Relation.of_rows schema rows,
+    [ Constraints.Fd.make [ "A" ] [ "B" ]; Constraints.Fd.make [ "C" ] [ "D" ] ]
+  )
+
 (* Cycle C_2k: tuple i has a = i/2 (pairing 2i with 2i+1 on A -> B) and
    c = ((i+1) mod 2k)/2 (pairing 2i+1 with 2i+2, wrapping, on C -> D);
    b = d = i mod 2 makes each pair conflict. *)

@@ -26,6 +26,14 @@ val chain : int -> Relation.t * Constraints.Fd.t list
     FDs are mutual in every interior tuple (§3.3's setting). For n = 5
     this is exactly the instance of Example 9 up to renaming of values. *)
 
+val chain_components :
+  components:int -> size:int -> Relation.t * Constraints.Fd.t list
+(** [components] disjoint copies of [chain size], key values offset so
+    no conflict crosses copies. The conflict graph is a disjoint union
+    of [components] paths of [size] vertices — many small components,
+    the regime where component-sharded evaluation beats the whole-graph
+    enumerators ([Decompose] vs [Family]/[Cqa]). *)
+
 val mutual_cycle : int -> Relation.t * Constraints.Fd.t list
 (** [mutual_cycle k] builds 2k tuples over R(A, B, C, D) with
     F = [{A → B; C → D}] whose conflict graph is the cycle C_2k, edges

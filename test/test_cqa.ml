@@ -166,6 +166,101 @@ let test_theorem3_shape () =
   check certainty "certain under preferences" Cqa.Certainly_true
     (Cqa.certainty Family.C c p q_or)
 
+(* --- empty-family semantics (P1) ------------------------------------------ *)
+
+(* The ISSUE's foregrounded bugfix: certainty used to degenerate to a
+   vacuous Certainly_true when the enumeration yielded no repair. The fix
+   makes that case an explicit Cqa.Empty_family. P1 says the case is
+   unreachable for well-formed instances — each family always selects at
+   least one repair — so these tests lock BOTH sides of the contract:
+   (a) on a spread of instances, including the degenerate empty one, every
+   family is non-empty and its verdicts are genuine, not vacuous;
+   (b) the verdict on "false" is Certainly_false, which a vacuous
+   universal quantification would report as Certainly_true. *)
+
+let p1_instances () =
+  let conflict_of (rel, fds) = Conflict.build fds rel in
+  let mgr, mgr_p = mgr_with_priority () in
+  let empty_rel =
+    let rel, fds = Workload.Generator.ladder 0 in
+    Conflict.build fds rel
+  in
+  let one_tuple =
+    let schema =
+      Relational.Schema.make "R" [ ("A", Relational.Schema.TInt) ]
+    in
+    Conflict.build [] (Relational.Relation.of_rows schema [ [ Relational.Value.Int 7 ] ])
+  in
+  let clique = conflict_of (Workload.Generator.key_clusters ~groups:2 ~width:3) in
+  let cycle = conflict_of (Workload.Generator.mutual_cycle 2) in
+  let lad = conflict_of (Workload.Generator.ladder 3) in
+  [
+    ("mgr+priority", mgr, mgr_p);
+    ("empty instance", empty_rel, Priority.empty empty_rel);
+    ("single tuple", one_tuple, Priority.empty one_tuple);
+    ("two 3-cliques", clique, Priority.empty clique);
+    ("cycle C4", cycle, Priority.empty cycle);
+    ("ladder 3", lad, Priority.empty lad);
+  ]
+
+let test_p1_no_vacuous_verdicts () =
+  List.iter
+    (fun (name, c, p) ->
+      List.iter
+        (fun family ->
+          let label s = name ^ "/" ^ Family.name_to_string family ^ ": " ^ s in
+          (* P1: the family is non-empty... *)
+          Alcotest.(check bool)
+            (label "one finds a repair")
+            true
+            (Cqa.certainty family c p (parse "true") = Cqa.Certainly_true);
+          Alcotest.(check bool)
+            (label "family enumerates non-empty")
+            true
+            (Family.repairs family c p <> []);
+          Alcotest.(check bool) (label "one is Some") true (Family.one family c p <> None);
+          (* ...so verdicts are never the vacuous degenerate ones *)
+          check certainty (label "false is certainly false") Cqa.Certainly_false
+            (Cqa.certainty family c p (parse "false"));
+          Alcotest.(check bool)
+            (label "false is not a consistent answer")
+            false
+            (Cqa.consistent_answer family c p (parse "false")))
+        Family.all_names)
+    (p1_instances ())
+
+let test_empty_instance_semantics () =
+  (* 0 tuples: the single repair is the empty relation, not "no repairs".
+     Certainty must reflect evaluation in that empty repair. *)
+  let rel, fds = Workload.Generator.ladder 0 in
+  let c = Conflict.build fds rel in
+  let p = Priority.empty c in
+  List.iter
+    (fun family ->
+      check certainty
+        (Family.name_to_string family ^ ": no fact holds in the empty repair")
+        Cqa.Certainly_false
+        (Cqa.certainty family c p (parse "R(0, 0)"));
+      check certainty
+        (Family.name_to_string family ^ ": its negation is certain")
+        Cqa.Certainly_true
+        (Cqa.certainty family c p (parse "not R(0, 0)"));
+      let free, rows =
+        Cqa.consistent_answers_open family c p (parse "R(a, b)")
+      in
+      check Alcotest.(list string) "free vars survive" [ "a"; "b" ] free;
+      check Alcotest.int
+        (Family.name_to_string family ^ ": no certain bindings")
+        0 (List.length rows))
+    Family.all_names
+
+let test_empty_family_exception_exists () =
+  (* the exception carries the family so a violation is diagnosable *)
+  match raise (Cqa.Empty_family Family.G) with
+  | exception Cqa.Empty_family f ->
+    check Alcotest.string "family preserved" "G-Rep" (Family.name_to_string f)
+  | _ -> Alcotest.fail "Empty_family did not raise"
+
 let suite =
   [
     ("Example 2: Q1 has no consistent answer", `Quick, test_example2_q1);
@@ -178,4 +273,7 @@ let suite =
     ("ground CQA rejects non-ground input", `Quick, test_ground_rejects_non_ground);
     ("ground consistent answers", `Quick, test_ground_consistent_answer);
     ("preferences flip ground certainty", `Quick, test_theorem3_shape);
+    ("P1: no family ever yields a vacuous verdict", `Quick, test_p1_no_vacuous_verdicts);
+    ("empty instance has one (empty) repair, not zero", `Quick, test_empty_instance_semantics);
+    ("Empty_family carries the offending family", `Quick, test_empty_family_exception_exists);
   ]

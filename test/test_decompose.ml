@@ -209,6 +209,160 @@ let test_certain_tuples_mgr () =
   check Alcotest.int "all four possible" 4
     (Vset.cardinal (Decompose.possible_tuples Family.C d))
 
+(* --- the streaming sharded variants ------------------------------------- *)
+
+let ground_atom c i =
+  Query.Ast.Atom
+    ( Relational.Schema.name (Conflict.schema c),
+      List.map
+        (fun v -> Query.Ast.Const v)
+        (Relational.Tuple.values (Conflict.tuple c i)) )
+
+let test_streaming_iter_equals_family () =
+  let rng = Workload.Prng.create 501 in
+  for _ = 1 to 15 do
+    let c, p = random_case rng in
+    let d = Decompose.make c p in
+    List.iter
+      (fun family ->
+        let whole = List.sort Vset.compare (Family.repairs family c p) in
+        let acc = ref [] in
+        Decompose.iter family d (fun r -> acc := r :: !acc);
+        let sharded = List.sort Vset.compare !acc in
+        check
+          (Alcotest.list Testlib.vset)
+          (Family.name_to_string family ^ " iter = repairs")
+          whole sharded;
+        List.iter
+          (fun r ->
+            Alcotest.(check bool)
+              (Family.name_to_string family ^ " member accepts its repairs")
+              true
+              (Decompose.member family d r))
+          whole;
+        match Decompose.one family d with
+        | None -> Alcotest.fail "Decompose.one returned None"
+        | Some r ->
+          Alcotest.(check bool)
+            (Family.name_to_string family ^ " one is preferred")
+            true
+            (Family.check family c p r))
+      Family.all_names
+  done
+
+let test_member_matches_check () =
+  let rng = Workload.Prng.create 503 in
+  for _ = 1 to 15 do
+    let c, p = random_case rng in
+    let d = Decompose.make c p in
+    for _ = 1 to 5 do
+      let cand = Workload.Generator.random_repair rng c in
+      List.iter
+        (fun family ->
+          Alcotest.(check bool)
+            (Family.name_to_string family ^ " member = check")
+            (Family.check family c p cand)
+            (Decompose.member family d cand))
+        Family.all_names
+    done
+  done
+
+(* the ISSUE's headline equivalence: sharded certainty / consistent
+   answers agree with the whole-graph path for every family, on ground
+   and quantified queries alike *)
+let test_sharded_certainty_equivalence () =
+  let rng = Workload.Prng.create 505 in
+  for _ = 1 to 12 do
+    let c, p = random_case rng in
+    let d = Decompose.make c p in
+    let n = Conflict.size c in
+    if n >= 2 then begin
+      let pick () = Workload.Prng.int rng n in
+      let queries =
+        [
+          Query.Ast.Or (ground_atom c (pick ()), Query.Ast.Not (ground_atom c (pick ())));
+          Query.Ast.And (ground_atom c (pick ()), ground_atom c (pick ()));
+          Query.Parser.parse_exn "exists x, y. R(x, y, 0)";
+          Query.Parser.parse_exn "exists x. R(x, 0, 0)";
+          Query.Parser.parse_exn "not (exists x, y. R(x, 0, y) and R(x, 1, y))";
+        ]
+      in
+      List.iter
+        (fun family ->
+          List.iter
+            (fun q ->
+              check certainty
+                (Family.name_to_string family ^ " certainty")
+                (Cqa.certainty family c p q)
+                (Decompose.certainty family d q);
+              Alcotest.(check bool)
+                (Family.name_to_string family ^ " consistent_answer")
+                (Cqa.consistent_answer family c p q)
+                (Decompose.consistent_answer family d q))
+            queries)
+        Family.all_names
+    end
+  done
+
+let test_sharded_open_answers_equivalence () =
+  let rng = Workload.Prng.create 507 in
+  for _ = 1 to 10 do
+    let c, p = random_case rng in
+    let d = Decompose.make c p in
+    List.iter
+      (fun family ->
+        List.iter
+          (fun qtext ->
+            let q = Query.Parser.parse_exn qtext in
+            let free_w, rows_w = Cqa.consistent_answers_open family c p q in
+            let free_s, rows_s = Decompose.consistent_answers_open family d q in
+            check
+              Alcotest.(list string)
+              (Family.name_to_string family ^ " free vars of " ^ qtext)
+              free_w free_s;
+            Alcotest.(check bool)
+              (Family.name_to_string family ^ " certain rows of " ^ qtext)
+              true
+              (List.sort compare rows_w = List.sort compare rows_s))
+          [ "R(x, y, 0)"; "R(x, 0, y)"; "exists y. R(x, y, 0)" ])
+      Family.all_names
+  done
+
+let test_counters_and_trace () =
+  let rel, fds = Workload.Generator.chain_components ~components:5 ~size:3 in
+  let c = Conflict.build fds rel in
+  let p = Priority.empty c in
+  let d = Decompose.make c p in
+  let q = Query.Ast.Or (ground_atom c 0, ground_atom c 1) in
+  let tr = Core.Trace.certainty Family.Rep d q in
+  check certainty "trace verdict = whole graph" (Cqa.certainty Family.Rep c p q)
+    tr.Core.Trace.verdict;
+  check Alcotest.int "components" 5 tr.Core.Trace.components;
+  check Alcotest.int "max component" 3 tr.Core.Trace.max_component;
+  (* the ground query touches only component 0, so at most that one
+     component's repairs get materialized during the query itself *)
+  Alcotest.(check bool) "untouched components not materialized" true
+    (tr.Core.Trace.counters.Decompose.cache_misses <= 1);
+  let product =
+    List.fold_left (fun a n -> a * n) 1 tr.Core.Trace.per_component_repairs
+  in
+  check Alcotest.int "per-component product = count"
+    (Decompose.count Family.Rep d)
+    product;
+  Decompose.reset_counters d;
+  check Alcotest.int "reset zeroes hits" 0 (Decompose.counters d).Decompose.cache_hits;
+  check Alcotest.int "reset zeroes combos" 0
+    (Decompose.counters d).Decompose.combos_streamed;
+  Decompose.iter Family.Rep d (fun _ -> ());
+  check Alcotest.int "iter streams exactly the family"
+    (Decompose.count Family.Rep d)
+    (Decompose.counters d).Decompose.combos_streamed;
+  (* a replay after reset is served entirely from the warm cache *)
+  Decompose.reset_counters d;
+  ignore (Decompose.certainty Family.Rep d q);
+  check Alcotest.int "warm replay misses nothing" 0
+    (Decompose.counters d).Decompose.cache_misses
+
 let test_component_of () =
   let rel, fds = Workload.Generator.ladder 3 in
   let c = Conflict.build fds rel in
@@ -229,4 +383,9 @@ let suite =
     ("certain/possible tuples = repair intersection/union", `Quick, test_certain_possible_tuples);
     ("certain tuples on the Mgr instance", `Quick, test_certain_tuples_mgr);
     ("component lookup", `Quick, test_component_of);
+    ("sharded iter/member/one = whole-graph family", `Quick, test_streaming_iter_equals_family);
+    ("sharded member = whole-graph check on random repairs", `Quick, test_member_matches_check);
+    ("sharded certainty = whole-graph certainty (all families)", `Quick, test_sharded_certainty_equivalence);
+    ("sharded open answers = whole-graph open answers", `Quick, test_sharded_open_answers_equivalence);
+    ("observability counters and qtrace evidence", `Quick, test_counters_and_trace);
   ]

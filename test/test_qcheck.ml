@@ -329,6 +329,67 @@ let multi_factorized_matches_product =
           | Ok fast -> fast = Core.Multi.certainty family m q)
         Family.all_names)
 
+let winnow_choose_crosscheck =
+  (* the ISSUE's dominator-count-drift check: the incremental winnow
+     (Winnow.pick maintains per-vertex dominator counts) must agree with
+     the literal Algorithm 1 under ARBITRARY choice functions, not just
+     the min_elt default, and its result must pass is_result and appear
+     in the memoized all_results enumeration. The choice function is a
+     deterministic hash of the winnow set, so both runs see the same
+     picks without shared mutable state. *)
+  prop ~count:60 "incremental winnow = literal Algorithm 1 under arbitrary choice"
+    (fun c ->
+      let conflict, p = build_case c in
+      let choose s =
+        let els = Vset.elements s in
+        List.nth els (abs (Vset.hash s + c.seed) mod List.length els)
+      in
+      let inc = Winnow.clean ~choose conflict p in
+      let naive = Winnow.clean_naive ~choose conflict p in
+      Vset.equal inc naive
+      && Winnow.is_result conflict p inc
+      && List.exists (Vset.equal inc) (Winnow.all_results conflict p))
+
+let sharded_certainty_matches_whole =
+  (* decomposition equivalence across all families, on a ground query
+     and on quantified queries (which take the deviation-scan path) *)
+  prop ~count:40 "sharded streaming certainty = whole-graph certainty" (fun c ->
+      let conflict, p = build_case c in
+      let tuples = Conflict.tuples conflict in
+      Array.length tuples = 0
+      ||
+      let d = Core.Decompose.make conflict p in
+      let rng = Workload.Prng.create (c.seed + 271) in
+      let rel_name = Relational.Schema.name (Conflict.schema conflict) in
+      let fact () =
+        let t = tuples.(Workload.Prng.int rng (Array.length tuples)) in
+        Query.Ast.Atom
+          ( rel_name,
+            List.map (fun v -> Query.Ast.Const v) (Relational.Tuple.values t) )
+      in
+      let lit () =
+        if Workload.Prng.bool rng then fact () else Query.Ast.Not (fact ())
+      in
+      let ground =
+        Query.Ast.Or (Query.Ast.And (lit (), lit ()), lit ())
+      in
+      let arity =
+        Relational.Schema.arity (Conflict.schema conflict)
+      in
+      let vars = List.init arity (Printf.sprintf "x%d") in
+      let q_ex =
+        Query.Ast.Exists
+          (vars, Query.Ast.Atom (rel_name, List.map (fun v -> Query.Ast.Var v) vars))
+      in
+      List.for_all
+        (fun family ->
+          List.for_all
+            (fun q ->
+              Core.Cqa.certainty family conflict p q
+              = Core.Decompose.certainty family d q)
+            [ ground; q_ex; Query.Ast.Not q_ex ])
+        Family.all_names)
+
 let suite =
   [
     planner_matches_evaluator;
@@ -348,4 +409,6 @@ let suite =
     cluster_s_equals_g;
     totalize_preserves_c_result;
     aggregates_within_bounds;
+    winnow_choose_crosscheck;
+    sharded_certainty_matches_whole;
   ]

@@ -80,6 +80,25 @@ let test_query_commands () =
   let _, out = Session.exec st "query Mgr(" in
   Alcotest.(check bool) "parse error surfaces" true (contains ~needle:"error" out)
 
+let test_qtrace () =
+  let st = load () in
+  let _, out =
+    Session.exec st
+      "qtrace Mgr('Mary', 'R&D', 40000, 3) or Mgr('John', 'R&D', 10000, 2)"
+  in
+  Alcotest.(check bool) "verdict reported" true
+    (contains ~needle:"certainly true" out);
+  Alcotest.(check bool) "component breakdown" true
+    (contains ~needle:"components:" out);
+  Alcotest.(check bool) "cache counters" true
+    (contains ~needle:"component cache" out);
+  let _, err = Session.exec st "qtrace Mgr(n, 'R&D', s, r)" in
+  Alcotest.(check bool) "open query rejected" true
+    (contains ~needle:"closed query" err);
+  let _, usage = Session.exec st "qtrace" in
+  Alcotest.(check bool) "bare qtrace prints usage" true
+    (contains ~needle:"usage" usage)
+
 let test_explain_and_status () =
   let st = load () in
   let _, out = Session.exec st "explain Mgr('Mary', 'IT', 20000, 1)" in
@@ -152,6 +171,7 @@ let suite =
     ("family switching", `Quick, test_family_switch);
     ("repairs and count", `Quick, test_repairs_and_count);
     ("query command", `Quick, test_query_commands);
+    ("qtrace command", `Quick, test_qtrace);
     ("explain and status", `Quick, test_explain_and_status);
     ("facts and aggregate", `Quick, test_facts_and_aggregate);
     ("clean", `Quick, test_clean);

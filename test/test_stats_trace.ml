@@ -67,6 +67,19 @@ let test_stats_counts_consistent_with_decompose () =
       (s.Stats.certain + s.Stats.disputed + s.Stats.excluded)
   done
 
+let test_stats_compute_with_reuses_cache () =
+  let c, p = mgr_with_priority () in
+  let d = Core.Decompose.make c p in
+  let cold = Stats.compute_with Family.C d in
+  check Alcotest.int "cold run misses once per component" 1 cold.Stats.cache_misses;
+  check Alcotest.int "cold run caches the preferred repairs" 2
+    cold.Stats.cached_repairs;
+  let warm = Stats.compute_with Family.C d in
+  check Alcotest.int "warm run never misses" 0 warm.Stats.cache_misses;
+  Alcotest.(check bool) "warm run hits the cache" true (warm.Stats.cache_hits > 0);
+  check Alcotest.int "verdicts unchanged" cold.Stats.preferred_count
+    warm.Stats.preferred_count
+
 let test_trace_result_matches_clean () =
   let rng = Workload.Prng.create 603 in
   for _ = 1 to 15 do
@@ -113,6 +126,7 @@ let suite =
     ("stats on the Mgr instance", `Quick, test_stats_mgr);
     ("stats on a consistent instance", `Quick, test_stats_consistent);
     ("stats agree with decompose", `Quick, test_stats_counts_consistent_with_decompose);
+    ("compute_with reuses the component cache", `Quick, test_stats_compute_with_reuses_cache);
     ("trace result = clean", `Quick, test_trace_result_matches_clean);
     ("trace structure", `Quick, test_trace_structure);
     ("printers render", `Quick, test_pp_smoke);
