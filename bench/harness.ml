@@ -144,6 +144,28 @@ let decompose_entries : (string * float option * float * string) list ref =
 let record_decompose ~name ?whole ~sharded ?(note = "") () =
   decompose_entries := (name, whole, sharded, note) :: !decompose_entries
 
+(* Incremental-maintenance vs full-rebuild records for BENCH_delta.json:
+   each entry times the same update-then-answer cycle through the
+   [Core.Delta] engine and through a from-scratch rebuild. *)
+let delta_entries : (string * float * float * string) list ref = ref []
+
+let record_delta ~name ~full ~incremental ~note =
+  delta_entries := (name, full, incremental, note) :: !delta_entries
+
+let write_delta_json path =
+  let oc = open_out path in
+  let entry (name, full, incremental, note) =
+    Printf.sprintf
+      "    {\"name\": %S, \"full_rebuild_median_s\": %.9f, \
+       \"incremental_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S}"
+      name full incremental (full /. incremental) note
+  in
+  Printf.fprintf oc "{\n  \"experiment\": \"incremental-delta-maintenance\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map entry (List.rev !delta_entries)));
+  close_out oc
+
 let write_decompose_json path =
   let oc = open_out path in
   let entry (name, whole, sharded, note) =

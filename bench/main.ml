@@ -464,6 +464,146 @@ let decomp_bench () =
   Format.printf "  %a@." Core.Decompose.pp_counters
     (Core.Decompose.counters df)
 
+(* --- DELTA: incremental update engine vs full rebuild ---------------------------- *)
+
+(* Before/after for the Core.Delta engine. The measured unit of work on
+   both sides is one symmetric update-and-requery cycle — delete a
+   tuple, answer a ground query, re-insert the tuple, answer again — so
+   the instance returns to its starting state and iterations compose.
+   The full-rebuild side pays Conflict.build + Decompose.make with a
+   cold cache on every answer (the only way to answer after an update
+   without the delta paths); the incremental side pays
+   Delta.apply + a warm-cache Decompose query. Verdicts are
+   cross-checked for equality before timing. Written to
+   BENCH_delta.json. *)
+let delta_bench () =
+  Harness.section "DELTA"
+    "incremental update engine (Core.Delta) vs full rebuild per update";
+  let ground_atom c v =
+    Query.Ast.Atom
+      ( Relational.Schema.name (Conflict.schema c),
+        List.map
+          (fun x -> Query.Ast.Const x)
+          (Relational.Tuple.values (Conflict.tuple c v)) )
+  in
+  let comps = sz 32 6 and size = sz 8 4 in
+  let rel, fds = Generator.chain_components ~components:comps ~size in
+  let shape = Printf.sprintf "chains-%dx%d" comps size in
+  let mk_engine () = Result.get_ok (Core.Delta.create fds rel) in
+  let eng = mk_engine () in
+  let c0 = Core.Delta.conflict eng in
+  (* ground query on the first component's chain head *)
+  let q = Query.Ast.Or (ground_atom c0 0, ground_atom c0 1) in
+  (* victims: a tuple in the LAST component (the update dirties one
+     component far from the queried one — the headline regime) and a
+     tuple inside the queried component (worst case: the update
+     invalidates exactly the cache entry the query needs) *)
+  let victim_far = Conflict.tuple c0 (Conflict.size c0 - 1) in
+  let victim_near =
+    let comp0 = Core.Decompose.component_of (Core.Delta.decompose eng) 0 in
+    Conflict.tuple c0 (Vset.fold (fun v acc -> max v acc) comp0 0)
+  in
+  let incremental_cycle victim eng () =
+    ignore (Result.get_ok (Core.Delta.apply eng [ Core.Delta.Delete victim ]));
+    let v1 = Core.Decompose.certainty Family.Rep (Core.Delta.decompose eng) q in
+    ignore (Result.get_ok (Core.Delta.apply eng [ Core.Delta.Insert victim ]));
+    let v2 = Core.Decompose.certainty Family.Rep (Core.Delta.decompose eng) q in
+    (v1, v2)
+  in
+  let full_cycle victim () =
+    let answer r =
+      let c = Conflict.build fds r in
+      let d = Core.Decompose.make c (Priority.empty c) in
+      Core.Decompose.certainty Family.Rep d q
+    in
+    let rel_del = Relational.Relation.remove rel victim in
+    let v1 = answer rel_del in
+    let v2 = answer (Relational.Relation.add rel_del victim) in
+    (v1, v2)
+  in
+  (* counting across ALL components after an update: every component's
+     cached repair list is consulted, only the dirtied one recounted *)
+  let incremental_count victim eng () =
+    ignore (Result.get_ok (Core.Delta.apply eng [ Core.Delta.Delete victim ]));
+    let n1 = Core.Decompose.count Family.Rep (Core.Delta.decompose eng) in
+    ignore (Result.get_ok (Core.Delta.apply eng [ Core.Delta.Insert victim ]));
+    let n2 = Core.Decompose.count Family.Rep (Core.Delta.decompose eng) in
+    (n1, n2)
+  in
+  let full_count victim () =
+    let count r =
+      let c = Conflict.build fds r in
+      Core.Decompose.count Family.Rep (Core.Decompose.make c (Priority.empty c))
+    in
+    let rel_del = Relational.Relation.remove rel victim in
+    let n1 = count rel_del in
+    let n2 = count (Relational.Relation.add rel_del victim) in
+    (n1, n2)
+  in
+  (* the delete+reinsert cycle allocates a fresh id per reinsertion
+     (append/tombstone discipline), so an engine driven through many
+     thousands of timing iterations grows its id space and the later
+     iterations pay for the earlier ones. Time a FIXED number of cycles
+     per sample on a fresh engine — construction outside the clock — so
+     the measured regime is a realistic bounded update history. *)
+  let measure_cycles cycle =
+    let samples = if !Harness.quick then 3 else 5 in
+    let n = if !Harness.quick then 8 else 64 in
+    let one () =
+      let eng = mk_engine () in
+      ignore (cycle eng ());
+      (* warm the cache *)
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to n do
+        ignore (cycle eng ())
+      done;
+      (Unix.gettimeofday () -. t0) /. float_of_int n
+    in
+    let xs = List.sort compare (List.init samples (fun _ -> one ())) in
+    List.nth xs (samples / 2)
+  in
+  let rows = ref [] in
+  let bench ~name ~note incr full =
+    if incr eng () <> full () then
+      failwith (Printf.sprintf "DELTA %s: incremental and rebuild disagree" name);
+    let tf = Harness.measure full in
+    let ti = measure_cycles incr in
+    Harness.record_delta ~name ~full:tf ~incremental:ti ~note;
+    rows :=
+      [ name; Harness.time_cell tf; Harness.time_cell ti;
+        Printf.sprintf "x%.1f" (tf /. ti) ]
+      :: !rows
+  in
+  bench
+    ~name:(Printf.sprintf "requery-untouched-component/%s/rep" shape)
+    ~note:
+      "delete+reinsert in the last component, ground query on the first: \
+       the incremental side retains every untouched component's cache"
+    (incremental_cycle victim_far) (full_cycle victim_far);
+  bench
+    ~name:(Printf.sprintf "requery-dirtied-component/%s/rep" shape)
+    ~note:
+      "delete+reinsert inside the queried component: the incremental side \
+       still rebuilds only that one component"
+    (incremental_cycle victim_near) (full_cycle victim_near);
+  bench
+    ~name:(Printf.sprintf "recount-all-components/%s/rep" shape)
+    ~note:
+      "count preferred repairs across all components after each update; \
+       untouched components answer from cache"
+    (incremental_count victim_far) (full_count victim_far);
+  Harness.table
+    ~header:[ "scenario"; "full rebuild"; "incremental"; "speedup" ]
+    (List.rev !rows);
+  Harness.note
+    "full rebuild = Conflict.build + Decompose.make (cold cache) per";
+  Harness.note
+    "update; incremental = Delta.apply re-decomposing only the dirtied";
+  Harness.note "component. Written to BENCH_delta.json.";
+  Format.printf "  counters after the delta benchmark:@.";
+  Format.printf "  %a@." Core.Decompose.pp_counters
+    (Core.Decompose.counters (Core.Delta.decompose eng))
+
 (* --- Algorithm 1 scaling -------------------------------------------------------- *)
 
 let alg1 () =
@@ -906,6 +1046,7 @@ let () =
   fig5_cqa ();
   factorized ();
   decomp_bench ();
+  delta_bench ();
   alg1 ();
   quality ();
   ext_aggregate ();
@@ -915,5 +1056,7 @@ let () =
   Format.printf "@.  BENCH_vset.json written.@.";
   Harness.write_decompose_json "BENCH_decompose.json";
   Format.printf "  BENCH_decompose.json written.@.";
+  Harness.write_delta_json "BENCH_delta.json";
+  Format.printf "  BENCH_delta.json written.@.";
   if not !Harness.quick then run_bechamel ();
   Format.printf "@.done.@."

@@ -37,6 +37,29 @@ let with_context path f =
       1
     | Ok (c, p) -> f spec c p)
 
+(* Parse VALUES with the instance-file tuple syntax, against a one-line
+   document carrying just the loaded schema. *)
+let parse_tuple spec values =
+  let schema = Relational.Relation.schema spec.IF.relation in
+  let schema_line =
+    Printf.sprintf "relation %s(%s)"
+      (Relational.Schema.name schema)
+      (String.concat ", "
+         (List.map
+            (fun a ->
+              Printf.sprintf "%s:%s" a.Relational.Schema.attr_name
+                (match a.Relational.Schema.attr_ty with
+                | Relational.Schema.TName -> "name"
+                | Relational.Schema.TInt -> "int"))
+            (Relational.Schema.attributes schema)))
+  in
+  match IF.parse (Printf.sprintf "%s\ntuple %s\n" schema_line values) with
+  | Error e -> Error e
+  | Ok s -> (
+    match Relational.Relation.tuples s.IF.relation with
+    | [ t ] -> Ok t
+    | _ -> Error "expected exactly one tuple")
+
 (* --- arguments ------------------------------------------------------------- *)
 
 let file_arg =
@@ -287,7 +310,7 @@ let facts_cmd =
         let d = Core.Decompose.make c p in
         let certain = Core.Decompose.certain_tuples family d in
         let possible = Core.Decompose.possible_tuples family d in
-        let all = Graphs.Vset.of_range (Core.Conflict.size c) in
+        let all = Core.Conflict.live c in
         let show label s =
           Format.printf "%s (%d):@." label (Graphs.Vset.cardinal s);
           Graphs.Vset.iter
@@ -350,40 +373,17 @@ let status_cmd =
   in
   let run path family tuple_text =
     with_context path (fun spec c p ->
-        (* parse the tuple with the instance-file tuple syntax, against a
-           one-line document carrying just the schema *)
-        let schema =
-          Relational.Relation.schema spec.Dbio.Instance_format.relation
-        in
-        let schema_line =
-          Printf.sprintf "relation %s(%s)"
-            (Relational.Schema.name schema)
-            (String.concat ", "
-               (List.map
-                  (fun a ->
-                    Printf.sprintf "%s:%s" a.Relational.Schema.attr_name
-                      (match a.Relational.Schema.attr_ty with
-                      | Relational.Schema.TName -> "name"
-                      | Relational.Schema.TInt -> "int"))
-                  (Relational.Schema.attributes schema)))
-        in
-        let doc = Printf.sprintf "%s\ntuple %s\n" schema_line tuple_text in
-        match Dbio.Instance_format.parse doc with
+        match parse_tuple spec tuple_text with
         | Error e ->
           Format.eprintf "error: cannot parse tuple: %s@." e;
           1
-        | Ok s -> (
-          match Relational.Relation.tuples s.Dbio.Instance_format.relation with
-          | [ t ] -> (
-            match Core.Explain.tuple_status family c p t with
-            | st ->
-              Format.printf "%a@." Core.Explain.pp_tuple_status st;
-              0
-            | exception Invalid_argument m ->
-              Format.eprintf "error: %s@." m;
-              1)
-          | _ ->
-            Format.eprintf "error: expected exactly one tuple@.";
+        | Ok t -> (
+          match Core.Explain.tuple_status family c p t with
+          | st ->
+            Format.printf "%a@." Core.Explain.pp_tuple_status st;
+            0
+          | exception Invalid_argument m ->
+            Format.eprintf "error: %s@." m;
             1))
   in
   Cmd.v
@@ -436,6 +436,110 @@ let aggregate_cmd =
        ~doc:"Range-consistent answer to a scalar aggregation query.")
     Term.(const run $ file_arg $ family_arg $ agg_arg)
 
+(* --- update ------------------------------------------------------------------ *)
+
+let update_cmd =
+  let insert_arg =
+    Arg.(value & opt_all string []
+         & info [ "i"; "insert" ] ~docv:"VALUES"
+             ~doc:
+               "Insert a tuple (values as on a 'tuple' line of the instance \
+                file; quote the whole argument). Repeatable.")
+  in
+  let delete_arg =
+    Arg.(value & opt_all string []
+         & info [ "d"; "delete" ] ~docv:"VALUES"
+             ~doc:"Delete a tuple. Repeatable; deletions run before insertions.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"OUT"
+             ~doc:"Write the updated instance (with its preferences) to $(docv).")
+  in
+  let run path family inserts deletes save =
+    match load path with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok spec -> (
+      match IF.to_rule spec with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok rule -> (
+        match Core.Delta.create ~rule spec.IF.fds spec.IF.relation with
+        | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+        | Ok eng -> (
+          let parse_ops mk = function
+            | [] -> Ok []
+            | texts ->
+              List.fold_left
+                (fun acc text ->
+                  match (acc, parse_tuple spec text) with
+                  | Error e, _ -> Error e
+                  | Ok _, Error e -> Error e
+                  | Ok ops, Ok t -> Ok (mk t :: ops))
+                (Ok []) texts
+              |> Result.map List.rev
+          in
+          let ops =
+            match parse_ops (fun t -> Core.Delta.Delete t) deletes with
+            | Error e -> Error e
+            | Ok dels -> (
+              match parse_ops (fun t -> Core.Delta.Insert t) inserts with
+              | Error e -> Error e
+              | Ok inss -> Ok (dels @ inss))
+          in
+          match ops with
+          | Error e ->
+            Format.eprintf "error: %s@." e;
+            1
+          | Ok [] ->
+            Format.eprintf "error: nothing to do (use --insert/--delete)@.";
+            1
+          | Ok ops -> (
+            match Core.Delta.apply eng ops with
+            | Error e ->
+              Format.eprintf "error: %s@." e;
+              1
+            | Ok report ->
+              let d = Core.Delta.decompose eng in
+              Format.printf "%a@." Core.Delta.pp_report report;
+              Format.printf
+                "%s: %d preferred repair(s) across %d conflict component(s)@."
+                (Family.name_to_string family)
+                (Core.Decompose.count family d)
+                (List.length (Core.Decompose.components d));
+              Format.printf "%a@." Core.Decompose.pp_counters
+                (Core.Decompose.counters d);
+              (match save with
+              | None -> 0
+              | Some out -> (
+                let spec' =
+                  { spec with IF.relation = Core.Delta.relation eng }
+                in
+                match
+                  Out_channel.with_open_text out (fun oc ->
+                      Out_channel.output_string oc (IF.print spec'))
+                with
+                | () ->
+                  Format.printf "saved %s@." out;
+                  0
+                | exception Sys_error m ->
+                  Format.eprintf "error: %s@." m;
+                  1))))))
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Apply a batch of tuple insertions and deletions through the \
+          incremental engine: the conflict graph is maintained by delta, \
+          only the components the batch touches are re-decomposed, and the \
+          work report shows what was dirtied, evicted and retained.")
+    Term.(const run $ file_arg $ family_arg $ insert_arg $ delete_arg $ save_arg)
+
 (* --- shell ------------------------------------------------------------------- *)
 
 let shell_cmd =
@@ -444,25 +548,36 @@ let shell_cmd =
          & info [] ~docv:"FILE" ~doc:"Instance file to load on startup.")
   in
   let run path =
+    (* scripted runs (piped stdin) must fail loudly: remember whether any
+       command errored and exit non-zero at EOF. An interactive session
+       keeps exiting 0 — errors were already shown to the human. *)
+    let interactive = Unix.isatty Unix.stdin in
+    let errored = ref false in
+    let note output =
+      if Shell.Session.is_error_output output then errored := true
+    in
     let state =
       match path with
       | None -> Shell.Session.initial
       | Some path ->
         let st, msg = Shell.Session.exec Shell.Session.initial ("load " ^ path) in
         print_endline msg;
+        note msg;
         st
     in
     print_endline "prefdb shell — 'help' lists commands, 'quit' leaves.";
+    let exit_code () = if (not interactive) && !errored then 1 else 0 in
     let rec loop state =
       print_string "prefdb> ";
       match In_channel.input_line In_channel.stdin with
-      | None -> 0
+      | None -> exit_code ()
       | Some line -> (
         match String.lowercase_ascii (String.trim line) with
-        | "quit" | "exit" -> 0
+        | "quit" | "exit" -> exit_code ()
         | _ ->
           let state, output = Shell.Session.exec state line in
           if output <> "" then print_endline output;
+          note output;
           loop state)
     in
     loop state
@@ -482,5 +597,5 @@ let () =
           [
             info_cmd; stats_cmd; repairs_cmd; check_cmd; count_cmd; clean_cmd;
             query_cmd; explain_cmd; status_cmd; facts_cmd; aggregate_cmd;
-            shell_cmd;
+            update_cmd; shell_cmd;
           ]))

@@ -13,7 +13,7 @@ let run_with_priority c p =
   let result = Winnow.clean c p in
   let cleaned = Repair.to_relation c result in
   let removed =
-    Vset.elements (Vset.diff (Vset.of_range (Conflict.size c)) result)
+    Vset.elements (Vset.diff (Conflict.live c) result)
     |> List.map (Conflict.tuple c)
   in
   {

@@ -1,13 +1,69 @@
 open Relational
 open Graphs
 
+(* Per-FD index of the live tuples, grouped by their left-hand-side
+   projection: two tuples can only conflict w.r.t. an FD when they fall in
+   the same group, so a delta tuple is compared against its groups only,
+   never against the whole instance. The maps are persistent, so a delta
+   application shares all untouched groups with its predecessor (and undo
+   can keep old snapshots alive at no cost). *)
+module Kmap = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+(* Tuple -> vertex id. Persistent for the same reason: a delta touches
+   O(batch log n) nodes instead of copying the whole index. *)
+module Tmap = Map.Make (Tuple)
+
+type group_index = {
+  fd : Constraints.Fd.t;
+  lpos : int list;  (* positions of the FD's lhs in the schema *)
+  members : Vset.t Kmap.t;  (* lhs projection -> live vertices *)
+}
+
 type t = {
   fds : Constraints.Fd.t list;
-  relation : Relation.t;
-  tuples : Tuple.t array;
+  relation : Relation.t;  (* the live instance *)
+  tuples : Tuple.t array;  (* vertex id -> tuple; keeps tombstoned slots *)
+  live : Vset.t;  (* vertex ids that are part of the instance *)
   graph : Undirected.t;
-  index : (Tuple.t, int) Hashtbl.t;
+  index : int Tmap.t;  (* live tuples only *)
+  groups : group_index list;
 }
+
+let lhs_positions schema fd =
+  List.map
+    (fun a ->
+      match Schema.position schema a with
+      | Some i -> i
+      | None -> invalid_arg "Conflict: FD attribute missing from schema")
+    (Constraints.Fd.lhs fd)
+
+let group_key lpos t = Tuple.project t lpos
+
+let group_add g v t =
+  let key = group_key g.lpos t in
+  let members =
+    Kmap.update key
+      (fun s -> Some (Vset.add v (Option.value s ~default:Vset.empty)))
+      g.members
+  in
+  { g with members }
+
+let group_remove g v t =
+  let key = group_key g.lpos t in
+  let members =
+    Kmap.update key
+      (function
+        | None -> None
+        | Some s ->
+          let s = Vset.remove v s in
+          if Vset.is_empty s then None else Some s)
+      g.members
+  in
+  { g with members }
 
 let build fds relation =
   let schema = Relation.schema relation in
@@ -16,10 +72,11 @@ let build fds relation =
   | Error e -> invalid_arg e);
   let tuples = Relation.tuple_array relation in
   let n = Array.length tuples in
-  let index = Hashtbl.create n in
-  Array.iteri (fun i t -> Hashtbl.replace index t i) tuples;
+  let index = ref Tmap.empty in
+  Array.iteri (fun i t -> index := Tmap.add t i !index) tuples;
+  let index = !index in
   let edge_of_pair (t1, t2) =
-    (Hashtbl.find index t1, Hashtbl.find index t2)
+    (Tmap.find t1 index, Tmap.find t2 index)
   in
   let edges =
     List.concat_map
@@ -27,20 +84,48 @@ let build fds relation =
         List.map edge_of_pair (Constraints.Fd.violations schema fd relation))
       fds
   in
-  { fds; relation; tuples; graph = Undirected.create n edges; index }
+  let groups =
+    List.map
+      (fun fd ->
+        let lpos = lhs_positions schema fd in
+        let members =
+          Array.to_seq tuples
+          |> Seq.mapi (fun i t -> (i, t))
+          |> Seq.fold_left
+               (fun acc (i, t) ->
+                 Kmap.update (group_key lpos t)
+                   (fun s ->
+                     Some (Vset.add i (Option.value s ~default:Vset.empty)))
+                   acc)
+               Kmap.empty
+        in
+        { fd; lpos; members })
+      fds
+  in
+  {
+    fds;
+    relation;
+    tuples;
+    live = Vset.of_range n;
+    graph = Undirected.create n edges;
+    index;
+    groups;
+  }
 
 let schema c = Relation.schema c.relation
 let fds c = c.fds
 let relation c = c.relation
 let graph c = c.graph
 let size c = Array.length c.tuples
+let live c = c.live
+let is_live c v = Vset.mem v c.live
 
 let tuple c i =
   if i < 0 || i >= size c then invalid_arg "Conflict.tuple: out of range";
   c.tuples.(i)
 
 let tuples c = Array.copy c.tuples
-let index c t = Hashtbl.find_opt c.index t
+let index c t = Tmap.find_opt t c.index
 
 let index_exn c t =
   match index c t with
@@ -68,6 +153,145 @@ let vicinity c i = Undirected.vicinity c.graph i
 let conflict_pairs c =
   List.map (fun (i, j) -> (tuple c i, tuple c j)) (Undirected.edges c.graph)
 
+(* --- the delta path -------------------------------------------------------- *)
+
+type delta = {
+  inserted : int list;
+  deleted : int list;
+  edges_added : (int * int) list;
+  edges_removed : (int * int) list;
+}
+
+(* Conflict edges between a tuple and the live members of its FD groups —
+   the incremental counterpart of [Constraints.Fd.violations]. Cost is the
+   total size of the groups the tuple falls in, not the instance size. *)
+let edges_of_tuple c groups v t =
+  let schema = schema c in
+  List.fold_left
+    (fun acc g ->
+      match Kmap.find_opt (group_key g.lpos t) g.members with
+      | None -> acc
+      | Some members ->
+        Vset.fold
+          (fun u acc ->
+            if u <> v && Constraints.Fd.conflicting schema g.fd t c.tuples.(u)
+            then (min u v, max u v) :: acc
+            else acc)
+          members acc)
+    [] groups
+
+let apply_delta c ~insert ~delete =
+  let schema = schema c in
+  (* validate the batch up front, so a rejected delta leaves no trace *)
+  let rec validate_deletes seen = function
+    | [] -> Ok ()
+    | t :: rest ->
+      if not (Relation.mem c.relation t) then
+        Error
+          (Printf.sprintf "delete: tuple %s is not part of the instance"
+             (Tuple.to_string t))
+      else if List.exists (Tuple.equal t) seen then
+        Error
+          (Printf.sprintf "delete: tuple %s listed twice" (Tuple.to_string t))
+      else validate_deletes (t :: seen) rest
+  in
+  let rec validate_inserts seen = function
+    | [] -> Ok ()
+    | t :: rest ->
+      if not (Tuple.conforms schema t) then
+        Error
+          (Printf.sprintf "insert: tuple %s does not conform to schema %s"
+             (Tuple.to_string t) (Schema.name schema))
+      else if
+        Relation.mem c.relation t && not (List.exists (Tuple.equal t) delete)
+      then
+        Error
+          (Printf.sprintf "insert: tuple %s is already in the instance"
+             (Tuple.to_string t))
+      else if List.exists (Tuple.equal t) seen then
+        Error
+          (Printf.sprintf "insert: tuple %s listed twice" (Tuple.to_string t))
+      else validate_inserts (t :: seen) rest
+  in
+  match
+    match validate_deletes [] delete with
+    | Error _ as e -> e
+    | Ok () -> validate_inserts [] insert
+  with
+  | Error _ as e -> e
+  | Ok () ->
+    (* tombstone the deletions: ids stay allocated, edges fall away *)
+    let deleted = List.map (index_exn c) delete in
+    let deleted_set = Vset.of_list deleted in
+    let edges_removed =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun v ->
+             Vset.fold
+               (fun u acc -> (min u v, max u v) :: acc)
+               (Undirected.neighbors c.graph v)
+               [])
+           deleted)
+    in
+    let groups =
+      List.fold_left
+        (fun groups v ->
+          List.map (fun g -> group_remove g v c.tuples.(v)) groups)
+        c.groups deleted
+    in
+    (* append the insertions, probing the group indexes for new edges *)
+    let n = Array.length c.tuples in
+    let tuples' = Array.append c.tuples (Array.of_list insert) in
+    let c_probe = { c with tuples = tuples' } in
+    let inserted, groups, edges_added =
+      List.fold_left
+        (fun (ids, groups, edges) t ->
+          let v = n + List.length ids in
+          let edges =
+            List.rev_append (edges_of_tuple c_probe groups v t) edges
+          in
+          (v :: ids, List.map (fun g -> group_add g v t) groups, edges))
+        ([], groups, []) insert
+    in
+    let inserted = List.rev inserted in
+    let edges_added =
+      (* edges to deleted vertices can not arise: their group entries are
+         gone before any probe *)
+      List.sort_uniq compare edges_added
+    in
+    let index' =
+      List.fold_left2
+        (fun m v t -> Tmap.add t v m)
+        (List.fold_left (fun m t -> Tmap.remove t m) c.index delete)
+        inserted insert
+    in
+    let relation' =
+      List.fold_left Relation.add
+        (List.fold_left Relation.remove c.relation delete)
+        insert
+    in
+    let live' =
+      List.fold_left
+        (fun s v -> Vset.add v s)
+        (Vset.diff c.live deleted_set)
+        inserted
+    in
+    let c' =
+      {
+        c with
+        relation = relation';
+        tuples = tuples';
+        live = live';
+        graph =
+          Undirected.patch c.graph
+            ~n:(Array.length tuples')
+            ~drop:deleted_set ~add:edges_added;
+        index = index';
+        groups;
+      }
+    in
+    Ok (c', { inserted; deleted; edges_added; edges_removed })
+
 let pp ppf c =
   Format.fprintf ppf "@[<v>conflict graph of %a with {%a}:@,"
     Schema.pp (schema c)
@@ -75,7 +299,11 @@ let pp ppf c =
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        Constraints.Fd.pp)
     c.fds;
-  Array.iteri (fun i t -> Format.fprintf ppf "  t%d = %a@," i Tuple.pp t) c.tuples;
+  Array.iteri
+    (fun i t ->
+      if Vset.mem i c.live then
+        Format.fprintf ppf "  t%d = %a@," i Tuple.pp t)
+    c.tuples;
   List.iter
     (fun (i, j) -> Format.fprintf ppf "  t%d -- t%d@," i j)
     (Undirected.edges c.graph);

@@ -23,10 +23,22 @@ val build : Constraints.Fd.t list -> Relation.t -> t
 
 val schema : t -> Schema.t
 val fds : t -> Constraints.Fd.t list
+
 val relation : t -> Relation.t
+(** The live instance (excludes tombstoned tuples after {!apply_delta}). *)
+
 val graph : t -> Undirected.t
 val size : t -> int
-(** Number of tuples (= vertices). *)
+(** Number of allocated vertex ids. After {!apply_delta} this includes
+    tombstoned slots; the set of vertices actually part of the instance
+    is {!live}. For a freshly {!build}t value, [live c] = [0 .. size c - 1]. *)
+
+val live : t -> Vset.t
+(** The vertex ids carrying live tuples — the universe every algorithm
+    over this conflict graph must work in. Equals [Vset.of_range (size c)]
+    until a delta tombstones something. *)
+
+val is_live : t -> int -> bool
 
 val tuple : t -> int -> Tuple.t
 val tuples : t -> Tuple.t array
@@ -55,6 +67,42 @@ val vicinity : t -> int -> Vset.t
 
 val conflict_pairs : t -> (Tuple.t * Tuple.t) list
 (** All conflicting pairs as tuples, smaller first. *)
+
+(** {2 Incremental maintenance}
+
+    The delta path applies a batch of insertions and deletions without
+    renumbering: deleted tuples are {e tombstoned} (their vertex id stays
+    allocated but leaves {!live}, and their edges fall away), inserted
+    tuples are {e appended} under fresh ids. New conflict edges are found
+    by probing per-FD indexes of the live tuples grouped by
+    left-hand-side projection — the delta tuples are compared against
+    their groups only, never pairwise against the instance — so the cost
+    is linear in the perturbed region plus the (unavoidable) O(V + E)
+    graph rebuild, with no FD re-scan of untouched tuples.
+
+    Stable ids are the point: downstream structures keyed by vertex id
+    (priorities, component repair caches) survive a delta untouched
+    wherever the graph did not change. *)
+
+type delta = {
+  inserted : int list;  (** fresh vertex ids, in insertion order *)
+  deleted : int list;  (** tombstoned vertex ids *)
+  edges_added : (int * int) list;
+      (** new conflict edges, [(u, v)] with [u < v]; every edge touches
+          an inserted vertex (conflicts never appear between unchanged
+          tuples) *)
+  edges_removed : (int * int) list;
+      (** edges that fell away; every edge touches a deleted vertex *)
+}
+
+val apply_delta :
+  t -> insert:Tuple.t list -> delete:Tuple.t list -> (t * delta, string) result
+(** Deletions are applied before insertions, so a tuple listed in both is
+    removed and re-inserted (under a fresh id). Errors — without touching
+    anything — when a deleted tuple is not live, an inserted tuple is
+    already live (and not also deleted), a tuple is listed twice on one
+    side, or an inserted tuple does not conform to the schema. The input
+    value is unchanged either way (the structure is persistent). *)
 
 val pp : Format.formatter -> t -> unit
 (** Lists vertices with their tuples and the conflict edges — a textual

@@ -8,6 +8,12 @@ type counters = {
   mutable combos_streamed : int;
   mutable components_examined : int;
   mutable early_exits : int;
+  mutable deltas_applied : int;
+  mutable edges_added : int;
+  mutable edges_removed : int;
+  mutable components_dirtied : int;
+  mutable cache_evicted : int;
+  mutable cache_retained : int;
 }
 
 let fresh_counters () =
@@ -18,24 +24,39 @@ let fresh_counters () =
     combos_streamed = 0;
     components_examined = 0;
     early_exits = 0;
+    deltas_applied = 0;
+    edges_added = 0;
+    edges_removed = 0;
+    components_dirtied = 0;
+    cache_evicted = 0;
+    cache_retained = 0;
   }
 
 type t = {
   conflict : Conflict.t;
   priority : Priority.t;
   components : Vset.t array;
-      (* indexed by component id, so [component_of] is O(1) *)
+      (* indexed by component SLOT, so [component_of] is O(1). Slots are
+         stable across [apply_delta]: an untouched component keeps its
+         slot (and so its [comp_index] entries and cache keys), a dirtied
+         one frees it for reuse. [Vset.empty] marks a free slot — every
+         consumer iterating this array skips empties. *)
   comp_index : int array;
   cache : (Family.name * int, Vset.t list) Hashtbl.t;
-      (* (family, component id) -> preferred repairs in original ids *)
+      (* (family, component slot) -> preferred repairs in original ids *)
   counters : counters;
 }
 
 let make conflict priority =
+  (* tombstoned vertices of an incrementally updated conflict show up as
+     isolated singletons in the graph — they are not part of the instance *)
   let components =
-    Array.of_list (Undirected.connected_components (Conflict.graph conflict))
+    Array.of_list
+      (List.filter
+         (fun comp -> Conflict.is_live conflict (Vset.min_elt comp))
+         (Undirected.connected_components (Conflict.graph conflict)))
   in
-  let comp_index = Array.make (Conflict.size conflict) 0 in
+  let comp_index = Array.make (max 1 (Conflict.size conflict)) 0 in
   Array.iteri
     (fun i comp -> Vset.iter (fun v -> comp_index.(v) <- i) comp)
     components;
@@ -50,7 +71,19 @@ let make conflict priority =
 
 let conflict d = d.conflict
 let priority d = d.priority
-let components d = Array.to_list d.components
+
+(* live slots, in the canonical order (increasing smallest vertex) *)
+let components d =
+  List.sort
+    (fun a b -> compare (Vset.min_elt a) (Vset.min_elt b))
+    (List.filter
+       (fun comp -> not (Vset.is_empty comp))
+       (Array.to_list d.components))
+
+let fold_components f acc d =
+  Array.fold_left
+    (fun acc comp -> if Vset.is_empty comp then acc else f acc comp)
+    acc d.components
 
 let max_component d =
   Array.fold_left (fun acc comp -> max acc (Vset.cardinal comp)) 0 d.components
@@ -65,6 +98,12 @@ let counters d =
     combos_streamed = z.combos_streamed;
     components_examined = z.components_examined;
     early_exits = z.early_exits;
+    deltas_applied = z.deltas_applied;
+    edges_added = z.edges_added;
+    edges_removed = z.edges_removed;
+    components_dirtied = z.components_dirtied;
+    cache_evicted = z.cache_evicted;
+    cache_retained = z.cache_retained;
   }
 
 let reset_counters d =
@@ -74,21 +113,150 @@ let reset_counters d =
   z.component_repairs <- 0;
   z.combos_streamed <- 0;
   z.components_examined <- 0;
-  z.early_exits <- 0
+  z.early_exits <- 0;
+  z.deltas_applied <- 0;
+  z.edges_added <- 0;
+  z.edges_removed <- 0;
+  z.components_dirtied <- 0;
+  z.cache_evicted <- 0;
+  z.cache_retained <- 0
 
 let pp_counters ppf z =
   Format.fprintf ppf
     "@[<v>component cache:        %d hit(s), %d miss(es), %d repair(s) \
      materialized@,\
      streamed:               %d repair combination(s)@,\
-     components examined:    %d (%d early exit(s))@]"
+     components examined:    %d (%d early exit(s))"
     z.cache_hits z.cache_misses z.component_repairs z.combos_streamed
-    z.components_examined z.early_exits
+    z.components_examined z.early_exits;
+  (* the delta lines appear only once updates have actually flowed, so
+     output for the static pipeline is unchanged *)
+  if z.deltas_applied > 0 then
+    Format.fprintf ppf
+      "@,\
+       deltas applied:         %d (%d edge(s) added, %d removed)@,\
+       delta invalidation:     %d component(s) dirtied, %d cache \
+       entr(ies) evicted, %d retained"
+      z.deltas_applied z.edges_added z.edges_removed z.components_dirtied
+      z.cache_evicted z.cache_retained;
+  Format.fprintf ppf "@]"
 
 let component_of d v =
-  if v < 0 || v >= Conflict.size d.conflict then
-    invalid_arg "Decompose.component_of";
+  if v < 0 || v >= Conflict.size d.conflict || not (Conflict.is_live d.conflict v)
+  then invalid_arg "Decompose.component_of";
   d.components.(d.comp_index.(v))
+
+(* --- incremental maintenance -------------------------------------------- *)
+
+(* Components and cache after a [Conflict.apply_delta]: only components
+   actually reached by the delta are recomputed, and only their cache
+   entries die. By the delta invariants (added edges touch an inserted
+   vertex, removed edges a deleted one), a component none of whose
+   vertices was deleted or gained an edge is bit-for-bit unchanged in the
+   new graph — its repair lists, computed from the induced sub-instance,
+   stay valid and are rekeyed to the component's new position. *)
+let apply_delta d conflict priority (delta : Conflict.delta) =
+  let old_size = Array.length d.comp_index in
+  let g = Conflict.graph conflict in
+  let live' = Conflict.live conflict in
+  (* old component ids reached by the delta *)
+  let touched = Hashtbl.create 8 in
+  let touch v =
+    (* only vertices of the old instance carry a current slot: inserted ids
+       lie past [old_size], and a tombstone's entry is stale *)
+    if v < old_size && Conflict.is_live d.conflict v then
+      Hashtbl.replace touched d.comp_index.(v) ()
+  in
+  List.iter touch delta.Conflict.deleted;
+  List.iter
+    (fun (u, v) -> touch u; touch v)
+    (delta.Conflict.edges_added @ delta.Conflict.edges_removed);
+  (* survivors of the touched components, plus every inserted vertex —
+     closed under adjacency in the new graph by the delta invariants *)
+  let scope =
+    Hashtbl.fold
+      (fun ci () acc -> Vset.union acc (Vset.inter d.components.(ci) live'))
+      touched
+      (Vset.of_list delta.Conflict.inserted)
+  in
+  let recomputed =
+    let seen = ref Vset.empty in
+    Vset.fold
+      (fun v acc ->
+        if Vset.mem v !seen then acc
+        else begin
+          let rec grow frontier comp =
+            if Vset.is_empty frontier then comp
+            else begin
+              let comp = Vset.union comp frontier in
+              let next =
+                Vset.fold
+                  (fun u acc -> Vset.union acc (Undirected.neighbors g u))
+                  frontier Vset.empty
+              in
+              grow (Vset.diff next comp) comp
+            end
+          in
+          let comp = grow (Vset.singleton v) Vset.empty in
+          seen := Vset.union !seen comp;
+          comp :: acc
+        end)
+      scope []
+  in
+  (* slots of untouched components (and their comp_index entries and
+     cache keys) carry over verbatim; dirtied slots are freed and reused
+     for the recomputed components, growing the array only when a split
+     produces more components than were dirtied *)
+  let size' = max 1 (Conflict.size conflict) in
+  let old_index_len = Array.length d.comp_index in
+  let comp_index =
+    if size' = old_index_len then Array.copy d.comp_index
+    else begin
+      let a = Array.make size' 0 in
+      Array.blit d.comp_index 0 a 0 old_index_len;
+      a
+    end
+  in
+  let freed = Hashtbl.fold (fun ci () acc -> ci :: acc) touched [] in
+  let nslots = Array.length d.components in
+  let extra = max 0 (List.length recomputed - List.length freed) in
+  let components = Array.make (nslots + extra) Vset.empty in
+  Array.blit d.components 0 components 0 nslots;
+  List.iter (fun ci -> components.(ci) <- Vset.empty) freed;
+  let free = ref freed and fresh = ref nslots in
+  List.iter
+    (fun comp ->
+      let slot =
+        match !free with
+        | ci :: rest ->
+          free := rest;
+          ci
+        | [] ->
+          let ci = !fresh in
+          incr fresh;
+          ci
+      in
+      components.(slot) <- comp;
+      Vset.iter (fun v -> comp_index.(v) <- slot) comp)
+    recomputed;
+  (* evict the dirtied slots' cache entries; every other entry stays put *)
+  let z = d.counters in
+  let cache = Hashtbl.copy d.cache in
+  Hashtbl.iter
+    (fun (family, ci) _ ->
+      if Hashtbl.mem touched ci then begin
+        Hashtbl.remove cache (family, ci);
+        z.cache_evicted <- z.cache_evicted + 1
+      end)
+    d.cache;
+  z.cache_retained <- z.cache_retained + Hashtbl.length cache;
+  z.deltas_applied <- z.deltas_applied + 1;
+  z.edges_added <- z.edges_added + List.length delta.Conflict.edges_added;
+  z.edges_removed <- z.edges_removed + List.length delta.Conflict.edges_removed;
+  z.components_dirtied <- z.components_dirtied + Hashtbl.length touched;
+  (* the same mutable record carries over: telemetry accumulates across
+     the whole update history of the decomposition *)
+  { conflict; priority; components; comp_index; cache; counters = z }
 
 (* The sub-instance of one component. Tuples keep their relative order
    under restriction, so new vertex i is the i-th smallest original id. *)
@@ -128,9 +296,9 @@ let preferred_within family d comp =
     repairs
 
 let count family d =
-  Array.fold_left
+  fold_components
     (fun acc comp -> acc * List.length (preferred_within family d comp))
-    1 d.components
+    1 d
 
 (* --- ground certainty --------------------------------------------------- *)
 
@@ -210,9 +378,12 @@ let certainty_ground family d q =
    cross product would be empty, which P1 rules out (see [Cqa]). *)
 let repair_matrix family d =
   let lists =
-    Array.map
-      (fun comp -> Array.of_list (preferred_within family d comp))
-      d.components
+    Array.of_list
+      (List.rev
+         (fold_components
+            (fun acc comp ->
+              Array.of_list (preferred_within family d comp) :: acc)
+            [] d))
   in
   Array.iter
     (fun l -> if Array.length l = 0 then raise (Cqa.Empty_family family))
@@ -220,7 +391,8 @@ let repair_matrix family d =
   lists
 
 let iter family d f =
-  let k = Array.length d.components in
+  let lists = repair_matrix family d in
+  let k = Array.length lists in
   if k = 0 then begin
     (* no conflicts at all: the single repair is the empty vertex set
        (every tuple survives) — mirrors [Mis.iter] on the empty graph *)
@@ -228,7 +400,6 @@ let iter family d f =
     f Vset.empty
   end
   else begin
-    let lists = repair_matrix family d in
     let rec go i acc =
       if i = k then begin
         d.counters.combos_streamed <- d.counters.combos_streamed + 1;
@@ -248,11 +419,11 @@ let exists family d pred =
 let for_all family d pred = not (exists family d (fun r -> not (pred r)))
 
 let member family d r =
-  (match Vset.max_elt_opt r with
-  | Some v -> v < Conflict.size d.conflict
-  | None -> true)
+  Vset.subset r (Conflict.live d.conflict)
   && Array.for_all
        (fun comp ->
+         Vset.is_empty comp
+         ||
          let local = Vset.inter r comp in
          List.exists (Vset.equal local) (preferred_within family d comp))
        d.components
@@ -276,13 +447,13 @@ let one family d =
      more than one preferred repair, walks the full cross product. *)
 let certainty_streaming family d q =
   let eval r = Cqa.evaluate_in_repair d.conflict r q in
-  let k = Array.length d.components in
+  let lists = repair_matrix family d in
+  let k = Array.length lists in
   if k = 0 then begin
     d.counters.combos_streamed <- d.counters.combos_streamed + 1;
     if eval Vset.empty then Cqa.Certainly_true else Cqa.Certainly_false
   end
   else begin
-    let lists = repair_matrix family d in
     let base = Array.map (fun l -> l.(0)) lists in
     (* pre.(i) = union of base.(0..i-1); suf.(i) = union of base.(i..k-1) *)
     let pre = Array.make (k + 1) Vset.empty in
@@ -380,19 +551,19 @@ let consistent_answers_open family d q =
   | None -> assert false (* iter raises Empty_family before this *)
 
 let certain_tuples family d =
-  Array.fold_left
+  fold_components
     (fun acc comp ->
       match preferred_within family d comp with
       | [] -> acc
       | first :: rest ->
         Vset.union acc (List.fold_left Vset.inter first rest))
-    Vset.empty d.components
+    Vset.empty d
 
 let possible_tuples family d =
-  Array.fold_left
+  fold_components
     (fun acc comp ->
       List.fold_left Vset.union acc (preferred_within family d comp))
-    Vset.empty d.components
+    Vset.empty d
 
 (* --- aggregates ----------------------------------------------------------- *)
 
@@ -448,7 +619,11 @@ let aggregate_range family d agg =
       | v :: vs -> Some (List.fold_left min v vs, List.fold_left max v vs)
     in
     let per_component =
-      List.filter_map extremes (Array.to_list d.components)
+      List.rev
+        (fold_components
+           (fun acc comp ->
+             match extremes comp with None -> acc | Some e -> e :: acc)
+           [] d)
     in
     let range =
       match agg with

@@ -41,6 +41,18 @@ type counters = {
           scans) *)
   mutable early_exits : int;
       (** evaluations cut short before exhausting their search space *)
+  mutable deltas_applied : int;
+      (** incremental updates folded in through {!apply_delta} *)
+  mutable edges_added : int;
+      (** conflict edges created by those deltas *)
+  mutable edges_removed : int;
+      (** conflict edges destroyed by those deltas *)
+  mutable components_dirtied : int;
+      (** components invalidated (recomputed) by deltas *)
+  mutable cache_evicted : int;
+      (** [(family, component)] cache entries dropped by deltas *)
+  mutable cache_retained : int;
+      (** cache entries of untouched components carried across deltas *)
 }
 (** Observability counters, accumulated across every query answered
     through one [t]. The fields are mutable only so the implementation
@@ -70,7 +82,24 @@ val reset_counters : t -> unit
 val pp_counters : Format.formatter -> counters -> unit
 
 val component_of : t -> int -> Vset.t
-(** The component containing the given vertex. *)
+(** The component containing the given vertex. Raises [Invalid_argument]
+    on tombstoned (deleted) vertices. *)
+
+val apply_delta : t -> Conflict.t -> Priority.t -> Conflict.delta -> t
+(** [apply_delta d c' p' delta] carries the decomposition across an
+    incremental update: [c'], [p'] and [delta] must come from
+    {!Conflict.apply_delta} (and {!Priority.update}) on [d]'s conflict.
+    Only components actually reached by the delta — those containing a
+    deleted vertex or an endpoint of an added/removed edge, plus the
+    inserted vertices — are re-decomposed. Component slots are stable:
+    an untouched component is provably unchanged and keeps its slot, its
+    vertex-index entries and its cached [(family, component)] repair
+    lists verbatim; only the dirtied slots' cache entries are evicted.
+    The returned value shares [d]'s counters record, so {!counters}
+    reports telemetry accumulated over the whole update history
+    ([deltas_applied], [components_dirtied], [cache_evicted],
+    [cache_retained], ...). O(touched components + V) per call, never
+    proportional to the number of untouched components' repairs. *)
 
 val preferred_within :
   Family.name -> t -> Vset.t -> Vset.t list

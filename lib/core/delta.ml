@@ -1,0 +1,123 @@
+open Relational
+open Graphs
+
+type op = Insert of Tuple.t | Delete of Tuple.t
+
+type report = {
+  inserted : int;
+  deleted : int;
+  edges_added : int;
+  edges_removed : int;
+  components_dirtied : int;
+  cache_evicted : int;
+  cache_retained : int;
+}
+
+type t = {
+  rule : Pref_rules.rule;
+  mutable conflict : Conflict.t;
+  mutable priority : Priority.t;
+  mutable decompose : Decompose.t;
+  mutable history : op list list;  (* inverse batches, most recent first *)
+}
+
+let create ?(rule = fun _ _ -> false) fds relation =
+  match Conflict.build fds relation with
+  | exception Invalid_argument e -> Error e
+  | conflict -> (
+    match Pref_rules.apply conflict rule with
+    | Error e -> Error e
+    | Ok priority ->
+      Ok
+        {
+          rule;
+          conflict;
+          priority;
+          decompose = Decompose.make conflict priority;
+          history = [];
+        })
+
+let split ops =
+  let ins, del =
+    List.fold_left
+      (fun (ins, del) -> function
+        | Insert x -> (x :: ins, del)
+        | Delete x -> (ins, x :: del))
+      ([], []) ops
+  in
+  (List.rev ins, List.rev del)
+
+(* One batch through every layer; caller handles history. All layers
+   validate before mutating anything, so an [Error] leaves [t] as it
+   was. *)
+let apply_batch t ops =
+  let insert, delete = split ops in
+  match Conflict.apply_delta t.conflict ~insert ~delete with
+  | Error e -> Error e
+  | Ok (conflict, delta) -> (
+    let oriented =
+      Pref_rules.orient conflict t.rule delta.Conflict.edges_added
+    in
+    let dropped = Vset.of_list delta.Conflict.deleted in
+    match Priority.update conflict t.priority ~dropped ~oriented with
+    | Error e -> Error (Priority.error_to_string e)
+    | Ok priority ->
+      let before = Decompose.counters t.decompose in
+      let decompose =
+        Decompose.apply_delta t.decompose conflict priority delta
+      in
+      let after = Decompose.counters decompose in
+      t.conflict <- conflict;
+      t.priority <- priority;
+      t.decompose <- decompose;
+      Ok
+        {
+          inserted = List.length delta.Conflict.inserted;
+          deleted = List.length delta.Conflict.deleted;
+          edges_added = List.length delta.Conflict.edges_added;
+          edges_removed = List.length delta.Conflict.edges_removed;
+          components_dirtied =
+            after.Decompose.components_dirtied
+            - before.Decompose.components_dirtied;
+          cache_evicted =
+            after.Decompose.cache_evicted - before.Decompose.cache_evicted;
+          cache_retained =
+            after.Decompose.cache_retained - before.Decompose.cache_retained;
+        })
+
+let apply t ops =
+  (* capture before the batch mutates [t] *)
+  let insert, delete = split ops in
+  match apply_batch t ops with
+  | Error e -> Error e
+  | Ok report ->
+    let inverse =
+      List.map (fun x -> Delete x) insert @ List.map (fun x -> Insert x) delete
+    in
+    t.history <- inverse :: t.history;
+    Ok report
+
+let undo t =
+  match t.history with
+  | [] -> Error "nothing to undo"
+  | inverse :: rest -> (
+    match apply_batch t inverse with
+    | Error e -> Error e (* unreachable for inverses of accepted batches *)
+    | Ok report ->
+      t.history <- rest;
+      Ok report)
+
+let history_depth t = List.length t.history
+let conflict t = t.conflict
+let priority t = t.priority
+let decompose t = t.decompose
+let relation t = Conflict.relation t.conflict
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>applied:                +%d tuple(s), -%d tuple(s) (%d conflict \
+     edge(s) added, %d removed)@,\
+     invalidation:           %d component(s) dirtied; cache %d evicted, %d \
+     retained@]"
+    r.inserted r.deleted r.edges_added r.edges_removed r.components_dirtied
+    r.cache_evicted r.cache_retained

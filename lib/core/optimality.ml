@@ -1,7 +1,6 @@
 open Graphs
 
-let outside c r' =
-  Vset.diff (Vset.of_range (Conflict.size c)) r'
+let outside c r' = Vset.diff (Conflict.live c) r'
 
 let improving_swap c p r' =
   let candidate y acc =

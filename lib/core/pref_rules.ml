@@ -2,18 +2,18 @@ open Relational
 
 type rule = Tuple.t -> Tuple.t -> bool
 
+let orient c rule edges =
+  List.concat_map
+    (fun (u, v) ->
+      let x = Conflict.tuple c u and y = Conflict.tuple c v in
+      let xy = rule x y and yx = rule y x in
+      if xy && not yx then [ (u, v) ]
+      else if yx && not xy then [ (v, u) ]
+      else [])
+    edges
+
 let apply c rule =
-  let g = Conflict.graph c in
-  let arcs =
-    List.concat_map
-      (fun (u, v) ->
-        let x = Conflict.tuple c u and y = Conflict.tuple c v in
-        let xy = rule x y and yx = rule y x in
-        if xy && not yx then [ (u, v) ]
-        else if yx && not xy then [ (v, u) ]
-        else [])
-      (Graphs.Undirected.edges g)
-  in
+  let arcs = orient c rule (Graphs.Undirected.edges (Conflict.graph c)) in
   match Priority.of_arcs c arcs with
   | Ok p -> Ok p
   | Error e -> Error (Priority.error_to_string e)

@@ -20,6 +20,14 @@ val apply : Conflict.t -> rule -> (Priority.t, string) result
 (** Orient each conflict edge by the rule ([x ≻ y] iff [rule x y] and not
     [rule y x]); fails when the induced relation is cyclic. *)
 
+val orient : Conflict.t -> rule -> (int * int) list -> (int * int) list
+(** The per-edge kernel of {!apply}: orient exactly the given conflict
+    edges by the rule, returning arcs [(u, v)] meaning u ≻ v. Because a
+    rule is a pure function of the two tuples, orienting only the edges a
+    delta added and keeping the surviving old arcs reproduces [apply] on
+    the updated conflict — the basis of incremental priority maintenance
+    (no validation here; feed the arcs to {!Priority.update}). *)
+
 val apply_exn : Conflict.t -> rule -> Priority.t
 
 val by_score : (Tuple.t -> int) -> rule

@@ -81,6 +81,22 @@ let totalize c p =
   | Ok p' -> p'
   | Error _ -> assert false (* arcs follow a linear order: acyclic *)
 
+let update c p ~dropped ~oriented =
+  match oriented with
+  | [] ->
+    (* a subgraph of an acyclic graph is acyclic, and every kept arc's
+       conflict edge survives the delta (removed edges always touch a
+       deleted vertex) — no revalidation needed, and [Digraph.patch]
+       shares every untouched vertex's arc sets *)
+    Ok (Digraph.patch p ~n:(Conflict.size c) ~drop:dropped)
+  | _ :: _ ->
+    let kept =
+      List.filter
+        (fun (u, v) -> not (Vset.mem u dropped || Vset.mem v dropped))
+        (Digraph.arcs p)
+    in
+    of_arcs c (oriented @ kept)
+
 let winnow p s =
   Vset.filter (fun v -> Vset.is_empty (Vset.inter (dominators p v) s)) s
 

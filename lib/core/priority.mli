@@ -70,6 +70,17 @@ val totalize : Conflict.t -> t -> t
     Deterministic. Implements the "choose one total extension" step of
     Example 10's T-Rep. *)
 
+val update :
+  Conflict.t -> t -> dropped:Vset.t -> oriented:(int * int) list ->
+  (t, error) result
+(** Carry a priority across an incremental conflict update: [c] is the
+    {e updated} conflict, [p] the priority over the previous one. Arcs
+    touching a vertex in [dropped] (the delta's deleted ids) are
+    discarded, [oriented] (arcs on the delta's new edges, e.g. from
+    {!Pref_rules.orient}) are added, and the result is re-validated
+    against [c] — so a rule that turns cyclic on the new instance is
+    caught here, exactly as {!Pref_rules.apply} would on a rebuild. *)
+
 val winnow : t -> Vset.t -> Vset.t
 (** ω≻(S) = {t ∈ S | ¬∃t' ∈ S. t' ≻ t} — the winnow operator of [5]
     restricted to a vertex set. Never empty on a non-empty set, by

@@ -1,13 +1,31 @@
 open Graphs
 
-let all c = Mis.enumerate (Conflict.graph c)
-let iter f c = Mis.iter f (Conflict.graph c)
-let fold f c acc = Mis.fold f (Conflict.graph c) acc
-let exists p c = Mis.exists p (Conflict.graph c)
-let for_all p c = Mis.for_all p (Conflict.graph c)
-let count c = Mis.count (Conflict.graph c)
-let one c = Mis.first (Conflict.graph c)
-let is_repair c s = Undirected.is_maximal_independent (Conflict.graph c) s
+let all c = Mis.enumerate ~universe:(Conflict.live c) (Conflict.graph c)
+let iter f c = Mis.iter ~universe:(Conflict.live c) f (Conflict.graph c)
+
+let fold f c acc =
+  Mis.fold ~universe:(Conflict.live c) f (Conflict.graph c) acc
+
+let exists p c = Mis.exists ~universe:(Conflict.live c) p (Conflict.graph c)
+
+let for_all p c =
+  Mis.for_all ~universe:(Conflict.live c) p (Conflict.graph c)
+
+let count c = Mis.count ~universe:(Conflict.live c) (Conflict.graph c)
+let one c = Mis.first ~universe:(Conflict.live c) (Conflict.graph c)
+
+(* Maximality is judged inside the live universe: tombstoned vertices of an
+   incrementally updated conflict are isolated in the graph but must neither
+   belong to a repair nor count as uncovered outsiders. *)
+let is_repair c s =
+  let g = Conflict.graph c in
+  let live = Conflict.live c in
+  Vset.subset s live
+  && Undirected.is_independent g s
+  && Vset.for_all
+       (fun v ->
+         Vset.mem v s || not (Vset.disjoint (Undirected.neighbors g v) s))
+       live
 
 let is_repair_relation c r = is_repair c (Conflict.vset_of_relation c r)
 

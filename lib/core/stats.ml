@@ -17,13 +17,17 @@ type t = {
   cache_hits : int;
   cache_misses : int;
   cached_repairs : int;
+  deltas_applied : int;
+  components_dirtied : int;
+  cache_evicted : int;
+  cache_retained : int;
 }
 
 let compute_with family d =
   let c = Decompose.conflict d in
   let p = Decompose.priority d in
   let g = Conflict.graph c in
-  let n = Conflict.size c in
+  let n = Vset.cardinal (Conflict.live c) in
   let before = Decompose.counters d in
   let comps = Decompose.components d in
   let certain = Decompose.certain_tuples family d in
@@ -31,7 +35,7 @@ let compute_with family d =
   let conflicting =
     Vset.filter
       (fun v -> not (Vset.is_empty (Undirected.neighbors g v)))
-      (Vset.of_range n)
+      (Conflict.live c)
   in
   {
     tuples = n;
@@ -53,6 +57,11 @@ let compute_with family d =
     cache_misses = (Decompose.counters d).cache_misses - before.cache_misses;
     cached_repairs =
       (Decompose.counters d).component_repairs - before.component_repairs;
+    (* lifetime values, not diffed: updates happened before this summary *)
+    deltas_applied = (Decompose.counters d).deltas_applied;
+    components_dirtied = (Decompose.counters d).components_dirtied;
+    cache_evicted = (Decompose.counters d).cache_evicted;
+    cache_retained = (Decompose.counters d).cache_retained;
   }
 
 let compute family c p = compute_with family (Decompose.make c p)
@@ -66,10 +75,17 @@ let pp ppf s =
      repairs:                %d@,\
      preferred repairs:      %d@,\
      tuple fates:            %d certain, %d disputed, %d excluded@,\
-     component cache:        %d hit(s), %d miss(es), %d repair(s) cached@]"
+     component cache:        %d hit(s), %d miss(es), %d repair(s) cached"
     s.tuples s.conflict_edges s.conflicting_tuples s.components
     s.nontrivial_components s.largest_component s.oriented_edges
     s.conflict_edges
     (if s.total_priority then " (total)" else "")
     s.repair_count s.preferred_count s.certain s.disputed s.excluded
-    s.cache_hits s.cache_misses s.cached_repairs
+    s.cache_hits s.cache_misses s.cached_repairs;
+  if s.deltas_applied > 0 then
+    Format.fprintf ppf
+      "@,\
+       incremental updates:    %d delta(s); %d component(s) dirtied; \
+       cache %d evicted, %d retained"
+      s.deltas_applied s.components_dirtied s.cache_evicted s.cache_retained;
+  Format.fprintf ppf "@]"

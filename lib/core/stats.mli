@@ -24,6 +24,11 @@ type t = {
   cache_hits : int;  (** [Decompose] cache hits while computing this summary *)
   cache_misses : int;  (** component repair lists computed from scratch *)
   cached_repairs : int;  (** repairs materialized into the component cache *)
+  deltas_applied : int;
+      (** incremental updates folded into the decomposition so far *)
+  components_dirtied : int;  (** components those deltas invalidated *)
+  cache_evicted : int;  (** cache entries those deltas dropped *)
+  cache_retained : int;  (** cache entries carried live across deltas *)
 }
 
 val compute : Family.name -> Conflict.t -> Priority.t -> t

@@ -20,7 +20,7 @@ let clean ?(choose = Vset.min_elt) c p =
         (Vset.add x acc)
     end
   in
-  loop (Vset.of_range (Conflict.size c)) [] Vset.empty
+  loop (Conflict.live c) [] Vset.empty
 
 (* --- sharded-CQA traces -------------------------------------------------- *)
 
@@ -31,6 +31,7 @@ type cqa = {
   max_component : int;
   per_component_repairs : int list;
   counters : Decompose.counters;
+  maintenance : Decompose.counters;
 }
 
 let diff_counters (a : Decompose.counters) (b : Decompose.counters) :
@@ -42,12 +43,19 @@ let diff_counters (a : Decompose.counters) (b : Decompose.counters) :
     combos_streamed = a.combos_streamed - b.combos_streamed;
     components_examined = a.components_examined - b.components_examined;
     early_exits = a.early_exits - b.early_exits;
+    deltas_applied = a.deltas_applied - b.deltas_applied;
+    edges_added = a.edges_added - b.edges_added;
+    edges_removed = a.edges_removed - b.edges_removed;
+    components_dirtied = a.components_dirtied - b.components_dirtied;
+    cache_evicted = a.cache_evicted - b.cache_evicted;
+    cache_retained = a.cache_retained - b.cache_retained;
   }
 
 let certainty family d q =
   let before = Decompose.counters d in
   let verdict = Decompose.certainty family d q in
   let counters = diff_counters (Decompose.counters d) before in
+  let maintenance = Decompose.counters d in
   (* warm by construction after the query ran, so this only reads the
      cache (and its hits are not part of [counters]) *)
   let per_component_repairs =
@@ -62,6 +70,7 @@ let certainty family d q =
     max_component = Decompose.max_component d;
     per_component_repairs;
     counters;
+    maintenance;
   }
 
 let pp_cqa ppf t =
@@ -71,13 +80,24 @@ let pp_cqa ppf t =
   Format.fprintf ppf
     "@[<v>verdict:                %s (%a)@,\
      components:             %d (largest %d)@,\
-     preferred repairs:      %d total, per component [%a]@,%a@]"
+     preferred repairs:      %d total, per component [%a]@,%a"
     (Cqa.certainty_to_string t.verdict)
     Family.pp_name t.family t.components t.max_component product
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        Format.pp_print_int)
-    t.per_component_repairs Decompose.pp_counters t.counters
+    t.per_component_repairs Decompose.pp_counters t.counters;
+  (* cumulative maintenance telemetry, shown only once deltas flowed *)
+  let m = t.maintenance in
+  if m.Decompose.deltas_applied > 0 then
+    Format.fprintf ppf
+      "@,\
+       maintenance (lifetime): %d delta(s), +%d/-%d edge(s), %d \
+       component(s) dirtied, cache %d evicted / %d retained"
+      m.Decompose.deltas_applied m.Decompose.edges_added
+      m.Decompose.edges_removed m.Decompose.components_dirtied
+      m.Decompose.cache_evicted m.Decompose.cache_retained;
+  Format.fprintf ppf "@]"
 
 let pp c ppf t =
   let pp_tuple ppf v = Relational.Tuple.pp ppf (Conflict.tuple c v) in

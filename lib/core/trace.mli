@@ -40,6 +40,10 @@ type cqa = {
   per_component_repairs : int list;
       (** |X-Rep| of each component, in [Decompose.components] order *)
   counters : Decompose.counters;  (** counters spent on this query alone *)
+  maintenance : Decompose.counters;
+      (** lifetime snapshot — its delta fields ([deltas_applied],
+          [components_dirtied], [cache_evicted], ...) describe every
+          incremental update folded into the decomposition so far *)
 }
 
 val certainty : Family.name -> Decompose.t -> Query.Ast.t -> cqa

@@ -21,8 +21,10 @@ let init c p =
     Array.init n (fun v -> Vset.cardinal (Priority.dominators p v))
   in
   let winnow = ref Vset.empty in
-  Array.iteri (fun v k -> if k = 0 then winnow := Vset.add v !winnow) dom_count;
-  { c; p; remaining = Vset.of_range n; dom_count; winnow = !winnow }
+  Array.iteri
+    (fun v k -> if k = 0 && Conflict.is_live c v then winnow := Vset.add v !winnow)
+    dom_count;
+  { c; p; remaining = Conflict.live c; dom_count; winnow = !winnow }
 
 (* Remove the picked vertex and its conflict neighbourhood, updating
    dominator counts of the survivors. *)
@@ -64,7 +66,7 @@ let clean_naive ?(choose = Vset.min_elt) c p =
       loop (Vset.diff remaining (Conflict.vicinity c x)) (Vset.add x acc)
     end
   in
-  loop (Vset.of_range (Conflict.size c)) Vset.empty
+  loop (Conflict.live c) Vset.empty
 
 (* All runs of Algorithm 1 (exponentially many states in the worst case,
    like the repair space itself). Distinct choice sequences frequently
@@ -88,7 +90,7 @@ let all_results c p =
         H.replace memo remaining rs;
         rs
   in
-  results (Vset.of_range (Conflict.size c))
+  results (Conflict.live c)
 
 let is_result c p candidate =
   Undirected.is_independent (Conflict.graph c) candidate

@@ -49,6 +49,22 @@ let add_arc g u v =
   pred.(v) <- Vset.add u pred.(v);
   { g with succ; pred }
 
+let patch g ~n ~drop =
+  if n < g.n then invalid_arg "Digraph.patch: vertex count cannot shrink";
+  let succ = Array.make n Vset.empty in
+  let pred = Array.make n Vset.empty in
+  Array.blit g.succ 0 succ 0 g.n;
+  Array.blit g.pred 0 pred 0 g.n;
+  Vset.iter
+    (fun v ->
+      check_vertex g.n v;
+      Vset.iter (fun u -> pred.(u) <- Vset.remove v pred.(u)) succ.(v);
+      Vset.iter (fun u -> succ.(u) <- Vset.remove v succ.(u)) pred.(v);
+      succ.(v) <- Vset.empty;
+      pred.(v) <- Vset.empty)
+    drop;
+  { n; succ; pred }
+
 (* Three-colour DFS: 0 unvisited, 1 on the stack, 2 done. *)
 let has_cycle g =
   let colour = Array.make g.n 0 in

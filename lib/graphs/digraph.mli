@@ -27,6 +27,13 @@ val pred : t -> int -> Vset.t
 val add_arc : t -> int -> int -> t
 (** Functional update; the original graph is unchanged. *)
 
+val patch : t -> n:int -> drop:Vset.t -> t
+(** [patch g ~n ~drop] is a copy of [g] grown to [n] vertices
+    ([n ≥ size g]) in which every arc incident to a vertex of [drop] is
+    gone. Successor/predecessor sets of untouched vertices are shared
+    with [g]: O(n) pointer copies plus work proportional to the dropped
+    vertices' arcs — never an arc-list rebuild. *)
+
 val has_cycle : t -> bool
 (** True iff some vertex reaches itself through a non-empty path, i.e.
     the relation's transitive closure is not irreflexive. *)

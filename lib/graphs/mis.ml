@@ -16,8 +16,11 @@ exception Stop
    the in-place updates of the classic loop are safe; the growing
    independent set R is a single shared array with bits set and cleared
    around each recursive call. *)
-let iter f g =
+let iter ?universe f g =
   let n = Undirected.size g in
+  let universe =
+    match universe with Some u -> u | None -> Vset.of_range n
+  in
   if n = 0 then f Vset.empty
   else begin
     let ws = Vset.word_size in
@@ -78,31 +81,33 @@ let iter f g =
         done
       end
     in
-    extend (Vset.to_words ~width:w (Vset.of_range n)) (Array.make w 0)
+    extend (Vset.to_words ~width:w universe) (Array.make w 0)
   end
 
-let fold f g acc =
+let fold ?universe f g acc =
   let acc = ref acc in
-  iter (fun s -> acc := f s !acc) g;
+  iter ?universe (fun s -> acc := f s !acc) g;
   !acc
 
-let enumerate g = List.sort Vset.compare (fold (fun s acc -> s :: acc) g [])
-let count g = fold (fun _ acc -> acc + 1) g 0
+let enumerate ?universe g =
+  List.sort Vset.compare (fold ?universe (fun s acc -> s :: acc) g [])
 
-let first g =
-  let n = Undirected.size g in
-  let rec loop v acc =
-    if v >= n then acc
-    else if Vset.disjoint (Undirected.neighbors g v) acc then
-      loop (v + 1) (Vset.add v acc)
-    else loop (v + 1) acc
+let count ?universe g = fold ?universe (fun _ acc -> acc + 1) g 0
+
+let first ?universe g =
+  let universe =
+    match universe with Some u -> u | None -> Undirected.vertices g
   in
-  loop 0 Vset.empty
+  Vset.fold
+    (fun v acc ->
+      if Vset.disjoint (Undirected.neighbors g v) acc then Vset.add v acc
+      else acc)
+    universe Vset.empty
 
-let exists p g =
+let exists ?universe p g =
   try
-    iter (fun s -> if p s then raise Stop) g;
+    iter ?universe (fun s -> if p s then raise Stop) g;
     false
   with Stop -> true
 
-let for_all p g = not (exists (fun s -> not (p s)) g)
+let for_all ?universe p g = not (exists ?universe (fun s -> not (p s)) g)

@@ -12,23 +12,28 @@
     maximal independent sets is exponential in the worst case (Example 4 of
     the paper exhibits 2^n repairs on 2n tuples). *)
 
-val iter : (Vset.t -> unit) -> Undirected.t -> unit
+val iter : ?universe:Vset.t -> (Vset.t -> unit) -> Undirected.t -> unit
 (** Calls the function once per maximal independent set, in no specified
     order. The empty graph on 0 vertices has exactly one maximal
-    independent set: the empty set. *)
+    independent set: the empty set.
 
-val fold : (Vset.t -> 'a -> 'a) -> Undirected.t -> 'a -> 'a
+    [universe] restricts the enumeration to the induced subgraph on the
+    given vertex set (default: all vertices of [g]); edges leaving the
+    universe are ignored. This is how tombstoned vertices of an
+    incrementally updated conflict graph are kept out of repairs. *)
 
-val enumerate : Undirected.t -> Vset.t list
+val fold : ?universe:Vset.t -> (Vset.t -> 'a -> 'a) -> Undirected.t -> 'a -> 'a
+
+val enumerate : ?universe:Vset.t -> Undirected.t -> Vset.t list
 (** All maximal independent sets, sorted by [Vset.compare]. *)
 
-val count : Undirected.t -> int
+val count : ?universe:Vset.t -> Undirected.t -> int
 
-val first : Undirected.t -> Vset.t
+val first : ?universe:Vset.t -> Undirected.t -> Vset.t
 (** One maximal independent set, computed greedily in O(n + m). *)
 
-val exists : (Vset.t -> bool) -> Undirected.t -> bool
+val exists : ?universe:Vset.t -> (Vset.t -> bool) -> Undirected.t -> bool
 (** [exists p g] stops the enumeration as soon as [p] holds for some
     maximal independent set. *)
 
-val for_all : (Vset.t -> bool) -> Undirected.t -> bool
+val for_all : ?universe:Vset.t -> (Vset.t -> bool) -> Undirected.t -> bool

@@ -101,6 +101,42 @@ let is_clique g s =
     (fun u -> Vset.for_all (fun v -> u = v || mem_edge g u v) s)
     s
 
+let patch g ~n ~drop ~add =
+  if n < g.n then invalid_arg "Undirected.patch: vertex count cannot shrink";
+  let adj = Array.make n Vset.empty in
+  Array.blit g.adj 0 adj 0 g.n;
+  (* distinct edges incident to a dropped vertex: degree sum counts
+     drop-internal edges twice, [inner] counts each of those twice too *)
+  let deg_sum =
+    Vset.fold (fun v acc -> acc + Vset.cardinal g.adj.(v)) drop 0
+  in
+  let inner =
+    Vset.fold
+      (fun v acc -> acc + Vset.cardinal (Vset.inter g.adj.(v) drop))
+      drop 0
+  in
+  Vset.iter
+    (fun v ->
+      check_vertex g.n v;
+      Vset.iter (fun u -> adj.(u) <- Vset.remove v adj.(u)) g.adj.(v);
+      adj.(v) <- Vset.empty)
+    drop;
+  let added = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      check_vertex n u;
+      check_vertex n v;
+      if u = v then invalid_arg "Undirected.patch: self-loop";
+      if Vset.mem u drop || Vset.mem v drop then
+        invalid_arg "Undirected.patch: edge on a dropped vertex";
+      if not (Vset.mem v adj.(u)) then begin
+        incr added;
+        adj.(u) <- Vset.add v adj.(u);
+        adj.(v) <- Vset.add u adj.(v)
+      end)
+    add;
+  { n; adj; m = g.m - (deg_sum - (inner / 2)) + !added }
+
 let union g1 g2 =
   if g1.n <> g2.n then invalid_arg "Undirected.union: size mismatch";
   let adj = Array.init g1.n (fun v -> Vset.union g1.adj.(v) g2.adj.(v)) in

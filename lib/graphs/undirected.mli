@@ -55,4 +55,14 @@ val is_clique : t -> Vset.t -> bool
 val union : t -> t -> t
 (** Union of edge sets; both graphs must have the same size. *)
 
+val patch : t -> n:int -> drop:Vset.t -> add:(int * int) list -> t
+(** [patch g ~n ~drop ~add] is the incremental-update counterpart of
+    {!create}: a copy of [g] grown to [n] vertices ([n ≥ size g]) in
+    which every edge incident to a vertex of [drop] is gone and the
+    [add] edges are present. Adjacency sets of untouched vertices are
+    shared with [g], so the cost is O(n) pointer copies plus work
+    proportional to the touched vertices — never a full edge-list
+    rebuild. [add] edges must avoid dropped vertices and self-loops
+    ([Invalid_argument]). *)
+
 val pp : Format.formatter -> t -> unit

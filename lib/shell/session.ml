@@ -2,9 +2,17 @@ open Relational
 module IF = Dbio.Instance_format
 module Family = Core.Family
 
-type state = { spec : IF.spec option; family : Family.name }
+type state = {
+  spec : IF.spec option;
+  family : Family.name;
+  engine : Core.Delta.t option;
+      (* the incremental engine backing the loaded spec; [None] when no
+         instance is loaded or its preferences don't induce a valid
+         priority (commands then fall back to the rebuild path, which
+         reports the error) *)
+}
 
-let initial = { spec = None; family = Family.C }
+let initial = { spec = None; family = Family.C; engine = None }
 let family st = st.family
 let loaded st = st.spec
 
@@ -24,6 +32,10 @@ let help_text =
   \  explain Q            answer with witness repairs\n\
   \  status VALUES        a tuple's conflicts and fate\n\
   \  aggregate SPEC       count | sum:A | min:A | max:A\n\
+  \  insert VALUES        add a tuple (incremental: only touched\n\
+  \                       components are recomputed)\n\
+  \  delete VALUES        remove a tuple (incremental)\n\
+  \  undo                 revert the most recent insert/delete\n\
   \  prefer DECL          add a preference (as in the file format)\n\
   \  save FILE            write the instance and preferences back out\n\
   \  help                 this text\n\
@@ -39,11 +51,26 @@ let context spec =
     | Error e -> Error e
     | Ok p -> Ok (c, p))
 
+let build_engine spec =
+  match IF.to_rule spec with
+  | Error e -> Error e
+  | Ok rule -> Core.Delta.create ~rule spec.IF.fds spec.IF.relation
+
 let with_context st k =
   match st.spec with
   | None -> "no instance loaded (use: load FILE)"
   | Some spec -> (
-    match context spec with Error e -> "error: " ^ e | Ok (c, p) -> k spec c p)
+    match st.engine with
+    | Some eng -> k spec (Core.Delta.conflict eng) (Core.Delta.priority eng)
+    | None -> (
+      match context spec with Error e -> "error: " ^ e | Ok (c, p) -> k spec c p))
+
+(* The decomposition to answer through: the engine's one accumulates its
+   component-repair cache across commands and updates. *)
+let decompose_of st c p =
+  match st.engine with
+  | Some eng -> Core.Delta.decompose eng
+  | None -> Core.Decompose.make c p
 
 let buffer_out k =
   let buf = Buffer.create 256 in
@@ -62,7 +89,10 @@ let cmd_load st path =
   match IF.parse_file path with
   | Error e -> (st, "error: " ^ e)
   | Ok spec ->
-    ( { st with spec = Some spec },
+    let engine =
+      match build_engine spec with Ok e -> Some e | Error _ -> None
+    in
+    ( { st with spec = Some spec; engine },
       Printf.sprintf "loaded %s: %d tuples, %d fd(s), %d preference(s)" path
         (Relation.cardinality spec.IF.relation)
         (List.length spec.IF.fds)
@@ -109,7 +139,7 @@ let cmd_repairs st limit =
 
 let cmd_count st =
   with_context st (fun _spec c p ->
-      let d = Core.Decompose.make c p in
+      let d = decompose_of st c p in
       Printf.sprintf "%s: %d preferred repair(s) across %d component(s)"
         (Family.name_to_string st.family)
         (Core.Decompose.count st.family d)
@@ -117,10 +147,10 @@ let cmd_count st =
 
 let cmd_facts st =
   with_context st (fun _spec c p ->
-      let d = Core.Decompose.make c p in
+      let d = decompose_of st c p in
       let certain = Core.Decompose.certain_tuples st.family d in
       let possible = Core.Decompose.possible_tuples st.family d in
-      let all = Graphs.Vset.of_range (Core.Conflict.size c) in
+      let all = Core.Conflict.live c in
       buffer_out (fun ppf ->
           let show label s =
             Format.fprintf ppf "%s (%d):@." label (Graphs.Vset.cardinal s);
@@ -135,7 +165,8 @@ let cmd_facts st =
 let cmd_stats st =
   with_context st (fun _spec c p ->
       buffer_out (fun ppf ->
-          Format.fprintf ppf "%a" Core.Stats.pp (Core.Stats.compute st.family c p)))
+          Format.fprintf ppf "%a" Core.Stats.pp
+            (Core.Stats.compute_with st.family (decompose_of st c p))))
 
 let cmd_clean st =
   with_context st (fun _spec c p ->
@@ -159,7 +190,7 @@ let cmd_query st text =
       match Query.Parser.parse text with
       | Error e -> "error: " ^ e
       | Ok q ->
-        let d = Core.Decompose.make c p in
+        let d = decompose_of st c p in
         if Query.Ast.is_closed q then
           Printf.sprintf "%s: %s"
             (Family.name_to_string st.family)
@@ -184,7 +215,7 @@ let cmd_qtrace st text =
         if not (Query.Ast.is_closed q) then
           "error: qtrace requires a closed query"
         else
-          let d = Core.Decompose.make c p in
+          let d = decompose_of st c p in
           buffer_out (fun ppf ->
               Format.fprintf ppf "%a" Core.Trace.pp_cqa
                 (Core.Trace.certainty st.family d q)))
@@ -201,31 +232,38 @@ let cmd_explain st text =
                 (Core.Explain.pp_verdict c)
                 (Core.Explain.query st.family c p q)))
 
+(* Parse VALUES against the loaded schema by round-tripping a one-tuple
+   instance document — shared by [status], [insert] and [delete]. *)
+let parse_tuple spec values =
+  let schema = Relation.schema spec.IF.relation in
+  let schema_line =
+    Printf.sprintf "relation %s(%s)" (Schema.name schema)
+      (String.concat ", "
+         (List.map
+            (fun a ->
+              Printf.sprintf "%s:%s" a.Schema.attr_name
+                (match a.Schema.attr_ty with
+                | Schema.TName -> "name"
+                | Schema.TInt -> "int"))
+            (Schema.attributes schema)))
+  in
+  match IF.parse (Printf.sprintf "%s\ntuple %s\n" schema_line values) with
+  | Error e -> Error e
+  | Ok s -> (
+    match Relation.tuples s.IF.relation with
+    | [ t ] -> Ok t
+    | _ -> Error "expected exactly one tuple")
+
 let cmd_status st values =
   with_context st (fun spec c p ->
-      let schema = Relation.schema spec.IF.relation in
-      let schema_line =
-        Printf.sprintf "relation %s(%s)" (Schema.name schema)
-          (String.concat ", "
-             (List.map
-                (fun a ->
-                  Printf.sprintf "%s:%s" a.Schema.attr_name
-                    (match a.Schema.attr_ty with
-                    | Schema.TName -> "name"
-                    | Schema.TInt -> "int"))
-                (Schema.attributes schema)))
-      in
-      match IF.parse (Printf.sprintf "%s\ntuple %s\n" schema_line values) with
+      match parse_tuple spec values with
       | Error e -> "error: " ^ e
-      | Ok s -> (
-        match Relation.tuples s.IF.relation with
-        | [ t ] -> (
-          match Core.Explain.tuple_status st.family c p t with
-          | status ->
-            buffer_out (fun ppf ->
-                Format.fprintf ppf "%a" Core.Explain.pp_tuple_status status)
-          | exception Invalid_argument m -> "error: " ^ m)
-        | _ -> "error: expected exactly one tuple"))
+      | Ok t -> (
+        match Core.Explain.tuple_status st.family c p t with
+        | status ->
+          buffer_out (fun ppf ->
+              Format.fprintf ppf "%a" Core.Explain.pp_tuple_status status)
+        | exception Invalid_argument m -> "error: " ^ m))
 
 let cmd_aggregate st spec_text =
   with_context st (fun _spec c p ->
@@ -240,7 +278,7 @@ let cmd_aggregate st spec_text =
       match agg with
       | Error e -> "error: " ^ e
       | Ok agg -> (
-        match Core.Decompose.aggregate_range st.family (Core.Decompose.make c p) agg with
+        match Core.Decompose.aggregate_range st.family (decompose_of st c p) agg with
         | Error e -> "error: " ^ e
         | Ok r ->
           buffer_out (fun ppf ->
@@ -248,6 +286,47 @@ let cmd_aggregate st spec_text =
                 (Core.Aggregate.agg_to_string agg)
                 (Family.name_to_string st.family)
                 Core.Aggregate.pp_range r)))
+
+(* After an engine update, keep the stored spec's relation in sync so
+   [save]/[info]/[prefer] see the current instance. *)
+let sync_spec st eng =
+  match st.spec with
+  | None -> st
+  | Some spec ->
+    { st with spec = Some { spec with IF.relation = Core.Delta.relation eng } }
+
+let cmd_update st mk values =
+  match st.spec with
+  | None -> (st, "no instance loaded (use: load FILE)")
+  | Some spec -> (
+    match st.engine with
+    | None ->
+      ( st,
+        "error: updates need a valid preference context (fix the \
+         preferences first)" )
+    | Some eng -> (
+      match parse_tuple spec values with
+      | Error e -> (st, "error: " ^ e)
+      | Ok t -> (
+        match Core.Delta.apply eng (mk t) with
+        | Error e -> (st, "error: " ^ e)
+        | Ok report ->
+          ( sync_spec st eng,
+            buffer_out (fun ppf -> Core.Delta.pp_report ppf report) ))))
+
+let cmd_insert st values = cmd_update st (fun t -> [ Core.Delta.Insert t ]) values
+let cmd_delete st values = cmd_update st (fun t -> [ Core.Delta.Delete t ]) values
+
+let cmd_undo st =
+  match (st.spec, st.engine) with
+  | None, _ -> (st, "no instance loaded (use: load FILE)")
+  | Some _, None -> (st, "error: nothing to undo")
+  | Some _, Some eng -> (
+    match Core.Delta.undo eng with
+    | Error e -> (st, "error: " ^ e)
+    | Ok report ->
+      ( sync_spec st eng,
+        buffer_out (fun ppf -> Core.Delta.pp_report ppf report) ))
 
 let cmd_prefer st body =
   match st.spec with
@@ -261,7 +340,12 @@ let cmd_prefer st body =
       match context spec' with
       | Error e -> (st, "error: preference rejected: " ^ e)
       | Ok (_, p) ->
-        ( { st with spec = Some spec' },
+        (* a global preference change invalidates every cached repair
+           list: rebuild the engine (cold cache, fresh history) *)
+        let engine =
+          match build_engine spec' with Ok e -> Some e | Error _ -> None
+        in
+        ( { st with spec = Some spec'; engine },
           Printf.sprintf "preference added (%d conflict(s) now oriented)"
             (Core.Priority.arc_count p) )))
 
@@ -313,6 +397,11 @@ let exec st line =
   | "explain", q -> (st, cmd_explain st q)
   | "status", "" -> (st, "usage: status VALUES")
   | "status", v -> (st, cmd_status st v)
+  | "insert", "" -> (st, "usage: insert VALUES")
+  | "insert", v -> cmd_insert st v
+  | "delete", "" -> (st, "usage: delete VALUES")
+  | "delete", v -> cmd_delete st v
+  | "undo", _ -> cmd_undo st
   | "aggregate", "" -> (st, "usage: aggregate count|sum:A|min:A|max:A")
   | "aggregate", a -> (st, cmd_aggregate st a)
   | "prefer", "" -> (st, "usage: prefer source A > B | newest | oldest | attribute A larger|smaller | formula F")
@@ -321,3 +410,12 @@ let exec st line =
   | "save", path -> cmd_save st path
   | other, _ ->
     (st, Printf.sprintf "unknown command %S (try: help)" other)
+
+(* Error outputs all share a recognizable prefix; the non-interactive
+   driver uses this to decide its exit code. *)
+let is_error_output out =
+  let prefixed p =
+    String.length out >= String.length p && String.sub out 0 (String.length p) = p
+  in
+  prefixed "error" || prefixed "unknown command" || prefixed "usage:"
+  || prefixed "no instance loaded"

@@ -25,8 +25,16 @@
                          combinations streamed, early exits
     explain Q            answer with witness repairs
     status VALUES        a tuple's conflicts and fate
+    insert VALUES        add a tuple through the incremental engine:
+                         only the components the insertion touches are
+                         recomputed, cached repair lists of untouched
+                         components stay live
+    delete VALUES        remove a tuple, incrementally likewise
+    undo                 revert the most recent insert/delete batch
     aggregate SPEC       count | sum:A | min:A | max:A
-    prefer DECL          add a preference (file-format syntax)
+    prefer DECL          add a preference (file-format syntax; rebuilds
+                         the incremental engine — a global preference
+                         change invalidates every component)
     save FILE            write the instance and preferences back out
     help                 this text
     v} *)
@@ -43,3 +51,8 @@ val exec : state -> string -> state * string
 (** Execute one command line. Unknown commands and errors produce an
     explanatory message and leave the state unchanged. The [quit]/[exit]
     commands are the driver's business, not the interpreter's. *)
+
+val is_error_output : string -> bool
+(** Whether [exec]'s output reports an error (parse failure, unknown
+    command, missing instance, rejected update). Non-interactive drivers
+    use this to exit non-zero when a scripted command fails. *)

@@ -363,6 +363,63 @@ let test_counters_and_trace () =
   check Alcotest.int "warm replay misses nothing" 0
     (Decompose.counters d).Decompose.cache_misses
 
+let test_counter_hygiene () =
+  (* counters returns a snapshot: later work must not mutate it; reset
+     zeroes every field (including the delta telemetry); distinct
+     decompositions keep distinct counter records *)
+  let rel, fds = Workload.Generator.chain_components ~components:3 ~size:3 in
+  let c = Conflict.build fds rel in
+  let p = Priority.empty c in
+  let d = Decompose.make c p in
+  let before = Decompose.counters d in
+  ignore (Decompose.count Family.Rep d);
+  check Alcotest.int "snapshot untouched by later work" 0
+    before.Decompose.cache_misses;
+  Alcotest.(check bool) "the work itself was counted" true
+    ((Decompose.counters d).Decompose.cache_misses > 0);
+  (* fold one delta in: the returned t shares d's counter record *)
+  let tup = Conflict.tuple c (Conflict.size c - 1) in
+  let c', delta =
+    Result.get_ok (Conflict.apply_delta c ~insert:[] ~delete:[ tup ])
+  in
+  let p' =
+    Result.get_ok
+      (Priority.update c' p
+         ~dropped:(Vset.of_list delta.Conflict.deleted)
+         ~oriented:[])
+  in
+  let d' = Decompose.apply_delta d c' p' delta in
+  check Alcotest.int "delta counted" 1
+    (Decompose.counters d').Decompose.deltas_applied;
+  check Alcotest.int "shared record: the old handle sees the delta" 1
+    (Decompose.counters d).Decompose.deltas_applied;
+  (* reset returns every field to zero *)
+  Decompose.reset_counters d';
+  let z = Decompose.counters d' in
+  List.iter
+    (fun (label, v) -> check Alcotest.int ("reset zeroes " ^ label) 0 v)
+    [
+      ("hits", z.Decompose.cache_hits);
+      ("misses", z.Decompose.cache_misses);
+      ("component repairs", z.Decompose.component_repairs);
+      ("combos", z.Decompose.combos_streamed);
+      ("examined", z.Decompose.components_examined);
+      ("early exits", z.Decompose.early_exits);
+      ("deltas", z.Decompose.deltas_applied);
+      ("edges added", z.Decompose.edges_added);
+      ("edges removed", z.Decompose.edges_removed);
+      ("dirtied", z.Decompose.components_dirtied);
+      ("evicted", z.Decompose.cache_evicted);
+      ("retained", z.Decompose.cache_retained);
+    ];
+  (* a second decomposition of the same instance counts independently *)
+  let e = Decompose.make c p in
+  ignore (Decompose.count Family.Rep e);
+  check Alcotest.int "d' unaffected by e's work" 0
+    (Decompose.counters d').Decompose.cache_misses;
+  Alcotest.(check bool) "e counted its own work" true
+    ((Decompose.counters e).Decompose.cache_misses > 0)
+
 let test_component_of () =
   let rel, fds = Workload.Generator.ladder 3 in
   let c = Conflict.build fds rel in
@@ -388,4 +445,5 @@ let suite =
     ("sharded certainty = whole-graph certainty (all families)", `Quick, test_sharded_certainty_equivalence);
     ("sharded open answers = whole-graph open answers", `Quick, test_sharded_open_answers_equivalence);
     ("observability counters and qtrace evidence", `Quick, test_counters_and_trace);
+    ("counter hygiene: snapshot, reset, independence", `Quick, test_counter_hygiene);
   ]

@@ -23,6 +23,7 @@ let () =
       ("stats_trace", Test_stats_trace.suite);
       ("edge_cases", Test_edge_cases.suite);
       ("decompose", Test_decompose.suite);
+      ("delta", Test_delta.suite);
       ("vset_model", Test_vset_model.suite);
       ("qcheck", Test_qcheck.suite);
     ]

@@ -155,6 +155,67 @@ let test_prefer_and_save () =
   Alcotest.(check bool) "preferences survive the round-trip" true
     (contains ~needle:"certainly true" reloaded)
 
+let test_insert_delete_undo () =
+  let st = load () in
+  let _, count0 = Session.exec st "count" in
+  (* a fifth Mary violates the key FD against both existing Mary tuples *)
+  let st, out = Session.exec st "insert 'Mary' 'HR' 1 1" in
+  Alcotest.(check bool) "insert reports the batch" true
+    (contains ~needle:"+1 tuple(s)" out);
+  Alcotest.(check bool) "insert creates conflict edges" true
+    (not (contains ~needle:"(0 conflict edge(s) added" out));
+  let _, info = Session.exec st "info" in
+  Alcotest.(check bool) "info sees 5 tuples" true (contains ~needle:"tuples:   5" info);
+  (* inserting the same tuple again is rejected, state intact *)
+  let st, err = Session.exec st "insert 'Mary' 'HR' 1 1" in
+  Alcotest.(check bool) "duplicate insert rejected" true
+    (Session.is_error_output err);
+  (* deleting an absent tuple is rejected too *)
+  let st, err = Session.exec st "delete 'Ghost' 'X' 1 1" in
+  Alcotest.(check bool) "absent delete rejected" true (Session.is_error_output err);
+  (* delete the insertion, then undo both batches: back to the start *)
+  let st, out = Session.exec st "delete 'Mary' 'HR' 1 1" in
+  Alcotest.(check bool) "delete reports the batch" true
+    (contains ~needle:"-1 tuple(s)" out);
+  let st, _ = Session.exec st "undo" in
+  let _, info = Session.exec st "info" in
+  Alcotest.(check bool) "undo restores the insertion" true
+    (contains ~needle:"tuples:   5" info);
+  let st, _ = Session.exec st "undo" in
+  let _, count1 = Session.exec st "count" in
+  check Alcotest.string "counts restored after full rewind" count0 count1;
+  let _, err = Session.exec st "undo" in
+  Alcotest.(check bool) "undo past the beginning errors" true
+    (Session.is_error_output err)
+
+let test_save_load_round_trip () =
+  (* property: save → load → save is a fixed point of the instance
+     format, and the reloaded session answers exactly like the session
+     that saved — including after incremental updates *)
+  let st = load () in
+  let st, _ = Session.exec st "insert 'Zoe' 'HR' 1 1" in
+  let st, _ = Session.exec st "delete 'John' 'PR' 30000 4" in
+  let p1 = Filename.temp_file "prefdb" ".pdb" in
+  let st, msg = Session.exec st ("save " ^ p1) in
+  Alcotest.(check bool) "saved" true (contains ~needle:"saved" msg);
+  let st2, msg = Session.exec Session.initial ("load " ^ p1) in
+  Alcotest.(check bool) "reloaded" true (contains ~needle:"4 tuples" msg);
+  let p2 = Filename.temp_file "prefdb" ".pdb" in
+  let _, _ = Session.exec st2 ("save " ^ p2) in
+  let slurp p = In_channel.with_open_text p In_channel.input_all in
+  check Alcotest.string "save -> load -> save is a fixed point" (slurp p1)
+    (slurp p2);
+  List.iter
+    (fun cmd ->
+      let _, a = Session.exec st cmd in
+      let _, b = Session.exec st2 cmd in
+      check Alcotest.string ("round-trip preserves '" ^ cmd ^ "'") a b)
+    [
+      "info"; "count"; "facts"; "repairs";
+      "query Mgr('Zoe', 'HR', 1, 1)";
+      "query exists d, s, r. Mgr('Mary', d, s, r)";
+    ]
+
 let test_unknown_and_help () =
   let st = load () in
   let _, out = Session.exec st "frobnicate" in
@@ -176,5 +237,7 @@ let suite =
     ("facts and aggregate", `Quick, test_facts_and_aggregate);
     ("clean", `Quick, test_clean);
     ("prefer and save", `Quick, test_prefer_and_save);
+    ("insert, delete, undo", `Quick, test_insert_delete_undo);
+    ("save/load round-trip", `Quick, test_save_load_round_trip);
     ("unknown commands and help", `Quick, test_unknown_and_help);
   ]
