@@ -111,6 +111,65 @@ let table ~header rows =
 
 let time_cell t = Format.asprintf "%a" pp_time t
 
+(* --- telemetry integration ----------------------------------------------- *)
+
+(* Per-span wall-clock breakdown of ONE run of [f] under a private
+   in-memory sink: (span name, inclusive seconds, outermost occurrence
+   count), decreasing time. The previous sink (if any) is restored
+   afterwards, also when [f] raises. Runs outside the timing loops —
+   the breakdown annotates a bench row, it never contaminates the
+   measured medians. *)
+let phase_breakdown f =
+  let buf = Obs.Sink.Memory.create () in
+  let prev = Obs.Span.sink () in
+  Obs.Span.set_sink (Some (Obs.Sink.Memory.sink buf));
+  (match f () with
+  | _ -> Obs.Span.set_sink prev
+  | exception e ->
+    Obs.Span.set_sink prev;
+    raise e);
+  Obs.Profile.flat (Obs.Profile.tree (Obs.Sink.Memory.events buf))
+
+let phases_field = function
+  | [] -> ""
+  | ps ->
+    let one (name, seconds, count) =
+      Printf.sprintf "{\"name\": %S, \"seconds\": %.9f, \"count\": %d}" name
+        seconds count
+    in
+    Printf.sprintf ", \"phases\": [%s]" (String.concat ", " (List.map one ps))
+
+(* Medians recorded in the committed copy of [path] before this run
+   overwrites it, keyed by row name — so every row carries its own
+   before/after pair and a regression is visible in the diff of a single
+   file. Missing/unparseable files (first run, format changes) degrade
+   to no [previous_median_s] fields, not an error. *)
+let previous_medians path field =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error _ -> []
+  | text -> (
+    match Obs.Json.of_string text with
+    | Error _ -> []
+    | Ok json -> (
+      match Obs.Json.member "benchmarks" json with
+      | Some (Obs.Json.List rows) ->
+        List.filter_map
+          (fun row ->
+            match
+              ( Obs.Json.member "name" row,
+                Option.bind (Obs.Json.member field row) Obs.Json.to_float_opt
+              )
+            with
+            | Some (Obs.Json.Str n), Some v -> Some (n, v)
+            | _ -> None)
+          rows
+      | _ -> []))
+
+let previous_field prev name =
+  match List.assoc_opt name prev with
+  | Some v -> Printf.sprintf ", \"previous_median_s\": %.9f" v
+  | None -> ""
+
 (* --- machine-readable output -------------------------------------------- *)
 
 (* Before/after records accumulated by the VSET section and dumped as
@@ -121,12 +180,13 @@ let record_comparison ~name ~baseline ~bitset =
   comparisons := (name, baseline, bitset) :: !comparisons
 
 let write_comparisons_json path =
+  let prev = previous_medians path "bitset_median_s" in
   let oc = open_out path in
   let entry (name, baseline, bitset) =
     Printf.sprintf
       "    {\"name\": %S, \"baseline_median_s\": %.9f, \
-       \"bitset_median_s\": %.9f, \"speedup\": %.2f}"
-      name baseline bitset (baseline /. bitset)
+       \"bitset_median_s\": %.9f, \"speedup\": %.2f%s}"
+      name baseline bitset (baseline /. bitset) (previous_field prev name)
   in
   Printf.fprintf oc "{\n  \"representation\": \"bitset-vset\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
@@ -137,28 +197,36 @@ let write_comparisons_json path =
 (* Whole-graph vs component-sharded records for BENCH_decompose.json.
    [whole = None] marks a frontier workload the whole-graph path cannot
    finish in reasonable time: the sharded number stands alone and the
-   entry carries a note instead of a speedup. *)
-let decompose_entries : (string * float option * float * string) list ref =
+   entry carries a note instead of a speedup. [phases] is the per-span
+   time breakdown of one sharded run (from {!phase_breakdown}). *)
+let decompose_entries :
+  (string * float option * float * string * (string * float * int) list)
+  list
+  ref =
   ref []
 
-let record_decompose ~name ?whole ~sharded ?(note = "") () =
-  decompose_entries := (name, whole, sharded, note) :: !decompose_entries
+let record_decompose ~name ?whole ~sharded ?(note = "") ?(phases = []) () =
+  decompose_entries := (name, whole, sharded, note, phases) :: !decompose_entries
 
 (* Incremental-maintenance vs full-rebuild records for BENCH_delta.json:
    each entry times the same update-then-answer cycle through the
    [Core.Delta] engine and through a from-scratch rebuild. *)
-let delta_entries : (string * float * float * string) list ref = ref []
+let delta_entries :
+  (string * float * float * string * (string * float * int) list) list ref =
+  ref []
 
-let record_delta ~name ~full ~incremental ~note =
-  delta_entries := (name, full, incremental, note) :: !delta_entries
+let record_delta ~name ~full ~incremental ~note ?(phases = []) () =
+  delta_entries := (name, full, incremental, note, phases) :: !delta_entries
 
 let write_delta_json path =
+  let prev = previous_medians path "incremental_median_s" in
   let oc = open_out path in
-  let entry (name, full, incremental, note) =
+  let entry (name, full, incremental, note, phases) =
     Printf.sprintf
       "    {\"name\": %S, \"full_rebuild_median_s\": %.9f, \
-       \"incremental_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S}"
+       \"incremental_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S%s%s}"
       name full incremental (full /. incremental) note
+      (previous_field prev name) (phases_field phases)
   in
   Printf.fprintf oc "{\n  \"experiment\": \"incremental-delta-maintenance\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
@@ -167,8 +235,9 @@ let write_delta_json path =
   close_out oc
 
 let write_decompose_json path =
+  let prev = previous_medians path "sharded_median_s" in
   let oc = open_out path in
-  let entry (name, whole, sharded, note) =
+  let entry (name, whole, sharded, note, phases) =
     let whole_field, speedup_field =
       match whole with
       | Some w ->
@@ -178,11 +247,41 @@ let write_decompose_json path =
     in
     Printf.sprintf
       "    {\"name\": %S, \"whole_graph_median_s\": %s, \
-       \"sharded_median_s\": %.9f, \"speedup\": %s, \"note\": %S}"
-      name whole_field sharded speedup_field note
+       \"sharded_median_s\": %.9f, \"speedup\": %s, \"note\": %S%s%s}"
+      name whole_field sharded speedup_field note (previous_field prev name)
+      (phases_field phases)
   in
   Printf.fprintf oc "{\n  \"experiment\": \"component-sharded-cqa\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
   Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map entry (List.rev !decompose_entries)));
+  close_out oc
+
+(* Span-engine overhead for BENCH_obs.json: the same workload timed with
+   telemetry disabled (the shipping default), with the null sink (engine
+   cost alone) and with an in-memory sink (full recording cost). The
+   acceptance bar lives on the DISABLED column: it must track the
+   pre-instrumentation medians of the other BENCH files. *)
+let obs_entries : (string * float * float * float * string) list ref = ref []
+
+let record_obs ~name ~disabled ~null_sink ~memory_sink ~note =
+  obs_entries := (name, disabled, null_sink, memory_sink, note) :: !obs_entries
+
+let write_obs_json path =
+  let prev = previous_medians path "disabled_median_s" in
+  let oc = open_out path in
+  let entry (name, disabled, null_sink, memory_sink, note) =
+    Printf.sprintf
+      "    {\"name\": %S, \"disabled_median_s\": %.9f, \
+       \"null_sink_median_s\": %.9f, \"memory_sink_median_s\": %.9f, \
+       \"null_overhead\": %.3f, \"memory_overhead\": %.3f, \"note\": %S%s}"
+      name disabled null_sink memory_sink
+      (null_sink /. disabled)
+      (memory_sink /. disabled)
+      note (previous_field prev name)
+  in
+  Printf.fprintf oc "{\n  \"experiment\": \"telemetry-overhead\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map entry (List.rev !obs_entries)));
   close_out oc

@@ -362,7 +362,9 @@ let decomp_bench () =
            (Cqa.certainty_to_string vs));
     let tw = Harness.measure whole in
     let ts = Harness.measure sharded in
-    Harness.record_decompose ~name ~whole:tw ~sharded:ts ~note ();
+    (* one instrumented run of the sharded side, outside the clock *)
+    let phases = Harness.phase_breakdown (fun () -> ignore (sharded ())) in
+    Harness.record_decompose ~name ~whole:tw ~sharded:ts ~note ~phases ();
     rows :=
       [ name; Cqa.certainty_to_string vw; Harness.time_cell tw;
         Harness.time_cell ts; Printf.sprintf "x%.1f" (tw /. ts) ]
@@ -448,13 +450,17 @@ let decomp_bench () =
       (Core.Decompose.preferred_within Family.Rep df
          (Core.Decompose.component_of df 0))
   in
+  let fphases =
+    Harness.phase_breakdown (fun () ->
+        ignore (Core.Decompose.certainty Family.Rep df qf))
+  in
   Harness.record_decompose ~name:fname ~sharded:tf
     ~note:
       (Printf.sprintf
          "frontier: %d components x %d repairs each (~%d^%d total), \
           whole-graph enumeration infeasible"
          fcomps per_component per_component fcomps)
-    ();
+    ~phases:fphases ();
   Harness.note "frontier %s: %s in %s (whole-graph enumeration infeasible)"
     fname
     (Cqa.certainty_to_string vf)
@@ -568,7 +574,13 @@ let delta_bench () =
       failwith (Printf.sprintf "DELTA %s: incremental and rebuild disagree" name);
     let tf = Harness.measure full in
     let ti = measure_cycles incr in
-    Harness.record_delta ~name ~full:tf ~incremental:ti ~note;
+    (* one instrumented cycle on a fresh warm engine, outside the clock *)
+    let phases =
+      let eng = mk_engine () in
+      ignore (incr eng ());
+      Harness.phase_breakdown (fun () -> ignore (incr eng ()))
+    in
+    Harness.record_delta ~name ~full:tf ~incremental:ti ~note ~phases ();
     rows :=
       [ name; Harness.time_cell tf; Harness.time_cell ti;
         Printf.sprintf "x%.1f" (tf /. ti) ]
@@ -603,6 +615,84 @@ let delta_bench () =
   Format.printf "  counters after the delta benchmark:@.";
   Format.printf "  %a@." Core.Decompose.pp_counters
     (Core.Decompose.counters (Core.Delta.decompose eng))
+
+(* --- OBS: span-engine overhead --------------------------------------------------- *)
+
+(* The telemetry acceptance bar: with no sink installed (the shipping
+   default) an instrumented kernel must cost what it did before
+   instrumentation — every span site is one predicted branch. Each
+   workload is timed three ways: telemetry disabled, null sink (engine
+   bookkeeping alone, events discarded) and in-memory sink (full
+   recording). Written to BENCH_obs.json; the disabled column carries a
+   [previous_median_s] across runs so regressions show in the diff. *)
+let obs_bench () =
+  Harness.section "OBS"
+    "telemetry overhead: disabled vs null sink vs memory sink";
+  let rows = ref [] in
+  let with_sink sink f =
+    let prev = Obs.Span.sink () in
+    Obs.Span.set_sink sink;
+    let t = Harness.measure f in
+    Obs.Span.set_sink prev;
+    t
+  in
+  let bench ~name ~note f =
+    let disabled = with_sink None f in
+    let null_sink = with_sink (Some Obs.Sink.null) f in
+    let buf = Obs.Sink.Memory.create () in
+    (* clear per call so the bounded buffer never saturates mid-sample *)
+    let memory_sink =
+      with_sink
+        (Some (Obs.Sink.Memory.sink buf))
+        (fun () ->
+          Obs.Sink.Memory.clear buf;
+          f ())
+    in
+    Harness.record_obs ~name ~disabled ~null_sink ~memory_sink ~note;
+    rows :=
+      [ name; Harness.time_cell disabled; Harness.time_cell null_sink;
+        Harness.time_cell memory_sink;
+        Printf.sprintf "x%.2f" (null_sink /. disabled);
+        Printf.sprintf "x%.2f" (memory_sink /. disabled) ]
+      :: !rows
+  in
+  (* micro: the raw per-span-site cost, nothing else in the loop *)
+  bench ~name:"span-noop/x1000"
+    ~note:"1000 empty with_span calls; isolates the per-span engine cost"
+    (fun () ->
+      for _ = 1 to 1000 do
+        Obs.Span.with_span "noop" ignore
+      done);
+  (* macro: a cold build+decompose+certainty pass across the instrumented
+     kernels — the number the <5% disabled-overhead criterion reads *)
+  let comps = sz 16 4 and size = sz 6 3 in
+  let rel, fds = Generator.chain_components ~components:comps ~size in
+  let c0 = Conflict.build fds rel in
+  let ground_atom v =
+    Query.Ast.Atom
+      ( Relational.Schema.name (Conflict.schema c0),
+        List.map
+          (fun x -> Query.Ast.Const x)
+          (Relational.Tuple.values (Conflict.tuple c0 v)) )
+  in
+  let q = Query.Ast.Or (ground_atom 0, ground_atom 1) in
+  bench
+    ~name:(Printf.sprintf "build+decompose+certainty/chains-%dx%d/rep" comps size)
+    ~note:
+      "cold Conflict.build + Decompose.make + certainty per run; macro \
+       regression bar for disabled telemetry"
+    (fun () ->
+      let c = Conflict.build fds rel in
+      let d = Core.Decompose.make c (Priority.empty c) in
+      ignore (Core.Decompose.certainty Family.Rep d q));
+  Harness.table
+    ~header:
+      [ "workload"; "disabled"; "null sink"; "memory sink"; "null ovh";
+        "mem ovh" ]
+    (List.rev !rows);
+  Harness.note
+    "disabled = no sink installed (shipping default); overhead columns are";
+  Harness.note "ratios against it. Written to BENCH_obs.json."
 
 (* --- Algorithm 1 scaling -------------------------------------------------------- *)
 
@@ -1051,6 +1141,7 @@ let () =
   quality ();
   ext_aggregate ();
   ext_hyper ();
+  obs_bench ();
   vset_bench ();
   Harness.write_comparisons_json "BENCH_vset.json";
   Format.printf "@.  BENCH_vset.json written.@.";
@@ -1058,5 +1149,7 @@ let () =
   Format.printf "  BENCH_decompose.json written.@.";
   Harness.write_delta_json "BENCH_delta.json";
   Format.printf "  BENCH_delta.json written.@.";
+  Harness.write_obs_json "BENCH_obs.json";
+  Format.printf "  BENCH_obs.json written.@.";
   if not !Harness.quick then run_bechamel ();
   Format.printf "@.done.@."

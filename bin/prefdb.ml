@@ -60,7 +60,49 @@ let parse_tuple spec values =
     | [ t ] -> Ok t
     | _ -> Error "expected exactly one tuple")
 
+(* --- tracing ---------------------------------------------------------------- *)
+
+let write_trace path events =
+  let data =
+    if Filename.check_suffix path ".jsonl" then Obs.Export.jsonl_string events
+    else Obs.Export.chrome_string events
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc data)
+
+(* Collect the run's spans into a memory sink and write them to [path]
+   on the way out (also on error paths: the stream is balanced anyway). *)
+let with_trace trace_out f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+    let buf = Obs.Sink.Memory.create () in
+    Obs.Span.set_sink (Some (Obs.Sink.Memory.sink buf));
+    let finish () =
+      Obs.Span.set_sink None;
+      write_trace path (Obs.Sink.Memory.events buf);
+      if Obs.Sink.Memory.dropped buf > 0 then
+        Format.eprintf "trace: %d event(s) dropped (buffer full)@."
+          (Obs.Sink.Memory.dropped buf)
+    in
+    (match f () with
+    | code ->
+      finish ();
+      code
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish ();
+      Printexc.raise_with_backtrace e bt)
+
 (* --- arguments ------------------------------------------------------------- *)
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:
+             "Write a machine-readable trace of the run to $(docv): Chrome \
+              trace-event JSON (open in chrome://tracing or Perfetto), or \
+              one JSON event per line when $(docv) ends in .jsonl.")
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
@@ -118,7 +160,8 @@ let info_cmd =
 (* --- stats ------------------------------------------------------------------ *)
 
 let stats_cmd =
-  let run path family =
+  let run path family trace_out =
+    with_trace trace_out @@ fun () ->
     with_context path (fun _spec c p ->
         Format.printf "%a@." Core.Stats.pp (Core.Stats.compute family c p);
         0)
@@ -128,7 +171,7 @@ let stats_cmd =
        ~doc:
          "Inconsistency summary: conflicts, components, repair counts and \
           tuple fates under the family's preferences.")
-    Term.(const run $ file_arg $ family_arg)
+    Term.(const run $ file_arg $ family_arg $ trace_out_arg)
 
 (* --- repairs ---------------------------------------------------------------- *)
 
@@ -200,7 +243,8 @@ let clean_cmd =
     Arg.(value & flag
          & info [ "trace" ] ~doc:"Show each Algorithm 1 step and its choices.")
   in
-  let run path trace =
+  let run path trace trace_out =
+    with_trace trace_out @@ fun () ->
     with_context path (fun _spec c p ->
         if trace then
           Format.printf "%a@." (Core.Trace.pp c) (Core.Trace.clean c p)
@@ -218,12 +262,13 @@ let clean_cmd =
        ~doc:
          "Clean the instance with Algorithm 1 under the declared \
           preferences (keeps one common repair).")
-    Term.(const run $ file_arg $ trace_arg)
+    Term.(const run $ file_arg $ trace_arg $ trace_out_arg)
 
 (* --- count ------------------------------------------------------------------ *)
 
 let count_cmd =
-  let run path family =
+  let run path family trace_out =
+    with_trace trace_out @@ fun () ->
     with_context path (fun _spec c p ->
         let d = Core.Decompose.make c p in
         Format.printf "%s: %d preferred repair(s) across %d conflict component(s)@."
@@ -238,7 +283,7 @@ let count_cmd =
          "Count the preferred repairs without enumerating them \
           (component-factorized; fast whenever conflict components are \
           small).")
-    Term.(const run $ file_arg $ family_arg)
+    Term.(const run $ file_arg $ family_arg $ trace_out_arg)
 
 (* --- query ------------------------------------------------------------------ *)
 
@@ -255,7 +300,8 @@ let query_cmd =
                 per-component repair counts, cache traffic, combinations \
                 streamed, early exits.")
   in
-  let run path family qtext trace =
+  let run path family qtext trace trace_out =
+    with_trace trace_out @@ fun () ->
     with_context path (fun _spec c p ->
         match Query.Parser.parse qtext with
         | Error e ->
@@ -300,7 +346,9 @@ let query_cmd =
          "Compute the preferred consistent answer to a closed query, or \
           the certain bindings of an open one. Answers are computed \
           through the conflict-component decomposition.")
-    Term.(const run $ file_arg $ family_arg $ query_arg $ trace_arg)
+    Term.(
+      const run $ file_arg $ family_arg $ query_arg $ trace_arg
+      $ trace_out_arg)
 
 (* --- facts ------------------------------------------------------------------- *)
 
@@ -456,7 +504,8 @@ let update_cmd =
          & info [ "save" ] ~docv:"OUT"
              ~doc:"Write the updated instance (with its preferences) to $(docv).")
   in
-  let run path family inserts deletes save =
+  let run path family inserts deletes save trace_out =
+    with_trace trace_out @@ fun () ->
     match load path with
     | Error e ->
       Format.eprintf "error: %s@." e;
@@ -538,7 +587,9 @@ let update_cmd =
           incremental engine: the conflict graph is maintained by delta, \
           only the components the batch touches are re-decomposed, and the \
           work report shows what was dirtied, evicted and retained.")
-    Term.(const run $ file_arg $ family_arg $ insert_arg $ delete_arg $ save_arg)
+    Term.(
+      const run $ file_arg $ family_arg $ insert_arg $ delete_arg $ save_arg
+      $ trace_out_arg)
 
 (* --- shell ------------------------------------------------------------------- *)
 
@@ -547,7 +598,8 @@ let shell_cmd =
     Arg.(value & pos 0 (some file) None
          & info [] ~docv:"FILE" ~doc:"Instance file to load on startup.")
   in
-  let run path =
+  let run path trace_out =
+    with_trace trace_out @@ fun () ->
     (* scripted runs (piped stdin) must fail loudly: remember whether any
        command errored and exit non-zero at EOF. An interactive session
        keeps exiting 0 — errors were already shown to the human. *)
@@ -584,7 +636,116 @@ let shell_cmd =
   in
   Cmd.v
     (Cmd.info "shell" ~doc:"Interactive session over an instance file.")
-    Term.(const run $ file_opt)
+    Term.(const run $ file_opt $ trace_out_arg)
+
+(* --- profile ------------------------------------------------------------------ *)
+
+let pp_seconds ppf s =
+  if s < 1e-3 then Format.fprintf ppf "%.2f us" (s *. 1e6)
+  else if s < 1. then Format.fprintf ppf "%.2f ms" (s *. 1e3)
+  else Format.fprintf ppf "%.3f s" s
+
+let profile_cmd =
+  let query_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"First-order query text.")
+  in
+  let run path family qtext trace_out =
+    match Query.Parser.parse qtext with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok q ->
+      let buf = Obs.Sink.Memory.create () in
+      Obs.Span.set_sink (Some (Obs.Sink.Memory.sink buf));
+      let t0 = Unix.gettimeofday () in
+      let code =
+        (* one root span brackets everything measured, so the profile
+           tree accounts for (almost) all of the wall time below *)
+        Obs.Span.with_span "profile" @@ fun () ->
+        with_context path (fun _spec c p ->
+            let d = Core.Decompose.make c p in
+            if Query.Ast.is_closed q then begin
+              Format.printf "%s-consistent answer: %s@."
+                (Family.name_to_string family)
+                (Core.Cqa.certainty_to_string
+                   (Core.Decompose.certainty family d q));
+              0
+            end
+            else begin
+              let _free, rows =
+                Core.Decompose.consistent_answers_open family d q
+              in
+              Format.printf "%d certain answer(s)@." (List.length rows);
+              0
+            end)
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      Obs.Span.set_sink None;
+      let events = Obs.Sink.Memory.events buf in
+      let nodes = Obs.Profile.tree events in
+      let covered = Obs.Profile.total nodes in
+      Format.printf "@.%a@." Obs.Profile.pp nodes;
+      Format.printf "wall time %a; spans cover %.1f%% (%d event(s))@."
+        pp_seconds wall
+        (if wall > 0. then 100. *. covered /. wall else 100.)
+        (List.length events);
+      (match trace_out with
+      | None -> ()
+      | Some out ->
+        write_trace out events;
+        Format.printf "trace written to %s@." out);
+      code
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Answer a query and print a hierarchical time profile of the \
+          whole run: conflict-graph construction, preference orientation, \
+          per-component repair enumeration and the CQA route taken \
+          (ground clause engine, deviation scan or full product), with \
+          counter deltas attached to each span.")
+    Term.(const run $ file_arg $ family_arg $ query_arg $ trace_out_arg)
+
+(* --- validate-trace ----------------------------------------------------------- *)
+
+let validate_trace_cmd =
+  let trace_file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"Trace file written by --trace-out or 'profile'.")
+  in
+  let run path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error m ->
+      Format.eprintf "error: %s@." m;
+      1
+    | text -> (
+      let result =
+        if Filename.check_suffix path ".jsonl" then
+          Obs.Export.validate_jsonl text
+        else
+          match Obs.Json.of_string text with
+          | Error e -> Error e
+          | Ok j -> Obs.Export.validate j
+      in
+      match result with
+      | Ok n ->
+        Format.printf
+          "%s: valid (%d event(s); timestamps monotone, spans balanced)@."
+          path n;
+        0
+      | Error e ->
+        Format.eprintf "%s: INVALID: %s@." path e;
+        1)
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:
+         "Check a trace file's invariants: well-formed JSON, monotone \
+          non-decreasing timestamps and balanced begin/end span pairs with \
+          matching names. Exits non-zero on violation.")
+    Term.(const run $ trace_file_arg)
 
 (* --- main --------------------------------------------------------------------- *)
 
@@ -597,5 +758,5 @@ let () =
           [
             info_cmd; stats_cmd; repairs_cmd; check_cmd; count_cmd; clean_cmd;
             query_cmd; explain_cmd; status_cmd; facts_cmd; aggregate_cmd;
-            update_cmd; shell_cmd;
+            update_cmd; shell_cmd; profile_cmd; validate_trace_cmd;
           ]))

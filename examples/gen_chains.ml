@@ -1,0 +1,24 @@
+(* Emit the chains-32x8 instance (examples/chains_32x8.pref) to stdout:
+   32 disjoint chain components of 8 tuples each over R(A,B,C,D) with
+   F = {A -> B; C -> D}, plus a preference orienting every A -> B
+   conflict. Many small components — the regime where component-sharded
+   evaluation shines — and the instance the CI profile smoke test runs
+   `prefdb profile` against.
+
+   Regenerate with:  dune exec examples/gen_chains.exe > examples/chains_32x8.pref *)
+
+module IF = Dbio.Instance_format
+
+let () =
+  let relation, fds =
+    Workload.Generator.chain_components ~components:32 ~size:8
+  in
+  let spec =
+    {
+      IF.relation;
+      fds;
+      provenance = Relational.Provenance.empty;
+      prefs = [ IF.Attribute ("B", `Larger) ];
+    }
+  in
+  print_string (IF.print spec)

@@ -10,12 +10,15 @@ type report = {
 }
 
 let run_with_priority c p =
-  let result = Winnow.clean c p in
+  Obs.Span.with_span "clean" @@ fun () ->
+  let result = Obs.Span.with_span "clean.winnow" (fun () -> Winnow.clean c p) in
   let cleaned = Repair.to_relation c result in
   let removed =
     Vset.elements (Vset.diff (Conflict.live c) result)
     |> List.map (Conflict.tuple c)
   in
+  if Obs.Span.enabled () then
+    Obs.Span.annotate [ ("removed", Obs.Event.Int (List.length removed)) ];
   {
     cleaned;
     removed;

@@ -66,6 +66,9 @@ let group_remove g v t =
   { g with members }
 
 let build fds relation =
+  Obs.Span.with_span "conflict.build"
+    ~args:[ ("tuples", Obs.Event.Int (Relation.cardinality relation)) ]
+  @@ fun () ->
   let schema = Relation.schema relation in
   (match Constraints.Fd.wf_all schema fds with
   | Ok () -> ()
@@ -102,6 +105,8 @@ let build fds relation =
         { fd; lpos; members })
       fds
   in
+  if Obs.Span.enabled () then
+    Obs.Span.annotate [ ("edges", Obs.Event.Int (List.length edges)) ];
   {
     fds;
     relation;
@@ -181,6 +186,13 @@ let edges_of_tuple c groups v t =
     [] groups
 
 let apply_delta c ~insert ~delete =
+  Obs.Span.with_span "conflict.apply_delta"
+    ~args:
+      [
+        ("insert", Obs.Event.Int (List.length insert));
+        ("delete", Obs.Event.Int (List.length delete));
+      ]
+  @@ fun () ->
   let schema = schema c in
   (* validate the batch up front, so a rejected delta leaves no trace *)
   let rec validate_deletes seen = function
@@ -290,6 +302,12 @@ let apply_delta c ~insert ~delete =
         groups;
       }
     in
+    if Obs.Span.enabled () then
+      Obs.Span.annotate
+        [
+          ("edges_added", Obs.Event.Int (List.length edges_added));
+          ("edges_removed", Obs.Event.Int (List.length edges_removed));
+        ];
     Ok (c', { inserted; deleted; edges_added; edges_removed })
 
 let pp ppf c =

@@ -32,6 +32,9 @@ let consistent_answer family c p q =
 exception Mixed
 
 let certainty family c p q =
+  Obs.Span.with_span "cqa.enumerate"
+    ~args:[ ("family", Obs.Event.Str (Family.name_to_string family)) ]
+  @@ fun () ->
   (* One pass: remember the first repair's verdict and bail out the
      moment a repair disagrees with it. *)
   let first = ref None in
@@ -136,6 +139,7 @@ let ground_certainty c q =
   if not (Query.Ast.is_ground q) then
     Error "ground_certainty: query is not ground"
   else
+    Obs.Span.with_span "cqa.ground" @@ fun () ->
     match some_repair_satisfies c (Query.Ast.Not q) with
     | Error e -> Error e
     | Ok false -> Ok Certainly_true

@@ -48,6 +48,7 @@ type t = {
 }
 
 let make conflict priority =
+  Obs.Span.with_span "decompose.make" @@ fun () ->
   (* tombstoned vertices of an incrementally updated conflict show up as
      isolated singletons in the graph — they are not part of the instance *)
   let components =
@@ -60,6 +61,9 @@ let make conflict priority =
   Array.iteri
     (fun i comp -> Vset.iter (fun v -> comp_index.(v) <- i) comp)
     components;
+  if Obs.Span.enabled () then
+    Obs.Span.annotate
+      [ ("components", Obs.Event.Int (Array.length components)) ];
   {
     conflict;
     priority;
@@ -156,6 +160,7 @@ let component_of d v =
    new graph — its repair lists, computed from the induced sub-instance,
    stay valid and are rekeyed to the component's new position. *)
 let apply_delta d conflict priority (delta : Conflict.delta) =
+  Obs.Span.with_span "decompose.apply_delta" @@ fun () ->
   let old_size = Array.length d.comp_index in
   let g = Conflict.graph conflict in
   let live' = Conflict.live conflict in
@@ -254,6 +259,12 @@ let apply_delta d conflict priority (delta : Conflict.delta) =
   z.edges_added <- z.edges_added + List.length delta.Conflict.edges_added;
   z.edges_removed <- z.edges_removed + List.length delta.Conflict.edges_removed;
   z.components_dirtied <- z.components_dirtied + Hashtbl.length touched;
+  if Obs.Span.enabled () then
+    Obs.Span.annotate
+      [
+        ("dirtied", Obs.Event.Int (Hashtbl.length touched));
+        ("recomputed", Obs.Event.Int (List.length recomputed));
+      ];
   (* the same mutable record carries over: telemetry accumulates across
      the whole update history of the decomposition *)
   { conflict; priority; components; comp_index; cache; counters = z }
@@ -283,6 +294,13 @@ let preferred_within family d comp =
     d.counters.cache_hits <- d.counters.cache_hits + 1;
     repairs
   | None ->
+    Obs.Span.with_span "decompose.component"
+      ~args:
+        [
+          ("family", Obs.Event.Str (Family.name_to_string family));
+          ("size", Obs.Event.Int (Vset.cardinal comp));
+        ]
+    @@ fun () ->
     d.counters.cache_misses <- d.counters.cache_misses + 1;
     let sub, p, mapping = sub_context d comp in
     let repairs =
@@ -292,12 +310,42 @@ let preferred_within family d comp =
     in
     d.counters.component_repairs <-
       d.counters.component_repairs + List.length repairs;
+    if Obs.Span.enabled () then
+      Obs.Span.annotate [ ("repairs", Obs.Event.Int (List.length repairs)) ];
     Hashtbl.replace d.cache key repairs;
     repairs
 
+let count_within family d comp =
+  let key = (family, d.comp_index.(Vset.min_elt comp)) in
+  match Hashtbl.find_opt d.cache key with
+  | Some repairs ->
+    d.counters.cache_hits <- d.counters.cache_hits + 1;
+    List.length repairs
+  | None ->
+    (* counting path: stream the family over the sub-instance without
+       materializing the repair lists (and without populating the cache —
+       a later [preferred_within] still owns that) *)
+    Obs.Span.with_span "decompose.count"
+      ~args:
+        [
+          ("family", Obs.Event.Str (Family.name_to_string family));
+          ("size", Obs.Event.Int (Vset.cardinal comp));
+        ]
+    @@ fun () ->
+    d.counters.cache_misses <- d.counters.cache_misses + 1;
+    let sub, p, _mapping = sub_context d comp in
+    let n = ref 0 in
+    Family.iter family sub p (fun _ -> incr n);
+    !n
+
+(* repair counts multiply across components and overflow [int] long before
+   they overflow anyone's patience: saturate instead of wrapping *)
+let sat_mul a b =
+  if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+
 let count family d =
   fold_components
-    (fun acc comp -> acc * List.length (preferred_within family d comp))
+    (fun acc comp -> sat_mul acc (List.length (preferred_within family d comp)))
     1 d
 
 (* --- ground certainty --------------------------------------------------- *)
@@ -449,6 +497,8 @@ let certainty_streaming family d q =
   let eval r = Cqa.evaluate_in_repair d.conflict r q in
   let lists = repair_matrix family d in
   let k = Array.length lists in
+  if Obs.Span.enabled () then
+    Obs.Span.annotate [ ("route", Obs.Event.Str "deviation-scan") ];
   if k = 0 then begin
     d.counters.combos_streamed <- d.counters.combos_streamed + 1;
     if eval Vset.empty then Cqa.Certainly_true else Cqa.Certainly_false
@@ -487,6 +537,8 @@ let certainty_streaming family d q =
           0 lists
       in
       if multi >= 2 then begin
+        if Obs.Span.enabled () then
+          Obs.Span.annotate [ ("route", Obs.Event.Str "full-product") ];
         let rec go i acc =
           if i = k then begin
             d.counters.combos_streamed <- d.counters.combos_streamed + 1;
@@ -506,14 +558,37 @@ let certainty_streaming family d q =
 let certainty family d q =
   if not (Query.Ast.is_closed q) then
     invalid_arg "Decompose.certainty: open query";
-  if Query.Ast.is_ground q then
-    match certainty_ground family d q with
-    | Ok cert -> cert
-    | Error _ ->
-      (* unknown relation, arity mismatch, ...: fall back to the generic
-         evaluator so the verdict matches the whole-graph path *)
-      certainty_streaming family d q
-  else certainty_streaming family d q
+  Obs.Span.with_span "cqa.certainty"
+    ~args:[ ("family", Obs.Event.Str (Family.name_to_string family)) ]
+  @@ fun () ->
+  let before = if Obs.Span.enabled () then Some (counters d) else None in
+  let verdict =
+    if Query.Ast.is_ground q then
+      match certainty_ground family d q with
+      | Ok cert ->
+        Obs.Span.annotate [ ("route", Obs.Event.Str "ground") ];
+        cert
+      | Error _ ->
+        (* unknown relation, arity mismatch, ...: fall back to the generic
+           evaluator so the verdict matches the whole-graph path *)
+        certainty_streaming family d q
+    else certainty_streaming family d q
+  in
+  (match before with
+  | None -> ()
+  | Some b ->
+    let z = d.counters in
+    Obs.Span.annotate
+      [
+        ("verdict", Obs.Event.Str (Cqa.certainty_to_string verdict));
+        ("cache_hits", Obs.Event.Int (z.cache_hits - b.cache_hits));
+        ("cache_misses", Obs.Event.Int (z.cache_misses - b.cache_misses));
+        ("combos_streamed", Obs.Event.Int (z.combos_streamed - b.combos_streamed));
+        ( "components_examined",
+          Obs.Event.Int (z.components_examined - b.components_examined) );
+        ("early_exits", Obs.Event.Int (z.early_exits - b.early_exits));
+      ]);
+  verdict
 
 let consistent_answer family d q =
   if Query.Ast.is_ground q then
@@ -528,6 +603,9 @@ let consistent_answer family d q =
   end
 
 let consistent_answers_open family d q =
+  Obs.Span.with_span "cqa.open"
+    ~args:[ ("family", Obs.Event.Str (Family.name_to_string family)) ]
+  @@ fun () ->
   let result = ref None in
   (try
      iter family d (fun r ->

@@ -106,11 +106,18 @@ val preferred_within :
 (** The family's preferred repairs of one component, as subsets of the
     original vertex ids. Cost is exponential only in the component size. *)
 
+val count_within : Family.name -> t -> Vset.t -> int
+(** Number of preferred repairs of one component. Served from the cache
+    when the component's repair list is already materialized; otherwise
+    streams the family over the component's sub-instance and counts,
+    without building the list or populating the cache — counting a huge
+    component never allocates its repairs. *)
+
 val count : Family.name -> t -> int
 (** Number of preferred repairs of the whole instance — the product of
-    the per-component counts. Never materializes the product. Beware that
-    the true count can exceed [max_int] (Example 4 at n ≥ 62); the
-    product is then taken modulo the native integer width. *)
+    the per-component counts. Never materializes the product. The true
+    count can exceed [max_int] (Example 4 at n ≥ 62); the product
+    saturates at [max_int] instead of wrapping. *)
 
 val certainty_ground :
   Family.name -> t -> Query.Ast.t -> (Cqa.certainty, string) result

@@ -51,6 +51,9 @@ let split ops =
    validate before mutating anything, so an [Error] leaves [t] as it
    was. *)
 let apply_batch t ops =
+  Obs.Span.with_span "delta.apply"
+    ~args:[ ("ops", Obs.Event.Int (List.length ops)) ]
+  @@ fun () ->
   let insert, delete = split ops in
   match Conflict.apply_delta t.conflict ~insert ~delete with
   | Error e -> Error e

@@ -3,14 +3,22 @@ open Relational
 type rule = Tuple.t -> Tuple.t -> bool
 
 let orient c rule edges =
-  List.concat_map
-    (fun (u, v) ->
-      let x = Conflict.tuple c u and y = Conflict.tuple c v in
-      let xy = rule x y and yx = rule y x in
-      if xy && not yx then [ (u, v) ]
-      else if yx && not xy then [ (v, u) ]
-      else [])
-    edges
+  Obs.Span.with_span "priority.orient"
+    ~args:[ ("edges", Obs.Event.Int (List.length edges)) ]
+  @@ fun () ->
+  let arcs =
+    List.concat_map
+      (fun (u, v) ->
+        let x = Conflict.tuple c u and y = Conflict.tuple c v in
+        let xy = rule x y and yx = rule y x in
+        if xy && not yx then [ (u, v) ]
+        else if yx && not xy then [ (v, u) ]
+        else [])
+      edges
+  in
+  if Obs.Span.enabled () then
+    Obs.Span.annotate [ ("oriented", Obs.Event.Int (List.length arcs)) ];
+  arcs
 
 let apply c rule =
   let arcs = orient c rule (Graphs.Undirected.edges (Conflict.graph c)) in

@@ -82,6 +82,13 @@ let totalize c p =
   | Error _ -> assert false (* arcs follow a linear order: acyclic *)
 
 let update c p ~dropped ~oriented =
+  Obs.Span.with_span "priority.update"
+    ~args:
+      [
+        ("dropped", Obs.Event.Int (Vset.cardinal dropped));
+        ("oriented", Obs.Event.Int (List.length oriented));
+      ]
+  @@ fun () ->
   match oriented with
   | [] ->
     (* a subgraph of an acyclic graph is acyclic, and every kept arc's

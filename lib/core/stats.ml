@@ -66,22 +66,28 @@ let compute_with family d =
 
 let compute family c p = compute_with family (Decompose.make c p)
 
+(* [Decompose.count] saturates at [max_int] rather than wrapping; say so
+   instead of printing a huge number that looks exact *)
+let pp_count ppf n =
+  if n = max_int then Format.pp_print_string ppf ">= max_int (saturated)"
+  else Format.pp_print_int ppf n
+
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>tuples:                 %d@,\
      conflict edges:         %d (%d tuples involved)@,\
      components:             %d (%d non-trivial, largest %d)@,\
      priority:               %d/%d edges oriented%s@,\
-     repairs:                %d@,\
-     preferred repairs:      %d@,\
+     repairs:                %a@,\
+     preferred repairs:      %a@,\
      tuple fates:            %d certain, %d disputed, %d excluded@,\
      component cache:        %d hit(s), %d miss(es), %d repair(s) cached"
     s.tuples s.conflict_edges s.conflicting_tuples s.components
     s.nontrivial_components s.largest_component s.oriented_edges
     s.conflict_edges
     (if s.total_priority then " (total)" else "")
-    s.repair_count s.preferred_count s.certain s.disputed s.excluded
-    s.cache_hits s.cache_misses s.cached_repairs;
+    pp_count s.repair_count pp_count s.preferred_count s.certain s.disputed
+    s.excluded s.cache_hits s.cache_misses s.cached_repairs;
   if s.deltas_applied > 0 then
     Format.fprintf ppf
       "@,\

@@ -56,11 +56,12 @@ let certainty family d q =
   let verdict = Decompose.certainty family d q in
   let counters = diff_counters (Decompose.counters d) before in
   let maintenance = Decompose.counters d in
-  (* warm by construction after the query ran, so this only reads the
-     cache (and its hits are not part of [counters]) *)
+  (* components the query warmed are read off the cache; the rest are
+     counted streamingly, never materializing repair lists the query
+     itself did not need *)
   let per_component_repairs =
     List.map
-      (fun comp -> List.length (Decompose.preferred_within family d comp))
+      (fun comp -> Decompose.count_within family d comp)
       (Decompose.components d)
   in
   {
@@ -73,16 +74,31 @@ let certainty family d q =
     maintenance;
   }
 
+(* repair counts multiply across components: 2^63 arrives around 63
+   binary components, far within reach of real instances, so the product
+   must saturate rather than wrap *)
+let sat_mul a b =
+  if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+
+let pp_product ppf counts =
+  let product = List.fold_left sat_mul 1 counts in
+  if product = max_int then
+    (* overflowed: report the magnitude in floating point instead of a
+       wrapped (possibly negative) integer *)
+    let approx =
+      List.fold_left (fun acc n -> acc *. float_of_int n) 1. counts
+    in
+    Format.fprintf ppf ">= max_int (~%.3e)" approx
+  else Format.pp_print_int ppf product
+
 let pp_cqa ppf t =
-  let product =
-    List.fold_left (fun acc n -> acc * n) 1 t.per_component_repairs
-  in
   Format.fprintf ppf
     "@[<v>verdict:                %s (%a)@,\
      components:             %d (largest %d)@,\
-     preferred repairs:      %d total, per component [%a]@,%a"
+     preferred repairs:      %a total, per component [%a]@,%a"
     (Cqa.certainty_to_string t.verdict)
-    Family.pp_name t.family t.components t.max_component product
+    Family.pp_name t.family t.components t.max_component
+    pp_product t.per_component_repairs
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        Format.pp_print_int)

@@ -1,0 +1,85 @@
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type phase = Begin | End | Instant
+
+type t = {
+  phase : phase;
+  name : string;
+  ts : float;
+  args : (string * arg) list;
+}
+
+let arg_to_json = function
+  | Int n -> Json.Int n
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let arg_of_json = function
+  | Json.Int n -> Some (Int n)
+  | Json.Float f -> Some (Float f)
+  | Json.Str s -> Some (Str s)
+  | Json.Bool b -> Some (Bool b)
+  | Json.Null | Json.List _ | Json.Obj _ -> None
+
+let arg_to_string = function
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let phase_to_string = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let phase_of_string = function
+  | "B" -> Some Begin
+  | "E" -> Some End
+  | "i" -> Some Instant
+  | _ -> None
+
+let to_json e =
+  let base =
+    [
+      ("ph", Json.Str (phase_to_string e.phase));
+      ("name", Json.Str e.name);
+      ("ts", Json.Float e.ts);
+    ]
+  in
+  let args =
+    match e.args with
+    | [] -> []
+    | args ->
+      [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)) ]
+  in
+  Json.Obj (base @ args)
+
+let of_json j =
+  let field name =
+    match Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "event: missing field %S" name)
+  in
+  match (field "ph", field "name", field "ts") with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+  | Ok ph, Ok name, Ok ts -> (
+    match (ph, name, Json.to_float_opt ts) with
+    | Json.Str ph, Json.Str name, Some ts -> (
+      match phase_of_string ph with
+      | None -> Error (Printf.sprintf "event: unknown phase %S" ph)
+      | Some phase ->
+        let args =
+          match Json.member "args" j with
+          | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (k, v) ->
+                match arg_of_json v with
+                | Some a -> Some (k, a)
+                | None -> None)
+              fields
+          | _ -> []
+        in
+        Ok { phase; name; ts; args })
+    | _ -> Error "event: ill-typed ph/name/ts")

@@ -1,0 +1,36 @@
+(** Telemetry events.
+
+    The wire unit of the span engine: a flat, time-ordered stream of
+    begin/end/instant records. Hierarchy is implicit — a well-formed
+    stream brackets like balanced parentheses ([Begin x ... End x]), and
+    {!Profile.tree} rebuilds the span tree from it. Timestamps are
+    absolute seconds from the span engine's clock
+    ({!Span.now}); exporters rebase them. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type phase =
+  | Begin  (** a span opened *)
+  | End  (** the innermost open span closed; carries its counters *)
+  | Instant  (** a point event with no duration *)
+
+type t = {
+  phase : phase;
+  name : string;
+  ts : float;  (** seconds, absolute *)
+  args : (string * arg) list;
+}
+
+val arg_to_json : arg -> Json.t
+val arg_of_json : Json.t -> arg option
+val arg_to_string : arg -> string
+
+val to_json : t -> Json.t
+(** [{"ph":"B"|"E"|"i","name":...,"ts":...,"args":{...}}] — the JSONL
+    line shape; {!of_json} inverts it. *)
+
+val of_json : Json.t -> (t, string) result

@@ -1,0 +1,163 @@
+let args_json args =
+  Json.Obj (List.map (fun (k, v) -> (k, Event.arg_to_json v)) args)
+
+let chrome ?(process = "prefdb") events =
+  let t0 = match events with [] -> 0. | e :: _ -> e.Event.ts in
+  let us ts = (ts -. t0) *. 1e6 in
+  let entry e =
+    let ph =
+      match e.Event.phase with
+      | Event.Begin -> "B"
+      | Event.End -> "E"
+      | Event.Instant -> "i"
+    in
+    let base =
+      [
+        ("name", Json.Str e.Event.name);
+        ("cat", Json.Str "prefdb");
+        ("ph", Json.Str ph);
+        ("ts", Json.Float (us e.Event.ts));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+      ]
+    in
+    let scope =
+      match e.Event.phase with Event.Instant -> [ ("s", Json.Str "t") ] | _ -> []
+    in
+    let args =
+      match e.Event.args with [] -> [] | a -> [ ("args", args_json a) ]
+    in
+    Json.Obj (base @ scope @ args)
+  in
+  let metadata =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.Str process) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metadata :: List.map entry events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let chrome_string ?process events = Json.to_string (chrome ?process events)
+
+let jsonl_string events =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Json.to_buffer buf (Event.to_json e);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let events_of_jsonl text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go (lineno + 1) acc rest
+      else
+        match Json.of_string line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        | Ok j -> (
+          match Event.of_json j with
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+          | Ok ev -> go (lineno + 1) (ev :: acc) rest)
+  in
+  go 1 [] lines
+
+(* --- validation ----------------------------------------------------------- *)
+
+(* Shared checker over (ph, name, ts) triples in stream order. *)
+let check_stream triples =
+  let rec go i last_ts open_spans count = function
+    | [] ->
+      if open_spans = [] then Ok count
+      else
+        Error
+          (Printf.sprintf "%d unclosed span(s), innermost %S"
+             (List.length open_spans)
+             (List.hd open_spans))
+    | (ph, name, ts) :: rest -> (
+      if ts < last_ts then
+        Error
+          (Printf.sprintf
+             "event %d (%s %S): timestamp regresses (%.9f after %.9f)" i ph
+             name ts last_ts)
+      else
+        match ph with
+        | "B" -> go (i + 1) ts (name :: open_spans) (count + 1) rest
+        | "E" -> (
+          match open_spans with
+          | [] ->
+            Error (Printf.sprintf "event %d: E %S without an open span" i name)
+          | top :: others ->
+            if top <> name then
+              Error
+                (Printf.sprintf
+                   "event %d: E %S does not match open span %S" i name top)
+            else go (i + 1) ts others (count + 1) rest)
+        | "i" | "I" -> go (i + 1) ts open_spans (count + 1) rest
+        | "M" | "C" ->
+          (* metadata / counter records: no bracketing, no duration *)
+          go (i + 1) ts open_spans (count + 1) rest
+        | other ->
+          Error (Printf.sprintf "event %d: unknown phase %S" i other))
+  in
+  go 0 neg_infinity [] 0 triples
+
+let triple_of_json j =
+  match
+    ( Json.member "ph" j,
+      Json.member "name" j,
+      Json.member "ts" j )
+  with
+  | Some (Json.Str ph), Some (Json.Str name), Some ts -> (
+    match Json.to_float_opt ts with
+    | Some ts -> Ok (ph, name, ts)
+    | None -> Error "non-numeric \"ts\"")
+  | Some (Json.Str ph), Some (Json.Str name), None when ph = "M" ->
+    (* metadata records may omit ts *)
+    Ok (ph, name, neg_infinity)
+  | _ -> Error "entry must be an object with string \"ph\"/\"name\" and \"ts\""
+
+let validate j =
+  match Json.member "traceEvents" j with
+  | Some (Json.List entries) -> (
+    let rec triples i acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: rest -> (
+        match triple_of_json e with
+        | Ok t -> triples (i + 1) (t :: acc) rest
+        | Error msg -> Error (Printf.sprintf "traceEvents[%d]: %s" i msg))
+    in
+    match triples 0 [] entries with
+    | Error _ as e -> e
+    | Ok ts ->
+      (* metadata events carry no timestamp: rebase them to the running
+         clock by filtering them out of the monotonicity check *)
+      check_stream (List.filter (fun (ph, _, _) -> ph <> "M") ts))
+  | Some _ -> Error "\"traceEvents\" is not an array"
+  | None -> Error "not a Chrome trace: no \"traceEvents\" field"
+
+let validate_jsonl text =
+  match events_of_jsonl text with
+  | Error _ as e -> e
+  | Ok events ->
+    check_stream
+      (List.map
+         (fun e ->
+           let ph =
+             match e.Event.phase with
+             | Event.Begin -> "B"
+             | Event.End -> "E"
+             | Event.Instant -> "i"
+           in
+           (ph, e.Event.name, e.Event.ts))
+         events)

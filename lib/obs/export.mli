@@ -1,0 +1,37 @@
+(** Machine-readable trace export and validation.
+
+    Two formats over the same event stream:
+
+    - {e Chrome trace-event JSON} — an object with a ["traceEvents"]
+      array of [B]/[E]/[i] records with microsecond timestamps, loadable
+      in [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto};
+    - {e JSONL} — one {!Event.to_json} object per line, trivially
+      greppable and parseable back ({!events_of_jsonl} round-trips).
+
+    {!validate} checks the invariants a consumer relies on: well-formed
+    records, monotone non-decreasing timestamps, and balanced
+    [B]/[E] bracketing with matching names. *)
+
+val chrome : ?process:string -> Event.t list -> Json.t
+(** Timestamps are rebased to the first event and converted to
+    microseconds. [process] names the trace's single process (default
+    ["prefdb"]). *)
+
+val chrome_string : ?process:string -> Event.t list -> string
+
+val jsonl_string : Event.t list -> string
+(** One compact JSON object per line, trailing newline included (empty
+    string for no events). *)
+
+val events_of_jsonl : string -> (Event.t list, string) result
+(** Inverse of {!jsonl_string}; blank lines are skipped. Errors carry
+    the 1-based line number. *)
+
+val validate : Json.t -> (int, string) result
+(** Validates a parsed Chrome trace (the {!chrome} shape): every entry
+    has string ["ph"]/["name"] and numeric ["ts"]; timestamps monotone
+    non-decreasing; [B]/[E] balanced with matching names. Returns the
+    number of trace events. *)
+
+val validate_jsonl : string -> (int, string) result
+(** Same invariants over a JSONL event stream. *)

@@ -1,0 +1,32 @@
+(** A minimal JSON tree, printer and parser.
+
+    Just enough JSON for the telemetry pipeline: rendering traces
+    (Chrome trace-event files, JSONL event streams, bench records) and
+    reading them back for validation — no external dependency, no
+    streaming, no unicode escapes beyond [\uXXXX] pass-through on input.
+    Numbers without a fraction or exponent parse as [Int]; everything
+    else numeric parses as [Float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). Strings are escaped;
+    non-finite floats render as [null] (JSON has no NaN/inf). *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value; trailing garbage (other than whitespace) is an
+    error. Error messages carry a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing fields and non-objects. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both convert; anything else is [None]. *)

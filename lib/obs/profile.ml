@@ -1,0 +1,183 @@
+type node = {
+  name : string;
+  total : float;
+  count : int;
+  args : (string * Event.arg) list;
+  children : node list;
+}
+
+(* --- raw tree from the balanced stream ------------------------------------ *)
+
+type raw = {
+  rname : string;
+  t0 : float;
+  mutable t1 : float;
+  mutable rargs : (string * Event.arg) list;
+  mutable rev_children : raw list;
+}
+
+let raw_forest events =
+  let roots = ref [] in
+  let stack = ref [] in
+  let last_ts = ref 0. in
+  let attach r =
+    match !stack with
+    | [] -> roots := r :: !roots
+    | parent :: _ -> parent.rev_children <- r :: parent.rev_children
+  in
+  List.iter
+    (fun e ->
+      last_ts := e.Event.ts;
+      match e.Event.phase with
+      | Event.Begin ->
+        stack :=
+          {
+            rname = e.Event.name;
+            t0 = e.Event.ts;
+            t1 = e.Event.ts;
+            rargs = e.Event.args;
+            rev_children = [];
+          }
+          :: !stack
+      | Event.End -> (
+        match !stack with
+        | [] -> () (* End with no Begin in this stream: skip *)
+        | top :: rest ->
+          top.t1 <- e.Event.ts;
+          (* End args override/extend Begin args *)
+          top.rargs <-
+            List.filter
+              (fun (k, _) -> not (List.mem_assoc k e.Event.args))
+              top.rargs
+            @ e.Event.args;
+          stack := rest;
+          attach top)
+      | Event.Instant ->
+        attach
+          {
+            rname = e.Event.name;
+            t0 = e.Event.ts;
+            t1 = e.Event.ts;
+            rargs = e.Event.args;
+            rev_children = [];
+          })
+    events;
+  (* close anything left open at the last timestamp seen *)
+  List.iter
+    (fun r ->
+      r.t1 <- !last_ts;
+      attach r)
+    (match !stack with
+    | [] -> []
+    | frames ->
+      (* innermost first: attach innermost to its parent before the
+         parent itself is closed *)
+      stack := [];
+      let rec close = function
+        | [] -> []
+        | [ root ] -> [ root ]
+        | inner :: (parent :: _ as rest) ->
+          inner.t1 <- !last_ts;
+          parent.rev_children <- inner :: parent.rev_children;
+          close rest
+      in
+      close frames);
+  List.rev !roots
+
+(* --- merging -------------------------------------------------------------- *)
+
+let merge_args a b =
+  (* integer args accumulate (counter deltas); everything else last-wins *)
+  let merged =
+    List.fold_left
+      (fun acc (k, v) ->
+        match (List.assoc_opt k acc, v) with
+        | Some (Event.Int m), Event.Int n ->
+          (k, Event.Int (m + n)) :: List.remove_assoc k acc
+        | Some _, _ -> (k, v) :: List.remove_assoc k acc
+        | None, _ -> (k, v) :: acc)
+      (List.rev a) b
+  in
+  List.rev merged
+
+let rec merge_raws raws =
+  (* group by name, first-seen order *)
+  let order = ref [] in
+  let groups : (string, raw list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt groups r.rname with
+      | Some l -> l := r :: !l
+      | None ->
+        Hashtbl.add groups r.rname (ref [ r ]);
+        order := r.rname :: !order)
+    raws;
+  List.rev_map
+    (fun name ->
+      let members = List.rev !(Hashtbl.find groups name) in
+      let total =
+        List.fold_left (fun acc r -> acc +. (r.t1 -. r.t0)) 0. members
+      in
+      let args =
+        List.fold_left (fun acc r -> merge_args acc r.rargs) [] members
+      in
+      let children =
+        merge_raws
+          (List.concat_map (fun r -> List.rev r.rev_children) members)
+      in
+      { name; total; count = List.length members; args; children })
+    !order
+  |> List.rev
+
+let tree events = merge_raws (raw_forest events)
+
+let total nodes = List.fold_left (fun acc n -> acc +. n.total) 0. nodes
+
+let flat nodes =
+  let order = ref [] in
+  let tbl : (string, float * int) Hashtbl.t = Hashtbl.create 16 in
+  let rec go banned n =
+    let counted = not (List.mem n.name banned) in
+    if counted then begin
+      (match Hashtbl.find_opt tbl n.name with
+      | Some (t, c) -> Hashtbl.replace tbl n.name (t +. n.total, c + n.count)
+      | None ->
+        Hashtbl.add tbl n.name (n.total, n.count);
+        order := n.name :: !order);
+      List.iter (go (n.name :: banned)) n.children
+    end
+    else List.iter (go banned) n.children
+  in
+  List.iter (go []) nodes;
+  List.rev_map
+    (fun name ->
+      let t, c = Hashtbl.find tbl name in
+      (name, t, c))
+    !order
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+(* --- pretty printing ------------------------------------------------------ *)
+
+let pp_time ppf seconds =
+  if seconds < 1e-6 then Format.fprintf ppf "%7.1f ns" (seconds *. 1e9)
+  else if seconds < 1e-3 then Format.fprintf ppf "%7.2f us" (seconds *. 1e6)
+  else if seconds < 1. then Format.fprintf ppf "%7.2f ms" (seconds *. 1e3)
+  else Format.fprintf ppf "%7.3f s " seconds
+
+let pp ppf nodes =
+  let grand = total nodes in
+  let pct t = if grand > 0. then 100. *. t /. grand else 100. in
+  let rec line depth n =
+    let label = String.make (2 * depth) ' ' ^ n.name in
+    Format.fprintf ppf "%-40s %a %6.1f%%" label pp_time n.total (pct n.total);
+    if n.count > 1 then Format.fprintf ppf "  %dx" n.count;
+    List.iter
+      (fun (k, v) ->
+        Format.fprintf ppf "  %s=%s" k (Event.arg_to_string v))
+      n.args;
+    Format.fprintf ppf "@,";
+    List.iter (line (depth + 1)) n.children
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (line 0) nodes;
+  Format.fprintf ppf "@]"

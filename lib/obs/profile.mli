@@ -1,0 +1,35 @@
+(** Span-tree reconstruction and the pretty-printed profile.
+
+    Rebuilds the hierarchy from a balanced event stream and aggregates
+    it for human consumption: siblings with the same span name merge
+    (totals summed, occurrences counted), so a query that opened
+    "decompose.component" 32 times shows one line with [32x], not 32
+    lines. Integer-valued args are summed across merged occurrences
+    (they carry counter deltas); other args keep the last value seen
+    (routes, sizes). *)
+
+type node = {
+  name : string;
+  total : float;  (** inclusive seconds, summed over merged occurrences *)
+  count : int;  (** merged occurrences *)
+  args : (string * Event.arg) list;
+  children : node list;
+}
+
+val tree : Event.t list -> node list
+(** Top-level spans of the stream, merged by name in first-seen order.
+    Instant events become zero-duration leaves. Unclosed spans (possible
+    only if a sink was installed mid-span) are closed at the last
+    timestamp seen. *)
+
+val total : node list -> float
+(** Summed inclusive time of the given (sibling) nodes. *)
+
+val flat : node list -> (string * float * int) list
+(** Inclusive seconds and occurrence counts per span name, over
+    {e outermost} occurrences only (a name nested under itself is not
+    double-counted). Order: decreasing time. *)
+
+val pp : Format.formatter -> node list -> unit
+(** The profile tree: per line, span name, inclusive time, share of the
+    whole tree, occurrence count and args. *)

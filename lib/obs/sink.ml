@@ -1,0 +1,62 @@
+type t = { emit : Event.t -> unit }
+
+let null = { emit = (fun _ -> ()) }
+
+let tee a b =
+  {
+    emit =
+      (fun e ->
+        a.emit e;
+        b.emit e);
+  }
+
+module Memory = struct
+  type buffer = {
+    capacity : int;
+    mutable rev_events : Event.t list;
+    mutable length : int;
+    mutable dropped : int;
+    mutable open_recorded : bool list;
+        (* one entry per currently open span, innermost first: was its
+           Begin recorded? Pairs each End with its Begin's fate, so a
+           full buffer drops whole spans instead of unbalancing. *)
+  }
+
+  let create ?(capacity = 262144) () =
+    { capacity; rev_events = []; length = 0; dropped = 0; open_recorded = [] }
+
+  let record b e =
+    b.rev_events <- e :: b.rev_events;
+    b.length <- b.length + 1
+
+  let sink b =
+    {
+      emit =
+        (fun e ->
+          match e.Event.phase with
+          | Event.Instant ->
+            if b.length < b.capacity then record b e else b.dropped <- b.dropped + 1
+          | Event.Begin ->
+            let keep = b.length < b.capacity in
+            b.open_recorded <- keep :: b.open_recorded;
+            if keep then record b e else b.dropped <- b.dropped + 1
+          | Event.End -> (
+            match b.open_recorded with
+            | keep :: rest ->
+              b.open_recorded <- rest;
+              if keep then record b e else b.dropped <- b.dropped + 1
+            | [] ->
+              (* an End whose Begin predates this sink: drop it *)
+              b.dropped <- b.dropped + 1));
+    }
+
+  let events b = List.rev b.rev_events
+  let length b = b.length
+  let dropped b = b.dropped
+
+  let clear b =
+    b.rev_events <- [];
+    b.length <- 0;
+    b.dropped <- 0;
+    b.open_recorded <- []
+end

@@ -1,0 +1,42 @@
+(** Pluggable event consumers.
+
+    A sink is one function, [emit]. The span engine guarantees the
+    stream it sends is balanced — every [Begin] is eventually followed
+    by its [End], innermost first, even when the instrumented code
+    raises — so a sink never needs to repair bracketing, only to decide
+    what to keep. *)
+
+type t = { emit : Event.t -> unit }
+
+val null : t
+(** Swallows everything, records nothing. The cheapest enabled sink;
+    for measuring the engine's own overhead. *)
+
+val tee : t -> t -> t
+(** Sends each event to both. Used by the shell's [profile] command to
+    feed its local tree without stealing events from a session-wide
+    trace sink. *)
+
+(** An in-memory bounded event log. *)
+module Memory : sig
+  type buffer
+
+  val create : ?capacity:int -> unit -> buffer
+  (** Default capacity 262144 events. Once full, new [Begin]/[Instant]
+      events are dropped (and counted). The [End] of a span whose
+      [Begin] was recorded is always kept — a bracket-depth stack pairs
+      each [End] with its [Begin]'s fate — so a truncated log may
+      overshoot its capacity by the open-span depth but is always
+      balanced. [End]s of dropped or never-seen [Begin]s are dropped. *)
+
+  val sink : buffer -> t
+
+  val events : buffer -> Event.t list
+  (** In emission order. *)
+
+  val length : buffer -> int
+  val dropped : buffer -> int
+
+  val clear : buffer -> unit
+  (** Also resets the bracket-depth stack. *)
+end

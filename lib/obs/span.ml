@@ -1,0 +1,69 @@
+type frame = {
+  name : string;
+  sink : Sink.t;  (* captured at Begin, so the End reaches the same sink *)
+  mutable end_args : (string * Event.arg) list;
+}
+
+let current : Sink.t option ref = ref None
+let stack : frame list ref = ref []
+
+let set_sink s =
+  current := s;
+  stack := []
+
+let sink () = !current
+let enabled () = !current <> None
+let now () = Unix.gettimeofday ()
+
+let instant ?(args = []) name =
+  match !current with
+  | None -> ()
+  | Some sink ->
+    sink.Sink.emit { Event.phase = Event.Instant; name; ts = now (); args }
+
+let annotate args =
+  match !stack with
+  | [] -> ()
+  | frame :: _ ->
+    frame.end_args <-
+      List.filter (fun (k, _) -> not (List.mem_assoc k args)) frame.end_args
+      @ args
+
+let close frame =
+  (* pop down to (and including) our frame: if the bracketed code leaked
+     opens — impossible through this module, but a foreign sink switch
+     can orphan frames — close ours anyway, exactly once *)
+  (match !stack with
+  | fr :: rest when fr == frame -> stack := rest
+  | other ->
+    let rec drop = function
+      | fr :: rest when fr == frame -> rest
+      | _ :: rest -> drop rest
+      | [] -> other
+    in
+    stack := drop other);
+  frame.sink.Sink.emit
+    {
+      Event.phase = Event.End;
+      name = frame.name;
+      ts = now ();
+      args = frame.end_args;
+    }
+
+let with_span ?(args = []) name f =
+  match !current with
+  | None -> f ()
+  | Some sink ->
+    sink.Sink.emit { Event.phase = Event.Begin; name; ts = now (); args };
+    let frame = { name; sink; end_args = [] } in
+    stack := frame :: !stack;
+    (match f () with
+    | v ->
+      close frame;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      close frame;
+      Printexc.raise_with_backtrace e bt)
+
+let depth () = List.length !stack

@@ -1,0 +1,48 @@
+(** Hierarchical wall-clock spans — the instrumentation front end.
+
+    A single global switch: with no sink installed (the default) every
+    entry point is a no-op behind one branch on a [ref], so instrumented
+    hot paths stay essentially free. With a sink installed,
+    {!with_span} brackets a computation between a [Begin] and an [End]
+    event, {!annotate} attaches key/value arguments (counter deltas,
+    routes taken, sizes) to the innermost open span's [End], and
+    {!instant} emits point events.
+
+    Invariants the engine maintains (locked by the test suite):
+    - every span is closed {e exactly once}, also when the bracketed
+      computation raises (the exception is re-raised after the [End]);
+    - [End] events appear innermost-first, so the emitted stream always
+      brackets like balanced parentheses;
+    - events carry non-decreasing timestamps (one clock, read in
+      order).
+
+    The engine is a process-wide singleton and is not thread-safe —
+    matching the rest of the system, which is single-threaded. *)
+
+val set_sink : Sink.t option -> unit
+(** [Some s] enables telemetry into [s]; [None] disables it. Switching
+    sinks while spans are open closes nothing: the open spans' [End]s go
+    to the {e new} sink (or nowhere), so prefer switching at quiescent
+    points. *)
+
+val sink : unit -> Sink.t option
+val enabled : unit -> bool
+
+val now : unit -> float
+(** The engine's clock: [Unix.gettimeofday] (seconds). *)
+
+val with_span :
+  ?args:(string * Event.arg) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] bracketed by [Begin name]/[End name].
+    Disabled: exactly [f ()] after one branch. [args] ride on the
+    [Begin] event. *)
+
+val annotate : (string * Event.arg) list -> unit
+(** Attach arguments to the innermost open span's [End] event,
+    replacing earlier values of the same keys. No open span or
+    disabled: a no-op. *)
+
+val instant : ?args:(string * Event.arg) list -> string -> unit
+
+val depth : unit -> int
+(** Number of currently open spans (0 when disabled). *)

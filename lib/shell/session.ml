@@ -29,6 +29,7 @@ let help_text =
   \  trace                run Algorithm 1 step by step\n\
   \  query Q              (preferred) consistent answer to Q\n\
   \  qtrace Q             answer plus the decomposition's work report\n\
+  \  profile Q            answer plus a hierarchical time profile\n\
   \  explain Q            answer with witness repairs\n\
   \  status VALUES        a tuple's conflicts and fate\n\
   \  aggregate SPEC       count | sum:A | min:A | max:A\n\
@@ -220,6 +221,42 @@ let cmd_qtrace st text =
               Format.fprintf ppf "%a" Core.Trace.pp_cqa
                 (Core.Trace.certainty st.family d q)))
 
+(* Run the query with a local memory sink installed, print the profile
+   tree next to the verdict. If the session already traces to a sink
+   (--trace-out), tee into it so the events reach both. *)
+let cmd_profile st text =
+  with_context st (fun _spec c p ->
+      match Query.Parser.parse text with
+      | Error e -> "error: " ^ e
+      | Ok q ->
+        if not (Query.Ast.is_closed q) then
+          "error: profile requires a closed query"
+        else begin
+          let buf = Obs.Sink.Memory.create () in
+          let local = Obs.Sink.Memory.sink buf in
+          let outer = Obs.Span.sink () in
+          let sink =
+            match outer with None -> local | Some s -> Obs.Sink.tee local s
+          in
+          Obs.Span.set_sink (Some sink);
+          let restore () = Obs.Span.set_sink outer in
+          match
+            let d = decompose_of st c p in
+            Core.Decompose.certainty st.family d q
+          with
+          | verdict ->
+            restore ();
+            buffer_out (fun ppf ->
+                Format.fprintf ppf "%s: %s@."
+                  (Family.name_to_string st.family)
+                  (Core.Cqa.certainty_to_string verdict);
+                Format.fprintf ppf "%a" Obs.Profile.pp
+                  (Obs.Profile.tree (Obs.Sink.Memory.events buf)))
+          | exception e ->
+            restore ();
+            raise e
+        end)
+
 let cmd_explain st text =
   with_context st (fun _spec c p ->
       match Query.Parser.parse text with
@@ -372,44 +409,52 @@ let split_command line =
 
 let exec st line =
   let cmd, rest = split_command line in
-  match (String.lowercase_ascii cmd, rest) with
-  | "", "" -> (st, "")
-  | "help", _ -> (st, help_text)
-  | "load", "" -> (st, "usage: load FILE")
-  | "load", path -> cmd_load st path
-  | "family", name -> cmd_family st name
-  | "info", _ -> (st, cmd_info st)
-  | "repairs", "" -> (st, cmd_repairs st 20)
-  | "repairs", n -> (
-    match int_of_string_opt n with
-    | Some n when n > 0 -> (st, cmd_repairs st n)
-    | _ -> (st, "usage: repairs [N]"))
-  | "count", _ -> (st, cmd_count st)
-  | "stats", _ -> (st, cmd_stats st)
-  | "facts", _ -> (st, cmd_facts st)
-  | "clean", _ -> (st, cmd_clean st)
-  | "trace", _ -> (st, cmd_trace st)
-  | "query", "" -> (st, "usage: query Q")
-  | "query", q -> (st, cmd_query st q)
-  | "qtrace", "" -> (st, "usage: qtrace Q")
-  | "qtrace", q -> (st, cmd_qtrace st q)
-  | "explain", "" -> (st, "usage: explain Q")
-  | "explain", q -> (st, cmd_explain st q)
-  | "status", "" -> (st, "usage: status VALUES")
-  | "status", v -> (st, cmd_status st v)
-  | "insert", "" -> (st, "usage: insert VALUES")
-  | "insert", v -> cmd_insert st v
-  | "delete", "" -> (st, "usage: delete VALUES")
-  | "delete", v -> cmd_delete st v
-  | "undo", _ -> cmd_undo st
-  | "aggregate", "" -> (st, "usage: aggregate count|sum:A|min:A|max:A")
-  | "aggregate", a -> (st, cmd_aggregate st a)
-  | "prefer", "" -> (st, "usage: prefer source A > B | newest | oldest | attribute A larger|smaller | formula F")
-  | "prefer", body -> cmd_prefer st body
-  | "save", "" -> (st, "usage: save FILE")
-  | "save", path -> cmd_save st path
-  | other, _ ->
-    (st, Printf.sprintf "unknown command %S (try: help)" other)
+  let cmd = String.lowercase_ascii cmd in
+  (* every command runs inside a [shell.<cmd>] span, so a session-wide
+     trace sink (--trace-out) captures interactive work — stats, qtrace,
+     updates — with the same nesting as the CLI paths *)
+  let run () =
+    match (cmd, rest) with
+    | "", "" -> (st, "")
+    | "help", _ -> (st, help_text)
+    | "load", "" -> (st, "usage: load FILE")
+    | "load", path -> cmd_load st path
+    | "family", name -> cmd_family st name
+    | "info", _ -> (st, cmd_info st)
+    | "repairs", "" -> (st, cmd_repairs st 20)
+    | "repairs", n -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> (st, cmd_repairs st n)
+      | _ -> (st, "usage: repairs [N]"))
+    | "count", _ -> (st, cmd_count st)
+    | "stats", _ -> (st, cmd_stats st)
+    | "facts", _ -> (st, cmd_facts st)
+    | "clean", _ -> (st, cmd_clean st)
+    | "trace", _ -> (st, cmd_trace st)
+    | "query", "" -> (st, "usage: query Q")
+    | "query", q -> (st, cmd_query st q)
+    | "qtrace", "" -> (st, "usage: qtrace Q")
+    | "qtrace", q -> (st, cmd_qtrace st q)
+    | "profile", "" -> (st, "usage: profile Q")
+    | "profile", q -> (st, cmd_profile st q)
+    | "explain", "" -> (st, "usage: explain Q")
+    | "explain", q -> (st, cmd_explain st q)
+    | "status", "" -> (st, "usage: status VALUES")
+    | "status", v -> (st, cmd_status st v)
+    | "insert", "" -> (st, "usage: insert VALUES")
+    | "insert", v -> cmd_insert st v
+    | "delete", "" -> (st, "usage: delete VALUES")
+    | "delete", v -> cmd_delete st v
+    | "undo", _ -> cmd_undo st
+    | "aggregate", "" -> (st, "usage: aggregate count|sum:A|min:A|max:A")
+    | "aggregate", a -> (st, cmd_aggregate st a)
+    | "prefer", "" -> (st, "usage: prefer source A > B | newest | oldest | attribute A larger|smaller | formula F")
+    | "prefer", body -> cmd_prefer st body
+    | "save", "" -> (st, "usage: save FILE")
+    | "save", path -> cmd_save st path
+    | other, _ -> (st, Printf.sprintf "unknown command %S (try: help)" other)
+  in
+  if cmd = "" then run () else Obs.Span.with_span ("shell." ^ cmd) run
 
 (* Error outputs all share a recognizable prefix; the non-interactive
    driver uses this to decide its exit code. *)

@@ -429,6 +429,49 @@ let test_component_of () =
   Alcotest.(check bool) "vertex in its component" true (Vset.mem 0 comp0);
   check Alcotest.int "ladder components are edges" 2 (Vset.cardinal comp0)
 
+let test_count_within () =
+  let rng = Workload.Prng.create 409 in
+  for _ = 1 to 15 do
+    let c, p = random_case rng in
+    let d = Decompose.make c p in
+    List.iter
+      (fun family ->
+        List.iter
+          (fun comp ->
+            let expected = List.length (Decompose.preferred_within family d comp) in
+            (* warm path: the preferred_within call above populated the
+               cache, so count_within answers from it *)
+            let hits0 = (Decompose.counters d).cache_hits in
+            check Alcotest.int "count_within (cached)" expected
+              (Decompose.count_within family d comp);
+            check Alcotest.bool "cache served the warm count" true
+              ((Decompose.counters d).cache_hits > hits0);
+            (* cold path: a fresh context has no cache, and counting must
+               not create one *)
+            let d' = Decompose.make c p in
+            let before = (Decompose.counters d').component_repairs in
+            check Alcotest.int "count_within (cold)" expected
+              (Decompose.count_within family d' comp);
+            check Alcotest.int "cold count materialized nothing" before
+              ((Decompose.counters d').component_repairs))
+          (Decompose.components d))
+      Family.all_names
+  done
+
+let test_count_saturates () =
+  (* 40 chain components with several repairs each: the true product
+     overflows 63-bit ints, so [count] must clamp at [max_int] rather
+     than wrap to garbage (possibly negative) *)
+  let rel, fds = Workload.Generator.chain_components ~components:40 ~size:8 in
+  let c = Conflict.build fds rel in
+  let d = Decompose.make c (Priority.empty c) in
+  let per_component =
+    Decompose.count_within Family.Rep d (Decompose.component_of d 0)
+  in
+  check Alcotest.bool "instance actually overflows" true
+    (float_of_int per_component ** 40. > float_of_int max_int);
+  check Alcotest.int "saturated" max_int (Decompose.count Family.Rep d)
+
 let suite =
   [
     ("preferred-repair counts match enumeration", `Quick, test_count_matches_enumeration);
@@ -446,4 +489,6 @@ let suite =
     ("sharded open answers = whole-graph open answers", `Quick, test_sharded_open_answers_equivalence);
     ("observability counters and qtrace evidence", `Quick, test_counters_and_trace);
     ("counter hygiene: snapshot, reset, independence", `Quick, test_counter_hygiene);
+    ("count_within = length of preferred_within", `Quick, test_count_within);
+    ("count saturates instead of wrapping", `Quick, test_count_saturates);
   ]

@@ -25,5 +25,6 @@ let () =
       ("decompose", Test_decompose.suite);
       ("delta", Test_delta.suite);
       ("vset_model", Test_vset_model.suite);
+      ("obs", Test_obs.suite);
       ("qcheck", Test_qcheck.suite);
     ]

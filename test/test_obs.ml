@@ -1,0 +1,251 @@
+(* Tests for the telemetry engine: span bracketing (also under
+   exceptions), annotation plumbing, sink bounding, export round-trips
+   and the profile aggregation. A QCheck property locks the stream
+   invariants — monotone timestamps, balanced brackets — over random
+   span programs. *)
+
+let check = Alcotest.check
+
+(* Run [f] under a fresh in-memory sink and hand back the recorded
+   events; the previous sink is restored even if [f] raises. *)
+let record ?capacity f =
+  let buf = Obs.Sink.Memory.create ?capacity () in
+  let prev = Obs.Span.sink () in
+  Obs.Span.set_sink (Some (Obs.Sink.Memory.sink buf));
+  (match f () with
+  | _ -> Obs.Span.set_sink prev
+  | exception e ->
+    Obs.Span.set_sink prev;
+    raise e);
+  (Obs.Sink.Memory.events buf, buf)
+
+let shape events =
+  List.map
+    (fun (e : Obs.Event.t) ->
+      let ph =
+        match e.phase with
+        | Obs.Event.Begin -> "B"
+        | Obs.Event.End -> "E"
+        | Obs.Event.Instant -> "i"
+      in
+      ph ^ ":" ^ e.name)
+    events
+
+let test_nesting () =
+  let events, _ =
+    record (fun () ->
+        Obs.Span.with_span "outer" (fun () ->
+            Obs.Span.with_span "inner" (fun () -> ());
+            Obs.Span.instant "mark"))
+  in
+  check (Alcotest.list Alcotest.string) "bracketing"
+    [ "B:outer"; "B:inner"; "E:inner"; "i:mark"; "E:outer" ]
+    (shape events);
+  check Alcotest.int "quiescent" 0 (Obs.Span.depth ())
+
+let test_disabled_noop () =
+  Obs.Span.set_sink None;
+  check Alcotest.bool "disabled" false (Obs.Span.enabled ());
+  (* all entry points must be inert without a sink *)
+  let r = Obs.Span.with_span "x" (fun () -> 41 + 1) in
+  Obs.Span.annotate [ ("k", Obs.Event.Int 1) ];
+  Obs.Span.instant "i";
+  check Alcotest.int "value through" 42 r;
+  check Alcotest.int "no open spans" 0 (Obs.Span.depth ())
+
+exception Boom
+
+let test_exception_balance () =
+  let events, _ =
+    record (fun () ->
+        try
+          Obs.Span.with_span "outer" (fun () ->
+              Obs.Span.with_span "inner" (fun () -> raise Boom))
+        with Boom -> ())
+  in
+  check (Alcotest.list Alcotest.string) "closed on the way out"
+    [ "B:outer"; "B:inner"; "E:inner"; "E:outer" ]
+    (shape events);
+  check Alcotest.int "stack unwound" 0 (Obs.Span.depth ());
+  (* the exception itself must escape with_span *)
+  let escaped = ref false in
+  let events, _ =
+    record (fun () ->
+        (try Obs.Span.with_span "s" (fun () -> raise Boom)
+         with Boom -> escaped := true))
+  in
+  check Alcotest.bool "re-raised" true !escaped;
+  check (Alcotest.list Alcotest.string) "still balanced" [ "B:s"; "E:s" ]
+    (shape events)
+
+let test_annotate () =
+  let events, _ =
+    record (fun () ->
+        Obs.Span.with_span "s" (fun () ->
+            Obs.Span.annotate [ ("route", Obs.Event.Str "ground") ];
+            (* same key again: replaced, not duplicated *)
+            Obs.Span.annotate
+              [ ("route", Obs.Event.Str "full-product");
+                ("n", Obs.Event.Int 7) ]))
+  in
+  match List.rev events with
+  | ({ phase = Obs.Event.End; args; _ } : Obs.Event.t) :: _ ->
+    check Alcotest.string "last write wins" "full-product"
+      (Obs.Event.arg_to_string (List.assoc "route" args));
+    check Alcotest.string "int arg" "7"
+      (Obs.Event.arg_to_string (List.assoc "n" args));
+    check Alcotest.int "no duplicate keys" 2 (List.length args)
+  | _ -> Alcotest.fail "expected a trailing End event"
+
+let test_memory_bound () =
+  let events, buf =
+    record ~capacity:4 (fun () ->
+        for _ = 1 to 10 do
+          Obs.Span.with_span "s" (fun () -> ())
+        done)
+  in
+  check Alcotest.bool "dropped some" true (Obs.Sink.Memory.dropped buf > 0);
+  (* whatever is kept must still bracket: validate the chrome export *)
+  (match Obs.Export.validate (Obs.Export.chrome events) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("truncated log unbalanced: " ^ e));
+  check Alcotest.int "length matches" (List.length events)
+    (Obs.Sink.Memory.length buf)
+
+let test_jsonl_round_trip () =
+  let events, _ =
+    record (fun () ->
+        Obs.Span.with_span "outer"
+          ~args:[ ("family", Obs.Event.Str "rep") ]
+          (fun () ->
+            Obs.Span.annotate
+              [ ("hits", Obs.Event.Int 3);
+                ("share", Obs.Event.Float 0.5);
+                ("ok", Obs.Event.Bool true) ];
+            Obs.Span.instant "tick"))
+  in
+  let text = Obs.Export.jsonl_string events in
+  (match Obs.Export.validate_jsonl text with
+  | Ok n -> check Alcotest.int "validated all lines" (List.length events) n
+  | Error e -> Alcotest.fail e);
+  match Obs.Export.events_of_jsonl text with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+    check Alcotest.int "same cardinality" (List.length events)
+      (List.length back);
+    List.iter2
+      (fun (a : Obs.Event.t) (b : Obs.Event.t) ->
+        check Alcotest.bool "phase" true (a.phase = b.phase);
+        check Alcotest.string "name" a.name b.name;
+        check Alcotest.bool "args" true (a.args = b.args);
+        check (Alcotest.float 1e-6) "ts" a.ts b.ts)
+      events back
+
+let test_chrome_export () =
+  let events, _ =
+    record (fun () ->
+        Obs.Span.with_span "a" (fun () -> Obs.Span.with_span "b" (fun () -> ())))
+  in
+  let json = Obs.Export.chrome events in
+  (match Obs.Export.validate json with
+  | Ok n -> check Alcotest.int "all events present" 4 n
+  | Error e -> Alcotest.fail e);
+  (* a reparse of the rendered string validates identically *)
+  match Obs.Json.of_string (Obs.Export.chrome_string events) with
+  | Error e -> Alcotest.fail e
+  | Ok reparsed -> (
+    match Obs.Export.validate reparsed with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail ("rendered trace invalid: " ^ e))
+
+let test_profile_merge () =
+  let events, _ =
+    record (fun () ->
+        Obs.Span.with_span "root" (fun () ->
+            for _ = 1 to 3 do
+              Obs.Span.with_span "leaf" (fun () ->
+                  Obs.Span.annotate [ ("n", Obs.Event.Int 2) ])
+            done))
+  in
+  match Obs.Profile.tree events with
+  | [ root ] -> (
+    check Alcotest.string "root name" "root" root.Obs.Profile.name;
+    match root.Obs.Profile.children with
+    | [ leaf ] ->
+      check Alcotest.int "siblings merged" 3 leaf.Obs.Profile.count;
+      check Alcotest.string "int args summed" "6"
+        (Obs.Event.arg_to_string (List.assoc "n" leaf.Obs.Profile.args))
+    | cs -> Alcotest.fail (Printf.sprintf "expected 1 child, got %d" (List.length cs)))
+  | ts -> Alcotest.fail (Printf.sprintf "expected 1 root, got %d" (List.length ts))
+
+(* --- property: stream invariants over random span programs ------------------ *)
+
+(* A random program is a forest of nested spans described by a seed;
+   some leaves raise (caught at the top), some annotate, some emit
+   instants. Whatever the program does, the recorded stream must keep
+   monotone timestamps and balanced name-matched brackets — exactly what
+   [Export.validate] checks. *)
+let run_program seed =
+  let rng = Workload.Prng.create seed in
+  let rec go depth budget =
+    if budget <= 0 then budget
+    else
+      match Workload.Prng.int rng 5 with
+      | 0 when depth < 4 ->
+        Obs.Span.with_span
+          (Printf.sprintf "s%d" (Workload.Prng.int rng 3))
+          (fun () -> go (depth + 1) (budget - 1))
+      | 1 ->
+        Obs.Span.instant "i";
+        budget - 1
+      | 2 ->
+        Obs.Span.annotate [ ("c", Obs.Event.Int (Workload.Prng.int rng 10)) ];
+        budget - 1
+      | 3 -> (
+        try
+          Obs.Span.with_span "raiser" (fun () ->
+              if Workload.Prng.int rng 2 = 0 then raise Boom;
+              go (depth + 1) (budget - 1))
+        with Boom -> budget - 1)
+      | _ -> budget - 1
+  in
+  let budget = ref 40 in
+  while !budget > 0 do
+    budget := go 0 !budget
+  done
+
+let prop_stream_invariants =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random span programs emit valid streams"
+       ~count:100
+       ~print:string_of_int
+       QCheck2.Gen.(int_bound 1_000_000)
+       (fun seed ->
+         let events, _ = record (fun () -> run_program seed) in
+         (* timestamps non-decreasing: the monotone-counter half *)
+         let rec monotone = function
+           | (a : Obs.Event.t) :: (b : Obs.Event.t) :: rest ->
+             a.ts <= b.ts && monotone (b :: rest)
+           | _ -> true
+         in
+         monotone events
+         && (match Obs.Export.validate (Obs.Export.chrome events) with
+            | Ok _ -> true
+            | Error _ -> false)
+         &&
+         match Obs.Export.validate_jsonl (Obs.Export.jsonl_string events) with
+         | Ok _ -> true
+         | Error _ -> false))
+
+let suite =
+  [
+    ("span nesting", `Quick, test_nesting);
+    ("disabled engine is inert", `Quick, test_disabled_noop);
+    ("balance under exceptions", `Quick, test_exception_balance);
+    ("annotate merges into End", `Quick, test_annotate);
+    ("memory sink stays balanced when full", `Quick, test_memory_bound);
+    ("jsonl round-trip", `Quick, test_jsonl_round_trip);
+    ("chrome export validates", `Quick, test_chrome_export);
+    ("profile merges siblings", `Quick, test_profile_merge);
+    prop_stream_invariants;
+  ]

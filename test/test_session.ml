@@ -225,6 +225,56 @@ let test_unknown_and_help () =
   let _, out = Session.exec st "" in
   Alcotest.(check bool) "empty line" true (out = "")
 
+let test_profile_and_telemetry () =
+  let st = load () in
+  (* profile: verdict plus a span tree, no session sink required *)
+  let _, out =
+    Session.exec st
+      "profile Mgr('Mary', 'R&D', 40000, 3) or Mgr('John', 'R&D', 10000, 2)"
+  in
+  Alcotest.(check bool) "verdict reported" true
+    (contains ~needle:"certainly true" out);
+  Alcotest.(check bool) "profile tree rendered" true
+    (contains ~needle:"cqa.certainty" out);
+  Alcotest.(check bool) "route recorded" true
+    (contains ~needle:"route=" out);
+  let _, err = Session.exec st "profile Mgr(n, 'R&D', s, r)" in
+  Alcotest.(check bool) "open query rejected" true
+    (contains ~needle:"closed query" err);
+  let _, usage = Session.exec st "profile" in
+  Alcotest.(check bool) "bare profile prints usage" true
+    (contains ~needle:"usage" usage);
+  (* with a session-wide sink installed (the shell's --trace-out path),
+     every command runs inside a shell.<cmd> span and the commands that
+     build their own local trees tee rather than steal the stream *)
+  let buf = Obs.Sink.Memory.create () in
+  Obs.Span.set_sink (Some (Obs.Sink.Memory.sink buf));
+  let st, _ = Session.exec st "stats" in
+  let st, _ =
+    Session.exec st "qtrace Mgr('Mary', 'R&D', 40000, 3) or Mgr('John', 'R&D', 10000, 2)"
+  in
+  let _, out =
+    Session.exec st
+      "profile Mgr('Mary', 'R&D', 40000, 3) or Mgr('John', 'R&D', 10000, 2)"
+  in
+  Obs.Span.set_sink None;
+  Alcotest.(check bool) "profile output intact under tee" true
+    (contains ~needle:"cqa.certainty" out);
+  let names =
+    List.filter_map
+      (fun (e : Obs.Event.t) ->
+        match e.phase with Obs.Event.Begin -> Some e.name | _ -> None)
+      (Obs.Sink.Memory.events buf)
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " captured") true
+        (List.mem needle names))
+    [ "shell.stats"; "shell.qtrace"; "shell.profile"; "cqa.certainty" ];
+  match Obs.Export.validate_jsonl (Obs.Export.jsonl_string (Obs.Sink.Memory.events buf)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("session trace invalid: " ^ e)
+
 let suite =
   [
     ("initial state", `Quick, test_initial_state);
@@ -240,4 +290,5 @@ let suite =
     ("insert, delete, undo", `Quick, test_insert_delete_undo);
     ("save/load round-trip", `Quick, test_save_load_round_trip);
     ("unknown commands and help", `Quick, test_unknown_and_help);
+    ("profile command and session telemetry", `Quick, test_profile_and_telemetry);
   ]
