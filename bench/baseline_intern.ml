@@ -1,0 +1,165 @@
+(* Boxed-value reference kernels for the INTERN before/after benchmark.
+
+   These preserve the seed's tuple-identity layer — values as a boxed
+   Name/Int variant, tuples as boxed value arrays, tuple identity
+   resolved through comparison-ordered maps — exactly the representation
+   [Conflict.build] and the ground-CQA route used before values were
+   interned and relations became id-addressed fact stores:
+
+   - conflict-graph construction grouped tuples per FD by a *boxed*
+     lhs-projection key (a fresh tuple allocated per member, hashed
+     structurally) and resolved every violating pair back to vertex ids
+     through a [Map.Make]-style tuple map;
+   - the ground route resolved each query fact to its vertex id through
+     the same comparison-based map, paying a boxed value comparison per
+     tree level.
+
+   Measuring these in the same run, on the same instances, and against
+   the same downstream kernels (the bitset graph constructor, the live
+   [Cqa.demand_satisfiable]) makes BENCH_intern.json an apples-to-apples
+   before/after of the identity layer alone. *)
+
+open Graphs
+
+(* the seed value representation: a boxed variant compared structurally *)
+type bvalue = Bname of string | Bint of int
+
+let bvalue_compare a b =
+  match (a, b) with
+  | Bname x, Bname y -> String.compare x y
+  | Bint x, Bint y -> Int.compare x y
+  | Bname _, Bint _ -> -1
+  | Bint _, Bname _ -> 1
+
+(* the seed tuple representation: an array of boxed values, compared
+   lexicographically *)
+type btuple = bvalue array
+
+let btuple_compare t1 t2 =
+  let n1 = Array.length t1 and n2 = Array.length t2 in
+  let rec go i =
+    if i >= n1 || i >= n2 then Int.compare n1 n2
+    else
+      let c = bvalue_compare t1.(i) t2.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* tuple -> vertex id: the seed Conflict index, a persistent map ordered
+   by boxed-tuple comparison *)
+module Btmap = Map.Make (struct
+  type t = btuple
+
+  let compare = btuple_compare
+end)
+
+(* lhs-projection -> member vertices: the seed's per-FD group index *)
+module Bkmap = Map.Make (struct
+  type t = bvalue list
+
+  let compare = List.compare bvalue_compare
+end)
+
+let box_value = function
+  | Relational.Value.Name s -> Bname s
+  | Relational.Value.Int n -> Bint n
+
+let box_tuple t = Array.of_list (List.map box_value (Relational.Tuple.values t))
+
+(* canonical fact enumeration of [rel] as boxed tuples, in the same
+   vertex order the live side uses *)
+let box_relation rel =
+  Array.map box_tuple (Relational.Relation.tuple_array rel)
+
+type group_index = {
+  lpos : int list;
+  members : Vset.t Bkmap.t;
+}
+
+type t = {
+  graph : Undirected.t;
+  index : int Btmap.t;
+  groups : group_index list;
+}
+
+let agree_on t1 t2 pos =
+  List.for_all (fun i -> bvalue_compare t1.(i) t2.(i) = 0) pos
+
+(* The seed conflict-graph build over boxed tuples. [fd_positions] is
+   the (lhs, rhs) schema positions of each FD — position lookup is
+   identical on both sides and stays outside the comparison. *)
+let build ~fd_positions tuples =
+  let n = Array.length tuples in
+  let index = ref Btmap.empty in
+  Array.iteri (fun i t -> index := Btmap.add t i !index) tuples;
+  let index = !index in
+  let edges =
+    List.concat_map
+      (fun (lpos, rpos) ->
+        (* group by a freshly allocated boxed projection key, compare
+           pairwise within groups, then resolve each violating pair
+           through the tuple map — the seed Fd.violations + edge_of_pair
+           pipeline *)
+        let groups = Hashtbl.create n in
+        Array.iter
+          (fun t ->
+            let k = Array.of_list (List.map (fun i -> t.(i)) lpos) in
+            let existing =
+              Option.value (Hashtbl.find_opt groups k) ~default:[]
+            in
+            Hashtbl.replace groups k (t :: existing))
+          tuples;
+        let pairs = ref [] in
+        Hashtbl.iter
+          (fun _ group ->
+            let g = Array.of_list group in
+            let m = Array.length g in
+            for i = 0 to m - 2 do
+              for j = i + 1 to m - 1 do
+                if not (agree_on g.(i) g.(j) rpos) then
+                  pairs :=
+                    (Btmap.find g.(i) index, Btmap.find g.(j) index) :: !pairs
+              done
+            done)
+          groups;
+        !pairs)
+      fd_positions
+  in
+  (* the per-FD group re-projection the seed kept for delta probes *)
+  let groups =
+    List.map
+      (fun (lpos, _) ->
+        let members = ref Bkmap.empty in
+        Array.iteri
+          (fun i t ->
+            let key = List.map (fun p -> t.(p)) lpos in
+            members :=
+              Bkmap.update key
+                (fun s -> Some (Vset.add i (Option.value s ~default:Vset.empty)))
+                !members)
+          tuples;
+        { lpos; members = !members })
+      fd_positions
+  in
+  { graph = Undirected.create n edges; index; groups }
+
+(* Resolve one ground clause through the boxed tuple map, mirroring
+   Ground.of_clause: a positive fact missing from the instance makes the
+   clause unsatisfiable, a missing negative fact is vacuous. Returns the
+   Vset demand for the shared downstream kernel, or None. *)
+let resolve_clause index ~required ~forbidden =
+  let rec pos acc = function
+    | [] -> Some acc
+    | t :: rest -> (
+      match Btmap.find_opt t index with
+      | None -> None
+      | Some v -> pos (v :: acc) rest)
+  in
+  match pos [] required with
+  | None -> None
+  | Some req ->
+    let forb =
+      List.filter_map (fun t -> Btmap.find_opt t index) forbidden
+    in
+    Some
+      { Core.Ground.required = Vset.of_list req; forbidden = Vset.of_list forb }

@@ -194,6 +194,31 @@ let write_comparisons_json path =
     (String.concat ",\n" (List.map entry (List.rev !comparisons)));
   close_out oc
 
+(* Boxed-seed vs interned-substrate records for BENCH_intern.json: each
+   entry times the same kernel over the seed identity layer (boxed
+   values, comparison-ordered tuple maps; [Baseline_intern]) and over
+   the interned fact-id substrate, on the same instance. *)
+let intern_entries : (string * float * float * string) list ref = ref []
+
+let record_intern ~name ~baseline ~interned ~note =
+  intern_entries := (name, baseline, interned, note) :: !intern_entries
+
+let write_intern_json path =
+  let prev = previous_medians path "interned_median_s" in
+  let oc = open_out path in
+  let entry (name, baseline, interned, note) =
+    Printf.sprintf
+      "    {\"name\": %S, \"baseline_median_s\": %.9f, \
+       \"interned_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S%s}"
+      name baseline interned (baseline /. interned) note
+      (previous_field prev name)
+  in
+  Printf.fprintf oc "{\n  \"experiment\": \"interned-fact-id-substrate\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map entry (List.rev !intern_entries)));
+  close_out oc
+
 (* Whole-graph vs component-sharded records for BENCH_decompose.json.
    [whole = None] marks a frontier workload the whole-graph path cannot
    finish in reasonable time: the sharded number stands alone and the

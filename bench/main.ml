@@ -685,6 +685,30 @@ let obs_bench () =
       let c = Conflict.build fds rel in
       let d = Core.Decompose.make c (Priority.empty c) in
       ignore (Core.Decompose.certainty Family.Rep d q));
+  (* the identity-layer spans added with the interned substrate:
+     intern.parse around instance parsing and relation.index around
+     postings construction — text synthesized in memory so the workload
+     is self-contained *)
+  let parse_text =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "relation R(A:name, B:int)\nfd A -> B\n";
+    let groups = sz 64 16 in
+    for g = 0 to groups - 1 do
+      for k = 0 to 3 do
+        Buffer.add_string buf (Printf.sprintf "tuple 'employee-%d' %d\n" g k)
+      done
+    done;
+    Buffer.contents buf
+  in
+  bench
+    ~name:(Printf.sprintf "parse+index/names-%d" (4 * sz 64 16))
+    ~note:
+      "Instance_format.parse (intern.parse span) + per-column postings \
+       build (relation.index span) per run"
+    (fun () ->
+      match Dbio.Instance_format.parse parse_text with
+      | Error e -> failwith e
+      | Ok spec -> Relational.Relation.prepare_index spec.relation);
   Harness.table
     ~header:
       [ "workload"; "disabled"; "null sink"; "memory sink"; "null ovh";
@@ -1013,6 +1037,238 @@ let vset_bench () =
   Harness.note
     "bitset = the live Vset. Written to BENCH_vset.json."
 
+(* --- INTERN: interned fact-id substrate vs the boxed-value seed --------------------- *)
+
+(* Before/after for this PR's tuple-identity layer. The "before" side is
+   [Baseline_intern]: the seed's boxed values, boxed tuple arrays and
+   comparison-ordered tuple maps, driving the same downstream kernels
+   (the bitset graph constructor, the live [Cqa.demand_satisfiable]) —
+   so the measured difference is the identity layer alone, not PR 1's
+   bitset win. Two kernels per workload:
+
+   - conflict-build: the full conflict-graph construction. Baseline =
+     tuple-map index build + per-FD boxed-key grouping + group index
+     re-projection (the seed pipeline). Interned = [Conflict.build],
+     whose relation owns its hash index and per-column postings (built
+     once per relation — sharing the index with the store IS the
+     refactor, so the interned side is measured in that steady state).
+
+   - ground-route: CQA clause certainty with the clause structures
+     prepared outside the timers on both sides. Each run resolves every
+     clause's facts to vertex ids (boxed map lookups vs interned hash
+     index) and calls the shared demand kernel, with no early exit —
+     the regime of a Certainly_true verdict, where the CNF sweep must
+     exhaust every clause.
+
+   Workloads are the paper's two instance shapes: the running example's
+   key-violated employee table (name-heavy, Figure 2's Mgr scaled up)
+   and the Figure 1 ladder over named keys; an integer-valued cluster
+   instance rides along to show the win without string comparisons.
+   Written to BENCH_intern.json. *)
+
+(* the running example's shape at scale: a name-keyed employee table
+   where every key group of [width] disagrees on the dependent columns *)
+let mgr_clusters ~groups ~width =
+  let schema =
+    Relational.Schema.make "Mgr"
+      [
+        ("Name", Relational.Schema.TName);
+        ("Dept", Relational.Schema.TName);
+        ("Salary", Relational.Schema.TInt);
+        ("Reports", Relational.Schema.TInt);
+      ]
+  in
+  let rows =
+    List.concat
+      (List.init groups (fun g ->
+           List.init width (fun k ->
+               [
+                 Relational.Value.Name (Printf.sprintf "employee-%d" g);
+                 Relational.Value.Name (Printf.sprintf "dept-%d" k);
+                 Relational.Value.Int (10000 * (k + 1));
+                 Relational.Value.Int k;
+               ])))
+  in
+  ( Relational.Relation.of_rows schema rows,
+    [ Constraints.Fd.make [ "Name" ] [ "Dept"; "Salary"; "Reports" ] ] )
+
+(* Figure 1's ladder r_n with named rungs: R('rung-i', 0) / R('rung-i', 1)
+   conflict under A -> B *)
+let name_ladder rungs =
+  let schema =
+    Relational.Schema.make "R"
+      [ ("A", Relational.Schema.TName); ("B", Relational.Schema.TInt) ]
+  in
+  let rows =
+    List.concat
+      (List.init rungs (fun i ->
+           [
+             [
+               Relational.Value.Name (Printf.sprintf "rung-%d" i);
+               Relational.Value.Int 0;
+             ];
+             [
+               Relational.Value.Name (Printf.sprintf "rung-%d" i);
+               Relational.Value.Int 1;
+             ];
+           ]))
+  in
+  ( Relational.Relation.of_rows schema rows,
+    [ Constraints.Fd.make [ "A" ] [ "B" ] ] )
+
+let intern_bench () =
+  Harness.section "INTERN"
+    "interned fact-id substrate vs the boxed-value seed identity layer";
+  let rows = ref [] in
+  (* a single-core VM's scheduling noise swamps 5-sample medians at these
+     sizes, so give each side a longer budget and more samples *)
+  let min_time = if !Harness.quick then None else Some 0.08 in
+  let samples = if !Harness.quick then None else Some 9 in
+  let bench ~name ~note ~check baseline interned =
+    if not (check ()) then
+      failwith (Printf.sprintf "INTERN %s: baseline and interned disagree" name);
+    let tb = Harness.measure ?min_time ?samples baseline in
+    let ta = Harness.measure ?min_time ?samples interned in
+    Harness.record_intern ~name ~baseline:tb ~interned:ta ~note;
+    rows :=
+      [ name; Harness.time_cell tb; Harness.time_cell ta;
+        Printf.sprintf "x%.1f" (tb /. ta) ]
+      :: !rows
+  in
+  let fd_positions rel fds =
+    let schema = Relational.Relation.schema rel in
+    List.map
+      (fun fd ->
+        ( Relational.Schema.positions_exn schema (Constraints.Fd.lhs fd),
+          Relational.Schema.positions_exn schema (Constraints.Fd.rhs fd) ))
+      fds
+  in
+  (* ground clauses off the conflict structure: each clause is a
+     positive conjunctive demand — "are these 32 stride-separated facts
+     jointly in some repair" — the canonical ground-CQA clause shape.
+     The facts come from distinct conflict groups, so the shared demand
+     kernel does a genuine 32-vertex independence check while per-fact
+     vertex resolution stays the dominant per-clause work *)
+  let clauses_of c ~stride =
+    let n = Conflict.size c in
+    let singles = ref [] in
+    let v = ref 0 in
+    while !v < n do
+      if not (Vset.is_empty (Conflict.neighbors c !v)) then
+        singles := Conflict.tuple c !v :: !singles;
+      v := !v + stride
+    done;
+    let rec chunk = function
+      | [] -> []
+      | xs ->
+        let rec take k = function
+          | x :: rest when k > 0 ->
+            let taken, dropped = take (k - 1) rest in
+            (x :: taken, dropped)
+          | rest -> ([], rest)
+        in
+        let req, rest = take 32 xs in
+        (req, []) :: chunk rest
+    in
+    chunk (List.rev !singles)
+  in
+  (* live-side clause resolution, mirroring Ground.of_clause over the
+     interned index *)
+  let live_clause_sat c (required, forbidden) =
+    let rec pos acc = function
+      | [] -> Some acc
+      | t :: rest -> (
+        match Conflict.index c t with
+        | None -> None
+        | Some v -> pos (v :: acc) rest)
+    in
+    match pos [] required with
+    | None -> false
+    | Some req ->
+      let forb = List.filter_map (Conflict.index c) forbidden in
+      Cqa.demand_satisfiable c
+        {
+          Core.Ground.required = Vset.of_list req;
+          forbidden = Vset.of_list forb;
+        }
+  in
+  let baseline_clause_sat c index clause =
+    let breq, bforb = clause in
+    match Baseline_intern.resolve_clause index ~required:breq ~forbidden:bforb with
+    | None -> false
+    | Some d -> Cqa.demand_satisfiable c d
+  in
+  let workload ~shape c rel fds ~stride =
+    let pos = fd_positions rel fds in
+    let boxed = Baseline_intern.box_relation rel in
+    bench
+      ~name:(Printf.sprintf "conflict-build/%s" shape)
+      ~note:
+        "full conflict-graph construction: boxed tuple-map index + per-FD \
+         boxed-key grouping vs the relation-owned interned index"
+      ~check:(fun () ->
+        let b = Baseline_intern.build ~fd_positions:pos boxed in
+        Graphs.Undirected.edge_count b.Baseline_intern.graph
+        = Graphs.Undirected.edge_count (Conflict.graph c)
+        && Graphs.Undirected.size b.Baseline_intern.graph = Conflict.size c)
+      (fun () -> ignore (Baseline_intern.build ~fd_positions:pos boxed))
+      (fun () -> ignore (Conflict.build fds rel));
+    let clauses = clauses_of c ~stride in
+    let boxed_clauses =
+      List.map
+        (fun (req, forb) ->
+          ( List.map Baseline_intern.box_tuple req,
+            List.map Baseline_intern.box_tuple forb ))
+        clauses
+    in
+    let bidx = (Baseline_intern.build ~fd_positions:pos boxed).Baseline_intern.index in
+    let count_live () =
+      List.fold_left
+        (fun acc cl -> if live_clause_sat c cl then acc + 1 else acc)
+        0 clauses
+    in
+    let count_baseline () =
+      List.fold_left
+        (fun acc cl -> if baseline_clause_sat c bidx cl then acc + 1 else acc)
+        0 boxed_clauses
+    in
+    bench
+      ~name:(Printf.sprintf "ground-route/%s/%d-clauses" shape (List.length clauses))
+      ~note:
+        "exhaustive CNF clause sweep: per-fact vertex resolution through the \
+         boxed tuple map vs the interned hash index; demand kernel shared"
+      ~check:(fun () -> count_baseline () = count_live ())
+      count_baseline count_live
+  in
+  (* workload A: the running example's employee table, scaled *)
+  let g_mgr = sz 512 16 in
+  let rel_m, fds_m = mgr_clusters ~groups:g_mgr ~width:4 in
+  let c_mgr = Conflict.build fds_m rel_m in
+  workload
+    ~shape:(Printf.sprintf "mgr-clusters-n%d" (4 * g_mgr))
+    c_mgr rel_m fds_m ~stride:4;
+  (* workload B: the Figure 1 ladder over named rungs *)
+  let rungs = sz 512 32 in
+  let rel_l, fds_l = name_ladder rungs in
+  let c_lad = Conflict.build fds_l rel_l in
+  workload
+    ~shape:(Printf.sprintf "name-ladder-n%d" (2 * rungs))
+    c_lad rel_l fds_l ~stride:2;
+  (* workload C: integer-valued key clusters — the win without strings *)
+  let n_clu = sz 2048 64 in
+  let rel_c, fds_c = Generator.key_clusters ~groups:(n_clu / 4) ~width:4 in
+  let c_clu = Conflict.build fds_c rel_c in
+  workload ~shape:(Printf.sprintf "int-clusters-n%d" n_clu) c_clu rel_c fds_c
+    ~stride:4;
+  Harness.table
+    ~header:[ "kernel"; "boxed (seed)"; "interned"; "speedup" ]
+    (List.rev !rows);
+  Harness.note
+    "boxed = the seed identity layer (variant values, tuple-ordered maps),";
+  Harness.note
+    "re-measured in this run against the same downstream kernels. Written";
+  Harness.note "to BENCH_intern.json."
+
 (* --- Bechamel microbenchmarks ------------------------------------------------------ *)
 
 let bechamel_suite () =
@@ -1143,8 +1399,11 @@ let () =
   ext_hyper ();
   obs_bench ();
   vset_bench ();
+  intern_bench ();
   Harness.write_comparisons_json "BENCH_vset.json";
   Format.printf "@.  BENCH_vset.json written.@.";
+  Harness.write_intern_json "BENCH_intern.json";
+  Format.printf "  BENCH_intern.json written.@.";
   Harness.write_decompose_json "BENCH_decompose.json";
   Format.printf "  BENCH_decompose.json written.@.";
   Harness.write_delta_json "BENCH_delta.json";

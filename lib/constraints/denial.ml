@@ -95,7 +95,7 @@ let violations schema dc r =
       done
   in
   if n > 0 then fill 0;
-  List.sort_uniq compare !witnesses
+  List.sort_uniq (List.compare Tuple.compare) !witnesses
 
 let satisfied schema dc r = violations schema dc r = []
 

@@ -61,7 +61,7 @@ let violations schema fd r =
   let groups = Hashtbl.create (Relation.cardinality r) in
   Relation.iter
     (fun t ->
-      let k = Tuple.make (Tuple.project t lpos) in
+      let k = Tuple.project_packed t lpos in
       let existing = Option.value (Hashtbl.find_opt groups k) ~default:[] in
       Hashtbl.replace groups k (t :: existing))
     r;
@@ -82,7 +82,11 @@ let violations schema fd r =
         done
       done)
     groups;
-  List.sort compare !pairs
+  let pair_compare (a1, b1) (a2, b2) =
+    let c = Tuple.compare a1 a2 in
+    if c <> 0 then c else Tuple.compare b1 b2
+  in
+  List.sort pair_compare !pairs
 
 let satisfied schema fd r = violations schema fd r = []
 let all_satisfied schema fds r = List.for_all (fun fd -> satisfied schema fd r) fds

@@ -1,36 +1,23 @@
 open Relational
 open Graphs
 
-(* Per-FD index of the live tuples, grouped by their left-hand-side
-   projection: two tuples can only conflict w.r.t. an FD when they fall in
-   the same group, so a delta tuple is compared against its groups only,
-   never against the whole instance. The maps are persistent, so a delta
-   application shares all untouched groups with its predecessor (and undo
-   can keep old snapshots alive at no cost). *)
-module Kmap = Map.Make (struct
-  type t = Value.t list
-
-  let compare = List.compare Value.compare
-end)
-
-(* Tuple -> vertex id. Persistent for the same reason: a delta touches
-   O(batch log n) nodes instead of copying the whole index. *)
-module Tmap = Map.Make (Tuple)
-
-type group_index = {
-  fd : Constraints.Fd.t;
-  lpos : int list;  (* positions of the FD's lhs in the schema *)
-  members : Vset.t Kmap.t;  (* lhs projection -> live vertices *)
-}
+(* Vertex ids ARE the relation's fact ids: the instance is the
+   id-addressed store of {!Relational.Relation}, and this module keeps no
+   tuple -> vertex map of its own. FD grouping — two tuples can only
+   conflict when they agree on the FD's left-hand side — rides on the
+   relation's per-column postings: for a single-attribute lhs the groups
+   are exactly the postings entries, for a wider lhs candidates are the
+   intersection of one postings probe per lhs column. The postings are
+   forced at {!build} and maintained incrementally by [Relation.patch],
+   so a delta tuple is compared against its groups only, never against
+   the whole instance. *)
 
 type t = {
   fds : Constraints.Fd.t list;
-  relation : Relation.t;  (* the live instance *)
-  tuples : Tuple.t array;  (* vertex id -> tuple; keeps tombstoned slots *)
-  live : Vset.t;  (* vertex ids that are part of the instance *)
+  lposs : (Constraints.Fd.t * int list) list;
+      (* each FD with the positions of its lhs in the schema *)
+  relation : Relation.t; (* fact id = vertex id; tombstones = dead vertices *)
   graph : Undirected.t;
-  index : int Tmap.t;  (* live tuples only *)
-  groups : group_index list;
 }
 
 let lhs_positions schema fd =
@@ -41,29 +28,32 @@ let lhs_positions schema fd =
       | None -> invalid_arg "Conflict: FD attribute missing from schema")
     (Constraints.Fd.lhs fd)
 
-let group_key lpos t = Tuple.project t lpos
+let schema c = Relation.schema c.relation
+let fds c = c.fds
+let relation c = c.relation
+let graph c = c.graph
+let size c = Relation.slot_count c.relation
+let live c = Relation.live_ids c.relation
+let is_live c v = Vset.mem v (Relation.live_ids c.relation)
 
-let group_add g v t =
-  let key = group_key g.lpos t in
-  let members =
-    Kmap.update key
-      (fun s -> Some (Vset.add v (Option.value s ~default:Vset.empty)))
-      g.members
-  in
-  { g with members }
+let tuple c i =
+  if i < 0 || i >= size c then invalid_arg "Conflict.tuple: out of range";
+  Relation.fact c.relation i
 
-let group_remove g v t =
-  let key = group_key g.lpos t in
-  let members =
-    Kmap.update key
-      (function
-        | None -> None
-        | Some s ->
-          let s = Vset.remove v s in
-          if Vset.is_empty s then None else Some s)
-      g.members
-  in
-  { g with members }
+let tuples c = Array.init (size c) (Relation.fact c.relation)
+let index c t = Relation.find c.relation t
+let index_exn c t = Relation.find_exn c.relation t
+
+(* Live vertices agreeing with [t] on every position of [lpos]: one
+   postings probe per column, intersected smallest-first by [Vset]. *)
+let candidates rel lpos t =
+  match lpos with
+  | [] -> Relation.live_ids rel
+  | col :: rest ->
+    List.fold_left
+      (fun acc col -> Vset.inter acc (Relation.matching rel col (Tuple.packed_get t col)))
+      (Relation.matching rel col (Tuple.packed_get t col))
+      rest
 
 let build fds relation =
   Obs.Span.with_span "conflict.build"
@@ -73,71 +63,49 @@ let build fds relation =
   (match Constraints.Fd.wf_all schema fds with
   | Ok () -> ()
   | Error e -> invalid_arg e);
-  let tuples = Relation.tuple_array relation in
-  let n = Array.length tuples in
-  let index = ref Tmap.empty in
-  Array.iteri (fun i t -> index := Tmap.add t i !index) tuples;
-  let index = !index in
-  let edge_of_pair (t1, t2) =
-    (Tmap.find t1 index, Tmap.find t2 index)
+  let lposs = List.map (fun fd -> (fd, lhs_positions schema fd)) fds in
+  (* force the postings: [patch] keeps them fresh from here on *)
+  Relation.prepare_index relation;
+  let edges = ref [] in
+  let group_edges fd ids =
+    let rec go = function
+      | [] | [ _ ] -> ()
+      | u :: rest ->
+        let tu = Relation.fact relation u in
+        List.iter
+          (fun v ->
+            if Constraints.Fd.conflicting schema fd tu (Relation.fact relation v)
+            then edges := (min u v, max u v) :: !edges)
+          rest;
+        go rest
+    in
+    go ids
   in
-  let edges =
-    List.concat_map
-      (fun fd ->
-        List.map edge_of_pair (Constraints.Fd.violations schema fd relation))
-      fds
-  in
-  let groups =
-    List.map
-      (fun fd ->
-        let lpos = lhs_positions schema fd in
-        let members =
-          Array.to_seq tuples
-          |> Seq.mapi (fun i t -> (i, t))
-          |> Seq.fold_left
-               (fun acc (i, t) ->
-                 Kmap.update (group_key lpos t)
-                   (fun s ->
-                     Some (Vset.add i (Option.value s ~default:Vset.empty)))
-                   acc)
-               Kmap.empty
-        in
-        { fd; lpos; members })
-      fds
-  in
+  List.iter
+    (fun (fd, lpos) ->
+      match lpos with
+      | [ col ] ->
+        Relation.iter_groups relation col (fun _key ids ->
+            group_edges fd (Vset.elements ids))
+      | _ ->
+        let tbl = Hashtbl.create 256 in
+        Vset.iter
+          (fun i ->
+            let key = Tuple.project_packed (Relation.fact relation i) lpos in
+            Hashtbl.replace tbl key
+              (i :: Option.value (Hashtbl.find_opt tbl key) ~default:[]))
+          (Relation.live_ids relation);
+        Hashtbl.iter (fun _key ids -> group_edges fd (List.rev ids)) tbl)
+    lposs;
+  let edges = !edges in
   if Obs.Span.enabled () then
     Obs.Span.annotate [ ("edges", Obs.Event.Int (List.length edges)) ];
   {
     fds;
+    lposs;
     relation;
-    tuples;
-    live = Vset.of_range n;
-    graph = Undirected.create n edges;
-    index;
-    groups;
+    graph = Undirected.create (Relation.slot_count relation) edges;
   }
-
-let schema c = Relation.schema c.relation
-let fds c = c.fds
-let relation c = c.relation
-let graph c = c.graph
-let size c = Array.length c.tuples
-let live c = c.live
-let is_live c v = Vset.mem v c.live
-
-let tuple c i =
-  if i < 0 || i >= size c then invalid_arg "Conflict.tuple: out of range";
-  c.tuples.(i)
-
-let tuples c = Array.copy c.tuples
-let index c t = Tmap.find_opt t c.index
-
-let index_exn c t =
-  match index c t with
-  | Some i -> i
-  | None ->
-    invalid_arg
-      (Printf.sprintf "tuple %s is not part of the instance" (Tuple.to_string t))
 
 let vset_of_relation c r =
   Relation.fold (fun t acc -> Vset.add (index_exn c t) acc) r Vset.empty
@@ -166,24 +134,6 @@ type delta = {
   edges_added : (int * int) list;
   edges_removed : (int * int) list;
 }
-
-(* Conflict edges between a tuple and the live members of its FD groups —
-   the incremental counterpart of [Constraints.Fd.violations]. Cost is the
-   total size of the groups the tuple falls in, not the instance size. *)
-let edges_of_tuple c groups v t =
-  let schema = schema c in
-  List.fold_left
-    (fun acc g ->
-      match Kmap.find_opt (group_key g.lpos t) g.members with
-      | None -> acc
-      | Some members ->
-        Vset.fold
-          (fun u acc ->
-            if u <> v && Constraints.Fd.conflicting schema g.fd t c.tuples.(u)
-            then (min u v, max u v) :: acc
-            else acc)
-          members acc)
-    [] groups
 
 let apply_delta c ~insert ~delete =
   Obs.Span.with_span "conflict.apply_delta"
@@ -232,8 +182,12 @@ let apply_delta c ~insert ~delete =
   with
   | Error _ as e -> e
   | Ok () ->
-    (* tombstone the deletions: ids stay allocated, edges fall away *)
-    let deleted = List.map (index_exn c) delete in
+    (* the store tombstones deletions and appends insertions under fresh
+       ids; its postings move in the same step, so the probes below see
+       exactly the post-delta live instance *)
+    let relation', deleted, inserted =
+      Relation.patch c.relation ~delete ~insert
+    in
     let deleted_set = Vset.of_list deleted in
     let edges_removed =
       List.sort_uniq compare
@@ -245,61 +199,34 @@ let apply_delta c ~insert ~delete =
                [])
            deleted)
     in
-    let groups =
-      List.fold_left
-        (fun groups v ->
-          List.map (fun g -> group_remove g v c.tuples.(v)) groups)
-        c.groups deleted
-    in
-    (* append the insertions, probing the group indexes for new edges *)
-    let n = Array.length c.tuples in
-    let tuples' = Array.append c.tuples (Array.of_list insert) in
-    let c_probe = { c with tuples = tuples' } in
-    let inserted, groups, edges_added =
-      List.fold_left
-        (fun (ids, groups, edges) t ->
-          let v = n + List.length ids in
-          let edges =
-            List.rev_append (edges_of_tuple c_probe groups v t) edges
-          in
-          (v :: ids, List.map (fun g -> group_add g v t) groups, edges))
-        ([], groups, []) insert
-    in
-    let inserted = List.rev inserted in
+    (* new conflicts all touch an inserted tuple: probe its lhs groups *)
     let edges_added =
-      (* edges to deleted vertices can not arise: their group entries are
-         gone before any probe *)
-      List.sort_uniq compare edges_added
-    in
-    let index' =
-      List.fold_left2
-        (fun m v t -> Tmap.add t v m)
-        (List.fold_left (fun m t -> Tmap.remove t m) c.index delete)
-        inserted insert
-    in
-    let relation' =
-      List.fold_left Relation.add
-        (List.fold_left Relation.remove c.relation delete)
-        insert
-    in
-    let live' =
-      List.fold_left
-        (fun s v -> Vset.add v s)
-        (Vset.diff c.live deleted_set)
-        inserted
+      List.sort_uniq compare
+        (List.concat_map
+           (fun (v, t) ->
+             List.fold_left
+               (fun acc (fd, lpos) ->
+                 Vset.fold
+                   (fun u acc ->
+                     if
+                       u <> v
+                       && Constraints.Fd.conflicting schema fd t
+                            (Relation.fact relation' u)
+                     then (min u v, max u v) :: acc
+                     else acc)
+                   (candidates relation' lpos t)
+                   acc)
+               [] c.lposs)
+           (List.combine inserted insert))
     in
     let c' =
       {
         c with
         relation = relation';
-        tuples = tuples';
-        live = live';
         graph =
           Undirected.patch c.graph
-            ~n:(Array.length tuples')
+            ~n:(Relation.slot_count relation')
             ~drop:deleted_set ~add:edges_added;
-        index = index';
-        groups;
       }
     in
     if Obs.Span.enabled () then
@@ -317,11 +244,10 @@ let pp ppf c =
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        Constraints.Fd.pp)
     c.fds;
-  Array.iteri
-    (fun i t ->
-      if Vset.mem i c.live then
-        Format.fprintf ppf "  t%d = %a@," i Tuple.pp t)
-    c.tuples;
+  for i = 0 to size c - 1 do
+    if is_live c i then
+      Format.fprintf ppf "  t%d = %a@," i Tuple.pp (Relation.fact c.relation i)
+  done;
   List.iter
     (fun (i, j) -> Format.fprintf ppf "  t%d -- t%d@," i j)
     (Undirected.edges c.graph);

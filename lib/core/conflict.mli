@@ -7,9 +7,12 @@
     independent sets.
 
     A value of type [t] packages the instance, the constraints and the
-    graph, with a stable tuple numbering (tuple order in the canonical
-    tuple array). All core algorithms speak vertex ids; conversion to and
-    from relations lives here. *)
+    graph. Vertex ids are the instance's {e fact ids}
+    ({!Relational.Relation.find}): there is one tuple-identity layer from
+    storage to CQA, and this module keeps no tuple -> vertex map of its
+    own — lookups delegate to the relation's hash index, FD grouping to
+    its per-column postings. All core algorithms speak vertex ids;
+    conversion to and from relations lives here. *)
 
 open Relational
 open Graphs
@@ -29,14 +32,17 @@ val relation : t -> Relation.t
 
 val graph : t -> Undirected.t
 val size : t -> int
-(** Number of allocated vertex ids. After {!apply_delta} this includes
-    tombstoned slots; the set of vertices actually part of the instance
-    is {!live}. For a freshly {!build}t value, [live c] = [0 .. size c - 1]. *)
+(** Number of allocated vertex ids ([Relation.slot_count]). After
+    {!apply_delta} this includes tombstoned slots; the set of vertices
+    actually part of the instance is {!live}. For a value built from a
+    dense instance, [live c] = [0 .. size c - 1]. *)
 
 val live : t -> Vset.t
-(** The vertex ids carrying live tuples — the universe every algorithm
-    over this conflict graph must work in. Equals [Vset.of_range (size c)]
-    until a delta tombstones something. *)
+(** The vertex ids carrying live tuples ([Relation.live_ids]) — the
+    universe every algorithm over this conflict graph must work in.
+    Equals [Vset.of_range (size c)] until something is tombstoned.
+    Because vertex ids are fact ids, rebuilding from the delta'd relation
+    yields the {e same} numbering as the incremental path. *)
 
 val is_live : t -> int -> bool
 
@@ -45,6 +51,8 @@ val tuples : t -> Tuple.t array
 (** A fresh copy of the vertex-indexed tuple array. *)
 
 val index : t -> Tuple.t -> int option
+(** The vertex (= fact) id of a live tuple: a [Relation.find] probe. *)
+
 val index_exn : t -> Tuple.t -> int
 
 val vset_of_relation : t -> Relation.t -> Vset.t
@@ -73,12 +81,13 @@ val conflict_pairs : t -> (Tuple.t * Tuple.t) list
     The delta path applies a batch of insertions and deletions without
     renumbering: deleted tuples are {e tombstoned} (their vertex id stays
     allocated but leaves {!live}, and their edges fall away), inserted
-    tuples are {e appended} under fresh ids. New conflict edges are found
-    by probing per-FD indexes of the live tuples grouped by
-    left-hand-side projection — the delta tuples are compared against
-    their groups only, never pairwise against the instance — so the cost
-    is linear in the perturbed region plus the (unavoidable) O(V + E)
-    graph rebuild, with no FD re-scan of untouched tuples.
+    tuples are {e appended} under fresh ids ([Relation.patch] does both).
+    New conflict edges are found by probing the relation's per-column
+    postings for the live tuples sharing the delta tuple's left-hand-side
+    projection — the delta tuples are compared against their groups only,
+    never pairwise against the instance — so the cost is linear in the
+    perturbed region plus the (unavoidable) O(V + E) graph rebuild, with
+    no FD re-scan of untouched tuples.
 
     Stable ids are the point: downstream structures keyed by vertex id
     (priorities, component repair caches) survive a delta untouched

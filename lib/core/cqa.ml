@@ -58,8 +58,10 @@ let consistent_answers_open family c p q =
       Query.Engine.answers_relation (Repair.to_relation c r0) q
     in
     (* Intersect per-repair answer sets through a hashtable on the rows
-       of the smaller side; evaluation stops early once the running
-       intersection is empty. *)
+       of the smaller side — keyed on packed rows (int lists), so hashing
+       and equality never touch strings; evaluation stops early once the
+       running intersection is empty. *)
+    let key row = List.map Value.pack row in
     let inter rows r' =
       if rows = [] then []
       else begin
@@ -67,8 +69,8 @@ let consistent_answers_open family c p q =
           Query.Engine.answers_relation (Repair.to_relation c r') q
         in
         let present = Hashtbl.create (List.length rows') in
-        List.iter (fun row -> Hashtbl.replace present row ()) rows';
-        List.filter (fun row -> Hashtbl.mem present row) rows
+        List.iter (fun row -> Hashtbl.replace present (key row) ()) rows';
+        List.filter (fun row -> Hashtbl.mem present (key row)) rows
       end
     in
     (free, List.fold_left inter first rest)

@@ -172,7 +172,13 @@ type state = {
   prefs_acc : pref list;
 }
 
+(* Parsing is where name constants enter the process, so it is also where
+   they are interned (packing the tuples fills the dictionary); the span
+   reports how much the dictionary grew. *)
 let parse text =
+  Obs.Span.with_span "intern.parse"
+    ~args:[ ("symbols_before", Obs.Event.Int (Intern.count ())) ]
+  @@ fun () ->
   let lines = String.split_on_char '\n' text in
   let step (lineno, acc) line =
     let lineno = lineno + 1 in
@@ -236,6 +242,12 @@ let parse text =
         try
           let tuples = List.rev st.tuples in
           let relation = Relation.of_tuples schema (List.map fst tuples) in
+          if Obs.Span.enabled () then
+            Obs.Span.annotate
+              [
+                ("symbols", Obs.Event.Int (Intern.count ()));
+                ("tuples", Obs.Event.Int (Relation.cardinality relation));
+              ];
           let provenance =
             Provenance.of_list
               (List.filter

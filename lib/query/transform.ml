@@ -29,6 +29,12 @@ let fact_compare (r1, t1) (r2, t2) =
   let c = String.compare r1 r2 in
   if c <> 0 then c else Tuple.compare t1 t2
 
+(* Explicit lift of [fact_compare]: tuples carry cached hashes, so the
+   polymorphic order would not be the semantic one. *)
+let clause_compare c1 c2 =
+  let c = List.compare fact_compare c1.positive c2.positive in
+  if c <> 0 then c else List.compare fact_compare c1.negative c2.negative
+
 let clause_make positive negative =
   let positive = List.sort_uniq fact_compare positive in
   let negative = List.sort_uniq fact_compare negative in
@@ -104,7 +110,7 @@ let ground_dnf f =
   else
     try
       let clauses = List.filter_map (fun (p, n) -> clause_make p n) (dnf (nnf f)) in
-      Ok (List.sort_uniq compare clauses)
+      Ok (List.sort_uniq clause_compare clauses)
     with Not_ground -> Error "ground_dnf: formula has variables or quantifiers"
 
 let pp_ground_clause ppf c =

@@ -36,25 +36,23 @@ let rec column_types = function
 
 let arity e = List.length (column_types e)
 
-let cmp_needs_order = function
-  | Lt | Gt | Leq | Geq -> true
-  | Eq | Neq -> false
-
+(* Order comparisons on name-typed columns are well-defined but
+   degenerate — names are unordered, so [<]/[>] never hold and [<=]/[>=]
+   collapse to [=] (see [eval_cmp]) — matching the query evaluator and
+   the planner's static rewrite. Only genuine type clashes are errors. *)
 let rec check_selection tys = function
   | Conj sels ->
     List.fold_left
       (fun acc s -> match acc with Ok () -> check_selection tys s | e -> e)
       (Ok ()) sels
-  | Attr_cmp (op, i, j) ->
+  | Attr_cmp (_, i, j) ->
     let n = Array.length tys in
     if i < 0 || i >= n || j < 0 || j >= n then
       Error "selection column out of range"
     else if tys.(i) <> tys.(j) then
       Error "selection compares columns of different types"
-    else if cmp_needs_order op && tys.(i) = Schema.TName then
-      Error "order comparison on name-typed column"
     else Ok ()
-  | Const_cmp (op, i, v) ->
+  | Const_cmp (_, i, v) ->
     let n = Array.length tys in
     if i < 0 || i >= n then Error "selection column out of range"
     else
@@ -63,8 +61,6 @@ let rec check_selection tys = function
       in
       if tys.(i) <> v_ty then
         Error "selection compares a column with a constant of another type"
-      else if cmp_needs_order op && v_ty = Schema.TName then
-        Error "order comparison on name-typed column"
       else Ok ()
 
 let rec check e =
@@ -123,34 +119,63 @@ let rec selection_holds sel t =
 let fresh_schema tys =
   Schema.make "q" (List.mapi (fun i ty -> (Printf.sprintf "c%d" i, ty)) tys)
 
-(* Hash join: index the smaller side on its join key. *)
+let rec conjuncts = function
+  | Conj sels -> List.concat_map conjuncts sels
+  | s -> [ s ]
+
+(* Selection: equality-with-constant conjuncts are postings probes on the
+   input (one [Relation.matching] lookup each, intersected), and only the
+   remaining conjuncts scan — on a base-relation leaf this skips the
+   whole-instance pass entirely once the postings exist. *)
+let select sel input =
+  let probes, rest =
+    List.partition
+      (function Const_cmp (Eq, _, _) -> true | _ -> false)
+      (conjuncts sel)
+  in
+  match probes with
+  | [] -> Relation.filter (selection_holds sel) input
+  | _ ->
+    let ids =
+      List.fold_left
+        (fun acc p ->
+          match p with
+          | Const_cmp (Eq, i, v) ->
+            Graphs.Vset.inter acc (Relation.matching input i (Value.pack v))
+          | _ -> acc)
+        (Relation.live_ids input) probes
+    in
+    let out = Relation.restrict_ids input ids in
+    if rest = [] then out else Relation.filter (selection_holds (Conj rest)) out
+
+(* Hash join: index the smaller side on its join key. Keys are packed
+   projections (int lists), rows are concatenated in packed form. *)
 let hash_join pairs left right out_schema =
   let lkeys = List.map fst pairs and rkeys = List.map snd pairs in
   let swap = Relation.cardinality right < Relation.cardinality left in
   let build, probe, build_keys, probe_keys, combine =
     if swap then
-      ( right, left, rkeys, lkeys,
-        fun probe_t build_t -> Tuple.values probe_t @ Tuple.values build_t )
+      (right, left, rkeys, lkeys, fun probe_t build_t -> Tuple.concat probe_t build_t)
     else
-      ( left, right, lkeys, rkeys,
-        fun probe_t build_t -> Tuple.values build_t @ Tuple.values probe_t )
+      (left, right, lkeys, rkeys, fun probe_t build_t -> Tuple.concat build_t probe_t)
   in
-  let index = Hashtbl.create (Relation.cardinality build) in
+  let index = Hashtbl.create (max 16 (Relation.cardinality build)) in
   Relation.iter
     (fun t ->
-      let key = Tuple.make (Tuple.project t build_keys) in
+      let key = Tuple.project_packed t build_keys in
       let existing = Option.value (Hashtbl.find_opt index key) ~default:[] in
       Hashtbl.replace index key (t :: existing))
     build;
-  let out = ref (Relation.empty out_schema) in
+  let out = Relation.Builder.create ~size_hint:(Relation.cardinality probe) out_schema in
   Relation.iter
     (fun t ->
-      let key = Tuple.make (Tuple.project t probe_keys) in
       List.iter
-        (fun bt -> out := Relation.add !out (Tuple.make (combine t bt)))
-        (Option.value (Hashtbl.find_opt index key) ~default:[]))
+        (fun bt -> Relation.Builder.add out (combine t bt))
+        (Option.value
+           (Hashtbl.find_opt index (Tuple.project_packed t probe_keys))
+           ~default:[]))
     probe;
-  !out
+  Relation.Builder.finish out
 
 let rec eval e =
   (match check e with Ok () -> () | Error m -> invalid_arg ("Algebra: " ^ m));
@@ -159,8 +184,7 @@ let rec eval e =
 and eval_unchecked e =
   match e with
   | Rel r -> r
-  | Select (sel, inner) ->
-    Relation.filter (selection_holds sel) (eval_unchecked inner)
+  | Select (sel, inner) -> select sel (eval_unchecked inner)
   | Project (cols, inner) ->
     let input = eval_unchecked inner in
     let out_schema =
@@ -169,34 +193,44 @@ and eval_unchecked e =
            (fun i -> Schema.ty_at (Relation.schema input) i)
            cols)
     in
-    Relation.fold
-      (fun t acc -> Relation.add acc (Tuple.make (Tuple.project t cols)))
-      input (Relation.empty out_schema)
+    let b = Relation.Builder.create ~size_hint:(Relation.cardinality input) out_schema in
+    Relation.iter (fun t -> Relation.Builder.add b (Tuple.sub t cols)) input;
+    Relation.Builder.finish b
   | Join (pairs, l, r) ->
     let left = eval_unchecked l and right = eval_unchecked r in
     let out_schema = fresh_schema (column_types e) in
     if pairs = [] then begin
       (* cartesian product *)
-      Relation.fold
-        (fun lt acc ->
-          Relation.fold
-            (fun rt acc ->
-              Relation.add acc (Tuple.make (Tuple.values lt @ Tuple.values rt)))
-            right acc)
-        left (Relation.empty out_schema)
+      let b =
+        Relation.Builder.create
+          ~size_hint:(Relation.cardinality left * Relation.cardinality right)
+          out_schema
+      in
+      Relation.iter
+        (fun lt -> Relation.iter (fun rt -> Relation.Builder.add b (Tuple.concat lt rt)) right)
+        left;
+      Relation.Builder.finish b
     end
     else hash_join pairs left right out_schema
   | Union (l, r) ->
     let left = eval_unchecked l and right = eval_unchecked r in
     let out_schema = fresh_schema (column_types e) in
-    let add input acc = Relation.fold (fun t a -> Relation.add a t) input acc in
-    add right (add left (Relation.empty out_schema))
+    let b =
+      Relation.Builder.create
+        ~size_hint:(Relation.cardinality left + Relation.cardinality right)
+        out_schema
+    in
+    Relation.iter (Relation.Builder.add b) left;
+    Relation.iter (Relation.Builder.add b) right;
+    Relation.Builder.finish b
   | Diff (l, r) ->
     let left = eval_unchecked l and right = eval_unchecked r in
     let out_schema = fresh_schema (column_types e) in
-    Relation.fold
-      (fun t acc -> if Relation.mem right t then acc else Relation.add acc t)
-      left (Relation.empty out_schema)
+    let b = Relation.Builder.create ~size_hint:(Relation.cardinality left) out_schema in
+    Relation.iter
+      (fun t -> if not (Relation.mem right t) then Relation.Builder.add b t)
+      left;
+    Relation.Builder.finish b
 
 let cardinality e = Relation.cardinality (eval e)
 let is_empty e = Relation.is_empty (eval e)

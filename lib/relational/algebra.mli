@@ -38,12 +38,20 @@ val arity : t -> int
 
 val check : t -> (unit, string) result
 (** Full static validation: column ranges, selection typing against the
-    synthesized column types, union/difference compatibility. *)
+    synthesized column types, union/difference compatibility. Order
+    comparisons on name-typed columns are {e accepted}: names are
+    unordered, so the comparison is degenerate but well-defined —
+    [<]/[>] never hold, [<=]/[>=] collapse to [=] — exactly the query
+    evaluator's semantics ({!selection_holds}) and the planner's static
+    rewrite of name-typed comparisons. Only genuine type clashes (name
+    against number) are errors. *)
 
 val eval : t -> Relation.t
-(** Evaluate. Joins build a hash table on the smaller input. The output
-    schema has fresh positional column names. Raises [Invalid_argument]
-    on expressions rejected by {!check}. *)
+(** Evaluate. Joins build a hash table on the smaller input, keyed on
+    packed projections; equality-with-constant selections probe the
+    input's per-column postings ({!Relation.matching}) instead of
+    scanning. The output schema has fresh positional column names. Raises
+    [Invalid_argument] on expressions rejected by {!check}. *)
 
 val cardinality : t -> int
 (** [Relation.cardinality (eval e)] without keeping the result. *)

@@ -1,0 +1,38 @@
+(* Process-wide string dictionary.
+
+   Interning maps every distinct name constant to a small dense integer
+   once, at construction time; everything downstream (tuples, relations,
+   conflict graphs, query plans) then compares identities with one
+   integer comparison instead of re-walking string contents. The
+   dictionary only ever grows — ids stay valid for the lifetime of the
+   process — and is deliberately global: two equal strings interned from
+   different call sites must receive the same id, or packed equality
+   would be unsound. *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 1024
+let strings = ref (Array.make 1024 "")
+let next = ref 0
+
+let id_of_string s =
+  match Hashtbl.find_opt table s with
+  | Some id -> id
+  | None ->
+    let id = !next in
+    let cap = Array.length !strings in
+    if id = cap then begin
+      let grown = Array.make (2 * cap) "" in
+      Array.blit !strings 0 grown 0 cap;
+      strings := grown
+    end;
+    !strings.(id) <- s;
+    Hashtbl.add table s id;
+    incr next;
+    id
+
+let string_of_id id =
+  if id < 0 || id >= !next then
+    invalid_arg (Printf.sprintf "Intern.string_of_id: unknown id %d" id)
+  else !strings.(id)
+
+let mem s = Hashtbl.mem table s
+let count () = !next

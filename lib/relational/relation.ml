@@ -1,8 +1,61 @@
-module Tset = Set.Make (Tuple)
+(* Id-addressed tuple store.
 
-type t = { schema : Schema.t; tuples : Tset.t }
+   An instance is a set of tuples, but the representation is an
+   insertion-ordered fact array: the index of a tuple in [facts] is its
+   {e fact id}, the identity every downstream layer speaks — in
+   particular, conflict-graph vertex ids ARE fact ids, with no second
+   index in between. Deletion tombstones a slot (the id stays allocated,
+   the slot leaves [live]) so ids survive incremental updates; insertion
+   appends fresh slots. Membership goes through a hash index over the
+   tuples' cached hashes, and per-column postings (packed value -> live
+   fact ids) serve FD grouping and algebra selections. The value is
+   persistent: every operation returns a new record, sharing the fact
+   array and index wherever slots did not change.
 
-let empty schema = { schema; tuples = Tset.empty }
+   The hash index is one append-only hashtable SHARED by every relation
+   derived from the same root (patch/add/remove/filter all inherit it):
+   appending a slot adds its (hash, id) entry in place, nothing is ever
+   removed. That makes [find] O(1) and [patch] O(batch) with no copying,
+   and it is safe because a bucket hit only counts after three
+   per-relation filters — the id must be within this relation's fact
+   array, live in it, and hold a tuple equal to the probe. Entries
+   appended by a sibling branch of the history (or after this snapshot
+   was taken) fail the bounds or equality check and are ignored. *)
+
+module Imap = Map.Make (Int)
+module Vset = Graphs.Vset
+
+type postings = Vset.t Imap.t array (* one map per column *)
+
+type t = {
+  schema : Schema.t;
+  facts : Tuple.t array; (* slot = fact id; tombstoned slots keep their tuple *)
+  live : Vset.t;
+  lookup : (int, int list) Hashtbl.t;
+      (* Tuple.hash -> candidate slots, shared across derived relations *)
+  mutable postings : postings option; (* lazy memo, maintained by [patch] *)
+}
+
+let empty schema =
+  {
+    schema;
+    facts = [||];
+    live = Vset.empty;
+    lookup = Hashtbl.create 16;
+    postings = None;
+  }
+
+let schema r = r.schema
+let slot_count r = Array.length r.facts
+let live_ids r = r.live
+let cardinality r = Vset.cardinal r.live
+let is_empty r = Vset.is_empty r.live
+let is_dense r = cardinality r = slot_count r
+
+let fact r i =
+  if i < 0 || i >= Array.length r.facts then
+    invalid_arg "Relation.fact: no such fact id";
+  r.facts.(i)
 
 let check_tuple schema t =
   if not (Tuple.conforms schema t) then
@@ -10,19 +63,221 @@ let check_tuple schema t =
       (Printf.sprintf "tuple %s does not conform to schema %s"
          (Tuple.to_string t) (Schema.name schema))
 
+let find r t =
+  match Hashtbl.find_opt r.lookup (Tuple.hash t) with
+  | None -> None
+  | Some bucket ->
+    let len = Array.length r.facts in
+    List.find_opt
+      (fun i -> i < len && Vset.mem i r.live && Tuple.equal r.facts.(i) t)
+      bucket
+
+let find_exn r t =
+  match find r t with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "tuple %s is not part of the instance" (Tuple.to_string t))
+
+let mem r t = find r t <> None
+
+let lookup_add lookup t i =
+  Hashtbl.replace lookup (Tuple.hash t)
+    (i :: Option.value (Hashtbl.find_opt lookup (Tuple.hash t)) ~default:[])
+
+(* --- per-column postings -------------------------------------------------- *)
+
+let build_postings r =
+  Obs.Span.with_span "relation.index"
+    ~args:
+      [
+        ("relation", Obs.Event.Str (Schema.name r.schema));
+        ("tuples", Obs.Event.Int (cardinality r));
+      ]
+  @@ fun () ->
+  let arity = Schema.arity r.schema in
+  let acc = Array.init arity (fun _ -> Hashtbl.create 64) in
+  Vset.iter
+    (fun i ->
+      let t = r.facts.(i) in
+      for col = 0 to arity - 1 do
+        let key = Tuple.packed_get t col in
+        let tbl = acc.(col) in
+        Hashtbl.replace tbl key
+          (i :: Option.value (Hashtbl.find_opt tbl key) ~default:[])
+      done)
+    r.live;
+  Array.map
+    (fun tbl ->
+      Hashtbl.fold (fun key ids m -> Imap.add key (Vset.of_list ids) m) tbl
+        Imap.empty)
+    acc
+
+let postings r =
+  match r.postings with
+  | Some p -> p
+  | None ->
+    let p = build_postings r in
+    r.postings <- Some p;
+    p
+
+let posting_add p t i =
+  Array.mapi
+    (fun col m ->
+      Imap.update (Tuple.packed_get t col)
+        (fun s -> Some (Vset.add i (Option.value s ~default:Vset.empty)))
+        m)
+    p
+
+let posting_remove p t i =
+  Array.mapi
+    (fun col m ->
+      Imap.update (Tuple.packed_get t col)
+        (function
+          | None -> None
+          | Some s ->
+            let s = Vset.remove i s in
+            if Vset.is_empty s then None else Some s)
+        m)
+    p
+
+let prepare_index r = ignore (postings r)
+
+let matching r col packed_value =
+  if col < 0 || col >= Schema.arity r.schema then
+    invalid_arg "Relation.matching: column out of range";
+  match Imap.find_opt packed_value (postings r).(col) with
+  | Some s -> s
+  | None -> Vset.empty
+
+let iter_groups r col f =
+  if col < 0 || col >= Schema.arity r.schema then
+    invalid_arg "Relation.iter_groups: column out of range";
+  Imap.iter f (postings r).(col)
+
+(* --- pointwise updates ---------------------------------------------------- *)
+
+let append_slot r t =
+  let n = Array.length r.facts in
+  let facts = Array.make (n + 1) t in
+  Array.blit r.facts 0 facts 0 n;
+  lookup_add r.lookup t n;
+  {
+    r with
+    facts;
+    live = Vset.add n r.live;
+    postings = Option.map (fun p -> posting_add p t n) r.postings;
+  }
+
 let add r t =
   check_tuple r.schema t;
-  { r with tuples = Tset.add t r.tuples }
+  if mem r t then r else append_slot r t
 
-let of_tuples schema ts = List.fold_left add (empty schema) ts
+let remove r t =
+  match find r t with
+  | None -> r
+  | Some i ->
+    {
+      r with
+      live = Vset.remove i r.live;
+      postings = Option.map (fun p -> posting_remove p t i) r.postings;
+    }
+
+let filter p r =
+  { r with live = Vset.filter (fun i -> p r.facts.(i)) r.live; postings = None }
+
+let restrict_ids r ids =
+  if not (Vset.subset ids r.live) then
+    invalid_arg "Relation.restrict_ids: not a subset of the live fact ids";
+  { r with live = ids; postings = None }
+
+(* --- bulk construction ---------------------------------------------------- *)
+
+module Builder = struct
+  type relation = t
+
+  type t = {
+    b_schema : Schema.t;
+    mutable items : Tuple.t array;
+    mutable len : int;
+    seen : (int, int list) Hashtbl.t; (* hash -> slots *)
+  }
+
+  let create ?(size_hint = 16) schema =
+    {
+      b_schema = schema;
+      items = [||];
+      len = 0;
+      seen = Hashtbl.create (max 16 size_hint);
+    }
+
+  let mem b t =
+    match Hashtbl.find_opt b.seen (Tuple.hash t) with
+    | None -> false
+    | Some slots -> List.exists (fun i -> Tuple.equal b.items.(i) t) slots
+
+  let add b t =
+    check_tuple b.b_schema t;
+    if not (mem b t) then begin
+      let cap = Array.length b.items in
+      if b.len = cap then begin
+        let grown = Array.make (max 16 (2 * cap)) t in
+        Array.blit b.items 0 grown 0 cap;
+        b.items <- grown
+      end;
+      b.items.(b.len) <- t;
+      Hashtbl.replace b.seen (Tuple.hash t)
+        (b.len :: Option.value (Hashtbl.find_opt b.seen (Tuple.hash t)) ~default:[]);
+      b.len <- b.len + 1
+    end
+
+  let add_row b row = add b (Tuple.make row)
+  let size b = b.len
+
+  let finish b : relation =
+    let facts = Array.sub b.items 0 b.len in
+    (* [seen] has exactly the lookup-table shape; copy it so later use
+       of the builder cannot reach into the relation's index *)
+    {
+      schema = b.b_schema;
+      facts;
+      live = Vset.of_range b.len;
+      lookup = Hashtbl.copy b.seen;
+      postings = None;
+    }
+end
+
+let of_tuples schema ts =
+  let b = Builder.create ~size_hint:(List.length ts) schema in
+  List.iter (Builder.add b) ts;
+  Builder.finish b
+
 let of_rows schema rows = of_tuples schema (List.map Tuple.make rows)
-let schema r = r.schema
-let cardinality r = Tset.cardinal r.tuples
-let is_empty r = Tset.is_empty r.tuples
-let mem r t = Tset.mem t r.tuples
-let remove r t = { r with tuples = Tset.remove t r.tuples }
-let tuples r = Tset.elements r.tuples
-let tuple_array r = Array.of_list (tuples r)
+
+(* --- traversal ------------------------------------------------------------ *)
+
+let iter f r = Vset.iter (fun i -> f r.facts.(i)) r.live
+let fold f r acc = Vset.fold (fun i acc -> f r.facts.(i) acc) r.live acc
+let for_all p r = Vset.for_all (fun i -> p r.facts.(i)) r.live
+let exists p r = Vset.exists (fun i -> p r.facts.(i)) r.live
+
+let tuples r =
+  List.sort Tuple.compare (fold (fun t acc -> t :: acc) r [])
+
+let tuple_array r =
+  if is_dense r then r.facts
+  else begin
+    let out = Array.make (cardinality r) (Tuple.make []) in
+    let j = ref 0 in
+    Vset.iter
+      (fun i ->
+        out.(!j) <- r.facts.(i);
+        incr j)
+      r.live;
+    out
+  end
+
+(* --- set operations -------------------------------------------------------- *)
 
 let check_same_schema r1 r2 =
   if not (Schema.equal r1.schema r2.schema) then
@@ -30,34 +285,86 @@ let check_same_schema r1 r2 =
 
 let union r1 r2 =
   check_same_schema r1 r2;
-  { r1 with tuples = Tset.union r1.tuples r2.tuples }
+  if is_empty r2 then r1
+  else begin
+    let b = Builder.create ~size_hint:(cardinality r1 + cardinality r2) r1.schema in
+    iter (Builder.add b) r1;
+    iter (Builder.add b) r2;
+    Builder.finish b
+  end
 
 let inter r1 r2 =
   check_same_schema r1 r2;
-  { r1 with tuples = Tset.inter r1.tuples r2.tuples }
+  filter (mem r2) r1
 
 let diff r1 r2 =
   check_same_schema r1 r2;
-  { r1 with tuples = Tset.diff r1.tuples r2.tuples }
+  filter (fun t -> not (mem r2 t)) r1
 
 let subset r1 r2 =
   check_same_schema r1 r2;
-  Tset.subset r1.tuples r2.tuples
+  for_all (mem r2) r1
 
-let equal r1 r2 = Schema.equal r1.schema r2.schema && Tset.equal r1.tuples r2.tuples
-let compare r1 r2 = Tset.compare r1.tuples r2.tuples
-let filter p r = { r with tuples = Tset.filter p r.tuples }
-let for_all p r = Tset.for_all p r.tuples
-let exists p r = Tset.exists p r.tuples
-let fold f r acc = Tset.fold f r.tuples acc
-let iter f r = Tset.iter f r.tuples
+let equal r1 r2 =
+  Schema.equal r1.schema r2.schema
+  && cardinality r1 = cardinality r2
+  && for_all (mem r2) r1
+
+let compare r1 r2 = List.compare Tuple.compare (tuples r1) (tuples r2)
+
 let restrict r ts = of_tuples r.schema ts
 
 let active_domain r =
-  let values =
-    fold (fun t acc -> List.rev_append (Tuple.values t) acc) r []
-  in
+  let values = fold (fun t acc -> List.rev_append (Tuple.values t) acc) r [] in
   List.sort_uniq Value.compare values
+
+(* --- the batched delta path ------------------------------------------------ *)
+
+let patch r ~delete ~insert =
+  (* resolve deletions against the pre-patch instance *)
+  let deleted = List.map (find_exn r) delete in
+  let deleted_set = Vset.of_list deleted in
+  if Vset.cardinal deleted_set <> List.length delete then
+    invalid_arg "Relation.patch: a tuple is deleted twice";
+  let live_after_del = Vset.diff r.live deleted_set in
+  let shadow = { r with live = live_after_del; postings = None } in
+  List.iter
+    (fun t ->
+      check_tuple r.schema t;
+      if mem shadow t then
+        invalid_arg
+          (Printf.sprintf "Relation.patch: tuple %s is already in the instance"
+             (Tuple.to_string t)))
+    insert;
+  let rec check_dups = function
+    | [] -> ()
+    | t :: rest ->
+      if List.exists (Tuple.equal t) rest then
+        invalid_arg "Relation.patch: a tuple is inserted twice";
+      check_dups rest
+  in
+  check_dups insert;
+  (* tombstone, then append under fresh ids *)
+  let n = Array.length r.facts in
+  let facts = Array.append r.facts (Array.of_list insert) in
+  let inserted = List.mapi (fun k _ -> n + k) insert in
+  let live =
+    List.fold_left (fun s i -> Vset.add i s) live_after_del inserted
+  in
+  List.iter2 (fun i t -> lookup_add r.lookup t i) inserted insert;
+  let postings =
+    match r.postings with
+    | None -> None
+    | Some p ->
+      let p =
+        List.fold_left2
+          (fun p i t -> posting_remove p t i)
+          p deleted delete
+      in
+      Some
+        (List.fold_left2 (fun p i t -> posting_add p t i) p inserted insert)
+  in
+  ({ r with facts; live; postings }, deleted, inserted)
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>%a = {@," Schema.pp r.schema;

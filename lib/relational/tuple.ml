@@ -1,45 +1,92 @@
-type t = Value.t array
+(* A tuple is an immutable vector of packed values (see {!Value.pack})
+   with its hash precomputed at construction: equality is one int-array
+   sweep, hashing is a field read, and the FD-grouping and join kernels
+   project packed ints directly without touching boxed values. *)
 
-let make values = Array.of_list values
-let of_array a = Array.copy a
-let arity = Array.length
+type t = { packed : int array; hash : int }
+
+(* A short polynomial accumulation over the packed (already mixed-ready)
+   payloads, finalized with the value mixer so nearby tuples spread. *)
+let hash_packed_array a =
+  let h = ref (Array.length a) in
+  for i = 0 to Array.length a - 1 do
+    h := (!h * 1000003) + a.(i)
+  done;
+  Value.hash_packed !h
+
+let of_packed_array packed = { packed; hash = hash_packed_array packed }
+
+let make values =
+  of_packed_array (Array.of_list (List.map Value.pack values))
+
+let of_array a = of_packed_array (Array.map Value.pack a)
+
+let arity t = Array.length t.packed
 
 let get t i =
-  if i < 0 || i >= Array.length t then invalid_arg "Tuple.get: out of range";
-  t.(i)
+  if i < 0 || i >= Array.length t.packed then
+    invalid_arg "Tuple.get: out of range";
+  Value.unpack t.packed.(i)
 
-let values t = Array.to_list t
+let packed_get t i =
+  if i < 0 || i >= Array.length t.packed then
+    invalid_arg "Tuple.packed_get: out of range";
+  t.packed.(i)
+
+let values t = Array.to_list (Array.map Value.unpack t.packed)
 let project t positions = List.map (get t) positions
+let project_packed t positions = List.map (packed_get t) positions
+
+let sub t positions =
+  of_packed_array (Array.of_list (project_packed t positions))
+
+let concat t1 t2 = of_packed_array (Array.append t1.packed t2.packed)
 
 let agree_on t1 t2 positions =
-  List.for_all (fun i -> Value.equal (get t1 i) (get t2 i)) positions
+  List.for_all (fun i -> packed_get t1 i = packed_get t2 i) positions
 
 let conforms schema t =
-  Array.length t = Schema.arity schema
-  && Array.for_all
-       (fun ok -> ok)
-       (Array.mapi
-          (fun i v ->
-            Value.ty_matches (Schema.ty_to_poly (Schema.ty_at schema i)) v)
-          t)
+  Array.length t.packed = Schema.arity schema
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i p ->
+           if Value.packed_ty p <> Schema.ty_to_poly (Schema.ty_at schema i)
+           then ok := false)
+         t.packed;
+       !ok
+     end
 
 let equal t1 t2 =
-  Array.length t1 = Array.length t2
-  && Array.for_all2 Value.equal t1 t2
+  t1.hash = t2.hash
+  && Array.length t1.packed = Array.length t2.packed
+  && begin
+       let n = Array.length t1.packed in
+       let rec loop i = i >= n || (t1.packed.(i) = t2.packed.(i) && loop (i + 1)) in
+       loop 0
+     end
 
+(* Lexicographic lift of {!Value.compare} (names by string contents,
+   Name < Int), kept identical to the boxed representation so canonical
+   enumeration order survives the packing. Equal packed entries short-
+   circuit without consulting the dictionary. *)
 let compare t1 t2 =
-  let c = Int.compare (Array.length t1) (Array.length t2) in
+  let c = Int.compare (Array.length t1.packed) (Array.length t2.packed) in
   if c <> 0 then c
   else
+    let n = Array.length t1.packed in
     let rec loop i =
-      if i >= Array.length t1 then 0
+      if i >= n then 0
       else
-        let c = Value.compare t1.(i) t2.(i) in
-        if c <> 0 then c else loop (i + 1)
+        let a = t1.packed.(i) and b = t2.packed.(i) in
+        if a = b then loop (i + 1)
+        else
+          let c = Value.compare_packed a b in
+          if c <> 0 then c else loop (i + 1)
     in
     loop 0
 
-let hash t = Array.fold_left (fun acc v -> (acc * 1000003) + Value.hash v) 0 t
+let hash t = t.hash
 
 let pp ppf t =
   Format.fprintf ppf "(%a)"

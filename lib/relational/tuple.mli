@@ -1,9 +1,11 @@
 (** Tuples.
 
-    A tuple is an immutable vector of values. Tuples are compared
-    structurally; the order is the lexicographic lift of {!Value.compare},
-    used for canonical storage in relations and for assigning stable vertex
-    ids in conflict graphs. *)
+    A tuple is an immutable vector of values, stored {e packed} (see
+    {!Value.pack}) with a hash precomputed at construction: equality is
+    an integer-array sweep, hashing is O(1), and projections used as FD
+    group keys or join keys can stay in packed form. Tuples are compared
+    structurally; the order is the lexicographic lift of
+    {!Value.compare}, used for canonical enumeration. *)
 
 type t
 
@@ -30,8 +32,30 @@ val conforms : Schema.t -> t -> bool
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** O(1): cached at construction, consistent with {!equal}. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 (** Prints as [('Mary', 'R&D', 40000, 3)]. *)
+
+(** {2 Packed access}
+
+    The identity currency of {!Relation} and the conflict-graph layer:
+    positions read as packed ints (see {!Value.pack}), so group keys and
+    join keys are compared and hashed without re-boxing. *)
+
+val packed_get : t -> int -> int
+(** [Value.pack (get t i)], without boxing. Raises [Invalid_argument]
+    when out of range. *)
+
+val project_packed : t -> int list -> int list
+(** Packed counterpart of {!project}. *)
+
+val sub : t -> int list -> t
+(** The projection as a tuple: [sub t [i; j]] has arity 2. *)
+
+val concat : t -> t -> t
+(** Concatenation (join output row), entirely in packed form. *)

@@ -42,6 +42,39 @@ let of_string ty s =
     | Some n -> Ok (Int n)
     | None -> Error (Printf.sprintf "expected an integer, got %S" s))
 
-let hash = function
-  | Name s -> Hashtbl.hash (0, s)
-  | Int n -> Hashtbl.hash (1, n)
+(* --- packed immediate form ---------------------------------------------- *)
+
+(* One tagged OCaml int: bit 0 distinguishes the domains, the payload is
+   either the interned name id or the number itself. Packing is the only
+   place strings are touched; equality and hashing on the packed form are
+   plain integer operations. *)
+
+let pack = function
+  | Int n -> (n lsl 1) lor 1
+  | Name s -> Intern.id_of_string s lsl 1
+
+let unpack p =
+  if p land 1 = 1 then Int (p asr 1) else Name (Intern.string_of_id (p lsr 1))
+
+let packed_is_int p = p land 1 = 1
+
+let packed_ty p : [ `Name | `Int ] = if p land 1 = 1 then `Int else `Name
+
+let equal_packed (a : int) (b : int) = a = b
+
+(* Same total order as {!compare}: names by their string contents (ids
+   are assigned in interning order, not alphabetically), Name < Int. *)
+let compare_packed a b =
+  if a = b then 0
+  else
+    match (a land 1, b land 1) with
+    | 1, 1 -> Int.compare (a asr 1) (b asr 1)
+    | 0, 0 -> String.compare (Intern.string_of_id (a lsr 1)) (Intern.string_of_id (b lsr 1))
+    | 0, _ -> -1
+    | _ -> 1
+
+(* Fibonacci-style multiplicative mix: packed payloads are small dense
+   ints, so spread them before they key a hash table. *)
+let hash_packed p = p * 0x2545F4914F6CDD1D land max_int
+
+let hash v = hash_packed (pack v)

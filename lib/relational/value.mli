@@ -31,3 +31,37 @@ val of_string : [ `Name | `Int ] -> string -> (t, string) result
     (e.g. non-numeric text for [`Int]). *)
 
 val hash : t -> int
+(** [hash v] = {!hash_packed} of {!pack}[ v]; consistent with {!equal}. *)
+
+(** {2 Packed immediate form}
+
+    [pack] folds a value into a single unboxed OCaml integer: bit 0 is
+    the domain tag (1 = number, 0 = name), the remaining bits carry the
+    number itself or the {!Intern} id of the name. Two values are equal
+    iff their packed forms are equal, so packed equality and hashing are
+    O(1) integer operations — the identity currency of {!Tuple},
+    {!Relation} and the conflict-graph layer. Numbers lose one bit of
+    range to the tag (|n| < 2^61 on 64-bit platforms), far beyond the
+    paper's natural-number domains. *)
+
+val pack : t -> int
+(** Interns the name if necessary (the only non-O(1) step, amortized). *)
+
+val unpack : int -> t
+(** Inverse of {!pack}. Raises [Invalid_argument] on an int that no
+    {!pack} call produced (unknown intern id). *)
+
+val packed_is_int : int -> bool
+val packed_ty : int -> [ `Name | `Int ]
+
+val equal_packed : int -> int -> bool
+(** Integer equality; sound because interning is canonical. *)
+
+val compare_packed : int -> int -> int
+(** The same total order as {!compare} (names by string contents,
+    [Name _ < Int _]) — intern ids are assigned in first-seen order, so
+    this consults the dictionary when the packed forms differ. *)
+
+val hash_packed : int -> int
+(** O(1) multiplicative mix of the packed form; consistent with
+    {!equal_packed}. *)

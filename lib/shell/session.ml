@@ -110,6 +110,7 @@ let cmd_info st =
           let schema = Relation.schema spec.IF.relation in
           Format.fprintf ppf "relation: %a@." Schema.pp schema;
           Format.fprintf ppf "tuples:   %d@." (Relation.cardinality spec.IF.relation);
+          Format.fprintf ppf "interned: %d symbol(s)@." (Intern.count ());
           List.iter
             (fun fd -> Format.fprintf ppf "fd:       %a@." Constraints.Fd.pp fd)
             spec.IF.fds;

@@ -78,12 +78,40 @@ let test_check_errors () =
   expect_error (A.Project ([ 5 ], A.Rel (r ())));
   expect_error (A.Select (A.Attr_cmp (A.Eq, 0, 9), A.Rel (r ())));
   expect_error (A.Union (A.Rel (r ()), A.Rel (s ())));
-  (* name-typed order comparison *)
-  expect_error (A.Select (A.Const_cmp (A.Lt, 1, Value.name "x"), A.Rel (s ())));
-  (* cross-type join *)
+  (* cross-type comparison and cross-type join stay errors *)
+  expect_error (A.Select (A.Const_cmp (A.Lt, 1, Value.int 3), A.Rel (s ())));
   expect_error (A.Join ([ (0, 1) ], A.Rel (r ()), A.Rel (s ())));
   Alcotest.(check bool) "valid plan accepted" true
     (Result.is_ok (A.check (A.Join ([ (1, 0) ], A.Rel (r ()), A.Rel (s ())))))
+
+(* Order comparisons on name-typed columns are accepted with degenerate
+   semantics — names are unordered, so [<]/[>] never hold and [<=]/[>=]
+   mean [=] — in lockstep with [Query.Eval.holds] and the planner's
+   static rewrite. *)
+let test_name_order_semantics () =
+  let sel op v = A.Select (A.Const_cmp (op, 1, Value.name v), A.Rel (s ())) in
+  Alcotest.(check bool) "accepted by check" true (Result.is_ok (A.check (sel A.Lt "y")));
+  check Alcotest.int "names: < never holds" 0 (A.cardinality (sel A.Lt "y"));
+  check Alcotest.int "names: > never holds" 0 (A.cardinality (sel A.Gt "y"));
+  check Alcotest.int "names: <= means =" 1 (A.cardinality (sel A.Leq "y"));
+  check Alcotest.int "names: >= means =" 1 (A.cardinality (sel A.Geq "y"));
+  check Alcotest.int "names: = unaffected" 1 (A.cardinality (sel A.Eq "y"));
+  check Alcotest.int "names: != unaffected" 2 (A.cardinality (sel A.Neq "y"));
+  let attr op = A.Select (A.Attr_cmp (op, 1, 1), A.Rel (s ())) in
+  check Alcotest.int "attr <= on same column = all" 3 (A.cardinality (attr A.Leq));
+  check Alcotest.int "attr < on same column = none" 0 (A.cardinality (attr A.Lt));
+  (* the evaluator agrees on the same comparisons *)
+  let db = Database.of_relations [ s () ] in
+  let holds q = Query.Eval.holds db (parse q) in
+  Alcotest.(check bool) "eval: < never holds" false
+    (holds "exists b, c. S(b, c) and c < 'y'");
+  Alcotest.(check bool) "eval: <= means =" true
+    (holds "exists b. S(b, 'y') and 'y' <= 'y'");
+  (* and the planner routes them to the same answers *)
+  let q = parse "exists b, c. S(b, c) and c <= 'y'" in
+  (match (Plan.holds db q, Query.Eval.holds db q) with
+  | Some p, e -> Alcotest.(check bool) "plan = eval on name <=" e p
+  | None, _ -> Alcotest.fail "planner refused a name-order query")
 
 (* --- planner ----------------------------------------------------------------- *)
 
@@ -206,6 +234,7 @@ let suite =
     ("algebra: hash join = filtered product", `Quick, test_join);
     ("algebra: union and difference", `Quick, test_union_diff);
     ("algebra: static validation", `Quick, test_check_errors);
+    ("algebra: name-order degenerate semantics", `Quick, test_name_order_semantics);
     ("plan: simple selections", `Quick, test_plan_simple);
     ("plan: join queries", `Quick, test_plan_join_query);
     ("plan: open queries", `Quick, test_plan_open_query);

@@ -325,6 +325,81 @@ let test_undo_restores_counts () =
   | Ok _ -> Alcotest.fail "undo past the beginning must fail"
   | Error _ -> ()
 
+let test_index_total_and_stable () =
+  (* vertex ids ARE the relation's fact ids: Conflict.index must be total
+     on the live instance, agree with Relation.find, survive
+     insert/delete/undo round-trips for untouched tuples, and a rebuild
+     from the delta'd relation must reproduce the numbering exactly *)
+  let rng = Prng.create 977 in
+  for _ = 1 to 6 do
+    let rel, fds =
+      Generator.random_instance rng ~n:10 ~key_values:4 ~payload_values:2
+    in
+    let t = ok_exn (Delta.create ~rule:score_rule fds rel) in
+    let snapshot () =
+      let c = Delta.conflict t in
+      Vset.fold
+        (fun v acc -> (Conflict.tuple c v, v) :: acc)
+        (Conflict.live c) []
+    in
+    let check_total msg =
+      let c = Delta.conflict t in
+      Vset.iter
+        (fun v ->
+          check
+            Alcotest.(option int)
+            (msg ^ ": index total on live vertices")
+            (Some v)
+            (Conflict.index c (Conflict.tuple c v)))
+        (Conflict.live c);
+      Relation.iter
+        (fun tu ->
+          check
+            Alcotest.(option int)
+            (msg ^ ": index = Relation.find")
+            (Relation.find (Conflict.relation c) tu)
+            (Conflict.index c tu))
+        (Delta.relation t);
+      (* a from-scratch rebuild numbers the same tuples identically *)
+      let c0 = Conflict.build fds (Delta.relation t) in
+      Vset.iter
+        (fun v ->
+          check
+            Alcotest.(option int)
+            (msg ^ ": rebuild keeps ids")
+            (Some v)
+            (Conflict.index c0 (Conflict.tuple c v)))
+        (Conflict.live c)
+    in
+    check_total "initial";
+    for step = 1 to 4 do
+      let before = snapshot () in
+      let batch = random_batch rng t in
+      (match Delta.apply t batch with Ok _ -> () | Error e -> Alcotest.fail e);
+      let c = Delta.conflict t in
+      let msg = Printf.sprintf "step %d" step in
+      check_total msg;
+      List.iter
+        (fun (tu, v) ->
+          let touched =
+            List.exists
+              (function
+                | Delta.Delete x | Delta.Insert x -> Tuple.equal x tu)
+              batch
+          in
+          if not touched then
+            check
+              Alcotest.(option int)
+              (msg ^ ": untouched tuple keeps its id")
+              (Some v) (Conflict.index c tu))
+        before
+    done;
+    while Delta.history_depth t > 0 do
+      match Delta.undo t with Ok _ -> () | Error e -> Alcotest.fail e
+    done;
+    check_total "after undo"
+  done
+
 let suite =
   [
     ("random updates: incremental = rebuild", `Quick, test_random_equivalence);
@@ -336,4 +411,5 @@ let suite =
     ("cache survives for untouched components", `Quick, test_cache_retention);
     ("empty batch and delete+reinsert", `Quick, test_empty_batch_and_reinsert);
     ("undo restores counts and instance", `Quick, test_undo_restores_counts);
+    ("index total and id-stable under updates", `Quick, test_index_total_and_stable);
   ]

@@ -284,6 +284,83 @@ let planner_matches_evaluator =
       Query.Eval.holds db q = Query.Engine.holds db q
       && Query.Plan.holds db q <> None)
 
+let planner_answers_match_evaluator =
+  (* random OPEN existential-conjunctive queries over a two-relation
+     database (one name-typed column in play): the compiled Plan/Algebra
+     route must return exactly the evaluator's answer set — free
+     variables, rows, order and all. Comparisons include the degenerate
+     name-order cases, so this locks the aligned semantics end to end. *)
+  prop ~count:60 "planner open answers = evaluator answers" (fun c ->
+      let conflict, _ = build_case c in
+      let rel = Conflict.relation conflict in
+      let rng = Workload.Prng.create (c.seed + 65537) in
+      let schema_s =
+        Relational.Schema.make "S"
+          [ ("X", Relational.Schema.TInt); ("L", Relational.Schema.TName) ]
+      in
+      let rel_s =
+        Relational.Relation.of_rows schema_s
+          (List.init 4 (fun i ->
+               [
+                 Relational.Value.Int i;
+                 Relational.Value.Name (Printf.sprintf "n%d" (i mod 3));
+               ]))
+      in
+      let db = Relational.Database.of_relations [ rel; rel_s ] in
+      let arity = Relational.Schema.arity (Relational.Relation.schema rel) in
+      let rel_name = Relational.Schema.name (Relational.Relation.schema rel) in
+      let vars = [ "v0"; "v1"; "v2"; "v3"; "v4" ] in
+      let term () =
+        if Workload.Prng.int rng 5 = 0 then
+          Query.Ast.Const (Relational.Value.Int (Workload.Prng.int rng 3))
+        else Query.Ast.Var (Workload.Prng.pick rng vars)
+      in
+      let r_atom () =
+        Query.Ast.Atom (rel_name, List.init arity (fun _ -> term ()))
+      in
+      let s_atom () =
+        Query.Ast.Atom
+          ( "S",
+            [
+              term ();
+              (if Workload.Prng.int rng 3 = 0 then
+                 Query.Ast.Const
+                   (Relational.Value.Name
+                      (Printf.sprintf "n%d" (Workload.Prng.int rng 3)))
+               else Query.Ast.Var (Workload.Prng.pick rng [ "w0"; "w1" ]));
+            ] )
+      in
+      let atoms =
+        List.init (1 + Workload.Prng.int rng 2) (fun _ -> r_atom ())
+        @ (if Workload.Prng.bool rng then [ s_atom () ] else [])
+      in
+      let body = Query.Ast.conj atoms in
+      let used = Query.Ast.free_vars body in
+      let body =
+        if List.length used >= 2 && Workload.Prng.bool rng then
+          let x = Workload.Prng.pick rng used in
+          let y = Workload.Prng.pick rng used in
+          let op =
+            Workload.Prng.pick rng
+              [
+                Query.Ast.Lt; Query.Ast.Leq; Query.Ast.Geq; Query.Ast.Gt;
+                Query.Ast.Eq; Query.Ast.Neq;
+              ]
+          in
+          Query.Ast.And
+            (body, Query.Ast.Cmp (op, Query.Ast.Var x, Query.Ast.Var y))
+        else body
+      in
+      (* quantify a random subset of the variables; the rest stay free *)
+      let bound = List.filter (fun _ -> Workload.Prng.bool rng) used in
+      let q = Query.Ast.exists bound body in
+      match Query.Plan.answers db q with
+      | None -> false (* the whole fragment must be plannable *)
+      | Some (pfree, prows) ->
+        let efree, erows = Query.Eval.answers db q in
+        List.equal String.equal pfree efree
+        && List.equal (List.equal Relational.Value.equal) prows erows)
+
 let multi_factorized_matches_product =
   (* two random inconsistent relations; the factorized multi-relation
      ground engine must agree with product enumeration for every family *)
@@ -393,6 +470,7 @@ let sharded_certainty_matches_whole =
 let suite =
   [
     planner_matches_evaluator;
+    planner_answers_match_evaluator;
     multi_factorized_matches_product;
     repairs_are_maximal;
     containment_chain;

@@ -33,6 +33,40 @@ let test_value_of_string () =
   Alcotest.(check bool) "bad int is an error" true
     (Result.is_error (Value.of_string `Int "abc"))
 
+let test_value_packed () =
+  let vs =
+    [ Value.name "a"; Value.name "b"; Value.name "R&D"; Value.int 0; Value.int (-3); Value.int 41 ]
+  in
+  List.iter
+    (fun v -> check value "pack/unpack round-trip" v (Value.unpack (Value.pack v)))
+    vs;
+  Alcotest.(check bool) "interning is canonical" true
+    (Value.pack (Value.name "dept") = Value.pack (Value.name "dept"));
+  Alcotest.(check bool) "distinct names pack apart" true
+    (Value.pack (Value.name "a") <> Value.pack (Value.name "b"));
+  Alcotest.(check bool) "cross-domain never collides" true
+    (Value.pack (Value.name "1") <> Value.pack (Value.int 1));
+  let sign c = Stdlib.compare c 0 in
+  Alcotest.(check bool) "packed order = boxed order" true
+    (List.for_all
+       (fun a ->
+         List.for_all
+           (fun b ->
+             sign (Value.compare a b)
+             = sign (Value.compare_packed (Value.pack a) (Value.pack b)))
+           vs)
+       vs);
+  Alcotest.(check bool) "hash via packed form" true
+    (Value.hash (Value.int 5) = Value.hash_packed (Value.pack (Value.int 5)));
+  Alcotest.(check bool) "dictionary membership" true (Intern.mem "R&D");
+  check Alcotest.string "dictionary round-trip" "R&D"
+    (Intern.string_of_id (Intern.id_of_string "R&D"));
+  Alcotest.(check bool) "unknown id rejected" true
+    (try
+       ignore (Intern.string_of_id max_int);
+       false
+     with Invalid_argument _ -> true)
+
 (* --- Schema --------------------------------------------------------------- *)
 
 let mgr_schema () =
@@ -141,14 +175,91 @@ let test_relation_active_domain () =
   let r = small_rel () in
   check Alcotest.int "active domain size" 2 (List.length (Relation.active_domain r))
 
-let test_relation_tuple_array_sorted () =
-  let r = small_rel () in
+let test_relation_tuple_array_fact_ids () =
+  (* rows deliberately NOT in canonical order: fact ids follow insertion *)
+  let s = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let rows =
+    [ [ Value.int 1; Value.int 0 ]; [ Value.int 0; Value.int 1 ]; [ Value.int 0; Value.int 0 ] ]
+  in
+  let r = Relation.of_rows s rows in
   let arr = Relation.tuple_array r in
-  Alcotest.(check bool) "sorted" true
-    (Array.for_all Fun.id
-       (Array.init
-          (Array.length arr - 1)
-          (fun i -> Tuple.compare arr.(i) arr.(i + 1) < 0)))
+  check (Alcotest.list tuple) "insertion order" (List.map Tuple.make rows)
+    (Array.to_list arr);
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check (option int)) "find = position" (Some i) (Relation.find r t);
+      check tuple "fact round-trip" t (Relation.fact r i))
+    arr;
+  Alcotest.(check bool) "tuples stays canonical" true
+    (List.equal Tuple.equal (Relation.tuples r)
+       (List.sort Tuple.compare (Relation.tuples r)))
+
+let test_relation_fact_id_stability () =
+  let s = Schema.make "R" [ ("A", Schema.TInt) ] in
+  let row n = [ Value.int n ] in
+  let r = Relation.of_rows s [ row 0; row 1; row 2 ] in
+  (* tombstoning keeps the other ids; re-adding allocates a fresh slot *)
+  let r' = Relation.remove r (Tuple.make (row 1)) in
+  check Alcotest.int "slots survive removal" 3 (Relation.slot_count r');
+  Alcotest.(check (option int)) "id 0 stable" (Some 0)
+    (Relation.find r' (Tuple.make (row 0)));
+  Alcotest.(check (option int)) "id 2 stable" (Some 2)
+    (Relation.find r' (Tuple.make (row 2)));
+  Alcotest.(check (option int)) "removed gone" None
+    (Relation.find r' (Tuple.make (row 1)));
+  check tuple "tombstoned slot remembers its tuple" (Tuple.make (row 1))
+    (Relation.fact r' 1);
+  let r'', deleted, inserted =
+    Relation.patch r' ~delete:[ Tuple.make (row 0) ] ~insert:[ Tuple.make (row 9) ]
+  in
+  check Alcotest.(list int) "patch deletes by id" [ 0 ] deleted;
+  check Alcotest.(list int) "patch appends fresh ids" [ 3 ] inserted;
+  Alcotest.(check (option int)) "id 2 still stable" (Some 2)
+    (Relation.find r'' (Tuple.make (row 2)));
+  Alcotest.(check bool) "patch rejects absent delete" true
+    (try
+       ignore (Relation.patch r'' ~delete:[ Tuple.make (row 0) ] ~insert:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_relation_postings () =
+  let s = Schema.make "R" [ ("A", Schema.TInt); ("B", Schema.TInt) ] in
+  let r =
+    Relation.of_rows s
+      [ [ Value.int 0; Value.int 0 ]; [ Value.int 0; Value.int 1 ]; [ Value.int 1; Value.int 0 ] ]
+  in
+  let ids col v = Graphs.Vset.elements (Relation.matching r col (Value.pack (Value.int v))) in
+  check Alcotest.(list int) "column 0 group" [ 0; 1 ] (ids 0 0);
+  check Alcotest.(list int) "column 1 group" [ 0; 2 ] (ids 1 0);
+  check Alcotest.(list int) "missing key" [] (ids 0 7);
+  (* postings follow a patch incrementally *)
+  let r', _, _ =
+    Relation.patch r
+      ~delete:[ Tuple.make [ Value.int 0; Value.int 1 ] ]
+      ~insert:[ Tuple.make [ Value.int 0; Value.int 5 ] ]
+  in
+  let ids' col v = Graphs.Vset.elements (Relation.matching r' col (Value.pack (Value.int v))) in
+  check Alcotest.(list int) "group after patch" [ 0; 3 ] (ids' 0 0);
+  check Alcotest.(list int) "deleted left its group" [] (ids' 1 1);
+  let groups = ref [] in
+  Relation.iter_groups r' 0 (fun key ids -> groups := (Value.unpack key, Graphs.Vset.cardinal ids) :: !groups);
+  check Alcotest.(list (pair value int)) "iter_groups"
+    [ (Value.int 0, 2); (Value.int 1, 1) ]
+    (List.sort compare !groups)
+
+let test_relation_builder () =
+  let s = Schema.make "R" [ ("A", Schema.TInt) ] in
+  let b = Relation.Builder.create s in
+  for i = 0 to 9 do
+    Relation.Builder.add_row b [ Value.int (i mod 4) ]
+  done;
+  check Alcotest.int "deduplicated size" 4 (Relation.Builder.size b);
+  Alcotest.(check bool) "mem" true
+    (Relation.Builder.mem b (Tuple.make [ Value.int 3 ]));
+  let r = Relation.Builder.finish b in
+  check Alcotest.int "cardinality" 4 (Relation.cardinality r);
+  Alcotest.(check (option int)) "first-insertion ids" (Some 2)
+    (Relation.find r (Tuple.make [ Value.int 2 ]))
 
 (* --- Database --------------------------------------------------------------- *)
 
@@ -190,6 +301,7 @@ let suite =
     ("value: equality and order", `Quick, test_value_equal_compare);
     ("value: natural order on N only", `Quick, test_value_lt);
     ("value: of_string", `Quick, test_value_of_string);
+    ("value: packed form and interning", `Quick, test_value_packed);
     ("schema: positions", `Quick, test_schema_positions);
     ("schema: validation errors", `Quick, test_schema_errors);
     ("tuple: projections and conformance", `Quick, test_tuple_ops);
@@ -200,7 +312,10 @@ let suite =
     ("relation: schema mismatch", `Quick, test_relation_schema_mismatch);
     ("relation: typing enforced", `Quick, test_relation_typing);
     ("relation: active domain", `Quick, test_relation_active_domain);
-    ("relation: canonical tuple order", `Quick, test_relation_tuple_array_sorted);
+    ("relation: fact-id order and lookup", `Quick, test_relation_tuple_array_fact_ids);
+    ("relation: fact ids stable under updates", `Quick, test_relation_fact_id_stability);
+    ("relation: per-column postings", `Quick, test_relation_postings);
+    ("relation: bulk builder", `Quick, test_relation_builder);
     ("database: multi-relation container", `Quick, test_database);
     ("provenance: annotations", `Quick, test_provenance);
   ]

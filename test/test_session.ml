@@ -45,7 +45,9 @@ let test_load_and_info () =
   let st = load () in
   let _, info = Session.exec st "info" in
   Alcotest.(check bool) "mentions conflicts" true (contains ~needle:"conflicts: 3" info);
-  Alcotest.(check bool) "mentions schema" true (contains ~needle:"Mgr" info)
+  Alcotest.(check bool) "mentions schema" true (contains ~needle:"Mgr" info);
+  Alcotest.(check bool) "reports the intern dictionary" true
+    (contains ~needle:"interned: " info)
 
 let test_family_switch () =
   let st = load () in
