@@ -172,6 +172,20 @@ let previous_field prev name =
 
 (* --- machine-readable output -------------------------------------------- *)
 
+(* Host/runtime provenance appended to EVERY benchmark row: a scaling or
+   speedup claim is meaningless without the core count and domain count
+   it was measured under, and a single-core CI box must be legible as
+   such in the committed JSON. [domains] defaults to the pool width
+   active when the row is written; the PAR section passes each row's
+   width explicitly since it sweeps the pool size mid-run. *)
+let env_fields ?domains () =
+  let domains =
+    match domains with Some d -> d | None -> Core.Pool.jobs ()
+  in
+  Printf.sprintf ", \"host_cores\": %d, \"domains\": %d, \"ocaml\": %S"
+    (Domain.recommended_domain_count ())
+    domains Sys.ocaml_version
+
 (* Before/after records accumulated by the VSET section and dumped as
    BENCH_vset.json, so the perf trajectory across PRs is diffable. *)
 let comparisons : (string * float * float) list ref = ref []
@@ -185,8 +199,9 @@ let write_comparisons_json path =
   let entry (name, baseline, bitset) =
     Printf.sprintf
       "    {\"name\": %S, \"baseline_median_s\": %.9f, \
-       \"bitset_median_s\": %.9f, \"speedup\": %.2f%s}"
+       \"bitset_median_s\": %.9f, \"speedup\": %.2f%s%s}"
       name baseline bitset (baseline /. bitset) (previous_field prev name)
+      (env_fields ())
   in
   Printf.fprintf oc "{\n  \"representation\": \"bitset-vset\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
@@ -209,9 +224,9 @@ let write_intern_json path =
   let entry (name, baseline, interned, note) =
     Printf.sprintf
       "    {\"name\": %S, \"baseline_median_s\": %.9f, \
-       \"interned_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S%s}"
+       \"interned_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S%s%s}"
       name baseline interned (baseline /. interned) note
-      (previous_field prev name)
+      (previous_field prev name) (env_fields ())
   in
   Printf.fprintf oc "{\n  \"experiment\": \"interned-fact-id-substrate\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
@@ -249,9 +264,9 @@ let write_delta_json path =
   let entry (name, full, incremental, note, phases) =
     Printf.sprintf
       "    {\"name\": %S, \"full_rebuild_median_s\": %.9f, \
-       \"incremental_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S%s%s}"
+       \"incremental_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S%s%s%s}"
       name full incremental (full /. incremental) note
-      (previous_field prev name) (phases_field phases)
+      (previous_field prev name) (phases_field phases) (env_fields ())
   in
   Printf.fprintf oc "{\n  \"experiment\": \"incremental-delta-maintenance\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
@@ -272,9 +287,9 @@ let write_decompose_json path =
     in
     Printf.sprintf
       "    {\"name\": %S, \"whole_graph_median_s\": %s, \
-       \"sharded_median_s\": %.9f, \"speedup\": %s, \"note\": %S%s%s}"
+       \"sharded_median_s\": %.9f, \"speedup\": %s, \"note\": %S%s%s%s}"
       name whole_field sharded speedup_field note (previous_field prev name)
-      (phases_field phases)
+      (phases_field phases) (env_fields ())
   in
   Printf.fprintf oc "{\n  \"experiment\": \"component-sharded-cqa\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
@@ -299,14 +314,43 @@ let write_obs_json path =
     Printf.sprintf
       "    {\"name\": %S, \"disabled_median_s\": %.9f, \
        \"null_sink_median_s\": %.9f, \"memory_sink_median_s\": %.9f, \
-       \"null_overhead\": %.3f, \"memory_overhead\": %.3f, \"note\": %S%s}"
+       \"null_overhead\": %.3f, \"memory_overhead\": %.3f, \"note\": %S%s%s}"
       name disabled null_sink memory_sink
       (null_sink /. disabled)
       (memory_sink /. disabled)
-      note (previous_field prev name)
+      note (previous_field prev name) (env_fields ())
   in
   Printf.fprintf oc "{\n  \"experiment\": \"telemetry-overhead\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
   Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map entry (List.rev !obs_entries)));
+  close_out oc
+
+(* Pool-width scaling records for BENCH_parallel.json: the same kernel
+   measured at 1, 2, 4, ... domains. [sequential] is the 1-domain median
+   of the same sweep, so every row carries its own speedup; on a
+   single-core host ([host_cores] = 1 in the row) the curve is expected
+   flat-to-negative and the JSON says so honestly. *)
+let parallel_entries : (string * int * float * float * string) list ref =
+  ref []
+
+let record_parallel ~name ~domains ~median ~sequential ~note =
+  parallel_entries :=
+    (name, domains, median, sequential, note) :: !parallel_entries
+
+let write_parallel_json path =
+  let prev = previous_medians path "median_s" in
+  let oc = open_out path in
+  let entry (name, domains, median, sequential, note) =
+    Printf.sprintf
+      "    {\"name\": %S, \"median_s\": %.9f, \
+       \"sequential_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S%s%s}"
+      name median sequential (sequential /. median) note
+      (previous_field prev name)
+      (env_fields ~domains ())
+  in
+  Printf.fprintf oc "{\n  \"experiment\": \"domain-parallel-cqa\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map entry (List.rev !parallel_entries)));
   close_out oc

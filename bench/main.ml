@@ -718,6 +718,135 @@ let obs_bench () =
     "disabled = no sink installed (shipping default); overhead columns are";
   Harness.note "ratios against it. Written to BENCH_obs.json."
 
+(* --- PAR: domain-parallel scaling across pool widths ------------------------------ *)
+
+(* The scaling curve of the work-stealing component scheduler: the same
+   kernel measured at 1, 2, 4, 8 domains ([Core.Pool.set_jobs]), with
+   the 1-domain median as each row's baseline. Every row also records
+   the host core count — on a single-core box the curve is expected
+   flat-to-negative (domains time-slice one core and pay the fences)
+   and the committed JSON must be legible as such rather than fake a
+   win. Results are cross-checked against the 1-domain run before any
+   timing. Written to BENCH_parallel.json. *)
+let par_bench () =
+  Harness.section "PAR"
+    "domain-parallel CQA: work-stealing pool scaling at 1/2/4/8 domains";
+  let saved = Core.Pool.jobs () in
+  let host = Domain.recommended_domain_count () in
+  let widths = if !Harness.quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  Harness.note
+    "host cores: %d — speedup needs host_cores > domains in flight" host;
+  let rows = ref [] in
+  let sweep ~name ~note f =
+    Core.Pool.set_jobs 1;
+    let expected = f () in
+    let sequential = ref nan in
+    List.iter
+      (fun k ->
+        Core.Pool.set_jobs k;
+        if f () <> expected then
+          failwith
+            (Printf.sprintf "PAR %s: %d-domain result diverges from sequential"
+               name k);
+        let t = Harness.measure (fun () -> ignore (f ())) in
+        if k = 1 then sequential := t;
+        Harness.record_parallel
+          ~name:(Printf.sprintf "%s/j%d" name k)
+          ~domains:k ~median:t ~sequential:!sequential ~note;
+        rows :=
+          [ name; string_of_int k; Harness.time_cell t;
+            Printf.sprintf "x%.2f" (!sequential /. t) ]
+          :: !rows)
+      widths;
+    Core.Pool.set_jobs saved
+  in
+  (* many equal components: disjoint chains, the cache fill + count path *)
+  let comps = sz 32 8 and size = sz 8 4 in
+  let rel, fds = Generator.chain_components ~components:comps ~size in
+  let c = Conflict.build fds rel in
+  let d = Core.Decompose.make c (Priority.empty c) in
+  let shape = Printf.sprintf "chains-%dx%d" comps size in
+  sweep
+    ~name:(Printf.sprintf "count-G/%s" shape)
+    ~note:
+      "cold cache fill (parallel component solves) + saturating count; \
+       G-Rep pays a domination search per component"
+    (fun () ->
+      Core.Decompose.reset_cache d;
+      Core.Decompose.count Family.G d);
+  (* quantified ambiguous query: pass 1 of certainty_streaming is the
+     parallel per-component deviation scan with the shared stop flag *)
+  let q_amb =
+    match Relational.Tuple.values (Conflict.tuple c 0) with
+    | [ a; b; _; dd ] ->
+      Query.Ast.Exists
+        ( [ "x" ],
+          Query.Ast.Atom
+            ( "R",
+              [
+                Query.Ast.Const a; Query.Ast.Const b; Query.Ast.Var "x";
+                Query.Ast.Const dd;
+              ] ) )
+    | _ -> assert false
+  in
+  sweep
+    ~name:(Printf.sprintf "certainty-quantified/%s/rep" shape)
+    ~note:
+      "cold warm + parallel deviation scan with early-exit stop flag; \
+       verdict is ambiguous, settled without the cross product"
+    (fun () ->
+      Core.Decompose.reset_cache d;
+      Core.Decompose.certainty Family.Rep d q_amb);
+  (* the scale workload: a million facts, controlled conflict density —
+     2048 cliques of 8 up front, then one huge consistent group *)
+  let facts = sz 1_000_000 20_000
+  and groups = sz 2048 64
+  and width = 8 in
+  let relm, fdsm = Generator.clustered_conflicts ~facts ~groups ~width in
+  let cm = Conflict.build fdsm relm in
+  let dm = Core.Decompose.make cm (Priority.empty cm) in
+  sweep
+    ~name:(Printf.sprintf "count-rep/clustered-%dx%dx%d" facts groups width)
+    ~note:
+      "million-fact instance (quick mode shrinks it): conflict cliques \
+       solved on the pool, the clean tail rides the free set"
+    (fun () ->
+      Core.Decompose.reset_cache dm;
+      Core.Decompose.count Family.Rep dm);
+  Harness.table
+    ~header:[ "kernel"; "domains"; "median"; "speedup" ]
+    (List.rev !rows);
+  (* per-domain span attribution: one instrumented run at the widest
+     setting; worker-lane spans in the stitched trace carry a "domain"
+     argument (Export validates monotonicity per lane) *)
+  Core.Pool.set_jobs (List.fold_left max 1 widths);
+  let buf = Obs.Sink.Memory.create () in
+  let prev_sink = Obs.Span.sink () in
+  Obs.Span.set_sink (Some (Obs.Sink.Memory.sink buf));
+  Core.Decompose.reset_cache d;
+  ignore (Core.Decompose.count Family.G d);
+  Obs.Span.set_sink prev_sink;
+  Core.Pool.set_jobs saved;
+  let events = Obs.Sink.Memory.events buf in
+  let worker_lanes =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (e : Obs.Event.t) ->
+           match List.assoc_opt "domain" e.args with
+           | Some (Obs.Event.Int k) -> Some k
+           | _ -> None)
+         events)
+  in
+  (match Obs.Export.validate (Obs.Export.chrome events) with
+  | Ok _ -> ()
+  | Error e -> failwith ("PAR: stitched trace fails validation: " ^ e));
+  Harness.note
+    "stitched trace: %d events, worker lanes {%s} (lane 0 = caller, \
+     unannotated); per-lane validation passes"
+    (List.length events)
+    (String.concat ", " (List.map string_of_int worker_lanes));
+  Harness.note "Written to BENCH_parallel.json."
+
 (* --- Algorithm 1 scaling -------------------------------------------------------- *)
 
 let alg1 () =
@@ -1398,6 +1527,7 @@ let () =
   ext_aggregate ();
   ext_hyper ();
   obs_bench ();
+  par_bench ();
   vset_bench ();
   intern_bench ();
   Harness.write_comparisons_json "BENCH_vset.json";
@@ -1410,5 +1540,7 @@ let () =
   Format.printf "  BENCH_delta.json written.@.";
   Harness.write_obs_json "BENCH_obs.json";
   Format.printf "  BENCH_obs.json written.@.";
+  Harness.write_parallel_json "BENCH_parallel.json";
+  Format.printf "  BENCH_parallel.json written.@.";
   if not !Harness.quick then run_bechamel ();
   Format.printf "@.done.@."

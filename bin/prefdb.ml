@@ -96,6 +96,28 @@ let with_trace trace_out f =
 
 (* --- arguments ------------------------------------------------------------- *)
 
+(* Every subcommand accepts -j/--jobs; the pool width is fixed before
+   the command body runs. [with_jobs run] relies on cmdliner applying
+   term arguments left to right: the flag's value is consumed (and the
+   width set) before the remaining arguments reach [run]. *)
+let jobs_arg =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ ->
+      Error (`Msg (Printf.sprintf "invalid jobs count %S (expected N >= 1)" s))
+  in
+  Arg.(value & opt (some (conv (parse, Format.pp_print_int))) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:
+             "Evaluate repair/CQA kernels with $(docv) domains (default: the \
+              PREFDB_JOBS environment variable, else the host's recommended \
+              domain count). 1 disables parallelism.")
+
+let with_jobs run jobs =
+  (match jobs with Some n -> Core.Pool.set_jobs n | None -> ());
+  run
+
 let trace_out_arg =
   Arg.(value & opt (some string) None
        & info [ "trace-out" ] ~docv:"FILE"
@@ -142,6 +164,7 @@ let info_cmd =
                 (Constraints.Fd.candidate_keys schema spec.IF.fds)));
         Format.printf "BCNF:     %b@."
           (Constraints.Fd.is_bcnf schema spec.IF.fds);
+        Format.printf "domains:  %d@." (Core.Pool.jobs ());
         let edges = Core.Conflict.conflict_pairs c in
         Format.printf "conflicts: %d (%d oriented by the preferences)@."
           (List.length edges)
@@ -155,7 +178,7 @@ let info_cmd =
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Show schema, constraints, conflicts and preferences.")
-    Term.(const run $ file_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg)
 
 (* --- stats ------------------------------------------------------------------ *)
 
@@ -171,7 +194,7 @@ let stats_cmd =
        ~doc:
          "Inconsistency summary: conflicts, components, repair counts and \
           tuple fates under the family's preferences.")
-    Term.(const run $ file_arg $ family_arg $ trace_out_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ family_arg $ trace_out_arg)
 
 (* --- repairs ---------------------------------------------------------------- *)
 
@@ -199,7 +222,7 @@ let repairs_cmd =
   Cmd.v
     (Cmd.info "repairs"
        ~doc:"Enumerate the preferred repairs of the given family.")
-    Term.(const run $ file_arg $ family_arg $ limit_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ family_arg $ limit_arg)
 
 (* --- check ------------------------------------------------------------------ *)
 
@@ -234,7 +257,7 @@ let check_cmd =
        ~doc:
          "X-repair checking: is the candidate a preferred repair of the \
           family? Exits 0 for yes, 2 for no.")
-    Term.(const run $ file_arg $ candidate_arg $ family_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ candidate_arg $ family_arg)
 
 (* --- clean ------------------------------------------------------------------ *)
 
@@ -262,7 +285,7 @@ let clean_cmd =
        ~doc:
          "Clean the instance with Algorithm 1 under the declared \
           preferences (keeps one common repair).")
-    Term.(const run $ file_arg $ trace_arg $ trace_out_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ trace_arg $ trace_out_arg)
 
 (* --- count ------------------------------------------------------------------ *)
 
@@ -283,7 +306,7 @@ let count_cmd =
          "Count the preferred repairs without enumerating them \
           (component-factorized; fast whenever conflict components are \
           small).")
-    Term.(const run $ file_arg $ family_arg $ trace_out_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ family_arg $ trace_out_arg)
 
 (* --- query ------------------------------------------------------------------ *)
 
@@ -347,8 +370,8 @@ let query_cmd =
           the certain bindings of an open one. Answers are computed \
           through the conflict-component decomposition.")
     Term.(
-      const run $ file_arg $ family_arg $ query_arg $ trace_arg
-      $ trace_out_arg)
+      const (with_jobs run) $ jobs_arg $ file_arg $ family_arg $ query_arg
+      $ trace_arg $ trace_out_arg)
 
 (* --- facts ------------------------------------------------------------------- *)
 
@@ -376,7 +399,7 @@ let facts_cmd =
        ~doc:
          "Classify every tuple as certain, disputed or excluded under the \
           family's preferred repairs (component-factorized).")
-    Term.(const run $ file_arg $ family_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ family_arg)
 
 (* --- explain ----------------------------------------------------------------- *)
 
@@ -407,7 +430,7 @@ let explain_cmd =
        ~doc:
          "Answer a closed query and show witness repairs supporting and \
           refuting it.")
-    Term.(const run $ file_arg $ family_arg $ query_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ family_arg $ query_arg)
 
 (* --- status ------------------------------------------------------------------- *)
 
@@ -439,7 +462,7 @@ let status_cmd =
        ~doc:
          "Show a tuple's conflicts, its domination situation and whether \
           the preferred repairs keep it.")
-    Term.(const run $ file_arg $ family_arg $ tuple_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ family_arg $ tuple_arg)
 
 (* --- aggregate ---------------------------------------------------------------- *)
 
@@ -482,7 +505,7 @@ let aggregate_cmd =
   Cmd.v
     (Cmd.info "aggregate"
        ~doc:"Range-consistent answer to a scalar aggregation query.")
-    Term.(const run $ file_arg $ family_arg $ agg_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ family_arg $ agg_arg)
 
 (* --- update ------------------------------------------------------------------ *)
 
@@ -588,8 +611,8 @@ let update_cmd =
           only the components the batch touches are re-decomposed, and the \
           work report shows what was dirtied, evicted and retained.")
     Term.(
-      const run $ file_arg $ family_arg $ insert_arg $ delete_arg $ save_arg
-      $ trace_out_arg)
+      const (with_jobs run) $ jobs_arg $ file_arg $ family_arg $ insert_arg
+      $ delete_arg $ save_arg $ trace_out_arg)
 
 (* --- shell ------------------------------------------------------------------- *)
 
@@ -636,7 +659,7 @@ let shell_cmd =
   in
   Cmd.v
     (Cmd.info "shell" ~doc:"Interactive session over an instance file.")
-    Term.(const run $ file_opt $ trace_out_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_opt $ trace_out_arg)
 
 (* --- profile ------------------------------------------------------------------ *)
 
@@ -705,7 +728,7 @@ let profile_cmd =
           per-component repair enumeration and the CQA route taken \
           (ground clause engine, deviation scan or full product), with \
           counter deltas attached to each span.")
-    Term.(const run $ file_arg $ family_arg $ query_arg $ trace_out_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ family_arg $ query_arg $ trace_out_arg)
 
 (* --- validate-trace ----------------------------------------------------------- *)
 
@@ -745,7 +768,7 @@ let validate_trace_cmd =
          "Check a trace file's invariants: well-formed JSON, monotone \
           non-decreasing timestamps and balanced begin/end span pairs with \
           matching names. Exits non-zero on violation.")
-    Term.(const run $ trace_file_arg)
+    Term.(const (with_jobs run) $ jobs_arg $ trace_file_arg)
 
 (* --- main --------------------------------------------------------------------- *)
 

@@ -64,29 +64,65 @@ let build fds relation =
   | Ok () -> ()
   | Error e -> invalid_arg e);
   let lposs = List.map (fun fd -> (fd, lhs_positions schema fd)) fds in
-  (* force the postings: [patch] keeps them fresh from here on *)
-  Relation.prepare_index relation;
+  (* force the lhs postings only: [patch] keeps materialized columns
+     fresh from here on, and a column no FD groups on (a unique payload
+     attribute, say) never pays for an index *)
+  List.iter
+    (fun (_, lpos) -> List.iter (Relation.prepare_column relation) lpos)
+    lposs;
   let edges = ref [] in
-  let group_edges fd ids =
-    let rec go = function
-      | [] | [ _ ] -> ()
-      | u :: rest ->
-        let tu = Relation.fact relation u in
-        List.iter
-          (fun v ->
-            if Constraints.Fd.conflicting schema fd tu (Relation.fact relation v)
-            then edges := (min u v, max u v) :: !edges)
-          rest;
-        go rest
-    in
-    go ids
+  (* Within an lhs group every tuple agrees on the lhs, so a pair
+     conflicts iff the two tuples differ somewhere on the rhs — iff
+     their packed rhs projections differ. Bucketing the group by that
+     projection and emitting all cross-bucket pairs is O(group + edges)
+     where the pairwise [Fd.conflicting] sweep was O(group²): on clean
+     data (one bucket) a huge group costs nothing at all. *)
+  let group_edges rpos ids =
+    match ids with
+    | [] | [ _ ] -> ()
+    | ids ->
+      let buckets = Hashtbl.create 8 in
+      let order = ref [] in
+      List.iter
+        (fun i ->
+          let key = Tuple.project_packed (Relation.fact relation i) rpos in
+          match Hashtbl.find_opt buckets key with
+          | None ->
+            order := key :: !order;
+            Hashtbl.replace buckets key [ i ]
+          | Some ids -> Hashtbl.replace buckets key (i :: ids))
+        ids;
+      match !order with
+      | [] | [ _ ] -> () (* all tuples agree on the rhs: consistent group *)
+      | keys ->
+        let groups =
+          Array.of_list (List.rev_map (fun k -> Hashtbl.find buckets k) keys)
+        in
+        for a = 0 to Array.length groups - 2 do
+          List.iter
+            (fun u ->
+              for b = a + 1 to Array.length groups - 1 do
+                List.iter
+                  (fun v -> edges := (min u v, max u v) :: !edges)
+                  groups.(b)
+              done)
+            groups.(a)
+        done
   in
   List.iter
     (fun (fd, lpos) ->
+      let rpos =
+        List.map
+          (fun a ->
+            match Schema.position schema a with
+            | Some i -> i
+            | None -> invalid_arg "Conflict: FD attribute missing from schema")
+          (Constraints.Fd.rhs fd)
+      in
       match lpos with
       | [ col ] ->
         Relation.iter_groups relation col (fun _key ids ->
-            group_edges fd (Vset.elements ids))
+            group_edges rpos (Vset.elements ids))
       | _ ->
         let tbl = Hashtbl.create 256 in
         Vset.iter
@@ -95,7 +131,7 @@ let build fds relation =
             Hashtbl.replace tbl key
               (i :: Option.value (Hashtbl.find_opt tbl key) ~default:[]))
           (Relation.live_ids relation);
-        Hashtbl.iter (fun _key ids -> group_edges fd (List.rev ids)) tbl)
+        Hashtbl.iter (fun _key ids -> group_edges rpos (List.rev ids)) tbl)
     lposs;
   let edges = !edges in
   if Obs.Span.enabled () then

@@ -32,16 +32,44 @@ let fresh_counters () =
     cache_retained = 0;
   }
 
+(* Parallel jobs shard their counting into per-lane records and the
+   submitting domain folds the shards back in after the join, so the
+   shared record is only ever mutated by one domain. Integer addition
+   commutes, so the merged totals are independent of scheduling. *)
+let merge_counters dst z =
+  dst.cache_hits <- dst.cache_hits + z.cache_hits;
+  dst.cache_misses <- dst.cache_misses + z.cache_misses;
+  dst.component_repairs <- dst.component_repairs + z.component_repairs;
+  dst.combos_streamed <- dst.combos_streamed + z.combos_streamed;
+  dst.components_examined <- dst.components_examined + z.components_examined;
+  dst.early_exits <- dst.early_exits + z.early_exits;
+  dst.deltas_applied <- dst.deltas_applied + z.deltas_applied;
+  dst.edges_added <- dst.edges_added + z.edges_added;
+  dst.edges_removed <- dst.edges_removed + z.edges_removed;
+  dst.components_dirtied <- dst.components_dirtied + z.components_dirtied;
+  dst.cache_evicted <- dst.cache_evicted + z.cache_evicted;
+  dst.cache_retained <- dst.cache_retained + z.cache_retained
+
 type t = {
   conflict : Conflict.t;
   priority : Priority.t;
   components : Vset.t array;
-      (* indexed by component SLOT, so [component_of] is O(1). Slots are
-         stable across [apply_delta]: an untouched component keeps its
-         slot (and so its [comp_index] entries and cache keys), a dirtied
-         one frees it for reuse. [Vset.empty] marks a free slot — every
-         consumer iterating this array skips empties. *)
+      (* multi-vertex components only, indexed by component SLOT, so
+         [component_of] is O(1). Slots are stable across [apply_delta]:
+         an untouched component keeps its slot (and so its [comp_index]
+         entries and cache keys), a dirtied one frees it for reuse.
+         [Vset.empty] marks a free slot — every consumer iterating this
+         array skips empties. *)
+  free : Vset.t;
+      (* live conflict-free vertices, aggregated into ONE set instead of
+         one singleton component each. A dense [Vset.singleton v] costs
+         O(v) words, so materializing a million singleton components
+         would be quadratic in the instance; the free set makes clean
+         tuples O(1) amortized everywhere. A free vertex belongs to
+         every repair, so it contributes factor 1 to every product and a
+         fixed summand to every aggregate. *)
   comp_index : int array;
+      (* slot of the vertex's component; -1 = free or tombstoned *)
   cache : (Family.name * int, Vset.t list) Hashtbl.t;
       (* (family, component slot) -> preferred repairs in original ids *)
   counters : counters;
@@ -49,25 +77,52 @@ type t = {
 
 let make conflict priority =
   Obs.Span.with_span "decompose.make" @@ fun () ->
-  (* tombstoned vertices of an incrementally updated conflict show up as
-     isolated singletons in the graph — they are not part of the instance *)
-  let components =
-    Array.of_list
-      (List.filter
-         (fun comp -> Conflict.is_live conflict (Vset.min_elt comp))
-         (Undirected.connected_components (Conflict.graph conflict)))
-  in
-  let comp_index = Array.make (max 1 (Conflict.size conflict)) 0 in
-  Array.iteri
-    (fun i comp -> Vset.iter (fun v -> comp_index.(v) <- i) comp)
-    components;
+  let g = Conflict.graph conflict in
+  let live = Conflict.live conflict in
+  let n = Conflict.size conflict in
+  let comp_index = Array.make (max 1 n) (-1) in
+  let comps = ref [] in
+  let nslots = ref 0 in
+  (* discover the multi-vertex components only: tombstoned vertices of an
+     incrementally updated conflict and conflict-free live tuples are
+     both isolated in the graph and never allocate a component *)
+  for v = 0 to n - 1 do
+    if
+      comp_index.(v) < 0
+      && Vset.mem v live
+      && not (Vset.is_empty (Undirected.neighbors g v))
+    then begin
+      let rec grow frontier comp =
+        if Vset.is_empty frontier then comp
+        else begin
+          let comp = Vset.union comp frontier in
+          let next =
+            Vset.fold
+              (fun u acc -> Vset.union acc (Undirected.neighbors g u))
+              frontier Vset.empty
+          in
+          grow (Vset.diff next comp) comp
+        end
+      in
+      let comp = grow (Vset.singleton v) Vset.empty in
+      Vset.iter (fun u -> comp_index.(u) <- !nslots) comp;
+      incr nslots;
+      comps := comp :: !comps
+    end
+  done;
+  let components = Array.of_list (List.rev !comps) in
+  let free = Vset.inter live (Undirected.isolated g) in
   if Obs.Span.enabled () then
     Obs.Span.annotate
-      [ ("components", Obs.Event.Int (Array.length components)) ];
+      [
+        ( "components",
+          Obs.Event.Int (Array.length components + Vset.cardinal free) );
+      ];
   {
     conflict;
     priority;
     components;
+    free;
     comp_index;
     cache = Hashtbl.create 16;
     counters = fresh_counters ();
@@ -76,13 +131,28 @@ let make conflict priority =
 let conflict d = d.conflict
 let priority d = d.priority
 
-(* live slots, in the canonical order (increasing smallest vertex) *)
+(* logical components, in the canonical order (increasing smallest
+   vertex); free vertices are synthesized back into singleton sets here,
+   so the list is O(free · V/word) — fine for reporting, avoided by the
+   evaluation paths below *)
 let components d =
+  let multi =
+    List.filter
+      (fun comp -> not (Vset.is_empty comp))
+      (Array.to_list d.components)
+  in
+  let singles = List.rev_map Vset.singleton (Vset.elements d.free) in
   List.sort
     (fun a b -> compare (Vset.min_elt a) (Vset.min_elt b))
-    (List.filter
-       (fun comp -> not (Vset.is_empty comp))
-       (Array.to_list d.components))
+    (List.rev_append singles multi)
+
+(* live slots of the multi-vertex components, ascending *)
+let live_slots d =
+  let acc = ref [] in
+  for ci = Array.length d.components - 1 downto 0 do
+    if not (Vset.is_empty d.components.(ci)) then acc := ci :: !acc
+  done;
+  !acc
 
 let fold_components f acc d =
   Array.fold_left
@@ -90,7 +160,10 @@ let fold_components f acc d =
     acc d.components
 
 let max_component d =
-  Array.fold_left (fun acc comp -> max acc (Vset.cardinal comp)) 0 d.components
+  Array.fold_left
+    (fun acc comp -> max acc (Vset.cardinal comp))
+    (if Vset.is_empty d.free then 0 else 1)
+    d.components
 
 (* an immutable snapshot, so callers can diff across a run *)
 let counters d =
@@ -125,6 +198,8 @@ let reset_counters d =
   z.cache_evicted <- 0;
   z.cache_retained <- 0
 
+let reset_cache d = Hashtbl.reset d.cache
+
 let pp_counters ppf z =
   Format.fprintf ppf
     "@[<v>component cache:        %d hit(s), %d miss(es), %d repair(s) \
@@ -148,7 +223,8 @@ let pp_counters ppf z =
 let component_of d v =
   if v < 0 || v >= Conflict.size d.conflict || not (Conflict.is_live d.conflict v)
   then invalid_arg "Decompose.component_of";
-  d.components.(d.comp_index.(v))
+  let ci = d.comp_index.(v) in
+  if ci < 0 then Vset.singleton v else d.components.(ci)
 
 (* --- incremental maintenance -------------------------------------------- *)
 
@@ -158,31 +234,41 @@ let component_of d v =
    vertex, removed edges a deleted one), a component none of whose
    vertices was deleted or gained an edge is bit-for-bit unchanged in the
    new graph — its repair lists, computed from the induced sub-instance,
-   stay valid and are rekeyed to the component's new position. *)
+   stay valid and are rekeyed to the component's new position. Free
+   vertices reached by the delta re-enter the recomputation scope; any
+   recomputed component that comes out isolated lands back in the free
+   set rather than a slot. *)
 let apply_delta d conflict priority (delta : Conflict.delta) =
   Obs.Span.with_span "decompose.apply_delta" @@ fun () ->
   let old_size = Array.length d.comp_index in
   let g = Conflict.graph conflict in
   let live' = Conflict.live conflict in
-  (* old component ids reached by the delta *)
+  (* old component slots (and free vertices) reached by the delta *)
   let touched = Hashtbl.create 8 in
+  let touched_free = ref Vset.empty in
   let touch v =
     (* only vertices of the old instance carry a current slot: inserted ids
        lie past [old_size], and a tombstone's entry is stale *)
-    if v < old_size && Conflict.is_live d.conflict v then
-      Hashtbl.replace touched d.comp_index.(v) ()
+    if v < old_size && Conflict.is_live d.conflict v then begin
+      let ci = d.comp_index.(v) in
+      if ci >= 0 then Hashtbl.replace touched ci ()
+      else touched_free := Vset.add v !touched_free
+    end
   in
   List.iter touch delta.Conflict.deleted;
   List.iter
     (fun (u, v) -> touch u; touch v)
     (delta.Conflict.edges_added @ delta.Conflict.edges_removed);
-  (* survivors of the touched components, plus every inserted vertex —
-     closed under adjacency in the new graph by the delta invariants *)
+  (* survivors of the touched components, touched free vertices and every
+     inserted vertex — closed under adjacency in the new graph by the
+     delta invariants *)
   let scope =
     Hashtbl.fold
       (fun ci () acc -> Vset.union acc (Vset.inter d.components.(ci) live'))
       touched
-      (Vset.of_list delta.Conflict.inserted)
+      (Vset.union
+         (Vset.inter !touched_free live')
+         (Vset.of_list delta.Conflict.inserted))
   in
   let recomputed =
     let seen = ref Vset.empty in
@@ -208,6 +294,10 @@ let apply_delta d conflict priority (delta : Conflict.delta) =
         end)
       scope []
   in
+  (* recomputed isolates go back to the free set, not a slot *)
+  let singles, multi =
+    List.partition (fun comp -> Vset.cardinal comp = 1) recomputed
+  in
   (* slots of untouched components (and their comp_index entries and
      cache keys) carry over verbatim; dirtied slots are freed and reused
      for the recomputed components, growing the array only when a split
@@ -217,24 +307,24 @@ let apply_delta d conflict priority (delta : Conflict.delta) =
   let comp_index =
     if size' = old_index_len then Array.copy d.comp_index
     else begin
-      let a = Array.make size' 0 in
+      let a = Array.make size' (-1) in
       Array.blit d.comp_index 0 a 0 old_index_len;
       a
     end
   in
   let freed = Hashtbl.fold (fun ci () acc -> ci :: acc) touched [] in
   let nslots = Array.length d.components in
-  let extra = max 0 (List.length recomputed - List.length freed) in
+  let extra = max 0 (List.length multi - List.length freed) in
   let components = Array.make (nslots + extra) Vset.empty in
   Array.blit d.components 0 components 0 nslots;
   List.iter (fun ci -> components.(ci) <- Vset.empty) freed;
-  let free = ref freed and fresh = ref nslots in
+  let free_slots = ref freed and fresh = ref nslots in
   List.iter
     (fun comp ->
       let slot =
-        match !free with
+        match !free_slots with
         | ci :: rest ->
-          free := rest;
+          free_slots := rest;
           ci
         | [] ->
           let ci = !fresh in
@@ -243,7 +333,16 @@ let apply_delta d conflict priority (delta : Conflict.delta) =
       in
       components.(slot) <- comp;
       Vset.iter (fun v -> comp_index.(v) <- slot) comp)
-    recomputed;
+    multi;
+  List.iter
+    (fun comp -> Vset.iter (fun v -> comp_index.(v) <- -1) comp)
+    singles;
+  let free =
+    List.fold_left
+      (fun acc s -> Vset.union acc s)
+      (Vset.diff (Vset.inter d.free live') !touched_free)
+      singles
+  in
   (* evict the dirtied slots' cache entries; every other entry stays put *)
   let z = d.counters in
   let cache = Hashtbl.copy d.cache in
@@ -267,7 +366,7 @@ let apply_delta d conflict priority (delta : Conflict.delta) =
       ];
   (* the same mutable record carries over: telemetry accumulates across
      the whole update history of the decomposition *)
-  { conflict; priority; components; comp_index; cache; counters = z }
+  { conflict; priority; components; free; comp_index; cache; counters = z }
 
 (* The sub-instance of one component. Tuples keep their relative order
    under restriction, so new vertex i is the i-th smallest original id. *)
@@ -277,76 +376,167 @@ let sub_context d comp =
   let mapping = Array.of_list (Vset.elements comp) in
   let back = Hashtbl.create (Array.length mapping) in
   Array.iteri (fun i v -> Hashtbl.replace back v i) mapping;
+  (* priority arcs connect conflicting tuples, so every arc leaving a
+     component vertex stays inside the component: probing the successor
+     sets of the component's vertices finds them all in O(comp + arcs),
+     where walking [Priority.arcs] would cost O(V) per component *)
   let arcs =
-    List.filter_map
-      (fun (u, v) ->
-        match (Hashtbl.find_opt back u, Hashtbl.find_opt back v) with
-        | Some u', Some v' -> Some (u', v')
-        | _, _ -> None)
-      (Priority.arcs d.priority)
+    Vset.fold
+      (fun u acc ->
+        let u' = Hashtbl.find back u in
+        Vset.fold
+          (fun v acc ->
+            match Hashtbl.find_opt back v with
+            | Some v' -> (u', v') :: acc
+            | None -> acc)
+          (Priority.dominated d.priority u)
+          acc)
+      comp []
   in
   (sub, Priority.of_arcs_exn sub arcs, mapping)
 
+(* Solve one component: everything here is pure with respect to [d] —
+   [sub_context] rebuilds a compact task-local instance — except the
+   counter bumps, which go to the caller-chosen shard [z]. That is what
+   lets [parallel_warm] run this on worker domains. *)
+let solve_component z d family comp =
+  Obs.Span.with_span "decompose.component"
+    ~args:
+      [
+        ("family", Obs.Event.Str (Family.name_to_string family));
+        ("size", Obs.Event.Int (Vset.cardinal comp));
+      ]
+  @@ fun () ->
+  z.cache_misses <- z.cache_misses + 1;
+  let sub, p, mapping = sub_context d comp in
+  let repairs =
+    List.map
+      (fun s -> Vset.map (fun v -> mapping.(v)) s)
+      (Family.repairs family sub p)
+  in
+  z.component_repairs <- z.component_repairs + List.length repairs;
+  if Obs.Span.enabled () then
+    Obs.Span.annotate [ ("repairs", Obs.Event.Int (List.length repairs)) ];
+  repairs
+
+(* Is this one of the synthesized singleton components of a free vertex?
+   Free vertices are conflict-free, so their only preferred repair (for
+   every family) is the tuple itself; serving it from the free set keeps
+   clean tuples out of the cache. *)
+let free_singleton d comp =
+  Vset.cardinal comp = 1 && d.comp_index.(Vset.min_elt comp) < 0
+
 let preferred_within family d comp =
-  let key = (family, d.comp_index.(Vset.min_elt comp)) in
-  match Hashtbl.find_opt d.cache key with
-  | Some repairs ->
+  if free_singleton d comp then begin
     d.counters.cache_hits <- d.counters.cache_hits + 1;
-    repairs
-  | None ->
-    Obs.Span.with_span "decompose.component"
-      ~args:
-        [
-          ("family", Obs.Event.Str (Family.name_to_string family));
-          ("size", Obs.Event.Int (Vset.cardinal comp));
-        ]
-    @@ fun () ->
-    d.counters.cache_misses <- d.counters.cache_misses + 1;
-    let sub, p, mapping = sub_context d comp in
-    let repairs =
-      List.map
-        (fun s -> Vset.map (fun v -> mapping.(v)) s)
-        (Family.repairs family sub p)
-    in
-    d.counters.component_repairs <-
-      d.counters.component_repairs + List.length repairs;
-    if Obs.Span.enabled () then
-      Obs.Span.annotate [ ("repairs", Obs.Event.Int (List.length repairs)) ];
-    Hashtbl.replace d.cache key repairs;
-    repairs
+    [ comp ]
+  end
+  else begin
+    let key = (family, d.comp_index.(Vset.min_elt comp)) in
+    match Hashtbl.find_opt d.cache key with
+    | Some repairs ->
+      d.counters.cache_hits <- d.counters.cache_hits + 1;
+      repairs
+    | None ->
+      let repairs = solve_component d.counters d family comp in
+      Hashtbl.replace d.cache key repairs;
+      repairs
+  end
+
+(* --- the parallel cache fill --------------------------------------------- *)
+
+let parallel_warm family d todo =
+  (* [todo]: (slot, component) pairs, ascending slot order. Each index is
+     an independent component solve; counters shard per worker lane and
+     the submitting domain publishes the cache writes in slot order after
+     the join — workers never touch [d.cache] (sharded ownership: steals
+     publish through the owner). *)
+  let todo = Array.of_list todo in
+  let n = Array.length todo in
+  let results = Array.make n [] in
+  let shards = Array.init (Pool.jobs ()) (fun _ -> fresh_counters ()) in
+  Pool.parallel_for ~n (fun ~worker i ->
+      let _, comp = todo.(i) in
+      results.(i) <- solve_component shards.(worker) d family comp);
+  Array.iteri
+    (fun i (ci, _) -> Hashtbl.replace d.cache (family, ci) results.(i))
+    todo;
+  Array.iter (fun z -> merge_counters d.counters z) shards
+
+let warm_slots family d slots =
+  (* equivalent to a sequential [preferred_within] sweep over the slots:
+     one cache hit per already-cached component, one miss (plus a
+     "decompose.component" span and the repairs count) per filled one *)
+  let todo =
+    List.filter_map
+      (fun ci ->
+        if Hashtbl.mem d.cache (family, ci) then begin
+          d.counters.cache_hits <- d.counters.cache_hits + 1;
+          None
+        end
+        else Some (ci, d.components.(ci)))
+      slots
+  in
+  match todo with
+  | [] -> ()
+  | [ (ci, comp) ] ->
+    Hashtbl.replace d.cache (family, ci) (solve_component d.counters d family comp)
+  | todo ->
+    if Pool.jobs () <= 1 || Pool.in_parallel_region () then
+      List.iter
+        (fun (ci, comp) ->
+          Hashtbl.replace d.cache (family, ci)
+            (solve_component d.counters d family comp))
+        todo
+    else parallel_warm family d todo
+
+let warm family d = warm_slots family d (live_slots d)
 
 let count_within family d comp =
-  let key = (family, d.comp_index.(Vset.min_elt comp)) in
-  match Hashtbl.find_opt d.cache key with
-  | Some repairs ->
+  if free_singleton d comp then begin
     d.counters.cache_hits <- d.counters.cache_hits + 1;
-    List.length repairs
-  | None ->
-    (* counting path: stream the family over the sub-instance without
-       materializing the repair lists (and without populating the cache —
-       a later [preferred_within] still owns that) *)
-    Obs.Span.with_span "decompose.count"
-      ~args:
-        [
-          ("family", Obs.Event.Str (Family.name_to_string family));
-          ("size", Obs.Event.Int (Vset.cardinal comp));
-        ]
-    @@ fun () ->
-    d.counters.cache_misses <- d.counters.cache_misses + 1;
-    let sub, p, _mapping = sub_context d comp in
-    let n = ref 0 in
-    Family.iter family sub p (fun _ -> incr n);
-    !n
+    1
+  end
+  else begin
+    let key = (family, d.comp_index.(Vset.min_elt comp)) in
+    match Hashtbl.find_opt d.cache key with
+    | Some repairs ->
+      d.counters.cache_hits <- d.counters.cache_hits + 1;
+      List.length repairs
+    | None ->
+      (* counting path: stream the family over the sub-instance without
+         materializing the repair lists (and without populating the cache —
+         a later [preferred_within] still owns that) *)
+      Obs.Span.with_span "decompose.count"
+        ~args:
+          [
+            ("family", Obs.Event.Str (Family.name_to_string family));
+            ("size", Obs.Event.Int (Vset.cardinal comp));
+          ]
+      @@ fun () ->
+      d.counters.cache_misses <- d.counters.cache_misses + 1;
+      let sub, p, _mapping = sub_context d comp in
+      let n = ref 0 in
+      Family.iter family sub p (fun _ -> incr n);
+      !n
+  end
 
 (* repair counts multiply across components and overflow [int] long before
-   they overflow anyone's patience: saturate instead of wrapping *)
+   they overflow anyone's patience: saturate instead of wrapping. Both
+   arguments are >= 0, 0 annihilates and saturation triggers exactly when
+   the true product exceeds [max_int], so the fold is order-independent —
+   safe to combine in any schedule. *)
 let sat_mul a b =
   if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
 
 let count family d =
-  fold_components
-    (fun acc comp -> sat_mul acc (List.length (preferred_within family d comp)))
-    1 d
+  (* warm the cache (in parallel when the pool has domains), then fold
+     the per-slot list lengths; free vertices contribute factor 1 *)
+  warm family d;
+  List.fold_left
+    (fun acc ci ->
+      sat_mul acc (List.length (Hashtbl.find d.cache (family, ci))))
+    1 (live_slots d)
 
 (* --- ground certainty --------------------------------------------------- *)
 
@@ -362,34 +552,50 @@ let demand_of_clause d clause =
 exception Stop
 
 let clause_satisfiable family d { Ground.required; forbidden } =
-  let touched =
-    Vset.fold
-      (fun v acc -> Vset.add d.comp_index.(v) acc)
-      (Vset.union required forbidden)
-      Vset.empty
-  in
-  let remaining = ref (Vset.cardinal touched) in
-  try
-    Vset.iter
-      (fun ci ->
-        d.counters.components_examined <- d.counters.components_examined + 1;
-        decr remaining;
-        let comp = d.components.(ci) in
-        let req = Vset.inter required comp
-        and forb = Vset.inter forbidden comp in
-        let ok =
-          List.exists
-            (fun r -> Vset.subset req r && Vset.is_empty (Vset.inter forb r))
-            (preferred_within family d comp)
-        in
-        if not ok then begin
-          if !remaining > 0 then
-            d.counters.early_exits <- d.counters.early_exits + 1;
-          raise Stop
-        end)
-      touched;
-    true
-  with Stop -> false
+  (* a free vertex belongs to every preferred repair: forbidding one
+     kills the clause outright, requiring one costs nothing *)
+  if not (Vset.is_empty (Vset.inter forbidden d.free)) then false
+  else begin
+    let touched =
+      Vset.fold
+        (fun v acc ->
+          let ci = d.comp_index.(v) in
+          if ci >= 0 then Vset.add ci acc else acc)
+        (Vset.union required forbidden)
+        Vset.empty
+    in
+    (* with pool domains available, fill the touched components' repair
+       lists in parallel first; the per-component demand checks below are
+       then cache hits. (jobs = 1 keeps the lazy sequential sweep with its
+       mid-loop early exit.) *)
+    if
+      Pool.jobs () > 1
+      && (not (Pool.in_parallel_region ()))
+      && Vset.cardinal touched > 1
+    then warm_slots family d (Vset.elements touched);
+    let remaining = ref (Vset.cardinal touched) in
+    try
+      Vset.iter
+        (fun ci ->
+          d.counters.components_examined <- d.counters.components_examined + 1;
+          decr remaining;
+          let comp = d.components.(ci) in
+          let req = Vset.inter required comp
+          and forb = Vset.inter forbidden comp in
+          let ok =
+            List.exists
+              (fun r -> Vset.subset req r && Vset.is_empty (Vset.inter forb r))
+              (preferred_within family d comp)
+          in
+          if not ok then begin
+            if !remaining > 0 then
+              d.counters.early_exits <- d.counters.early_exits + 1;
+            raise Stop
+          end)
+        touched;
+      true
+    with Stop -> false
+  end
 
 let some_preferred_satisfies family d q =
   match Query.Transform.ground_dnf q with
@@ -423,15 +629,16 @@ let certainty_ground family d q =
 
 (* The per-component preferred repairs, as arrays for cheap indexing.
    Raises [Cqa.Empty_family] if any component contributes nothing: the
-   cross product would be empty, which P1 rules out (see [Cqa]). *)
+   cross product would be empty, which P1 rules out (see [Cqa]). Free
+   vertices do not appear here — they belong to every combination and
+   are seeded into the accumulators by the consumers below. *)
 let repair_matrix family d =
+  warm family d;
   let lists =
     Array.of_list
-      (List.rev
-         (fold_components
-            (fun acc comp ->
-              Array.of_list (preferred_within family d comp) :: acc)
-            [] d))
+      (List.map
+         (fun ci -> Array.of_list (Hashtbl.find d.cache (family, ci)))
+         (live_slots d))
   in
   Array.iter
     (fun l -> if Array.length l = 0 then raise (Cqa.Empty_family family))
@@ -442,10 +649,10 @@ let iter family d f =
   let lists = repair_matrix family d in
   let k = Array.length lists in
   if k = 0 then begin
-    (* no conflicts at all: the single repair is the empty vertex set
-       (every tuple survives) — mirrors [Mis.iter] on the empty graph *)
+    (* no conflicting components: the single repair keeps exactly the
+       conflict-free tuples — mirrors [Mis.iter] on the edgeless graph *)
     d.counters.combos_streamed <- d.counters.combos_streamed + 1;
-    f Vset.empty
+    f d.free
   end
   else begin
     let rec go i acc =
@@ -455,7 +662,7 @@ let iter family d f =
       end
       else Array.iter (fun s -> go (i + 1) (Vset.union acc s)) lists.(i)
     in
-    go 0 Vset.empty
+    go 0 d.free
   end
 
 let exists family d pred =
@@ -468,6 +675,7 @@ let for_all family d pred = not (exists family d (fun r -> not (pred r)))
 
 let member family d r =
   Vset.subset r (Conflict.live d.conflict)
+  && Vset.subset d.free r
   && Array.for_all
        (fun comp ->
          Vset.is_empty comp
@@ -479,7 +687,8 @@ let member family d r =
 let one family d =
   match repair_matrix family d with
   | exception Cqa.Empty_family _ -> None
-  | lists -> Some (Array.fold_left (fun acc l -> Vset.union acc l.(0)) Vset.empty lists)
+  | lists ->
+    Some (Array.fold_left (fun acc l -> Vset.union acc l.(0)) d.free lists)
 
 (* Certainty of a quantified query by deviation scan + product fallback.
 
@@ -492,7 +701,15 @@ let one family d =
      enumerating only sum-per-component many repairs (exp in the largest
      component, not the total);
    - pass 2, needed only for a certain verdict when >= 2 components have
-     more than one preferred repair, walks the full cross product. *)
+     more than one preferred repair, walks the full cross product.
+
+   Both passes parallelize over independent slices of their search
+   space: pass 1 over components (each lane scans one component's
+   deviations), pass 2 over the first component's repair choices (each
+   lane owns a sub-product). A shared stop flag cancels the remaining
+   work the moment any lane finds a disagreement — the verdict is
+   scheduling-independent because every lane looks for the same
+   predicate, only how much counting happens before the exit varies. *)
 let certainty_streaming family d q =
   let eval r = Cqa.evaluate_in_repair d.conflict r q in
   let lists = repair_matrix family d in
@@ -501,12 +718,13 @@ let certainty_streaming family d q =
     Obs.Span.annotate [ ("route", Obs.Event.Str "deviation-scan") ];
   if k = 0 then begin
     d.counters.combos_streamed <- d.counters.combos_streamed + 1;
-    if eval Vset.empty then Cqa.Certainly_true else Cqa.Certainly_false
+    if eval d.free then Cqa.Certainly_true else Cqa.Certainly_false
   end
   else begin
     let base = Array.map (fun l -> l.(0)) lists in
-    (* pre.(i) = union of base.(0..i-1); suf.(i) = union of base.(i..k-1) *)
-    let pre = Array.make (k + 1) Vset.empty in
+    (* pre.(i) = free + union of base.(0..i-1); suf.(i) = union of
+       base.(i..k-1) — so pre.(k) is the full baseline repair *)
+    let pre = Array.make (k + 1) d.free in
     for i = 0 to k - 1 do
       pre.(i + 1) <- Vset.union pre.(i) base.(i)
     done;
@@ -516,19 +734,55 @@ let certainty_streaming family d q =
     done;
     d.counters.combos_streamed <- d.counters.combos_streamed + 1;
     let v0 = eval pre.(k) in
-    try
-      (* pass 1: single-component deviations from the baseline *)
-      for i = 0 to k - 1 do
-        d.counters.components_examined <- d.counters.components_examined + 1;
-        for j = 1 to Array.length lists.(i) - 1 do
-          d.counters.combos_streamed <- d.counters.combos_streamed + 1;
-          let r = Vset.union (Vset.union pre.(i) lists.(i).(j)) suf.(i + 1) in
-          if eval r <> v0 then begin
-            d.counters.early_exits <- d.counters.early_exits + 1;
-            raise Stop
-          end
-        done
-      done;
+    let parallel = Pool.jobs () > 1 && not (Pool.in_parallel_region ()) in
+    (* pass 1: single-component deviations from the baseline *)
+    let deviation_found =
+      if not parallel then begin
+        try
+          for i = 0 to k - 1 do
+            d.counters.components_examined <-
+              d.counters.components_examined + 1;
+            for j = 1 to Array.length lists.(i) - 1 do
+              d.counters.combos_streamed <- d.counters.combos_streamed + 1;
+              let r =
+                Vset.union (Vset.union pre.(i) lists.(i).(j)) suf.(i + 1)
+              in
+              if eval r <> v0 then begin
+                d.counters.early_exits <- d.counters.early_exits + 1;
+                raise Stop
+              end
+            done
+          done;
+          false
+        with Stop -> true
+      end
+      else begin
+        let shards = Array.init (Pool.jobs ()) (fun _ -> fresh_counters ()) in
+        let stop = Atomic.make false in
+        let found = Atomic.make false in
+        Pool.parallel_for ~stop ~n:k (fun ~worker i ->
+            let z = shards.(worker) in
+            z.components_examined <- z.components_examined + 1;
+            let len = Array.length lists.(i) in
+            let j = ref 1 in
+            while !j < len && not (Atomic.get stop) do
+              z.combos_streamed <- z.combos_streamed + 1;
+              let r =
+                Vset.union (Vset.union pre.(i) lists.(i).(!j)) suf.(i + 1)
+              in
+              if eval r <> v0 then begin
+                z.early_exits <- z.early_exits + 1;
+                Atomic.set found true;
+                Atomic.set stop true
+              end;
+              incr j
+            done);
+        Array.iter (fun z -> merge_counters d.counters z) shards;
+        Atomic.get found
+      end
+    in
+    if deviation_found then Cqa.Ambiguous
+    else begin
       (* pass 2: a certain verdict needs the full product whenever two or
          more components can deviate simultaneously *)
       let multi =
@@ -536,23 +790,60 @@ let certainty_streaming family d q =
           (fun acc l -> if Array.length l > 1 then acc + 1 else acc)
           0 lists
       in
-      if multi >= 2 then begin
+      if multi < 2 then
+        if v0 then Cqa.Certainly_true else Cqa.Certainly_false
+      else begin
         if Obs.Span.enabled () then
           Obs.Span.annotate [ ("route", Obs.Event.Str "full-product") ];
-        let rec go i acc =
-          if i = k then begin
-            d.counters.combos_streamed <- d.counters.combos_streamed + 1;
-            if eval acc <> v0 then begin
-              d.counters.early_exits <- d.counters.early_exits + 1;
-              raise Stop
-            end
+        let disagreed =
+          if not parallel then begin
+            let rec go i acc =
+              if i = k then begin
+                d.counters.combos_streamed <- d.counters.combos_streamed + 1;
+                if eval acc <> v0 then begin
+                  d.counters.early_exits <- d.counters.early_exits + 1;
+                  raise Stop
+                end
+              end
+              else Array.iter (fun s -> go (i + 1) (Vset.union acc s)) lists.(i)
+            in
+            try
+              go 0 d.free;
+              false
+            with Stop -> true
           end
-          else Array.iter (fun s -> go (i + 1) (Vset.union acc s)) lists.(i)
+          else begin
+            let shards =
+              Array.init (Pool.jobs ()) (fun _ -> fresh_counters ())
+            in
+            let stop = Atomic.make false in
+            let found = Atomic.make false in
+            Pool.parallel_for ~stop ~n:(Array.length lists.(0))
+              (fun ~worker i0 ->
+                let z = shards.(worker) in
+                let rec go i acc =
+                  if Atomic.get stop then ()
+                  else if i = k then begin
+                    z.combos_streamed <- z.combos_streamed + 1;
+                    if eval acc <> v0 then begin
+                      z.early_exits <- z.early_exits + 1;
+                      Atomic.set found true;
+                      Atomic.set stop true
+                    end
+                  end
+                  else
+                    Array.iter (fun s -> go (i + 1) (Vset.union acc s)) lists.(i)
+                in
+                go 1 (Vset.union d.free lists.(0).(i0)));
+            Array.iter (fun z -> merge_counters d.counters z) shards;
+            Atomic.get found
+          end
         in
-        go 0 Vset.empty
-      end;
-      if v0 then Cqa.Certainly_true else Cqa.Certainly_false
-    with Stop -> Cqa.Ambiguous
+        if disagreed then Cqa.Ambiguous
+        else if v0 then Cqa.Certainly_true
+        else Cqa.Certainly_false
+      end
+    end
   end
 
 let certainty family d q =
@@ -629,19 +920,20 @@ let consistent_answers_open family d q =
   | None -> assert false (* iter raises Empty_family before this *)
 
 let certain_tuples family d =
+  (* conflict-free tuples are in every preferred repair *)
   fold_components
     (fun acc comp ->
       match preferred_within family d comp with
       | [] -> acc
       | first :: rest ->
         Vset.union acc (List.fold_left Vset.inter first rest))
-    Vset.empty d
+    d.free d
 
 let possible_tuples family d =
   fold_components
     (fun acc comp ->
       List.fold_left Vset.union acc (preferred_within family d comp))
-    Vset.empty d
+    d.free d
 
 (* --- aggregates ----------------------------------------------------------- *)
 
@@ -696,12 +988,25 @@ let aggregate_range family d agg =
       | [] -> None
       | v :: vs -> Some (List.fold_left min v vs, List.fold_left max v vs)
     in
+    (* a free vertex is in every repair, so it contributes one fixed
+       value — no singleton component is ever materialized for it *)
     let per_component =
-      List.rev
-        (fold_components
-           (fun acc comp ->
-             match extremes comp with None -> acc | Some e -> e :: acc)
-           [] d)
+      Vset.fold
+        (fun v acc ->
+          let e =
+            match agg with
+            | Aggregate.Count_all -> (1, 1)
+            | _ ->
+              let x = value_of v in
+              (x, x)
+          in
+          e :: acc)
+        d.free
+        (List.rev
+           (fold_components
+              (fun acc comp ->
+                match extremes comp with None -> acc | Some e -> e :: acc)
+              [] d))
     in
     let range =
       match agg with

@@ -60,11 +60,20 @@ type counters = {
     snapshot. *)
 
 val make : Conflict.t -> Priority.t -> t
-(** Precomputes the components. O(V + E). *)
+(** Precomputes the components. O(V + E). Conflict-free vertices are not
+    given singleton components of their own: they are aggregated into one
+    internal {e free set} (a tuple with no conflicts belongs to every
+    repair), which keeps decomposition linear even when almost all of a
+    huge instance is clean. *)
 
 val conflict : t -> Conflict.t
 val priority : t -> Priority.t
+
 val components : t -> Vset.t list
+(** The logical components, including one synthesized singleton per
+    conflict-free vertex — the historical reporting shape. Evaluation
+    paths ([count], [certainty], [iter], ...) never materialize the
+    singletons; prefer them on large instances. *)
 
 val max_component : t -> int
 (** Size of the largest connected component — the parameter every
@@ -78,6 +87,25 @@ val counters : t -> counters
 val reset_counters : t -> unit
 (** Zeroes the live counters. The repair cache itself is kept, so a
     query replayed after a reset reports pure cache hits. *)
+
+val reset_cache : t -> unit
+(** Drops every cached [(family, component)] repair list, so the next
+    query pays the component solves again. Counters are kept. Meant for
+    measurement harnesses that re-run cold evaluations on one
+    decomposition. *)
+
+val warm : Family.name -> t -> unit
+(** Fills the [(family, component)] cache for every component that is
+    not already cached. Counter-equivalent to a sequential
+    [preferred_within] sweep: one [cache_hits] per already-cached
+    component, one [cache_misses] (plus its [component_repairs]) per
+    filled one. When {!Pool.jobs}[ () > 1], the misses are solved on the
+    domain pool — components are mutually independent — with per-lane
+    counter shards merged after the join and all cache writes published
+    by the calling domain in slot order, so the merged counters and the
+    cache contents are identical to the sequential fill. [count],
+    [certainty] and the streaming consumers call this implicitly; call
+    it directly to front-load the solves. *)
 
 val pp_counters : Format.formatter -> counters -> unit
 

@@ -1,0 +1,247 @@
+(* Work-stealing domain pool.
+
+   One pool per process, spawned lazily and kept for the session: domain
+   startup costs ~100µs, far more than a typical component job, so the
+   workers park on a condition variable between jobs instead. A job is a
+   contiguous index space [0, n) split into one range per lane; each
+   range has an atomic claim cursor, and a lane that exhausts its own
+   range steals from the others' cursors. [Atomic.fetch_and_add] hands
+   out every index exactly once (claims past the fence are discarded),
+   so the body needs no further coordination beyond its own sharding.
+
+   The caller is lane 0: it submits the job, works like any other lane,
+   and then blocks on [finished] until the last participant checks out.
+   Parking/waking goes through one mutex + generation counter; workers
+   woken by a stale generation (they slept through a whole job) simply
+   re-park. *)
+
+type job = {
+  lanes : int; (* participating lanes; caller = lane 0 *)
+  cursors : int Atomic.t array; (* next unclaimed index per range *)
+  fences : int array; (* exclusive end of each range *)
+  body : int -> int -> unit; (* lane -> index -> unit *)
+  pending : int Atomic.t; (* lanes still working *)
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+  halt : bool Atomic.t; (* early exit: user stop flag or failure *)
+  buffers : Obs.Sink.Memory.buffer option array;
+      (* per-lane span capture, when the submitting domain records *)
+}
+
+let mutex = Mutex.create ()
+let wake = Condition.create ()
+let finished = Condition.create ()
+let posted : job option ref = ref None
+let generation = ref 0
+let quit = ref false
+let handles : unit Domain.t list ref = ref []
+let spawned = ref 0
+
+(* Lane-local flag: true while executing a job body, on any lane. Used
+   to collapse nested parallel calls into sequential loops. *)
+let inside : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let in_parallel_region () = !(Domain.DLS.get inside)
+
+let env_jobs () =
+  match Sys.getenv_opt "PREFDB_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+let requested = ref None
+
+let jobs () =
+  match !requested with Some n -> n | None -> default_jobs ()
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: need at least one domain";
+  requested := Some n
+
+(* --- running one job ------------------------------------------------------ *)
+
+let run_index job lane i =
+  match job.body lane i with
+  | () -> ()
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    ignore (Atomic.compare_and_set job.failed None (Some (e, bt)));
+    Atomic.set job.halt true
+
+(* Drain range [k]: claim indices until the fence (or a halt). Claims
+   racing past the fence are harmless — the fence check discards them. *)
+let drain job lane k =
+  let fence = job.fences.(k) in
+  let cursor = job.cursors.(k) in
+  let rec go () =
+    if not (Atomic.get job.halt) then begin
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < fence then begin
+        run_index job lane i;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let participate job lane =
+  let flag = Domain.DLS.get inside in
+  flag := true;
+  (* own range first, then sweep the others in cyclic order *)
+  drain job lane lane;
+  for off = 1 to job.lanes - 1 do
+    drain job lane ((lane + off) mod job.lanes)
+  done;
+  flag := false;
+  if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+    Mutex.lock mutex;
+    Condition.broadcast finished;
+    Mutex.unlock mutex
+  end
+
+let worker lane =
+  let rec loop last_gen =
+    Mutex.lock mutex;
+    while !generation = last_gen && not !quit do
+      Condition.wait wake mutex
+    done;
+    let gen = !generation and job = !posted and stopping = !quit in
+    Mutex.unlock mutex;
+    if not stopping then begin
+      (match job with
+      | Some job when lane < job.lanes ->
+        (* capture this lane's spans for the duration of the job *)
+        (match job.buffers.(lane) with
+        | Some buf -> Obs.Span.set_sink (Some (Obs.Sink.Memory.sink buf))
+        | None -> Obs.Span.set_sink None);
+        participate job lane;
+        Obs.Span.set_sink None
+      | Some _ | None -> ());
+      loop gen
+    end
+  in
+  loop 0
+
+let teardown () =
+  Mutex.lock mutex;
+  quit := true;
+  incr generation;
+  Condition.broadcast wake;
+  Mutex.unlock mutex;
+  List.iter Domain.join !handles;
+  handles := [];
+  spawned := 0;
+  quit := false
+
+(* Lanes 1 .. w-1 must exist before a [w]-lane job is posted. Workers
+   spawned here outlive the job; [at_exit] reaps them so the runtime
+   never waits on a parked domain at shutdown. *)
+let ensure_workers w =
+  if !spawned = 0 && w > 1 then at_exit teardown;
+  while !spawned < w - 1 do
+    incr spawned;
+    let lane = !spawned in
+    handles := Domain.spawn (fun () -> worker lane) :: !handles
+  done
+
+let sequential ?stop ~n body =
+  let flag = Domain.DLS.get inside in
+  let previously = !flag in
+  flag := true;
+  (try
+     let halted i =
+       match stop with None -> i >= n | Some s -> i >= n || Atomic.get s
+     in
+     let i = ref 0 in
+     while not (halted !i) do
+       body ~worker:0 !i;
+       incr i
+     done
+   with e ->
+     flag := previously;
+     raise e);
+  flag := previously
+
+let parallel_for ?stop ~n body =
+  if n < 0 then invalid_arg "Pool.parallel_for: negative size";
+  let w = min (jobs ()) n in
+  if w <= 1 || in_parallel_region () then sequential ?stop ~n body
+  else begin
+    ensure_workers w;
+    let halt = match stop with Some s -> s | None -> Atomic.make false in
+    (* per-lane span buffers only when the caller is recording *)
+    let recording = Obs.Span.enabled () in
+    let buffers =
+      Array.init w (fun lane ->
+          if recording && lane > 0 then Some (Obs.Sink.Memory.create ())
+          else None)
+    in
+    let fences = Array.init w (fun k -> (k + 1) * n / w) in
+    let cursors = Array.init w (fun k -> Atomic.make (k * n / w)) in
+    let job =
+      {
+        lanes = w;
+        cursors;
+        fences;
+        body = (fun lane i -> body ~worker:lane i);
+        pending = Atomic.make w;
+        failed = Atomic.make None;
+        halt;
+        buffers;
+      }
+    in
+    Mutex.lock mutex;
+    posted := Some job;
+    incr generation;
+    Condition.broadcast wake;
+    Mutex.unlock mutex;
+    participate job 0;
+    Mutex.lock mutex;
+    while Atomic.get job.pending > 0 do
+      Condition.wait finished mutex
+    done;
+    posted := None;
+    Mutex.unlock mutex;
+    (* stitch the worker lanes' span streams into the caller's sink, in
+       lane order, tagging every event with its domain lane *)
+    (match Obs.Span.sink () with
+    | Some sink ->
+      Array.iteri
+        (fun lane buf ->
+          match buf with
+          | None -> ()
+          | Some buf ->
+            List.iter
+              (fun e ->
+                sink.Obs.Sink.emit
+                  {
+                    e with
+                    Obs.Event.args =
+                      ("domain", Obs.Event.Int lane)
+                      :: List.filter
+                           (fun (k, _) -> k <> "domain")
+                           e.Obs.Event.args;
+                  })
+              (Obs.Sink.Memory.events buf))
+        job.buffers
+    | None -> ());
+    match Atomic.get job.failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let parallel_reduce ~n leaf combine init =
+  if n < 0 then invalid_arg "Pool.parallel_reduce: negative size";
+  if n = 0 then init
+  else begin
+    let results = Array.make n init in
+    parallel_for ~n (fun ~worker i -> results.(i) <- leaf ~worker i);
+    Array.fold_left combine init results
+  end

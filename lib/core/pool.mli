@@ -1,0 +1,81 @@
+(** A small work-stealing domain pool for component-parallel evaluation.
+
+    The repair/CQA stack factorizes over conflict-graph components whose
+    repair spaces are mutually independent — the natural unit of
+    parallelism for OCaml 5 domains. This module owns the session's
+    worker domains: they are spawned once, on the first parallel call
+    that needs them, and reused for every subsequent job until process
+    exit (an [at_exit] hook joins them).
+
+    Scheduling is work-stealing over an index space: [parallel_for ~n f]
+    partitions [0, n) into one contiguous range per participating lane,
+    each with an atomic claim cursor. A lane drains its own range first
+    and then steals from the other lanes' cursors, so skewed per-index
+    costs (one huge component among many small ones) still balance. Every
+    index is executed exactly once, by exactly one lane.
+
+    The calling domain participates as lane 0 and blocks until the job
+    completes, so jobs nest safely with the rest of the engine: no work
+    escapes the bracketing caller. Calls from inside a running job (or
+    with [jobs () = 1], or with [n < 2]) degrade to a plain sequential
+    loop on the caller — the parallel and sequential paths execute the
+    same body, in the same index order when sequential.
+
+    {2 Telemetry}
+
+    {!Obs.Span} state is domain-local. When the submitting domain has a
+    sink installed, each worker lane records its spans into a private
+    in-memory buffer for the duration of the job; after the join the
+    caller stitches the buffers into its own sink, lane by lane, with a
+    ["domain"] argument added to every event. Worker streams are
+    internally balanced, so the stitched stream still brackets correctly;
+    timestamps are monotone per domain lane (see {!Obs.Export}).
+
+    {2 Error handling}
+
+    If the body raises, the first exception (by completion order) is
+    captured, remaining indices are abandoned co-operatively, and the
+    exception is re-raised on the caller after the join. *)
+
+val default_jobs : unit -> int
+(** The domain count used when {!set_jobs} was never called: the
+    [PREFDB_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val jobs : unit -> int
+(** The active domain count (≥ 1). [1] means strictly sequential
+    evaluation: no worker domain is ever spawned and every [parallel_*]
+    call runs inline on the caller. *)
+
+val set_jobs : int -> unit
+(** Fixes the domain count for subsequent jobs. Raises
+    [Invalid_argument] on [n < 1]. Lowering the count after workers were
+    spawned parks the excess workers; they are only joined at exit. *)
+
+val parallel_for :
+  ?stop:bool Atomic.t -> n:int -> (worker:int -> int -> unit) -> unit
+(** [parallel_for ~n body] runs [body ~worker i] for every [i] in
+    [0, n), distributing indices over [min (jobs ()) n] lanes.
+    [worker] is the lane index in [0, jobs ()) — use it to shard
+    mutable accumulators (counters, span-free scratch) without locks;
+    two invocations with the same [worker] value never overlap.
+
+    [stop] is an early-exit flag shared with the body: once it becomes
+    [true] (set by the body, e.g. on finding a counterexample) no {e
+    new} index is started — indices already running complete normally.
+    The flag is also set when any body invocation raises, to drain the
+    job quickly before re-raising. With no flag and no exception, all
+    [n] indices complete before the call returns. *)
+
+val parallel_reduce :
+  n:int -> (worker:int -> int -> 'a) -> ('a -> 'a -> 'a) -> 'a -> 'a
+(** [parallel_reduce ~n leaf combine init] computes
+    [combine (... (combine init (leaf 0)) ...) (leaf (n-1))]: leaves are
+    evaluated in parallel, then folded {e in index order} on the caller,
+    so the result is deterministic whenever [combine] is — regardless of
+    scheduling. *)
+
+val in_parallel_region : unit -> bool
+(** True while called from inside a [parallel_*] body (on any lane).
+    Code that must not re-enter the pool — or that wants a cheap
+    "am I a worker?" test — can branch on this. *)

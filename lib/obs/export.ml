@@ -1,6 +1,15 @@
 let args_json args =
   Json.Obj (List.map (fun (k, v) -> (k, Event.arg_to_json v)) args)
 
+(* Events recorded on a worker domain carry a ("domain", Int k) argument
+   (attached when the pool stitches the worker's buffer into the session
+   sink); everything else — in particular the whole main-domain stream —
+   is lane 0. *)
+let lane_of_args args =
+  match List.assoc_opt "domain" args with
+  | Some (Event.Int k) when k >= 0 -> k
+  | Some _ | None -> 0
+
 let chrome ?(process = "prefdb") events =
   let t0 = match events with [] -> 0. | e :: _ -> e.Event.ts in
   let us ts = (ts -. t0) *. 1e6 in
@@ -18,7 +27,9 @@ let chrome ?(process = "prefdb") events =
         ("ph", Json.Str ph);
         ("ts", Json.Float (us e.Event.ts));
         ("pid", Json.Int 1);
-        ("tid", Json.Int 1);
+        (* one Chrome thread per domain lane; the main domain keeps its
+           historical tid 1, worker lane k shows as tid k+1 *)
+        ("tid", Json.Int (1 + lane_of_args e.Event.args));
       ]
     in
     let scope =
@@ -74,45 +85,82 @@ let events_of_jsonl text =
 
 (* --- validation ----------------------------------------------------------- *)
 
-(* Shared checker over (ph, name, ts) triples in stream order. *)
-let check_stream triples =
-  let rec go i last_ts open_spans count = function
+(* Shared checker over (ph, name, ts, lane) quadruples in stream order.
+   Bracketing and timestamp monotonicity are per lane: each domain reads
+   its own clock and keeps its own span stack, and the pool stitches the
+   worker streams in after the join, so cross-lane interleavings carry
+   no ordering guarantee. A single-domain trace (every event lane 0)
+   checks exactly as before. *)
+let check_stream quads =
+  let lanes : (int, float * string list) Hashtbl.t = Hashtbl.create 4 in
+  let lane_state l =
+    match Hashtbl.find_opt lanes l with
+    | Some s -> s
+    | None -> (neg_infinity, [])
+  in
+  let rec go i count = function
     | [] ->
-      if open_spans = [] then Ok count
-      else
+      let leaked =
+        Hashtbl.fold
+          (fun lane (_, open_spans) acc ->
+            match open_spans with [] -> acc | s :: _ -> (lane, s, List.length open_spans) :: acc)
+          lanes []
+      in
+      (match leaked with
+      | [] -> Ok count
+      | (lane, innermost, k) :: _ ->
         Error
-          (Printf.sprintf "%d unclosed span(s), innermost %S"
-             (List.length open_spans)
-             (List.hd open_spans))
-    | (ph, name, ts) :: rest -> (
+          (Printf.sprintf "%d unclosed span(s) on domain %d, innermost %S" k
+             lane innermost))
+    | (ph, name, ts, lane) :: rest -> (
+      let last_ts, open_spans = lane_state lane in
       if ts < last_ts then
         Error
           (Printf.sprintf
-             "event %d (%s %S): timestamp regresses (%.9f after %.9f)" i ph
-             name ts last_ts)
+             "event %d (%s %S): timestamp regresses on domain %d (%.9f after \
+              %.9f)"
+             i ph name lane ts last_ts)
       else
         match ph with
-        | "B" -> go (i + 1) ts (name :: open_spans) (count + 1) rest
+        | "B" ->
+          Hashtbl.replace lanes lane (ts, name :: open_spans);
+          go (i + 1) (count + 1) rest
         | "E" -> (
           match open_spans with
           | [] ->
-            Error (Printf.sprintf "event %d: E %S without an open span" i name)
+            Error
+              (Printf.sprintf "event %d: E %S without an open span on domain %d"
+                 i name lane)
           | top :: others ->
             if top <> name then
               Error
                 (Printf.sprintf
-                   "event %d: E %S does not match open span %S" i name top)
-            else go (i + 1) ts others (count + 1) rest)
-        | "i" | "I" -> go (i + 1) ts open_spans (count + 1) rest
+                   "event %d: E %S does not match open span %S on domain %d" i
+                   name top lane)
+            else begin
+              Hashtbl.replace lanes lane (ts, others);
+              go (i + 1) (count + 1) rest
+            end)
+        | "i" | "I" ->
+          Hashtbl.replace lanes lane (ts, open_spans);
+          go (i + 1) (count + 1) rest
         | "M" | "C" ->
           (* metadata / counter records: no bracketing, no duration *)
-          go (i + 1) ts open_spans (count + 1) rest
+          go (i + 1) (count + 1) rest
         | other ->
           Error (Printf.sprintf "event %d: unknown phase %S" i other))
   in
-  go 0 neg_infinity [] 0 triples
+  go 0 0 quads
 
-let triple_of_json j =
+let json_lane j =
+  match Json.member "args" j with
+  | Some args -> (
+    match Json.member "domain" args with
+    | Some (Json.Int k) when k >= 0 -> k
+    | Some _ | None -> 0)
+  | None -> 0
+
+let quad_of_json j =
   match
     ( Json.member "ph" j,
       Json.member "name" j,
@@ -120,29 +168,29 @@ let triple_of_json j =
   with
   | Some (Json.Str ph), Some (Json.Str name), Some ts -> (
     match Json.to_float_opt ts with
-    | Some ts -> Ok (ph, name, ts)
+    | Some ts -> Ok (ph, name, ts, json_lane j)
     | None -> Error "non-numeric \"ts\"")
   | Some (Json.Str ph), Some (Json.Str name), None when ph = "M" ->
     (* metadata records may omit ts *)
-    Ok (ph, name, neg_infinity)
+    Ok (ph, name, neg_infinity, 0)
   | _ -> Error "entry must be an object with string \"ph\"/\"name\" and \"ts\""
 
 let validate j =
   match Json.member "traceEvents" j with
   | Some (Json.List entries) -> (
-    let rec triples i acc = function
+    let rec quads i acc = function
       | [] -> Ok (List.rev acc)
       | e :: rest -> (
-        match triple_of_json e with
-        | Ok t -> triples (i + 1) (t :: acc) rest
+        match quad_of_json e with
+        | Ok t -> quads (i + 1) (t :: acc) rest
         | Error msg -> Error (Printf.sprintf "traceEvents[%d]: %s" i msg))
     in
-    match triples 0 [] entries with
+    match quads 0 [] entries with
     | Error _ as e -> e
     | Ok ts ->
       (* metadata events carry no timestamp: rebase them to the running
          clock by filtering them out of the monotonicity check *)
-      check_stream (List.filter (fun (ph, _, _) -> ph <> "M") ts))
+      check_stream (List.filter (fun (ph, _, _, _) -> ph <> "M") ts))
   | Some _ -> Error "\"traceEvents\" is not an array"
   | None -> Error "not a Chrome trace: no \"traceEvents\" field"
 
@@ -159,5 +207,5 @@ let validate_jsonl text =
              | Event.End -> "E"
              | Event.Instant -> "i"
            in
-           (ph, e.Event.name, e.Event.ts))
+           (ph, e.Event.name, e.Event.ts, lane_of_args e.Event.args))
          events)

@@ -8,14 +8,22 @@
     - {e JSONL} — one {!Event.to_json} object per line, trivially
       greppable and parseable back ({!events_of_jsonl} round-trips).
 
+    Events recorded on pool worker domains carry a ["domain"] argument
+    (see [Core]'s pool); both exporters and the validator treat that
+    lane as the event's thread of execution.
+
     {!validate} checks the invariants a consumer relies on: well-formed
-    records, monotone non-decreasing timestamps, and balanced
-    [B]/[E] bracketing with matching names. *)
+    records, and — {e per domain lane} — monotone non-decreasing
+    timestamps and balanced [B]/[E] bracketing with matching names.
+    Single-domain traces (no ["domain"] arguments) validate exactly as
+    before, with one global clock and stack. *)
 
 val chrome : ?process:string -> Event.t list -> Json.t
 (** Timestamps are rebased to the first event and converted to
     microseconds. [process] names the trace's single process (default
-    ["prefdb"]). *)
+    ["prefdb"]). Each domain lane becomes its own Chrome thread:
+    [tid = 1 + lane], so the main domain keeps its historical [tid] 1
+    and worker lanes render as parallel tracks. *)
 
 val chrome_string : ?process:string -> Event.t list -> string
 
@@ -29,9 +37,10 @@ val events_of_jsonl : string -> (Event.t list, string) result
 
 val validate : Json.t -> (int, string) result
 (** Validates a parsed Chrome trace (the {!chrome} shape): every entry
-    has string ["ph"]/["name"] and numeric ["ts"]; timestamps monotone
-    non-decreasing; [B]/[E] balanced with matching names. Returns the
-    number of trace events. *)
+    has string ["ph"]/["name"] and numeric ["ts"]; per domain lane
+    (read from the entry's ["args"]/["domain"] member, default lane 0),
+    timestamps are monotone non-decreasing and [B]/[E] balanced with
+    matching names. Returns the number of trace events. *)
 
 val validate_jsonl : string -> (int, string) result
 (** Same invariants over a JSONL event stream. *)

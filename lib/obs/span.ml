@@ -4,44 +4,56 @@ type frame = {
   mutable end_args : (string * Event.arg) list;
 }
 
-let current : Sink.t option ref = ref None
-let stack : frame list ref = ref []
+(* Domain-local engine state: each domain owns its own sink switch and
+   span stack, so worker domains can record into private buffers while
+   the main domain streams to the session sink, with no locking on the
+   hot path. A freshly spawned domain starts disabled. *)
+type state = {
+  mutable current : Sink.t option;
+  mutable stack : frame list;
+}
+
+let key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { current = None; stack = [] })
+
+let state () = Domain.DLS.get key
 
 let set_sink s =
-  current := s;
-  stack := []
+  let st = state () in
+  st.current <- s;
+  st.stack <- []
 
-let sink () = !current
-let enabled () = !current <> None
+let sink () = (state ()).current
+let enabled () = (state ()).current <> None
 let now () = Unix.gettimeofday ()
 
 let instant ?(args = []) name =
-  match !current with
+  match (state ()).current with
   | None -> ()
   | Some sink ->
     sink.Sink.emit { Event.phase = Event.Instant; name; ts = now (); args }
 
 let annotate args =
-  match !stack with
+  match (state ()).stack with
   | [] -> ()
   | frame :: _ ->
     frame.end_args <-
       List.filter (fun (k, _) -> not (List.mem_assoc k args)) frame.end_args
       @ args
 
-let close frame =
+let close st frame =
   (* pop down to (and including) our frame: if the bracketed code leaked
      opens — impossible through this module, but a foreign sink switch
      can orphan frames — close ours anyway, exactly once *)
-  (match !stack with
-  | fr :: rest when fr == frame -> stack := rest
+  (match st.stack with
+  | fr :: rest when fr == frame -> st.stack <- rest
   | other ->
     let rec drop = function
       | fr :: rest when fr == frame -> rest
       | _ :: rest -> drop rest
       | [] -> other
     in
-    stack := drop other);
+    st.stack <- drop other);
   frame.sink.Sink.emit
     {
       Event.phase = Event.End;
@@ -51,19 +63,20 @@ let close frame =
     }
 
 let with_span ?(args = []) name f =
-  match !current with
+  let st = state () in
+  match st.current with
   | None -> f ()
   | Some sink ->
     sink.Sink.emit { Event.phase = Event.Begin; name; ts = now (); args };
     let frame = { name; sink; end_args = [] } in
-    stack := frame :: !stack;
+    st.stack <- frame :: st.stack;
     (match f () with
     | v ->
-      close frame;
+      close st frame;
       v
     | exception e ->
       let bt = Printexc.get_raw_backtrace () in
-      close frame;
+      close st frame;
       Printexc.raise_with_backtrace e bt)
 
-let depth () = List.length !stack
+let depth () = List.length (state ()).stack

@@ -16,8 +16,15 @@
     - events carry non-decreasing timestamps (one clock, read in
       order).
 
-    The engine is a process-wide singleton and is not thread-safe —
-    matching the rest of the system, which is single-threaded. *)
+    The engine state (installed sink + open-span stack) is {e
+    domain-local}: every domain owns an independent instance, and a
+    freshly spawned domain starts disabled. The parallel scheduler
+    (the pool in [Core]) installs a private in-memory sink on each
+    worker lane for the duration of a job and stitches the recorded
+    streams — tagged with a ["domain"] argument — into the submitting
+    domain's sink after the join, so per-domain attribution survives
+    into the exported trace. Within one domain the engine is
+    single-threaded, as before. *)
 
 val set_sink : Sink.t option -> unit
 (** [Some s] enables telemetry into [s]; [None] disables it. Switching

@@ -7,32 +7,53 @@
    dictionary only ever grows — ids stay valid for the lifetime of the
    process — and is deliberately global: two equal strings interned from
    different call sites must receive the same id, or packed equality
-   would be unsound. *)
+   would be unsound.
 
+   The dictionary is shared by every domain (packed equality must hold
+   across domains too), so all access goes through one mutex. Interning
+   is a construction-time cost — the hot comparison paths never touch
+   this module except through [string_of_id] on the rare
+   interned-vs-interned tie in [Value.compare_packed] — and the critical
+   sections are a handful of instructions, so one lock is cheaper than
+   any lock-free scheme would be to verify. *)
+
+let lock = Mutex.create ()
 let table : (string, int) Hashtbl.t = Hashtbl.create 1024
 let strings = ref (Array.make 1024 "")
 let next = ref 0
 
+let with_lock f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
 let id_of_string s =
-  match Hashtbl.find_opt table s with
-  | Some id -> id
-  | None ->
-    let id = !next in
-    let cap = Array.length !strings in
-    if id = cap then begin
-      let grown = Array.make (2 * cap) "" in
-      Array.blit !strings 0 grown 0 cap;
-      strings := grown
-    end;
-    !strings.(id) <- s;
-    Hashtbl.add table s id;
-    incr next;
-    id
+  with_lock (fun () ->
+      match Hashtbl.find_opt table s with
+      | Some id -> id
+      | None ->
+        let id = !next in
+        let cap = Array.length !strings in
+        if id = cap then begin
+          let grown = Array.make (2 * cap) "" in
+          Array.blit !strings 0 grown 0 cap;
+          strings := grown
+        end;
+        !strings.(id) <- s;
+        Hashtbl.add table s id;
+        incr next;
+        id)
 
 let string_of_id id =
-  if id < 0 || id >= !next then
-    invalid_arg (Printf.sprintf "Intern.string_of_id: unknown id %d" id)
-  else !strings.(id)
+  with_lock (fun () ->
+      if id < 0 || id >= !next then
+        invalid_arg (Printf.sprintf "Intern.string_of_id: unknown id %d" id)
+      else !strings.(id))
 
-let mem s = Hashtbl.mem table s
-let count () = !next
+let mem s = with_lock (fun () -> Hashtbl.mem table s)
+let count () = with_lock (fun () -> !next)

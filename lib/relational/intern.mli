@@ -8,7 +8,12 @@
 
     Interning is {e load-time only}: nothing about the dictionary is
     persisted — the on-disk instance format stores plain strings, and a
-    fresh process rebuilds the dictionary while parsing. *)
+    fresh process rebuilds the dictionary while parsing.
+
+    All operations are thread-safe: the dictionary is one per process,
+    shared by every domain, and guarded by a mutex so concurrent
+    interning (e.g. tuple packing on pool workers) cannot corrupt the
+    table or hand out duplicate ids. *)
 
 val id_of_string : string -> int
 (** The id of [s], interning it first if it has never been seen.

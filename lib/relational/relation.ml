@@ -25,7 +25,13 @@
 module Imap = Map.Make (Int)
 module Vset = Graphs.Vset
 
-type postings = Vset.t Imap.t array (* one map per column *)
+type postings = Vset.t Imap.t option array
+(* one lazily materialized map per column: [None] = never probed.
+   Columns are independent — an FD stack only ever groups by its lhs
+   columns, and a posting map over a unique-valued column (think a
+   million distinct C values, each a singleton id set) costs far more
+   than every map that is actually used, so forcing all columns eagerly
+   is the wrong default at scale. *)
 
 type t = {
   schema : Schema.t;
@@ -87,73 +93,87 @@ let lookup_add lookup t i =
 
 (* --- per-column postings -------------------------------------------------- *)
 
-let build_postings r =
+let build_column r col =
   Obs.Span.with_span "relation.index"
     ~args:
       [
         ("relation", Obs.Event.Str (Schema.name r.schema));
+        ("column", Obs.Event.Int col);
         ("tuples", Obs.Event.Int (cardinality r));
       ]
   @@ fun () ->
-  let arity = Schema.arity r.schema in
-  let acc = Array.init arity (fun _ -> Hashtbl.create 64) in
+  let acc = Hashtbl.create 64 in
   Vset.iter
     (fun i ->
-      let t = r.facts.(i) in
-      for col = 0 to arity - 1 do
-        let key = Tuple.packed_get t col in
-        let tbl = acc.(col) in
-        Hashtbl.replace tbl key
-          (i :: Option.value (Hashtbl.find_opt tbl key) ~default:[])
-      done)
+      let key = Tuple.packed_get r.facts.(i) col in
+      Hashtbl.replace acc key
+        (i :: Option.value (Hashtbl.find_opt acc key) ~default:[]))
     r.live;
-  Array.map
-    (fun tbl ->
-      Hashtbl.fold (fun key ids m -> Imap.add key (Vset.of_list ids) m) tbl
-        Imap.empty)
-    acc
+  Hashtbl.fold (fun key ids m -> Imap.add key (Vset.of_list ids) m) acc
+    Imap.empty
 
-let postings r =
-  match r.postings with
-  | Some p -> p
+(* The lazy memo mutates in place, so forcing a column must happen on
+   the submitting domain, before any parallel job reads the relation.
+   Compact per-component relations built inside a job are task-local
+   and may force freely. *)
+let column r col =
+  let p =
+    match r.postings with
+    | Some p -> p
+    | None ->
+      let p = Array.make (Schema.arity r.schema) None in
+      r.postings <- Some p;
+      p
+  in
+  match p.(col) with
+  | Some m -> m
   | None ->
-    let p = build_postings r in
-    r.postings <- Some p;
-    p
+    let m = build_column r col in
+    p.(col) <- Some m;
+    m
 
 let posting_add p t i =
   Array.mapi
     (fun col m ->
-      Imap.update (Tuple.packed_get t col)
-        (fun s -> Some (Vset.add i (Option.value s ~default:Vset.empty)))
+      Option.map
+        (Imap.update (Tuple.packed_get t col) (fun s ->
+             Some (Vset.add i (Option.value s ~default:Vset.empty))))
         m)
     p
 
 let posting_remove p t i =
   Array.mapi
     (fun col m ->
-      Imap.update (Tuple.packed_get t col)
-        (function
+      Option.map
+        (Imap.update (Tuple.packed_get t col) (function
           | None -> None
           | Some s ->
             let s = Vset.remove i s in
-            if Vset.is_empty s then None else Some s)
+            if Vset.is_empty s then None else Some s))
         m)
     p
 
-let prepare_index r = ignore (postings r)
+let prepare_column r col =
+  if col < 0 || col >= Schema.arity r.schema then
+    invalid_arg "Relation.prepare_column: column out of range";
+  ignore (column r col)
+
+let prepare_index r =
+  for col = 0 to Schema.arity r.schema - 1 do
+    ignore (column r col)
+  done
 
 let matching r col packed_value =
   if col < 0 || col >= Schema.arity r.schema then
     invalid_arg "Relation.matching: column out of range";
-  match Imap.find_opt packed_value (postings r).(col) with
+  match Imap.find_opt packed_value (column r col) with
   | Some s -> s
   | None -> Vset.empty
 
 let iter_groups r col f =
   if col < 0 || col >= Schema.arity r.schema then
     invalid_arg "Relation.iter_groups: column out of range";
-  Imap.iter f (postings r).(col)
+  Imap.iter f (column r col)
 
 (* --- pointwise updates ---------------------------------------------------- *)
 

@@ -115,15 +115,25 @@ val restrict_ids : t -> Graphs.Vset.t -> t
 (** Live-set restriction by fact ids; must be a subset of {!live_ids}. *)
 
 val prepare_index : t -> unit
-(** Force the per-column postings now (span ["relation.index"]). Once
-    built they are maintained incrementally by {!patch}, so callers on
-    the delta path ({!Conflict.build}) force them up front. *)
+(** Force the postings of {e every} column now (one ["relation.index"]
+    span per column built). Once built they are maintained incrementally
+    by {!patch}. Prefer {!prepare_column} when only some columns are
+    grouped on: a postings map over a high-cardinality column that is
+    never probed (unique ids, payload attributes) costs more to build
+    than all the useful maps together. *)
+
+val prepare_column : t -> int -> unit
+(** Force the postings of one column (span ["relation.index"] with a
+    ["column"] argument). The delta path ({!Conflict.build}) forces
+    exactly the FD lhs columns it groups on. Forcing mutates the lazy
+    memo in place, so do it on the submitting domain before sharing the
+    relation with parallel workers. *)
 
 val matching : t -> int -> int -> Graphs.Vset.t
 (** [matching r col packed] is the set of live fact ids whose tuple has
     packed value [packed] (see {!Value.pack}) in column [col]: a postings
-    probe, no scan. The postings are built lazily on first use (span
-    ["relation.index"]) and maintained incrementally by {!patch}. *)
+    probe, no scan. The column's postings are built lazily on first use
+    (span ["relation.index"]) and maintained incrementally by {!patch}. *)
 
 val iter_groups : t -> int -> (int -> Graphs.Vset.t -> unit) -> unit
 (** Iterate the postings of one column: [f packed ids] for every distinct

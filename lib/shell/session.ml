@@ -20,6 +20,8 @@ let help_text =
   "commands:\n\
   \  load FILE            load an instance file\n\
   \  family rep|l|s|g|c   select the preferred-repair family\n\
+  \  jobs [N]             show or set the domain count for parallel\n\
+  \                       evaluation (1 = sequential)\n\
   \  info                 schema, constraints, conflicts\n\
   \  repairs [N]          enumerate (at most N) preferred repairs\n\
   \  count                count preferred repairs without enumerating\n\
@@ -111,6 +113,7 @@ let cmd_info st =
           Format.fprintf ppf "relation: %a@." Schema.pp schema;
           Format.fprintf ppf "tuples:   %d@." (Relation.cardinality spec.IF.relation);
           Format.fprintf ppf "interned: %d symbol(s)@." (Intern.count ());
+          Format.fprintf ppf "domains:  %d@." (Core.Pool.jobs ());
           List.iter
             (fun fd -> Format.fprintf ppf "fd:       %a@." Constraints.Fd.pp fd)
             spec.IF.fds;
@@ -421,6 +424,13 @@ let exec st line =
     | "load", "" -> (st, "usage: load FILE")
     | "load", path -> cmd_load st path
     | "family", name -> cmd_family st name
+    | "jobs", "" -> (st, Printf.sprintf "domains: %d" (Core.Pool.jobs ()))
+    | "jobs", n -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        Core.Pool.set_jobs n;
+        (st, Printf.sprintf "domains: %d" (Core.Pool.jobs ()))
+      | _ -> (st, "usage: jobs [N]  (N >= 1)"))
     | "info", _ -> (st, cmd_info st)
     | "repairs", "" -> (st, cmd_repairs st 20)
     | "repairs", n -> (

@@ -27,6 +27,32 @@ let key_clusters ~groups ~width =
   in
   (Relation.of_rows schema rows, [ Constraints.Fd.make [ "A" ] [ "B"; "C" ] ])
 
+(* Conflicting cliques first (low fact ids), then a clean tail: group g
+   holds [width] tuples sharing A = g with pairwise-distinct B, so each
+   group is a clique under A -> B; every tail tuple shares one A value
+   and one B value (no conflict) and a distinct C. The FD is A -> B, not
+   a key, precisely so the tail can share its left-hand side: the tail
+   forms one huge consistent lhs group, which is the case the
+   rhs-bucketed edge detection and the free-vertex set must keep linear. *)
+let clustered_conflicts ~facts ~groups ~width =
+  if facts < 0 || groups < 0 || width < 1 || groups * width > facts then
+    invalid_arg "Generator.clustered_conflicts";
+  let schema =
+    Schema.make "R"
+      [ ("A", Schema.TInt); ("B", Schema.TInt); ("C", Schema.TInt) ]
+  in
+  let b = Relation.Builder.create ~size_hint:facts schema in
+  for g = 0 to groups - 1 do
+    for w = 0 to width - 1 do
+      Relation.Builder.add_row b
+        [ Value.Int g; Value.Int w; Value.Int ((g * width) + w) ]
+    done
+  done;
+  for i = groups * width to facts - 1 do
+    Relation.Builder.add_row b [ Value.Int groups; Value.Int 0; Value.Int i ]
+  done;
+  (Relation.Builder.finish b, [ Constraints.Fd.make [ "A" ] [ "B" ] ])
+
 (* Tuple i (1-based) pairs with i+1 on A when i is odd and on C when i is
    even; B and D alternate inside each pair, so consecutive tuples
    conflict w.r.t. alternating FDs and nothing else conflicts. *)

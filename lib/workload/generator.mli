@@ -19,6 +19,17 @@ val key_clusters : groups:int -> width:int -> Relation.t * Constraints.Fd.t list
     conflicting tuples each. The conflict graph is a disjoint union of
     [groups] cliques of size [width]; there are width^groups repairs. *)
 
+val clustered_conflicts :
+  facts:int -> groups:int -> width:int -> Relation.t * Constraints.Fd.t list
+(** [facts] tuples over R(A, B, C) with A → B: [groups] cliques of
+    [width] mutually conflicting tuples at the {e low} fact ids, followed
+    by [facts - groups·width] conflict-free tuples that all share one
+    left-hand-side value (one huge consistent group). Conflict density is
+    controlled by [groups·width / facts]. This is the scale workload:
+    million-fact instances stay linear only if singleton components are
+    never materialized, unused columns are never indexed, and consistent
+    groups are recognized without pairwise comparison. *)
+
 val chain : int -> Relation.t * Constraints.Fd.t list
 (** Example 9 generalized to n tuples over R(A, B, C, D) with
     F = [{A → B; C → D}]: tuple i conflicts with tuple i+1, FDs

@@ -27,4 +27,5 @@ let () =
       ("vset_model", Test_vset_model.suite);
       ("obs", Test_obs.suite);
       ("qcheck", Test_qcheck.suite);
+      ("parallel", Test_parallel.suite);
     ]

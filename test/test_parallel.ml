@@ -1,0 +1,182 @@
+(* Parallel ≡ sequential equivalence for the domain-pool paths.
+
+   The pool's contract is that a parallel evaluation is bit-identical to
+   the sequential one — same verdicts, same counts, same bindings, and
+   (for the warm/count paths, whose counter semantics are deterministic)
+   the same observability counters after merging the per-lane shards.
+   Each property draws a random instance and a random pool width in
+   1..4, computes the reference answer on a fresh decomposition at one
+   domain, recomputes on another fresh decomposition at the drawn width,
+   and demands equality. The width is restored after every case, so
+   these tests compose with the rest of the suite under any
+   [PREFDB_JOBS] setting. *)
+
+module Conflict = Core.Conflict
+module Family = Core.Family
+module Decompose = Core.Decompose
+module Pool = Core.Pool
+
+type case = {
+  seed : int;
+  n : int;
+  shape : int;  (* 0: one key; 1: two FDs; 2: disjoint chains *)
+  density_pct : int;
+  jobs : int;  (* pool width for the parallel side *)
+}
+
+let case_gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* n = int_range 2 12 in
+    let* shape = int_bound 2 in
+    let* density_pct = int_bound 100 in
+    let* jobs = int_range 1 4 in
+    return { seed; n; shape; density_pct; jobs })
+
+let case_print c =
+  Printf.sprintf "{seed=%d; n=%d; shape=%d; density=%d%%; jobs=%d}" c.seed c.n
+    c.shape c.density_pct c.jobs
+
+let build_case c =
+  let rng = Workload.Prng.create c.seed in
+  let rel, fds =
+    match c.shape with
+    | 0 ->
+      Workload.Generator.random_instance rng ~n:c.n ~key_values:3
+        ~payload_values:2
+    | 1 ->
+      Workload.Generator.random_two_fd_instance rng ~n:c.n ~a_values:3
+        ~c_values:3 ~v_values:2
+    | _ ->
+      Workload.Generator.chain_components ~components:(max 1 (c.n / 3)) ~size:3
+  in
+  let conflict = Conflict.build fds rel in
+  let p =
+    Workload.Generator.random_priority rng
+      ~density:(float_of_int c.density_pct /. 100.)
+      conflict
+  in
+  (conflict, p)
+
+let with_jobs k f =
+  let saved = Pool.jobs () in
+  Pool.set_jobs k;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs saved) f
+
+let prop name ?(count = 40) f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print:case_print case_gen f)
+
+(* --- queries -------------------------------------------------------------- *)
+
+let atom_of c v =
+  Query.Ast.Atom
+    ( Relational.Schema.name (Conflict.schema c),
+      List.map
+        (fun x -> Query.Ast.Const x)
+        (Relational.Tuple.values (Conflict.tuple c v)) )
+
+let ground_query c =
+  if Conflict.size c >= 2 then
+    Query.Ast.Or (atom_of c 0, Query.Ast.Not (atom_of c 1))
+  else atom_of c 0
+
+(* first column existentially quantified away: the two-pass
+   deviation-scan route, whose first pass is the parallel one *)
+let quantified_query c =
+  match Relational.Tuple.values (Conflict.tuple c 0) with
+  | _ :: rest ->
+    Query.Ast.Exists
+      ( [ "x" ],
+        Query.Ast.Atom
+          ( Relational.Schema.name (Conflict.schema c),
+            Query.Ast.Var "x"
+            :: List.map (fun v -> Query.Ast.Const v) rest ) )
+  | [] -> assert false
+
+(* the fully open identity query: bindings = tuples in every repair *)
+let open_query c =
+  let arity = List.length (Relational.Tuple.values (Conflict.tuple c 0)) in
+  Query.Ast.Atom
+    ( Relational.Schema.name (Conflict.schema c),
+      List.init arity (fun i -> Query.Ast.Var (Printf.sprintf "x%d" i)) )
+
+(* --- properties ------------------------------------------------------------ *)
+
+let certainty_equiv =
+  prop "certainty: parallel verdict = sequential verdict" (fun c ->
+      let conflict, p = build_case c in
+      List.for_all
+        (fun family ->
+          List.for_all
+            (fun q ->
+              let reference =
+                with_jobs 1 (fun () ->
+                    Decompose.certainty family (Decompose.make conflict p) q)
+              in
+              let parallel =
+                with_jobs c.jobs (fun () ->
+                    Decompose.certainty family (Decompose.make conflict p) q)
+              in
+              reference = parallel)
+            [ ground_query conflict; quantified_query conflict ])
+        [ Family.Rep; Family.C ])
+
+let count_equiv =
+  prop "count: parallel product = sequential product" (fun c ->
+      let conflict, p = build_case c in
+      List.for_all
+        (fun family ->
+          let reference =
+            with_jobs 1 (fun () ->
+                Decompose.count family (Decompose.make conflict p))
+          in
+          let parallel =
+            with_jobs c.jobs (fun () ->
+                Decompose.count family (Decompose.make conflict p))
+          in
+          reference = parallel)
+        Family.all_names)
+
+let open_answers_equiv =
+  prop "consistent_answers_open: parallel = sequential" (fun c ->
+      let conflict, p = build_case c in
+      let q = open_query conflict in
+      let reference =
+        with_jobs 1 (fun () ->
+            Decompose.consistent_answers_open Family.Rep
+              (Decompose.make conflict p) q)
+      in
+      let parallel =
+        with_jobs c.jobs (fun () ->
+            Decompose.consistent_answers_open Family.Rep
+              (Decompose.make conflict p) q)
+      in
+      reference = parallel)
+
+(* The warm/count counter contract is deterministic (unlike the
+   early-exit scan counters, which may legitimately examine more
+   components before a parallel stop flag propagates): after a cold
+   [warm] + [count] the merged per-lane shards must equal the
+   sequential run's counters field for field. *)
+let counter_hygiene =
+  prop "warm+count counters: merged shards = sequential" (fun c ->
+      let conflict, p = build_case c in
+      let run k =
+        with_jobs k (fun () ->
+            let d = Decompose.make conflict p in
+            Decompose.warm Family.Rep d;
+            let n = Decompose.count Family.Rep d in
+            (* a second count replays purely from cache *)
+            let n' = Decompose.count Family.Rep d in
+            let z = Decompose.counters d in
+            ( n,
+              n',
+              z.Decompose.cache_hits,
+              z.Decompose.cache_misses,
+              z.Decompose.component_repairs ))
+      in
+      run 1 = run c.jobs)
+
+let suite =
+  [ certainty_equiv; count_equiv; open_answers_equiv; counter_hygiene ]
