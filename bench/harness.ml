@@ -46,6 +46,31 @@ let measure ?min_time ?samples f =
   let sorted = List.sort compare xs in
   List.nth sorted (samples / 2)
 
+(* Cold-start median: one run per sample, each from a compacted heap.
+   [measure] reports steady-state throughput — right for operations
+   that repeat in a loop — but a bulk load happens once, at process
+   start, on a quiet heap; measured back-to-back each run also pays
+   the collection of its predecessor's hundred-megabyte result, which
+   no real load ever does. Compaction runs between the samples,
+   outside the timed window. The warm-up run plus one discarded
+   compacted run drain allocation debt predating the first sample. *)
+let measure_cold ?samples f =
+  let samples =
+    match samples with Some s -> s | None -> if !quick then 3 else 5
+  in
+  ignore (f ());
+  Gc.compact ();
+  ignore (f ());
+  let sample () =
+    Gc.compact ();
+    let t0 = now () in
+    ignore (f ());
+    now () -. t0
+  in
+  let xs = List.init samples (fun _ -> sample ()) in
+  let sorted = List.sort compare xs in
+  List.nth sorted (samples / 2)
+
 (* Least-squares slope of log t against log n: the empirical polynomial
    degree. *)
 let loglog_slope points =
@@ -113,6 +138,29 @@ let time_cell t = Format.asprintf "%a" pp_time t
 
 (* --- telemetry integration ----------------------------------------------- *)
 
+(* JSON string literal (with quotes). Not OCaml's [%S]: that escapes
+   non-ASCII bytes as decimal [\226]-style sequences, which JSON
+   rejects — an em-dash in a note would corrupt the whole file. JSON
+   wants UTF-8 passed through raw, with only the quote, backslash and
+   control characters escaped. *)
+let json_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
 (* Per-span wall-clock breakdown of ONE run of [f] under a private
    in-memory sink: (span name, inclusive seconds, outermost occurrence
    count), decreasing time. The previous sink (if any) is restored
@@ -134,8 +182,8 @@ let phases_field = function
   | [] -> ""
   | ps ->
     let one (name, seconds, count) =
-      Printf.sprintf "{\"name\": %S, \"seconds\": %.9f, \"count\": %d}" name
-        seconds count
+      Printf.sprintf "{\"name\": %s, \"seconds\": %.9f, \"count\": %d}"
+        (json_str name) seconds count
     in
     Printf.sprintf ", \"phases\": [%s]" (String.concat ", " (List.map one ps))
 
@@ -182,9 +230,10 @@ let env_fields ?domains () =
   let domains =
     match domains with Some d -> d | None -> Core.Pool.jobs ()
   in
-  Printf.sprintf ", \"host_cores\": %d, \"domains\": %d, \"ocaml\": %S"
+  Printf.sprintf ", \"host_cores\": %d, \"domains\": %d, \"ocaml\": %s"
     (Domain.recommended_domain_count ())
-    domains Sys.ocaml_version
+    domains
+    (json_str Sys.ocaml_version)
 
 (* Before/after records accumulated by the VSET section and dumped as
    BENCH_vset.json, so the perf trajectory across PRs is diffable. *)
@@ -198,10 +247,10 @@ let write_comparisons_json path =
   let oc = open_out path in
   let entry (name, baseline, bitset) =
     Printf.sprintf
-      "    {\"name\": %S, \"baseline_median_s\": %.9f, \
+      "    {\"name\": %s, \"baseline_median_s\": %.9f, \
        \"bitset_median_s\": %.9f, \"speedup\": %.2f%s%s}"
-      name baseline bitset (baseline /. bitset) (previous_field prev name)
-      (env_fields ())
+      (json_str name) baseline bitset (baseline /. bitset)
+      (previous_field prev name) (env_fields ())
   in
   Printf.fprintf oc "{\n  \"representation\": \"bitset-vset\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
@@ -223,9 +272,9 @@ let write_intern_json path =
   let oc = open_out path in
   let entry (name, baseline, interned, note) =
     Printf.sprintf
-      "    {\"name\": %S, \"baseline_median_s\": %.9f, \
-       \"interned_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S%s%s}"
-      name baseline interned (baseline /. interned) note
+      "    {\"name\": %s, \"baseline_median_s\": %.9f, \
+       \"interned_median_s\": %.9f, \"speedup\": %.2f, \"note\": %s%s%s}"
+      (json_str name) baseline interned (baseline /. interned) (json_str note)
       (previous_field prev name) (env_fields ())
   in
   Printf.fprintf oc "{\n  \"experiment\": \"interned-fact-id-substrate\",\n";
@@ -263,9 +312,9 @@ let write_delta_json path =
   let oc = open_out path in
   let entry (name, full, incremental, note, phases) =
     Printf.sprintf
-      "    {\"name\": %S, \"full_rebuild_median_s\": %.9f, \
-       \"incremental_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S%s%s%s}"
-      name full incremental (full /. incremental) note
+      "    {\"name\": %s, \"full_rebuild_median_s\": %.9f, \
+       \"incremental_median_s\": %.9f, \"speedup\": %.2f, \"note\": %s%s%s%s}"
+      (json_str name) full incremental (full /. incremental) (json_str note)
       (previous_field prev name) (phases_field phases) (env_fields ())
   in
   Printf.fprintf oc "{\n  \"experiment\": \"incremental-delta-maintenance\",\n";
@@ -286,10 +335,10 @@ let write_decompose_json path =
       | None -> ("null", "null")
     in
     Printf.sprintf
-      "    {\"name\": %S, \"whole_graph_median_s\": %s, \
-       \"sharded_median_s\": %.9f, \"speedup\": %s, \"note\": %S%s%s%s}"
-      name whole_field sharded speedup_field note (previous_field prev name)
-      (phases_field phases) (env_fields ())
+      "    {\"name\": %s, \"whole_graph_median_s\": %s, \
+       \"sharded_median_s\": %.9f, \"speedup\": %s, \"note\": %s%s%s%s}"
+      (json_str name) whole_field sharded speedup_field (json_str note)
+      (previous_field prev name) (phases_field phases) (env_fields ())
   in
   Printf.fprintf oc "{\n  \"experiment\": \"component-sharded-cqa\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
@@ -312,13 +361,13 @@ let write_obs_json path =
   let oc = open_out path in
   let entry (name, disabled, null_sink, memory_sink, note) =
     Printf.sprintf
-      "    {\"name\": %S, \"disabled_median_s\": %.9f, \
+      "    {\"name\": %s, \"disabled_median_s\": %.9f, \
        \"null_sink_median_s\": %.9f, \"memory_sink_median_s\": %.9f, \
-       \"null_overhead\": %.3f, \"memory_overhead\": %.3f, \"note\": %S%s%s}"
-      name disabled null_sink memory_sink
+       \"null_overhead\": %.3f, \"memory_overhead\": %.3f, \"note\": %s%s%s}"
+      (json_str name) disabled null_sink memory_sink
       (null_sink /. disabled)
       (memory_sink /. disabled)
-      note (previous_field prev name) (env_fields ())
+      (json_str note) (previous_field prev name) (env_fields ())
   in
   Printf.fprintf oc "{\n  \"experiment\": \"telemetry-overhead\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
@@ -343,9 +392,9 @@ let write_parallel_json path =
   let oc = open_out path in
   let entry (name, domains, median, sequential, note) =
     Printf.sprintf
-      "    {\"name\": %S, \"median_s\": %.9f, \
-       \"sequential_median_s\": %.9f, \"speedup\": %.2f, \"note\": %S%s%s}"
-      name median sequential (sequential /. median) note
+      "    {\"name\": %s, \"median_s\": %.9f, \
+       \"sequential_median_s\": %.9f, \"speedup\": %.2f, \"note\": %s%s%s}"
+      (json_str name) median sequential (sequential /. median) (json_str note)
       (previous_field prev name)
       (env_fields ~domains ())
   in
@@ -353,4 +402,44 @@ let write_parallel_json path =
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
   Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map entry (List.rev !parallel_entries)));
+  close_out oc
+
+(* STORE rows: the durable-store section. Each row is one timed
+   operation; a row with a [baseline] (the text-parse median it is
+   measured against) also carries its speedup, and a row with [bytes]
+   records the on-disk size of the artifact involved — a load-speed
+   claim without the file size it was amortized over is not
+   reproducible. Dumped as BENCH_store.json. *)
+let store_entries :
+    (string * float * float option * int option * string) list ref =
+  ref []
+
+let record_store ~name ~median ?baseline ?bytes ~note () =
+  store_entries := (name, median, baseline, bytes, note) :: !store_entries
+
+let write_store_json path =
+  let prev = previous_medians path "median_s" in
+  let oc = open_out path in
+  let entry (name, median, baseline, bytes, note) =
+    let vs_text =
+      match baseline with
+      | Some b ->
+        Printf.sprintf ", \"baseline_s\": %.9f, \"speedup\": %.2f" b
+          (b /. median)
+      | None -> ""
+    in
+    let size_field =
+      match bytes with
+      | Some n -> Printf.sprintf ", \"bytes\": %d" n
+      | None -> ""
+    in
+    Printf.sprintf
+      "    {\"name\": %s, \"median_s\": %.9f%s%s, \"note\": %s%s%s}"
+      (json_str name) median vs_text size_field (json_str note)
+      (previous_field prev name) (env_fields ())
+  in
+  Printf.fprintf oc "{\n  \"experiment\": \"binary-store\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map entry (List.rev !store_entries)));
   close_out oc

@@ -592,14 +592,11 @@ let update_cmd =
                 let spec' =
                   { spec with IF.relation = Core.Delta.relation eng }
                 in
-                match
-                  Out_channel.with_open_text out (fun oc ->
-                      Out_channel.output_string oc (IF.print spec'))
-                with
-                | () ->
+                match IF.save out spec' with
+                | Ok () ->
                   Format.printf "saved %s@." out;
                   0
-                | exception Sys_error m ->
+                | Error m ->
                   Format.eprintf "error: %s@." m;
                   1))))))
   in
@@ -770,9 +767,241 @@ let validate_trace_cmd =
           matching names. Exits non-zero on violation.")
     Term.(const (with_jobs run) $ jobs_arg $ trace_file_arg)
 
+(* --- the durable store: init + serve lifecycle -------------------------------- *)
+
+module Server = Shell.Server
+
+let dir_arg =
+  Arg.(value & opt string ".prefdb"
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Store directory (snapshot, write-ahead log, server files).")
+
+let init_cmd =
+  let run file dir =
+    match load file with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok spec -> (
+      match Dbio.Store.init dir spec with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok () ->
+        Format.printf "initialized %s: %d tuple(s), %d fd(s), %d preference(s)@."
+          dir
+          (Relational.Relation.cardinality spec.IF.relation)
+          (List.length spec.IF.fds)
+          (List.length spec.IF.prefs);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "init"
+       ~doc:
+         "Create a durable store from an instance file: a binary snapshot \
+          (versioned, checksummed, loaded without re-parsing) plus an empty \
+          write-ahead log. The store is what 'serve' processes own.")
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ dir_arg)
+
+let serve_start_cmd =
+  let run dir =
+    if not (Sys.file_exists (Dbio.Store.snapshot_path dir)) then begin
+      Format.eprintf "error: %s: no store (run 'prefdb init' first)@." dir;
+      1
+    end
+    else if Server.ping dir then begin
+      Format.eprintf "error: %s: a server is already running@." dir;
+      1
+    end
+    else
+      match Unix.fork () with
+      | 0 ->
+        (* the daemon: its own session, stdio to the log file *)
+        ignore (Unix.setsid ());
+        let log =
+          Unix.openfile (Server.log_path dir)
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+            0o644
+        in
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+        Unix.dup2 devnull Unix.stdin;
+        Unix.dup2 log Unix.stdout;
+        Unix.dup2 log Unix.stderr;
+        Unix.close devnull;
+        Unix.close log;
+        (match Server.serve dir with
+        | Ok () -> Stdlib.exit 0
+        | Error e ->
+          prerr_endline ("error: " ^ e);
+          Stdlib.exit 1)
+      | pid ->
+        let rec wait n =
+          if Server.ping dir then begin
+            Format.printf "server started (pid %d, socket %s)@." pid
+              (Server.socket_path dir);
+            0
+          end
+          else if n = 0 then begin
+            Format.eprintf "error: server did not come up (see %s)@."
+              (Server.log_path dir);
+            1
+          end
+          else begin
+            Unix.sleepf 0.1;
+            wait (n - 1)
+          end
+        in
+        wait 100
+  in
+  Cmd.v
+    (Cmd.info "start"
+       ~doc:
+         "Start a server in the background (fork + setsid, stdio to \
+          serve.log) and wait until it answers on the socket.")
+    Term.(const (with_jobs run) $ jobs_arg $ dir_arg)
+
+let read_pid dir =
+  match In_channel.with_open_text (Server.pid_path dir) In_channel.input_all with
+  | s -> int_of_string_opt (String.trim s)
+  | exception Sys_error _ -> None
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (_, _, _) -> false
+
+let serve_stop_cmd =
+  let run dir =
+    let pid = read_pid dir in
+    match Server.request dir "shutdown" with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok _ ->
+      let gone () =
+        match pid with
+        | Some p -> not (pid_alive p)
+        | None -> not (Sys.file_exists (Server.socket_path dir))
+      in
+      let rec wait n =
+        if gone () then begin
+          Format.printf "server stopped@.";
+          0
+        end
+        else if n = 0 then begin
+          Format.eprintf "error: server acknowledged shutdown but did not exit@.";
+          1
+        end
+        else begin
+          Unix.sleepf 0.1;
+          wait (n - 1)
+        end
+      in
+      wait 100
+  in
+  Cmd.v
+    (Cmd.info "stop"
+       ~doc:"Ask the server to shut down and wait until its process exits.")
+    Term.(const (with_jobs run) $ jobs_arg $ dir_arg)
+
+let serve_status_cmd =
+  let run dir =
+    let file_size path =
+      match Unix.stat path with
+      | st -> Some st.Unix.st_size
+      | exception Unix.Unix_error _ -> None
+    in
+    (match file_size (Dbio.Store.snapshot_path dir) with
+    | Some n -> Format.printf "snapshot: %d byte(s)@." n
+    | None -> Format.printf "snapshot: missing@.");
+    (match file_size (Dbio.Store.wal_path dir) with
+    | Some n -> Format.printf "wal:      %d byte(s)@." n
+    | None -> Format.printf "wal:      missing@.");
+    let pid = read_pid dir in
+    let live = Server.ping dir in
+    (match (pid, live) with
+    | Some p, true -> Format.printf "server:   running (pid %d)@." p
+    | None, true -> Format.printf "server:   running (no pid file)@."
+    | Some p, false when pid_alive p ->
+      Format.printf "server:   pid %d alive but not answering@." p
+    | _, false -> Format.printf "server:   not running@.");
+    if live then 0 else 3
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Report the store's files and whether a server answers on the \
+          socket. Exits 0 when a server is live, 3 otherwise.")
+    Term.(const (with_jobs run) $ jobs_arg $ dir_arg)
+
+let serve_call_cmd =
+  let cmd_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"CMD"
+           ~doc:"Command words, joined with spaces (shell session language).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Use the JSON framing and print the raw response object.")
+  in
+  let run dir json words =
+    let cmd = String.concat " " words in
+    if json then (
+      match Server.request_json dir cmd with
+      | Ok resp ->
+        print_endline (Obs.Json.to_string resp);
+        (match Obs.Json.member "ok" resp with
+        | Some (Obs.Json.Bool true) -> 0
+        | _ -> 1)
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1)
+    else
+      match Server.request dir cmd with
+      | Ok out ->
+        if out <> "" then print_endline out;
+        0
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send one command to a running server and print its output \
+          (exit 1 when the server reports an error).")
+    Term.(const (with_jobs run) $ jobs_arg $ dir_arg $ json_arg $ cmd_arg)
+
+let serve_cmd =
+  let doc =
+    "Run or manage a store server: a long-running process owning one warm \
+     session (conflict graph, priority and repair caches stay live across \
+     requests) behind a unix socket, with every mutation journaled to the \
+     write-ahead log before it is acknowledged."
+  in
+  Cmd.group ~default:(
+    let run dir trace_out =
+      with_trace trace_out @@ fun () ->
+      match Server.serve dir with
+      | Ok () -> 0
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+    in
+    Term.(const (with_jobs run) $ jobs_arg $ dir_arg $ trace_out_arg))
+    (Cmd.info "serve" ~doc)
+    [ serve_start_cmd; serve_stop_cmd; serve_status_cmd; serve_call_cmd ]
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
+  (* a typo'd PREFDB_JOBS would otherwise be silently ignored and the
+     run would proceed on the default domain count *)
+  (match Core.Pool.env_jobs_error () with
+  | Some msg ->
+    Format.eprintf "prefdb: %s@." msg;
+    exit 124
+  | None -> ());
   let doc = "preference-driven querying of inconsistent relational databases" in
   let info = Cmd.info "prefdb" ~version:"1.0.0" ~doc in
   exit
@@ -781,5 +1010,6 @@ let () =
           [
             info_cmd; stats_cmd; repairs_cmd; check_cmd; count_cmd; clean_cmd;
             query_cmd; explain_cmd; status_cmd; facts_cmd; aggregate_cmd;
-            update_cmd; shell_cmd; profile_cmd; validate_trace_cmd;
+            update_cmd; shell_cmd; profile_cmd; validate_trace_cmd; init_cmd;
+            serve_cmd;
           ]))

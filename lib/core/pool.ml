@@ -51,6 +51,18 @@ let env_jobs () =
     | Some n when n >= 1 -> Some n
     | Some _ | None -> None)
 
+let env_jobs_error () =
+  match Sys.getenv_opt "PREFDB_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> None
+    | Some n ->
+      Some
+        (Printf.sprintf "PREFDB_JOBS=%d: the domain count must be at least 1" n)
+    | None ->
+      Some (Printf.sprintf "PREFDB_JOBS=%S is not an integer" s))
+
 let default_jobs () =
   match env_jobs () with
   | Some n -> n

@@ -42,6 +42,12 @@ val default_jobs : unit -> int
     [PREFDB_JOBS] environment variable if set to a positive integer,
     otherwise [Domain.recommended_domain_count ()]. *)
 
+val env_jobs_error : unit -> string option
+(** A usage-style diagnostic when [PREFDB_JOBS] is set but not a
+    positive integer (in which case {!default_jobs} silently ignores
+    it). Entry points check this at startup so a typo'd environment
+    fails loudly instead of silently running on the default count. *)
+
 val jobs : unit -> int
 (** The active domain count (≥ 1). [1] means strictly sequential
     evaluation: no worker domain is ever spawned and every [parallel_*]

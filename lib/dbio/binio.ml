@@ -1,0 +1,248 @@
+(* --- writing ------------------------------------------------------------ *)
+
+let w_u8 buf n =
+  if n < 0 || n > 0xff then invalid_arg (Printf.sprintf "Binio.w_u8 %d" n);
+  Buffer.add_char buf (Char.chr n)
+
+let w_u32 buf n =
+  if n < 0 || n > 0xffff_ffff then
+    invalid_arg (Printf.sprintf "Binio.w_u32 %d" n);
+  Buffer.add_int32_le buf (Int32.of_int n)
+
+let w_i64 buf n = Buffer.add_int64_le buf (Int64.of_int n)
+
+let w_str buf s =
+  w_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+(* Zigzag + LEB128: the fact section stores one integer per column per
+   slot, and the bulk of real columns hold small values — a fixed i64
+   spends seven bytes a value saying "zero". Zigzag folds the sign in
+   (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...) so small negatives stay
+   small; LEB128 then emits seven payload bits per byte, low bits
+   first, high bit = continuation. An OCaml int has 63 bits, which is
+   exactly nine LEB128 bytes, so a well-formed varint never exceeds
+   nine bytes. *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag z = (z lsr 1) lxor (-(z land 1))
+
+let w_varint buf n =
+  let z = ref (zigzag n) in
+  while !z lsr 7 <> 0 do
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (!z land 0x7f)));
+    z := !z lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !z)
+
+(* --- CRC-32 ------------------------------------------------------------- *)
+
+(* IEEE 802.3 reflected polynomial — the same function zlib calls
+   crc32. Slicing-by-8: table [k] advances a byte through [k] further
+   zero bytes, so one iteration folds 8 input bytes with 8 independent
+   table probes instead of a serial chain of 8 — the snapshot body CRC
+   runs over tens of megabytes and the byte-at-a-time loop was a
+   measurable slice of the whole load. *)
+let crc_tables =
+  lazy
+    (let t0 =
+       Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c :=
+               if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c)
+     in
+     let ts = Array.init 8 (fun _ -> Array.make 256 0) in
+     ts.(0) <- t0;
+     for k = 1 to 7 do
+       for n = 0 to 255 do
+         let prev = ts.(k - 1).(n) in
+         ts.(k).(n) <- (prev lsr 8) lxor t0.(prev land 0xff)
+       done
+     done;
+     ts)
+
+let crc32 s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Binio.crc32: out of bounds";
+  let ts = Lazy.force crc_tables in
+  let t0 = ts.(0) and t1 = ts.(1) and t2 = ts.(2) and t3 = ts.(3) in
+  let t4 = ts.(4) and t5 = ts.(5) and t6 = ts.(6) and t7 = ts.(7) in
+  (* bounds checked above; the per-byte check would double the loop cost *)
+  let b i = Char.code (String.unsafe_get s i) in
+  let c = ref 0xffff_ffff in
+  let i = ref pos in
+  let stop = pos + len in
+  while stop - !i >= 8 do
+    let p = !i in
+    c :=
+      Array.unsafe_get t7 ((!c lxor b p) land 0xff)
+      lxor Array.unsafe_get t6 (((!c lsr 8) lxor b (p + 1)) land 0xff)
+      lxor Array.unsafe_get t5 (((!c lsr 16) lxor b (p + 2)) land 0xff)
+      lxor Array.unsafe_get t4 (((!c lsr 24) lxor b (p + 3)) land 0xff)
+      lxor Array.unsafe_get t3 (b (p + 4))
+      lxor Array.unsafe_get t2 (b (p + 5))
+      lxor Array.unsafe_get t1 (b (p + 6))
+      lxor Array.unsafe_get t0 (b (p + 7));
+    i := p + 8
+  done;
+  while !i < stop do
+    c := Array.unsafe_get t0 ((!c lxor b !i) land 0xff) lxor (!c lsr 8);
+    incr i
+  done;
+  !c lxor 0xffff_ffff
+
+(* --- reading ------------------------------------------------------------ *)
+
+exception Corrupt of string
+
+let fail msg = raise (Corrupt msg)
+
+type reader = { src : string; limit : int; mutable cur : int }
+
+let reader ?(pos = 0) ?len src =
+  let len = match len with Some l -> l | None -> String.length src - pos in
+  if pos < 0 || len < 0 || pos + len > String.length src then
+    invalid_arg "Binio.reader: out of bounds";
+  { src; limit = pos + len; cur = pos }
+
+let pos r = r.cur
+let remaining r = r.limit - r.cur
+
+let need r n what =
+  if remaining r < n then
+    fail
+      (Printf.sprintf "truncated input: need %d byte(s) for %s, have %d" n
+         what (remaining r))
+
+let r_u8_exn r =
+  need r 1 "u8";
+  let v = Char.code r.src.[r.cur] in
+  r.cur <- r.cur + 1;
+  v
+
+(* The integer readers below compose bytes by hand instead of going
+   through [String.get_int32_le]/[get_int64_le]: without flambda those
+   return boxed [Int32.t]/[Int64.t], and the fact section reads one
+   integer per column per slot — a boxed allocation apiece turns a
+   bulk load into a GC workout. An OCaml int is 63-bit; a stored i64
+   is its sign extension, so byte 7's top two bits must agree or the
+   value cannot round-trip (checked in [r_i64_raw]). *)
+let r_u32_exn r =
+  need r 4 "u32";
+  let s = r.src and p = r.cur in
+  r.cur <- p + 4;
+  Char.code (String.unsafe_get s p)
+  lor (Char.code (String.unsafe_get s (p + 1)) lsl 8)
+  lor (Char.code (String.unsafe_get s (p + 2)) lsl 16)
+  lor (Char.code (String.unsafe_get s (p + 3)) lsl 24)
+
+let r_str_exn r =
+  let len = r_u32_exn r in
+  need r len "string body";
+  let v = String.sub r.src r.cur len in
+  r.cur <- r.cur + len;
+  v
+
+(* Raw variants for fixed-width bulk sections: absolute-position reads
+   with no per-field bounds check and no cursor mutation — the caller
+   proves the whole section fits (via [remaining]), walks it by
+   position arithmetic, then [advance]s past it in one step. This is
+   what lets a million-slot fact array decode without four bounds
+   checks and four cursor updates per slot. *)
+let src r = r.src
+
+let advance r n =
+  if n < 0 || remaining r < n then
+    fail
+      (Printf.sprintf "truncated input: cannot advance %d byte(s), have %d" n
+         (remaining r));
+  r.cur <- r.cur + n
+
+let get_u8 s p = Char.code (String.unsafe_get s p)
+
+let get_i64 s p =
+  let b i = Char.code (String.unsafe_get s (p + i)) in
+  let b7 = b 7 in
+  if b7 lsr 7 <> (b7 lsr 6) land 1 then
+    fail
+      (Printf.sprintf "i64 value %Ld does not fit an OCaml int"
+         (String.get_int64_le s p));
+  b 0
+  lor (b 1 lsl 8)
+  lor (b 2 lsl 16)
+  lor (b 3 lsl 24)
+  lor (b 4 lsl 32)
+  lor (b 5 lsl 40)
+  lor (b 6 lsl 48)
+  lor (b7 lsl 56)
+
+(* Varint readers: the cursor is a caller-held [int ref] so one ref
+   cell serves a whole fact section. [get_varint] elides the
+   per-byte limit check — the caller proves nine bytes fit first;
+   [get_varint_checked] checks every byte and is what the section
+   tail (and {!r_varint_exn}) use. Both reject a tenth byte: nine
+   LEB128 bytes already carry all 63 bits. *)
+let get_varint_long s pos b0 =
+  let z = ref (b0 land 0x7f) in
+  let shift = ref 7 in
+  let q = ref (!pos + 1) in
+  let cont = ref true in
+  while !cont do
+    if !shift > 56 then fail "overlong varint (more than 9 bytes)";
+    let b = get_u8 s !q in
+    incr q;
+    z := !z lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b < 0x80 then cont := false
+  done;
+  pos := !q;
+  unzigzag !z
+
+(* single-byte values dominate real fact sections; keep that path
+   small enough for cross-module inlining *)
+let[@inline] get_varint s pos =
+  let p = !pos in
+  let b0 = get_u8 s p in
+  if b0 < 0x80 then begin
+    pos := p + 1;
+    unzigzag b0
+  end
+  else get_varint_long s pos b0
+
+let get_varint_checked s pos ~limit =
+  let z = ref 0 in
+  let shift = ref 0 in
+  let q = ref !pos in
+  let cont = ref true in
+  while !cont do
+    if !q >= limit then fail "truncated varint";
+    if !shift > 56 then fail "overlong varint (more than 9 bytes)";
+    let b = get_u8 s !q in
+    incr q;
+    z := !z lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b < 0x80 then cont := false
+  done;
+  pos := !q;
+  unzigzag !z
+
+let r_varint_exn r =
+  let pos = ref r.cur in
+  let v = get_varint_checked r.src pos ~limit:r.limit in
+  r.cur <- !pos;
+  v
+
+let r_i64_exn r =
+  need r 8 "i64";
+  let v = get_i64 r.src r.cur in
+  r.cur <- r.cur + 8;
+  v
+
+let decode r f = match f r with v -> Ok v | exception Corrupt m -> Error m
+
+let r_u8 r = decode r r_u8_exn
+let r_u32 r = decode r r_u32_exn
+let r_i64 r = decode r r_i64_exn
+let r_str r = decode r r_str_exn

@@ -1,0 +1,111 @@
+(** Byte-level primitives of the binary store.
+
+    Little-endian fixed-width integers, length-prefixed strings and a
+    table-driven CRC-32 — the alphabet shared by {!Snapshot} (one
+    checksummed body) and {!Wal} (one checksum per record). Writers
+    append to a [Buffer.t]; readers are a cursor over an immutable
+    string that turns any malformed input — truncation, out-of-range
+    lengths — into a decode [Error] rather than an exception escaping
+    to the caller. *)
+
+(** {2 Writing} *)
+
+val w_u8 : Buffer.t -> int -> unit
+(** Raises [Invalid_argument] outside [0, 255]. *)
+
+val w_u32 : Buffer.t -> int -> unit
+(** Raises [Invalid_argument] outside [0, 2^32). *)
+
+val w_i64 : Buffer.t -> int -> unit
+(** Any OCaml int (63-bit payloads fit in the 64-bit slot). *)
+
+val w_str : Buffer.t -> string -> unit
+(** [u32] byte length followed by the raw bytes. *)
+
+val w_varint : Buffer.t -> int -> unit
+(** Zigzag + LEB128: the sign folds into bit 0 (0, -1, 1, -2, ... map
+    to 0, 1, 2, 3, ...), then seven payload bits per byte, low bits
+    first, high bit = continuation. Small-magnitude values of either
+    sign take one or two bytes; any OCaml int fits in nine. *)
+
+(** {2 Checksums} *)
+
+val crc32 : string -> pos:int -> len:int -> int
+(** CRC-32 (IEEE 802.3 polynomial, the zlib one) of a substring, as a
+    non-negative int below 2^32. Raises [Invalid_argument] on an
+    out-of-bounds range. *)
+
+(** {2 Reading} *)
+
+type reader
+(** A cursor over a string slice. *)
+
+val reader : ?pos:int -> ?len:int -> string -> reader
+(** Defaults to the whole string. *)
+
+val pos : reader -> int
+(** Absolute offset of the cursor in the underlying string. *)
+
+val remaining : reader -> int
+
+val r_u8 : reader -> (int, string) result
+val r_u32 : reader -> (int, string) result
+val r_i64 : reader -> (int, string) result
+
+val r_str : reader -> (string, string) result
+(** Errors when the length prefix overruns the slice — the signature of
+    a torn or corrupt record. *)
+
+val decode : reader -> (reader -> 'a) -> ('a, string) result
+(** [decode r f] runs a decoder built from the [exn_] readers below,
+    catching {!Corrupt} into an [Error]. *)
+
+(** {2 Exception-style reading}
+
+    For composite decoders, threading [result] through every field is
+    noise; these raise the private {!Corrupt} exception instead, which
+    {!decode} catches at the boundary. *)
+
+exception Corrupt of string
+
+val fail : string -> 'a
+(** [raise (Corrupt msg)] — for decoder-level validation errors. *)
+
+val r_u8_exn : reader -> int
+val r_u32_exn : reader -> int
+val r_i64_exn : reader -> int
+val r_str_exn : reader -> string
+
+val r_varint_exn : reader -> int
+(** Reads a zigzag-LEB128 varint (see {!w_varint}); raises {!Corrupt}
+    on truncation or a tenth byte. *)
+
+(** {2 Bulk-section reading}
+
+    Position-addressed reads that elide the per-byte bounds check: the
+    caller proves room first (compare {!remaining} against the
+    section's declared byte size), walks the section with a position
+    it owns over {!src}, then {!advance}s past it in one step. Used by
+    the snapshot fact section, which would otherwise pay a bounds
+    check and a cursor update per field across millions of slots.
+    [get_varint] additionally assumes nine readable bytes at [!pos] —
+    near the section end use [get_varint_checked], which checks every
+    byte against [limit]. Both reject overlong (> 9 byte) varints with
+    {!Corrupt}. *)
+
+val src : reader -> string
+(** The underlying buffer; index it from {!pos} up to
+    [pos + remaining] only. *)
+
+val advance : reader -> int -> unit
+(** Skip [n] bytes the caller has consumed by position; raises
+    {!Corrupt} if fewer remain. *)
+
+val get_u8 : string -> int -> int
+
+val get_varint : string -> int ref -> int
+(** Decode the varint at [!pos], advancing the ref past it. *)
+
+val get_varint_checked : string -> int ref -> limit:int -> int
+(** As {!get_varint}, but refuses to read a byte at or beyond
+    [limit]. *)

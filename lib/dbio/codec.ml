@@ -1,0 +1,141 @@
+open Relational
+module B = Binio
+
+let w_list w buf l =
+  B.w_u32 buf (List.length l);
+  List.iter (w buf) l
+
+let r_list r rd =
+  let n = B.r_u32_exn rd in
+  List.init n (fun _ -> r rd)
+
+(* --- schema ------------------------------------------------------------- *)
+
+let w_ty buf = function
+  | Schema.TName -> B.w_u8 buf 0
+  | Schema.TInt -> B.w_u8 buf 1
+
+let r_ty rd =
+  match B.r_u8_exn rd with
+  | 0 -> Schema.TName
+  | 1 -> Schema.TInt
+  | t -> B.fail (Printf.sprintf "unknown attribute type tag %d" t)
+
+let w_schema buf schema =
+  B.w_str buf (Schema.name schema);
+  w_list
+    (fun buf a ->
+      B.w_str buf a.Schema.attr_name;
+      w_ty buf a.Schema.attr_ty)
+    buf (Schema.attributes schema)
+
+let r_schema rd =
+  let name = B.r_str_exn rd in
+  let attrs =
+    r_list
+      (fun rd ->
+        let attr = B.r_str_exn rd in
+        (attr, r_ty rd))
+      rd
+  in
+  match Schema.make name attrs with
+  | schema -> schema
+  | exception Invalid_argument m -> B.fail ("bad schema: " ^ m)
+
+(* --- values and tuples -------------------------------------------------- *)
+
+let w_value buf = function
+  | Value.Name s ->
+    B.w_u8 buf 0;
+    B.w_str buf s
+  | Value.Int n ->
+    B.w_u8 buf 1;
+    B.w_i64 buf n
+
+let r_value rd =
+  match B.r_u8_exn rd with
+  | 0 -> Value.Name (B.r_str_exn rd)
+  | 1 -> Value.Int (B.r_i64_exn rd)
+  | t -> B.fail (Printf.sprintf "unknown value tag %d" t)
+
+let w_tuple buf t = w_list w_value buf (Tuple.values t)
+let r_tuple rd = Tuple.make (r_list r_value rd)
+
+(* --- provenance --------------------------------------------------------- *)
+
+let w_info buf info =
+  let flags =
+    (if info.Provenance.source <> None then 1 else 0)
+    lor if info.Provenance.timestamp <> None then 2 else 0
+  in
+  B.w_u8 buf flags;
+  Option.iter (B.w_str buf) info.Provenance.source;
+  Option.iter (B.w_i64 buf) info.Provenance.timestamp
+
+let r_info rd =
+  let flags = B.r_u8_exn rd in
+  if flags land lnot 3 <> 0 then
+    B.fail (Printf.sprintf "unknown provenance flags 0x%02x" flags);
+  let source = if flags land 1 <> 0 then Some (B.r_str_exn rd) else None in
+  let timestamp = if flags land 2 <> 0 then Some (B.r_i64_exn rd) else None in
+  { Provenance.source; timestamp }
+
+(* --- declarations ------------------------------------------------------- *)
+
+let w_fd buf fd = B.w_str buf (Constraints.Fd.to_string fd)
+
+let r_fd rd =
+  let s = B.r_str_exn rd in
+  match Constraints.Fd.of_string s with
+  | Ok fd -> fd
+  | Error m -> B.fail (Printf.sprintf "bad fd %S: %s" s m)
+
+let w_pref buf = function
+  | Instance_format.Source_pair (hi, lo) ->
+    B.w_u8 buf 0;
+    B.w_str buf hi;
+    B.w_str buf lo
+  | Instance_format.Newest -> B.w_u8 buf 1
+  | Instance_format.Oldest -> B.w_u8 buf 2
+  | Instance_format.Attribute (a, dir) ->
+    B.w_u8 buf 3;
+    B.w_str buf a;
+    B.w_u8 buf (match dir with `Larger -> 0 | `Smaller -> 1)
+  | Instance_format.Formula f ->
+    B.w_u8 buf 4;
+    B.w_str buf (Core.Pref_formula.to_string f)
+
+let r_pref rd =
+  match B.r_u8_exn rd with
+  | 0 ->
+    let hi = B.r_str_exn rd in
+    let lo = B.r_str_exn rd in
+    Instance_format.Source_pair (hi, lo)
+  | 1 -> Instance_format.Newest
+  | 2 -> Instance_format.Oldest
+  | 3 -> (
+    let a = B.r_str_exn rd in
+    match B.r_u8_exn rd with
+    | 0 -> Instance_format.Attribute (a, `Larger)
+    | 1 -> Instance_format.Attribute (a, `Smaller)
+    | d -> B.fail (Printf.sprintf "unknown attribute direction tag %d" d))
+  | 4 -> (
+    let s = B.r_str_exn rd in
+    match Core.Pref_formula.parse s with
+    | Ok f -> Instance_format.Formula f
+    | Error m -> B.fail (Printf.sprintf "bad preference formula %S: %s" s m))
+  | t -> B.fail (Printf.sprintf "unknown preference tag %d" t)
+
+let w_op buf = function
+  | Core.Delta.Insert t ->
+    B.w_u8 buf 0;
+    w_tuple buf t
+  | Core.Delta.Delete t ->
+    B.w_u8 buf 1;
+    w_tuple buf t
+
+let r_op rd =
+  match B.r_u8_exn rd with
+  | 0 -> Core.Delta.Insert (r_tuple rd)
+  | 1 -> Core.Delta.Delete (r_tuple rd)
+  | t -> B.fail (Printf.sprintf "unknown delta op tag %d" t)

@@ -1,0 +1,56 @@
+(** Shared codecs of the binary store.
+
+    The value- and declaration-level encodings used by both {!Snapshot}
+    (inside its checksummed body) and {!Wal} (inside each record). All
+    encodings here are {e self-contained}: name constants travel as
+    their bytes, never as intern ids — packed ids are process-local
+    (see {!Relational.Intern}) and meaningless in a file. The
+    snapshot's dense fact section, which {e does} use file-local
+    dictionary ids, lives in {!Snapshot} itself.
+
+    Decoders follow {!Binio}'s exception-style discipline: they raise
+    [Binio.Corrupt] on malformed input and are meant to run under
+    {!Binio.decode}. *)
+
+open Relational
+
+val w_schema : Buffer.t -> Schema.t -> unit
+val r_schema : Binio.reader -> Schema.t
+
+val w_value : Buffer.t -> Value.t -> unit
+(** Tagged: [u8] 0 = name ([str]), 1 = int ([i64]). *)
+
+val r_value : Binio.reader -> Value.t
+
+val w_tuple : Buffer.t -> Tuple.t -> unit
+(** [u32] arity followed by tagged values. *)
+
+val r_tuple : Binio.reader -> Tuple.t
+
+val w_info : Buffer.t -> Provenance.info -> unit
+(** [u8] presence flags (bit 0 source, bit 1 timestamp) followed by the
+    present fields. *)
+
+val r_info : Binio.reader -> Provenance.info
+
+val w_fd : Buffer.t -> Constraints.Fd.t -> unit
+(** As its textual form ({!Constraints.Fd.to_string}) — one canonical
+    parser on both paths. *)
+
+val r_fd : Binio.reader -> Constraints.Fd.t
+
+val w_pref : Buffer.t -> Instance_format.pref -> unit
+(** Tagged: 0 source pair, 1 newest, 2 oldest, 3 attribute (+[u8]
+    direction, 0 larger / 1 smaller), 4 formula (textual form). *)
+
+val r_pref : Binio.reader -> Instance_format.pref
+
+val w_op : Buffer.t -> Core.Delta.op -> unit
+(** Tagged: [u8] 0 insert, 1 delete, followed by the tuple. *)
+
+val r_op : Binio.reader -> Core.Delta.op
+
+val w_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+(** [u32] count followed by the elements. *)
+
+val r_list : (Binio.reader -> 'a) -> Binio.reader -> 'a list

@@ -17,7 +17,10 @@ type spec = {
 (* --- tokenizing one line ------------------------------------------------ *)
 
 (* Split on whitespace, keeping quoted tokens ('...') together and
-   tagging them so 'R&D' stays a name even if it looks numeric. *)
+   tagging them so 'R&D' stays a name even if it looks numeric. Inside
+   quotes, [\'] and [\\] escape a literal quote and backslash (the
+   writer emits them, see {!escape_name}); any other escape is an
+   error rather than a silent re-tokenization. *)
 type token = Bare of string | Quoted of string
 
 let tokenize_line line =
@@ -28,14 +31,32 @@ let tokenize_line line =
       let c = line.[i] in
       if c = ' ' || c = '\t' then loop (i + 1) acc
       else if c = '#' then Ok (List.rev acc)
-      else if c = '\'' then
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
         let rec scan j =
           if j >= n then Error "unterminated quote"
-          else if line.[j] = '\'' then
-            loop (j + 1) (Quoted (String.sub line (i + 1) (j - i - 1)) :: acc)
-          else scan (j + 1)
+          else
+            match line.[j] with
+            | '\'' -> loop (j + 1) (Quoted (Buffer.contents buf) :: acc)
+            | '\\' ->
+              if j + 1 >= n then Error "unterminated quote (dangling escape)"
+              else (
+                match line.[j + 1] with
+                | ('\'' | '\\') as e ->
+                  Buffer.add_char buf e;
+                  scan (j + 2)
+                | e ->
+                  Error
+                    (Printf.sprintf
+                       "unknown escape \\%c in quoted name (only \\' and \
+                        \\\\ are recognized)"
+                       e))
+            | c ->
+              Buffer.add_char buf c;
+              scan (j + 1)
         in
         scan (i + 1)
+      end
       else
         let rec scan j =
           if j < n && line.[j] <> ' ' && line.[j] <> '\t' then scan (j + 1)
@@ -121,7 +142,13 @@ let parse_tuple_decl schema tokens =
       if i = arity then Ok (List.rev values, toks)
       else
         match toks with
-        | [] -> assert false
+        | [] ->
+          (* unreachable under the arity guard above, but a truncated
+             file (a crash mid-write) must report its position, not
+             kill the process *)
+          Error
+            (Printf.sprintf
+               "tuple truncated: found %d of %d values (torn write?)" i arity)
         | tok :: rest -> (
           match parse_value (Schema.ty_at schema i) tok with
           | Error e -> Error e
@@ -303,8 +330,64 @@ let to_rule spec =
   | Error e, _ | _, Error e -> Error e
   | Ok src, Ok others -> Ok (Core.Pref_rules.lexicographic (src @ List.rev others))
 
-let print spec =
+(* The writer's side of the quoting contract: ['] and [\] are escaped so
+   the tokenizer reads back exactly the bytes of the name. Control
+   characters (anything below 0x20, and DEL) cannot be represented on a
+   one-declaration-per-line format at all — a newline inside a name
+   would re-tokenize as two lines — so they are rejected up front
+   instead of producing a file the parser cannot reload. *)
+let unprintable s =
+  let bad = ref None in
+  String.iteri
+    (fun i c ->
+      if !bad = None && (Char.code c < 0x20 || c = '\x7f') then bad := Some i)
+    s;
+  !bad
+
+let escape_name s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '\'' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let check_name what s =
+  match unprintable s with
+  | None -> Ok ()
+  | Some i ->
+    Error
+      (Printf.sprintf
+         "%s %S contains unprintable byte 0x%02x at position %d and cannot \
+          be written to the text format"
+         what s (Char.code s.[i]) i)
+
+(* Sources are written as the bare token of a [source=...] annotation:
+   whitespace or [#] would split the token or start a comment. *)
+let check_source s =
+  if s = "" then Error "empty source annotation cannot be written"
+  else
+    match unprintable s with
+    | Some i ->
+      Error
+        (Printf.sprintf
+           "source %S contains unprintable byte 0x%02x at position %d" s
+           (Char.code s.[i]) i)
+    | None ->
+      if String.exists (fun c -> c = ' ' || c = '#') s then
+        Error
+          (Printf.sprintf
+             "source %S contains whitespace or '#' and cannot be written as \
+              a source= annotation"
+             s)
+      else Ok ()
+
+let render spec =
   let buf = Buffer.create 1024 in
+  let error = ref None in
+  let fail e = if !error = None then error := Some e in
+  let checked check s = match check s with Ok () -> () | Error e -> fail e in
   let schema = Relation.schema spec.relation in
   let ty_name = function Schema.TName -> "name" | Schema.TInt -> "int" in
   Buffer.add_string buf
@@ -324,14 +407,18 @@ let print spec =
       let values =
         List.map
           (function
-            | Value.Name s -> Printf.sprintf "'%s'" s
+            | Value.Name s ->
+              checked (check_name "name") s;
+              Printf.sprintf "'%s'" (escape_name s)
             | Value.Int n -> string_of_int n)
           (Tuple.values t)
       in
       let info = Provenance.get spec.provenance t in
       let annots =
         (match info.Provenance.source with
-        | Some s -> [ Printf.sprintf "source=%s" s ]
+        | Some s ->
+          checked check_source s;
+          [ Printf.sprintf "source=%s" s ]
         | None -> [])
         @
         match info.Provenance.timestamp with
@@ -346,7 +433,10 @@ let print spec =
     (fun pref ->
       Buffer.add_string buf
         (match pref with
-        | Source_pair (hi, lo) -> Printf.sprintf "prefer source %s > %s\n" hi lo
+        | Source_pair (hi, lo) ->
+          checked check_source hi;
+          checked check_source lo;
+          Printf.sprintf "prefer source %s > %s\n" hi lo
         | Newest -> "prefer newest\n"
         | Oldest -> "prefer oldest\n"
         | Attribute (a, `Larger) -> Printf.sprintf "prefer attribute %s larger\n" a
@@ -355,4 +445,18 @@ let print spec =
         | Formula f ->
           Printf.sprintf "prefer formula %s\n" (Core.Pref_formula.to_string f)))
     spec.prefs;
-  Buffer.contents buf
+  match !error with None -> Ok (Buffer.contents buf) | Some e -> Error e
+
+let print spec =
+  match render spec with Ok s -> s | Error e -> invalid_arg e
+
+let save path spec =
+  match render spec with
+  | Error _ as e -> e
+  | Ok text -> (
+    match
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc text)
+    with
+    | () -> Ok ()
+    | exception Sys_error m -> Error m)

@@ -61,6 +61,18 @@ val to_rule : spec -> (Core.Pref_rules.rule, string) result
 (** The combined preference rule declared by the spec (a rule that orders
     nothing if no [prefer] lines are present). *)
 
+val render : spec -> (string, string) result
+(** Renders a spec back to the textual format; [parse] of the result
+    yields a spec with equal relation, FDs, provenance and preferences.
+    Names containing quotes or backslashes are escaped ([\'], [\\]);
+    names or sources containing unprintable bytes (below 0x20, or DEL)
+    — which the line-oriented format cannot represent — are rejected
+    with a clear error instead of writing a file that cannot be
+    reloaded. *)
+
 val print : spec -> string
-(** Renders a spec back to the textual format; [parse (print s)] yields a
-    spec with equal relation, FDs and preferences. *)
+(** [render], raising [Invalid_argument] on an unrepresentable spec. *)
+
+val save : string -> spec -> (unit, string) result
+(** [save path spec] writes [render spec] to [path]. Errors cover both
+    unrepresentable specs and I/O failures. *)

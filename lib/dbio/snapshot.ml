@@ -1,0 +1,328 @@
+open Relational
+module B = Binio
+module IF = Instance_format
+
+let magic = "PREFDBS1"
+let version = 1
+let header_len = String.length magic + 4 + 8 + 4
+
+(* --- encoding ----------------------------------------------------------- *)
+
+(* The fact section is column-typed: a name column stores a file-local
+   dictionary id, an int column stores the number itself, both as
+   zigzag varints (small ids and small values — the overwhelmingly
+   common case — cost one or two bytes instead of a fixed word). The
+   dictionary is built in first-occurrence order over the slots, so
+   encoding is one sweep and ids are dense. *)
+let encode spec =
+  let schema = Relation.schema spec.IF.relation in
+  let tys = Array.of_list (List.map (fun a -> a.Schema.attr_ty) (Schema.attributes schema)) in
+  let arity = Array.length tys in
+  let slots = Relation.slots spec.IF.relation in
+  let body = Buffer.create (4096 + (Array.length slots * arity * 8)) in
+  Codec.w_schema body schema;
+  (* dictionary: collect distinct names in first-occurrence order *)
+  let dict_ids = Hashtbl.create 1024 in
+  let dict = Buffer.create 4096 in
+  let dict_count = ref 0 in
+  let dict_id_of packed =
+    match Hashtbl.find_opt dict_ids packed with
+    | Some id -> id
+    | None ->
+      let id = !dict_count in
+      incr dict_count;
+      Hashtbl.add dict_ids packed id;
+      B.w_str dict (Intern.string_of_id (packed lsr 1));
+      id
+  in
+  let facts = Buffer.create (Array.length slots * (arity + 2)) in
+  Array.iter
+    (fun (t, live) ->
+      B.w_u8 facts (if live then 1 else 0);
+      for col = 0 to arity - 1 do
+        let packed = Tuple.packed_get t col in
+        match tys.(col) with
+        | Schema.TName -> B.w_varint facts (dict_id_of packed)
+        | Schema.TInt -> B.w_varint facts (packed asr 1)
+      done)
+    slots;
+  B.w_u32 body !dict_count;
+  Buffer.add_buffer body dict;
+  B.w_u32 body (Array.length slots);
+  (* the slots are variable-width, so the section carries its own byte
+     length: the decoder bulk-checks it once and walks by position *)
+  B.w_u32 body (Buffer.length facts);
+  Buffer.add_buffer body facts;
+  Codec.w_list
+    (fun buf (t, info) ->
+      Codec.w_tuple buf t;
+      Codec.w_info buf info)
+    body
+    (Provenance.bindings spec.IF.provenance);
+  Codec.w_list Codec.w_fd body spec.IF.fds;
+  Codec.w_list Codec.w_pref body spec.IF.prefs;
+  let body = Buffer.contents body in
+  let out = Buffer.create (header_len + String.length body) in
+  Buffer.add_string out magic;
+  B.w_u32 out version;
+  B.w_i64 out (String.length body);
+  B.w_u32 out (B.crc32 body ~pos:0 ~len:(String.length body));
+  Buffer.add_string out body;
+  Buffer.contents out
+
+(* --- decoding ----------------------------------------------------------- *)
+
+let decode_body rd =
+  let schema = Codec.r_schema rd in
+  let tys =
+    Array.of_list (List.map (fun a -> a.Schema.attr_ty) (Schema.attributes schema))
+  in
+  let arity = Array.length tys in
+  (* remap the file-local dictionary to process intern ids: one [pack]
+     per distinct string, after which every occurrence is a plain array
+     probe *)
+  let dict_count = B.r_u32_exn rd in
+  let packed_names =
+    Array.init dict_count (fun _ -> Value.pack (Value.Name (B.r_str_exn rd)))
+  in
+  let slot_count = B.r_u32_exn rd in
+  let sect_len = B.r_u32_exn rd in
+  (* the slots are variable-width varints, but the section declares
+     its byte length: one bulk check covers all of it, and while a
+     worst-case slot still fits before [stop] the per-byte checks are
+     elided too — only the last few slots fall back to checked reads *)
+  if B.remaining rd < sect_len then
+    B.fail
+      (Printf.sprintf "truncated fact section: %d byte(s) declared, %d left"
+         sect_len (B.remaining rd));
+  let s = B.src rd in
+  let base = B.pos rd in
+  let stop = base + sect_len in
+  let pos = ref base in
+  let worst_slot = 1 + (9 * arity) in
+  let ws = Graphs.Vset.word_size in
+  let words =
+    Array.make (if slot_count = 0 then 0 else ((slot_count - 1) / ws) + 1) 0
+  in
+  (* one scratch row serves every slot: [Tuple.of_packed] blits it
+     into the tuple's own flat block *)
+  let scratch = Array.make arity 0 in
+  (* the live-bit cursor advances incrementally: [i / word_size] per
+     slot is a genuine divide instruction (the word size is not a power
+     of two), visible at a million slots *)
+  let word_i = ref 0 in
+  let bit_i = ref 0 in
+  let read_flag i =
+    if !pos >= stop then
+      B.fail (Printf.sprintf "fact section ends inside slot %d" i);
+    (match B.get_u8 s !pos with
+    | 0 -> ()
+    | 1 ->
+      Array.unsafe_set words !word_i
+        (Array.unsafe_get words !word_i lor (1 lsl !bit_i))
+    | f -> B.fail (Printf.sprintf "unknown live flag %d" f));
+    incr pos;
+    incr bit_i;
+    if !bit_i = ws then begin
+      bit_i := 0;
+      incr word_i
+    end
+  in
+  let read_slot_generic i =
+    let checked = stop - !pos < worst_slot in
+    read_flag i;
+    for col = 0 to arity - 1 do
+      let v =
+        if checked then B.get_varint_checked s pos ~limit:stop
+        else B.get_varint s pos
+      in
+      Array.unsafe_set scratch col
+        (match Array.unsafe_get tys col with
+        | Schema.TName ->
+          if v < 0 || v >= dict_count then
+            B.fail
+              (Printf.sprintf "dictionary id %d out of range (%d entries)" v
+                 dict_count);
+          Array.unsafe_get packed_names v
+        | Schema.TInt -> Value.pack_int v)
+    done;
+    Tuple.of_packed scratch
+  in
+  (* an all-int schema (bulk numeric data, and the headline bench
+     shape) needs no type dispatch and no dictionary probe per column *)
+  let read_slot_int i =
+    let checked = stop - !pos < worst_slot in
+    read_flag i;
+    for col = 0 to arity - 1 do
+      let v =
+        if checked then B.get_varint_checked s pos ~limit:stop
+        else B.get_varint s pos
+      in
+      Array.unsafe_set scratch col (Value.pack_int v)
+    done;
+    Tuple.of_packed scratch
+  in
+  let read_slot =
+    if Array.for_all (fun ty -> ty = Schema.TInt) tys then read_slot_int
+    else read_slot_generic
+  in
+  let facts =
+    if slot_count = 0 then [||]
+    else begin
+      (* explicit order: the cursor IS the iteration state *)
+      let facts = Array.make slot_count (read_slot 0) in
+      for i = 1 to slot_count - 1 do
+        facts.(i) <- read_slot i
+      done;
+      facts
+    end
+  in
+  if !pos <> stop then
+    B.fail
+      (Printf.sprintf "fact section length mismatch: %d byte(s) undecoded"
+         (stop - !pos));
+  B.advance rd sect_len;
+  (* [~checked:false]: every tuple was just decoded against this very
+     schema's column types, and live-uniqueness held when the image was
+     encoded — the body CRC rules out any change since *)
+  let relation =
+    match
+      Relation.of_facts ~checked:false schema facts (Graphs.Vset.of_words words)
+    with
+    | r -> r
+    | exception Invalid_argument m -> B.fail m
+  in
+  let provenance =
+    Provenance.of_list
+      (Codec.r_list
+         (fun rd ->
+           let t = Codec.r_tuple rd in
+           (t, Codec.r_info rd))
+         rd)
+  in
+  let fds = Codec.r_list Codec.r_fd rd in
+  let prefs = Codec.r_list Codec.r_pref rd in
+  if B.remaining rd <> 0 then
+    B.fail (Printf.sprintf "%d trailing byte(s) after the body" (B.remaining rd));
+  { IF.relation; fds; provenance; prefs }
+
+(* A million-slot decode allocates one small block per tuple, and the
+   incremental major collector charges its marking slices to exactly
+   this allocation — at the default pacing that is a third of the whole
+   load. Run the collector at bulk pacing for the duration (bigger
+   slices, deferred work) and restore on the way out; the deferred work
+   is paid at normal pace by whoever allocates next. (Resizing the
+   minor heap here instead is a loss: shrinking it back forces a full
+   minor collection that promotes the entire decoded image in one
+   stop-the-world step.) *)
+let with_bulk_gc_pacing f =
+  let g = Gc.get () in
+  if g.Gc.space_overhead >= 400 then f ()
+  else begin
+    Gc.set { g with Gc.space_overhead = 400 };
+    Fun.protect ~finally:(fun () -> Gc.set g) f
+  end
+
+let decode image =
+  if String.length image < header_len then Error "snapshot too short for a header"
+  else if String.sub image 0 (String.length magic) <> magic then
+    Error "bad magic: not a prefdb snapshot"
+  else
+    let rd = B.reader ~pos:(String.length magic) image in
+    match
+      B.decode rd (fun rd ->
+          let v = B.r_u32_exn rd in
+          let body_len = B.r_i64_exn rd in
+          let crc = B.r_u32_exn rd in
+          (v, body_len, crc))
+    with
+    | Error e -> Error ("bad snapshot header: " ^ e)
+    | Ok (v, body_len, crc) ->
+      if v <> version then
+        Error (Printf.sprintf "unsupported snapshot version %d (expected %d)" v version)
+      else if String.length image - header_len <> body_len then
+        Error
+          (Printf.sprintf "body length mismatch: header says %d, file has %d"
+             body_len
+             (String.length image - header_len))
+      else if B.crc32 image ~pos:header_len ~len:body_len <> crc then
+        Error "body checksum mismatch (corrupt or torn snapshot)"
+      else
+        with_bulk_gc_pacing @@ fun () ->
+        B.decode (B.reader ~pos:header_len image) decode_body
+
+(* --- files -------------------------------------------------------------- *)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+  | exception Unix.Unix_error _ -> ()
+
+let save path spec =
+  Obs.Span.with_span "store.snapshot.save" @@ fun () ->
+  match encode spec with
+  | exception Invalid_argument m -> Error m
+  | image -> (
+    let tmp = path ^ ".tmp" in
+    match
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let n = String.length image in
+          let written = ref 0 in
+          while !written < n do
+            written :=
+              !written + Unix.single_write_substring fd image !written (n - !written)
+          done;
+          Unix.fsync fd);
+      Unix.rename tmp path;
+      fsync_dir (Filename.dirname path)
+    with
+    | () ->
+      if Obs.Span.enabled () then
+        Obs.Span.annotate [ ("bytes", Obs.Event.Int (String.length image)) ];
+      Ok ()
+    | exception Unix.Unix_error (err, fn, arg) ->
+      Error (Printf.sprintf "%s: %s(%s): %s" path fn arg (Unix.error_message err)))
+
+(* read the whole file into one exactly-sized buffer: [input_all]
+   grows-and-copies through tens of megabytes, and every intermediate
+   lands on the major heap *)
+let read_file path =
+  let ic = In_channel.open_bin path in
+  Fun.protect
+    ~finally:(fun () -> In_channel.close ic)
+    (fun () ->
+      match In_channel.length ic with
+      | exception Sys_error _ -> In_channel.input_all ic
+      | n when n > Int64.of_int Sys.max_string_length ->
+        raise (Sys_error (path ^ ": file too large to load"))
+      | n -> (
+        let n = Int64.to_int n in
+        match In_channel.really_input_string ic n with
+        | Some s ->
+          (* trailing bytes appearing between [length] and here would
+             silently vanish; read on to make the length check in
+             [decode] see them *)
+          (match In_channel.input_char ic with
+          | None -> s
+          | Some _ -> raise (Sys_error (path ^ ": file grew while loading")))
+        | None -> raise (Sys_error (path ^ ": file shrank while loading"))))
+
+let load path =
+  Obs.Span.with_span "store.snapshot.load" @@ fun () ->
+  match read_file path with
+  | exception Sys_error m -> Error m
+  | image -> (
+    match decode image with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok spec ->
+      if Obs.Span.enabled () then
+        Obs.Span.annotate
+          [
+            ("bytes", Obs.Event.Int (String.length image));
+            ("slots", Obs.Event.Int (Relation.slot_count spec.IF.relation));
+          ];
+      Ok spec)

@@ -1,0 +1,39 @@
+(** Binary instance snapshots.
+
+    A compact, versioned, checksummed image of an
+    {!Instance_format.spec} that reloads in O(file size): the fact
+    section is a dense array in fact-id order — tombstoned slots
+    included — so a reload reproduces every fact id and the slot
+    counter exactly, and name constants are stored once in a file-local
+    dictionary whose ids the loader remaps to process intern ids with a
+    single probe per {e distinct} string (no per-occurrence hashing,
+    no text parsing).
+
+    Layout: a 24-byte header — 8-byte magic {!magic}, [u32] version
+    {!version}, [i64] body length, [u32] body CRC-32 — followed by the
+    body: schema, string dictionary, facts ([u32] slot count, then per
+    slot a [u8] live flag and one column-typed field per attribute:
+    [u32] dictionary id for a name column, [i64] for an int column),
+    provenance (self-contained tuples), FDs and preferences (see
+    {!Codec}). Everything after the header is covered by the CRC, so a
+    torn or bit-flipped file is rejected as corrupt rather than loaded
+    askew.
+
+    {!save} is atomic: the image is written to a temp file, fsynced,
+    renamed over the target, and the directory fsynced — a crash
+    mid-save leaves the previous snapshot intact. *)
+
+val magic : string
+(** ["PREFDBS1"]. *)
+
+val version : int
+
+val encode : Instance_format.spec -> string
+(** The full file image (header + body). *)
+
+val decode : string -> (Instance_format.spec, string) result
+(** Rejects bad magic, unknown versions, length mismatches, CRC
+    failures and malformed bodies, each with a distinct message. *)
+
+val save : string -> Instance_format.spec -> (unit, string) result
+val load : string -> (Instance_format.spec, string) result

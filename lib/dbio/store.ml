@@ -1,0 +1,152 @@
+module IF = Instance_format
+
+type t = {
+  dir : string;
+  wal : Wal.t;
+  spec : IF.spec;
+  engine : Core.Delta.t;
+  torn_bytes : int;
+  mutable wal_records : int;
+}
+
+let snapshot_path dir = Filename.concat dir "store.snap"
+let wal_path dir = Filename.concat dir "wal.log"
+
+let build_engine spec =
+  match IF.to_rule spec with
+  | Error e -> Error e
+  | Ok rule -> Core.Delta.create ~rule spec.IF.fds spec.IF.relation
+
+let unix_error = function
+  | Unix.Unix_error (err, fn, arg) ->
+    Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err))
+  | e -> raise e
+
+(* --- init --------------------------------------------------------------- *)
+
+let init dir spec =
+  match build_engine spec with
+  | Error e -> Error ("invalid instance: " ^ e)
+  | Ok _ -> (
+    match
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Sys.file_exists (snapshot_path dir)
+    with
+    | true -> Error (Printf.sprintf "%s: store already initialized" dir)
+    | exception e -> unix_error e
+    | false -> (
+      match Snapshot.save (snapshot_path dir) spec with
+      | Error _ as e -> e
+      | Ok () -> (
+        match Wal.open_append (wal_path dir) with
+        | Error _ as e -> e
+        | Ok wal ->
+          let r = Wal.truncate wal in
+          Wal.close wal;
+          r)))
+
+(* --- open + replay ------------------------------------------------------ *)
+
+let drop_torn_tail path clean_len =
+  match Unix.openfile path [ Unix.O_WRONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.ftruncate fd clean_len;
+        Unix.fsync fd);
+    Ok ()
+  | exception e -> unix_error e
+
+(* Replay brings the engine through the same entry points the original
+   process used, so everything observable — fact ids, slot counter,
+   history depth, decomposition caches — re-converges bit-identically. *)
+let replay_entry (spec, engine) = function
+  | Wal.Batch ops -> (
+    match Core.Delta.apply engine ops with
+    | Ok _ -> Ok (spec, engine)
+    | Error e -> Error ("batch does not re-apply: " ^ e))
+  | Wal.Undo -> (
+    match Core.Delta.undo engine with
+    | Ok _ -> Ok (spec, engine)
+    | Error e -> Error ("undo does not re-apply: " ^ e))
+  | Wal.Prefer p -> (
+    let spec' =
+      {
+        spec with
+        IF.prefs = spec.IF.prefs @ [ p ];
+        IF.relation = Core.Delta.relation engine;
+      }
+    in
+    match build_engine spec' with
+    | Ok engine' -> Ok (spec', engine')
+    | Error e -> Error ("preference does not re-apply: " ^ e))
+
+let open_ dir =
+  Obs.Span.with_span "store.open" @@ fun () ->
+  match Snapshot.load (snapshot_path dir) with
+  | Error _ as e -> e
+  | Ok spec0 -> (
+    match build_engine spec0 with
+    | Error e -> Error ("snapshot does not build: " ^ e)
+    | Ok engine0 -> (
+      match Wal.replay (wal_path dir) with
+      | Error _ as e -> e
+      | Ok (entries, clean_len, torn) -> (
+        let truncated =
+          if torn > 0 then drop_torn_tail (wal_path dir) clean_len else Ok ()
+        in
+        match truncated with
+        | Error _ as e -> e
+        | Ok () -> (
+          let rec replay acc n = function
+            | [] -> Ok (acc, n)
+            | entry :: rest -> (
+              match replay_entry acc entry with
+              | Ok acc -> replay acc (n + 1) rest
+              | Error e ->
+                Error (Printf.sprintf "wal record %d: %s" (n + 1) e))
+          in
+          match replay (spec0, engine0) 0 entries with
+          | Error _ as e -> e
+          | Ok ((spec, engine), replayed) -> (
+            let spec = { spec with IF.relation = Core.Delta.relation engine } in
+            if Obs.Span.enabled () then
+              Obs.Span.annotate
+                [
+                  ("wal_records", Obs.Event.Int replayed);
+                  ("torn_bytes", Obs.Event.Int torn);
+                ];
+            match Wal.open_append (wal_path dir) with
+            | Error _ as e -> e
+            | Ok wal ->
+              Ok { dir; wal; spec; engine; torn_bytes = torn; wal_records = replayed })))))
+
+(* --- the journal -------------------------------------------------------- *)
+
+let spec t = t.spec
+let engine t = t.engine
+let dir t = t.dir
+let wal_records t = t.wal_records
+let torn_bytes t = t.torn_bytes
+
+let log t entry =
+  match Wal.append t.wal entry with
+  | Ok () ->
+    t.wal_records <- t.wal_records + 1;
+    Ok ()
+  | Error _ as e -> e
+
+let checkpoint t spec =
+  Obs.Span.with_span "store.checkpoint" @@ fun () ->
+  match Snapshot.save (snapshot_path t.dir) spec with
+  | Error _ as e -> e
+  | Ok () -> (
+    match Wal.truncate t.wal with
+    | Ok () ->
+      t.wal_records <- 0;
+      Ok ()
+    | Error _ as e -> e)
+
+let close t = Wal.close t.wal

@@ -1,0 +1,64 @@
+(** The durable store: one directory, one snapshot, one log.
+
+    Layout of a store directory:
+
+    {v
+    store.snap   binary snapshot (see Snapshot)
+    wal.log      write-ahead log of mutations since the snapshot (see Wal)
+    v}
+
+    {!open_} loads the snapshot, replays the log (truncating a torn
+    tail left by a crash mid-append), and hands back the recovered
+    spec together with a warm {!Core.Delta} engine whose fact ids,
+    history depth and caches match the pre-crash process exactly —
+    replay applies the very batches the original process applied, in
+    order, through the same engine entry points.
+
+    After open the caller owns the state's evolution; the store only
+    journals it: call {!log} after each successful mutation (the
+    ack-after-fsync point) and {!checkpoint} to fold the log into a
+    fresh snapshot. *)
+
+type t
+
+val snapshot_path : string -> string
+val wal_path : string -> string
+
+val init : string -> Instance_format.spec -> (unit, string) result
+(** Creates the directory if needed, writes the initial snapshot and
+    an empty log. Fails if the spec's preferences are invalid (they
+    would poison every subsequent open) or if a store already exists
+    in the directory. *)
+
+val open_ : string -> (t, string) result
+(** Load + replay. Fails when the snapshot is missing or corrupt, or
+    when a log record does not re-apply — both mean the store cannot
+    be trusted. *)
+
+val spec : t -> Instance_format.spec
+(** The recovered spec, as of {!open_} (log replayed). *)
+
+val engine : t -> Core.Delta.t
+(** The warm engine, as of {!open_}. Mutable — the caller advances it;
+    the store does not touch it afterwards. *)
+
+val dir : t -> string
+
+val log : t -> Wal.entry -> (unit, string) result
+(** Append + fsync. Call only after the mutation succeeded in the
+    engine — a logged record must re-apply on recovery. *)
+
+val wal_records : t -> int
+(** Records currently in the log (replayed at open + appended since,
+    minus checkpoints). The serve loop's snapshot heuristic input. *)
+
+val torn_bytes : t -> int
+(** Bytes discarded from the log tail at open — nonzero after
+    recovering from a crash mid-append. *)
+
+val checkpoint : t -> Instance_format.spec -> (unit, string) result
+(** Atomically replace the snapshot with [spec] (the caller's current
+    state) and empty the log. On failure the old snapshot + log pair
+    is still intact. *)
+
+val close : t -> unit

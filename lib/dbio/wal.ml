@@ -1,0 +1,140 @@
+module B = Binio
+
+type entry =
+  | Batch of Core.Delta.op list
+  | Undo
+  | Prefer of Instance_format.pref
+
+let record_magic = "WALR"
+
+(* --- record codec ------------------------------------------------------- *)
+
+let encode_payload entry =
+  let buf = Buffer.create 64 in
+  (match entry with
+  | Batch ops ->
+    B.w_u8 buf 0;
+    Codec.w_list Codec.w_op buf ops
+  | Undo -> B.w_u8 buf 1
+  | Prefer p ->
+    B.w_u8 buf 2;
+    Codec.w_pref buf p);
+  Buffer.contents buf
+
+let decode_payload rd =
+  match B.r_u8_exn rd with
+  | 0 -> Batch (Codec.r_list Codec.r_op rd)
+  | 1 -> Undo
+  | 2 -> Prefer (Codec.r_pref rd)
+  | k -> B.fail (Printf.sprintf "unknown wal record kind %d" k)
+
+let decode_entry payload =
+  let rd = B.reader payload in
+  B.decode rd (fun rd ->
+      let e = decode_payload rd in
+      if B.remaining rd <> 0 then
+        B.fail
+          (Printf.sprintf "%d trailing byte(s) in wal record" (B.remaining rd));
+      e)
+
+let encode_record entry =
+  let payload = encode_payload entry in
+  let buf = Buffer.create (String.length payload + 12) in
+  Buffer.add_string buf record_magic;
+  B.w_u32 buf (String.length payload);
+  Buffer.add_string buf payload;
+  B.w_u32 buf (B.crc32 payload ~pos:0 ~len:(String.length payload));
+  Buffer.contents buf
+
+(* --- appending ---------------------------------------------------------- *)
+
+type t = { path : string; fd : Unix.file_descr; mutable bytes : int }
+
+let unix_error path = function
+  | Unix.Unix_error (err, fn, _) ->
+    Error (Printf.sprintf "%s: %s: %s" path fn (Unix.error_message err))
+  | e -> raise e
+
+let open_append path =
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 with
+  | fd -> Ok { path; fd; bytes = (Unix.fstat fd).Unix.st_size }
+  | exception e -> unix_error path e
+
+let size t = t.bytes
+
+let append t entry =
+  Obs.Span.with_span "store.wal.append" @@ fun () ->
+  let record = encode_record entry in
+  match
+    let n = String.length record in
+    let written = ref 0 in
+    while !written < n do
+      written :=
+        !written + Unix.single_write_substring t.fd record !written (n - !written)
+    done;
+    Unix.fsync t.fd
+  with
+  | () ->
+    t.bytes <- t.bytes + String.length record;
+    if Obs.Span.enabled () then
+      Obs.Span.annotate [ ("bytes", Obs.Event.Int (String.length record)) ];
+    Ok ()
+  | exception e -> unix_error t.path e
+
+let truncate t =
+  match
+    Unix.ftruncate t.fd 0;
+    Unix.fsync t.fd
+  with
+  | () ->
+    t.bytes <- 0;
+    Ok ()
+  | exception e -> unix_error t.path e
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* --- replay ------------------------------------------------------------- *)
+
+(* Scan records off the front; any malformed record — bad magic, a
+   length overrunning the file, a CRC mismatch, an undecodable payload
+   — ends the valid prefix (the signature of a crash mid-append). *)
+let scan data =
+  let len = String.length data in
+  let rec loop pos acc =
+    if pos = len then (List.rev acc, pos)
+    else if
+      len - pos < 12
+      || String.sub data pos 4 <> record_magic
+    then (List.rev acc, pos)
+    else
+      let rd = B.reader ~pos:(pos + 4) data in
+      match B.decode rd B.r_u32_exn with
+      | Error _ -> (List.rev acc, pos)
+      | Ok payload_len ->
+        if len - pos - 12 < payload_len then (List.rev acc, pos)
+        else
+          let payload = String.sub data (pos + 8) payload_len in
+          let crc_rd = B.reader ~pos:(pos + 8 + payload_len) data in
+          let stored = B.decode crc_rd B.r_u32_exn in
+          if stored <> Ok (B.crc32 payload ~pos:0 ~len:payload_len) then
+            (List.rev acc, pos)
+          else (
+            match decode_entry payload with
+            | Error _ -> (List.rev acc, pos)
+            | Ok entry -> loop (pos + 12 + payload_len) (entry :: acc))
+  in
+  loop 0 []
+
+let replay path =
+  Obs.Span.with_span "store.wal.replay" @@ fun () ->
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> Ok ([], 0, 0)
+  | data ->
+    let entries, clean_len = scan data in
+    if Obs.Span.enabled () then
+      Obs.Span.annotate
+        [
+          ("records", Obs.Event.Int (List.length entries));
+          ("torn_bytes", Obs.Event.Int (String.length data - clean_len));
+        ];
+    Ok (entries, clean_len, String.length data - clean_len)

@@ -1,0 +1,59 @@
+(** The write-ahead log.
+
+    An append-only journal of the mutations applied since the last
+    snapshot, replayed on open to bring the snapshot's state back to
+    the moment of the crash. One record per committed mutation:
+
+    - [Batch ops] — a {!Core.Delta.apply} batch (the shell's
+      [insert]/[delete]);
+    - [Undo] — a {!Core.Delta.undo} (replayed as an undo, {e not} as an
+      inverse batch, so the engine's history depth matches too);
+    - [Prefer p] — a preference added to the spec (rebuilds the engine,
+      as the shell's [prefer] does).
+
+    Wire format per record: 4-byte magic ["WALR"], [u8] kind, [u32]
+    payload length, payload, [u32] CRC-32 over kind + payload. Records
+    are self-contained (names as bytes, no dictionary) so a record is
+    decodable regardless of which snapshot precedes it.
+
+    Durability contract: {!append} performs a single [write] followed
+    by [fsync] and only then returns — a mutation is acknowledged only
+    once its record is on disk. A crash mid-append leaves a {e torn
+    tail}: {!replay} stops at the first record whose magic, length or
+    CRC does not check out and reports the clean prefix, which
+    {!Store} truncates the file back to. *)
+
+type entry =
+  | Batch of Core.Delta.op list
+  | Undo
+  | Prefer of Instance_format.pref
+
+type t
+(** An open log, ready to append. *)
+
+val open_append : string -> (t, string) result
+(** Opens (creating if absent) for appending. *)
+
+val append : t -> entry -> (unit, string) result
+(** Encode, write, fsync — in that order. *)
+
+val size : t -> int
+(** Current byte size of the log file. *)
+
+val truncate : t -> (unit, string) result
+(** Empties the log (after a successful snapshot) and fsyncs. *)
+
+val close : t -> unit
+
+val replay : string -> (entry list * int * int, string) result
+(** [replay path] is [(entries, clean_len, torn_bytes)]: every record
+    of the longest valid prefix, the byte length of that prefix, and
+    how many trailing bytes were discarded as torn ([0] on a clean
+    log). A missing file is an empty log. Only a malformed {e first}
+    record position is distinguishable from a torn tail — both stop
+    the scan — so corruption in the middle of a fsynced log surfaces
+    as an unexpectedly large [torn_bytes], which {!Store} reports. *)
+
+val decode_entry : string -> (entry, string) result
+(** Decode one record payload (kind byte + payload body) — exposed for
+    tests. *)

@@ -12,6 +12,7 @@ let get m t = Option.value (Tmap.find_opt t m) ~default:no_info
 let source m t = (get m t).source
 let timestamp m t = (get m t).timestamp
 let of_list l = List.fold_left (fun m (t, i) -> set m t i) empty l
+let bindings m = Tmap.bindings m
 
 let tag_source src r m =
   Relation.fold

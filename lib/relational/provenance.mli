@@ -29,6 +29,10 @@ val timestamp : t -> Tuple.t -> int option
 
 val of_list : (Tuple.t * info) list -> t
 
+val bindings : t -> (Tuple.t * info) list
+(** Every annotated tuple with its info, in increasing {!Tuple.compare}
+    order (canonical — the serialization view of the map). *)
+
 val tag_source : string -> Relation.t -> t -> t
 (** Annotate every tuple of the relation with the given source name. *)
 

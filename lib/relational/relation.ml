@@ -37,8 +37,11 @@ type t = {
   schema : Schema.t;
   facts : Tuple.t array; (* slot = fact id; tombstoned slots keep their tuple *)
   live : Vset.t;
-  lookup : (int, int list) Hashtbl.t;
-      (* Tuple.hash -> candidate slots, shared across derived relations *)
+  lookup : (int, int list) Hashtbl.t Lazy.t;
+      (* Tuple.hash -> candidate slots, shared across derived relations.
+         Lazy so that a bulk load ([of_slots]) pays for the table on the
+         first [find], not on construction — a loaded instance that is
+         only ever scanned never hashes a tuple at all. *)
   mutable postings : postings option; (* lazy memo, maintained by [patch] *)
 }
 
@@ -47,7 +50,7 @@ let empty schema =
     schema;
     facts = [||];
     live = Vset.empty;
-    lookup = Hashtbl.create 16;
+    lookup = Lazy.from_val (Hashtbl.create 16);
     postings = None;
   }
 
@@ -70,7 +73,7 @@ let check_tuple schema t =
          (Tuple.to_string t) (Schema.name schema))
 
 let find r t =
-  match Hashtbl.find_opt r.lookup (Tuple.hash t) with
+  match Hashtbl.find_opt (Lazy.force r.lookup) (Tuple.hash t) with
   | None -> None
   | Some bucket ->
     let len = Array.length r.facts in
@@ -181,7 +184,7 @@ let append_slot r t =
   let n = Array.length r.facts in
   let facts = Array.make (n + 1) t in
   Array.blit r.facts 0 facts 0 n;
-  lookup_add r.lookup t n;
+  lookup_add (Lazy.force r.lookup) t n;
   {
     r with
     facts;
@@ -262,7 +265,7 @@ module Builder = struct
       schema = b.b_schema;
       facts;
       live = Vset.of_range b.len;
-      lookup = Hashtbl.copy b.seen;
+      lookup = Lazy.from_val (Hashtbl.copy b.seen);
       postings = None;
     }
 end
@@ -296,6 +299,70 @@ let tuple_array r =
       r.live;
     out
   end
+
+(* --- serialization view ----------------------------------------------------- *)
+
+let slots r =
+  Array.mapi (fun i t -> (t, Vset.mem i r.live)) r.facts
+
+let of_facts ?(checked = true) schema facts live =
+  let n = Array.length facts in
+  (match Vset.max_elt_opt live with
+  | Some m when m >= n ->
+    invalid_arg "Relation.of_facts: live fact id beyond the slot array"
+  | _ -> ());
+  if checked then begin
+    Array.iter (check_tuple schema) facts;
+    (* the duplicate-live check probes an open-addressed table of slot
+       indices keyed by the tuples' cached hashes — no per-slot heap
+       allocation; the shared lookup table itself is deferred to the
+       first [find] *)
+    let cap =
+      let rec pow2 c = if c >= 2 * (n + 1) then c else pow2 (2 * c) in
+      pow2 16
+    in
+    let mask = cap - 1 in
+    let table = Array.make cap (-1) in
+    Vset.iter
+      (fun i ->
+        let t = facts.(i) in
+        let j = ref (Tuple.hash t land mask) in
+        while
+          match table.(!j) with
+          | -1 -> false
+          | k ->
+            if Tuple.equal facts.(k) t then
+              invalid_arg
+                (Printf.sprintf "Relation.of_facts: duplicate live tuple %s"
+                   (Tuple.to_string t));
+            true
+        do
+          j := (!j + 1) land mask
+        done;
+        table.(!j) <- i)
+      live
+  end;
+  let lookup =
+    lazy
+      (let lookup = Hashtbl.create (max 16 n) in
+       Array.iteri (fun i t -> lookup_add lookup t i) facts;
+       lookup)
+  in
+  { schema; facts; live; lookup; postings = None }
+
+let of_slots ?checked schema entries =
+  let n = Array.length entries in
+  let facts = Array.map fst entries in
+  (* the live set is assembled word-at-a-time: a persistent [Vset.add]
+     per slot copies the whole bitset each iteration — quadratic in the
+     slot count, which is exactly what a bulk load must not be *)
+  let ws = Vset.word_size in
+  let words = Array.make (if n = 0 then 0 else ((n - 1) / ws) + 1) 0 in
+  for i = 0 to n - 1 do
+    if snd entries.(i) then
+      words.(i / ws) <- words.(i / ws) lor (1 lsl (i mod ws))
+  done;
+  of_facts ?checked schema facts (Vset.of_words words)
 
 (* --- set operations -------------------------------------------------------- *)
 
@@ -371,7 +438,7 @@ let patch r ~delete ~insert =
   let live =
     List.fold_left (fun s i -> Vset.add i s) live_after_del inserted
   in
-  List.iter2 (fun i t -> lookup_add r.lookup t i) inserted insert;
+  List.iter2 (fun i t -> lookup_add (Lazy.force r.lookup) t i) inserted insert;
   let postings =
     match r.postings with
     | None -> None

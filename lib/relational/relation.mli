@@ -114,6 +114,29 @@ val find_exn : t -> Tuple.t -> int
 val restrict_ids : t -> Graphs.Vset.t -> t
 (** Live-set restriction by fact ids; must be a subset of {!live_ids}. *)
 
+val slots : t -> (Tuple.t * bool) array
+(** Every slot ever allocated, in fact-id order, live-flagged: the full
+    serialization view of the store (tombstoned slots included, so a
+    reload reproduces fact ids {e and} the slot counter exactly). The
+    array is fresh; mutating it does not affect the relation. *)
+
+val of_slots : ?checked:bool -> Schema.t -> (Tuple.t * bool) array -> t
+(** Inverse of {!slots}: rebuilds the instance with slot [i] holding the
+    [i]-th tuple, live iff flagged. Sugar over {!of_facts}. *)
+
+val of_facts : ?checked:bool -> Schema.t -> Tuple.t array -> Graphs.Vset.t -> t
+(** The bulk-load constructor: slot [i] holds [facts.(i)], live iff
+    [i ∈ live]. The membership index is built lazily on the first
+    {!find} from the tuples' cached hashes (no value re-hashing) and
+    postings stay lazy, so construction is O(slots). With [checked]
+    (the default) raises [Invalid_argument] on a tuple that does not
+    conform to the schema or on two live slots holding equal tuples;
+    [~checked:false] skips both scans and is reserved for input whose
+    invariants are already attested — the CRC-verified snapshot path,
+    where they held at encode time and the checksum rules out change
+    since. Always raises on a live id with no slot. The caller must
+    not mutate [facts] afterwards. *)
+
 val prepare_index : t -> unit
 (** Force the postings of {e every} column now (one ["relation.index"]
     span per column built). Once built they are maintained incrementally

@@ -1,92 +1,107 @@
-(* A tuple is an immutable vector of packed values (see {!Value.pack})
-   with its hash precomputed at construction: equality is one int-array
-   sweep, hashing is a field read, and the FD-grouping and join kernels
-   project packed ints directly without touching boxed values. *)
+(* A tuple is one flat int array: slot 0 caches the hash, slots 1..n
+   hold the packed values (see {!Value.pack}). One heap block per
+   tuple — not a record pointing at a payload array — matters because
+   bulk paths (snapshot load, parsing) materialize millions of live
+   tuples, and the GC marks and promotes per block. Equality is one
+   int-array sweep, hashing is a read of slot 0, and the FD-grouping
+   and join kernels project packed ints directly without touching
+   boxed values. *)
 
-type t = { packed : int array; hash : int }
+type t = int array
+
+let hash t = Array.unsafe_get t 0
+let arity t = Array.length t - 1
 
 (* A short polynomial accumulation over the packed (already mixed-ready)
-   payloads, finalized with the value mixer so nearby tuples spread. *)
-let hash_packed_array a =
-  let h = ref (Array.length a) in
-  for i = 0 to Array.length a - 1 do
-    h := (!h * 1000003) + a.(i)
+   payloads, finalized with the value mixer so nearby tuples spread.
+   [rehash] fills slot 0 of a flat array whose payloads are in place. *)
+let rehash t =
+  let n = Array.length t - 1 in
+  let h = ref n in
+  for i = 1 to n do
+    h := (!h * 1000003) + Array.unsafe_get t i
   done;
-  Value.hash_packed !h
+  Array.unsafe_set t 0 (Value.hash_packed !h);
+  t
 
-let of_packed_array packed = { packed; hash = hash_packed_array packed }
+let of_packed packed =
+  let n = Array.length packed in
+  let t = Array.make (n + 1) 0 in
+  Array.blit packed 0 t 1 n;
+  rehash t
 
 let make values =
-  of_packed_array (Array.of_list (List.map Value.pack values))
+  of_packed (Array.of_list (List.map Value.pack values))
 
-let of_array a = of_packed_array (Array.map Value.pack a)
-
-let arity t = Array.length t.packed
+let of_array a = of_packed (Array.map Value.pack a)
 
 let get t i =
-  if i < 0 || i >= Array.length t.packed then
-    invalid_arg "Tuple.get: out of range";
-  Value.unpack t.packed.(i)
+  if i < 0 || i >= arity t then invalid_arg "Tuple.get: out of range";
+  Value.unpack t.(i + 1)
 
 let packed_get t i =
-  if i < 0 || i >= Array.length t.packed then
-    invalid_arg "Tuple.packed_get: out of range";
-  t.packed.(i)
+  if i < 0 || i >= arity t then invalid_arg "Tuple.packed_get: out of range";
+  t.(i + 1)
 
-let values t = Array.to_list (Array.map Value.unpack t.packed)
+let values t = List.init (arity t) (fun i -> Value.unpack t.(i + 1))
 let project t positions = List.map (get t) positions
 let project_packed t positions = List.map (packed_get t) positions
 
-let sub t positions =
-  of_packed_array (Array.of_list (project_packed t positions))
+let sub t positions = of_packed (Array.of_list (project_packed t positions))
 
-let concat t1 t2 = of_packed_array (Array.append t1.packed t2.packed)
+let concat t1 t2 =
+  let n1 = arity t1 and n2 = arity t2 in
+  let t = Array.make (n1 + n2 + 1) 0 in
+  Array.blit t1 1 t 1 n1;
+  Array.blit t2 1 t (1 + n1) n2;
+  rehash t
 
 let agree_on t1 t2 positions =
   List.for_all (fun i -> packed_get t1 i = packed_get t2 i) positions
 
 let conforms schema t =
-  Array.length t.packed = Schema.arity schema
+  arity t = Schema.arity schema
   && begin
        let ok = ref true in
-       Array.iteri
-         (fun i p ->
-           if Value.packed_ty p <> Schema.ty_to_poly (Schema.ty_at schema i)
-           then ok := false)
-         t.packed;
+       for i = 0 to arity t - 1 do
+         if Value.packed_ty t.(i + 1) <> Schema.ty_to_poly (Schema.ty_at schema i)
+         then ok := false
+       done;
        !ok
      end
 
+(* slot 0 first: a hash mismatch settles almost every unequal pair in
+   one compare *)
 let equal t1 t2 =
-  t1.hash = t2.hash
-  && Array.length t1.packed = Array.length t2.packed
-  && begin
-       let n = Array.length t1.packed in
-       let rec loop i = i >= n || (t1.packed.(i) = t2.packed.(i) && loop (i + 1)) in
-       loop 0
-     end
+  t1 == t2
+  || (Array.length t1 = Array.length t2
+     && begin
+          let n = Array.length t1 in
+          let rec loop i =
+            i >= n || (Array.unsafe_get t1 i = Array.unsafe_get t2 i && loop (i + 1))
+          in
+          loop 0
+        end)
 
 (* Lexicographic lift of {!Value.compare} (names by string contents,
    Name < Int), kept identical to the boxed representation so canonical
    enumeration order survives the packing. Equal packed entries short-
    circuit without consulting the dictionary. *)
 let compare t1 t2 =
-  let c = Int.compare (Array.length t1.packed) (Array.length t2.packed) in
+  let c = Int.compare (Array.length t1) (Array.length t2) in
   if c <> 0 then c
   else
-    let n = Array.length t1.packed in
+    let n = Array.length t1 in
     let rec loop i =
       if i >= n then 0
       else
-        let a = t1.packed.(i) and b = t2.packed.(i) in
+        let a = t1.(i) and b = t2.(i) in
         if a = b then loop (i + 1)
         else
           let c = Value.compare_packed a b in
           if c <> 0 then c else loop (i + 1)
     in
-    loop 0
-
-let hash t = t.hash
+    loop 1
 
 let pp ppf t =
   Format.fprintf ppf "(%a)"

@@ -51,6 +51,14 @@ val packed_get : t -> int -> int
 (** [Value.pack (get t i)], without boxing. Raises [Invalid_argument]
     when out of range. *)
 
+val of_packed : int array -> t
+(** Builds a tuple directly from packed values (each produced by
+    {!Value.pack} in this process — packed name ids are process-local).
+    The payloads are blitted into the tuple's single flat block, so the
+    argument can be caller-owned scratch. This is the binary snapshot
+    loader's constructor: one hash computation, no boxing, no per-value
+    dictionary probe. *)
+
 val project_packed : t -> int list -> int list
 (** Packed counterpart of {!project}. *)
 

@@ -53,6 +53,8 @@ let pack = function
   | Int n -> (n lsl 1) lor 1
   | Name s -> Intern.id_of_string s lsl 1
 
+let pack_int n = (n lsl 1) lor 1
+
 let unpack p =
   if p land 1 = 1 then Int (p asr 1) else Name (Intern.string_of_id (p lsr 1))
 

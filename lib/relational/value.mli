@@ -47,6 +47,10 @@ val hash : t -> int
 val pack : t -> int
 (** Interns the name if necessary (the only non-O(1) step, amortized). *)
 
+val pack_int : int -> int
+(** [pack_int n] = [pack (Int n)] without boxing the value — the
+    hot-path constructor of the binary snapshot loader. *)
+
 val unpack : int -> t
 (** Inverse of {!pack}. Raises [Invalid_argument] on an int that no
     {!pack} call produced (unknown intern id). *)

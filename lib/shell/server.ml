@@ -1,0 +1,218 @@
+module IF = Dbio.Instance_format
+
+let socket_path dir = Filename.concat dir "serve.sock"
+let pid_path dir = Filename.concat dir "serve.pid"
+let log_path dir = Filename.concat dir "serve.log"
+
+(* --- wire framing ------------------------------------------------------- *)
+
+(* Text responses are byte-count framed — outputs are multi-line, so a
+   terminator would be ambiguous. JSON responses are one object per
+   line, self-delimiting. *)
+let send_text oc ~ok out =
+  Printf.fprintf oc "%s %d\n%s" (if ok then "ok" else "error")
+    (String.length out) out;
+  flush oc
+
+let send_json oc ~ok out =
+  output_string oc
+    (Obs.Json.to_string
+       (Obs.Json.Obj [ ("ok", Obs.Json.Bool ok); ("output", Obs.Json.Str out) ]));
+  output_char oc '\n';
+  flush oc
+
+let read_text_response ic =
+  let header = input_line ic in
+  match String.index_opt header ' ' with
+  | None -> Error (Printf.sprintf "malformed response header %S" header)
+  | Some sp -> (
+    let status = String.sub header 0 sp in
+    let len = String.sub header (sp + 1) (String.length header - sp - 1) in
+    match (status, int_of_string_opt len) with
+    | ("ok" | "error"), Some n when n >= 0 ->
+      let body = really_input_string ic n in
+      if status = "ok" then Ok body else Error body
+    | _ -> Error (Printf.sprintf "malformed response header %S" header))
+
+(* --- client side -------------------------------------------------------- *)
+
+let with_connection dir k =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX (socket_path dir)) with
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "%s: cannot connect: %s" (socket_path dir)
+         (Unix.error_message err))
+  | () ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        match k ic oc with
+        | v -> v
+        | exception End_of_file -> Error "connection closed by server"
+        | exception Sys_error m -> Error m)
+
+let request dir cmd =
+  with_connection dir (fun ic oc ->
+      output_string oc cmd;
+      output_char oc '\n';
+      flush oc;
+      read_text_response ic)
+
+let request_json dir cmd =
+  with_connection dir (fun ic oc ->
+      output_string oc
+        (Obs.Json.to_string (Obs.Json.Obj [ ("cmd", Obs.Json.Str cmd) ]));
+      output_char oc '\n';
+      flush oc;
+      Obs.Json.of_string (input_line ic))
+
+let ping dir = match request dir "ping" with Ok "pong" -> true | _ -> false
+
+(* --- request handling --------------------------------------------------- *)
+
+type reply = { ok : bool; output : string; stop : bool; bye : bool }
+
+let reply ?(stop = false) ?(bye = false) ok output = { ok; output; stop; bye }
+
+let first_word line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> String.lowercase_ascii line
+  | Some i -> String.lowercase_ascii (String.sub line 0 i)
+
+(* The server-level commands sit outside the session language: liveness,
+   checkpointing and lifecycle are the store's business, not the
+   interpreter's. [load] is rejected — in serve mode the store owns the
+   instance, and swapping it out from under the log would desynchronize
+   snapshot and journal. *)
+let handle store session line =
+  match first_word line with
+  | "ping" -> (session, reply true "pong")
+  | "shutdown" -> (session, reply true "shutting down" ~stop:true)
+  | "quit" | "exit" -> (session, reply true "bye" ~bye:true)
+  | "load" ->
+    ( session,
+      reply false
+        "error: load is disabled in serve mode (the store owns the instance)"
+    )
+  | "snapshot" -> (
+    match Session.loaded session with
+    | None -> (session, reply false "error: no instance loaded")
+    | Some spec -> (
+      match Dbio.Store.checkpoint store spec with
+      | Ok () ->
+        ( session,
+          reply true
+            (Printf.sprintf "snapshot written to %s (wal truncated)"
+               (Dbio.Store.snapshot_path (Dbio.Store.dir store))) )
+      | Error e -> (session, reply false ("error: " ^ e))))
+  | _ ->
+    let session, out = Session.exec session line in
+    (session, reply (not (Session.is_error_output out)) out)
+
+let handle_request store session raw =
+  let json = String.length raw > 0 && raw.[0] = '{' in
+  let line =
+    if not json then Ok raw
+    else
+      match Obs.Json.of_string raw with
+      | Error e -> Error (Printf.sprintf "error: bad request json: %s" e)
+      | Ok j -> (
+        match Obs.Json.member "cmd" j with
+        | Some (Obs.Json.Str cmd) -> Ok cmd
+        | Some _ -> Error "error: \"cmd\" must be a string"
+        | None -> Error "error: request object needs a \"cmd\" field")
+  in
+  match line with
+  | Error msg -> (session, reply false msg, json)
+  | Ok line ->
+    let session, r =
+      Obs.Span.with_span "serve.request"
+        ~args:[ ("cmd", Obs.Event.Str (first_word line)) ]
+        (fun () -> handle store session line)
+    in
+    (session, r, json)
+
+(* --- the serve loop ----------------------------------------------------- *)
+
+let write_pid_file dir =
+  Out_channel.with_open_text (pid_path dir) (fun oc ->
+      Printf.fprintf oc "%d\n" (Unix.getpid ()))
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+
+let serve_connection store session_ref stop_ref fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | raw ->
+      let session, r, json = handle_request store !session_ref raw in
+      session_ref := session;
+      (try
+         if json then send_json oc ~ok:r.ok r.output
+         else send_text oc ~ok:r.ok r.output
+       with Sys_error _ -> ());
+      if r.stop then stop_ref := true else if not r.bye then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+let entry_of_event = function
+  | Session.Updated ops -> Dbio.Wal.Batch ops
+  | Session.Undone -> Dbio.Wal.Undo
+  | Session.Preferred p -> Dbio.Wal.Prefer p
+
+let bind_socket dir =
+  let path = socket_path dir in
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    if Sys.file_exists path then Unix.unlink path;
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 16
+  with
+  | () -> Ok sock
+  | exception Unix.Unix_error (err, fn, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "%s: %s: %s" path fn (Unix.error_message err))
+
+let serve dir =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (* stale socket file vs live server: only a live one answers ping *)
+  if Sys.file_exists (socket_path dir) && ping dir then
+    Error (Printf.sprintf "%s: a server is already running" dir)
+  else
+    match Dbio.Store.open_ dir with
+    | Error e -> Error e
+    | Ok store -> (
+      match bind_socket dir with
+      | Error e ->
+        Dbio.Store.close store;
+        Error e
+      | Ok sock ->
+        write_pid_file dir;
+        let session =
+          Session.set_observer
+            (Session.of_spec ~engine:(Dbio.Store.engine store)
+               (Dbio.Store.spec store))
+            (fun ev -> Dbio.Store.log store (entry_of_event ev))
+        in
+        let session_ref = ref session in
+        let stop_ref = ref false in
+        while not !stop_ref do
+          match Unix.accept sock with
+          | fd, _ -> serve_connection store session_ref stop_ref fd
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done;
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        remove_if_exists (socket_path dir);
+        remove_if_exists (pid_path dir);
+        Dbio.Store.close store;
+        Ok ())

@@ -1,0 +1,63 @@
+(** The serve loop: one warm session behind a unix socket.
+
+    A long-running process owning a {!Dbio.Store} and one {!Session}
+    whose engine stays warm across requests — repeated queries pay the
+    conflict-graph build and component caches once, not per invocation.
+    Clients connect to [serve.sock] in the store directory and speak
+    the shell command language, one request per line, in either of two
+    framings:
+
+    {v
+    -- text: the raw command line
+    query Mgr('Mary', d, s)
+    -- response: a status line with a byte count, then that many bytes
+    ok 23
+    c: certainty: certain
+
+    -- json: a line starting with '{'
+    {"cmd": "query Mgr('Mary', d, s)"}
+    -- response: one JSON object per line
+    {"ok": true, "output": "c: certainty: certain"}
+    v}
+
+    A connection may issue any number of requests; closing the socket
+    ends it. Mutations ([insert]/[delete]/[undo]/[prefer]) are
+    journaled to the store's write-ahead log — fsynced before the
+    response is sent — so an acknowledged change survives [kill -9].
+
+    Beyond the session language the server answers [ping] (liveness),
+    [snapshot] (fold the log into a fresh snapshot and truncate it)
+    and [shutdown] (stop the loop). [load] is rejected — the store,
+    not the client, owns the instance. Every request runs under a
+    [serve.request] span.
+
+    Lifecycle files, all in the store directory: [serve.sock] (the
+    listening socket), [serve.pid] (the server's pid, written on bind,
+    removed on graceful shutdown), [serve.log] (stdout/stderr of a
+    daemonized server — written by [prefdb start], not by this
+    module). *)
+
+val socket_path : string -> string
+val pid_path : string -> string
+val log_path : string -> string
+
+val serve : string -> (unit, string) result
+(** [serve dir] opens the store in [dir] (replaying its log), binds
+    the socket and blocks serving requests until a [shutdown] request
+    arrives. Returns an error when the store cannot be opened or the
+    socket cannot be bound (e.g. another server is live — {!ping}
+    distinguishes a live server from a stale socket file). *)
+
+(** {2 Client side} *)
+
+val request : string -> string -> (string, string) result
+(** [request dir cmd] connects, sends one text-framed command and
+    returns its output ([Error] carries a server-reported error output
+    or a connection failure). *)
+
+val request_json : string -> string -> (Obs.Json.t, string) result
+(** Like {!request} but over the JSON framing; returns the whole
+    response object. *)
+
+val ping : string -> bool
+(** Whether a live server answers on [dir]'s socket. *)

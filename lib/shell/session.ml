@@ -2,6 +2,11 @@ open Relational
 module IF = Dbio.Instance_format
 module Family = Core.Family
 
+type event =
+  | Updated of Core.Delta.op list
+  | Undone
+  | Preferred of IF.pref
+
 type state = {
   spec : IF.spec option;
   family : Family.name;
@@ -10,11 +15,20 @@ type state = {
          instance is loaded or its preferences don't induce a valid
          priority (commands then fall back to the rebuild path, which
          reports the error) *)
+  observer : (event -> (unit, string) result) option;
+      (* mutation hook — the serve loop's write-ahead-log append point *)
 }
 
-let initial = { spec = None; family = Family.C; engine = None }
+let initial = { spec = None; family = Family.C; engine = None; observer = None }
 let family st = st.family
 let loaded st = st.spec
+let set_observer st f = { st with observer = Some f }
+
+(* An observer failure means the mutation is applied in memory but not
+   journaled: surface it as an error so the client knows the change is
+   not durable. *)
+let notify st ev =
+  match st.observer with None -> Ok () | Some f -> f ev
 
 let help_text =
   "commands:\n\
@@ -58,6 +72,16 @@ let build_engine spec =
   match IF.to_rule spec with
   | Error e -> Error e
   | Ok rule -> Core.Delta.create ~rule spec.IF.fds spec.IF.relation
+
+(* A session over an already-recovered spec — the serve loop's entry
+   point, where the store (not a [load] command) owns the instance. *)
+let of_spec ?engine spec =
+  let engine =
+    match engine with
+    | Some _ as e -> e
+    | None -> ( match build_engine spec with Ok e -> Some e | Error _ -> None)
+  in
+  { initial with spec = Some spec; engine }
 
 let with_context st k =
   match st.spec with
@@ -349,11 +373,15 @@ let cmd_update st mk values =
       match parse_tuple spec values with
       | Error e -> (st, "error: " ^ e)
       | Ok t -> (
-        match Core.Delta.apply eng (mk t) with
+        let ops = mk t in
+        match Core.Delta.apply eng ops with
         | Error e -> (st, "error: " ^ e)
-        | Ok report ->
-          ( sync_spec st eng,
-            buffer_out (fun ppf -> Core.Delta.pp_report ppf report) ))))
+        | Ok report -> (
+          let st = sync_spec st eng in
+          match notify st (Updated ops) with
+          | Ok () ->
+            (st, buffer_out (fun ppf -> Core.Delta.pp_report ppf report))
+          | Error e -> (st, "error: applied but not journaled: " ^ e)))))
 
 let cmd_insert st values = cmd_update st (fun t -> [ Core.Delta.Insert t ]) values
 let cmd_delete st values = cmd_update st (fun t -> [ Core.Delta.Delete t ]) values
@@ -365,9 +393,11 @@ let cmd_undo st =
   | Some _, Some eng -> (
     match Core.Delta.undo eng with
     | Error e -> (st, "error: " ^ e)
-    | Ok report ->
-      ( sync_spec st eng,
-        buffer_out (fun ppf -> Core.Delta.pp_report ppf report) ))
+    | Ok report -> (
+      let st = sync_spec st eng in
+      match notify st Undone with
+      | Ok () -> (st, buffer_out (fun ppf -> Core.Delta.pp_report ppf report))
+      | Error e -> (st, "error: applied but not journaled: " ^ e)))
 
 let cmd_prefer st body =
   match st.spec with
@@ -386,20 +416,21 @@ let cmd_prefer st body =
         let engine =
           match build_engine spec' with Ok e -> Some e | Error _ -> None
         in
-        ( { st with spec = Some spec'; engine },
-          Printf.sprintf "preference added (%d conflict(s) now oriented)"
-            (Core.Priority.arc_count p) )))
+        let st = { st with spec = Some spec'; engine } in
+        match notify st (Preferred pref) with
+        | Ok () ->
+          ( st,
+            Printf.sprintf "preference added (%d conflict(s) now oriented)"
+              (Core.Priority.arc_count p) )
+        | Error e -> (st, "error: applied but not journaled: " ^ e)))
 
 let cmd_save st path =
   match st.spec with
   | None -> (st, "no instance loaded (use: load FILE)")
   | Some spec -> (
-    match
-      Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc (IF.print spec))
-    with
-    | () -> (st, "saved " ^ path)
-    | exception Sys_error m -> (st, "error: " ^ m))
+    match IF.save path spec with
+    | Ok () -> (st, "saved " ^ path)
+    | Error m -> (st, "error: " ^ m))
 
 (* --- dispatch ---------------------------------------------------------------- *)
 

@@ -43,9 +43,32 @@ type state
 
 val initial : state
 
+val of_spec : ?engine:Core.Delta.t -> Dbio.Instance_format.spec -> state
+(** A session holding an already-loaded spec — the serve loop's entry
+    point, where the durable store (not a [load] command) owns the
+    instance. [engine] supplies a warm incremental engine (e.g. the one
+    {!Dbio.Store.open_} recovered); without it one is built from the
+    spec. *)
+
 val family : state -> Core.Family.name
 
 val loaded : state -> Dbio.Instance_format.spec option
+
+(** {2 Mutation observation}
+
+    The durability hook: the serve loop appends one write-ahead-log
+    record per successful mutation, {e after} the engine applied it.
+    If the observer fails (the append did not reach disk), the
+    command's output becomes an error marking the change as applied
+    but not journaled. *)
+
+type event =
+  | Updated of Core.Delta.op list
+      (** one [insert]/[delete] batch, in engine order *)
+  | Undone  (** one [undo] *)
+  | Preferred of Dbio.Instance_format.pref  (** one [prefer] *)
+
+val set_observer : state -> (event -> (unit, string) result) -> state
 
 val exec : state -> string -> state * string
 (** Execute one command line. Unknown commands and errors produce an

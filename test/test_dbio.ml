@@ -145,6 +145,94 @@ let test_random_repair_is_repair () =
       (Core.Repair.is_repair c (Workload.Generator.random_repair rng c))
   done
 
+(* --- quoting, escaping and the save/load/save fixpoint ------------------- *)
+
+let name_spec names =
+  let schema = Schema.make "R" [ ("A", Schema.TName); ("B", Schema.TInt) ] in
+  {
+    IF.relation =
+      Relation.of_rows schema
+        (List.mapi (fun i n -> [ Value.Name n; Value.Int i ]) names);
+    fds = [];
+    provenance = Provenance.empty;
+    prefs = [];
+  }
+
+let test_escaped_names_roundtrip () =
+  let adversarial =
+    [ "it's"; "back\\slash"; "'"; "\\"; "\\'"; "a b"; "#comment"; ""; "x=y"; "''" ]
+  in
+  let spec = name_spec adversarial in
+  match IF.render spec with
+  | Error e -> Alcotest.fail e
+  | Ok text -> (
+    match IF.parse text with
+    | Error e -> Alcotest.failf "reparse failed on:\n%s\n%s" text e
+    | Ok spec2 ->
+      Alcotest.(check bool) "relation survives quoting" true
+        (Relation.equal spec.IF.relation spec2.IF.relation))
+
+let test_unprintable_names_rejected () =
+  List.iter
+    (fun bad ->
+      match IF.render (name_spec [ bad ]) with
+      | Error _ -> ()
+      | Ok text ->
+        Alcotest.failf "unprintable name %S rendered as:\n%s" bad text)
+    [ "new\nline"; "tab\there"; "nul\000"; "del\127" ];
+  (* and save refuses to write the file at all *)
+  let path = Filename.temp_file "prefdb_reject" ".txt" in
+  Sys.remove path;
+  (match IF.save path (name_spec [ "torn\nname" ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "save wrote an unloadable file");
+  Alcotest.(check bool) "no file written" false (Sys.file_exists path)
+
+let test_tokenizer_escapes () =
+  (* unknown escapes and dangling escapes are errors, not silent
+     re-tokenizations *)
+  List.iter
+    (fun line ->
+      match IF.parse ("relation R(A:name)\ntuple " ^ line ^ "\n") with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed quoting: %s" line)
+    [ "'\\n'"; "'dangling\\"; "'unterminated" ]
+
+let test_truncated_tuple_is_positioned_error () =
+  match IF.parse "relation R(A:name, B:int)\ntuple 'x'\n" with
+  | Ok _ -> Alcotest.fail "truncated tuple accepted"
+  | Error e ->
+    Alcotest.(check bool) "carries the line number" true
+      (String.length e >= 6 && String.sub e 0 6 = "line 2")
+
+(* The qcheck fixpoint: for any names drawn from an adversarial
+   alphabet (quotes, backslashes, whitespace, comment and annotation
+   metacharacters, empty strings), save → load → save is a fixpoint
+   and load reproduces the instance exactly. *)
+let name_gen =
+  QCheck2.Gen.(
+    string_size ~gen:(oneofl [ '\''; '\\'; ' '; '#'; '='; 'a'; 'b'; '0' ])
+      (int_bound 8))
+
+let test_save_load_save_fixpoint =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"save→load→save fixpoint over adversarial names"
+       ~count:300
+       ~print:(fun names ->
+         String.concat ", " (List.map (Printf.sprintf "%S") names))
+       QCheck2.Gen.(list_size (int_range 1 6) name_gen)
+       (fun names ->
+         let spec = name_spec names in
+         match IF.render spec with
+         | Error e -> QCheck2.Test.fail_reportf "render failed: %s" e
+         | Ok text -> (
+           match IF.parse text with
+           | Error e ->
+             QCheck2.Test.fail_reportf "reparse failed: %s\non:\n%s" e text
+           | Ok spec2 ->
+             Relation.equal spec.IF.relation spec2.IF.relation
+             && IF.render spec2 = Ok text)))
+
 let suite =
   [
     ("parse the Mgr instance file", `Quick, test_parse_mgr);
@@ -157,4 +245,9 @@ let suite =
     ("generators are deterministic", `Quick, test_generator_determinism);
     ("integration scenario", `Quick, test_scenario_integration);
     ("random repairs are repairs", `Quick, test_random_repair_is_repair);
+    ("escaped names roundtrip", `Quick, test_escaped_names_roundtrip);
+    ("unprintable names rejected", `Quick, test_unprintable_names_rejected);
+    ("tokenizer rejects bad escapes", `Quick, test_tokenizer_escapes);
+    ("truncated tuple is a positioned error", `Quick, test_truncated_tuple_is_positioned_error);
+    test_save_load_save_fixpoint;
   ]

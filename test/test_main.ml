@@ -15,6 +15,7 @@ let () =
       ("pref_rules", Test_pref_rules.suite);
       ("hyper", Test_hyper.suite);
       ("dbio", Test_dbio.suite);
+      ("store", Test_store.suite);
       ("pref_formula", Test_pref_formula.suite);
       ("multi", Test_multi.suite);
       ("algebra", Test_algebra.suite);
