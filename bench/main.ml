@@ -1103,11 +1103,11 @@ let store_bench () =
     with_temp ".txt" @@ fun text_path ->
     with_temp ".snap" @@ fun snap_path ->
     Out_channel.with_open_bin text_path (fun oc -> output_string oc text);
-    (match Dbio.Snapshot.save snap_path spec with
+    (match Dbio.Snapshot.save snap_path ~generation:0 spec with
     | Ok () -> ()
     | Error e -> failwith e);
     let parsed = Result.get_ok (IF.parse (read_all text_path)) in
-    let loaded = Result.get_ok (Dbio.Snapshot.load snap_path) in
+    let loaded = fst (Result.get_ok (Dbio.Snapshot.load snap_path)) in
     if not (Relational.Relation.equal parsed.IF.relation loaded.IF.relation)
     then failwith (Printf.sprintf "STORE %s: parse and load disagree" shape);
     (* both sides timed cold-start (see [Harness.measure_cold]): a load
@@ -1183,7 +1183,7 @@ let store_bench () =
         (fun () ->
           let append_t =
             Harness.measure ~samples:3 (fun () ->
-                match Dbio.Wal.append wal batch with
+                match Dbio.Wal.append wal ~gen:0 batch with
                 | Ok () -> true
                 | Error e -> failwith e)
           in
@@ -1198,7 +1198,7 @@ let store_bench () =
       Sys.remove wal_file;
       let wal = Result.get_ok (Dbio.Wal.open_append wal_file) in
       for _ = 1 to nrec do
-        match Dbio.Wal.append wal batch with
+        match Dbio.Wal.append wal ~gen:0 batch with
         | Ok () -> ()
         | Error e -> failwith e
       done;

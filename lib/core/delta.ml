@@ -111,6 +111,7 @@ let undo t =
       Ok report)
 
 let history_depth t = List.length t.history
+let drop_history t = t.history <- []
 let conflict t = t.conflict
 let priority t = t.priority
 let decompose t = t.decompose

@@ -67,6 +67,13 @@ val undo : t -> (report, string) result
 val history_depth : t -> int
 (** Number of batches available to {!undo}. *)
 
+val drop_history : t -> unit
+(** Empties the undo history without touching the instance: subsequent
+    {!undo}s report nothing to undo. Used when an external durability
+    boundary (a store checkpoint) makes states older than the current
+    one unreachable — a reopened store cannot replay past its snapshot,
+    so the live engine must not undo past it either. *)
+
 val conflict : t -> Conflict.t
 val priority : t -> Priority.t
 

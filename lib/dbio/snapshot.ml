@@ -3,8 +3,8 @@ module B = Binio
 module IF = Instance_format
 
 let magic = "PREFDBS1"
-let version = 1
-let header_len = String.length magic + 4 + 8 + 4
+let version = 2
+let header_len = String.length magic + 4 + 8 + 8 + 4
 
 (* --- encoding ----------------------------------------------------------- *)
 
@@ -14,7 +14,8 @@ let header_len = String.length magic + 4 + 8 + 4
    common case — cost one or two bytes instead of a fixed word). The
    dictionary is built in first-occurrence order over the slots, so
    encoding is one sweep and ids are dense. *)
-let encode spec =
+let encode ~generation spec =
+  if generation < 0 then invalid_arg "Snapshot.encode: negative generation";
   let schema = Relation.schema spec.IF.relation in
   let tys = Array.of_list (List.map (fun a -> a.Schema.attr_ty) (Schema.attributes schema)) in
   let arity = Array.length tys in
@@ -65,6 +66,7 @@ let encode spec =
   let out = Buffer.create (header_len + String.length body) in
   Buffer.add_string out magic;
   B.w_u32 out version;
+  B.w_i64 out generation;
   B.w_i64 out (String.length body);
   B.w_u32 out (B.crc32 body ~pos:0 ~len:(String.length body));
   Buffer.add_string out body;
@@ -82,6 +84,14 @@ let decode_body rd =
      per distinct string, after which every occurrence is a plain array
      probe *)
   let dict_count = B.r_u32_exn rd in
+  (* bound file-declared counts by the bytes that could actually back
+     them before allocating: a crafted (even CRC-valid) image must fail
+     as corrupt, not force a multi-GB [Array] allocation *)
+  if dict_count > B.remaining rd then
+    B.fail
+      (Printf.sprintf
+         "dictionary count %d exceeds the %d byte(s) left in the body"
+         dict_count (B.remaining rd));
   let packed_names =
     Array.init dict_count (fun _ -> Value.pack (Value.Name (B.r_str_exn rd)))
   in
@@ -95,6 +105,13 @@ let decode_body rd =
     B.fail
       (Printf.sprintf "truncated fact section: %d byte(s) declared, %d left"
          sect_len (B.remaining rd));
+  (* each slot costs at least a live flag plus one varint byte per
+     column; a count the declared section cannot hold is corruption *)
+  if slot_count > sect_len / (1 + arity) then
+    B.fail
+      (Printf.sprintf
+         "slot count %d exceeds what a %d-byte fact section can hold"
+         slot_count sect_len);
   let s = B.src rd in
   let base = B.pos rd in
   let stop = base + sect_len in
@@ -232,14 +249,17 @@ let decode image =
     match
       B.decode rd (fun rd ->
           let v = B.r_u32_exn rd in
+          let generation = B.r_i64_exn rd in
           let body_len = B.r_i64_exn rd in
           let crc = B.r_u32_exn rd in
-          (v, body_len, crc))
+          (v, generation, body_len, crc))
     with
     | Error e -> Error ("bad snapshot header: " ^ e)
-    | Ok (v, body_len, crc) ->
+    | Ok (v, generation, body_len, crc) ->
       if v <> version then
         Error (Printf.sprintf "unsupported snapshot version %d (expected %d)" v version)
+      else if generation < 0 then
+        Error (Printf.sprintf "negative snapshot generation %d" generation)
       else if String.length image - header_len <> body_len then
         Error
           (Printf.sprintf "body length mismatch: header says %d, file has %d"
@@ -249,7 +269,9 @@ let decode image =
         Error "body checksum mismatch (corrupt or torn snapshot)"
       else
         with_bulk_gc_pacing @@ fun () ->
-        B.decode (B.reader ~pos:header_len image) decode_body
+        Result.map
+          (fun spec -> (spec, generation))
+          (B.decode (B.reader ~pos:header_len image) decode_body)
 
 (* --- files -------------------------------------------------------------- *)
 
@@ -259,9 +281,9 @@ let fsync_dir dir =
     Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
   | exception Unix.Unix_error _ -> ()
 
-let save path spec =
+let save path ~generation spec =
   Obs.Span.with_span "store.snapshot.save" @@ fun () ->
-  match encode spec with
+  match encode ~generation spec with
   | exception Invalid_argument m -> Error m
   | image -> (
     let tmp = path ^ ".tmp" in
@@ -318,11 +340,12 @@ let load path =
   | image -> (
     match decode image with
     | Error e -> Error (Printf.sprintf "%s: %s" path e)
-    | Ok spec ->
+    | Ok (spec, generation) ->
       if Obs.Span.enabled () then
         Obs.Span.annotate
           [
             ("bytes", Obs.Event.Int (String.length image));
             ("slots", Obs.Event.Int (Relation.slot_count spec.IF.relation));
+            ("generation", Obs.Event.Int generation);
           ];
-      Ok spec)
+      Ok (spec, generation))

@@ -9,15 +9,21 @@
     single probe per {e distinct} string (no per-occurrence hashing,
     no text parsing).
 
-    Layout: a 24-byte header — 8-byte magic {!magic}, [u32] version
-    {!version}, [i64] body length, [u32] body CRC-32 — followed by the
-    body: schema, string dictionary, facts ([u32] slot count, then per
-    slot a [u8] live flag and one column-typed field per attribute:
-    [u32] dictionary id for a name column, [i64] for an int column),
-    provenance (self-contained tuples), FDs and preferences (see
-    {!Codec}). Everything after the header is covered by the CRC, so a
-    torn or bit-flipped file is rejected as corrupt rather than loaded
-    askew.
+    Layout: a 32-byte header — 8-byte magic {!magic}, [u32] version
+    {!version}, [i64] generation, [i64] body length, [u32] body CRC-32 —
+    followed by the body: schema, string dictionary, facts ([u32] slot
+    count, then per slot a [u8] live flag and one column-typed field per
+    attribute: [u32] dictionary id for a name column, [i64] for an int
+    column), provenance (self-contained tuples), FDs and preferences
+    (see {!Codec}). Everything after the header is covered by the CRC,
+    so a torn or bit-flipped file is rejected as corrupt rather than
+    loaded askew.
+
+    The {e generation} is the store's checkpoint counter: every WAL
+    record carries the generation of the snapshot it was journaled
+    against, so replay can skip records an earlier checkpoint already
+    folded in (the crash-between-save-and-truncate window) instead of
+    double-applying them — see {!Store}.
 
     {!save} is atomic: the image is written to a temp file, fsynced,
     renamed over the target, and the directory fsynced — a crash
@@ -28,12 +34,17 @@ val magic : string
 
 val version : int
 
-val encode : Instance_format.spec -> string
-(** The full file image (header + body). *)
+val encode : generation:int -> Instance_format.spec -> string
+(** The full file image (header + body). Raises [Invalid_argument] on
+    a negative generation. *)
 
-val decode : string -> (Instance_format.spec, string) result
-(** Rejects bad magic, unknown versions, length mismatches, CRC
-    failures and malformed bodies, each with a distinct message. *)
+val decode : string -> (Instance_format.spec * int, string) result
+(** The spec and the generation it was checkpointed at. Rejects bad
+    magic, unknown versions, length mismatches, CRC failures and
+    malformed bodies — including section counts larger than the bytes
+    that could back them — each with a distinct message. *)
 
-val save : string -> Instance_format.spec -> (unit, string) result
-val load : string -> (Instance_format.spec, string) result
+val save :
+  string -> generation:int -> Instance_format.spec -> (unit, string) result
+
+val load : string -> (Instance_format.spec * int, string) result

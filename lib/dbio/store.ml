@@ -6,7 +6,14 @@ type t = {
   spec : IF.spec;
   engine : Core.Delta.t;
   torn_bytes : int;
+  stale_records : int;
+  mutable generation : int;
   mutable wal_records : int;
+  mutable replay_depth : int;
+      (* how many batches a freshly replayed engine could undo — the
+         journal's undo horizon. Tracks the snapshot+log pair, not the
+         live engine: an [Undo] that would dip below zero cannot
+         re-apply on recovery and is rejected at append time. *)
 }
 
 let snapshot_path dir = Filename.concat dir "store.snap"
@@ -36,7 +43,7 @@ let init dir spec =
     | true -> Error (Printf.sprintf "%s: store already initialized" dir)
     | exception e -> unix_error e
     | false -> (
-      match Snapshot.save (snapshot_path dir) spec with
+      match Snapshot.save (snapshot_path dir) ~generation:0 spec with
       | Error _ as e -> e
       | Ok () -> (
         match Wal.open_append (wal_path dir) with
@@ -58,6 +65,34 @@ let drop_torn_tail path clean_len =
         Unix.fsync fd);
     Ok ()
   | exception e -> unix_error e
+
+(* Records from a generation before the snapshot's are the leftovers of
+   a checkpoint whose truncation never reached the disk: their effects
+   are already folded into the snapshot, so replaying them would apply
+   each a second time. They can only form a prefix — every append after
+   a checkpoint carries the new generation — and a record from a future
+   generation is impossible on any crash schedule, so both out-of-order
+   shapes are reported as corruption rather than skipped. *)
+let split_generations snap_gen entries =
+  let rec skip_stale n = function
+    | (g, _) :: rest when g < snap_gen -> skip_stale (n + 1) rest
+    | rest -> (n, rest)
+  in
+  let stale, current = skip_stale 0 entries in
+  match
+    List.find_opt (fun (g, _) -> g <> snap_gen) current
+  with
+  | Some (g, _) when g > snap_gen ->
+    Error
+      (Printf.sprintf
+         "wal record from future generation %d (snapshot is generation %d)" g
+         snap_gen)
+  | Some (g, _) ->
+    Error
+      (Printf.sprintf
+         "stale wal record (generation %d) after a generation-%d record" g
+         snap_gen)
+  | None -> Ok (stale, List.map snd current)
 
 (* Replay brings the engine through the same entry points the original
    process used, so everything observable — fact ids, slot counter,
@@ -87,7 +122,7 @@ let open_ dir =
   Obs.Span.with_span "store.open" @@ fun () ->
   match Snapshot.load (snapshot_path dir) with
   | Error _ as e -> e
-  | Ok spec0 -> (
+  | Ok (spec0, generation) -> (
     match build_engine spec0 with
     | Error e -> Error ("snapshot does not build: " ^ e)
     | Ok engine0 -> (
@@ -100,53 +135,91 @@ let open_ dir =
         match truncated with
         | Error _ as e -> e
         | Ok () -> (
-          let rec replay acc n = function
-            | [] -> Ok (acc, n)
-            | entry :: rest -> (
-              match replay_entry acc entry with
-              | Ok acc -> replay acc (n + 1) rest
-              | Error e ->
-                Error (Printf.sprintf "wal record %d: %s" (n + 1) e))
-          in
-          match replay (spec0, engine0) 0 entries with
+          match split_generations generation entries with
           | Error _ as e -> e
-          | Ok ((spec, engine), replayed) -> (
-            let spec = { spec with IF.relation = Core.Delta.relation engine } in
-            if Obs.Span.enabled () then
-              Obs.Span.annotate
-                [
-                  ("wal_records", Obs.Event.Int replayed);
-                  ("torn_bytes", Obs.Event.Int torn);
-                ];
-            match Wal.open_append (wal_path dir) with
+          | Ok (stale, entries) -> (
+            let rec replay acc n = function
+              | [] -> Ok (acc, n)
+              | entry :: rest -> (
+                match replay_entry acc entry with
+                | Ok acc -> replay acc (n + 1) rest
+                | Error e ->
+                  Error (Printf.sprintf "wal record %d: %s" (n + 1) e))
+            in
+            match replay (spec0, engine0) 0 entries with
             | Error _ as e -> e
-            | Ok wal ->
-              Ok { dir; wal; spec; engine; torn_bytes = torn; wal_records = replayed })))))
+            | Ok ((spec, engine), replayed) -> (
+              let spec =
+                { spec with IF.relation = Core.Delta.relation engine }
+              in
+              if Obs.Span.enabled () then
+                Obs.Span.annotate
+                  [
+                    ("wal_records", Obs.Event.Int replayed);
+                    ("stale_records", Obs.Event.Int stale);
+                    ("torn_bytes", Obs.Event.Int torn);
+                    ("generation", Obs.Event.Int generation);
+                  ];
+              match Wal.open_append (wal_path dir) with
+              | Error _ as e -> e
+              | Ok wal ->
+                Ok
+                  {
+                    dir;
+                    wal;
+                    spec;
+                    engine;
+                    torn_bytes = torn;
+                    stale_records = stale;
+                    generation;
+                    wal_records = replayed;
+                    replay_depth = Core.Delta.history_depth engine;
+                  }))))))
 
 (* --- the journal -------------------------------------------------------- *)
 
 let spec t = t.spec
 let engine t = t.engine
 let dir t = t.dir
+let generation t = t.generation
 let wal_records t = t.wal_records
 let torn_bytes t = t.torn_bytes
+let stale_records t = t.stale_records
 
 let log t entry =
-  match Wal.append t.wal entry with
-  | Ok () ->
-    t.wal_records <- t.wal_records + 1;
-    Ok ()
-  | Error _ as e -> e
+  match entry with
+  | Wal.Undo when t.replay_depth = 0 ->
+    Error
+      "undo would revert past the last snapshot (the snapshot is the undo \
+       horizon)"
+  | _ -> (
+    match Wal.append t.wal ~gen:t.generation entry with
+    | Ok () ->
+      t.wal_records <- t.wal_records + 1;
+      (match entry with
+      | Wal.Batch _ -> t.replay_depth <- t.replay_depth + 1
+      | Wal.Undo -> t.replay_depth <- t.replay_depth - 1
+      (* a preference rebuilds the engine from scratch on replay, with
+         fresh (empty) history *)
+      | Wal.Prefer _ -> t.replay_depth <- 0);
+      Ok ()
+    | Error _ as e -> e)
 
 let checkpoint t spec =
   Obs.Span.with_span "store.checkpoint" @@ fun () ->
-  match Snapshot.save (snapshot_path t.dir) spec with
+  let generation = t.generation + 1 in
+  match Snapshot.save (snapshot_path t.dir) ~generation spec with
   | Error _ as e -> e
   | Ok () -> (
+    (* the new snapshot is durable: from here on, records journal
+       against the new generation and replay skips everything older —
+       even if the truncation below never happens (crash, I/O error),
+       the snapshot + log pair stays consistent *)
+    t.generation <- generation;
+    t.wal_records <- 0;
+    t.replay_depth <- 0;
     match Wal.truncate t.wal with
-    | Ok () ->
-      t.wal_records <- 0;
-      Ok ()
+    | Ok () -> Ok ()
     | Error _ as e -> e)
 
 let close t = Wal.close t.wal

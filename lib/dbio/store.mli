@@ -8,7 +8,9 @@
     v}
 
     {!open_} loads the snapshot, replays the log (truncating a torn
-    tail left by a crash mid-append), and hands back the recovered
+    tail left by a crash mid-append, skipping records from generations
+    before the snapshot's — leftovers of a {!checkpoint} whose
+    truncation never reached the disk), and hands back the recovered
     spec together with a warm {!Core.Delta} engine whose fact ids,
     history depth and caches match the pre-crash process exactly —
     replay applies the very batches the original process applied, in
@@ -17,7 +19,16 @@
     After open the caller owns the state's evolution; the store only
     journals it: call {!log} after each successful mutation (the
     ack-after-fsync point) and {!checkpoint} to fold the log into a
-    fresh snapshot. *)
+    fresh snapshot.
+
+    {b The snapshot is the undo horizon.} A replayed engine's history
+    reaches back only to the snapshot, so an [Undo] that would revert
+    past the last checkpoint cannot re-apply on recovery; {!log}
+    rejects it at append time (keeping the journal replayable) rather
+    than letting a later {!open_} fail. Callers should mirror the
+    horizon in the live engine with {!Core.Delta.drop_history} after a
+    successful checkpoint, so the live and recovered sessions agree on
+    what is undoable. *)
 
 type t
 
@@ -25,15 +36,15 @@ val snapshot_path : string -> string
 val wal_path : string -> string
 
 val init : string -> Instance_format.spec -> (unit, string) result
-(** Creates the directory if needed, writes the initial snapshot and
-    an empty log. Fails if the spec's preferences are invalid (they
-    would poison every subsequent open) or if a store already exists
-    in the directory. *)
+(** Creates the directory if needed, writes the initial snapshot
+    (generation 0) and an empty log. Fails if the spec's preferences
+    are invalid (they would poison every subsequent open) or if a
+    store already exists in the directory. *)
 
 val open_ : string -> (t, string) result
 (** Load + replay. Fails when the snapshot is missing or corrupt, or
-    when a log record does not re-apply — both mean the store cannot
-    be trusted. *)
+    when a current-generation log record does not re-apply — both mean
+    the store cannot be trusted. *)
 
 val spec : t -> Instance_format.spec
 (** The recovered spec, as of {!open_} (log replayed). *)
@@ -44,21 +55,38 @@ val engine : t -> Core.Delta.t
 
 val dir : t -> string
 
+val generation : t -> int
+(** The snapshot generation records currently journal against;
+    incremented by every successful {!checkpoint}. *)
+
 val log : t -> Wal.entry -> (unit, string) result
 (** Append + fsync. Call only after the mutation succeeded in the
-    engine — a logged record must re-apply on recovery. *)
+    engine — a logged record must re-apply on recovery — except for
+    [Undo], which is safe to journal {e before} the engine undo (its
+    replayability depends only on the journal, and rejection must
+    precede the in-memory change). Rejects an [Undo] that would revert
+    past the last snapshot. *)
 
 val wal_records : t -> int
-(** Records currently in the log (replayed at open + appended since,
-    minus checkpoints). The serve loop's snapshot heuristic input. *)
+(** Current-generation records in the log (replayed at open + appended
+    since, minus checkpoints). The serve loop's snapshot heuristic
+    input. *)
 
 val torn_bytes : t -> int
 (** Bytes discarded from the log tail at open — nonzero after
     recovering from a crash mid-append. *)
 
+val stale_records : t -> int
+(** Records skipped at open because their generation predates the
+    snapshot's — nonzero after recovering from a crash between a
+    checkpoint's snapshot rename and its log truncation. *)
+
 val checkpoint : t -> Instance_format.spec -> (unit, string) result
 (** Atomically replace the snapshot with [spec] (the caller's current
-    state) and empty the log. On failure the old snapshot + log pair
-    is still intact. *)
+    state) at the next generation, then empty the log. If the snapshot
+    fails, the old snapshot + log pair is still intact. If only the
+    truncation fails, the store is {e still consistent}: subsequent
+    records journal against the new generation and the stale ones are
+    skipped at the next open. *)
 
 val close : t -> unit

@@ -9,8 +9,15 @@ let record_magic = "WALR"
 
 (* --- record codec ------------------------------------------------------- *)
 
-let encode_payload entry =
+(* The payload opens with the generation of the snapshot the record
+   was journaled against (varint — generations are small): replay uses
+   it to skip records an earlier checkpoint already folded into the
+   snapshot, the window a crash between [Snapshot.save]'s rename and
+   {!truncate} leaves behind. *)
+let encode_payload ~gen entry =
+  if gen < 0 then invalid_arg "Wal.append: negative generation";
   let buf = Buffer.create 64 in
+  B.w_varint buf gen;
   (match entry with
   | Batch ops ->
     B.w_u8 buf 0;
@@ -22,11 +29,16 @@ let encode_payload entry =
   Buffer.contents buf
 
 let decode_payload rd =
-  match B.r_u8_exn rd with
-  | 0 -> Batch (Codec.r_list Codec.r_op rd)
-  | 1 -> Undo
-  | 2 -> Prefer (Codec.r_pref rd)
-  | k -> B.fail (Printf.sprintf "unknown wal record kind %d" k)
+  let gen = B.r_varint_exn rd in
+  if gen < 0 then B.fail (Printf.sprintf "negative wal generation %d" gen);
+  let entry =
+    match B.r_u8_exn rd with
+    | 0 -> Batch (Codec.r_list Codec.r_op rd)
+    | 1 -> Undo
+    | 2 -> Prefer (Codec.r_pref rd)
+    | k -> B.fail (Printf.sprintf "unknown wal record kind %d" k)
+  in
+  (gen, entry)
 
 let decode_entry payload =
   let rd = B.reader payload in
@@ -37,8 +49,8 @@ let decode_entry payload =
           (Printf.sprintf "%d trailing byte(s) in wal record" (B.remaining rd));
       e)
 
-let encode_record entry =
-  let payload = encode_payload entry in
+let encode_record ~gen entry =
+  let payload = encode_payload ~gen entry in
   let buf = Buffer.create (String.length payload + 12) in
   Buffer.add_string buf record_magic;
   B.w_u32 buf (String.length payload);
@@ -62,9 +74,9 @@ let open_append path =
 
 let size t = t.bytes
 
-let append t entry =
+let append t ~gen entry =
   Obs.Span.with_span "store.wal.append" @@ fun () ->
-  let record = encode_record entry in
+  let record = encode_record ~gen entry in
   match
     let n = String.length record in
     let written = ref 0 in

@@ -11,10 +11,15 @@
     - [Prefer p] — a preference added to the spec (rebuilds the engine,
       as the shell's [prefer] does).
 
-    Wire format per record: 4-byte magic ["WALR"], [u8] kind, [u32]
-    payload length, payload, [u32] CRC-32 over kind + payload. Records
-    are self-contained (names as bytes, no dictionary) so a record is
-    decodable regardless of which snapshot precedes it.
+    Wire format per record: 4-byte magic ["WALR"], [u32] payload
+    length, payload, [u32] CRC-32 over the payload; the payload is a
+    varint {e generation} (the snapshot generation the record was
+    journaled against), a [u8] kind and the kind's body. Records are
+    self-contained (names as bytes, no dictionary) so a record is
+    decodable regardless of which snapshot precedes it; the generation
+    is what ties it to one — {!Store} skips records older than the
+    snapshot's generation at replay, the leftovers of a checkpoint
+    whose truncation never reached the disk.
 
     Durability contract: {!append} performs a single [write] followed
     by [fsync] and only then returns — a mutation is acknowledged only
@@ -34,8 +39,9 @@ type t
 val open_append : string -> (t, string) result
 (** Opens (creating if absent) for appending. *)
 
-val append : t -> entry -> (unit, string) result
-(** Encode, write, fsync — in that order. *)
+val append : t -> gen:int -> entry -> (unit, string) result
+(** Encode (stamped with snapshot generation [gen]), write, fsync — in
+    that order. Raises [Invalid_argument] on a negative [gen]. *)
 
 val size : t -> int
 (** Current byte size of the log file. *)
@@ -45,15 +51,16 @@ val truncate : t -> (unit, string) result
 
 val close : t -> unit
 
-val replay : string -> (entry list * int * int, string) result
+val replay : string -> ((int * entry) list * int * int, string) result
 (** [replay path] is [(entries, clean_len, torn_bytes)]: every record
-    of the longest valid prefix, the byte length of that prefix, and
-    how many trailing bytes were discarded as torn ([0] on a clean
-    log). A missing file is an empty log. Only a malformed {e first}
-    record position is distinguishable from a torn tail — both stop
-    the scan — so corruption in the middle of a fsynced log surfaces
-    as an unexpectedly large [torn_bytes], which {!Store} reports. *)
+    of the longest valid prefix with the generation it carries, the
+    byte length of that prefix, and how many trailing bytes were
+    discarded as torn ([0] on a clean log). A missing file is an empty
+    log. Only a malformed {e first} record position is distinguishable
+    from a torn tail — both stop the scan — so corruption in the middle
+    of a fsynced log surfaces as an unexpectedly large [torn_bytes],
+    which {!Store} reports. *)
 
-val decode_entry : string -> (entry, string) result
+val decode_entry : string -> (int * entry, string) result
 (** Decode one record payload (kind byte + payload body) — exposed for
     tests. *)

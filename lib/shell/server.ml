@@ -105,9 +105,14 @@ let handle store session line =
     | Some spec -> (
       match Dbio.Store.checkpoint store spec with
       | Ok () ->
+        (* a recovered engine's history reaches back only to the
+           snapshot; drop the live history too so both sides agree the
+           checkpoint is the undo horizon *)
+        Session.drop_undo_history session;
         ( session,
           reply true
-            (Printf.sprintf "snapshot written to %s (wal truncated)"
+            (Printf.sprintf
+               "snapshot written to %s (wal truncated; undo history reset)"
                (Dbio.Store.snapshot_path (Dbio.Store.dir store))) )
       | Error e -> (session, reply false ("error: " ^ e))))
   | _ ->
@@ -145,7 +150,20 @@ let write_pid_file dir =
 
 let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
+(* Connections are served one at a time, so a client that connects and
+   goes quiet must not wedge the loop: every read and write on the
+   accepted socket carries a timeout, after which the connection is
+   dropped (the timed-out syscall surfaces as [Sys_error] through the
+   channel layer) and the next client — including a [shutdown] — is
+   accepted. Well-behaved clients open a connection per request and are
+   far inside the budget. *)
+let idle_timeout = 10.0
+
 let serve_connection store session_ref stop_ref fd =
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO idle_timeout;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO idle_timeout
+   with Unix.Unix_error _ -> ());
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let rec loop () =

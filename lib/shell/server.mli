@@ -21,15 +21,22 @@
     v}
 
     A connection may issue any number of requests; closing the socket
-    ends it. Mutations ([insert]/[delete]/[undo]/[prefer]) are
-    journaled to the store's write-ahead log — fsynced before the
-    response is sent — so an acknowledged change survives [kill -9].
+    ends it. Connections are served one at a time, so reads and writes
+    on an accepted socket carry a 10-second timeout — a client that
+    connects and goes quiet is dropped rather than blocking every
+    other client (including a [shutdown]). Mutations
+    ([insert]/[delete]/[undo]/[prefer]) are journaled to the store's
+    write-ahead log — fsynced before the response is sent — so an
+    acknowledged change survives [kill -9]; a mutation whose journal
+    append fails is rolled back (or never applied) and reported as an
+    error, keeping the served state replayable.
 
     Beyond the session language the server answers [ping] (liveness),
-    [snapshot] (fold the log into a fresh snapshot and truncate it)
-    and [shutdown] (stop the loop). [load] is rejected — the store,
-    not the client, owns the instance. Every request runs under a
-    [serve.request] span.
+    [snapshot] (fold the log into a fresh snapshot and truncate it —
+    after which the snapshot is the undo horizon: older mutations can
+    no longer be undone, live or recovered) and [shutdown] (stop the
+    loop). [load] is rejected — the store, not the client, owns the
+    instance. Every request runs under a [serve.request] span.
 
     Lifecycle files, all in the store directory: [serve.sock] (the
     listening socket), [serve.pid] (the server's pid, written on bind,

@@ -24,11 +24,16 @@ let family st = st.family
 let loaded st = st.spec
 let set_observer st f = { st with observer = Some f }
 
-(* An observer failure means the mutation is applied in memory but not
-   journaled: surface it as an error so the client knows the change is
-   not durable. *)
+(* The observer is the durability gate: a mutation is committed to the
+   session only once it is journaled. When the observer fails, the
+   command rolls the in-memory change back (or never applies it) and
+   reports an error — the served state must never diverge from what the
+   journal can reproduce. *)
 let notify st ev =
   match st.observer with None -> Ok () | Some f -> f ev
+
+let drop_undo_history st =
+  match st.engine with None -> () | Some eng -> Core.Delta.drop_history eng
 
 let help_text =
   "commands:\n\
@@ -377,11 +382,16 @@ let cmd_update st mk values =
         match Core.Delta.apply eng ops with
         | Error e -> (st, "error: " ^ e)
         | Ok report -> (
-          let st = sync_spec st eng in
           match notify st (Updated ops) with
           | Ok () ->
-            (st, buffer_out (fun ppf -> Core.Delta.pp_report ppf report))
-          | Error e -> (st, "error: applied but not journaled: " ^ e)))))
+            ( sync_spec st eng,
+              buffer_out (fun ppf -> Core.Delta.pp_report ppf report) )
+          | Error e ->
+            (* journaling failed: revert the batch we just applied so
+               the session keeps matching what the journal replays (the
+               inverse of an accepted batch always applies) *)
+            ignore (Core.Delta.undo eng);
+            (st, "error: not journaled (change rolled back): " ^ e)))))
 
 let cmd_insert st values = cmd_update st (fun t -> [ Core.Delta.Insert t ]) values
 let cmd_delete st values = cmd_update st (fun t -> [ Core.Delta.Delete t ]) values
@@ -390,14 +400,21 @@ let cmd_undo st =
   match (st.spec, st.engine) with
   | None, _ -> (st, "no instance loaded (use: load FILE)")
   | Some _, None -> (st, "error: nothing to undo")
-  | Some _, Some eng -> (
-    match Core.Delta.undo eng with
-    | Error e -> (st, "error: " ^ e)
-    | Ok report -> (
-      let st = sync_spec st eng in
+  | Some _, Some eng ->
+    if Core.Delta.history_depth eng = 0 then (st, "error: nothing to undo")
+    else (
+      (* journal before undoing: whether an undo is replayable depends
+         only on the journal (the store rejects one that would revert
+         past the last snapshot), and once journaled the undo itself
+         cannot fail — the history is non-empty *)
       match notify st Undone with
-      | Ok () -> (st, buffer_out (fun ppf -> Core.Delta.pp_report ppf report))
-      | Error e -> (st, "error: applied but not journaled: " ^ e)))
+      | Error e -> (st, "error: not journaled (nothing undone): " ^ e)
+      | Ok () -> (
+        match Core.Delta.undo eng with
+        | Error e -> (st, "error: " ^ e)
+        | Ok report ->
+          ( sync_spec st eng,
+            buffer_out (fun ppf -> Core.Delta.pp_report ppf report) )))
 
 let cmd_prefer st body =
   match st.spec with
@@ -410,19 +427,20 @@ let cmd_prefer st body =
       (* reject preference sets that no longer induce a valid priority *)
       match context spec' with
       | Error e -> (st, "error: preference rejected: " ^ e)
-      | Ok (_, p) ->
+      | Ok (_, p) -> (
         (* a global preference change invalidates every cached repair
-           list: rebuild the engine (cold cache, fresh history) *)
+           list: rebuild the engine (cold cache, fresh history) — built
+           before journaling, committed only after, so a failed append
+           leaves the session on the old preference set *)
         let engine =
           match build_engine spec' with Ok e -> Some e | Error _ -> None
         in
-        let st = { st with spec = Some spec'; engine } in
         match notify st (Preferred pref) with
         | Ok () ->
-          ( st,
+          ( { st with spec = Some spec'; engine },
             Printf.sprintf "preference added (%d conflict(s) now oriented)"
               (Core.Priority.arc_count p) )
-        | Error e -> (st, "error: applied but not journaled: " ^ e)))
+        | Error e -> (st, "error: not journaled (preference dropped): " ^ e))))
 
 let cmd_save st path =
   match st.spec with

@@ -56,11 +56,16 @@ val loaded : state -> Dbio.Instance_format.spec option
 
 (** {2 Mutation observation}
 
-    The durability hook: the serve loop appends one write-ahead-log
-    record per successful mutation, {e after} the engine applied it.
-    If the observer fails (the append did not reach disk), the
-    command's output becomes an error marking the change as applied
-    but not journaled. *)
+    The durability gate: the serve loop appends one write-ahead-log
+    record per mutation through the observer, and a mutation commits to
+    the session only if the observer succeeds. [insert]/[delete] apply
+    to the engine first and are {e rolled back} when journaling fails;
+    [undo] and [prefer] journal {e before} touching the session (an
+    undo's replayability is the journal's call — the store refuses one
+    that would revert past the last snapshot — and a validated
+    preference always re-applies). Either way, a failed observer leaves
+    the served state exactly where the journal can reproduce it, and
+    the command reports a [not journaled] error. *)
 
 type event =
   | Updated of Core.Delta.op list
@@ -69,6 +74,13 @@ type event =
   | Preferred of Dbio.Instance_format.pref  (** one [prefer] *)
 
 val set_observer : state -> (event -> (unit, string) result) -> state
+
+val drop_undo_history : state -> unit
+(** Empty the engine's undo history in place (no-op without an engine).
+    The serve loop calls this after a successful store checkpoint so
+    the live session agrees with a recovered one that the snapshot is
+    the undo horizon ({!Dbio.Store.log} would reject the older undos
+    anyway; this makes [undo] report "nothing to undo" up front). *)
 
 val exec : state -> string -> state * string
 (** Execute one command line. Unknown commands and errors produce an

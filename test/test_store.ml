@@ -67,7 +67,7 @@ let check_same_state msg expected rel =
 
 let test_snapshot_roundtrip () =
   let spec = mgr_spec () in
-  let spec2 = Result.get_ok (Snapshot.decode (Snapshot.encode spec)) in
+  let spec2 = fst (Result.get_ok (Snapshot.decode (Snapshot.encode ~generation:0 spec))) in
   check Alcotest.bool "relation equal" true
     (Relation.equal spec.IF.relation spec2.IF.relation);
   check Alcotest.int "fds" 1 (List.length spec2.IF.fds);
@@ -85,14 +85,14 @@ let test_snapshot_preserves_tombstones () =
       (tuple "Zed" "PR" 7)
   in
   let spec = { spec with IF.relation = rel } in
-  let spec2 = Result.get_ok (Snapshot.decode (Snapshot.encode spec)) in
+  let spec2 = fst (Result.get_ok (Snapshot.decode (Snapshot.encode ~generation:0 spec))) in
   check_same_state "reload" (state_fingerprint rel) spec2.IF.relation;
   check Alcotest.bool "live ids equal" true
     (Graphs.Vset.equal (Relation.live_ids rel)
        (Relation.live_ids spec2.IF.relation))
 
 let test_snapshot_rejects_corruption () =
-  let image = Snapshot.encode (mgr_spec ()) in
+  let image = Snapshot.encode ~generation:0 (mgr_spec ()) in
   let expect_error what image =
     match Snapshot.decode image with
     | Error _ -> ()
@@ -111,9 +111,52 @@ let test_snapshot_load_keeps_intern_coherent () =
   (* loading must remap file-local dictionary ids to the process
      dictionary: a value looked up by string afterwards must hit the
      loaded tuples *)
-  let spec2 = Result.get_ok (Snapshot.decode (Snapshot.encode (mgr_spec ()))) in
+  let spec2 = fst (Result.get_ok (Snapshot.decode (Snapshot.encode ~generation:0 (mgr_spec ())))) in
   check Alcotest.bool "membership by fresh tuple" true
     (Relation.mem spec2.IF.relation (tuple "Mary" "R&D" 40000))
+
+(* A crafted image must be rejected before its declared counts force
+   multi-gigabyte allocations: both counts are bounded by the bytes
+   that could actually back them, so a CRC-valid body with an absurd
+   count fails as corrupt instead of raising [Out_of_memory]. *)
+let test_snapshot_rejects_oversized_counts () =
+  let schema = Relation.schema (mgr_spec ()).IF.relation in
+  let mk_image body =
+    let out = Buffer.create 64 in
+    Buffer.add_string out Snapshot.magic;
+    Dbio.Binio.w_u32 out Snapshot.version;
+    Dbio.Binio.w_i64 out 0 (* generation *);
+    Dbio.Binio.w_i64 out (String.length body);
+    Dbio.Binio.w_u32 out
+      (Dbio.Binio.crc32 body ~pos:0 ~len:(String.length body));
+    Buffer.add_string out body;
+    Buffer.contents out
+  in
+  let expect_error what body =
+    match Snapshot.decode (mk_image body) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: corrupt snapshot decoded" what
+  in
+  (* dictionary count far beyond the two bytes that follow it *)
+  let b = Buffer.create 64 in
+  Dbio.Codec.w_schema b schema;
+  Dbio.Binio.w_u32 b 0xFFFF_FFF0;
+  Buffer.add_string b "\x00\x00";
+  expect_error "oversized dictionary count" (Buffer.contents b);
+  (* slot count no 4-byte fact section can hold *)
+  let b = Buffer.create 64 in
+  Dbio.Codec.w_schema b schema;
+  Dbio.Binio.w_u32 b 0 (* empty dictionary *);
+  Dbio.Binio.w_u32 b 0xFFFF_FFF0 (* slots *);
+  Dbio.Binio.w_u32 b 4 (* section length *);
+  Buffer.add_string b "\x00\x00\x00\x00";
+  expect_error "oversized slot count" (Buffer.contents b)
+
+let test_snapshot_generation_roundtrip () =
+  let _, gen =
+    Result.get_ok (Snapshot.decode (Snapshot.encode ~generation:7 (mgr_spec ())))
+  in
+  check Alcotest.int "generation survives the trip" 7 gen
 
 (* --- the write-ahead log ------------------------------------------------ *)
 
@@ -146,7 +189,7 @@ let sample_entries () =
 let test_wal_roundtrip () =
   let path = Filename.temp_file "prefdb_wal" ".log" in
   let wal = Result.get_ok (Wal.open_append path) in
-  List.iter (fun e -> Result.get_ok (Wal.append wal e)) (sample_entries ());
+  List.iter (fun e -> Result.get_ok (Wal.append wal ~gen:3 e)) (sample_entries ());
   Wal.close wal;
   let entries, _, torn = Result.get_ok (Wal.replay path) in
   Sys.remove path;
@@ -154,15 +197,17 @@ let test_wal_roundtrip () =
   check Alcotest.int "all entries" (List.length (sample_entries ()))
     (List.length entries);
   List.iter2
-    (fun e f -> check Alcotest.bool "entry round-trips" true (entry_equal e f))
+    (fun e (g, f) ->
+      check Alcotest.int "generation round-trips" 3 g;
+      check Alcotest.bool "entry round-trips" true (entry_equal e f))
     (sample_entries ()) entries
 
 let test_wal_detects_torn_tail () =
   let path = Filename.temp_file "prefdb_wal" ".log" in
   let wal = Result.get_ok (Wal.open_append path) in
-  Result.get_ok (Wal.append wal (Wal.Batch [ Delta.Insert (tuple "A" "B" 1) ]));
+  Result.get_ok (Wal.append wal ~gen:0 (Wal.Batch [ Delta.Insert (tuple "A" "B" 1) ]));
   let clean = Wal.size wal in
-  Result.get_ok (Wal.append wal Wal.Undo);
+  Result.get_ok (Wal.append wal ~gen:0 Wal.Undo);
   Wal.close wal;
   (* overwrite one byte of the second record's payload *)
   let data = In_channel.with_open_bin path In_channel.input_all in
@@ -289,6 +334,124 @@ let test_checkpoint_truncates () =
   Store.close store2;
   rm_rf dir
 
+(* The regression the review caught: insert -> snapshot -> undo used to
+   journal an [Undo] that a reopened store (whose engine starts at the
+   snapshot, with empty history) could not replay — bricking the store
+   with no crash involved. The snapshot is now the undo horizon: such
+   an undo is rejected at append time, and reopening always works. *)
+let test_checkpoint_is_undo_horizon () =
+  let dir = temp_dir () in
+  Result.get_ok (Store.init dir (mgr_spec ()));
+  let store = Result.get_ok (Store.open_ dir) in
+  let engine = Store.engine store in
+  ignore
+    (Result.get_ok (Delta.apply engine [ Delta.Insert (tuple "Zed" "PR" 7) ]));
+  Result.get_ok
+    (Store.log store (Wal.Batch [ Delta.Insert (tuple "Zed" "PR" 7) ]));
+  let spec' = { (Store.spec store) with IF.relation = Delta.relation engine } in
+  Result.get_ok (Store.checkpoint store spec');
+  check Alcotest.int "generation advanced" 1 (Store.generation store);
+  (* an undo reverting past the snapshot cannot re-apply on recovery:
+     it must be refused here, not explode at the next open *)
+  (match Store.log store Wal.Undo with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "undo past the checkpoint was journaled");
+  (* undo of a post-checkpoint batch is journalable as ever *)
+  ignore
+    (Result.get_ok (Delta.apply engine [ Delta.Insert (tuple "Ann" "IT" 9) ]));
+  Result.get_ok
+    (Store.log store (Wal.Batch [ Delta.Insert (tuple "Ann" "IT" 9) ]));
+  Result.get_ok (Store.log store Wal.Undo);
+  ignore (Result.get_ok (Delta.undo engine));
+  let expected = state_fingerprint (Delta.relation engine) in
+  Store.close store;
+  let store2 = Result.get_ok (Store.open_ dir) in
+  check_same_state "reopen after checkpoint + undo" expected
+    (Delta.relation (Store.engine store2));
+  Store.close store2;
+  rm_rf dir
+
+(* The other checkpoint crash window: snapshot renamed into place, but
+   the log truncation never hit the disk. The old records' generation
+   predates the new snapshot's, so replay skips them instead of
+   double-applying. *)
+let test_stale_generation_records_skipped () =
+  let dir = temp_dir () in
+  Result.get_ok (Store.init dir (mgr_spec ()));
+  let store = Result.get_ok (Store.open_ dir) in
+  let engine = Store.engine store in
+  ignore
+    (Result.get_ok (Delta.apply engine [ Delta.Insert (tuple "Zed" "PR" 7) ]));
+  Result.get_ok
+    (Store.log store (Wal.Batch [ Delta.Insert (tuple "Zed" "PR" 7) ]));
+  let wal_before =
+    In_channel.with_open_bin (Store.wal_path dir) In_channel.input_all
+  in
+  let spec' = { (Store.spec store) with IF.relation = Delta.relation engine } in
+  Result.get_ok (Store.checkpoint store spec');
+  let expected = state_fingerprint (Delta.relation engine) in
+  Store.close store;
+  (* simulate the crash: restore the pre-checkpoint log next to the
+     post-checkpoint snapshot *)
+  Out_channel.with_open_bin (Store.wal_path dir) (fun oc ->
+      Out_channel.output_string oc wal_before);
+  let store2 = Result.get_ok (Store.open_ dir) in
+  check Alcotest.int "stale record skipped" 1 (Store.stale_records store2);
+  check Alcotest.int "nothing replayed" 0 (Store.wal_records store2);
+  check_same_state "batch applied exactly once" expected
+    (Delta.relation (Store.engine store2));
+  Store.close store2;
+  rm_rf dir
+
+(* --- the session's journal gate ----------------------------------------- *)
+
+(* A mutation the observer cannot journal must leave the session on the
+   state the journal can reproduce: inserts roll back, undos and
+   preferences are never applied. *)
+let test_session_journal_gate () =
+  let spec = mgr_spec () in
+  let fail_observer = ref true in
+  let journaled = ref 0 in
+  let observer _ev =
+    if !fail_observer then Error "disk full"
+    else begin
+      incr journaled;
+      Ok ()
+    end
+  in
+  let s = Shell.Session.set_observer (Shell.Session.of_spec spec) observer in
+  let card st =
+    match Shell.Session.loaded st with
+    | Some sp -> Relation.cardinality sp.IF.relation
+    | None -> -1
+  in
+  let prefs st =
+    match Shell.Session.loaded st with
+    | Some sp -> List.length sp.IF.prefs
+    | None -> -1
+  in
+  let before = card s in
+  let s, out = Shell.Session.exec s "insert 'Zed' 'PR' 7" in
+  check Alcotest.bool "failed insert reports error" true
+    (Shell.Session.is_error_output out);
+  check Alcotest.int "failed insert rolled back" before (card s);
+  fail_observer := false;
+  let s, out = Shell.Session.exec s "insert 'Zed' 'PR' 7" in
+  check Alcotest.bool "journaled insert succeeds" false
+    (Shell.Session.is_error_output out);
+  check Alcotest.int "journaled insert applied" (before + 1) (card s);
+  fail_observer := true;
+  let s, out = Shell.Session.exec s "undo" in
+  check Alcotest.bool "failed undo reports error" true
+    (Shell.Session.is_error_output out);
+  check Alcotest.int "failed undo not applied" (before + 1) (card s);
+  let s, out = Shell.Session.exec s "prefer source s2 > s3" in
+  check Alcotest.bool "failed prefer reports error" true
+    (Shell.Session.is_error_output out);
+  check Alcotest.int "failed prefer dropped" (List.length spec.IF.prefs)
+    (prefs s);
+  check Alcotest.int "journal saw exactly the good insert" 1 !journaled
+
 (* --- the serve loop (in-process) ---------------------------------------- *)
 
 let test_serve_smoke () =
@@ -332,6 +495,11 @@ let test_serve_smoke () =
   | Error e -> Alcotest.failf "snapshot failed: %s" e);
   let entries, _, _ = Result.get_ok (Wal.replay (Store.wal_path dir)) in
   check Alcotest.int "wal truncated by snapshot" 0 (List.length entries);
+  (* the snapshot is the undo horizon: the pre-snapshot insert can no
+     longer be undone (journaling it would brick the next open) *)
+  (match Shell.Server.request dir "undo" with
+  | Error _ -> ()
+  | Ok out -> Alcotest.failf "undo past the snapshot accepted: %s" out);
   (match Shell.Server.request dir "shutdown" with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "shutdown failed: %s" e);
@@ -445,11 +613,16 @@ let suite =
     ("snapshot round-trip", `Quick, test_snapshot_roundtrip);
     ("snapshot preserves tombstoned slots", `Quick, test_snapshot_preserves_tombstones);
     ("snapshot rejects corruption", `Quick, test_snapshot_rejects_corruption);
+    ("snapshot rejects oversized counts", `Quick, test_snapshot_rejects_oversized_counts);
+    ("snapshot generation round-trip", `Quick, test_snapshot_generation_roundtrip);
     ("snapshot load re-interns names", `Quick, test_snapshot_load_keeps_intern_coherent);
     ("wal round-trip", `Quick, test_wal_roundtrip);
     ("wal detects a torn tail", `Quick, test_wal_detects_torn_tail);
     ("kill -9 recovery is bit-identical", `Quick, test_kill9_recovery);
     ("checkpoint truncates the wal", `Quick, test_checkpoint_truncates);
+    ("checkpoint is the undo horizon", `Quick, test_checkpoint_is_undo_horizon);
+    ("stale-generation wal records are skipped", `Quick, test_stale_generation_records_skipped);
+    ("session mutations gate on the journal", `Quick, test_session_journal_gate);
     ("serve loop end to end", `Quick, test_serve_smoke);
     ("PREFDB_JOBS validation", `Quick, test_env_jobs_validation);
   ]
