@@ -443,3 +443,41 @@ let write_store_json path =
   Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map entry (List.rev !store_entries)));
   close_out oc
+
+(* PLAN rows: the cost-based planner section. Each row times one query
+   three ways — the compiled physical plan, the active-domain evaluator,
+   and the prior (syntactic-order, conjunctive-only) planner route —
+   whichever of the latter two are feasible on the workload. [phases] is
+   the planner.plan/planner.execute span breakdown of one spanned run.
+   Dumped as BENCH_plan.json. *)
+let plan_entries :
+    (string * float * float option * float option * string
+    * (string * float * int) list)
+    list
+    ref =
+  ref []
+
+let record_plan ~name ~planned ?eval ?prior ~note ?(phases = []) () =
+  plan_entries := (name, planned, eval, prior, note, phases) :: !plan_entries
+
+let write_plan_json path =
+  let prev = previous_medians path "planned_median_s" in
+  let oc = open_out path in
+  let entry (name, planned, eval, prior, note, phases) =
+    let opt field = function
+      | Some v ->
+        Printf.sprintf ", \"%s_median_s\": %.9f, \"speedup_vs_%s\": %.2f"
+          field v field (v /. planned)
+      | None -> ""
+    in
+    Printf.sprintf
+      "    {\"name\": %s, \"planned_median_s\": %.9f%s%s, \"note\": %s%s%s%s}"
+      (json_str name) planned (opt "eval" eval) (opt "prior_plan" prior)
+      (json_str note) (previous_field prev name) (phases_field phases)
+      (env_fields ())
+  in
+  Printf.fprintf oc "{\n  \"experiment\": \"cost-based-planner\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map entry (List.rev !plan_entries)));
+  close_out oc

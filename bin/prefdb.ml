@@ -401,7 +401,18 @@ let facts_cmd =
           family's preferred repairs (component-factorized).")
     Term.(const (with_jobs run) $ jobs_arg $ file_arg $ family_arg)
 
-(* --- explain ----------------------------------------------------------------- *)
+(* --- explain / plan ----------------------------------------------------------- *)
+
+(* The planner's view of the loaded instance: the (dirty) relation as a
+   one-relation database, costed with exact column statistics from one
+   scan. *)
+let planner_report spec q =
+  let s = Planner.Stats.scan spec.IF.relation in
+  let name = Planner.Stats.relation_name s in
+  let stats r = if String.equal r name then Some s else None in
+  Planner.Explain.run ~stats
+    (Relational.Database.of_relations [ spec.IF.relation ])
+    q
 
 let explain_cmd =
   let query_arg =
@@ -409,7 +420,7 @@ let explain_cmd =
          & info [] ~docv:"QUERY" ~doc:"Closed first-order query text.")
   in
   let run path family qtext =
-    with_context path (fun _spec c p ->
+    with_context path (fun spec c p ->
         match Query.Parser.parse qtext with
         | Error e ->
           Format.eprintf "error: %s@." e;
@@ -420,6 +431,10 @@ let explain_cmd =
             1
           end
           else begin
+            (* the plan every per-repair certainty check executes, shown
+               over the current instance *)
+            Format.printf "%a@." Planner.Explain.pp_plan_only
+              (planner_report spec q);
             let v = Core.Explain.query family c p q in
             Format.printf "%a@." (Core.Explain.pp_verdict c) v;
             0
@@ -429,8 +444,46 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:
          "Answer a closed query and show witness repairs supporting and \
-          refuting it.")
+          refuting it, prefixed with the physical plan the per-repair \
+          checks execute (cost-based join order, access paths, estimated \
+          vs. actual cardinalities).")
     Term.(const (with_jobs run) $ jobs_arg $ file_arg $ family_arg $ query_arg)
+
+let plan_cmd =
+  let query_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"First-order query text.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as one JSON object.")
+  in
+  let run path qtext json =
+    with_context path (fun spec _c _p ->
+        match Query.Parser.parse qtext with
+        | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+        | Ok q -> (
+          match planner_report spec q with
+          | report ->
+            if json then
+              print_endline (Obs.Json.to_string (Planner.Explain.to_json report))
+            else Format.printf "%a@." Planner.Explain.pp report;
+            0
+          | exception Invalid_argument m ->
+            Format.eprintf "error: %s@." m;
+            1))
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Show the cost-based physical plan for a query over the instance \
+          (not its repairs): chosen join order, access paths (index, range \
+          and merge scans), estimated vs. actual cardinalities — or the \
+          fallback reason when the query is outside the compilable \
+          fragment.")
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ query_arg $ json_arg)
 
 (* --- status ------------------------------------------------------------------- *)
 
@@ -1009,7 +1062,7 @@ let () =
        (Cmd.group info
           [
             info_cmd; stats_cmd; repairs_cmd; check_cmd; count_cmd; clean_cmd;
-            query_cmd; explain_cmd; status_cmd; facts_cmd; aggregate_cmd;
+            query_cmd; explain_cmd; plan_cmd; status_cmd; facts_cmd; aggregate_cmd;
             update_cmd; shell_cmd; profile_cmd; validate_trace_cmd; init_cmd;
             serve_cmd;
           ]))

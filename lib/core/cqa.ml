@@ -9,7 +9,7 @@ let certainty_to_string = function
   | Ambiguous -> "ambiguous"
 
 let evaluate_in_repair c r' q =
-  Query.Engine.holds_relation (Repair.to_relation c r') q
+  Planner.Engine.holds_relation (Repair.to_relation c r') q
 
 exception Empty_family of Family.name
 
@@ -55,7 +55,7 @@ let consistent_answers_open family c p q =
   | [] -> raise (Empty_family family)
   | r0 :: rest ->
     let free, first =
-      Query.Engine.answers_relation (Repair.to_relation c r0) q
+      Planner.Engine.answers_relation (Repair.to_relation c r0) q
     in
     (* Intersect per-repair answer sets through a hashtable on the rows
        of the smaller side — keyed on packed rows (int lists), so hashing
@@ -66,7 +66,7 @@ let consistent_answers_open family c p q =
       if rows = [] then []
       else begin
         let _, rows' =
-          Query.Engine.answers_relation (Repair.to_relation c r') q
+          Planner.Engine.answers_relation (Repair.to_relation c r') q
         in
         let present = Hashtbl.create (List.length rows') in
         List.iter (fun row -> Hashtbl.replace present (key row) ()) rows';

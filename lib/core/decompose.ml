@@ -901,7 +901,7 @@ let consistent_answers_open family d q =
   (try
      iter family d (fun r ->
          let free, rows =
-           Query.Engine.answers_relation (Repair.to_relation d.conflict r) q
+           Planner.Engine.answers_relation (Repair.to_relation d.conflict r) q
          in
          match !result with
          | None -> result := Some (free, rows)

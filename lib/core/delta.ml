@@ -19,6 +19,9 @@ type t = {
   mutable priority : Priority.t;
   mutable decompose : Decompose.t;
   mutable history : op list list;  (* inverse batches, most recent first *)
+  mutable colstats : Planner.Stats.t option;
+      (* exact column statistics, built on first demand and patched in
+         place by every subsequent batch (undo included) *)
 }
 
 let create ?(rule = fun _ _ -> false) fds relation =
@@ -35,6 +38,7 @@ let create ?(rule = fun _ _ -> false) fds relation =
           priority;
           decompose = Decompose.make conflict priority;
           history = [];
+          colstats = None;
         })
 
 let split ops =
@@ -73,6 +77,11 @@ let apply_batch t ops =
       t.conflict <- conflict;
       t.priority <- priority;
       t.decompose <- decompose;
+      (* the batch was accepted in full, so the statistics patch sees
+         exactly the tuples the relation applied *)
+      Option.iter
+        (fun s -> Planner.Stats.patch s ~delete ~insert)
+        t.colstats;
       Ok
         {
           inserted = List.length delta.Conflict.inserted;
@@ -116,6 +125,18 @@ let conflict t = t.conflict
 let priority t = t.priority
 let decompose t = t.decompose
 let relation t = Conflict.relation t.conflict
+
+let column_stats t =
+  match t.colstats with
+  | Some s -> s
+  | None ->
+    let s = Planner.Stats.scan (relation t) in
+    t.colstats <- Some s;
+    s
+
+let stats_lookup t =
+  let name = Schema.name (Relation.schema (relation t)) in
+  fun r -> if String.equal r name then Some (column_stats t) else None
 
 let pp_report ppf r =
   Format.fprintf ppf

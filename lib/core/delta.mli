@@ -85,4 +85,17 @@ val decompose : t -> Decompose.t
 val relation : t -> Relation.t
 (** The current live instance. *)
 
+val column_stats : t -> Planner.Stats.t
+(** Exact per-column statistics over the live instance, built by one
+    full scan on first demand and thereafter patched in place by every
+    accepted batch — {!apply} and {!undo} alike — so they never go
+    stale and never rescan. The value's [patched]/[rebuilt] counters
+    expose the maintenance history (surfaced by the shell's [stats]
+    command). *)
+
+val stats_lookup : t -> string -> Planner.Stats.t option
+(** The {!column_stats} as the by-name lookup the planner consumes
+    ([Planner.Engine]'s [?stats]): [Some] for the engine's own relation,
+    [None] for anything else. Forces the first scan. *)
+
 val pp_report : Format.formatter -> report -> unit

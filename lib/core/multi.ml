@@ -74,7 +74,7 @@ let repairs family m =
     [ Database.empty ] per_relation
 
 let certainty family m q =
-  let truths = List.map (fun db -> Query.Engine.holds db q) (repairs family m) in
+  let truths = List.map (fun db -> Planner.Engine.holds db q) (repairs family m) in
   if List.for_all Fun.id truths then Cqa.Certainly_true
   else if List.for_all not truths then Cqa.Certainly_false
   else Cqa.Ambiguous

@@ -1,0 +1,36 @@
+(** The cost-based query compiler.
+
+    Compiles first-order queries into physical plans ({!Phys}) over the
+    safe-range fragment: existential blocks of positive atoms and
+    comparisons, closed under conjunction, disjunction (union / boolean
+    or), negated atoms and bounded universal quantification (anti-join),
+    with constant equality comparisons as postings probes and order
+    comparisons on int columns as range scans. Join order is chosen
+    greedily by estimated cardinality from per-column {!Stats}.
+
+    Safety is what keeps the compiled plan equal to the active-domain
+    evaluator {!Query.Eval}: every variable — free, quantified, or used
+    in a comparison or negation — must be bound by a positive atom in
+    scope, and each existential binder must be so bound in {e every}
+    disjunct of its scope. Queries outside the fragment are rejected
+    ([Error]), never miscompiled; the engine then falls back to the
+    evaluator. *)
+
+open Relational
+open Query
+
+val compile :
+  ?stats:(string -> Stats.t option) ->
+  Database.t ->
+  Ast.t ->
+  (Phys.plan, string) result
+(** [compile ?stats db q] is the physical plan, or [Error reason] when
+    [q] falls outside the compilable fragment (including queries
+    {!Query.Eval.check} rejects, so the fallback raises exactly as the
+    evaluator would). [stats] supplies per-relation statistics — e.g.
+    the durable store's incrementally patched ones; relations it does
+    not cover (or when omitted) use {!Stats.quick}, computed once per
+    compilation. *)
+
+val supported : ?stats:(string -> Stats.t option) -> Database.t -> Ast.t -> bool
+(** Whether {!compile} succeeds (diagnostics). *)

@@ -1,0 +1,62 @@
+(* The cost model: cardinality estimation from column statistics, with
+   textbook default selectivities where statistics are silent (quick
+   stats on a column with no ready posting, or arbitrary residual
+   predicates). Estimates are floats to survive multiplication without
+   overflow; they only ever feed comparisons, never results. *)
+
+let sel_eq_default = 0.1
+let sel_range_default = 0.3
+let sel_neq = 0.9
+
+(* Selectivity of [column = const] given optional stats for the column. *)
+let sel_eq_const ~distinct ~bounds ~value =
+  match bounds with
+  | Some (lo, hi) when value < lo || value > hi -> 0.0
+  | _ -> (
+    match distinct with
+    | Some d when d > 0 -> 1.0 /. float_of_int d
+    | _ -> sel_eq_default)
+
+(* Selectivity of a packed range [lo, hi] (either side optional) on an
+   int column, by linear interpolation over the known value bounds. *)
+let sel_range ~bounds ~lo ~hi =
+  match bounds with
+  | Some (blo, bhi) when bhi > blo ->
+    let width = float_of_int (bhi - blo) in
+    let clamp v = Float.max (float_of_int blo) (Float.min (float_of_int bhi) v) in
+    let lo_v = match lo with Some v -> clamp (float_of_int v) | None -> float_of_int blo in
+    let hi_v = match hi with Some v -> clamp (float_of_int v) | None -> float_of_int bhi in
+    if hi_v < lo_v then 0.0 else Float.min 1.0 ((hi_v -. lo_v +. 1.0) /. width)
+  | Some (blo, bhi) ->
+    (* single-valued column: in or out *)
+    let v = blo in
+    ignore bhi;
+    let below = match hi with Some h -> v <= h | None -> true in
+    let above = match lo with Some l -> v >= l | None -> true in
+    if below && above then 1.0 else 0.0
+  | None -> (
+    match (lo, hi) with
+    | Some _, Some _ -> sel_range_default *. sel_range_default
+    | Some _, None | None, Some _ -> sel_range_default
+    | None, None -> 1.0)
+
+(* Equi-join output estimate: |L|·|R| / max(d_L, d_R) per join pair,
+   with each distinct count clamped to the input estimate it came from
+   (filters below the join can't increase distincts beyond rows).
+   Distinct counts are floats with <= 0 meaning unknown, defaulting to
+   rows/10, i.e. the eq default. *)
+let join ~left_est ~right_est pairs =
+  let one (dl, dr) =
+    let resolve est d =
+      Float.max 1.0
+        (if d <= 0.0 then est *. sel_eq_default else Float.min est d)
+    in
+    1.0 /. Float.max (resolve left_est dl) (resolve right_est dr)
+  in
+  List.fold_left
+    (fun acc pair -> acc *. one pair)
+    (left_est *. right_est) pairs
+
+(* Anti-join (generalized difference) retention: without correlation
+   statistics, assume half the left side survives. *)
+let sel_anti = 0.5

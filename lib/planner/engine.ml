@@ -1,0 +1,49 @@
+open Relational
+open Query
+
+(* The planning query engine: cost-based compiler with evaluator
+   fallback, a drop-in replacement for [Query.Engine] (which keeps the
+   legacy syntactic planner and serves as equivalence oracle). The
+   [holds]/[answers] pair wraps planning and execution in spans for
+   per-phase breakdowns; the [_relation] pair is the per-repair hot
+   path and stays span-free. *)
+
+let run_plan = function
+  | Phys.Bool b -> ([], if Phys.run_bool b then [ [] ] else [])
+  | Phys.Rows { free; root } ->
+    ( free,
+      List.map Tuple.values (Relation.tuples (Phys.exec root)) )
+
+let holds ?stats db q =
+  match Compile.compile ?stats db q with
+  | Error _ -> Eval.holds db q
+  | Ok (Phys.Bool b) -> Phys.run_bool b
+  | Ok (Phys.Rows _) ->
+    (* open query: raise exactly as the evaluator does *)
+    Eval.holds db q
+
+let answers ?stats db q =
+  match Compile.compile ?stats db q with
+  | Error _ -> Eval.answers db q
+  | Ok plan -> run_plan plan
+
+let holds_spanned ?stats db q =
+  match
+    Obs.Span.with_span "planner.plan" (fun () -> Compile.compile ?stats db q)
+  with
+  | Error _ -> Eval.holds db q
+  | Ok (Phys.Bool b) ->
+    Obs.Span.with_span "planner.execute" (fun () -> Phys.run_bool b)
+  | Ok (Phys.Rows _) -> Eval.holds db q
+
+let answers_spanned ?stats db q =
+  match
+    Obs.Span.with_span "planner.plan" (fun () -> Compile.compile ?stats db q)
+  with
+  | Error _ -> Eval.answers db q
+  | Ok plan -> Obs.Span.with_span "planner.execute" (fun () -> run_plan plan)
+
+let as_db r = Database.of_relations [ r ]
+let holds_relation ?stats r q = holds ?stats (as_db r) q
+let answers_relation ?stats r q = answers ?stats (as_db r) q
+let planned ?stats db q = Compile.supported ?stats db q

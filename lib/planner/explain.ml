@@ -1,0 +1,75 @@
+open Relational
+open Query
+
+(* EXPLAIN: compile, execute, and render the physical plan with
+   estimated vs. actual cardinalities. One report type feeds all three
+   surfaces — the shell's [plan]/[explain] commands, [prefdb explain]
+   and the serve protocol's text and JSON forms. *)
+
+type outcome =
+  | Holds of bool
+  | Answers of string list * Value.t list list
+
+type t = {
+  mode : [ `Planned of Phys.plan | `Fallback of string ];
+  outcome : outcome;
+}
+
+let run ?stats db q =
+  match Compile.compile ?stats db q with
+  | Error reason ->
+    let outcome =
+      if Ast.is_closed q then Holds (Eval.holds db q)
+      else
+        let free, rows = Eval.answers db q in
+        Answers (free, rows)
+    in
+    { mode = `Fallback reason; outcome }
+  | Ok (Phys.Bool b as plan) ->
+    { mode = `Planned plan; outcome = Holds (Phys.run_bool b) }
+  | Ok (Phys.Rows { free; root } as plan) ->
+    let rows = List.map Tuple.values (Relation.tuples (Phys.exec root)) in
+    { mode = `Planned plan; outcome = Answers (free, rows) }
+
+let pp_outcome ppf = function
+  | Holds b -> Format.fprintf ppf "result: %s" (if b then "holds" else "fails")
+  | Answers (free, rows) ->
+    Format.fprintf ppf "result: %d answer row(s) over (%s)" (List.length rows)
+      (String.concat ", " free)
+
+let pp_plan_only ppf t =
+  match t.mode with
+  | `Planned plan ->
+    Format.fprintf ppf "@[<v>plan:@,  @[<v>%a@]@]" Phys.pp_plan plan
+  | `Fallback reason ->
+    Format.fprintf ppf "plan: active-domain evaluation (fallback: %s)" reason
+
+let pp ppf t =
+  Format.fprintf ppf "%a@," pp_plan_only t;
+  pp_outcome ppf t.outcome
+
+let to_json t =
+  let open Obs.Json in
+  let mode, detail =
+    match t.mode with
+    | `Planned plan -> (Str "planned", [ ("plan", Phys.plan_to_json plan) ])
+    | `Fallback reason -> (Str "fallback", [ ("reason", Str reason) ])
+  in
+  let outcome =
+    match t.outcome with
+    | Holds b -> [ ("holds", Bool b) ]
+    | Answers (free, rows) ->
+      [
+        ("free", List (Stdlib.List.map (fun x -> Str x) free));
+        ( "rows",
+          List
+            (Stdlib.List.map
+               (fun row ->
+                 List
+                   (Stdlib.List.map
+                      (fun v -> Str (Format.asprintf "%a" Value.pp v))
+                      row))
+               rows) );
+      ]
+  in
+  Obj ((("mode", mode) :: detail) @ outcome)

@@ -1,0 +1,31 @@
+(** EXPLAIN reports: the physical plan a query compiles to, executed,
+    with estimated vs. actual cardinalities per operator.
+
+    One report feeds every surface: the shell's [plan] and [explain]
+    commands, [prefdb explain], and the serve protocol (text and JSON
+    forms). Queries outside the compilable fragment report the fallback
+    reason and still carry the evaluator's result. *)
+
+open Relational
+open Query
+
+type outcome =
+  | Holds of bool  (** closed query *)
+  | Answers of string list * Value.t list list  (** open query *)
+
+type t = {
+  mode : [ `Planned of Phys.plan | `Fallback of string ];
+  outcome : outcome;
+}
+
+val run : ?stats:(string -> Stats.t option) -> Database.t -> Ast.t -> t
+(** Compile and execute. Raises like {!Query.Eval.holds} on queries the
+    evaluator rejects (unknown relation, wrong arity). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** [pp_plan_only] prints just the plan tree (or the fallback reason),
+    without the result line — the prefix the [explain] surfaces put
+    above their own verdicts. *)
+val pp_plan_only : Format.formatter -> t -> unit
+val to_json : t -> Obs.Json.t

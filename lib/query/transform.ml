@@ -20,6 +20,62 @@ let rec nnf = function
     | Ast.Exists (xs, g) -> Ast.Forall (xs, nnf (Ast.Not g))
     | Ast.Forall (xs, g) -> Ast.Exists (xs, nnf (Ast.Not g)))
 
+(* Rename every bound variable to a name unused anywhere else in the
+   formula, so distinct binders never share a name and existential scopes
+   can be flattened without capture — the cost-based planner's
+   normalization relies on this. Free variables keep their names. *)
+let standardize_apart f =
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun x -> Hashtbl.replace used x ())
+    (let rec all = function
+       | Ast.True | Ast.False -> []
+       | Ast.Atom (_, ts) ->
+         List.filter_map (function Ast.Var x -> Some x | Ast.Const _ -> None) ts
+       | Ast.Cmp (_, a, b) ->
+         List.filter_map
+           (function Ast.Var x -> Some x | Ast.Const _ -> None)
+           [ a; b ]
+       | Ast.Not g -> all g
+       | Ast.And (g, h) | Ast.Or (g, h) | Ast.Implies (g, h) -> all g @ all h
+       | Ast.Exists (xs, g) | Ast.Forall (xs, g) -> xs @ all g
+     in
+     all f);
+  let counter = ref 0 in
+  let fresh x =
+    let rec pick () =
+      incr counter;
+      let y = Printf.sprintf "%s#%d" x !counter in
+      if Hashtbl.mem used y then pick ()
+      else begin
+        Hashtbl.replace used y ();
+        y
+      end
+    in
+    pick ()
+  in
+  let ren env = function
+    | Ast.Const _ as t -> t
+    | Ast.Var x as t -> (
+      match List.assoc_opt x env with Some y -> Ast.Var y | None -> t)
+  in
+  let rec go env = function
+    | (Ast.True | Ast.False) as g -> g
+    | Ast.Atom (r, ts) -> Ast.Atom (r, List.map (ren env) ts)
+    | Ast.Cmp (op, a, b) -> Ast.Cmp (op, ren env a, ren env b)
+    | Ast.Not g -> Ast.Not (go env g)
+    | Ast.And (g, h) -> Ast.And (go env g, go env h)
+    | Ast.Or (g, h) -> Ast.Or (go env g, go env h)
+    | Ast.Implies (g, h) -> Ast.Implies (go env g, go env h)
+    | Ast.Exists (xs, g) ->
+      let xs' = List.map fresh xs in
+      Ast.Exists (xs', go (List.combine xs xs' @ env) g)
+    | Ast.Forall (xs, g) ->
+      let xs' = List.map fresh xs in
+      Ast.Forall (xs', go (List.combine xs xs' @ env) g)
+  in
+  go [] f
+
 type ground_clause = {
   positive : (string * Tuple.t) list;
   negative : (string * Tuple.t) list;

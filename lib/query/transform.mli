@@ -13,6 +13,12 @@ val nnf : Ast.t -> Ast.t
     comparisons; on literals, [Not (Atom _)] remains as the negative
     literal form. Logically equivalent to the input. *)
 
+val standardize_apart : Ast.t -> Ast.t
+(** Renames bound variables so that no two binders share a name and no
+    bound name collides with a free one. Alpha-equivalent to the input;
+    free variables are untouched. The cost-based planner's normalization
+    (scope extrusion, DNF splitting) requires this form. *)
+
 type ground_clause = {
   positive : (string * Tuple.t) list;  (** facts required present *)
   negative : (string * Tuple.t) list;  (** facts required absent *)

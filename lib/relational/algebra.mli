@@ -61,6 +61,16 @@ val is_empty : t -> bool
 val pp : Format.formatter -> t -> unit
 (** Prints an indented operator tree. *)
 
+val pp_selection : Format.formatter -> selection -> unit
+
 val selection_holds : selection -> Tuple.t -> bool
 (** The predicate itself, for reuse and tests. Order comparisons hold
     only between numbers, as in the query evaluator. *)
+
+val eval_cmp : cmp -> Value.t -> Value.t -> bool
+(** One comparison under the locked semantics shared by the evaluator,
+    the planner and this algebra: order predicates hold only between
+    numbers ([<]/[>] never hold on names, [<=]/[>=] collapse to [=]
+    there), [=]-family comparisons across domains are false and [!=]
+    across domains true. The planners' static rewrites and the physical
+    operators both defer to this single definition. *)

@@ -178,6 +178,59 @@ let iter_groups r col f =
     invalid_arg "Relation.iter_groups: column out of range";
   Imap.iter f (column r col)
 
+let postings_ready r col =
+  col >= 0
+  && col < Schema.arity r.schema
+  && match r.postings with None -> false | Some p -> p.(col) <> None
+
+let check_col fn r col =
+  if col < 0 || col >= Schema.arity r.schema then
+    invalid_arg ("Relation." ^ fn ^ ": column out of range")
+
+let groups r col =
+  check_col "groups" r col;
+  Imap.to_seq (column r col)
+
+let group_count r col =
+  check_col "group_count" r col;
+  Imap.cardinal (column r col)
+
+let group_bounds r col =
+  check_col "group_bounds" r col;
+  let m = column r col in
+  match (Imap.min_binding_opt m, Imap.max_binding_opt m) with
+  | Some (lo, _), Some (hi, _) -> Some (lo, hi)
+  | _, _ -> None
+
+(* Range probe: walk the ordered postings between the packed bounds.
+   Packing is strictly monotone on ints ([2n+1]), so the map's
+   [Int.compare] key order IS the numeric order on an int-typed column,
+   and [to_seq_from] starts at the first group >= the lower bound.
+   Groups are disjoint id sets, so collecting their elements into one
+   list and rebuilding a Vset is O(selected), never O(universe) per
+   group the way repeated set unions would be. *)
+let matching_range r col ~lo ~hi =
+  check_col "matching_range" r col;
+  let m = column r col in
+  let seq =
+    match lo with
+    | None -> Imap.to_seq m
+    | Some (v, incl) ->
+      let s = Imap.to_seq_from v m in
+      if incl then s
+      else Seq.drop_while (fun (k, _) -> k = v) s
+  in
+  let below k =
+    match hi with
+    | None -> true
+    | Some (v, incl) -> if incl then k <= v else k < v
+  in
+  let ids = ref [] in
+  Seq.iter
+    (fun (_, s) -> Vset.iter (fun i -> ids := i :: !ids) s)
+    (Seq.take_while (fun (k, _) -> below k) seq);
+  Vset.of_list !ids
+
 (* --- pointwise updates ---------------------------------------------------- *)
 
 let append_slot r t =

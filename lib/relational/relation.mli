@@ -163,6 +163,36 @@ val iter_groups : t -> int -> (int -> Graphs.Vset.t -> unit) -> unit
     packed value. This is the FD group-by kernel — for a single-attribute
     FD lhs the groups are exactly the postings entries. *)
 
+val postings_ready : t -> int -> bool
+(** Whether the column's postings are already materialized. The planner's
+    quick statistics consult only ready columns — probing this never
+    forces a build. Out-of-range columns are simply [false]. *)
+
+val groups : t -> int -> (int * Graphs.Vset.t) Seq.t
+(** The postings of one column as a sequence of [(packed, ids)] groups in
+    increasing packed order. Packing is strictly monotone on ints, so on
+    an int-typed column this is the numeric order — the sorted-posting
+    merge join walks two of these sequences in lockstep. Forces the
+    column (span ["relation.index"]). *)
+
+val group_count : t -> int -> int
+(** Number of distinct live values in the column (the exact per-column
+    distinct count). Forces the column's postings; O(distinct) on a
+    built column. *)
+
+val group_bounds : t -> int -> (int * int) option
+(** Smallest and largest packed value in the column, [None] when empty.
+    On an int-typed column these are the numeric min and max (packed).
+    Forces the column's postings; O(log distinct) on a built column. *)
+
+val matching_range : t -> int -> lo:(int * bool) option -> hi:(int * bool) option -> Graphs.Vset.t
+(** [matching_range r col ~lo ~hi] is the set of live fact ids whose
+    packed value in [col] lies between the bounds — each bound a packed
+    value plus an inclusive flag, [None] for unbounded. Only meaningful
+    on int-typed columns (packed order = numeric order there); a range
+    scan, O(selected + groups in range), never a full-instance pass once
+    the postings exist. *)
+
 val patch :
   t -> delete:Tuple.t list -> insert:Tuple.t list -> t * int list * int list
 (** [patch r ~delete ~insert] applies a batched update and returns

@@ -14,10 +14,11 @@ let send_text oc ~ok out =
     (String.length out) out;
   flush oc
 
-let send_json oc ~ok out =
+let send_json oc ~ok ?(extra = []) out =
   output_string oc
     (Obs.Json.to_string
-       (Obs.Json.Obj [ ("ok", Obs.Json.Bool ok); ("output", Obs.Json.Str out) ]));
+       (Obs.Json.Obj
+          ([ ("ok", Obs.Json.Bool ok); ("output", Obs.Json.Str out) ] @ extra)));
   output_char oc '\n';
   flush oc
 
@@ -74,15 +75,30 @@ let ping dir = match request dir "ping" with Ok "pong" -> true | _ -> false
 
 (* --- request handling --------------------------------------------------- *)
 
-type reply = { ok : bool; output : string; stop : bool; bye : bool }
+type reply = {
+  ok : bool;
+  output : string;
+  stop : bool;
+  bye : bool;
+  extra : (string * Obs.Json.t) list;
+      (* structured fields attached to the JSON framing only (the text
+         framing already carries the same content rendered) *)
+}
 
-let reply ?(stop = false) ?(bye = false) ok output = { ok; output; stop; bye }
+let reply ?(stop = false) ?(bye = false) ?(extra = []) ok output =
+  { ok; output; stop; bye; extra }
 
 let first_word line =
   let line = String.trim line in
   match String.index_opt line ' ' with
   | None -> String.lowercase_ascii line
   | Some i -> String.lowercase_ascii (String.sub line 0 i)
+
+let rest_of line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> ""
+  | Some i -> String.trim (String.sub line i (String.length line - i))
 
 (* The server-level commands sit outside the session language: liveness,
    checkpointing and lifecycle are the store's business, not the
@@ -117,7 +133,19 @@ let handle store session line =
       | Error e -> (session, reply false ("error: " ^ e))))
   | _ ->
     let session, out = Session.exec session line in
-    (session, reply (not (Session.is_error_output out)) out)
+    let ok = not (Session.is_error_output out) in
+    (* [plan]/[explain] responses also carry the physical plan as a
+       structured "plan" field, so JSON clients need not parse the
+       rendered tree *)
+    let extra =
+      match first_word line with
+      | ("plan" | "explain") when ok -> (
+        match Session.plan_json session (rest_of line) with
+        | Ok j -> [ ("plan", j) ]
+        | Error _ -> [])
+      | _ -> []
+    in
+    (session, reply ~extra ok out)
 
 let handle_request store session raw =
   let json = String.length raw > 0 && raw.[0] = '{' in
@@ -173,7 +201,7 @@ let serve_connection store session_ref stop_ref fd =
       let session, r, json = handle_request store !session_ref raw in
       session_ref := session;
       (try
-         if json then send_json oc ~ok:r.ok r.output
+         if json then send_json oc ~ok:r.ok ~extra:r.extra r.output
          else send_text oc ~ok:r.ok r.output
        with Sys_error _ -> ());
       if r.stop then stop_ref := true else if not r.bye then loop ()

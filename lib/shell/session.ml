@@ -51,7 +51,11 @@ let help_text =
   \  query Q              (preferred) consistent answer to Q\n\
   \  qtrace Q             answer plus the decomposition's work report\n\
   \  profile Q            answer plus a hierarchical time profile\n\
-  \  explain Q            answer with witness repairs\n\
+  \  explain Q            answer with witness repairs (and the physical\n\
+  \                       plan the per-repair checks run)\n\
+  \  plan Q               the cost-based physical plan for Q over the\n\
+  \                       current instance, with estimated vs. actual\n\
+  \                       cardinalities and chosen indexes\n\
   \  status VALUES        a tuple's conflicts and fate\n\
   \  aggregate SPEC       count | sum:A | min:A | max:A\n\
   \  insert VALUES        add a tuple (incremental: only touched\n\
@@ -197,10 +201,19 @@ let cmd_facts st =
           show "excluded" (Graphs.Vset.diff all possible)))
 
 let cmd_stats st =
-  with_context st (fun _spec c p ->
+  with_context st (fun spec c p ->
       buffer_out (fun ppf ->
-          Format.fprintf ppf "%a" Core.Stats.pp
-            (Core.Stats.compute_with st.family (decompose_of st c p))))
+          Format.fprintf ppf "%a@." Core.Stats.pp
+            (Core.Stats.compute_with st.family (decompose_of st c p));
+          (* column statistics feed the query planner's cost model; the
+             engine's copy is patched in place by every update batch, so
+             its scan/patch counters double as the invalidation log *)
+          let cs =
+            match st.engine with
+            | Some eng -> Core.Delta.column_stats eng
+            | None -> Planner.Stats.scan spec.IF.relation
+          in
+          Format.fprintf ppf "%a" Planner.Stats.pp cs))
 
 let cmd_clean st =
   with_context st (fun _spec c p ->
@@ -290,14 +303,51 @@ let cmd_profile st text =
             raise e
         end)
 
+(* The planner's view of the loaded instance: the (dirty) relation as a
+   one-relation database, costed with the engine's incrementally patched
+   column statistics when an engine is live. *)
+let planner_db spec = Database.of_relations [ spec.IF.relation ]
+
+let stats_of st =
+  match st.engine with
+  | Some eng -> Some (Core.Delta.stats_lookup eng)
+  | None -> None
+
+let planner_report st spec q =
+  Planner.Explain.run ?stats:(stats_of st) (planner_db spec) q
+
+let cmd_plan st text =
+  with_context st (fun spec _c _p ->
+      match Query.Parser.parse text with
+      | Error e -> "error: " ^ e
+      | Ok q -> (
+        match planner_report st spec q with
+        | report -> buffer_out (fun ppf -> Planner.Explain.pp ppf report)
+        | exception Invalid_argument m -> "error: " ^ m))
+
+let plan_json st text =
+  match st.spec with
+  | None -> Error "no instance loaded (use: load FILE)"
+  | Some spec -> (
+    match Query.Parser.parse text with
+    | Error e -> Error e
+    | Ok q -> (
+      match planner_report st spec q with
+      | report -> Ok (Planner.Explain.to_json report)
+      | exception Invalid_argument m -> Error m))
+
 let cmd_explain st text =
-  with_context st (fun _spec c p ->
+  with_context st (fun spec c p ->
       match Query.Parser.parse text with
       | Error e -> "error: " ^ e
       | Ok q ->
         if not (Query.Ast.is_closed q) then "error: explain requires a closed query"
         else
           buffer_out (fun ppf ->
+              (* the plan every per-repair certainty check executes,
+                 shown over the current instance *)
+              Format.fprintf ppf "%a@." Planner.Explain.pp_plan_only
+                (planner_report st spec q);
               Format.fprintf ppf "%a"
                 (Core.Explain.pp_verdict c)
                 (Core.Explain.query st.family c p q)))
@@ -499,6 +549,8 @@ let exec st line =
     | "profile", q -> (st, cmd_profile st q)
     | "explain", "" -> (st, "usage: explain Q")
     | "explain", q -> (st, cmd_explain st q)
+    | "plan", "" -> (st, "usage: plan Q")
+    | "plan", q -> (st, cmd_plan st q)
     | "status", "" -> (st, "usage: status VALUES")
     | "status", v -> (st, cmd_status st v)
     | "insert", "" -> (st, "usage: insert VALUES")

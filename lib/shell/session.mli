@@ -23,7 +23,14 @@
     qtrace Q             answer plus the decomposition's work report:
                          per-component repair counts, cache traffic,
                          combinations streamed, early exits
-    explain Q            answer with witness repairs
+    explain Q            answer with witness repairs, prefixed with the
+                         physical plan the per-repair checks execute
+    plan Q               the cost-based physical plan for Q over the
+                         current instance: chosen join order, access
+                         paths (index/range/merge scans), estimated
+                         vs. actual cardinalities — or the fallback
+                         reason when Q is outside the compilable
+                         fragment
     status VALUES        a tuple's conflicts and fate
     insert VALUES        add a tuple through the incremental engine:
                          only the components the insertion touches are
@@ -81,6 +88,11 @@ val drop_undo_history : state -> unit
     the live session agrees with a recovered one that the snapshot is
     the undo horizon ({!Dbio.Store.log} would reject the older undos
     anyway; this makes [undo] report "nothing to undo" up front). *)
+
+val plan_json : state -> string -> (Obs.Json.t, string) result
+(** The [plan] command's report as JSON (mode, operator tree with
+    estimates and actuals, result) for the serve protocol's structured
+    framing. [Error] on parse failure or when no instance is loaded. *)
 
 val exec : state -> string -> state * string
 (** Execute one command line. Unknown commands and errors produce an

@@ -19,6 +19,7 @@ let () =
       ("pref_formula", Test_pref_formula.suite);
       ("multi", Test_multi.suite);
       ("algebra", Test_algebra.suite);
+      ("planner", Test_planner.suite);
       ("explain", Test_explain.suite);
       ("session", Test_session.suite);
       ("stats_trace", Test_stats_trace.suite);

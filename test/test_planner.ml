@@ -1,0 +1,329 @@
+(* The cost-based query planner: column statistics (scan / quick /
+   patch), the widened compilable fragment — disjunction, negated atoms,
+   bounded universals, int range scans — checked against the
+   active-domain evaluator, cost-based join ordering, merge joins, and
+   the EXPLAIN report. *)
+
+open Relational
+module Ast = Query.Ast
+module Eval = Query.Eval
+module Stats = Planner.Stats
+module Compile = Planner.Compile
+module Phys = Planner.Phys
+module Engine = Planner.Engine
+module Explain = Planner.Explain
+
+let value = Alcotest.testable Value.pp Value.equal
+let v_int n = Value.Int n
+let v_name s = Value.Name s
+
+(* R(A:int, B:name, C:int), 12 rows: A cycles 0..3, B cycles b0..b2,
+   C = 10·i is distinct per row. *)
+let rel_r () =
+  let schema =
+    Schema.make "R"
+      [ ("A", Schema.TInt); ("B", Schema.TName); ("C", Schema.TInt) ]
+  in
+  Relation.of_rows schema
+    (List.init 12 (fun i ->
+         [ v_int (i mod 4); v_name (Printf.sprintf "b%d" (i mod 3)); v_int (10 * i) ]))
+
+let rel_s () =
+  let schema = Schema.make "S" [ ("A", Schema.TInt); ("D", Schema.TName) ] in
+  Relation.of_rows schema
+    [ [ v_int 1; v_name "x" ]; [ v_int 2; v_name "y" ]; [ v_int 2; v_name "x" ] ]
+
+let db () = Database.of_relations [ rel_r (); rel_s () ]
+
+let parse s =
+  match Query.Parser.parse s with
+  | Ok q -> q
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+(* The planner and the evaluator must agree; [planned] additionally
+   pins whether the query is inside the compilable fragment. *)
+let check_agree ?stats ~planned db text =
+  let q = parse text in
+  Alcotest.(check bool)
+    (text ^ " planned") planned
+    (Engine.planned ?stats db q);
+  if Ast.is_closed q then
+    Alcotest.(check bool)
+      (text ^ " holds")
+      (Eval.holds db q)
+      (Engine.holds ?stats db q)
+  else begin
+    let efree, erows = Eval.answers db q in
+    let pfree, prows = Engine.answers ?stats db q in
+    Alcotest.(check (list string)) (text ^ " free") efree pfree;
+    Alcotest.(check (list (list value))) (text ^ " rows") erows prows
+  end
+
+(* --- statistics ------------------------------------------------------------ *)
+
+let scan_is_exact () =
+  let s = Stats.scan (rel_r ()) in
+  Alcotest.(check bool) "exact" true (Stats.exact s);
+  Alcotest.(check int) "rows" 12 (Stats.rows s);
+  Alcotest.(check (option int)) "distinct A" (Some 4) (Stats.distinct s 0);
+  Alcotest.(check (option int)) "distinct B" (Some 3) (Stats.distinct s 1);
+  Alcotest.(check (option int)) "distinct C" (Some 12) (Stats.distinct s 2);
+  Alcotest.(check (option (pair int int)))
+    "bounds A"
+    (Some (Value.pack_int 0, Value.pack_int 3))
+    (Stats.bounds s 0);
+  Alcotest.(check (option (pair int int)))
+    "bounds C"
+    (Some (Value.pack_int 0, Value.pack_int 110))
+    (Stats.bounds s 2);
+  Alcotest.(check (option (pair int int))) "no bounds on names" None
+    (Stats.bounds s 1)
+
+let quick_never_indexes () =
+  let r = rel_r () in
+  let s = Stats.quick r in
+  Alcotest.(check bool) "not exact" false (Stats.exact s);
+  Alcotest.(check int) "rows" 12 (Stats.rows s);
+  Alcotest.(check (option int)) "unknown distinct" None (Stats.distinct s 0);
+  (* a column whose postings exist is picked up for free *)
+  Relation.prepare_column r 0;
+  let s' = Stats.quick r in
+  Alcotest.(check (option int)) "ready column" (Some 4) (Stats.distinct s' 0);
+  Alcotest.(check (option int)) "others still unknown" None (Stats.distinct s' 2);
+  (match Stats.patch s ~delete:[] ~insert:[] with
+  | () -> Alcotest.fail "patching quick stats must be rejected"
+  | exception Invalid_argument _ -> ())
+
+(* [Stats.patch] driven through the incremental engine: after inserts,
+   deletes and undos the patched statistics must equal a fresh scan. *)
+let same_as_rescan msg patched rel =
+  let fresh = Stats.scan rel in
+  Alcotest.(check int) (msg ^ ": rows") (Stats.rows fresh) (Stats.rows patched);
+  for i = 0 to Stats.arity fresh - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "%s: distinct #%d" msg i)
+      (Stats.distinct fresh i) (Stats.distinct patched i);
+    Alcotest.(check (option (pair int int)))
+      (Printf.sprintf "%s: bounds #%d" msg i)
+      (Stats.bounds fresh i) (Stats.bounds patched i)
+  done
+
+let one_tuple values =
+  let schema =
+    Schema.make "R"
+      [ ("A", Schema.TInt); ("B", Schema.TName); ("C", Schema.TInt) ]
+  in
+  match Relation.tuples (Relation.of_rows schema [ values ]) with
+  | [ t ] -> t
+  | _ -> assert false
+
+let patch_tracks_engine () =
+  let eng =
+    match Core.Delta.create [] (rel_r ()) with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "engine: %s" e
+  in
+  let s = Core.Delta.column_stats eng in
+  Alcotest.(check int) "one scan" 1 (Stats.rebuilt s);
+  let fresh = one_tuple [ v_int 9; v_name "zz"; v_int 999 ] in
+  let gone = List.hd (Relation.tuples (Core.Delta.relation eng)) in
+  (match Core.Delta.apply eng [ Core.Delta.Delete gone; Core.Delta.Insert fresh ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "apply: %s" e);
+  Alcotest.(check int) "patched once" 1 (Stats.patched s);
+  same_as_rescan "after batch" s (Core.Delta.relation eng);
+  (* the new max (999) must be visible, and the undo must retract it *)
+  (match Stats.bounds s 2 with
+  | Some (_, hi) -> Alcotest.(check int) "bounds stretched" (Value.pack_int 999) hi
+  | None -> Alcotest.fail "bounds lost");
+  (match Core.Delta.undo eng with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "undo: %s" e);
+  Alcotest.(check int) "patched again by undo" 2 (Stats.patched s);
+  Alcotest.(check int) "never rescanned" 1 (Stats.rebuilt s);
+  same_as_rescan "after undo" s (Core.Delta.relation eng)
+
+(* --- the widened fragment vs. the evaluator -------------------------------- *)
+
+let planned_shapes_agree () =
+  let db = db () in
+  List.iter
+    (check_agree ~planned:true db)
+    [
+      (* conjunctive baseline with probes and joins *)
+      "exists a, c. R(a, 'b1', c)";
+      "exists a, b, c, d. R(a, b, c) and S(a, d)";
+      "R(x, y, z) and S(x, w)";
+      (* disjunction: closed (boolean or) and open (union) *)
+      "(exists a, b. R(a, 'b1', b)) or (exists a. S(a, 'zzz'))";
+      "R(x, 'b0', y) or R(x, 'b1', y)";
+      "(exists b. R(x, b, y)) or (exists d. S(x, d) and S(y, d))";
+      (* negated atoms: anti-join *)
+      "exists a, b, c. R(a, b, c) and not S(a, b)";
+      "R(x, y, z) and not S(x, 'x')";
+      "not (exists a, b, c. R(a, b, c) and a > 100)";
+      (* bounded universals: difference against the restriction *)
+      "forall a, b, c. R(a, b, c) implies a < 4";
+      "forall a, b, c. R(a, b, c) implies a < 3";
+      "forall a, d. S(a, d) implies (exists b, c. R(a, b, c))";
+      (* int ranges, both open and closed queries *)
+      "exists b. R(2, b, x) and x >= 30";
+      "R(x, y, z) and z > 20 and z <= 70";
+      "exists a, b, c. R(a, b, c) and a > 1 and c < 50";
+      "exists a, b, c. R(a, b, c) and c > 30 and c > 50";
+      (* name comparisons under the locked semantics *)
+      "exists a. S(a, x) and x <= 'x'";
+      "exists a, c. R(a, x, c) and x != 'b0'";
+      (* cross-domain comparisons are decided, not miscompiled *)
+      "exists a, b, c. R(a, b, c) and b = 1";
+      (* repeated variable inside one atom *)
+      "exists b. R(x, b, x)";
+      (* ground comparisons fold away *)
+      "(exists a, d. S(a, d)) and 1 < 2";
+      "exists a, d. S(a, d) and 2 < 1";
+    ]
+
+let unsafe_shapes_fall_back () =
+  let db = db () in
+  List.iter
+    (check_agree ~planned:false db)
+    [
+      (* a variable bound only by a comparison *)
+      "exists x. x < 5";
+      "exists a, d. S(a, d) and x < a";
+      (* free variable missing from one disjunct *)
+      "R(x, y, z) or S(x, w)";
+      (* binder not positively bound in every disjunct *)
+      "exists a. (S(a, 'x') or 1 < 2)";
+      (* negation over a variable no positive atom binds *)
+      "exists a, b. S(a, b) and not R(a, b, c)";
+    ]
+
+(* --- plan shapes ----------------------------------------------------------- *)
+
+(* JR has 40 rows, JS has 3: the cost-based join order must start from
+   JS even though the query names JR first. *)
+let join_db () =
+  let jr =
+    Relation.of_rows
+      (Schema.make "JR" [ ("A", Schema.TInt); ("B", Schema.TInt) ])
+      (List.init 40 (fun i -> [ v_int (i mod 10); v_int i ]))
+  in
+  let js =
+    Relation.of_rows
+      (Schema.make "JS" [ ("A", Schema.TInt); ("C", Schema.TInt) ])
+      [ [ v_int 1; v_int 7 ]; [ v_int 4; v_int 8 ]; [ v_int 200; v_int 9 ] ]
+  in
+  Database.of_relations [ jr; js ]
+
+let compile_ok db text =
+  match Compile.compile db (parse text) with
+  | Ok plan -> plan
+  | Error e -> Alcotest.failf "compile %S: %s" text e
+
+let rec block_of b =
+  match b.Phys.bshape with
+  | Phys.B_block n -> n
+  | Phys.B_not b -> block_of b
+  | Phys.B_and (b :: _) | Phys.B_or (b :: _) -> block_of b
+  | _ -> Alcotest.fail "no block in boolean plan"
+
+let root_of = function
+  | Phys.Rows { root; _ } -> root
+  | Phys.Bool b -> block_of b
+
+let rec leftmost_atom node =
+  match node.Phys.shape with
+  | Phys.Scan { aidx; _ } -> aidx
+  | Phys.Hash_join { left; _ } | Phys.Merge_join { left; _ } ->
+    leftmost_atom left
+  | Phys.Filter (_, n) | Phys.Project (_, n) | Phys.Diff (n, _) ->
+    leftmost_atom n
+  | Phys.Union (n :: _) -> leftmost_atom n
+  | Phys.Union [] | Phys.Empty -> -1
+
+let render plan = Format.asprintf "%a" Phys.pp_plan plan
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let cost_based_join_order () =
+  let db = join_db () in
+  (* both sides are unrestricted scans joined on one column: a merge
+     join, started from the small side despite its second position *)
+  let plan = compile_ok db "exists a, b, c. JR(a, b) and JS(a, c)" in
+  let root = root_of plan in
+  Alcotest.(check int) "small side first" 1 (leftmost_atom root);
+  Alcotest.(check bool) "merge join" true (contains (render plan) "merge join");
+  (* a probe on JR makes that side cheap and non-plain: hash join,
+     started from the probed side *)
+  let plan2 = compile_ok db "exists b, c. JR(4, b) and JS(4, c)" in
+  Alcotest.(check bool)
+    "probed plan uses index scans" true
+    (contains (render plan2) "index scan");
+  (* est vs. actual: executing the open join records actuals *)
+  let plan3 = compile_ok db "JR(a, b) and JS(a, c)" in
+  (match plan3 with
+  | Phys.Rows { root; _ } ->
+    let rel = Phys.exec root in
+    Alcotest.(check int) "actual recorded" (Relation.cardinality rel) root.Phys.actual
+  | Phys.Bool _ -> Alcotest.fail "open query must compile to rows");
+  Alcotest.(check bool)
+    "explain renders actuals" true
+    (contains (render plan3) "actual")
+
+let explain_reports () =
+  let db = db () in
+  let planned =
+    Explain.run db (parse "(exists a, b. R(a, 'b1', b)) or (exists a. S(a, 'zzz'))")
+  in
+  let text = Format.asprintf "%a" Explain.pp planned in
+  Alcotest.(check bool) "plan header" true (contains text "plan:");
+  Alcotest.(check bool) "verdict" true (contains text "result: holds");
+  (match Explain.to_json planned with
+  | Obs.Json.Obj fields ->
+    Alcotest.(check bool) "json mode" true (List.mem_assoc "mode" fields)
+  | _ -> Alcotest.fail "explain json must be an object");
+  (* over the active domain 0,1,2,... are all < 5, so the fallback's
+     evaluator verdict is "holds" *)
+  let fallback = Explain.run db (parse "exists x. x < 5") in
+  let text = Format.asprintf "%a" Explain.pp fallback in
+  Alcotest.(check bool) "fallback reason" true (contains text "fallback");
+  Alcotest.(check bool) "fallback still answers" true
+    (contains text "result: holds")
+
+(* the engine consumes externally supplied statistics without changing
+   answers (the cost model may reorder, the semantics must not move) *)
+let external_stats_agree () =
+  let r = rel_r () in
+  let s = Stats.scan r in
+  let stats name = if String.equal name "R" then Some s else None in
+  let db = db () in
+  List.iter
+    (fun (planned, text) -> check_agree ~stats ~planned db text)
+    [
+      (true, "exists b. R(2, b, x) and x >= 30");
+      (true, "R(x, 'b0', y) or R(x, 'b1', y)");
+      (true, "forall a, b, c. R(a, b, c) implies a < 3");
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "scan statistics are exact" `Quick scan_is_exact;
+    Alcotest.test_case "quick statistics never build indexes" `Quick
+      quick_never_indexes;
+    Alcotest.test_case "patched statistics track the engine" `Quick
+      patch_tracks_engine;
+    Alcotest.test_case "widened fragment agrees with the evaluator" `Quick
+      planned_shapes_agree;
+    Alcotest.test_case "unsafe shapes fall back to the evaluator" `Quick
+      unsafe_shapes_fall_back;
+    Alcotest.test_case "join order is cost-based, not syntactic" `Quick
+      cost_based_join_order;
+    Alcotest.test_case "explain reports plans and fallbacks" `Quick
+      explain_reports;
+    Alcotest.test_case "external statistics leave answers unchanged" `Quick
+      external_stats_agree;
+  ]
