@@ -230,10 +230,25 @@ let env_fields ?domains () =
   let domains =
     match domains with Some d -> d | None -> Core.Pool.jobs ()
   in
-  Printf.sprintf ", \"host_cores\": %d, \"domains\": %d, \"ocaml\": %s"
+  (* estimate quality rides along with every row: the planner's q-error
+     histogram summarizes |log2(est/actual)| over every plan operator
+     executed so far in this process, so BENCH_plan.json (and any other
+     section that ran planned queries) tracks misestimates over time,
+     not just wall time. Empty until a planned query ran. *)
+  let qerror =
+    match Planner.Metrics.qerror_summary () with
+    | None -> ""
+    | Some (median, max, count) ->
+      Printf.sprintf
+        ", \"qerror_median_log2\": %.3f, \"qerror_max_log2\": %.3f, \
+         \"qerror_operators\": %d"
+        median max count
+  in
+  Printf.sprintf ", \"host_cores\": %d, \"domains\": %d, \"ocaml\": %s%s"
     (Domain.recommended_domain_count ())
     domains
     (json_str Sys.ocaml_version)
+    qerror
 
 (* Before/after records accumulated by the VSET section and dumped as
    BENCH_vset.json, so the perf trajectory across PRs is diffable. *)
@@ -356,8 +371,18 @@ let obs_entries : (string * float * float * float * string) list ref = ref []
 let record_obs ~name ~disabled ~null_sink ~memory_sink ~note =
   obs_entries := (name, disabled, null_sink, memory_sink, note) :: !obs_entries
 
+(* Metrics-registry overhead rows, also in BENCH_obs.json: the same
+   serve-path workload with Obs.Metric recording on (the shipping
+   default) and off. The acceptance bar is the [metrics_overhead]
+   ratio: on/off must stay <= 1.03. *)
+let metrics_entries : (string * float * float * string) list ref = ref []
+
+let record_metrics ~name ~off ~on ~note =
+  metrics_entries := (name, off, on, note) :: !metrics_entries
+
 let write_obs_json path =
   let prev = previous_medians path "disabled_median_s" in
+  let prev_m = previous_medians path "metrics_on_median_s" in
   let oc = open_out path in
   let entry (name, disabled, null_sink, memory_sink, note) =
     Printf.sprintf
@@ -369,10 +394,20 @@ let write_obs_json path =
       (memory_sink /. disabled)
       (json_str note) (previous_field prev name) (env_fields ())
   in
+  let metrics_entry (name, off, on, note) =
+    Printf.sprintf
+      "    {\"name\": %s, \"metrics_off_median_s\": %.9f, \
+       \"metrics_on_median_s\": %.9f, \"metrics_overhead\": %.3f, \
+       \"note\": %s%s%s}"
+      (json_str name) off on (on /. off) (json_str note)
+      (previous_field prev_m name) (env_fields ())
+  in
   Printf.fprintf oc "{\n  \"experiment\": \"telemetry-overhead\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
   Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" (List.map entry (List.rev !obs_entries)));
+    (String.concat ",\n"
+       (List.map entry (List.rev !obs_entries)
+       @ List.map metrics_entry (List.rev !metrics_entries)));
   close_out oc
 
 (* Pool-width scaling records for BENCH_parallel.json: the same kernel

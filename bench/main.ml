@@ -716,7 +716,82 @@ let obs_bench () =
     (List.rev !rows);
   Harness.note
     "disabled = no sink installed (shipping default); overhead columns are";
-  Harness.note "ratios against it. Written to BENCH_obs.json."
+  Harness.note "ratios against it. Written to BENCH_obs.json.";
+  (* the metrics registry's own bar: the serve loop's per-request hot
+     path (Session.exec, no socket) with Obs.Metric recording on — the
+     shipping default — vs off. Acceptance: on/off <= 1.03. *)
+  let session_text =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "relation R(A:name, B:int)\nfd A -> B\n";
+    for g = 0 to sz 32 8 - 1 do
+      for k = 0 to 2 do
+        Buffer.add_string buf (Printf.sprintf "tuple 'employee-%d' %d\n" g k)
+      done
+    done;
+    Buffer.contents buf
+  in
+  let spec =
+    match Dbio.Instance_format.parse session_text with
+    | Ok spec -> spec
+    | Error e -> failwith e
+  in
+  let st = ref (Shell.Session.of_spec spec) in
+  let mix =
+    (* query + plan feed the CQA and planner kernels; insert/undo pay
+       the incremental engine and leave the state where it started *)
+    [ "query R('employee-0', 0)"; "plan R('employee-0', b)";
+      "insert 'visitor' 7"; "undo" ]
+  in
+  let request_mix () =
+    List.iter (fun cmd -> st := fst (Shell.Session.exec !st cmd)) mix
+  in
+  (* the mix's insert/undo cycle is GC-bound and bimodal run to run —
+     far above the 3% bar under test — so neither a sequential A/B nor
+     medians of batches separate signal from mode flips. Strictly
+     alternating fixed-rep batches and taking each column's minimum
+     does: the minimum is the GC-quiet cost, and any real per-request
+     metrics overhead survives in it. *)
+  let reps = if !Harness.quick then 20 else 200 in
+  let rounds = if !Harness.quick then 5 else 21 in
+  let batch on =
+    (* identical starting state per batch: repeated insert/undo cycles
+       leave the engine's vertex-id space (and heap) monotonically
+       larger, so a batch's cost depends on how many batches ran before
+       it — resetting the session makes the two columns comparable by
+       construction *)
+    st := Shell.Session.of_spec spec;
+    Obs.Metric.set_enabled on;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      request_mix ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Obs.Metric.set_enabled true;
+    dt /. float_of_int reps
+  in
+  ignore (batch true);
+  (* warm-up *)
+  let offs = ref [] and ons = ref [] in
+  for _ = 1 to rounds do
+    offs := batch false :: !offs;
+    ons := batch true :: !ons
+  done;
+  let best xs = List.fold_left Float.min infinity xs in
+  let off = best !offs and on = best !ons in
+  let name = Printf.sprintf "session-exec-mix/names-%d" (3 * sz 32 8) in
+  Harness.record_metrics ~name ~off ~on
+    ~note:
+      "query + plan + insert + undo per run through Session.exec (the \
+       serve loop's per-request path, no socket); metrics recording on \
+       vs off";
+  Harness.table
+    ~header:[ "workload"; "metrics off"; "metrics on"; "overhead" ]
+    [
+      [ name; Harness.time_cell off; Harness.time_cell on;
+        Printf.sprintf "x%.3f" (on /. off) ];
+    ];
+  Harness.note
+    "metrics on is the shipping default; the bar is on/off <= 1.03."
 
 (* --- PAR: domain-parallel scaling across pool widths ------------------------------ *)
 

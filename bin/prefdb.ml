@@ -310,6 +310,64 @@ let count_cmd =
 
 (* --- query ------------------------------------------------------------------ *)
 
+(* The planner's view of the loaded instance: the (dirty) relation as a
+   one-relation database, costed with exact column statistics from one
+   scan. *)
+let planner_report spec q =
+  let s = Planner.Stats.scan spec.IF.relation in
+  let name = Planner.Stats.relation_name s in
+  let stats r = if String.equal r name then Some s else None in
+  Planner.Explain.run ~stats
+    (Relational.Database.of_relations [ spec.IF.relation ])
+    q
+
+(* Collect the run's spans into a fresh buffer, teeing onto whatever
+   sink is already live (e.g. --trace-out), so the slow-query log sees
+   the same phases a trace would. *)
+let with_span_capture f =
+  let buf = Obs.Sink.Memory.create () in
+  let prev = Obs.Span.sink () in
+  let sink =
+    match prev with
+    | None -> Obs.Sink.Memory.sink buf
+    | Some s -> Obs.Sink.tee s (Obs.Sink.Memory.sink buf)
+  in
+  Obs.Span.set_sink (Some sink);
+  let r = Fun.protect ~finally:(fun () -> Obs.Span.set_sink prev) f in
+  (r, Obs.Sink.Memory.events buf)
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let slow_query_ms_arg =
+  let parse s =
+    match float_of_string_opt s with
+    | Some t when Float.is_finite t && t >= 0.0 -> Ok t
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid threshold %S (expected a number of milliseconds >= 0)" s))
+  in
+  Arg.(value & opt (some (conv (parse, Format.pp_print_float))) None
+       & info [ "slow-query-ms" ] ~docv:"MS"
+           ~doc:
+             "Capture any query slower than $(docv) milliseconds as one \
+              JSONL record (query text, verdict, wall time, per-phase \
+              spans, and the planner report with estimated vs. actual \
+              cardinalities) in the slow-query log. 0 captures \
+              everything.")
+
+let slow_log_arg =
+  Arg.(value & opt (some string) None
+       & info [ "slow-query-log" ] ~docv:"FILE"
+           ~doc:
+             "Where --slow-query-ms appends its records (default: \
+              slow.jsonl under the store directory when serving, \
+              ./slow.jsonl otherwise).")
+
 let query_cmd =
   let query_arg =
     Arg.(required & pos 1 (some string) None
@@ -323,9 +381,9 @@ let query_cmd =
                 per-component repair counts, cache traffic, combinations \
                 streamed, early exits.")
   in
-  let run path family qtext trace trace_out =
+  let run path family qtext trace slow_ms slow_log trace_out =
     with_trace trace_out @@ fun () ->
-    with_context path (fun _spec c p ->
+    with_context path (fun spec c p ->
         match Query.Parser.parse qtext with
         | Error e ->
           Format.eprintf "error: %s@." e;
@@ -335,33 +393,71 @@ let query_cmd =
              queries hit the clause engine, quantified ones the streaming
              deviation scan — exponential only in the largest component *)
           let d = Core.Decompose.make c p in
-          if Query.Ast.is_closed q then begin
-            if trace then
-              Format.printf "%a@." Core.Trace.pp_cqa
-                (Core.Trace.certainty family d q)
-            else
-              Format.printf "%s-consistent answer: %s@."
-                (Family.name_to_string family)
-                (Core.Cqa.certainty_to_string
-                   (Core.Decompose.certainty family d q));
-            0
-          end
-          else begin
-            let free, rows = Core.Decompose.consistent_answers_open family d q in
-            Format.printf "certain answers (%s):@."
-              (String.concat ", " free);
-            List.iter
-              (fun row ->
-                Format.printf "  (%s)@."
-                  (String.concat ", "
-                     (List.map Relational.Value.to_string row)))
-              rows;
-            Format.printf "%d certain answer(s)@." (List.length rows);
-            if trace then
-              Format.printf "%a@." Core.Decompose.pp_counters
-                (Core.Decompose.counters d);
-            0
-          end)
+          let answer () =
+            if Query.Ast.is_closed q then
+              if trace then
+                Format.asprintf "%a" Core.Trace.pp_cqa
+                  (Core.Trace.certainty family d q)
+              else
+                Format.asprintf "%s-consistent answer: %s"
+                  (Family.name_to_string family)
+                  (Core.Cqa.certainty_to_string
+                     (Core.Decompose.certainty family d q))
+            else begin
+              let free, rows =
+                Core.Decompose.consistent_answers_open family d q
+              in
+              Format.asprintf "%t" (fun ppf ->
+                  Format.fprintf ppf "certain answers (%s):@,"
+                    (String.concat ", " free);
+                  List.iter
+                    (fun row ->
+                      Format.fprintf ppf "  (%s)@,"
+                        (String.concat ", "
+                           (List.map Relational.Value.to_string row)))
+                    rows;
+                  Format.fprintf ppf "%d certain answer(s)"
+                    (List.length rows);
+                  if trace then
+                    Format.fprintf ppf "@,%a" Core.Decompose.pp_counters
+                      (Core.Decompose.counters d))
+            end
+          in
+          let t0 = Unix.gettimeofday () in
+          let output, events =
+            match slow_ms with
+            | None -> (answer (), [])
+            | Some _ -> with_span_capture answer
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          print_endline output;
+          (match slow_ms with
+          | Some thr when (wall *. 1000.0) +. 1e-9 >= thr ->
+            let explain =
+              match planner_report spec q with
+              | report ->
+                Some
+                  ( Format.asprintf "%a" Planner.Explain.pp report,
+                    Planner.Explain.to_json report )
+              | exception Invalid_argument _ -> None
+            in
+            let record =
+              {
+                Shell.Slowlog.ts = Unix.gettimeofday ();
+                cmd = "query";
+                query = qtext;
+                verdict = first_line output;
+                wall_ms = wall *. 1000.0;
+                phases = Obs.Profile.flat (Obs.Profile.tree events);
+                explain;
+              }
+            in
+            let log = Option.value slow_log ~default:"slow.jsonl" in
+            (match Shell.Slowlog.append ~path:log record with
+            | Ok () -> Format.eprintf "slow query logged to %s@." log
+            | Error e -> Format.eprintf "slow-query log: %s@." e)
+          | _ -> ());
+          0)
   in
   Cmd.v
     (Cmd.info "query"
@@ -371,7 +467,7 @@ let query_cmd =
           through the conflict-component decomposition.")
     Term.(
       const (with_jobs run) $ jobs_arg $ file_arg $ family_arg $ query_arg
-      $ trace_arg $ trace_out_arg)
+      $ trace_arg $ slow_query_ms_arg $ slow_log_arg $ trace_out_arg)
 
 (* --- facts ------------------------------------------------------------------- *)
 
@@ -402,17 +498,6 @@ let facts_cmd =
     Term.(const (with_jobs run) $ jobs_arg $ file_arg $ family_arg)
 
 (* --- explain / plan ----------------------------------------------------------- *)
-
-(* The planner's view of the loaded instance: the (dirty) relation as a
-   one-relation database, costed with exact column statistics from one
-   scan. *)
-let planner_report spec q =
-  let s = Planner.Stats.scan spec.IF.relation in
-  let name = Planner.Stats.relation_name s in
-  let stats r = if String.equal r name then Some s else None in
-  Planner.Explain.run ~stats
-    (Relational.Database.of_relations [ spec.IF.relation ])
-    q
 
 let explain_cmd =
   let query_arg =
@@ -829,6 +914,36 @@ let dir_arg =
        & info [ "dir" ] ~docv:"DIR"
            ~doc:"Store directory (snapshot, write-ahead log, server files).")
 
+let request_timeout_arg =
+  let parse s =
+    match float_of_string_opt s with
+    | Some t when Float.is_finite t && t > 0.0 -> Ok t
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "invalid timeout %S (expected a positive number of seconds)" s))
+  in
+  Arg.(value & opt (some (conv (parse, Format.pp_print_float))) None
+       & info [ "request-timeout" ] ~docv:"SEC"
+           ~doc:
+             "Drop an accepted connection whose reads or writes stall for \
+              $(docv) seconds (default: the PREFDB_REQUEST_TIMEOUT \
+              environment variable, else 10).")
+
+(* The served config: defaults (including PREFDB_REQUEST_TIMEOUT),
+   overridden by whichever flags were given. *)
+let serve_config timeout slow_ms slow_log =
+  let c = Server.default_config () in
+  {
+    Server.request_timeout =
+      Option.value timeout ~default:c.Server.request_timeout;
+    slow_query_ms =
+      (match slow_ms with Some _ -> slow_ms | None -> c.Server.slow_query_ms);
+    slow_log =
+      (match slow_log with Some _ -> slow_log | None -> c.Server.slow_log);
+  }
+
 let init_cmd =
   let run file dir =
     match load file with
@@ -857,7 +972,8 @@ let init_cmd =
     Term.(const (with_jobs run) $ jobs_arg $ file_arg $ dir_arg)
 
 let serve_start_cmd =
-  let run dir =
+  let run dir timeout slow_ms slow_log =
+    let config = serve_config timeout slow_ms slow_log in
     if not (Sys.file_exists (Dbio.Store.snapshot_path dir)) then begin
       Format.eprintf "error: %s: no store (run 'prefdb init' first)@." dir;
       1
@@ -882,7 +998,7 @@ let serve_start_cmd =
         Unix.dup2 log Unix.stderr;
         Unix.close devnull;
         Unix.close log;
-        (match Server.serve dir with
+        (match Server.serve ~config dir with
         | Ok () -> Stdlib.exit 0
         | Error e ->
           prerr_endline ("error: " ^ e);
@@ -911,7 +1027,9 @@ let serve_start_cmd =
        ~doc:
          "Start a server in the background (fork + setsid, stdio to \
           serve.log) and wait until it answers on the socket.")
-    Term.(const (with_jobs run) $ jobs_arg $ dir_arg)
+    Term.(
+      const (with_jobs run) $ jobs_arg $ dir_arg $ request_timeout_arg
+      $ slow_query_ms_arg $ slow_log_arg)
 
 let read_pid dir =
   match In_channel.with_open_text (Server.pid_path dir) In_channel.input_all with
@@ -978,6 +1096,12 @@ let serve_status_cmd =
     | Some p, false when pid_alive p ->
       Format.printf "server:   pid %d alive but not answering@." p
     | _, false -> Format.printf "server:   not running@.");
+    (* a live server also reports its own view: uptime, generation,
+       request totals *)
+    if live then (
+      match Server.request dir "status" with
+      | Ok out -> List.iter (Format.printf "  %s@.") (String.split_on_char '\n' out)
+      | Error _ -> ());
     if live then 0 else 3
   in
   Cmd.v
@@ -1033,17 +1157,108 @@ let serve_cmd =
      write-ahead log before it is acknowledged."
   in
   Cmd.group ~default:(
-    let run dir trace_out =
+    let run dir timeout slow_ms slow_log trace_out =
       with_trace trace_out @@ fun () ->
-      match Server.serve dir with
+      match Server.serve ~config:(serve_config timeout slow_ms slow_log) dir with
       | Ok () -> 0
       | Error e ->
         Format.eprintf "error: %s@." e;
         1
     in
-    Term.(const (with_jobs run) $ jobs_arg $ dir_arg $ trace_out_arg))
+    Term.(
+      const (with_jobs run) $ jobs_arg $ dir_arg $ request_timeout_arg
+      $ slow_query_ms_arg $ slow_log_arg $ trace_out_arg))
     (Cmd.info "serve" ~doc)
     [ serve_start_cmd; serve_stop_cmd; serve_status_cmd; serve_call_cmd ]
+
+(* --- metrics / validate-slowlog ------------------------------------------------ *)
+
+let metrics_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the structured JSON form instead of the exposition.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:
+               "Lint the exposition instead of printing it: every sample \
+                preceded by its TYPE line, parsable non-NaN values, no \
+                duplicate series, cumulative histogram buckets. Exits \
+                non-zero on violation.")
+  in
+  let run dir json check =
+    if check then (
+      match Server.request dir "metrics" with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok text -> (
+        match Obs.Registry.lint text with
+        | Ok n ->
+          Format.printf "valid Prometheus exposition (%d sample(s))@." n;
+          0
+        | Error e ->
+          Format.eprintf "INVALID exposition: %s@." e;
+          1))
+    else if json then (
+      match Server.request_json dir "metrics" with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok resp -> (
+        match Obs.Json.member "metrics" resp with
+        | Some j ->
+          print_endline (Obs.Json.to_string j);
+          0
+        | None ->
+          Format.eprintf "error: response carried no metrics field@.";
+          1))
+    else
+      match Server.request dir "metrics" with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok text ->
+        print_string text;
+        if String.length text > 0 && text.[String.length text - 1] <> '\n' then
+          print_newline ();
+        0
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Scrape a running server's process metrics: request counts and \
+          latency histograms by command, WAL/snapshot/store health, \
+          planner fallbacks and cardinality q-error, pool utilization — \
+          as Prometheus text exposition (default), structured JSON \
+          (--json), or a lint verdict (--check).")
+    Term.(const (with_jobs run) $ jobs_arg $ dir_arg $ json_arg $ check_arg)
+
+let validate_slowlog_cmd =
+  let log_file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"LOG"
+             ~doc:"Slow-query log written by --slow-query-ms (slow.jsonl).")
+  in
+  let run path =
+    match Shell.Slowlog.validate_file path with
+    | Ok n ->
+      Format.printf "%s: valid (%d record(s))@." path n;
+      0
+    | Error e ->
+      Format.eprintf "%s: INVALID: %s@." path e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "validate-slowlog"
+       ~doc:
+         "Check a slow-query log's invariants: one JSON object per line \
+          carrying the query, verdict, finite wall time and phase spans, \
+          with the planner report and its text rendering present \
+          together or not at all. Exits non-zero on violation.")
+    Term.(const (with_jobs run) $ jobs_arg $ log_file_arg)
 
 (* --- main --------------------------------------------------------------------- *)
 
@@ -1051,6 +1266,11 @@ let () =
   (* a typo'd PREFDB_JOBS would otherwise be silently ignored and the
      run would proceed on the default domain count *)
   (match Core.Pool.env_jobs_error () with
+  | Some msg ->
+    Format.eprintf "prefdb: %s@." msg;
+    exit 124
+  | None -> ());
+  (match Server.env_request_timeout_error () with
   | Some msg ->
     Format.eprintf "prefdb: %s@." msg;
     exit 124
@@ -1063,6 +1283,6 @@ let () =
           [
             info_cmd; stats_cmd; repairs_cmd; check_cmd; count_cmd; clean_cmd;
             query_cmd; explain_cmd; plan_cmd; status_cmd; facts_cmd; aggregate_cmd;
-            update_cmd; shell_cmd; profile_cmd; validate_trace_cmd; init_cmd;
-            serve_cmd;
+            update_cmd; shell_cmd; profile_cmd; validate_trace_cmd;
+            validate_slowlog_cmd; init_cmd; serve_cmd; metrics_cmd;
           ]))

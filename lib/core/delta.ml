@@ -41,6 +41,15 @@ let create ?(rule = fun _ _ -> false) fds relation =
           colstats = None;
         })
 
+let m_batch_ops =
+  Obs.Registry.histogram ~buckets:Obs.Metric.size_buckets
+    ~help:"Operations per accepted Delta batch" "prefdb_delta_batch_ops"
+
+let m_evicted =
+  Obs.Registry.counter
+    ~help:"Decompose component caches evicted by Delta batches"
+    "prefdb_decompose_cache_evictions_total"
+
 let split ops =
   let ins, del =
     List.fold_left
@@ -82,6 +91,11 @@ let apply_batch t ops =
       Option.iter
         (fun s -> Planner.Stats.patch s ~delete ~insert)
         t.colstats;
+      let evicted =
+        after.Decompose.cache_evicted - before.Decompose.cache_evicted
+      in
+      Obs.Metric.observe m_batch_ops (Float.of_int (List.length ops));
+      Obs.Metric.incr ~by:evicted m_evicted;
       Ok
         {
           inserted = List.length delta.Conflict.inserted;
@@ -91,8 +105,7 @@ let apply_batch t ops =
           components_dirtied =
             after.Decompose.components_dirtied
             - before.Decompose.components_dirtied;
-          cache_evicted =
-            after.Decompose.cache_evicted - before.Decompose.cache_evicted;
+          cache_evicted = evicted;
           cache_retained =
             after.Decompose.cache_retained - before.Decompose.cache_retained;
         })

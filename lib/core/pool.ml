@@ -77,6 +77,34 @@ let set_jobs n =
   if n < 1 then invalid_arg "Pool.set_jobs: need at least one domain";
   requested := Some n
 
+(* --- pool metrics --------------------------------------------------------- *)
+
+let m_tasks =
+  Obs.Registry.counter ~help:"Work items executed by pool jobs"
+    "prefdb_pool_tasks_total"
+
+let m_seq_tasks =
+  Obs.Registry.counter
+    ~help:"Work items executed on the caller when a job degrades to sequential"
+    "prefdb_pool_sequential_tasks_total"
+
+let m_steals =
+  Obs.Registry.counter ~help:"Work items claimed from another lane's range"
+    "prefdb_pool_steals_total"
+
+let m_jobs =
+  Obs.Registry.counter ~help:"Parallel jobs submitted to the domain pool"
+    "prefdb_pool_parallel_jobs_total"
+
+let m_lane_tasks lane =
+  Obs.Registry.counter
+    ~labels:[ ("lane", string_of_int lane) ]
+    ~help:"Work items executed per pool lane" "prefdb_pool_lane_tasks_total"
+
+let () =
+  Obs.Registry.gauge_fn ~help:"Configured domain count" "prefdb_pool_domains"
+    (fun () -> float_of_int (jobs ()))
+
 (* --- running one job ------------------------------------------------------ *)
 
 let run_index job lane i =
@@ -92,16 +120,23 @@ let run_index job lane i =
 let drain job lane k =
   let fence = job.fences.(k) in
   let cursor = job.cursors.(k) in
-  let rec go () =
-    if not (Atomic.get job.halt) then begin
+  let rec go executed =
+    if Atomic.get job.halt then executed
+    else begin
       let i = Atomic.fetch_and_add cursor 1 in
       if i < fence then begin
         run_index job lane i;
-        go ()
+        go (executed + 1)
       end
+      else executed
     end
   in
-  go ()
+  let executed = go 0 in
+  if executed > 0 then begin
+    Obs.Metric.incr ~by:executed m_tasks;
+    Obs.Metric.incr ~by:executed (m_lane_tasks lane);
+    if k <> lane then Obs.Metric.incr ~by:executed m_steals
+  end
 
 let participate job lane =
   let flag = Domain.DLS.get inside in
@@ -167,19 +202,21 @@ let sequential ?stop ~n body =
   let flag = Domain.DLS.get inside in
   let previously = !flag in
   flag := true;
+  let halted i =
+    match stop with None -> i >= n | Some s -> i >= n || Atomic.get s
+  in
+  let i = ref 0 in
   (try
-     let halted i =
-       match stop with None -> i >= n | Some s -> i >= n || Atomic.get s
-     in
-     let i = ref 0 in
      while not (halted !i) do
        body ~worker:0 !i;
        incr i
      done
    with e ->
      flag := previously;
+     Obs.Metric.incr ~by:!i m_seq_tasks;
      raise e);
-  flag := previously
+  flag := previously;
+  Obs.Metric.incr ~by:!i m_seq_tasks
 
 let parallel_for ?stop ~n body =
   if n < 0 then invalid_arg "Pool.parallel_for: negative size";
@@ -209,6 +246,7 @@ let parallel_for ?stop ~n body =
         buffers;
       }
     in
+    Obs.Metric.incr m_jobs;
     Mutex.lock mutex;
     posted := Some job;
     incr generation;

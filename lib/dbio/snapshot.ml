@@ -281,8 +281,24 @@ let fsync_dir dir =
     Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
   | exception Unix.Unix_error _ -> ()
 
+let m_save_seconds =
+  Obs.Registry.histogram ~help:"Snapshot save (encode+write+rename) latency"
+    "prefdb_snapshot_save_seconds"
+
+let m_saves =
+  Obs.Registry.counter ~help:"Snapshots saved" "prefdb_snapshot_saves_total"
+
+let m_size =
+  Obs.Registry.gauge ~help:"Size in bytes of the last snapshot written"
+    "prefdb_snapshot_size_bytes"
+
+let m_load_seconds =
+  Obs.Registry.histogram ~help:"Snapshot load (read+decode) latency"
+    "prefdb_snapshot_load_seconds"
+
 let save path ~generation spec =
   Obs.Span.with_span "store.snapshot.save" @@ fun () ->
+  let t0 = Unix.gettimeofday () in
   match encode ~generation spec with
   | exception Invalid_argument m -> Error m
   | image -> (
@@ -303,6 +319,9 @@ let save path ~generation spec =
       fsync_dir (Filename.dirname path)
     with
     | () ->
+      Obs.Metric.observe m_save_seconds (Unix.gettimeofday () -. t0);
+      Obs.Metric.incr m_saves;
+      Obs.Metric.set_gauge m_size (Float.of_int (String.length image));
       if Obs.Span.enabled () then
         Obs.Span.annotate [ ("bytes", Obs.Event.Int (String.length image)) ];
       Ok ()
@@ -335,12 +354,14 @@ let read_file path =
 
 let load path =
   Obs.Span.with_span "store.snapshot.load" @@ fun () ->
+  let t0 = Unix.gettimeofday () in
   match read_file path with
   | exception Sys_error m -> Error m
   | image -> (
     match decode image with
     | Error e -> Error (Printf.sprintf "%s: %s" path e)
     | Ok (spec, generation) ->
+      Obs.Metric.observe m_load_seconds (Unix.gettimeofday () -. t0);
       if Obs.Span.enabled () then
         Obs.Span.annotate
           [

@@ -19,6 +19,40 @@ type t = {
 let snapshot_path dir = Filename.concat dir "store.snap"
 let wal_path dir = Filename.concat dir "wal.log"
 
+(* Store health gauges; one store per server process, refreshed on
+   open/log/checkpoint so a scrape sees the current journal state. *)
+let m_generation =
+  Obs.Registry.gauge ~help:"Snapshot generation of the open store"
+    "prefdb_store_generation"
+
+let m_undo_horizon =
+  Obs.Registry.gauge ~help:"Journaled batches the store could undo"
+    "prefdb_store_undo_horizon"
+
+let m_wal_records =
+  Obs.Registry.gauge ~help:"Journal records since the last checkpoint"
+    "prefdb_store_wal_records"
+
+let m_replayed =
+  Obs.Registry.counter ~help:"WAL records replayed on store open"
+    "prefdb_store_replayed_records_total"
+
+let m_stale =
+  Obs.Registry.counter ~help:"Stale pre-checkpoint WAL records skipped on open"
+    "prefdb_store_stale_records_total"
+
+let m_torn =
+  Obs.Registry.counter ~help:"Torn WAL bytes dropped on store open"
+    "prefdb_store_torn_bytes_total"
+
+let m_checkpoints =
+  Obs.Registry.counter ~help:"Checkpoints taken" "prefdb_store_checkpoints_total"
+
+let refresh_gauges t =
+  Obs.Metric.set_gauge m_generation (Float.of_int t.generation);
+  Obs.Metric.set_gauge m_undo_horizon (Float.of_int t.replay_depth);
+  Obs.Metric.set_gauge m_wal_records (Float.of_int t.wal_records)
+
 let build_engine spec =
   match IF.to_rule spec with
   | Error e -> Error e
@@ -163,7 +197,7 @@ let open_ dir =
               match Wal.open_append (wal_path dir) with
               | Error _ as e -> e
               | Ok wal ->
-                Ok
+                let t =
                   {
                     dir;
                     wal;
@@ -174,7 +208,13 @@ let open_ dir =
                     generation;
                     wal_records = replayed;
                     replay_depth = Core.Delta.history_depth engine;
-                  }))))))
+                  }
+                in
+                Obs.Metric.incr ~by:replayed m_replayed;
+                Obs.Metric.incr ~by:stale m_stale;
+                Obs.Metric.incr ~by:torn m_torn;
+                refresh_gauges t;
+                Ok t))))))
 
 (* --- the journal -------------------------------------------------------- *)
 
@@ -202,6 +242,7 @@ let log t entry =
       (* a preference rebuilds the engine from scratch on replay, with
          fresh (empty) history *)
       | Wal.Prefer _ -> t.replay_depth <- 0);
+      refresh_gauges t;
       Ok ()
     | Error _ as e -> e)
 
@@ -218,6 +259,8 @@ let checkpoint t spec =
     t.generation <- generation;
     t.wal_records <- 0;
     t.replay_depth <- 0;
+    Obs.Metric.incr m_checkpoints;
+    refresh_gauges t;
     match Wal.truncate t.wal with
     | Ok () -> Ok ()
     | Error _ as e -> e)

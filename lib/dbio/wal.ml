@@ -62,6 +62,21 @@ let encode_record ~gen entry =
 
 type t = { path : string; fd : Unix.file_descr; mutable bytes : int }
 
+let m_append_seconds =
+  Obs.Registry.histogram ~help:"WAL record append+fsync latency"
+    "prefdb_wal_append_seconds"
+
+let m_appends =
+  Obs.Registry.counter ~help:"WAL records appended" "prefdb_wal_appends_total"
+
+let m_bytes =
+  Obs.Registry.counter ~help:"Bytes appended to the WAL"
+    "prefdb_wal_bytes_total"
+
+let m_size =
+  Obs.Registry.gauge ~help:"Current WAL size in bytes"
+    "prefdb_wal_size_bytes"
+
 let unix_error path = function
   | Unix.Unix_error (err, fn, _) ->
     Error (Printf.sprintf "%s: %s: %s" path fn (Unix.error_message err))
@@ -77,6 +92,7 @@ let size t = t.bytes
 let append t ~gen entry =
   Obs.Span.with_span "store.wal.append" @@ fun () ->
   let record = encode_record ~gen entry in
+  let t0 = Unix.gettimeofday () in
   match
     let n = String.length record in
     let written = ref 0 in
@@ -88,6 +104,10 @@ let append t ~gen entry =
   with
   | () ->
     t.bytes <- t.bytes + String.length record;
+    Obs.Metric.observe m_append_seconds (Unix.gettimeofday () -. t0);
+    Obs.Metric.incr m_appends;
+    Obs.Metric.incr ~by:(String.length record) m_bytes;
+    Obs.Metric.set_gauge m_size (Float.of_int t.bytes);
     if Obs.Span.enabled () then
       Obs.Span.annotate [ ("bytes", Obs.Event.Int (String.length record)) ];
     Ok ()
@@ -100,6 +120,7 @@ let truncate t =
   with
   | () ->
     t.bytes <- 0;
+    Obs.Metric.set_gauge m_size 0.0;
     Ok ()
   | exception e -> unix_error t.path e
 

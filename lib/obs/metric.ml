@@ -1,0 +1,185 @@
+(* Domain-sharded metric primitives.  See metric.mli for the memory
+   model argument; the short version is that each domain writes plain
+   fields of its own shard, and scrapes read racily — int and float
+   fields never tear, and a scrape that misses the last few
+   observations is fine for monitoring. *)
+
+let enabled_flag = Atomic.make true
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* A per-domain shard store: [my_shard] lazily creates the calling
+   domain's shard and links it into the scrape list.  The mutex only
+   guards the list, not the shards. *)
+type 'a shards = {
+  cells : 'a list ref;
+  lock : Mutex.t;
+  key : 'a Domain.DLS.key;
+}
+
+let make_shards (mk : unit -> 'a) =
+  let lock = Mutex.create () in
+  let cells = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let s = mk () in
+        Mutex.lock lock;
+        cells := s :: !cells;
+        Mutex.unlock lock;
+        s)
+  in
+  { cells; lock; key }
+
+let my_shard t = Domain.DLS.get t.key
+
+let all_shards t =
+  Mutex.lock t.lock;
+  let l = !(t.cells) in
+  Mutex.unlock t.lock;
+  l
+
+(* Counters *)
+
+type counter = int ref shards
+
+let counter () = make_shards (fun () -> ref 0)
+
+let incr ?(by = 1) c =
+  if Atomic.get enabled_flag && by <> 0 then begin
+    if by < 0 then invalid_arg "Metric.incr: counters are monotonic";
+    let r = my_shard c in
+    r := !r + by
+  end
+
+let counter_value c = List.fold_left (fun acc r -> acc + !r) 0 (all_shards c)
+
+(* Gauges: single atomic cell — gauges are set from one place at a
+   time (a store generation, a pool width) and are cheap either way. *)
+
+type gauge = float Atomic.t
+
+let gauge () = Atomic.make 0.0
+let set_gauge g v = if Atomic.get enabled_flag then Atomic.set g v
+
+let add_gauge g d =
+  if Atomic.get enabled_flag then begin
+    let rec loop () =
+      let v = Atomic.get g in
+      if not (Atomic.compare_and_set g v (v +. d)) then loop ()
+    in
+    loop ()
+  end
+
+let gauge_value g = Atomic.get g
+
+(* Histograms *)
+
+let latency_buckets = Array.init 28 (fun i -> 1e-6 *. Float.of_int (1 lsl i))
+let size_buckets = Array.init 16 (fun i -> 4.0 ** Float.of_int i)
+let qerror_buckets = [| 0.25; 0.5; 1.0; 1.5; 2.0; 3.0; 4.0; 6.0; 8.0; 12.0; 16.0 |]
+
+type hshard = {
+  counts : int array; (* length = Array.length bounds + 1; last = +Inf *)
+  mutable hsum : float;
+  mutable hmax : float;
+}
+
+type histogram = { bounds : float array; hshards : hshard shards }
+
+let check_bounds bounds =
+  if Array.length bounds = 0 then invalid_arg "Metric.histogram: empty buckets";
+  Array.iteri
+    (fun i b ->
+      if Float.is_nan b then invalid_arg "Metric.histogram: NaN bound";
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Metric.histogram: bounds must be strictly increasing")
+    bounds
+
+let histogram ?(buckets = latency_buckets) () =
+  check_bounds buckets;
+  let n = Array.length buckets in
+  {
+    bounds = Array.copy buckets;
+    hshards =
+      make_shards (fun () ->
+          { counts = Array.make (n + 1) 0; hsum = 0.0; hmax = neg_infinity });
+  }
+
+(* First index [i] with [v <= bounds.(i)]; [n] when above every bound. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if bounds.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let observe h v =
+  if Atomic.get enabled_flag && not (Float.is_nan v) then begin
+    let s = my_shard h.hshards in
+    let i = bucket_index h.bounds v in
+    s.counts.(i) <- s.counts.(i) + 1;
+    s.hsum <- s.hsum +. v;
+    if v > s.hmax then s.hmax <- v
+  end
+
+type snapshot = {
+  bounds : float array;
+  counts : int array;
+  count : int;
+  sum : float;
+  max : float;
+}
+
+let snapshot (h : histogram) =
+  let n = Array.length h.bounds in
+  let counts = Array.make (n + 1) 0 in
+  let sum = ref 0.0 and mx = ref neg_infinity in
+  List.iter
+    (fun (s : hshard) ->
+      for i = 0 to n do
+        counts.(i) <- counts.(i) + s.counts.(i)
+      done;
+      sum := !sum +. s.hsum;
+      if s.hmax > !mx then mx := s.hmax)
+    (all_shards h.hshards);
+  let count = Array.fold_left ( + ) 0 counts in
+  { bounds = Array.copy h.bounds; counts; count; sum = !sum; max = !mx }
+
+let quantile snap q =
+  if snap.count = 0 then nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. Float.of_int snap.count in
+    let n = Array.length snap.bounds in
+    let rec find i cum =
+      if i > n then n
+      else
+        let cum' = cum + snap.counts.(i) in
+        if Float.of_int cum' >= rank && snap.counts.(i) > 0 then i
+        else find (i + 1) cum'
+    in
+    let rec cum_before i j acc =
+      if j >= i then acc else cum_before i (j + 1) (acc + snap.counts.(j))
+    in
+    let b = find 0 0 in
+    let below = cum_before b 0 0 in
+    let inside = snap.counts.(b) in
+    let lower = if b = 0 then 0.0 else snap.bounds.(b - 1) in
+    let upper =
+      if b = n then if Float.is_finite snap.max then snap.max else lower
+      else snap.bounds.(b)
+    in
+    let v =
+      if inside = 0 then upper
+      else
+        let frac = (rank -. Float.of_int below) /. Float.of_int inside in
+        let frac = Float.max 0.0 (Float.min 1.0 frac) in
+        lower +. ((upper -. lower) *. frac)
+    in
+    (* interpolation happens inside bucket bounds, but no estimate may
+       exceed the recorded maximum — with one distinct value the rank
+       walk would otherwise invent mass between it and its bound *)
+    if Float.is_finite snap.max then Float.min v snap.max else v
+  end

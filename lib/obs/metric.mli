@@ -1,0 +1,93 @@
+(** Domain-safe metric primitives: counters, gauges and log-bucketed
+    histograms.
+
+    Counters and histograms are sharded per domain through
+    {!Domain.DLS}: each domain records into its own shard with plain
+    (unsynchronized) writes, so the hot path is a couple of loads and
+    stores with no contention — safe under the OCaml memory model
+    because word-sized writes never tear and a scrape only needs
+    "some recent value" per shard.  A scrape merges all shards under
+    the shard-list mutex, which is only ever taken on shard creation
+    (once per domain per metric) and on scrape.
+
+    Metrics here are anonymous values; {!Registry} names them and
+    renders expositions. *)
+
+(** {1 Global switch} *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off process-wide.  Disabled recording is a
+    single atomic load and branch; scrapes still work and report
+    whatever was recorded while enabled.  Enabled by default. *)
+
+val enabled : unit -> bool
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : unit -> counter
+
+val incr : ?by:int -> counter -> unit
+(** [incr ~by c] adds [by] (default 1) to the calling domain's shard.
+    Counters are monotonic: [by] must be non-negative. *)
+
+val counter_value : counter -> int
+(** Merged total across all shards. *)
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : unit -> gauge
+val set_gauge : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : ?buckets:float array -> unit -> histogram
+(** [histogram ~buckets ()] with strictly increasing upper bounds.
+    An observation [v] lands in the first bucket with [v <= bound]
+    (Prometheus [le] semantics); values above the last bound land in
+    the implicit [+Inf] overflow bucket.  Defaults to
+    {!latency_buckets}. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation into the calling domain's shard.  NaN
+    observations are dropped. *)
+
+val latency_buckets : float array
+(** Powers of two from 1 microsecond to ~134 seconds (28 bounds). *)
+
+val size_buckets : float array
+(** Powers of four from 1 to ~10^9 (16 bounds), for byte and row
+    counts. *)
+
+val qerror_buckets : float array
+(** Bounds in log2 units for cardinality q-error histograms. *)
+
+type snapshot = {
+  bounds : float array;       (** bucket upper bounds *)
+  counts : int array;         (** per-bucket counts; length = bounds + 1,
+                                  last slot is the +Inf overflow *)
+  count : int;                (** total observations *)
+  sum : float;                (** sum of observations *)
+  max : float;                (** largest observation, [neg_infinity] if none *)
+}
+
+val snapshot : histogram -> snapshot
+(** Merge all shards into one immutable view. *)
+
+val quantile : snapshot -> float -> float
+(** [quantile snap q] estimates the [q]-quantile (0 <= q <= 1) by
+    linear interpolation within the bucket holding the target rank;
+    the overflow bucket interpolates toward the recorded maximum.
+    Returns [nan] when the snapshot is empty. *)
+
+val bucket_index : float array -> float -> int
+(** The index recording would use: first [i] with [v <= bounds.(i)],
+    or [Array.length bounds] for the overflow bucket.  Exposed for
+    tests. *)

@@ -1,0 +1,387 @@
+(* Named metric families and Prometheus/JSON exposition. *)
+
+type value =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Gauge_fn of (unit -> float) ref
+  | Histogram of Metric.histogram
+
+type kind = KCounter | KGauge | KHistogram
+
+let kind_name = function
+  | KCounter -> "counter"
+  | KGauge -> "gauge"
+  | KHistogram -> "histogram"
+
+type family = {
+  name : string;
+  help : string;
+  kind : kind;
+  (* cells in registration order, keyed by the canonical label list *)
+  mutable cells : ((string * string) list * value) list;
+}
+
+type t = { lock : Mutex.t; mutable families : family list (* reversed *) }
+
+let create () = { lock = Mutex.create (); families = [] }
+let default = create ()
+
+let valid_name n =
+  String.length n > 0
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       n
+
+let canon_labels labels =
+  List.iter
+    (fun (k, _) ->
+      if not (valid_name k) then invalid_arg ("Registry: bad label name " ^ k))
+    labels;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+(* Get or create the cell for [name]+[labels]; [mk] builds the metric,
+   [match_v] projects an existing cell back out (None = type clash). *)
+let cell ~registry ~labels ~help ~name ~kind ~mk ~match_v =
+  if not (valid_name name) then invalid_arg ("Registry: bad metric name " ^ name);
+  let labels = canon_labels labels in
+  Mutex.lock registry.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry.lock) @@ fun () ->
+  let fam =
+    match List.find_opt (fun f -> f.name = name) registry.families with
+    | Some f ->
+        if f.kind <> kind then
+          invalid_arg
+            (Printf.sprintf "Registry: %s already registered as %s" name
+               (kind_name f.kind));
+        f
+    | None ->
+        let f = { name; help; kind; cells = [] } in
+        registry.families <- f :: registry.families;
+        f
+  in
+  match List.assoc_opt labels fam.cells with
+  | Some v -> (
+      match match_v v with
+      | Some x -> x
+      | None -> invalid_arg ("Registry: cell type clash for " ^ name))
+  | None ->
+      let v, x = mk () in
+      fam.cells <- fam.cells @ [ (labels, v) ];
+      x
+
+let counter ?(registry = default) ?(labels = []) ~help name =
+  cell ~registry ~labels ~help ~name ~kind:KCounter
+    ~mk:(fun () ->
+      let c = Metric.counter () in
+      (Counter c, c))
+    ~match_v:(function Counter c -> Some c | _ -> None)
+
+let gauge ?(registry = default) ?(labels = []) ~help name =
+  cell ~registry ~labels ~help ~name ~kind:KGauge
+    ~mk:(fun () ->
+      let g = Metric.gauge () in
+      (Gauge g, g))
+    ~match_v:(function Gauge g -> Some g | _ -> None)
+
+let gauge_fn ?(registry = default) ?(labels = []) ~help name f =
+  cell ~registry ~labels ~help ~name ~kind:KGauge
+    ~mk:(fun () -> (Gauge_fn (ref f), ()))
+    ~match_v:(function Gauge_fn r -> r := f; Some () | _ -> None)
+
+let histogram ?(registry = default) ?buckets ?(labels = []) ~help name =
+  cell ~registry ~labels ~help ~name ~kind:KHistogram
+    ~mk:(fun () ->
+      let h = Metric.histogram ?buckets () in
+      (Histogram h, h))
+    ~match_v:(function Histogram h -> Some h | _ -> None)
+
+let find ~registry ~labels name =
+  let labels = canon_labels labels in
+  Mutex.lock registry.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry.lock) @@ fun () ->
+  match List.find_opt (fun f -> f.name = name) registry.families with
+  | None -> None
+  | Some f -> List.assoc_opt labels f.cells
+
+let find_counter ?(registry = default) ?(labels = []) name =
+  match find ~registry ~labels name with Some (Counter c) -> Some c | _ -> None
+
+let find_histogram ?(registry = default) ?(labels = []) name =
+  match find ~registry ~labels name with
+  | Some (Histogram h) -> Some h
+  | _ -> None
+
+let clear t =
+  Mutex.lock t.lock;
+  t.families <- [];
+  Mutex.unlock t.lock
+
+(* A stable view for rendering: families in registration order, label
+   sets canonical, callbacks not yet forced. *)
+let families t =
+  Mutex.lock t.lock;
+  let fams = List.rev t.families in
+  let fams = List.map (fun f -> (f, f.cells)) fams in
+  Mutex.unlock t.lock;
+  fams
+
+(* Text exposition *)
+
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Values must never expose NaN/inf: clamp non-finite to 0. *)
+let fnum v =
+  if not (Float.is_finite v) then "0"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let label_str labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+(* Like label_str but with an extra trailing label (histogram [le]). *)
+let label_str_le labels le =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label_value v))
+         labels
+      @ [ Printf.sprintf "le=%S" le ])
+  ^ "}"
+
+let bound_str b = Printf.sprintf "%g" b
+
+let render ?(registry = default) () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (f, cells) ->
+      Buffer.add_string b
+        (Printf.sprintf "# HELP %s %s\n" f.name (escape_help f.help));
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n" f.name (kind_name f.kind));
+      List.iter
+        (fun (labels, v) ->
+          match v with
+          | Counter c ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %d\n" f.name (label_str labels)
+                   (Metric.counter_value c))
+          | Gauge g ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" f.name (label_str labels)
+                   (fnum (Metric.gauge_value g)))
+          | Gauge_fn fn ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" f.name (label_str labels)
+                   (fnum (!fn ())))
+          | Histogram h ->
+              let snap = Metric.snapshot h in
+              let cum = ref 0 in
+              Array.iteri
+                (fun i bound ->
+                  cum := !cum + snap.Metric.counts.(i);
+                  Buffer.add_string b
+                    (Printf.sprintf "%s_bucket%s %d\n" f.name
+                       (label_str_le labels (bound_str bound))
+                       !cum))
+                snap.Metric.bounds;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" f.name
+                   (label_str_le labels "+Inf") snap.Metric.count);
+              Buffer.add_string b
+                (Printf.sprintf "%s_sum%s %s\n" f.name (label_str labels)
+                   (fnum snap.Metric.sum));
+              Buffer.add_string b
+                (Printf.sprintf "%s_count%s %d\n" f.name (label_str labels)
+                   snap.Metric.count))
+        cells)
+    (families registry);
+  Buffer.contents b
+
+(* JSON exposition *)
+
+let json_labels labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let to_json ?(registry = default) () =
+  let sample labels v =
+    match v with
+    | Counter c ->
+        Json.Obj
+          [ ("labels", json_labels labels);
+            ("value", Json.Int (Metric.counter_value c)) ]
+    | Gauge g ->
+        Json.Obj
+          [ ("labels", json_labels labels);
+            ("value", Json.Float (Metric.gauge_value g)) ]
+    | Gauge_fn fn ->
+        Json.Obj
+          [ ("labels", json_labels labels); ("value", Json.Float (!fn ())) ]
+    | Histogram h ->
+        let snap = Metric.snapshot h in
+        let buckets =
+          Array.to_list
+            (Array.mapi
+               (fun i bound ->
+                 Json.Obj
+                   [ ("le", Json.Float bound);
+                     ("count", Json.Int snap.Metric.counts.(i)) ])
+               snap.Metric.bounds)
+          @ [ Json.Obj
+                [ ("le", Json.Str "+Inf");
+                  ("count",
+                   Json.Int snap.Metric.counts.(Array.length snap.Metric.bounds))
+                ] ]
+        in
+        Json.Obj
+          [ ("labels", json_labels labels);
+            ("count", Json.Int snap.Metric.count);
+            ("sum", Json.Float snap.Metric.sum);
+            ("max",
+             if Float.is_finite snap.Metric.max then Json.Float snap.Metric.max
+             else Json.Null);
+            ("buckets", Json.List buckets) ]
+  in
+  Json.Obj
+    [ ("metrics",
+       Json.List
+         (List.map
+            (fun (f, cells) ->
+              Json.Obj
+                [ ("name", Json.Str f.name);
+                  ("type", Json.Str (kind_name f.kind));
+                  ("help", Json.Str f.help);
+                  ("samples",
+                   Json.List (List.map (fun (l, v) -> sample l v) cells)) ])
+            (families registry))) ]
+
+(* Exposition lint, used by tests and the CI scrape check. *)
+
+let lint text =
+  let lines = String.split_on_char '\n' text in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let last_bucket : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let samples = ref 0 in
+  let err = ref None in
+  let fail lineno msg =
+    if !err = None then err := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  let base_name name =
+    let strip suffix =
+      if String.length name > String.length suffix
+         && String.ends_with ~suffix name
+      then Some (String.sub name 0 (String.length name - String.length suffix))
+      else None
+    in
+    match (strip "_bucket", strip "_sum", strip "_count") with
+    | Some base, _, _ | _, Some base, _ | _, _, Some base ->
+        if Hashtbl.find_opt types base = Some "histogram" then base else name
+    | None, None, None -> name
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if line = "" then ()
+      else if String.length line >= 1 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | "#" :: "TYPE" :: name :: ty :: [] ->
+            if Hashtbl.mem types name then
+              fail lineno ("duplicate TYPE for " ^ name)
+            else if not (List.mem ty [ "counter"; "gauge"; "histogram" ]) then
+              fail lineno ("unknown type " ^ ty)
+            else Hashtbl.replace types name ty
+        | "#" :: "HELP" :: _ -> ()
+        | _ -> fail lineno "malformed comment line"
+      end
+      else begin
+        (* sample line: name[{labels}] value *)
+        let name_end =
+          match String.index_opt line '{' with
+          | Some j -> j
+          | None -> (
+              match String.index_opt line ' ' with
+              | Some j -> j
+              | None -> String.length line)
+        in
+        let name = String.sub line 0 name_end in
+        if not (valid_name name) then fail lineno ("bad metric name " ^ name)
+        else begin
+          let value_str =
+            match String.rindex_opt line ' ' with
+            | Some j -> String.sub line (j + 1) (String.length line - j - 1)
+            | None -> ""
+          in
+          (match float_of_string_opt value_str with
+          | None -> fail lineno ("unparsable value " ^ value_str)
+          | Some v -> if Float.is_nan v then fail lineno "NaN sample value");
+          let base = base_name name in
+          (match Hashtbl.find_opt types base with
+          | None -> fail lineno ("sample without TYPE: " ^ name)
+          | Some _ -> ());
+          let key_end =
+            match String.rindex_opt line ' ' with
+            | Some j -> j
+            | None -> String.length line
+          in
+          let key = String.sub line 0 key_end in
+          if Hashtbl.mem seen key then fail lineno ("duplicate sample " ^ key)
+          else Hashtbl.replace seen key ();
+          (* cumulative check for histogram buckets: each cell's
+             buckets are printed contiguously ending at le="+Inf", so
+             track the running count per family and reset at +Inf *)
+          if Hashtbl.find_opt types base = Some "histogram"
+             && String.ends_with ~suffix:"_bucket" name
+          then begin
+            match float_of_string_opt value_str with
+            | Some v ->
+                let v = int_of_float v in
+                (match Hashtbl.find_opt last_bucket name with
+                | Some prev when v < prev ->
+                    fail lineno ("non-cumulative buckets for " ^ name)
+                | _ -> ());
+                let is_inf =
+                  (* the +Inf line closes a cell's bucket series *)
+                  let needle = "le=\"+Inf\"" in
+                  let n = String.length line and m = String.length needle in
+                  let rec scan j =
+                    j + m <= n && (String.sub line j m = needle || scan (j + 1))
+                  in
+                  scan 0
+                in
+                if is_inf then Hashtbl.remove last_bucket name
+                else Hashtbl.replace last_bucket name v
+            | None -> ()
+          end;
+          Stdlib.incr samples
+        end
+      end)
+    lines;
+  match !err with Some e -> Error e | None -> Ok !samples

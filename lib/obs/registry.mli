@@ -1,0 +1,68 @@
+(** Named metric registration and exposition.
+
+    A registry maps metric family names to typed metrics, each family
+    carrying a help string and zero or more labelled cells.  The
+    accessors are get-or-create: calling {!counter} twice with the
+    same registry, name and labels returns the same underlying
+    {!Metric.counter}, so instrumentation sites can call them inline
+    without holding module-level state.  Registering a name with a
+    conflicting type raises [Invalid_argument].
+
+    Rendering produces Prometheus text exposition format (version 0)
+    or a structured JSON form built on {!Json}. *)
+
+type t
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every instrumentation site in this
+    code base records into. *)
+
+(** {1 Registration (get-or-create)} *)
+
+val counter :
+  ?registry:t -> ?labels:(string * string) list -> help:string -> string ->
+  Metric.counter
+
+val gauge :
+  ?registry:t -> ?labels:(string * string) list -> help:string -> string ->
+  Metric.gauge
+
+val gauge_fn :
+  ?registry:t -> ?labels:(string * string) list -> help:string -> string ->
+  (unit -> float) -> unit
+(** A gauge computed at scrape time (uptime, configured width).
+    Re-registering the same name and labels replaces the callback. *)
+
+val histogram :
+  ?registry:t -> ?buckets:float array -> ?labels:(string * string) list ->
+  help:string -> string -> Metric.histogram
+
+(** {1 Introspection} *)
+
+val find_counter : ?registry:t -> ?labels:(string * string) list -> string ->
+  Metric.counter option
+
+val find_histogram : ?registry:t -> ?labels:(string * string) list -> string ->
+  Metric.histogram option
+
+(** {1 Exposition} *)
+
+val render : ?registry:t -> unit -> string
+(** Prometheus text format v0: one [# HELP] and [# TYPE] comment per
+    family, then one sample line per cell (histograms expand into
+    cumulative [_bucket] lines plus [_sum] and [_count]).  Non-finite
+    values render as [0] so the exposition never carries NaN. *)
+
+val to_json : ?registry:t -> unit -> Json.t
+(** [{"metrics": [{"name", "type", "help", "samples": [...]}]}]. *)
+
+val lint : string -> (int, string) result
+(** Check a text exposition: every sample's family has a preceding
+    [# TYPE] line, names are unique per family, values parse as
+    finite floats (no NaN), histogram buckets are cumulative.
+    Returns the number of sample lines. *)
+
+val clear : t -> unit
+(** Drop all families (tests only). *)

@@ -16,7 +16,9 @@ let run_plan = function
 
 let holds ?stats db q =
   match Compile.compile ?stats db q with
-  | Error _ -> Eval.holds db q
+  | Error reason ->
+    Metrics.count_fallback reason;
+    Eval.holds db q
   | Ok (Phys.Bool b) -> Phys.run_bool b
   | Ok (Phys.Rows _) ->
     (* open query: raise exactly as the evaluator does *)
@@ -24,24 +26,52 @@ let holds ?stats db q =
 
 let answers ?stats db q =
   match Compile.compile ?stats db q with
-  | Error _ -> Eval.answers db q
+  | Error reason ->
+    Metrics.count_fallback reason;
+    Eval.answers db q
   | Ok plan -> run_plan plan
+
+(* The spanned entry points also feed the metrics histograms: phase
+   latencies around the same boundaries as the spans, and the q-error
+   walk over whatever actual cardinalities the execution recorded. *)
+let timed hist f =
+  let t0 = Obs.Span.now () in
+  let r = f () in
+  Obs.Metric.observe hist (Obs.Span.now () -. t0);
+  r
 
 let holds_spanned ?stats db q =
   match
+    timed Metrics.plan_seconds @@ fun () ->
     Obs.Span.with_span "planner.plan" (fun () -> Compile.compile ?stats db q)
   with
-  | Error _ -> Eval.holds db q
-  | Ok (Phys.Bool b) ->
-    Obs.Span.with_span "planner.execute" (fun () -> Phys.run_bool b)
+  | Error reason ->
+    Metrics.count_fallback reason;
+    Eval.holds db q
+  | Ok (Phys.Bool b as plan) ->
+    let r =
+      timed Metrics.execute_seconds @@ fun () ->
+      Obs.Span.with_span "planner.execute" (fun () -> Phys.run_bool b)
+    in
+    Metrics.record_qerrors plan;
+    r
   | Ok (Phys.Rows _) -> Eval.holds db q
 
 let answers_spanned ?stats db q =
   match
+    timed Metrics.plan_seconds @@ fun () ->
     Obs.Span.with_span "planner.plan" (fun () -> Compile.compile ?stats db q)
   with
-  | Error _ -> Eval.answers db q
-  | Ok plan -> Obs.Span.with_span "planner.execute" (fun () -> run_plan plan)
+  | Error reason ->
+    Metrics.count_fallback reason;
+    Eval.answers db q
+  | Ok plan ->
+    let r =
+      timed Metrics.execute_seconds @@ fun () ->
+      Obs.Span.with_span "planner.execute" (fun () -> run_plan plan)
+    in
+    Metrics.record_qerrors plan;
+    r
 
 let as_db r = Database.of_relations [ r ]
 let holds_relation ?stats r q = holds ?stats (as_db r) q

@@ -16,8 +16,10 @@ type t = {
 }
 
 let run ?stats db q =
+  let t0 = Obs.Span.now () in
   match Compile.compile ?stats db q with
   | Error reason ->
+    Metrics.count_fallback reason;
     let outcome =
       if Ast.is_closed q then Holds (Eval.holds db q)
       else
@@ -25,11 +27,19 @@ let run ?stats db q =
         Answers (free, rows)
     in
     { mode = `Fallback reason; outcome }
-  | Ok (Phys.Bool b as plan) ->
-    { mode = `Planned plan; outcome = Holds (Phys.run_bool b) }
-  | Ok (Phys.Rows { free; root } as plan) ->
-    let rows = List.map Tuple.values (Relation.tuples (Phys.exec root)) in
-    { mode = `Planned plan; outcome = Answers (free, rows) }
+  | Ok plan ->
+    Obs.Metric.observe Metrics.plan_seconds (Obs.Span.now () -. t0);
+    let t1 = Obs.Span.now () in
+    let outcome =
+      match plan with
+      | Phys.Bool b -> Holds (Phys.run_bool b)
+      | Phys.Rows { free; root } ->
+        let rows = List.map Tuple.values (Relation.tuples (Phys.exec root)) in
+        Answers (free, rows)
+    in
+    Obs.Metric.observe Metrics.execute_seconds (Obs.Span.now () -. t1);
+    Metrics.record_qerrors plan;
+    { mode = `Planned plan; outcome }
 
 let pp_outcome ppf = function
   | Holds b -> Format.fprintf ppf "result: %s" (if b then "holds" else "fails")

@@ -1,0 +1,99 @@
+(* Planner metrics.  The q-error definition follows the usual planner
+   literature: per executed operator, |log2((est+1)/(actual+1))| — 0 is
+   a perfect estimate, 1 is off by 2x in either direction, with +1
+   smoothing so empty results don't divide by zero. *)
+
+let plan_seconds =
+  Obs.Registry.histogram ~help:"Query compilation latency"
+    "prefdb_planner_plan_seconds"
+
+let execute_seconds =
+  Obs.Registry.histogram ~help:"Compiled plan execution latency"
+    "prefdb_planner_execute_seconds"
+
+let qerror_hist =
+  Obs.Registry.histogram ~buckets:Obs.Metric.qerror_buckets
+    ~help:"Per-operator cardinality misestimate, |log2((est+1)/(actual+1))|"
+    "prefdb_planner_qerror_log2"
+
+(* The compiler's [Unsupported] reasons interpolate relation and
+   variable names; collapse them to a bounded label set so the
+   fallback counter cannot grow one cell per query. *)
+let reason_class reason =
+  let has prefix = String.length reason >= String.length prefix
+                   && String.sub reason 0 (String.length prefix) = prefix in
+  let contains needle =
+    let n = String.length reason and m = String.length needle in
+    let rec scan i = i + m <= n && (String.sub reason i m = needle || scan (i + 1)) in
+    scan 0
+  in
+  if has "unknown relation" then "unknown-relation"
+  else if has "atom " && contains "arity" then "arity"
+  else if has "disjunctive normal form" then "dnf-blowup"
+  else if has "formula not in negation normal form" then "not-nnf"
+  else if has "no relational atoms" then "no-atoms"
+  else if has "free variable" then "unbound-free-variable"
+  else if has "variable " then "unsafe-variable"
+  else if has "comparison over unbound" then "unbound-comparison"
+  else if has "disjuncts disagree" then "union-type-mismatch"
+  else "other"
+
+let fallback_counter cls =
+  Obs.Registry.counter
+    ~labels:[ ("reason", cls) ]
+    ~help:"Queries that fell back to the active-domain evaluator"
+    "prefdb_planner_fallback_total"
+
+(* register the family eagerly: a scrape of a process that never fell
+   back must still show the zero, not a missing series *)
+let () = ignore (fallback_counter "other")
+
+let count_fallback reason =
+  Obs.Metric.incr (fallback_counter (reason_class reason))
+
+let qerror ~est ~actual =
+  Float.abs (Float.log2 ((est +. 1.0) /. (Float.of_int actual +. 1.0)))
+
+(* Walk every executed node once; plans share subtrees between
+   disjuncts (node caching), so dedup on [nid]. *)
+let qerrors plan =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec node (n : Phys.node) =
+    if not (Hashtbl.mem seen n.Phys.nid) then begin
+      Hashtbl.add seen n.Phys.nid ();
+      if n.Phys.actual >= 0 then
+        acc := qerror ~est:n.Phys.est ~actual:n.Phys.actual :: !acc;
+      match n.Phys.shape with
+      | Phys.Scan _ | Phys.Empty -> ()
+      | Phys.Hash_join { left; right; _ } | Phys.Merge_join { left; right; _ }
+      | Phys.Diff (left, right) ->
+        node left;
+        node right
+      | Phys.Filter (_, inner) | Phys.Project (_, inner) -> node inner
+      | Phys.Union ns -> List.iter node ns
+    end
+  in
+  let rec bnode (b : Phys.bnode) =
+    match b.Phys.bshape with
+    | Phys.B_const _ -> ()
+    | Phys.B_not inner -> bnode inner
+    | Phys.B_and bs | Phys.B_or bs -> List.iter bnode bs
+    | Phys.B_block n -> node n
+  in
+  (match plan with
+  | Phys.Rows { root; _ } -> node root
+  | Phys.Bool b -> bnode b);
+  List.rev !acc
+
+let record_qerrors plan =
+  List.iter (Obs.Metric.observe qerror_hist) (qerrors plan)
+
+let qerror_summary () =
+  let snap = Obs.Metric.snapshot qerror_hist in
+  if snap.Obs.Metric.count = 0 then None
+  else
+    Some
+      ( Obs.Metric.quantile snap 0.5,
+        snap.Obs.Metric.max,
+        snap.Obs.Metric.count )

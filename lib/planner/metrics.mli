@@ -1,0 +1,35 @@
+(** Planner metrics: phase latency histograms, fallback accounting and
+    estimate-quality (q-error) tracking.
+
+    Recording happens in the spanned engine entry points and
+    {!Explain.run} — the span-free per-repair hot path only pays a
+    counter increment when it actually falls back to the evaluator. *)
+
+val plan_seconds : Obs.Metric.histogram
+(** Time spent in {!Compile.compile}. *)
+
+val execute_seconds : Obs.Metric.histogram
+(** Time spent executing a compiled plan. *)
+
+val count_fallback : string -> unit
+(** Record one fallback to the active-domain evaluator, labelled with
+    the coarse class of the [Unsupported] reason. *)
+
+val reason_class : string -> string
+(** Map a free-form compiler rejection message to a bounded label set
+    ("unknown-relation", "arity", "dnf-blowup", ..., "other"), keeping
+    the fallback counter's label cardinality finite. *)
+
+val qerrors : Phys.plan -> float list
+(** Per-operator cardinality misestimates of every executed node:
+    [|log2 ((est + 1) / (actual + 1))|], shared subtrees counted
+    once. Nodes never executed (anti-join short cuts, unvisited
+    disjuncts) are skipped. *)
+
+val record_qerrors : Phys.plan -> unit
+(** Feed {!qerrors} into the q-error histogram. *)
+
+val qerror_summary : unit -> (float * float * int) option
+(** [(median, max, count)] of every q-error recorded so far in this
+    process, from the histogram (median is bucket-interpolated);
+    [None] when nothing was recorded. *)

@@ -64,6 +64,7 @@ let help_text =
   \  undo                 revert the most recent insert/delete\n\
   \  prefer DECL          add a preference (as in the file format)\n\
   \  save FILE            write the instance and preferences back out\n\
+  \  metrics              process metrics in Prometheus text format\n\
   \  help                 this text\n\
   \  quit                 leave"
 
@@ -336,6 +337,22 @@ let plan_json st text =
       | report -> Ok (Planner.Explain.to_json report)
       | exception Invalid_argument m -> Error m))
 
+(* One planner run rendered both ways — the slow-query log wants the
+   text and the JSON of the same report without executing twice. *)
+let explain_report st text =
+  match st.spec with
+  | None -> Error "no instance loaded (use: load FILE)"
+  | Some spec -> (
+    match Query.Parser.parse text with
+    | Error e -> Error e
+    | Ok q -> (
+      match planner_report st spec q with
+      | report ->
+        Ok
+          ( buffer_out (fun ppf -> Planner.Explain.pp ppf report),
+            Planner.Explain.to_json report )
+      | exception Invalid_argument m -> Error m))
+
 let cmd_explain st text =
   with_context st (fun spec c p ->
       match Query.Parser.parse text with
@@ -564,6 +581,7 @@ let exec st line =
     | "prefer", body -> cmd_prefer st body
     | "save", "" -> (st, "usage: save FILE")
     | "save", path -> cmd_save st path
+    | "metrics", _ -> (st, Obs.Registry.render ())
     | other, _ -> (st, Printf.sprintf "unknown command %S (try: help)" other)
   in
   if cmd = "" then run () else Obs.Span.with_span ("shell." ^ cmd) run

@@ -43,6 +43,7 @@
                          the incremental engine — a global preference
                          change invalidates every component)
     save FILE            write the instance and preferences back out
+    metrics              process metrics in Prometheus text format
     help                 this text
     v} *)
 
@@ -93,6 +94,11 @@ val plan_json : state -> string -> (Obs.Json.t, string) result
 (** The [plan] command's report as JSON (mode, operator tree with
     estimates and actuals, result) for the serve protocol's structured
     framing. [Error] on parse failure or when no instance is loaded. *)
+
+val explain_report : state -> string -> (string * Obs.Json.t, string) result
+(** One planner run rendered both ways: the [plan] command's text and
+    its JSON form, from the same execution — the slow-query log embeds
+    both without running the plan twice. *)
 
 val exec : state -> string -> state * string
 (** Execute one command line. Unknown commands and errors produce an

@@ -28,6 +28,7 @@ let () =
       ("delta", Test_delta.suite);
       ("vset_model", Test_vset_model.suite);
       ("obs", Test_obs.suite);
+      ("metrics", Test_metrics.suite);
       ("qcheck", Test_qcheck.suite);
       ("parallel", Test_parallel.suite);
     ]
