@@ -516,3 +516,43 @@ let write_plan_json path =
   Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map entry (List.rev !plan_entries)));
   close_out oc
+
+(* HYPER rows: the denial-constraint hypergraph section. Each row is one
+   timed operation on the hyperedge substrate; a row with a [baseline]
+   (the naive O(n^k) scan or the binary Conflict-path median it is
+   measured against) also carries its speedup, and a row with [edges]
+   records the hyperedge count of the instance involved — the workload
+   scale a timing claim rests on. Dumped as BENCH_hyper.json. *)
+let hyper_entries :
+    (string * float * float option * int option * string) list ref =
+  ref []
+
+let record_hyper ~name ~median ?baseline ?edges ~note () =
+  hyper_entries := (name, median, baseline, edges, note) :: !hyper_entries
+
+let write_hyper_json path =
+  let prev = previous_medians path "median_s" in
+  let oc = open_out path in
+  let entry (name, median, baseline, edges, note) =
+    let vs_base =
+      match baseline with
+      | Some b ->
+        Printf.sprintf ", \"baseline_s\": %.9f, \"speedup\": %.2f" b
+          (b /. median)
+      | None -> ""
+    in
+    let edge_field =
+      match edges with
+      | Some n -> Printf.sprintf ", \"edges\": %d" n
+      | None -> ""
+    in
+    Printf.sprintf
+      "    {\"name\": %s, \"median_s\": %.9f%s%s, \"note\": %s%s%s}"
+      (json_str name) median vs_base edge_field (json_str note)
+      (previous_field prev name) (env_fields ())
+  in
+  Printf.fprintf oc "{\n  \"experiment\": \"hypergraph-cqa\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map entry (List.rev !hyper_entries)));
+  close_out oc

@@ -1149,6 +1149,175 @@ let ext_hyper () =
   Harness.note "repairs of the n=14 instance: %d"
     (List.length (Core.Hyper.repairs small))
 
+(* --- HYPER: denial constraints on the hypergraph substrate ------------------------- *)
+
+(* The substrate claims, measured (dumped as BENCH_hyper.json):
+
+   1. violation detection: the postings-driven join (violation_sets)
+      against the seed's naive O(n^k) nested scan (violations) on the
+      same mixed-arity denial set — the >= 10x claim.
+   2. binary parity: a pure-FD workload through Hyper.of_fds +
+      Hdecompose must return the verdicts of Conflict.build + Decompose
+      at comparable cost — generalizing must not tax the common case.
+   3. scale: the clustered million-fact scenario (20k under --quick):
+      build, decompose and ground certainty, with the unflagged
+      consistent tail kept out of every join by the flag-gate probe. *)
+let hyper_bench () =
+  Harness.section "HYPER" "denial constraints on the hypergraph substrate";
+  let ground_q h i =
+    let t = Core.Hyper.tuple h i in
+    Query.Ast.Atom
+      ("R", List.map (fun v -> Query.Ast.Const v) (Relational.Tuple.values t))
+  in
+  (* -- 1. violation detection: postings join vs the naive scan -- *)
+  let n_scan = sz 240 100 in
+  let rng = Prng.create 41 in
+  let rel, denials =
+    Generator.random_denial_instance rng ~n:n_scan
+      ~a_values:(max 1 (n_scan / 8)) ~payload_values:16 ~cap_chance:0.01
+      ~skew:false
+  in
+  let schema = Relational.Relation.schema rel in
+  (* Same witnesses first: the naive scan reports witness sets as
+     value-deduplicated tuple lists, so fold the join's fact-id sets
+     down to the same shape before comparing. *)
+  let arr = Relational.Relation.tuple_array rel in
+  let as_tuples vs =
+    List.sort_uniq Relational.Tuple.compare
+      (List.map (fun i -> arr.(i)) (Vset.elements vs))
+  in
+  List.iter
+    (fun dc ->
+      let naive = Constraints.Denial.violations schema dc rel in
+      let join =
+        List.sort_uniq
+          (List.compare Relational.Tuple.compare)
+          (List.map as_tuples (Constraints.Denial.violation_sets schema dc rel))
+      in
+      if naive <> join then
+        failwith
+          (Printf.sprintf "HYPER: scan and join disagree on %S"
+             (Constraints.Denial.label dc)))
+    denials;
+  let detect_naive () =
+    List.fold_left
+      (fun acc dc ->
+        acc + List.length (Constraints.Denial.violations schema dc rel))
+      0 denials
+  in
+  let detect_join () =
+    List.fold_left
+      (fun acc dc ->
+        acc + List.length (Constraints.Denial.violation_sets schema dc rel))
+      0 denials
+  in
+  let witnesses = detect_join () in
+  let t_naive = Harness.measure ~samples:3 detect_naive in
+  let t_join = Harness.measure detect_join in
+  Harness.table
+    ~header:
+      [
+        Printf.sprintf "violation detection (n=%d, %d witnesses)" n_scan
+          witnesses;
+        "time";
+      ]
+    [
+      [ "naive O(n^k) scan"; Harness.time_cell t_naive ];
+      [ "postings join"; Harness.time_cell t_join ];
+      [ "speedup"; Printf.sprintf "%.0fx" (t_naive /. t_join) ];
+    ];
+  Harness.record_hyper
+    ~name:(Printf.sprintf "violations/n=%d" n_scan)
+    ~median:t_join ~baseline:t_naive ~edges:witnesses
+    ~note:"mixed arity-1/2/3 denial set; baseline = seed O(n^k) nested scan"
+    ();
+  (* -- 2. binary parity: of_fds + Hdecompose vs Conflict + Decompose -- *)
+  let pfacts = sz 20_000 2_000 and pgroups = sz 512 64 in
+  let prel, pfds = Generator.clustered_conflicts ~facts:pfacts ~groups:pgroups ~width:4 in
+  let h0 = Core.Hyper.of_fds pfds prel in
+  let qp = ground_q h0 0 in
+  let conflict_path () =
+    let c = Conflict.build pfds prel in
+    let d = Core.Decompose.make c (Priority.empty c) in
+    Core.Decompose.certainty Family.Rep d qp
+  in
+  let hyper_path () =
+    let h = Core.Hyper.of_fds pfds prel in
+    let hd = Core.Hdecompose.make h (Core.Hpriority.empty h) in
+    Core.Hdecompose.certainty Core.Hfamily.Rep hd qp
+  in
+  let vc = conflict_path () and vh = hyper_path () in
+  if vc <> vh then failwith "HYPER: parity verdict mismatch vs Conflict path";
+  let t_conflict = Harness.measure conflict_path in
+  let t_hyper = Harness.measure hyper_path in
+  Harness.table
+    ~header:[ Printf.sprintf "FD parity (n=%d)" pfacts; "build+decompose+CQA" ]
+    [
+      [ "Conflict + Decompose (binary)"; Harness.time_cell t_conflict ];
+      [ "of_fds + Hdecompose"; Harness.time_cell t_hyper ];
+      [ "ratio (binary/hyper)"; Printf.sprintf "%.2fx" (t_conflict /. t_hyper) ];
+    ];
+  Harness.record_hyper
+    ~name:(Printf.sprintf "fd-parity/n=%d" pfacts)
+    ~median:t_hyper ~baseline:t_conflict
+    ~edges:(Hypergraph.edge_count (Core.Hyper.hypergraph h0))
+    ~note:
+      "pure-FD workload, end-to-end build+decompose+ground CQA; baseline = \
+       binary Conflict/Decompose path"
+    ();
+  (* -- 3. scale: the clustered (million-fact) scenario -- *)
+  let sfacts = sz 1_000_000 20_000 and sgroups = sz 2048 256 in
+  let srel, sdenials =
+    Generator.denial_clusters ~facts:sfacts ~groups:sgroups ~width:6
+  in
+  let t_build =
+    Harness.measure_cold ~samples:3 (fun () -> Core.Hyper.build sdenials srel)
+  in
+  let h = Core.Hyper.build sdenials srel in
+  let edges = Hypergraph.edge_count (Core.Hyper.hypergraph h) in
+  let p = Core.Hpriority.empty h in
+  let t_dec =
+    Harness.measure_cold ~samples:3 (fun () -> Core.Hdecompose.make h p)
+  in
+  let hd = Core.Hdecompose.make h p in
+  let qt = ground_q h (sfacts - 1) in
+  if Core.Hdecompose.certainty Core.Hfamily.Rep hd qt <> Core.Cqa.Certainly_true
+  then failwith "HYPER: consistent tail fact not certainly true";
+  let t_cqa =
+    Harness.measure (fun () -> Core.Hdecompose.certainty Core.Hfamily.Rep hd qt)
+  in
+  Harness.table
+    ~header:
+      [
+        Printf.sprintf "scale (n=%d, %d hyperedges, %d components)" sfacts
+          edges
+          (Core.Hdecompose.component_count hd);
+        "time";
+      ]
+    [
+      [ "Hyper.build"; Harness.time_cell t_build ];
+      [ "Hdecompose.make"; Harness.time_cell t_dec ];
+      [ "ground certainty (tail fact)"; Harness.time_cell t_cqa ];
+    ];
+  Harness.note
+    "the unflagged tail never enters a violation join: the constant F=1 \
+     probe gates every multi-tuple denial";
+  Harness.record_hyper
+    ~name:(Printf.sprintf "build/n=%d" sfacts)
+    ~median:t_build ~edges
+    ~note:"clustered mixed-arity build; flag-gated postings probes" ();
+  Harness.record_hyper
+    ~name:(Printf.sprintf "decompose/n=%d" sfacts)
+    ~median:t_dec ~edges
+    ~note:
+      (Printf.sprintf "%d components; tail lands in the free set"
+         (Core.Hdecompose.component_count hd))
+    ();
+  Harness.record_hyper
+    ~name:(Printf.sprintf "certainty/n=%d" sfacts)
+    ~median:t_cqa ~edges
+    ~note:"ground tail fact, Rep family, after decomposition" ()
+
 (* --- VSET: bitset representation vs the tree-backed seed ---------------------------- *)
 
 (* --- STORE: the durable store's snapshot and log --------------------------------- *)
@@ -1219,7 +1388,7 @@ let store_bench () =
   let rel, fds = Generator.clustered_conflicts ~facts ~groups ~width in
   load_pair
     ~shape:(Printf.sprintf "clustered-%dx%dx%d" facts groups width)
-    { IF.relation = rel; fds; provenance = Relational.Provenance.empty;
+    { IF.relation = rel; fds; denials = []; provenance = Relational.Provenance.empty;
       prefs = [] };
   (* name-heavy variant: every row carries a fresh string, so this one
      actually exercises the dictionary remap path *)
@@ -1239,7 +1408,7 @@ let store_bench () =
   in
   load_pair
     ~shape:(Printf.sprintf "names-%d" names)
-    { IF.relation = nrel; fds = []; provenance = Relational.Provenance.empty;
+    { IF.relation = nrel; fds = []; denials = []; provenance = Relational.Provenance.empty;
       prefs = [] };
   (* WAL: append latency (write + fsync, the ack point) on one file,
      replay throughput over a fixed record count on another *)
@@ -1973,6 +2142,7 @@ let () =
   if want "QUALITY" then quality ();
   if want "EXT-AGG" then ext_aggregate ();
   if want "EXT-HYPER" then ext_hyper ();
+  if want "HYPER" then hyper_bench ();
   if want "OBS" then obs_bench ();
   if want "PAR" then par_bench ();
   if want "STORE" then store_bench ();
@@ -2010,6 +2180,10 @@ let () =
   if want "PLAN" then begin
     Harness.write_plan_json "BENCH_plan.json";
     Format.printf "  BENCH_plan.json written.@."
+  end;
+  if want "HYPER" then begin
+    Harness.write_hyper_json "BENCH_hyper.json";
+    Format.printf "  BENCH_hyper.json written.@."
   end;
   if (not !Harness.quick) && !only = "" then run_bechamel ();
   Format.printf "@.done.@."

@@ -297,7 +297,7 @@ let count_cmd =
         Format.printf "%s: %d preferred repair(s) across %d conflict component(s)@."
           (Family.name_to_string family)
           (Core.Decompose.count family d)
-          (List.length (Core.Decompose.components d));
+          (Core.Decompose.component_count d);
         0)
   in
   Cmd.v
@@ -721,7 +721,7 @@ let update_cmd =
                 "%s: %d preferred repair(s) across %d conflict component(s)@."
                 (Family.name_to_string family)
                 (Core.Decompose.count family d)
-                (List.length (Core.Decompose.components d));
+                (Core.Decompose.component_count d);
               Format.printf "%a@." Core.Decompose.pp_counters
                 (Core.Decompose.counters d);
               (match save with
@@ -956,11 +956,14 @@ let init_cmd =
         Format.eprintf "error: %s@." e;
         1
       | Ok () ->
-        Format.printf "initialized %s: %d tuple(s), %d fd(s), %d preference(s)@."
+        Format.printf "initialized %s: %d tuple(s), %d fd(s), %d preference(s)%s@."
           dir
           (Relational.Relation.cardinality spec.IF.relation)
           (List.length spec.IF.fds)
-          (List.length spec.IF.prefs);
+          (List.length spec.IF.prefs)
+          (match spec.IF.denials with
+          | [] -> ""
+          | ds -> Printf.sprintf ", %d denial(s)" (List.length ds));
         0)
   in
   Cmd.v
@@ -1260,6 +1263,204 @@ let validate_slowlog_cmd =
           together or not at all. Exits non-zero on violation.")
     Term.(const (with_jobs run) $ jobs_arg $ log_file_arg)
 
+(* --- hyper: denial-constraint CQA over the hyperedge substrate ----------------- *)
+
+module Hfamily = Core.Hfamily
+
+(* The denial constraints in force: declared [denial] lines, or — when
+   none are declared — the FDs compiled to denial form, so the hyper
+   commands answer on any instance file. *)
+let denials_of spec =
+  match spec.IF.denials with
+  | [] ->
+    let schema = Relational.Relation.schema spec.IF.relation in
+    List.concat_map (Constraints.Denial.of_fd schema) spec.IF.fds
+  | dcs -> dcs
+
+let hyper_context spec =
+  match Core.Hyper.build (denials_of spec) spec.IF.relation with
+  | exception Invalid_argument m -> Error m
+  | h -> (
+    match IF.to_rule spec with
+    | Error e -> Error e
+    | Ok rule -> (
+      match Core.Hpriority.of_rule h rule with
+      | Error e -> Error e
+      | Ok p -> Ok (h, p)))
+
+let with_hyper path f =
+  match load path with
+  | Error e ->
+    Format.eprintf "error: %s@." e;
+    1
+  | Ok spec -> (
+    match hyper_context spec with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok (h, p) -> f spec h p)
+
+let hfamily_arg =
+  let parse s =
+    match Hfamily.name_of_string s with
+    | Some f -> Ok f
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown family %S (use rep|pareto|global)" s))
+  in
+  Arg.(value & opt (conv (parse, Hfamily.pp_name)) Hfamily.Rep
+       & info [ "f"; "family" ] ~docv:"FAMILY"
+           ~doc:
+             "Preferred-repair family on the hyperedge substrate: rep, \
+              pareto or global (default rep).")
+
+let hyper_info_cmd =
+  let run path =
+    with_hyper path (fun spec h p ->
+        let dcs = denials_of spec in
+        Format.printf "denials:    %d%s@." (List.length dcs)
+          (if spec.IF.denials = [] && dcs <> [] then " (compiled from the fds)"
+           else "");
+        List.iter
+          (fun dc -> Format.printf "  %s@." (Constraints.Denial.to_string dc))
+          dcs;
+        let d = Core.Hdecompose.make h p in
+        Format.printf "facts:      %d live@."
+          (Graphs.Vset.cardinal (Core.Hyper.live h));
+        Format.printf "hyperedges: %d@."
+          (Graphs.Hypergraph.edge_count (Core.Hyper.hypergraph h));
+        Format.printf "oriented:   %d arc(s)@." (Core.Hpriority.arc_count p);
+        Format.printf "components: %d (largest %d)@."
+          (Core.Hdecompose.component_count d)
+          (Core.Hdecompose.max_component d);
+        Format.printf "consistent: %b@." (Core.Hyper.is_consistent h);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:
+         "Show the denial constraints in force and the conflict \
+          hypergraph they induce: hyperedges, oriented pairs, components.")
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg)
+
+let hyper_count_cmd =
+  let run path family trace_out =
+    with_trace trace_out @@ fun () ->
+    with_hyper path (fun _spec h p ->
+        let d = Core.Hdecompose.make h p in
+        Format.printf "%s: %d preferred repair(s) across %d component(s)@."
+          (Hfamily.name_to_string family)
+          (Core.Hdecompose.count family d)
+          (Core.Hdecompose.component_count d);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "count"
+       ~doc:
+         "Count the preferred repairs of the denial-constraint instance \
+          (component-factorized on the hypergraph).")
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ hfamily_arg $ trace_out_arg)
+
+let hyper_repairs_cmd =
+  let run path family limit =
+    with_hyper path (fun _spec h p ->
+        let repairs = Hfamily.repairs family h p in
+        Format.printf "%s: %d preferred repair(s)@."
+          (Hfamily.name_to_string family)
+          (List.length repairs);
+        List.iteri
+          (fun i s ->
+            if i < limit then begin
+              Format.printf "--- repair %d ---@." (i + 1);
+              Relational.Relation.iter
+                (fun t -> Format.printf "  %a@." Relational.Tuple.pp t)
+                (Core.Hyper.to_relation h s)
+            end)
+          repairs;
+        if List.length repairs > limit then
+          Format.printf "... (%d more; raise --limit)@."
+            (List.length repairs - limit);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "repairs"
+       ~doc:
+         "Enumerate the preferred repairs (maximal independent sets of \
+          the conflict hypergraph surviving the family's filter).")
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ hfamily_arg $ limit_arg)
+
+let hyper_check_cmd =
+  let candidate_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"CANDIDATE"
+             ~doc:"Instance file holding the candidate repair (same schema).")
+  in
+  let run path candidate family =
+    with_hyper path (fun _spec h p ->
+        match load candidate with
+        | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+        | Ok cand -> (
+          match Hfamily.check_relation family h p cand.IF.relation with
+          | exception Invalid_argument m ->
+            Format.eprintf "error: %s@." m;
+            1
+          | ok ->
+            Format.printf "%s-repair check: %s@."
+              (Hfamily.name_to_string family)
+              (if ok then "YES" else "NO");
+            if ok then 0 else 2))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Is the candidate a preferred repair of the denial-constraint \
+          instance? Exits 0 for yes, 2 for no.")
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ candidate_arg $ hfamily_arg)
+
+let hyper_query_cmd =
+  let query_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"A closed query (shell query language).")
+  in
+  let run path family text trace_out =
+    with_trace trace_out @@ fun () ->
+    with_hyper path (fun _spec h p ->
+        match Query.Parser.parse text with
+        | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+        | Ok q ->
+          if not (Query.Ast.is_closed q) then begin
+            Format.eprintf "error: hyper query requires a closed query@.";
+            1
+          end
+          else begin
+            let d = Core.Hdecompose.make h p in
+            Format.printf "%s-consistent answer: %s@."
+              (Hfamily.name_to_string family)
+              (Core.Cqa.certainty_to_string (Core.Hdecompose.certainty family d q));
+            0
+          end)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Compute the preferred consistent answer to a closed query under \
+          denial constraints (true in every preferred repair, false in \
+          every one, or ambiguous).")
+    Term.(const (with_jobs run) $ jobs_arg $ file_arg $ hfamily_arg $ query_arg
+          $ trace_out_arg)
+
+let hyper_cmd =
+  Cmd.group
+    (Cmd.info "hyper"
+       ~doc:
+         "Denial-constraint CQA: the conflict hypergraph substrate (§6), \
+          with Pareto- and globally-optimal repair families.")
+    [ hyper_info_cmd; hyper_count_cmd; hyper_repairs_cmd; hyper_check_cmd;
+      hyper_query_cmd ]
+
 (* --- main --------------------------------------------------------------------- *)
 
 let () =
@@ -1284,5 +1485,5 @@ let () =
             info_cmd; stats_cmd; repairs_cmd; check_cmd; count_cmd; clean_cmd;
             query_cmd; explain_cmd; plan_cmd; status_cmd; facts_cmd; aggregate_cmd;
             update_cmd; shell_cmd; profile_cmd; validate_trace_cmd;
-            validate_slowlog_cmd; init_cmd; serve_cmd; metrics_cmd;
+            validate_slowlog_cmd; init_cmd; serve_cmd; metrics_cmd; hyper_cmd;
           ]))

@@ -17,6 +17,7 @@ let () =
     {
       IF.relation;
       fds;
+      denials = [];
       provenance = Relational.Provenance.empty;
       prefs = [ IF.Attribute ("B", `Larger) ];
     }

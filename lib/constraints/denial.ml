@@ -99,6 +99,220 @@ let violations schema dc r =
 
 let satisfied schema dc r = violations schema dc r = []
 
+(* --- postings-backed violation detection --------------------------------
+
+   The nested scan above instantiates all n^k variable assignments. The
+   joins below instead drive each variable's candidate set through the
+   relation's per-column postings: an equality atom linking the variable
+   to an already-assigned variable (or to a constant) becomes one
+   [Relation.matching] probe, and the candidate sets intersect
+   word-parallel. Atoms outside the equality fragment (and equality atoms
+   between two columns of the same variable) are evaluated as filters the
+   moment all their variables are assigned. A variable no equality atom
+   reaches falls back to scanning the live ids — the fragment guarantee
+   is per-variable, not all-or-nothing. *)
+
+type side = Svar of int * int  (* variable, column *) | Sconst of Value.t
+
+let compile schema dc =
+  List.map
+    (fun a ->
+      let side = function
+        | Attr (i, at) -> Svar (i, Schema.position_exn schema at)
+        | Const v -> Sconst v
+      in
+      (side a.left, a.op, side a.right))
+    dc.body
+
+let eval_side r ass = function
+  | Sconst v -> v
+  | Svar (i, col) -> Tuple.get (Relation.fact r ass.(i)) col
+
+(* Atoms are checked as soon as their last variable is assigned: for the
+   variable order [order], atom vars ⊆ order[0..d] and the atom mentions
+   order.(d). Constant-only atoms are checked once, up front. *)
+let atom_schedule k order catoms =
+  let depth_of = Array.make k 0 in
+  Array.iteri (fun d j -> depth_of.(j) <- d) order;
+  let slot = Array.make k [] in
+  let upfront = ref [] in
+  List.iter
+    (fun ((l, _, r) as a) ->
+      let d =
+        match (l, r) with
+        | Sconst _, Sconst _ -> -1
+        | Svar (i, _), Sconst _ | Sconst _, Svar (i, _) -> depth_of.(i)
+        | Svar (i, _), Svar (j, _) -> max depth_of.(i) depth_of.(j)
+      in
+      if d < 0 then upfront := a :: !upfront else slot.(d) <- a :: slot.(d))
+    catoms;
+  (!upfront, slot)
+
+let violation_sets_gen schema dc r restrict order =
+  (match wf schema dc with Ok () -> () | Error e -> invalid_arg e);
+  let k = dc.nvars in
+  let catoms = compile schema dc in
+  let upfront, slot = atom_schedule k order catoms in
+  let live = Relation.live_ids r in
+  let ass = Array.make k (-1) in
+  let assigned = Array.make k false in
+  let witnesses = ref [] in
+  let atom_ok (l, op, rt) =
+    eval_cmp op (eval_side r ass l) (eval_side r ass rt)
+  in
+  if List.for_all atom_ok upfront then begin
+    let rec go d =
+      if d = k then
+        witnesses :=
+          Graphs.Vset.of_list (Array.to_list ass) :: !witnesses
+      else begin
+        let j = order.(d) in
+        let cands =
+          ref (match restrict j with Some s -> s | None -> live)
+        in
+        (* one postings probe per equality atom reaching variable j from
+           an assigned variable or a constant *)
+        List.iter
+          (fun (l, op, rt) ->
+            if op = Eq then
+              match (l, rt) with
+              | Svar (i, ci), Svar (j', cj) when j' = j && i <> j && assigned.(i)
+                ->
+                cands :=
+                  Graphs.Vset.inter !cands
+                    (Relation.matching r cj
+                       (Tuple.packed_get (Relation.fact r ass.(i)) ci))
+              | Svar (j', cj), Svar (i, ci) when j' = j && i <> j && assigned.(i)
+                ->
+                cands :=
+                  Graphs.Vset.inter !cands
+                    (Relation.matching r cj
+                       (Tuple.packed_get (Relation.fact r ass.(i)) ci))
+              | (Svar (j', cj), Sconst v | Sconst v, Svar (j', cj))
+                when j' = j ->
+                cands :=
+                  Graphs.Vset.inter !cands
+                    (Relation.matching r cj (Value.pack v))
+              | _ -> ())
+          catoms;
+        Graphs.Vset.iter
+          (fun id ->
+            ass.(j) <- id;
+            assigned.(j) <- true;
+            if List.for_all atom_ok slot.(d) then go (d + 1);
+            assigned.(j) <- false)
+          !cands
+      end
+    in
+    go 0
+  end;
+  List.sort_uniq Graphs.Vset.compare !witnesses
+
+let identity_order k = Array.init k Fun.id
+
+(* The FD-compiled shape — two variables compared column-for-column,
+   equalities on the grouping columns and exactly one disequality —
+   defeats the generic join: within a group that agrees on every
+   equality column the probe offers the whole group as candidates and
+   the single Neq filter rejects pair after pair, O(group²) on data
+   whose conflicts are sparse or absent. Recognize the shape and bucket
+   each group by the Neq column instead, exactly as the binary conflict
+   builder does: cross-bucket pairs are the violations, O(group + edges)
+   per group and zero on clean groups. *)
+let fd_shape schema dc =
+  if dc.nvars <> 2 then None
+  else
+    let eqs = ref [] and neqs = ref [] and ok = ref true in
+    List.iter
+      (fun a ->
+        match (a.left, a.op, a.right) with
+        | Attr (i, c), ((Eq | Neq) as op), Attr (j, c')
+          when c = c' && ((i = 0 && j = 1) || (i = 1 && j = 0)) ->
+          let pos = Schema.position_exn schema c in
+          if op = Eq then eqs := pos :: !eqs else neqs := pos :: !neqs
+        | _ -> ok := false)
+      dc.body;
+    match (!ok, List.sort_uniq compare !eqs, List.sort_uniq compare !neqs) with
+    | true, eqs, [ neq ] when not (List.mem neq eqs) -> Some (eqs, neq)
+    | _ -> None
+
+let fd_violation_sets r (eqs, neq) =
+  let witnesses = ref [] in
+  let group_edges ids =
+    match ids with
+    | [] | [ _ ] -> ()
+    | ids ->
+      let buckets = Hashtbl.create 8 in
+      List.iter
+        (fun i ->
+          let v = Tuple.packed_get (Relation.fact r i) neq in
+          Hashtbl.replace buckets v
+            (i :: Option.value ~default:[] (Hashtbl.find_opt buckets v)))
+        ids;
+      if Hashtbl.length buckets > 1 then begin
+        let parts =
+          Array.of_list (Hashtbl.fold (fun _ part acc -> part :: acc) buckets [])
+        in
+        for a = 0 to Array.length parts - 2 do
+          List.iter
+            (fun u ->
+              for b = a + 1 to Array.length parts - 1 do
+                List.iter
+                  (fun v ->
+                    witnesses := Graphs.Vset.of_list [ u; v ] :: !witnesses)
+                  parts.(b)
+              done)
+            parts.(a)
+        done
+      end
+  in
+  (match eqs with
+  | [] -> group_edges (Graphs.Vset.elements (Relation.live_ids r))
+  | [ col ] ->
+    (* single grouping column: the postings entries ARE the groups *)
+    Relation.iter_groups r col (fun _key ids ->
+        group_edges (Graphs.Vset.elements ids))
+  | eqs ->
+    List.iter (Relation.prepare_column r) eqs;
+    let groups = Hashtbl.create 64 in
+    Graphs.Vset.iter
+      (fun i ->
+        let key = Tuple.project_packed (Relation.fact r i) eqs in
+        Hashtbl.replace groups key
+          (i :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+      (Relation.live_ids r);
+    Hashtbl.iter (fun _ ids -> group_edges ids) groups);
+  List.sort_uniq Graphs.Vset.compare !witnesses
+
+let violation_sets schema dc r =
+  (match wf schema dc with Ok () -> () | Error e -> invalid_arg e);
+  match fd_shape schema dc with
+  | Some shape -> fd_violation_sets r shape
+  | None ->
+    violation_sets_gen schema dc r (fun _ -> None) (identity_order dc.nvars)
+
+let violation_sets_pinned schema dc r id =
+  let k = dc.nvars in
+  let runs =
+    List.init k (fun q ->
+        (* start the join at the pinned variable so every later variable
+           can probe against it *)
+        let order =
+          Array.of_list
+            (q :: List.filter (fun j -> j <> q) (List.init k Fun.id))
+        in
+        violation_sets_gen schema dc r
+          (fun j ->
+            if j = q then
+              Some
+                (Graphs.Vset.inter
+                   (Graphs.Vset.singleton id)
+                   (Relation.live_ids r))
+            else None)
+          order)
+  in
+  List.sort_uniq Graphs.Vset.compare (List.concat runs)
+
 let of_fd schema fd =
   let eq_atoms =
     List.map (fun a -> { left = Attr (0, a); op = Eq; right = Attr (1, a) })
@@ -136,3 +350,148 @@ let pp ppf dc =
          Format.fprintf ppf "%a %a %a" pp_operand a.left pp_cmp a.op pp_operand
            a.right))
     dc.body
+
+(* --- textual round-trip --------------------------------------------------
+
+   The canonical form, used by the [.pref] text format and the snapshot
+   codec:
+
+     'label' forall K : t1.A = t2.A and t1.B != t2.B and t1.C > 10
+
+   Tuple variables are 1-based (matching {!pp}), the label and name
+   constants are single-quoted with [\'] and [\\] escapes, and the colon
+   stands alone so whitespace tokenization round-trips. *)
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Leq -> "<="
+  | Geq -> ">="
+
+let operand_to_string = function
+  | Attr (i, a) -> Printf.sprintf "t%d.%s" (i + 1) a
+  | Const (Value.Int n) -> string_of_int n
+  | Const v -> (
+    match Value.as_name v with Some s -> quote s | None -> assert false)
+
+let to_string dc =
+  Printf.sprintf "%s forall %d : %s" (quote dc.label) dc.nvars
+    (String.concat " and "
+       (List.map
+          (fun a ->
+            Printf.sprintf "%s %s %s" (operand_to_string a.left)
+              (cmp_to_string a.op)
+              (operand_to_string a.right))
+          dc.body))
+
+type token = Tbare of string | Tquoted of string
+
+let lex s =
+  let n = String.length s in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let rec skip i = if i < n && (s.[i] = ' ' || s.[i] = '\t') then skip (i + 1) else i in
+  let rec quoted i =
+    if i >= n then Error "unterminated quote"
+    else
+      match s.[i] with
+      | '\'' ->
+        out := Tquoted (Buffer.contents buf) :: !out;
+        Buffer.clear buf;
+        token (i + 1)
+      | '\\' when i + 1 < n ->
+        Buffer.add_char buf s.[i + 1];
+        quoted (i + 2)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  and bare i =
+    if i >= n || s.[i] = ' ' || s.[i] = '\t' then begin
+      out := Tbare (Buffer.contents buf) :: !out;
+      Buffer.clear buf;
+      token i
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      bare (i + 1)
+    end
+  and token i =
+    let i = skip i in
+    if i >= n then Ok (List.rev !out)
+    else if s.[i] = '\'' then quoted (i + 1)
+    else bare i
+  in
+  token 0
+
+let parse_operand tok =
+  match tok with
+  | Tquoted s -> Ok (Const (Value.Name s))
+  | Tbare s -> (
+    match int_of_string_opt s with
+    | Some n -> Ok (Const (Value.Int n))
+    | None ->
+      let bad () = Error (Printf.sprintf "bad operand %S" s) in
+      if String.length s >= 4 && s.[0] = 't' then
+        match String.index_opt s '.' with
+        | Some dot when dot >= 2 && dot < String.length s - 1 -> (
+          match int_of_string_opt (String.sub s 1 (dot - 1)) with
+          | Some i when i >= 1 ->
+            Ok (Attr (i - 1, String.sub s (dot + 1) (String.length s - dot - 1)))
+          | _ -> bad ())
+        | _ -> bad ()
+      else bad ())
+
+let parse_cmp = function
+  | "=" -> Ok Eq
+  | "!=" -> Ok Neq
+  | "<" -> Ok Lt
+  | ">" -> Ok Gt
+  | "<=" -> Ok Leq
+  | ">=" -> Ok Geq
+  | s -> Error (Printf.sprintf "bad comparison operator %S" s)
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok x -> f x
+
+let rec parse_atoms acc = function
+  | [] -> Ok (List.rev acc)
+  | l :: Tbare op :: r :: rest ->
+    let* left = parse_operand l in
+    let* op = parse_cmp op in
+    let* right = parse_operand r in
+    let atom = { left; op; right } in
+    (match rest with
+    | [] -> Ok (List.rev (atom :: acc))
+    | Tbare "and" :: rest -> parse_atoms (atom :: acc) rest
+    | _ -> Error "expected 'and' between atoms")
+  | _ -> Error "expected: OPERAND CMP OPERAND"
+
+let of_string s =
+  let* toks = lex s in
+  let label, toks =
+    match toks with
+    | Tquoted label :: rest -> (label, rest)
+    | _ -> ("denial", toks)
+  in
+  match toks with
+  | Tbare "forall" :: Tbare k :: Tbare ":" :: rest -> (
+    match int_of_string_opt k with
+    | Some nvars when nvars >= 1 -> (
+      let* body = parse_atoms [] rest in
+      match make ~label ~nvars body with
+      | dc -> Ok dc
+      | exception Invalid_argument m -> Error m)
+    | _ -> Error (Printf.sprintf "bad variable count %S" k))
+  | _ -> Error "expected: ['label'] forall K : atoms"

@@ -48,9 +48,38 @@ val violations : Schema.t -> t -> Relation.t -> Tuple.t list list
 
 val satisfied : Schema.t -> t -> Relation.t -> bool
 
+val violation_sets : Schema.t -> t -> Relation.t -> Graphs.Vset.t list
+(** {!violations} on the fact-id substrate: witnesses as sets of live
+    fact ids, sorted by [Vset.compare]. Equality atoms are joined through
+    the relation's per-column postings ([Relation.matching] probes
+    intersected word-parallel) instead of the nested n^k scan; atoms
+    outside the equality fragment are applied as filters as soon as their
+    variables are assigned, and a variable no equality atom reaches falls
+    back to scanning the live ids. *)
+
+val violation_sets_pinned : Schema.t -> t -> Relation.t -> int -> Graphs.Vset.t list
+(** The witnesses involving one given fact id: the join of
+    {!violation_sets} restarted once per variable position with that
+    variable pinned to the fact — the incremental (insert) path, which
+    never rescans the unrelated part of the instance. *)
+
 val of_fd : Schema.t -> Fd.t -> t list
 (** An FD X → Y as denial constraints, one per right-hand-side attribute
     B: ∀t₁t₂ ¬(t₁.X = t₂.X ∧ t₁.B ≠ t₂.B). The union of their violation
     hyperedges equals the FD's conflict pairs. *)
+
+val to_string : t -> string
+(** Canonical text form, e.g.
+    ['no-dup' forall 2 : t1.A = t2.A and t1.B != t2.B] — the label
+    single-quoted (with [\'] and [\\] escapes), tuple variables 1-based,
+    name constants quoted, the colon standing alone. Inverse of
+    {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parses {!to_string}'s form. The leading quoted label is optional
+    (defaults to ["denial"]). *)
+
+val quote : string -> string
+(** Single-quote a string with the escapes {!of_string} understands. *)
 
 val pp : Format.formatter -> t -> unit

@@ -75,6 +75,11 @@ val components : t -> Vset.t list
     paths ([count], [certainty], [iter], ...) never materialize the
     singletons; prefer them on large instances. *)
 
+val component_count : t -> int
+(** [List.length (components d)] without synthesizing the free
+    singletons (each would be a dense [Vset] sized by its fact id —
+    gigabytes on a million-fact instance). *)
+
 val max_component : t -> int
 (** Size of the largest connected component — the parameter every
     exponential bound below is measured in. 0 iff there are no

@@ -1,6 +1,18 @@
 open Relational
 open Graphs
 
+(* {!Decompose} lifted to the hyperedge substrate: component sharding,
+   free-vertex aggregation, the slot-stable component array, the
+   per-slot preferred-repair cache and the Pool-parallel warm / count /
+   certainty paths all carry over — with two hypergraph-specific
+   differences. (1) "Conflict-free" means covered by NO hyperedge, not
+   "has no neighbors": a vertex in a singleton edge {v} has no
+   neighbors yet is inconsistent alone, forms its own one-vertex
+   component and contributes the empty repair. (2) The per-component
+   sub-instances rebuild through {!Hyper.build}, whose violation
+   re-detection on the induced tuples reproduces exactly the
+   component's edges (witnesses are hereditary under restriction). *)
+
 type counters = {
   mutable cache_hits : int;
   mutable cache_misses : int;
@@ -33,9 +45,8 @@ let fresh_counters () =
   }
 
 (* Parallel jobs shard their counting into per-lane records and the
-   submitting domain folds the shards back in after the join, so the
-   shared record is only ever mutated by one domain. Integer addition
-   commutes, so the merged totals are independent of scheduling. *)
+   submitting domain folds the shards back in after the join (integer
+   addition commutes, so totals are schedule-independent). *)
 let merge_counters dst z =
   dst.cache_hits <- dst.cache_hits + z.cache_hits;
   dst.cache_misses <- dst.cache_misses + z.cache_misses;
@@ -51,54 +62,42 @@ let merge_counters dst z =
   dst.cache_retained <- dst.cache_retained + z.cache_retained
 
 type t = {
-  conflict : Conflict.t;
-  priority : Priority.t;
+  hyper : Hyper.t;
+  priority : Hpriority.t;
   components : Vset.t array;
-      (* multi-vertex components only, indexed by component SLOT, so
-         [component_of] is O(1). Slots are stable across [apply_delta]:
-         an untouched component keeps its slot (and so its [comp_index]
-         entries and cache keys), a dirtied one frees it for reuse.
-         [Vset.empty] marks a free slot — every consumer iterating this
-         array skips empties. *)
+      (* multi-vertex (or covered-singleton) components, indexed by
+         component SLOT; [Vset.empty] marks a free slot *)
   free : Vset.t;
-      (* live conflict-free vertices, aggregated into ONE set instead of
-         one singleton component each. A dense [Vset.singleton v] costs
-         O(v) words, so materializing a million singleton components
-         would be quadratic in the instance; the free set makes clean
-         tuples O(1) amortized everywhere. A free vertex belongs to
-         every repair, so it contributes factor 1 to every product and a
-         fixed summand to every aggregate. *)
+      (* live vertices covered by no hyperedge, aggregated into ONE set;
+         a free vertex belongs to every preferred repair *)
   comp_index : int array;
       (* slot of the vertex's component; -1 = free or tombstoned *)
-  cache : (Family.name * int, Vset.t list) Hashtbl.t;
+  cache : (Hfamily.name * int, Vset.t list) Hashtbl.t;
       (* (family, component slot) -> preferred repairs in original ids *)
   counters : counters;
 }
 
-let make conflict priority =
-  Obs.Span.with_span "decompose.make" @@ fun () ->
-  let g = Conflict.graph conflict in
-  let live = Conflict.live conflict in
-  let n = Conflict.size conflict in
+let make hyper priority =
+  Obs.Span.with_span "hdecompose.make" @@ fun () ->
+  let hg = Hyper.hypergraph hyper in
+  let covered = Hypergraph.covered hg in
+  let live = Hyper.live hyper in
+  let n = Hyper.size hyper in
   let comp_index = Array.make (max 1 n) (-1) in
   let comps = ref [] in
   let nslots = ref 0 in
-  (* discover the multi-vertex components only: tombstoned vertices of an
-     incrementally updated conflict and conflict-free live tuples are
-     both isolated in the graph and never allocate a component *)
+  (* covered vertices only: tombstones and edge-free live tuples never
+     allocate a component. A singleton-edge vertex is covered with no
+     neighbors and becomes a one-vertex component. *)
   for v = 0 to n - 1 do
-    if
-      comp_index.(v) < 0
-      && Vset.mem v live
-      && not (Vset.is_empty (Undirected.neighbors g v))
-    then begin
+    if comp_index.(v) < 0 && Vset.mem v live && Vset.mem v covered then begin
       let rec grow frontier comp =
         if Vset.is_empty frontier then comp
         else begin
           let comp = Vset.union comp frontier in
           let next =
             Vset.fold
-              (fun u acc -> Vset.union acc (Undirected.neighbors g u))
+              (fun u acc -> Vset.union acc (Hypergraph.neighbors hg u))
               frontier Vset.empty
           in
           grow (Vset.diff next comp) comp
@@ -111,7 +110,7 @@ let make conflict priority =
     end
   done;
   let components = Array.of_list (List.rev !comps) in
-  let free = Vset.inter live (Undirected.isolated g) in
+  let free = Vset.diff live covered in
   if Obs.Span.enabled () then
     Obs.Span.annotate
       [
@@ -119,7 +118,7 @@ let make conflict priority =
           Obs.Event.Int (Array.length components + Vset.cardinal free) );
       ];
   {
-    conflict;
+    hyper;
     priority;
     components;
     free;
@@ -128,13 +127,11 @@ let make conflict priority =
     counters = fresh_counters ();
   }
 
-let conflict d = d.conflict
+let hyper d = d.hyper
 let priority d = d.priority
 
-(* logical components, in the canonical order (increasing smallest
-   vertex); free vertices are synthesized back into singleton sets here,
-   so the list is O(free · V/word) — fine for reporting, avoided by the
-   evaluation paths below *)
+(* logical components in canonical order; free vertices are synthesized
+   back into singleton sets — reporting only, never the hot path *)
 let components d =
   let multi =
     List.filter
@@ -146,7 +143,7 @@ let components d =
     (fun a b -> compare (Vset.min_elt a) (Vset.min_elt b))
     (List.rev_append singles multi)
 
-(* live slots of the multi-vertex components, ascending *)
+(* live slots of the stored components, ascending *)
 let live_slots d =
   let acc = ref [] in
   for ci = Array.length d.components - 1 downto 0 do
@@ -216,8 +213,6 @@ let pp_counters ppf z =
      components examined:    %d (%d early exit(s))"
     z.cache_hits z.cache_misses z.component_repairs z.combos_streamed
     z.components_examined z.early_exits;
-  (* the delta lines appear only once updates have actually flowed, so
-     output for the static pipeline is unchanged *)
   if z.deltas_applied > 0 then
     Format.fprintf ppf
       "@,\
@@ -229,54 +224,48 @@ let pp_counters ppf z =
   Format.fprintf ppf "@]"
 
 let component_of d v =
-  if v < 0 || v >= Conflict.size d.conflict || not (Conflict.is_live d.conflict v)
-  then invalid_arg "Decompose.component_of";
+  if v < 0 || v >= Hyper.size d.hyper || not (Hyper.is_live d.hyper v) then
+    invalid_arg "Hdecompose.component_of";
   let ci = d.comp_index.(v) in
   if ci < 0 then Vset.singleton v else d.components.(ci)
 
 (* --- incremental maintenance -------------------------------------------- *)
 
-(* Components and cache after a [Conflict.apply_delta]: only components
+(* Components and cache after a [Hyper.apply_delta]: only components
    actually reached by the delta are recomputed, and only their cache
-   entries die. By the delta invariants (added edges touch an inserted
-   vertex, removed edges a deleted one), a component none of whose
-   vertices was deleted or gained an edge is bit-for-bit unchanged in the
-   new graph — its repair lists, computed from the induced sub-instance,
-   stay valid and are rekeyed to the component's new position. Free
-   vertices reached by the delta re-enter the recomputation scope; any
-   recomputed component that comes out isolated lands back in the free
-   set rather than a slot. *)
-let apply_delta d conflict priority (delta : Conflict.delta) =
-  Obs.Span.with_span "decompose.apply_delta" @@ fun () ->
+   entries die — by the delta invariants (added edges touch an inserted
+   vertex, removed edges a deleted one) an untouched component's induced
+   sub-instance is unchanged. *)
+let apply_delta d hyper priority (delta : Hyper.delta) =
+  Obs.Span.with_span "hdecompose.apply_delta" @@ fun () ->
   let old_size = Array.length d.comp_index in
-  let g = Conflict.graph conflict in
-  let live' = Conflict.live conflict in
+  let hg = Hyper.hypergraph hyper in
+  let covered' = Hypergraph.covered hg in
+  let live' = Hyper.live hyper in
   (* old component slots (and free vertices) reached by the delta *)
   let touched = Hashtbl.create 8 in
   let touched_free = ref Vset.empty in
   let touch v =
-    (* only vertices of the old instance carry a current slot: inserted ids
-       lie past [old_size], and a tombstone's entry is stale *)
-    if v < old_size && Conflict.is_live d.conflict v then begin
+    if v < old_size && Hyper.is_live d.hyper v then begin
       let ci = d.comp_index.(v) in
       if ci >= 0 then Hashtbl.replace touched ci ()
       else touched_free := Vset.add v !touched_free
     end
   in
-  List.iter touch delta.Conflict.deleted;
+  List.iter touch delta.Hyper.deleted;
   List.iter
-    (fun (u, v) -> touch u; touch v)
-    (delta.Conflict.edges_added @ delta.Conflict.edges_removed);
+    (fun e -> Vset.iter touch e)
+    (delta.Hyper.edges_added @ delta.Hyper.edges_removed);
   (* survivors of the touched components, touched free vertices and every
-     inserted vertex — closed under adjacency in the new graph by the
-     delta invariants *)
+     inserted vertex — closed under shared-edge adjacency in the new
+     hypergraph by the delta invariants *)
   let scope =
     Hashtbl.fold
       (fun ci () acc -> Vset.union acc (Vset.inter d.components.(ci) live'))
       touched
       (Vset.union
          (Vset.inter !touched_free live')
-         (Vset.of_list delta.Conflict.inserted))
+         (Vset.of_list delta.Hyper.inserted))
   in
   let recomputed =
     let seen = ref Vset.empty in
@@ -290,7 +279,7 @@ let apply_delta d conflict priority (delta : Conflict.delta) =
               let comp = Vset.union comp frontier in
               let next =
                 Vset.fold
-                  (fun u acc -> Vset.union acc (Undirected.neighbors g u))
+                  (fun u acc -> Vset.union acc (Hypergraph.neighbors hg u))
                   frontier Vset.empty
               in
               grow (Vset.diff next comp) comp
@@ -302,15 +291,15 @@ let apply_delta d conflict priority (delta : Conflict.delta) =
         end)
       scope []
   in
-  (* recomputed isolates go back to the free set, not a slot *)
+  (* a recomputed vertex goes back to the free set only when NO edge
+     covers it — a singleton-edge vertex keeps (or gains) a slot *)
   let singles, multi =
-    List.partition (fun comp -> Vset.cardinal comp = 1) recomputed
+    List.partition
+      (fun comp ->
+        Vset.cardinal comp = 1 && not (Vset.mem (Vset.min_elt comp) covered'))
+      recomputed
   in
-  (* slots of untouched components (and their comp_index entries and
-     cache keys) carry over verbatim; dirtied slots are freed and reused
-     for the recomputed components, growing the array only when a split
-     produces more components than were dirtied *)
-  let size' = max 1 (Conflict.size conflict) in
+  let size' = max 1 (Hyper.size hyper) in
   let old_index_len = Array.length d.comp_index in
   let comp_index =
     if size' = old_index_len then Array.copy d.comp_index
@@ -363,8 +352,8 @@ let apply_delta d conflict priority (delta : Conflict.delta) =
     d.cache;
   z.cache_retained <- z.cache_retained + Hashtbl.length cache;
   z.deltas_applied <- z.deltas_applied + 1;
-  z.edges_added <- z.edges_added + List.length delta.Conflict.edges_added;
-  z.edges_removed <- z.edges_removed + List.length delta.Conflict.edges_removed;
+  z.edges_added <- z.edges_added + List.length delta.Hyper.edges_added;
+  z.edges_removed <- z.edges_removed + List.length delta.Hyper.edges_removed;
   z.components_dirtied <- z.components_dirtied + Hashtbl.length touched;
   if Obs.Span.enabled () then
     Obs.Span.annotate
@@ -372,22 +361,24 @@ let apply_delta d conflict priority (delta : Conflict.delta) =
         ("dirtied", Obs.Event.Int (Hashtbl.length touched));
         ("recomputed", Obs.Event.Int (List.length recomputed));
       ];
-  (* the same mutable record carries over: telemetry accumulates across
-     the whole update history of the decomposition *)
-  { conflict; priority; components; free; comp_index; cache; counters = z }
+  { hyper; priority; components; free; comp_index; cache; counters = z }
 
 (* The sub-instance of one component. Tuples keep their relative order
-   under restriction, so new vertex i is the i-th smallest original id. *)
+   under restriction, so new vertex i is the i-th smallest original id.
+   [Hyper.build] re-detects the violations of the induced tuples, which
+   are exactly the component's edges: a witness among component tuples
+   is a witness of the full instance contained in the component, and
+   minimality is hereditary (any smaller witness is a subset, hence
+   also inside the component). *)
 let sub_context d comp =
-  let rel = Conflict.relation_of_vset d.conflict comp in
-  let sub = Conflict.build (Conflict.fds d.conflict) rel in
+  let rel = Hyper.to_relation d.hyper comp in
+  let sub = Hyper.build (Hyper.denials d.hyper) rel in
   let mapping = Array.of_list (Vset.elements comp) in
   let back = Hashtbl.create (Array.length mapping) in
   Array.iteri (fun i v -> Hashtbl.replace back v i) mapping;
-  (* priority arcs connect conflicting tuples, so every arc leaving a
-     component vertex stays inside the component: probing the successor
-     sets of the component's vertices finds them all in O(comp + arcs),
-     where walking [Priority.arcs] would cost O(V) per component *)
+  (* priority arcs connect co-edge facts, and every edge through a
+     component vertex lies inside the component, so probing the
+     successor sets of the component's vertices finds every arc *)
   let arcs =
     Vset.fold
       (fun u acc ->
@@ -397,21 +388,20 @@ let sub_context d comp =
             match Hashtbl.find_opt back v with
             | Some v' -> (u', v') :: acc
             | None -> acc)
-          (Priority.dominated d.priority u)
+          (Hpriority.dominated d.priority u)
           acc)
       comp []
   in
-  (sub, Priority.of_arcs_exn sub arcs, mapping)
+  (sub, Hpriority.of_arcs_exn sub arcs, mapping)
 
-(* Solve one component: everything here is pure with respect to [d] —
-   [sub_context] rebuilds a compact task-local instance — except the
-   counter bumps, which go to the caller-chosen shard [z]. That is what
-   lets [parallel_warm] run this on worker domains. *)
+(* Solve one component: pure with respect to [d] except the counter
+   bumps, which go to the caller-chosen shard [z] — what lets
+   [parallel_warm] run this on worker domains. *)
 let solve_component z d family comp =
-  Obs.Span.with_span "decompose.component"
+  Obs.Span.with_span "hdecompose.component"
     ~args:
       [
-        ("family", Obs.Event.Str (Family.name_to_string family));
+        ("family", Obs.Event.Str (Hfamily.name_to_string family));
         ("size", Obs.Event.Int (Vset.cardinal comp));
       ]
   @@ fun () ->
@@ -420,17 +410,17 @@ let solve_component z d family comp =
   let repairs =
     List.map
       (fun s -> Vset.map (fun v -> mapping.(v)) s)
-      (Family.repairs family sub p)
+      (Hfamily.repairs family sub p)
   in
   z.component_repairs <- z.component_repairs + List.length repairs;
   if Obs.Span.enabled () then
     Obs.Span.annotate [ ("repairs", Obs.Event.Int (List.length repairs)) ];
   repairs
 
-(* Is this one of the synthesized singleton components of a free vertex?
-   Free vertices are conflict-free, so their only preferred repair (for
-   every family) is the tuple itself; serving it from the free set keeps
-   clean tuples out of the cache. *)
+(* A synthesized singleton of a free vertex? Free vertices are covered
+   by no edge, so their only preferred repair (every family) is the
+   tuple itself; serving it from the free set keeps clean tuples out of
+   the cache. *)
 let free_singleton d comp =
   Vset.cardinal comp = 1 && d.comp_index.(Vset.min_elt comp) < 0
 
@@ -454,11 +444,10 @@ let preferred_within family d comp =
 (* --- the parallel cache fill --------------------------------------------- *)
 
 let parallel_warm family d todo =
-  (* [todo]: (slot, component) pairs, ascending slot order. Each index is
-     an independent component solve; counters shard per worker lane and
-     the submitting domain publishes the cache writes in slot order after
-     the join — workers never touch [d.cache] (sharded ownership: steals
-     publish through the owner). *)
+  (* [todo]: (slot, component) pairs, ascending slot order. Counters
+     shard per worker lane; the submitting domain publishes the cache
+     writes in slot order after the join — workers never touch
+     [d.cache]. *)
   let todo = Array.of_list todo in
   let n = Array.length todo in
   let results = Array.make n [] in
@@ -472,9 +461,6 @@ let parallel_warm family d todo =
   Array.iter (fun z -> merge_counters d.counters z) shards
 
 let warm_slots family d slots =
-  (* equivalent to a sequential [preferred_within] sweep over the slots:
-     one cache hit per already-cached component, one miss (plus a
-     "decompose.component" span and the repairs count) per filled one *)
   let todo =
     List.filter_map
       (fun ci ->
@@ -488,7 +474,8 @@ let warm_slots family d slots =
   match todo with
   | [] -> ()
   | [ (ci, comp) ] ->
-    Hashtbl.replace d.cache (family, ci) (solve_component d.counters d family comp)
+    Hashtbl.replace d.cache (family, ci)
+      (solve_component d.counters d family comp)
   | todo ->
     if Pool.jobs () <= 1 || Pool.in_parallel_region () then
       List.iter
@@ -512,34 +499,25 @@ let count_within family d comp =
       d.counters.cache_hits <- d.counters.cache_hits + 1;
       List.length repairs
     | None ->
-      (* counting path: stream the family over the sub-instance without
-         materializing the repair lists (and without populating the cache —
-         a later [preferred_within] still owns that) *)
-      Obs.Span.with_span "decompose.count"
+      Obs.Span.with_span "hdecompose.count"
         ~args:
           [
-            ("family", Obs.Event.Str (Family.name_to_string family));
+            ("family", Obs.Event.Str (Hfamily.name_to_string family));
             ("size", Obs.Event.Int (Vset.cardinal comp));
           ]
       @@ fun () ->
       d.counters.cache_misses <- d.counters.cache_misses + 1;
       let sub, p, _mapping = sub_context d comp in
       let n = ref 0 in
-      Family.iter family sub p (fun _ -> incr n);
+      Hfamily.iter family sub p (fun _ -> incr n);
       !n
   end
 
-(* repair counts multiply across components and overflow [int] long before
-   they overflow anyone's patience: saturate instead of wrapping. Both
-   arguments are >= 0, 0 annihilates and saturation triggers exactly when
-   the true product exceeds [max_int], so the fold is order-independent —
-   safe to combine in any schedule. *)
+(* repair counts multiply across components: saturate, don't wrap *)
 let sat_mul a b =
   if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
 
 let count family d =
-  (* warm the cache (in parallel when the pool has domains), then fold
-     the per-slot list lengths; free vertices contribute factor 1 *)
   warm family d;
   List.fold_left
     (fun acc ci ->
@@ -550,13 +528,14 @@ let count family d =
 
 let demand_of_clause d clause =
   Ground.of_clause
-    ~rel_name:(Schema.name (Conflict.schema d.conflict))
-    ~index:(Conflict.index d.conflict) clause
+    ~rel_name:(Schema.name (Hyper.schema d.hyper))
+    ~index:(Hyper.index d.hyper) clause
 
 (* A clause is satisfiable by a preferred repair iff each touched
-   component has a preferred repair meeting the clause's demands there
-   (P1 supplies arbitrary preferred repairs for untouched components, and
-   the family factorizes). *)
+   component has a preferred repair meeting the clause's demands there:
+   the families factorize componentwise (priorities connect co-edge
+   facts, improvements act within components) and are non-empty on
+   untouched components. *)
 exception Stop
 
 let clause_satisfiable family d { Ground.required; forbidden } =
@@ -572,10 +551,6 @@ let clause_satisfiable family d { Ground.required; forbidden } =
         (Vset.union required forbidden)
         Vset.empty
     in
-    (* with pool domains available, fill the touched components' repair
-       lists in parallel first; the per-component demand checks below are
-       then cache hits. (jobs = 1 keeps the lazy sequential sweep with its
-       mid-loop early exit.) *)
     if
       Pool.jobs () > 1
       && (not (Pool.in_parallel_region ()))
@@ -635,11 +610,8 @@ let certainty_ground family d q =
 
 (* --- streaming over the cross product ----------------------------------- *)
 
-(* The per-component preferred repairs, as arrays for cheap indexing.
-   Raises [Cqa.Empty_family] if any component contributes nothing: the
-   cross product would be empty, which P1 rules out (see [Cqa]). Free
-   vertices do not appear here — they belong to every combination and
-   are seeded into the accumulators by the consumers below. *)
+exception Empty_family of Hfamily.name
+
 let repair_matrix family d =
   warm family d;
   let lists =
@@ -649,7 +621,7 @@ let repair_matrix family d =
          (live_slots d))
   in
   Array.iter
-    (fun l -> if Array.length l = 0 then raise (Cqa.Empty_family family))
+    (fun l -> if Array.length l = 0 then raise (Empty_family family))
     lists;
   lists
 
@@ -657,8 +629,6 @@ let iter family d f =
   let lists = repair_matrix family d in
   let k = Array.length lists in
   if k = 0 then begin
-    (* no conflicting components: the single repair keeps exactly the
-       conflict-free tuples — mirrors [Mis.iter] on the edgeless graph *)
     d.counters.combos_streamed <- d.counters.combos_streamed + 1;
     f d.free
   end
@@ -682,7 +652,7 @@ let exists family d pred =
 let for_all family d pred = not (exists family d (fun r -> not (pred r)))
 
 let member family d r =
-  Vset.subset r (Conflict.live d.conflict)
+  Vset.subset r (Hyper.live d.hyper)
   && Vset.subset d.free r
   && Array.for_all
        (fun comp ->
@@ -694,32 +664,18 @@ let member family d r =
 
 let one family d =
   match repair_matrix family d with
-  | exception Cqa.Empty_family _ -> None
+  | exception Empty_family _ -> None
   | lists ->
     Some (Array.fold_left (fun acc l -> Vset.union acc l.(0)) d.free lists)
 
-(* Certainty of a quantified query by deviation scan + product fallback.
+let evaluate_in_repair d r q =
+  Planner.Engine.holds_relation (Hyper.to_relation d.hyper r) q
 
-   General (non-ground) queries do not reduce to per-component verdicts:
-   certainty is about the *combinations*, and a query can hold in every
-   single-deviation neighbour of a baseline repair yet fail in a repair
-   differing in two components at once. So:
-   - pass 1 scans all repairs at Hamming component-distance <= 1 from a
-     baseline; any disagreement settles [Ambiguous] early, after
-     enumerating only sum-per-component many repairs (exp in the largest
-     component, not the total);
-   - pass 2, needed only for a certain verdict when >= 2 components have
-     more than one preferred repair, walks the full cross product.
-
-   Both passes parallelize over independent slices of their search
-   space: pass 1 over components (each lane scans one component's
-   deviations), pass 2 over the first component's repair choices (each
-   lane owns a sub-product). A shared stop flag cancels the remaining
-   work the moment any lane finds a disagreement — the verdict is
-   scheduling-independent because every lane looks for the same
-   predicate, only how much counting happens before the exit varies. *)
+(* Certainty of a quantified query by deviation scan + product fallback —
+   the same two-pass structure, stop flags and counter sharding as
+   [Decompose.certainty_streaming]. *)
 let certainty_streaming family d q =
-  let eval r = Cqa.evaluate_in_repair d.conflict r q in
+  let eval r = evaluate_in_repair d r q in
   let lists = repair_matrix family d in
   let k = Array.length lists in
   if Obs.Span.enabled () then
@@ -730,8 +686,6 @@ let certainty_streaming family d q =
   end
   else begin
     let base = Array.map (fun l -> l.(0)) lists in
-    (* pre.(i) = free + union of base.(0..i-1); suf.(i) = union of
-       base.(i..k-1) — so pre.(k) is the full baseline repair *)
     let pre = Array.make (k + 1) d.free in
     for i = 0 to k - 1 do
       pre.(i + 1) <- Vset.union pre.(i) base.(i)
@@ -791,8 +745,8 @@ let certainty_streaming family d q =
     in
     if deviation_found then Cqa.Ambiguous
     else begin
-      (* pass 2: a certain verdict needs the full product whenever two or
-         more components can deviate simultaneously *)
+      (* pass 2: a certain verdict needs the full product whenever two
+         or more components can deviate simultaneously *)
       let multi =
         Array.fold_left
           (fun acc l -> if Array.length l > 1 then acc + 1 else acc)
@@ -856,9 +810,9 @@ let certainty_streaming family d q =
 
 let certainty family d q =
   if not (Query.Ast.is_closed q) then
-    invalid_arg "Decompose.certainty: open query";
-  Obs.Span.with_span "cqa.certainty"
-    ~args:[ ("family", Obs.Event.Str (Family.name_to_string family)) ]
+    invalid_arg "Hdecompose.certainty: open query";
+  Obs.Span.with_span "hcqa.certainty"
+    ~args:[ ("family", Obs.Event.Str (Hfamily.name_to_string family)) ]
   @@ fun () ->
   let before = if Obs.Span.enabled () then Some (counters d) else None in
   let verdict =
@@ -867,10 +821,7 @@ let certainty family d q =
       | Ok cert ->
         Obs.Span.annotate [ ("route", Obs.Event.Str "ground") ];
         cert
-      | Error _ ->
-        (* unknown relation, arity mismatch, ...: fall back to the generic
-           evaluator so the verdict matches the whole-graph path *)
-        certainty_streaming family d q
+      | Error _ -> certainty_streaming family d q
     else certainty_streaming family d q
   in
   (match before with
@@ -893,48 +844,20 @@ let consistent_answer family d q =
   if Query.Ast.is_ground q then
     match some_preferred_satisfies family d (Query.Ast.Not q) with
     | Ok sat -> not sat
-    | Error _ ->
-      for_all family d (fun r -> Cqa.evaluate_in_repair d.conflict r q)
+    | Error _ -> for_all family d (fun r -> evaluate_in_repair d r q)
   else begin
     if not (Query.Ast.is_closed q) then
-      invalid_arg "Decompose.consistent_answer: open query";
-    for_all family d (fun r -> Cqa.evaluate_in_repair d.conflict r q)
+      invalid_arg "Hdecompose.consistent_answer: open query";
+    for_all family d (fun r -> evaluate_in_repair d r q)
   end
 
-let consistent_answers_open family d q =
-  Obs.Span.with_span "cqa.open"
-    ~args:[ ("family", Obs.Event.Str (Family.name_to_string family)) ]
-  @@ fun () ->
-  let result = ref None in
-  (try
-     iter family d (fun r ->
-         let free, rows =
-           Planner.Engine.answers_relation (Repair.to_relation d.conflict r) q
-         in
-         match !result with
-         | None -> result := Some (free, rows)
-         | Some (free0, rows0) ->
-           let present = Hashtbl.create (List.length rows) in
-           List.iter (fun row -> Hashtbl.replace present row ()) rows;
-           let rows0 = List.filter (fun row -> Hashtbl.mem present row) rows0 in
-           result := Some (free0, rows0);
-           if rows0 = [] then begin
-             d.counters.early_exits <- d.counters.early_exits + 1;
-             raise Stop
-           end)
-   with Stop -> ());
-  match !result with
-  | Some answer -> answer
-  | None -> assert false (* iter raises Empty_family before this *)
-
 let certain_tuples family d =
-  (* conflict-free tuples are in every preferred repair *)
+  (* edge-free tuples are in every preferred repair *)
   fold_components
     (fun acc comp ->
       match preferred_within family d comp with
       | [] -> acc
-      | first :: rest ->
-        Vset.union acc (List.fold_left Vset.inter first rest))
+      | first :: rest -> Vset.union acc (List.fold_left Vset.inter first rest))
     d.free d
 
 let possible_tuples family d =
@@ -942,99 +865,3 @@ let possible_tuples family d =
     (fun acc comp ->
       List.fold_left Vset.union acc (preferred_within family d comp))
     d.free d
-
-(* --- aggregates ----------------------------------------------------------- *)
-
-let attr_position d attr =
-  let schema = Conflict.schema d.conflict in
-  match Schema.position schema attr with
-  | None ->
-    Error
-      (Printf.sprintf "schema %s has no attribute %S" (Schema.name schema) attr)
-  | Some i ->
-    if Schema.ty_at schema i <> Schema.TInt then
-      Error (Printf.sprintf "attribute %S is not numeric" attr)
-    else Ok i
-
-let aggregate_range family d agg =
-  let pos =
-    match agg with
-    | Aggregate.Count_all -> Ok (-1)
-    | Aggregate.Sum a | Aggregate.Min a | Aggregate.Max a -> attr_position d a
-  in
-  match pos with
-  | Error e -> Error e
-  | Ok pos ->
-    let value_of v =
-      match Value.as_int (Tuple.get (Conflict.tuple d.conflict v) pos) with
-      | Some n -> n
-      | None -> assert false
-    in
-    (* the aggregate's value inside one component repair *)
-    let local s =
-      match agg with
-      | Aggregate.Count_all -> Some (Vset.cardinal s)
-      | Aggregate.Sum _ ->
-        Some (Vset.fold (fun v acc -> acc + value_of v) s 0)
-      | Aggregate.Min _ ->
-        Vset.fold
-          (fun v acc ->
-            Some (match acc with None -> value_of v | Some m -> min m (value_of v)))
-          s None
-      | Aggregate.Max _ ->
-        Vset.fold
-          (fun v acc ->
-            Some (match acc with None -> value_of v | Some m -> max m (value_of v)))
-          s None
-    in
-    (* per-component extremes of the local value *)
-    let extremes comp =
-      let values =
-        List.filter_map local (preferred_within family d comp)
-      in
-      match values with
-      | [] -> None
-      | v :: vs -> Some (List.fold_left min v vs, List.fold_left max v vs)
-    in
-    (* a free vertex is in every repair, so it contributes one fixed
-       value — no singleton component is ever materialized for it *)
-    let per_component =
-      Vset.fold
-        (fun v acc ->
-          let e =
-            match agg with
-            | Aggregate.Count_all -> (1, 1)
-            | _ ->
-              let x = value_of v in
-              (x, x)
-          in
-          e :: acc)
-        d.free
-        (List.rev
-           (fold_components
-              (fun acc comp ->
-                match extremes comp with None -> acc | Some e -> e :: acc)
-              [] d))
-    in
-    let range =
-      match agg with
-      | Aggregate.Count_all | Aggregate.Sum _ ->
-        (* additive across components *)
-        let glb = List.fold_left (fun a (lo, _) -> a + lo) 0 per_component in
-        let lub = List.fold_left (fun a (_, hi) -> a + hi) 0 per_component in
-        Aggregate.{ glb = Some glb; lub = Some lub }
-      | Aggregate.Min _ ->
-        (* global MIN = min over components of the chosen local MIN *)
-        let fold f init = List.fold_left f init per_component in
-        let glb = fold (fun a (lo, _) -> min a lo) max_int in
-        let lub = fold (fun a (_, hi) -> min a hi) max_int in
-        if per_component = [] then Aggregate.{ glb = None; lub = None }
-        else Aggregate.{ glb = Some glb; lub = Some lub }
-      | Aggregate.Max _ ->
-        let fold f init = List.fold_left f init per_component in
-        let glb = fold (fun a (lo, _) -> max a lo) min_int in
-        let lub = fold (fun a (_, hi) -> max a hi) min_int in
-        if per_component = [] then Aggregate.{ glb = None; lub = None }
-        else Aggregate.{ glb = Some glb; lub = Some lub }
-    in
-    Ok range

@@ -1,0 +1,137 @@
+open Graphs
+
+type t = Digraph.t
+
+type error = Not_conflicting of int * int | Cyclic
+
+let error_to_string = function
+  | Not_conflicting (u, v) ->
+    Printf.sprintf
+      "priority arc %d > %d does not connect conflicting tuples" u v
+  | Cyclic -> "priority relation is cyclic"
+
+let empty h = Digraph.create (Hyper.size h) []
+
+let validate h g =
+  let bad =
+    List.find_opt
+      (fun (u, v) -> not (Hyper.conflicting h u v))
+      (Digraph.arcs g)
+  in
+  match bad with
+  | Some (u, v) -> Error (Not_conflicting (u, v))
+  | None -> if Digraph.has_cycle g then Error Cyclic else Ok g
+
+let of_arcs h arcs = validate h (Digraph.create (Hyper.size h) arcs)
+
+let of_arcs_exn h arcs =
+  match of_arcs h arcs with
+  | Ok p -> p
+  | Error e -> invalid_arg (error_to_string e)
+
+let of_tuple_pairs h pairs =
+  of_arcs h
+    (List.map
+       (fun (x, y) -> (Hyper.index_exn h x, Hyper.index_exn h y))
+       pairs)
+
+let arcs = Digraph.arcs
+let arc_count = Digraph.arc_count
+let dominates p x y = Digraph.mem_arc p x y
+let dominators p y = Digraph.pred p y
+let dominated p x = Digraph.succ p x
+
+let oriented p u v = dominates p u v || dominates p v u
+
+(* Conflicting pairs = unordered pairs inside a hyperedge; edges are
+   small (bounded by the widest constraint), so this is linear in the
+   edge store. *)
+let conflicting_pairs h =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun e ->
+         let vs = Vset.elements e in
+         List.concat_map
+           (fun u -> List.filter_map (fun v -> if u < v then Some (u, v) else None) vs)
+           vs)
+       (Hypergraph.edges (Hyper.hypergraph h)))
+
+let unoriented h p =
+  List.filter (fun (u, v) -> not (oriented p u v)) (conflicting_pairs h)
+
+(* Orient the conflicting pairs by a tuple-level rule, exactly as
+   {!Pref_rules.orient} does on the binary graph: an arc only where the
+   rule holds one way and not the other. *)
+let of_rule h rule =
+  let arcs =
+    List.concat_map
+      (fun (u, v) ->
+        let x = Hyper.tuple h u and y = Hyper.tuple h v in
+        let xy = rule x y and yx = rule y x in
+        if xy && not yx then [ (u, v) ]
+        else if yx && not xy then [ (v, u) ]
+        else [])
+      (conflicting_pairs h)
+  in
+  match of_arcs h arcs with
+  | Ok p -> Ok p
+  | Error e -> Error (error_to_string e)
+
+let is_total h p = unoriented h p = []
+
+let extend h p new_arcs = of_arcs h (new_arcs @ Digraph.arcs p)
+
+let totalize h p =
+  let order =
+    match Digraph.topological_order p with
+    | Some order -> order
+    | None -> assert false (* valid priorities are acyclic *)
+  in
+  let rank = Array.make (Hyper.size h) 0 in
+  List.iteri (fun i v -> rank.(v) <- i) order;
+  let new_arcs =
+    List.map
+      (fun (u, v) -> if rank.(u) < rank.(v) then (u, v) else (v, u))
+      (unoriented h p)
+  in
+  match extend h p new_arcs with
+  | Ok p' -> p'
+  | Error _ -> assert false (* arcs follow a linear order: acyclic *)
+
+let update h p ~dropped ~oriented =
+  Obs.Span.with_span "hpriority.update"
+    ~args:
+      [
+        ("dropped", Obs.Event.Int (Vset.cardinal dropped));
+        ("oriented", Obs.Event.Int (List.length oriented));
+      ]
+  @@ fun () ->
+  (* Unlike the binary case, a kept arc can lose its footing without
+     losing an endpoint: the hyperedge it lives on dies through a THIRD
+     vertex. So surviving arcs are re-checked against the updated
+     hypergraph, not just filtered by endpoint. *)
+  let kept =
+    List.filter
+      (fun (u, v) ->
+        (not (Vset.mem u dropped || Vset.mem v dropped))
+        && Hyper.conflicting h u v)
+      (Digraph.arcs p)
+  in
+  match oriented with
+  | [] ->
+    (* a subgraph of an acyclic graph is acyclic, and [kept] was just
+       revalidated against the updated hypergraph *)
+    Ok (Digraph.create (Hyper.size h) kept)
+  | _ :: _ -> of_arcs h (oriented @ kept)
+
+let winnow p s =
+  Vset.filter (fun v -> Vset.is_empty (Vset.inter (dominators p v) s)) s
+
+let restrict p s = Digraph.restrict p s
+
+let pp ppf p =
+  Format.fprintf ppf "@[{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (u, v) -> Format.fprintf ppf "t%d > t%d" u v))
+    (Digraph.arcs p)

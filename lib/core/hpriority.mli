@@ -1,0 +1,81 @@
+(** Priorities over conflict hypergraphs.
+
+    The Staworko–Chomicki prioritized-repairing framework
+    (arXiv:0908.0464) defines a priority as an acyclic binary relation
+    on {e conflicting} facts; under denial constraints two facts
+    conflict when they share a hyperedge. This is {!Priority} with the
+    adjacency test generalized — and one genuinely new wrinkle in
+    {!update}: a hyperedge can die through a third vertex, leaving both
+    endpoints of an arc alive but the arc invalid, so surviving arcs
+    are revalidated against the updated hypergraph. *)
+
+open Graphs
+
+type t
+
+type error =
+  | Not_conflicting of int * int
+      (** arc between vertices sharing no hyperedge *)
+  | Cyclic  (** the relation's transitive closure is not irreflexive *)
+
+val error_to_string : error -> string
+
+val empty : Hyper.t -> t
+
+val of_arcs : Hyper.t -> (int * int) list -> (t, error) result
+(** [(u, v)] meaning u ≻ v. Both endpoints must share a hyperedge. *)
+
+val of_arcs_exn : Hyper.t -> (int * int) list -> t
+
+val of_tuple_pairs :
+  Hyper.t -> (Relational.Tuple.t * Relational.Tuple.t) list -> (t, error) result
+
+val arcs : t -> (int * int) list
+val arc_count : t -> int
+
+val dominates : t -> int -> int -> bool
+(** [dominates p x y] is x ≻ y. *)
+
+val dominators : t -> int -> Vset.t
+val dominated : t -> int -> Vset.t
+
+val conflicting_pairs : Hyper.t -> (int * int) list
+(** The unordered pairs inside some hyperedge, as [(u, v)] with u < v —
+    the pairs a priority may orient. *)
+
+val unoriented : Hyper.t -> t -> (int * int) list
+(** Conflicting pairs (unordered pairs inside some hyperedge, as
+    [(u, v)] with u < v) carrying no orientation. *)
+
+val of_rule :
+  Hyper.t -> (Relational.Tuple.t -> Relational.Tuple.t -> bool) -> (t, string) result
+(** Orient every conflicting pair by a tuple-level preference rule
+    (an arc only where the rule holds one way and not the other) and
+    validate the result — the hyperedge counterpart of
+    {!Pref_rules.apply}. *)
+
+val is_total : Hyper.t -> t -> bool
+
+val extend : Hyper.t -> t -> (int * int) list -> (t, error) result
+
+val totalize : Hyper.t -> t -> t
+(** A canonical total extension along a topological order of the
+    existing arcs. Deterministic. *)
+
+val update :
+  Hyper.t -> t -> dropped:Vset.t -> oriented:(int * int) list ->
+  (t, error) result
+(** Carry a priority across {!Hyper.apply_delta}: [h] is the {e updated}
+    structure, [p] the priority over the previous one. Arcs touching
+    [dropped] are discarded, survivors are re-checked for co-conflict
+    (their edge may have died through a third vertex), [oriented] arcs
+    are added and the result re-validated. *)
+
+val winnow : t -> Vset.t -> Vset.t
+(** ω≻(S) = {t ∈ S | ¬∃t' ∈ S. t' ≻ t}; never empty on a non-empty set,
+    by acyclicity. *)
+
+val restrict : t -> Vset.t -> t
+(** Keep arcs inside the given vertex set (identifiers unchanged). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,15 +1,83 @@
 open Relational
 open Graphs
 
+(* Vertex ids ARE the relation's fact ids, exactly as in {!Conflict}:
+   the instance is the id-addressed store of {!Relational.Relation} and
+   this module keeps no tuple -> vertex map of its own. Violation
+   detection rides the relation's per-column postings through
+   {!Constraints.Denial.violation_sets} — the equality atoms of a
+   constraint are joined by postings probes instead of the O(n^k) nested
+   scan — and the incremental path re-detects only the witnesses
+   touching an inserted fact ({!Constraints.Denial.violation_sets_pinned}),
+   patching the packed hypergraph in place. *)
+
 type t = {
   denials : Constraints.Denial.t list;
-  relation : Relation.t;
-  tuples : Tuple.t array;
+  relation : Relation.t; (* fact id = vertex id; tombstones = dead vertices *)
   hyper : Hypergraph.t;
-  index : (Tuple.t, int) Hashtbl.t;
 }
 
+let m_builds =
+  Obs.Registry.counter ~help:"Conflict hypergraph builds"
+    "prefdb_hyper_builds_total"
+
+let m_build_seconds =
+  Obs.Registry.histogram ~help:"Conflict hypergraph build latency"
+    "prefdb_hyper_build_seconds"
+
+let m_edges =
+  Obs.Registry.gauge ~help:"Hyperedges in the last conflict hypergraph built"
+    "prefdb_hyper_edges"
+
+let m_deltas =
+  Obs.Registry.counter ~help:"Batched deltas applied to a conflict hypergraph"
+    "prefdb_hyper_deltas_total"
+
+(* Columns probed by the equality atoms: force their postings once so
+   the joins below never trigger a lazy build mid-flight. *)
+let eq_columns schema denials =
+  let cols = ref [] in
+  List.iter
+    (fun dc ->
+      List.iter
+        (fun { Constraints.Denial.left; op; right } ->
+          if op = Constraints.Denial.Eq then
+            List.iter
+              (function
+                | Constraints.Denial.Attr (_, a) -> (
+                  match Schema.position schema a with
+                  | Some c -> cols := c :: !cols
+                  | None -> ())
+                | Constraints.Denial.Const _ -> ())
+              [ left; right ])
+        (Constraints.Denial.body dc))
+    denials;
+  List.sort_uniq compare !cols
+
+let schema h = Relation.schema h.relation
+let denials h = h.denials
+let relation h = h.relation
+let hypergraph h = h.hyper
+let size h = Relation.slot_count h.relation
+let live h = Relation.live_ids h.relation
+let is_live h v = Vset.mem v (Relation.live_ids h.relation)
+
+let tuple h i =
+  if i < 0 || i >= size h then invalid_arg "Hyper.tuple: out of range";
+  Relation.fact h.relation i
+
+let index h t = Relation.find h.relation t
+let index_exn h t = Relation.find_exn h.relation t
+
 let build denials relation =
+  Obs.Span.with_span "hyper.build"
+    ~args:
+      [
+        ("tuples", Obs.Event.Int (Relation.cardinality relation));
+        ("denials", Obs.Event.Int (List.length denials));
+      ]
+  @@ fun () ->
+  let t0 = Obs.Span.now () in
   let schema = Relation.schema relation in
   List.iter
     (fun dc ->
@@ -17,52 +85,59 @@ let build denials relation =
       | Ok () -> ()
       | Error e -> invalid_arg e)
     denials;
-  let tuples = Relation.tuple_array relation in
-  let n = Array.length tuples in
-  let index = Hashtbl.create n in
-  Array.iteri (fun i t -> Hashtbl.replace index t i) tuples;
+  List.iter (Relation.prepare_column relation) (eq_columns schema denials);
   let edges =
     List.concat_map
-      (fun dc ->
-        List.map
-          (fun witness ->
-            Vset.of_list (List.map (Hashtbl.find index) witness))
-          (Constraints.Denial.violations schema dc relation))
+      (fun dc -> Constraints.Denial.violation_sets schema dc relation)
       denials
   in
-  { denials; relation; tuples; hyper = Hypergraph.create n edges; index }
+  let hyper = Hypergraph.create (Relation.slot_count relation) edges in
+  Obs.Metric.incr m_builds;
+  Obs.Metric.observe m_build_seconds (Obs.Span.now () -. t0);
+  Obs.Metric.set_gauge m_edges (float_of_int (Hypergraph.edge_count hyper));
+  if Obs.Span.enabled () then
+    Obs.Span.annotate
+      [ ("edges", Obs.Event.Int (Hypergraph.edge_count hyper)) ];
+  { denials; relation; hyper }
 
 let of_fds fds relation =
   let schema = Relation.schema relation in
   build (List.concat_map (Constraints.Denial.of_fd schema) fds) relation
 
-let relation h = h.relation
-let denials h = h.denials
-let hypergraph h = h.hyper
-let size h = Array.length h.tuples
+let is_consistent h = Hypergraph.edge_count h.hyper = 0
 
-let tuple h i =
-  if i < 0 || i >= size h then invalid_arg "Hyper.tuple: out of range";
-  h.tuples.(i)
+let repairs h = Hypergraph.enumerate ~universe:(live h) h.hyper
+let is_repair h s = Hypergraph.is_maximal_independent ~universe:(live h) h.hyper s
 
-let index h t = Hashtbl.find_opt h.index t
+let neighbors h v = Hypergraph.neighbors h.hyper v
+let edges_containing h v = Hypergraph.edges_containing h.hyper v
 
-let is_consistent h = Hypergraph.edges h.hyper = []
-
-let repairs h = Hypergraph.enumerate h.hyper
-let is_repair h s = Hypergraph.is_maximal_independent h.hyper s
+(* Do [u] and [v] share a hyperedge? The co-conflict test priority arcs
+   must pass; binary conflict graphs special-case this to edge lookup. *)
+let conflicting h u v =
+  u <> v
+  && u >= 0 && u < size h && v >= 0 && v < size h
+  && (let found = ref false in
+      List.iter
+        (fun e -> if Vset.mem v e then found := true)
+        (Hypergraph.edges_containing h.hyper u);
+      !found)
 
 let to_relation h s =
-  Relation.of_tuples
-    (Relation.schema h.relation)
-    (List.map (tuple h) (Vset.elements s))
+  Relation.of_tuples (schema h) (List.map (tuple h) (Vset.elements s))
+
+let vset_of_relation h r =
+  Relation.fold
+    (fun t acc ->
+      match index h t with
+      | Some v -> Vset.add v acc
+      | None -> invalid_arg "Hyper.vset_of_relation: tuple not in instance")
+    r Vset.empty
 
 (* --- polynomial ground CQA over hyperedges ----------------------------- *)
 
 let demand_of_clause h clause =
-  Ground.of_clause
-    ~rel_name:(Schema.name (Relation.schema h.relation))
-    ~index:(index h) clause
+  Ground.of_clause ~rel_name:(Schema.name (schema h)) ~index:(index h) clause
 
 (* A repair ⊇ required avoiding forbidden exists iff some independent
    S ⊇ required, S ∩ forbidden = ∅, blocks every forbidden vertex b: a
@@ -117,7 +192,125 @@ let ground_certainty h q =
       | Ok false -> Ok Cqa.Certainly_false
       | Ok true -> Ok Cqa.Ambiguous)
 
+(* --- incremental updates ----------------------------------------------- *)
+
+type delta = {
+  inserted : int list;
+  deleted : int list;
+  edges_added : Vset.t list;
+  edges_removed : Vset.t list;
+}
+
+let apply_delta h ~insert ~delete =
+  Obs.Span.with_span "hyper.apply_delta"
+    ~args:
+      [
+        ("insert", Obs.Event.Int (List.length insert));
+        ("delete", Obs.Event.Int (List.length delete));
+      ]
+  @@ fun () ->
+  let schema = schema h in
+  (* validate the batch up front, so a rejected delta leaves no trace *)
+  let rec validate_deletes seen = function
+    | [] -> Ok ()
+    | t :: rest ->
+      if not (Relation.mem h.relation t) then
+        Error
+          (Printf.sprintf "delete: tuple %s is not part of the instance"
+             (Tuple.to_string t))
+      else if List.exists (Tuple.equal t) seen then
+        Error
+          (Printf.sprintf "delete: tuple %s listed twice" (Tuple.to_string t))
+      else validate_deletes (t :: seen) rest
+  in
+  let rec validate_inserts seen = function
+    | [] -> Ok ()
+    | t :: rest ->
+      if not (Tuple.conforms schema t) then
+        Error
+          (Printf.sprintf "insert: tuple %s does not conform to schema %s"
+             (Tuple.to_string t) (Schema.name schema))
+      else if
+        Relation.mem h.relation t && not (List.exists (Tuple.equal t) delete)
+      then
+        Error
+          (Printf.sprintf "insert: tuple %s is already in the instance"
+             (Tuple.to_string t))
+      else if List.exists (Tuple.equal t) seen then
+        Error
+          (Printf.sprintf "insert: tuple %s listed twice" (Tuple.to_string t))
+      else validate_inserts (t :: seen) rest
+  in
+  match
+    match validate_deletes [] delete with
+    | Error _ as e -> e
+    | Ok () -> validate_inserts [] insert
+  with
+  | Error _ as e -> e
+  | Ok () ->
+    (* the store tombstones deletions and appends insertions under fresh
+       ids; its postings move in the same step, so the pinned probes
+       below see exactly the post-delta live instance *)
+    let relation', deleted, inserted =
+      Relation.patch h.relation ~delete ~insert
+    in
+    let deleted_set = Vset.of_list deleted in
+    (* edges that die: every minimal edge meeting a deleted vertex *)
+    let edges_removed =
+      List.sort_uniq Vset.compare
+        (List.concat_map
+           (fun v -> Hypergraph.edges_containing h.hyper v)
+           deleted)
+    in
+    (* new witnesses all involve an inserted fact: one pinned join per
+       inserted id, never a rescan of the unrelated instance. A witness
+       touching two inserted facts is found twice; sort_uniq collapses
+       it. Witnesses meeting the deleted set cannot arise (the pinned
+       join ranges over live ids only). *)
+    let edges_added =
+      List.sort_uniq Vset.compare
+        (List.concat_map
+           (fun (v, dc) ->
+             Constraints.Denial.violation_sets_pinned schema dc relation' v)
+           (List.concat_map
+              (fun v -> List.map (fun dc -> (v, dc)) h.denials)
+              inserted))
+    in
+    (* drop witnesses already present (an inserted fact can re-create a
+       surviving edge only if it matches an old id, which fresh ids
+       exclude; but a pinned join may also return witnesses made purely
+       of other inserted facts, already covered above — sort_uniq has
+       collapsed those) *)
+    let hyper' =
+      Hypergraph.patch h.hyper
+        ~n:(Relation.slot_count relation')
+        ~drop:deleted_set ~add:edges_added
+    in
+    Obs.Metric.incr m_deltas;
+    Obs.Metric.set_gauge m_edges
+      (float_of_int (Hypergraph.edge_count hyper'));
+    if Obs.Span.enabled () then
+      Obs.Span.annotate
+        [
+          ("edges_added", Obs.Event.Int (List.length edges_added));
+          ("edges_removed", Obs.Event.Int (List.length edges_removed));
+        ];
+    Ok
+      ( { h with relation = relation'; hyper = hyper' },
+        { inserted; deleted; edges_added; edges_removed } )
+
 let pp ppf h =
-  Format.fprintf ppf "@[<v>hyper-conflict structure:@,";
-  Array.iteri (fun i t -> Format.fprintf ppf "  t%d = %a@," i Tuple.pp t) h.tuples;
-  Format.fprintf ppf "%a@]" Hypergraph.pp h.hyper
+  Format.fprintf ppf "@[<v>hyper-conflict structure of %a with {%a}:@,"
+    Schema.pp (schema h)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Constraints.Denial.pp)
+    h.denials;
+  for i = 0 to size h - 1 do
+    if is_live h i then
+      Format.fprintf ppf "  t%d = %a@," i Tuple.pp (Relation.fact h.relation i)
+  done;
+  List.iter
+    (fun e -> Format.fprintf ppf "  edge %a@," Vset.pp e)
+    (Hypergraph.edges h.hyper);
+  Format.fprintf ppf "@]"

@@ -4,10 +4,12 @@
     Under denial constraints a conflict may involve any number of tuples,
     so the conflict graph becomes a hypergraph whose hyperedges are the
     minimal violation sets; repairs are the maximal subsets containing no
-    hyperedge. Priorities have no agreed meaning here (the paper leaves
-    that open), so the preferred families are not lifted; the classical
-    Rep machinery — repair enumeration, repair checking and the
-    polynomial ground-query CQA — is. *)
+    hyperedge. This module is {!Conflict} one level up: vertex ids are
+    the relation's fact ids (no private tuple map), violation detection
+    joins the equality atoms through the relation's per-column postings,
+    and {!apply_delta} patches the packed hypergraph incrementally
+    instead of rebuilding. Priorities over hyperedges live in
+    {!Hpriority}; the preferred-repair families in {!Hfamily}. *)
 
 open Relational
 open Graphs
@@ -15,32 +17,77 @@ open Graphs
 type t
 
 val build : Constraints.Denial.t list -> Relation.t -> t
-(** Raises [Invalid_argument] on ill-typed constraints. Cost O(nᵏ) for
-    arity-k constraints (k fixed by the schema). *)
+(** Raises [Invalid_argument] on ill-typed constraints. Violations of
+    the equality-atom fragment are found by postings joins; atoms
+    outside it filter candidate assignments as soon as their variables
+    are bound (see {!Constraints.Denial.violation_sets}). *)
 
 val of_fds : Constraints.Fd.t list -> Relation.t -> t
 (** FDs encoded as denial constraints; the resulting hypergraph has the
     conflict graph's edges (as 2-element hyperedges). *)
 
+val schema : t -> Schema.t
 val relation : t -> Relation.t
 val denials : t -> Constraints.Denial.t list
 val hypergraph : t -> Hypergraph.t
+
 val size : t -> int
+(** Number of vertex slots = [Relation.slot_count] (live + tombstoned). *)
+
+val live : t -> Vset.t
+val is_live : t -> int -> bool
+
 val tuple : t -> int -> Tuple.t
+(** The tuple at a fact id, live or tombstoned. *)
+
 val index : t -> Tuple.t -> int option
+val index_exn : t -> Tuple.t -> int
 
 val is_consistent : t -> bool
 
 val repairs : t -> Vset.t list
-(** All repairs (maximal independent sets of the hypergraph), sorted. *)
+(** All repairs: maximal independent subsets of the {e live} vertices,
+    sorted by [Vset.compare]. *)
 
 val is_repair : t -> Vset.t -> bool
 
+val neighbors : t -> int -> Vset.t
+(** Vertices sharing a hyperedge with [v]. *)
+
+val edges_containing : t -> int -> Vset.t list
+
+val conflicting : t -> int -> int -> bool
+(** Do the two (distinct, in-range) vertices share a hyperedge? The
+    validity test for priority arcs ({!Hpriority}). *)
+
 val to_relation : t -> Vset.t -> Relation.t
+val vset_of_relation : t -> Relation.t -> Vset.t
 
 val ground_certainty : t -> Query.Ast.t -> (Cqa.certainty, string) result
 (** The polynomial ground-query algorithm of {!Cqa.ground_certainty}
-    generalized to hyperedges: a forbidden fact b is blocked by choosing a
-    hyperedge e ∋ b and placing e \ {b} into the repair. *)
+    generalized to hyperedges: a forbidden fact b is blocked by choosing
+    a hyperedge e ∋ b and placing e \ {b} into the repair. *)
+
+(** {2 Incremental updates}
+
+    Mirror of {!Conflict.apply_delta} on the hyperedge substrate. *)
+
+type delta = {
+  inserted : int list;  (** fresh fact ids, in input order *)
+  deleted : int list;  (** tombstoned fact ids, in input order *)
+  edges_added : Vset.t list;
+      (** every added edge touches an inserted vertex; sorted *)
+  edges_removed : Vset.t list;
+      (** every removed edge touches a deleted vertex; sorted *)
+}
+
+val apply_delta :
+  t -> insert:Tuple.t list -> delete:Tuple.t list -> (t * delta, string) result
+(** Deletions are applied before insertions (deleting and re-inserting a
+    tuple in one batch is allowed and yields a fresh id). New witnesses
+    are re-detected only around the inserted facts
+    ({!Constraints.Denial.violation_sets_pinned}); dead edges are read
+    off the deleted vertices' incidence lists. A rejected delta (same
+    error messages as {!Conflict.apply_delta}) touches nothing. *)
 
 val pp : Format.formatter -> t -> unit

@@ -90,6 +90,14 @@ let r_fd rd =
   | Ok fd -> fd
   | Error m -> B.fail (Printf.sprintf "bad fd %S: %s" s m)
 
+let w_denial buf dc = B.w_str buf (Constraints.Denial.to_string dc)
+
+let r_denial rd =
+  let s = B.r_str_exn rd in
+  match Constraints.Denial.of_string s with
+  | Ok dc -> dc
+  | Error m -> B.fail (Printf.sprintf "bad denial %S: %s" s m)
+
 let w_pref buf = function
   | Instance_format.Source_pair (hi, lo) ->
     B.w_u8 buf 0;

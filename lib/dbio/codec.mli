@@ -39,6 +39,11 @@ val w_fd : Buffer.t -> Constraints.Fd.t -> unit
 
 val r_fd : Binio.reader -> Constraints.Fd.t
 
+val w_denial : Buffer.t -> Constraints.Denial.t -> unit
+(** As its textual form ({!Constraints.Denial.to_string}). *)
+
+val r_denial : Binio.reader -> Constraints.Denial.t
+
 val w_pref : Buffer.t -> Instance_format.pref -> unit
 (** Tagged: 0 source pair, 1 newest, 2 oldest, 3 attribute (+[u8]
     direction, 0 larger / 1 smaller), 4 formula (textual form). *)

@@ -10,6 +10,7 @@ type pref =
 type spec = {
   relation : Relation.t;
   fds : Constraints.Fd.t list;
+  denials : Constraints.Denial.t list;
   provenance : Provenance.t;
   prefs : pref list;
 }
@@ -196,6 +197,8 @@ type state = {
   schema : Schema.t option;
   tuples : (Tuple.t * Provenance.info) list;
   fds_acc : Constraints.Fd.t list;
+  denials_acc : (int * Constraints.Denial.t) list;
+      (* with the declaration's line, for positioned wf errors *)
   prefs_acc : pref list;
 }
 
@@ -232,6 +235,11 @@ let parse text =
             match Constraints.Fd.of_string body with
             | Error e -> fail e
             | Ok fd -> (lineno, Ok { st with fds_acc = fd :: st.fds_acc }))
+          | "denial" -> (
+            match Constraints.Denial.of_string body with
+            | Error e -> fail e
+            | Ok dc ->
+              (lineno, Ok { st with denials_acc = (lineno, dc) :: st.denials_acc }))
           | "tuple" -> (
             match st.schema with
             | None -> fail "tuple before relation declaration"
@@ -253,7 +261,10 @@ let parse text =
   in
   let _, result =
     List.fold_left step
-      (0, Ok { schema = None; tuples = []; fds_acc = []; prefs_acc = [] })
+      ( 0,
+        Ok
+          { schema = None; tuples = []; fds_acc = []; denials_acc = [];
+            prefs_acc = [] } )
       lines
   in
   match result with
@@ -263,7 +274,20 @@ let parse text =
     | None -> Error "no relation declaration"
     | Some schema -> (
       let fds = List.rev st.fds_acc in
-      match Constraints.Fd.wf_all schema fds with
+      let denial_decls = List.rev st.denials_acc in
+      let bad_denial =
+        List.find_map
+          (fun (lineno, dc) ->
+            match Constraints.Denial.wf schema dc with
+            | Ok () -> None
+            | Error e -> Some (Printf.sprintf "line %d: %s" lineno e))
+          denial_decls
+      in
+      match
+        match bad_denial with
+        | Some e -> Error e
+        | None -> Constraints.Fd.wf_all schema fds
+      with
       | Error e -> Error e
       | Ok () -> (
         try
@@ -281,7 +305,14 @@ let parse text =
                  (fun (_, i) -> i <> Provenance.no_info)
                  tuples)
           in
-          Ok { relation; fds; provenance; prefs = List.rev st.prefs_acc }
+          Ok
+            {
+              relation;
+              fds;
+              denials = List.map snd denial_decls;
+              provenance;
+              prefs = List.rev st.prefs_acc;
+            }
         with Invalid_argument m -> Error m)))
 
 let parse_file path =
@@ -402,6 +433,23 @@ let render spec =
       Buffer.add_string buf
         (Printf.sprintf "fd %s\n" (Constraints.Fd.to_string fd)))
     spec.fds;
+  List.iter
+    (fun dc ->
+      (* quoted parts of the denial line re-tokenize through the same
+         escape rules as names; a control byte would tear the line *)
+      checked (check_name "denial label") (Constraints.Denial.label dc);
+      List.iter
+        (fun { Constraints.Denial.left; right; _ } ->
+          List.iter
+            (function
+              | Constraints.Denial.Const (Value.Name s) ->
+                checked (check_name "name") s
+              | _ -> ())
+            [ left; right ])
+        (Constraints.Denial.body dc);
+      Buffer.add_string buf
+        (Printf.sprintf "denial %s\n" (Constraints.Denial.to_string dc)))
+    spec.denials;
   Relation.iter
     (fun t ->
       let values =

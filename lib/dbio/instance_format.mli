@@ -29,7 +29,21 @@
       [prefer formula t1.Salary > t2.Salary] (see {!Core.Pref_formula})
 
     Multiple [prefer] lines combine lexicographically in file order
-    (source pairs are pooled into one reliability order first). *)
+    (source pairs are pooled into one reliability order first).
+
+    Denial constraints (the paper's §6 generalization) are declared one
+    per line in {!Constraints.Denial.to_string}'s form — an optional
+    quoted label, the variable count, then the atoms:
+
+    {v
+    denial 'no-dup' forall 2 : t1.Name = t2.Name and t1.Dept != t2.Dept
+    denial 'cap' forall 1 : t1.Salary > 100000
+    v}
+
+    They are well-formedness-checked against the schema with positioned
+    errors, ride the snapshot alongside the FDs, and feed the conflict
+    {e hypergraph} pipeline ({!Core.Hyper}) rather than the binary
+    conflict graph. *)
 
 open Relational
 
@@ -43,6 +57,7 @@ type pref =
 type spec = {
   relation : Relation.t;
   fds : Constraints.Fd.t list;
+  denials : Constraints.Denial.t list;
   provenance : Provenance.t;
   prefs : pref list;
 }

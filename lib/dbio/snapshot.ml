@@ -3,7 +3,13 @@ module B = Binio
 module IF = Instance_format
 
 let magic = "PREFDBS1"
-let version = 2
+
+(* version 3 appends the denial-constraint list after the preferences;
+   a version-2 image (written before denials existed) decodes with
+   [denials = []], so old stores open unchanged *)
+let version = 3
+
+let min_version = 2
 let header_len = String.length magic + 4 + 8 + 8 + 4
 
 (* --- encoding ----------------------------------------------------------- *)
@@ -62,6 +68,7 @@ let encode ~generation spec =
     (Provenance.bindings spec.IF.provenance);
   Codec.w_list Codec.w_fd body spec.IF.fds;
   Codec.w_list Codec.w_pref body spec.IF.prefs;
+  Codec.w_list Codec.w_denial body spec.IF.denials;
   let body = Buffer.contents body in
   let out = Buffer.create (header_len + String.length body) in
   Buffer.add_string out magic;
@@ -74,7 +81,7 @@ let encode ~generation spec =
 
 (* --- decoding ----------------------------------------------------------- *)
 
-let decode_body rd =
+let decode_body ~v rd =
   let schema = Codec.r_schema rd in
   let tys =
     Array.of_list (List.map (fun a -> a.Schema.attr_ty) (Schema.attributes schema))
@@ -219,9 +226,10 @@ let decode_body rd =
   in
   let fds = Codec.r_list Codec.r_fd rd in
   let prefs = Codec.r_list Codec.r_pref rd in
+  let denials = if v >= 3 then Codec.r_list Codec.r_denial rd else [] in
   if B.remaining rd <> 0 then
     B.fail (Printf.sprintf "%d trailing byte(s) after the body" (B.remaining rd));
-  { IF.relation; fds; provenance; prefs }
+  { IF.relation; fds; denials; provenance; prefs }
 
 (* A million-slot decode allocates one small block per tuple, and the
    incremental major collector charges its marking slices to exactly
@@ -256,7 +264,7 @@ let decode image =
     with
     | Error e -> Error ("bad snapshot header: " ^ e)
     | Ok (v, generation, body_len, crc) ->
-      if v <> version then
+      if v < min_version || v > version then
         Error (Printf.sprintf "unsupported snapshot version %d (expected %d)" v version)
       else if generation < 0 then
         Error (Printf.sprintf "negative snapshot generation %d" generation)
@@ -271,7 +279,7 @@ let decode image =
         with_bulk_gc_pacing @@ fun () ->
         Result.map
           (fun spec -> (spec, generation))
-          (B.decode (B.reader ~pos:header_len image) decode_body)
+          (B.decode (B.reader ~pos:header_len image) (decode_body ~v))
 
 (* --- files -------------------------------------------------------------- *)
 

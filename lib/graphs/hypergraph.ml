@@ -1,4 +1,150 @@
-type t = { n : int; edges : Vset.t list; incident : Vset.t list array }
+(* Packed conflict hypergraphs.
+
+   Representation: the minimal edge set lives twice — as an array of
+   [Vset]s in canonical order (for the word-parallel subset tests every
+   independence check bottoms out in) and as one flat [verts] array
+   sliced by [starts] (for cheap vertex iteration without decoding a
+   bitset). Per-vertex incidence is a flat int array of edge ids sliced
+   by [inc_starts] — the hypergraph counterpart of [Undirected]'s packed
+   adjacency.
+
+   Subset-minimality is established once, in near-linear time: edges are
+   processed in ascending cardinality and an edge is implied exactly
+   when some already-kept edge hits it |e'| times across its member
+   vertices' incidence lists (counted with a timestamped scratch array),
+   instead of the quadratic all-pairs [Vset.subset] filter this
+   replaces. *)
+
+type t = {
+  n : int;
+  edge_sets : Vset.t array;  (* minimal, deduped, ascending Vset.compare *)
+  starts : int array;  (* edge id -> slice of [verts]; length edges+1 *)
+  verts : int array;  (* concatenated ascending vertex lists *)
+  inc_starts : int array;  (* vertex -> slice of [inc]; length n+1 *)
+  inc : int array;  (* incident edge ids, ascending per vertex *)
+  covered : Vset.t;  (* union of all edges *)
+}
+
+(* Canonicalization sorts edges twice ([Vset.compare] order is the
+   contract on [edge_sets]), and comparing small sparse sets as dense
+   word arrays scans every shared zero word of the bitmaps — under
+   thousands of two-element edges the comparisons dominated the whole
+   build. So each edge travels with its decoded vertex list: for the
+   increasing element sequences, [List.compare Int.compare] IS the
+   stdlib-Set lexicographic order [Vset.compare] implements, and it
+   stops at the first differing element. *)
+let lex_compare la lb = List.compare Int.compare la lb
+
+(* Keep only the subset-minimal edges of a deduplicated
+   [(card, elements, set)] list; returns [(elements, set)] pairs in
+   ascending canonical order. *)
+let minimal_edges n distinct =
+  let edges = Array.of_list distinct in
+  Array.sort
+    (fun (ca, la, _) (cb, lb, _) ->
+      let c = compare (ca : int) cb in
+      if c <> 0 then c else lex_compare la lb)
+    edges;
+  let m = Array.length edges in
+  let kept_card = Array.make m 0 in
+  let kept = Array.make m ([], Vset.empty) in
+  let nkept = ref 0 in
+  let inc = Array.make (max 1 n) [] in
+  (* hits.(k) counts, for the edge under test, how many of its vertices
+     the kept edge k contains; [stamp] invalidates stale counts so the
+     scratch arrays are never cleared *)
+  let hits = Array.make m 0 in
+  let stamp = Array.make m (-1) in
+  for ei = 0 to m - 1 do
+    let card, elts, e = edges.(ei) in
+    let implied = ref false in
+    List.iter
+      (fun v ->
+        if not !implied then
+          List.iter
+            (fun k ->
+              if stamp.(k) <> ei then begin
+                stamp.(k) <- ei;
+                hits.(k) <- 0
+              end;
+              hits.(k) <- hits.(k) + 1;
+              (* distinct edges of equal cardinality are never subsets,
+                 so a full hit count means a strictly smaller kept edge *)
+              if hits.(k) = kept_card.(k) then implied := true)
+            inc.(v))
+      elts;
+    if not !implied then begin
+      let k = !nkept in
+      kept.(k) <- (elts, e);
+      kept_card.(k) <- card;
+      incr nkept;
+      List.iter (fun v -> inc.(v) <- k :: inc.(v)) elts
+    end
+  done;
+  let out = Array.sub kept 0 !nkept in
+  Array.sort (fun (la, _) (lb, _) -> lex_compare la lb) out;
+  out
+
+let pack n minimal =
+  let m = Array.length minimal in
+  let starts = Array.make (m + 1) 0 in
+  for i = 0 to m - 1 do
+    let elts, _ = minimal.(i) in
+    starts.(i + 1) <- starts.(i) + List.length elts
+  done;
+  let verts = Array.make starts.(m) 0 in
+  let covered = ref Vset.empty in
+  Array.iteri
+    (fun i (elts, e) ->
+      covered := Vset.union !covered e;
+      let j = ref starts.(i) in
+      List.iter
+        (fun v ->
+          verts.(!j) <- v;
+          incr j)
+        elts)
+    minimal;
+  let deg = Array.make (n + 1) 0 in
+  Array.iter (fun v -> deg.(v) <- deg.(v) + 1) verts;
+  let inc_starts = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    inc_starts.(v + 1) <- inc_starts.(v) + deg.(v)
+  done;
+  let fill = Array.copy inc_starts in
+  let inc = Array.make inc_starts.(n) 0 in
+  Array.iteri
+    (fun i (elts, _) ->
+      List.iter
+        (fun v ->
+          inc.(fill.(v)) <- i;
+          fill.(v) <- fill.(v) + 1)
+        elts)
+    minimal;
+  {
+    n;
+    edge_sets = Array.map snd minimal;
+    starts;
+    verts;
+    inc_starts;
+    inc;
+    covered = !covered;
+  }
+
+(* Dedup, minimalize and pack: shared tail of [create] and [patch].
+   Each raw edge is decoded once; all ordering below runs on the
+   element lists. *)
+let canonicalize n raw_edges =
+  let decorated =
+    List.map
+      (fun e ->
+        let elts = Vset.elements e in
+        (List.length elts, elts, e))
+      raw_edges
+  in
+  let distinct =
+    List.sort_uniq (fun (_, la, _) (_, lb, _) -> lex_compare la lb) decorated
+  in
+  pack n (minimal_edges n distinct)
 
 let create n raw_edges =
   if n < 0 then invalid_arg "Hypergraph.create: negative size";
@@ -11,60 +157,87 @@ let create n raw_edges =
             invalid_arg "Hypergraph.create: vertex out of range")
         e)
     raw_edges;
-  let distinct = List.sort_uniq Vset.compare raw_edges in
-  (* Drop edges implied by a subset: if e ⊂ e' then any set containing e'
-     contains e, so e' never matters for independence. *)
-  let minimal =
-    List.filter
-      (fun e ->
-        not
-          (List.exists
-             (fun e' -> (not (Vset.equal e e')) && Vset.subset e' e)
-             distinct))
-      distinct
-  in
-  let incident = Array.make n [] in
-  List.iter
-    (fun e -> Vset.iter (fun v -> incident.(v) <- e :: incident.(v)) e)
-    minimal;
-  { n; edges = minimal; incident }
+  canonicalize n raw_edges
 
 let size h = h.n
-let edges h = h.edges
+let edge_count h = Array.length h.edge_sets
+let edge h i = h.edge_sets.(i)
+let edges h = Array.to_list h.edge_sets
+let covered h = h.covered
+let isolated h = Vset.diff (Vset.of_range h.n) h.covered
+
+let iter_incident h v f =
+  for j = h.inc_starts.(v) to h.inc_starts.(v + 1) - 1 do
+    f h.inc.(j)
+  done
 
 let edges_containing h v =
   if v < 0 || v >= h.n then invalid_arg "Hypergraph.edges_containing";
-  h.incident.(v)
+  let acc = ref [] in
+  iter_incident h v (fun i -> acc := h.edge_sets.(i) :: !acc);
+  List.rev !acc
+
+let degree h v =
+  if v < 0 || v >= h.n then invalid_arg "Hypergraph.degree";
+  h.inc_starts.(v + 1) - h.inc_starts.(v)
+
+let neighbors h v =
+  if v < 0 || v >= h.n then invalid_arg "Hypergraph.neighbors";
+  let acc = ref Vset.empty in
+  iter_incident h v (fun i -> acc := Vset.union !acc h.edge_sets.(i));
+  Vset.remove v !acc
 
 let is_independent h s =
-  not (List.exists (fun e -> Vset.subset e s) h.edges)
+  not (Array.exists (fun e -> Vset.subset e s) h.edge_sets)
 
 (* v can be added to independent s iff no edge becomes fully contained. *)
 let addable h s v =
-  not (Vset.mem v s)
+  (not (Vset.mem v s))
   && not
-       (List.exists
-          (fun e -> Vset.subset (Vset.remove v e) s)
-          h.incident.(v))
+       (let bad = ref false in
+        iter_incident h v (fun i ->
+            if
+              (not !bad)
+              && Vset.subset (Vset.remove v h.edge_sets.(i)) s
+            then bad := true);
+        !bad)
 
-let is_maximal_independent h s =
+let is_maximal_independent ?universe h s =
   is_independent h s
-  && not (List.exists (fun v -> addable h s v) (List.init h.n Fun.id))
+  &&
+  match universe with
+  | None ->
+    let ok = ref true in
+    for v = 0 to h.n - 1 do
+      if !ok && addable h s v then ok := false
+    done;
+    !ok
+  | Some u -> not (Vset.exists (fun v -> addable h s v) (Vset.diff u s))
 
-let enumerate h =
+let enumerate ?universe h =
   (* Branch on an uncovered edge, excluding one of its vertices; at each
      leaf the excluded set is a transversal, so its complement is
      independent; keep only the maximal ones and de-duplicate. Every
      maximal independent set M is reached along the branch that always
-     excludes a vertex of V \ M. *)
+     excludes a vertex of V \ M. With a [universe] (the live vertices of
+     an incrementally updated instance), only edges inside it can ever
+     be fully contained, and candidates are intersected with it. *)
+  let all =
+    match universe with Some u -> u | None -> Vset.of_range h.n
+  in
+  let active =
+    match universe with
+    | None -> Array.to_list h.edge_sets
+    | Some u ->
+      List.filter (fun e -> Vset.subset e u) (Array.to_list h.edge_sets)
+  in
   let seen = Hashtbl.create 64 in
   let results = ref [] in
-  let all = Vset.of_range h.n in
   let rec go excluded = function
     | [] ->
       let candidate = Vset.diff all excluded in
       if
-        is_maximal_independent h candidate
+        is_maximal_independent ?universe h candidate
         && not (Hashtbl.mem seen candidate)
       then begin
         Hashtbl.replace seen candidate ();
@@ -75,10 +248,57 @@ let enumerate h =
         Vset.iter (fun v -> go (Vset.add v excluded) rest) e
       else go excluded rest
   in
-  (* Rescan the full edge list until every edge is hit: an edge skipped as
-     "already hit" stays hit because [excluded] only grows. *)
-  go Vset.empty h.edges;
+  go Vset.empty active;
   List.sort Vset.compare !results
+
+let components h =
+  let seen = ref Vset.empty in
+  let comps = ref [] in
+  for v = 0 to h.n - 1 do
+    if Vset.mem v h.covered && not (Vset.mem v !seen) then begin
+      let rec grow frontier comp =
+        if Vset.is_empty frontier then comp
+        else begin
+          let comp = Vset.union comp frontier in
+          let next =
+            Vset.fold
+              (fun u acc -> Vset.union acc (neighbors h u))
+              frontier Vset.empty
+          in
+          grow (Vset.diff next comp) comp
+        end
+      in
+      let comp = grow (Vset.singleton v) Vset.empty in
+      seen := Vset.union !seen comp;
+      comps := comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let patch h ~n ~drop ~add =
+  (* Every edge meeting [drop] dies; [add] joins the survivors and the
+     whole set is re-canonicalized (dedup + subset-minimality — an added
+     edge may subsume another added edge). The rebuild is linear in the
+     total vertex count of the surviving edges, not in the cost of
+     re-detecting violations, which is what the callers are avoiding. *)
+  if n < 0 then invalid_arg "Hypergraph.patch: negative size";
+  List.iter
+    (fun e ->
+      if Vset.is_empty e then invalid_arg "Hypergraph.patch: empty edge";
+      if not (Vset.is_empty (Vset.inter e drop)) then
+        invalid_arg "Hypergraph.patch: added edge meets the dropped set";
+      Vset.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            invalid_arg "Hypergraph.patch: vertex out of range")
+        e)
+    add;
+  let survivors =
+    Array.fold_left
+      (fun acc e -> if Vset.disjoint e drop then e :: acc else acc)
+      [] h.edge_sets
+  in
+  canonicalize n (List.rev_append survivors add)
 
 let of_graph g =
   let edges =
@@ -88,5 +308,5 @@ let of_graph g =
 
 let pp ppf h =
   Format.fprintf ppf "@[<v>hypergraph on %d vertices:@," h.n;
-  List.iter (fun e -> Format.fprintf ppf "  %a@," Vset.pp e) h.edges;
+  Array.iter (fun e -> Format.fprintf ppf "  %a@," Vset.pp e) h.edge_sets;
   Format.fprintf ppf "@]"

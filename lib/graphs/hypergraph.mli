@@ -3,7 +3,11 @@
     The paper's §6 points to the generalization of conflict graphs to
     hypergraphs [6], which handle denial constraints: a single conflict may
     involve more than two tuples, so a conflict becomes a hyperedge and a
-    repair becomes a maximal set containing no hyperedge in full. *)
+    repair becomes a maximal set containing no hyperedge in full.
+
+    The edge store is packed: a canonical array of minimal edges plus flat
+    int-array per-vertex incidence, with subset-minimality established in
+    near-linear time at construction. *)
 
 type t
 
@@ -16,18 +20,54 @@ val create : int -> Vset.t list -> t
     that is a superset of another is dropped (it is implied). *)
 
 val size : t -> int
+
+val edge_count : t -> int
+(** Number of minimal edges. *)
+
 val edges : t -> Vset.t list
+(** The minimal edges, ascending by [Vset.compare]. *)
+
+val edge : t -> int -> Vset.t
+(** The i-th minimal edge in that order. *)
 
 val edges_containing : t -> int -> Vset.t list
+
+val degree : t -> int -> int
+(** Number of minimal edges containing the vertex. *)
+
+val neighbors : t -> int -> Vset.t
+(** Vertices sharing at least one edge with [v] (excluding [v]) — the
+    hypergraph counterpart of [Undirected.neighbors]. *)
+
+val covered : t -> Vset.t
+(** Union of all edges. *)
+
+val isolated : t -> Vset.t
+(** Vertices in no edge: [of_range n] minus {!covered}. *)
 
 val is_independent : t -> Vset.t -> bool
 (** No hyperedge is fully contained in the set. *)
 
-val is_maximal_independent : t -> Vset.t -> bool
+val is_maximal_independent : ?universe:Vset.t -> t -> Vset.t -> bool
+(** With [universe] (default all of [0 .. n-1]), maximality is relative to
+    its vertices only — the live set of an incrementally updated
+    instance. *)
 
-val enumerate : t -> Vset.t list
-(** All maximal independent sets, sorted by [Vset.compare]. Exponential in
-    the worst case, like its graph counterpart. *)
+val enumerate : ?universe:Vset.t -> t -> Vset.t list
+(** All maximal independent subsets of [universe], sorted by
+    [Vset.compare]. Exponential in the worst case, like its graph
+    counterpart. *)
+
+val components : t -> Vset.t list
+(** Connected components of the covered vertices (each has >= 1 edge),
+    in ascending order of their smallest vertex. *)
+
+val patch : t -> n:int -> drop:Vset.t -> add:Vset.t list -> t
+(** [patch h ~n ~drop ~add]: every edge meeting [drop] dies, [add] joins
+    the survivors, and the result is re-canonicalized (dedup +
+    subset-minimality) on [n] vertices. Added edges must not meet [drop].
+    Linear in the surviving edge store — the delta path's replacement for
+    re-detecting violations from scratch. *)
 
 val of_graph : Undirected.t -> t
 (** Each graph edge becomes a 2-element hyperedge. *)

@@ -97,6 +97,7 @@ let known_cmds =
     "status"; "help"; "family"; "jobs"; "info"; "repairs"; "count"; "stats";
     "facts"; "clean"; "trace"; "query"; "qtrace"; "profile"; "explain";
     "plan"; "insert"; "delete"; "undo"; "aggregate"; "prefer"; "save";
+    "denials"; "hyper";
   ]
 
 let cmd_label cmd = if List.mem cmd known_cmds then cmd else "other"

@@ -63,6 +63,12 @@ let help_text =
   \  delete VALUES        remove a tuple (incremental)\n\
   \  undo                 revert the most recent insert/delete\n\
   \  prefer DECL          add a preference (as in the file format)\n\
+  \  denials              list the denial constraints in force\n\
+  \  hyper [info]         the conflict hypergraph: edges, components\n\
+  \  hyper count [FAM]    count preferred repairs on the hyperedge\n\
+  \                       substrate (FAM: rep|pareto|global)\n\
+  \  hyper repairs [FAM] [N]   enumerate (at most N) hyper repairs\n\
+  \  hyper query [FAM] Q  certain answer under denial constraints\n\
   \  save FILE            write the instance and preferences back out\n\
   \  metrics              process metrics in Prometheus text format\n\
   \  help                 this text\n\
@@ -130,10 +136,13 @@ let cmd_load st path =
       match build_engine spec with Ok e -> Some e | Error _ -> None
     in
     ( { st with spec = Some spec; engine },
-      Printf.sprintf "loaded %s: %d tuples, %d fd(s), %d preference(s)" path
+      Printf.sprintf "loaded %s: %d tuples, %d fd(s), %d preference(s)%s" path
         (Relation.cardinality spec.IF.relation)
         (List.length spec.IF.fds)
-        (List.length spec.IF.prefs) )
+        (List.length spec.IF.prefs)
+        (match spec.IF.denials with
+        | [] -> ""
+        | ds -> Printf.sprintf ", %d denial(s)" (List.length ds)) )
 
 let cmd_family st name =
   match Family.name_of_string name with
@@ -182,7 +191,7 @@ let cmd_count st =
       Printf.sprintf "%s: %d preferred repair(s) across %d component(s)"
         (Family.name_to_string st.family)
         (Core.Decompose.count st.family d)
-        (List.length (Core.Decompose.components d)))
+        (Core.Decompose.component_count d))
 
 let cmd_facts st =
   with_context st (fun _spec c p ->
@@ -509,6 +518,114 @@ let cmd_prefer st body =
               (Core.Priority.arc_count p) )
         | Error e -> (st, "error: not journaled (preference dropped): " ^ e))))
 
+(* --- hyper: denial-constraint CQA over the hyperedge substrate ------------- *)
+
+(* The denial constraints in force: the spec's own [denial] declarations
+   or — when none are declared — the FDs compiled to denial form, so the
+   hyper commands answer out of the box on any loaded instance. *)
+let denials_of spec =
+  match spec.IF.denials with
+  | [] ->
+    let schema = Relation.schema spec.IF.relation in
+    List.concat_map (Constraints.Denial.of_fd schema) spec.IF.fds
+  | dcs -> dcs
+
+(* The hyper context is rebuilt per command: denial CQA is the
+   analytical side door, not the serve loop's hot path, and a fresh
+   build keeps it honest against the current relation. *)
+let hyper_context spec =
+  match Core.Hyper.build (denials_of spec) spec.IF.relation with
+  | exception Invalid_argument m -> Error m
+  | h -> (
+    match IF.to_rule spec with
+    | Error e -> Error e
+    | Ok rule -> (
+      match Core.Hpriority.of_rule h rule with
+      | Error e -> Error e
+      | Ok p -> Ok (h, p)))
+
+let with_hyper st k =
+  match st.spec with
+  | None -> "no instance loaded (use: load FILE)"
+  | Some spec -> (
+    match hyper_context spec with
+    | Error e -> "error: " ^ e
+    | Ok (h, p) -> k spec h p)
+
+let cmd_denials st =
+  match st.spec with
+  | None -> "no instance loaded (use: load FILE)"
+  | Some spec ->
+    buffer_out (fun ppf ->
+        let dcs = denials_of spec in
+        Format.fprintf ppf "%d denial constraint(s)%s@." (List.length dcs)
+          (if spec.IF.denials = [] && dcs <> [] then " (compiled from the fds)"
+           else "");
+        List.iter
+          (fun dc ->
+            Format.fprintf ppf "  %s@." (Constraints.Denial.to_string dc))
+          dcs)
+
+let cmd_hyper_info st =
+  with_hyper st (fun spec h p ->
+      let d = Core.Hdecompose.make h p in
+      buffer_out (fun ppf ->
+          let dcs = denials_of spec in
+          Format.fprintf ppf "denials:    %d%s@." (List.length dcs)
+            (if spec.IF.denials = [] && dcs <> [] then
+               " (compiled from the fds)"
+             else "");
+          Format.fprintf ppf "facts:      %d live@."
+            (Graphs.Vset.cardinal (Core.Hyper.live h));
+          Format.fprintf ppf "hyperedges: %d@."
+            (Graphs.Hypergraph.edge_count (Core.Hyper.hypergraph h));
+          Format.fprintf ppf "oriented:   %d arc(s)@."
+            (Core.Hpriority.arc_count p);
+          Format.fprintf ppf "components: %d (largest %d)@."
+            (Core.Hdecompose.component_count d)
+            (Core.Hdecompose.max_component d);
+          Format.fprintf ppf "consistent: %b" (Core.Hyper.is_consistent h)))
+
+let cmd_hyper_count st fam =
+  with_hyper st (fun _spec h p ->
+      let d = Core.Hdecompose.make h p in
+      Printf.sprintf "%s: %d preferred repair(s) across %d component(s)"
+        (Core.Hfamily.name_to_string fam)
+        (Core.Hdecompose.count fam d)
+        (Core.Hdecompose.component_count d))
+
+let cmd_hyper_repairs st fam limit =
+  with_hyper st (fun _spec h p ->
+      let repairs = Core.Hfamily.repairs fam h p in
+      buffer_out (fun ppf ->
+          Format.fprintf ppf "%s: %d preferred repair(s)@."
+            (Core.Hfamily.name_to_string fam)
+            (List.length repairs);
+          List.iteri
+            (fun i s ->
+              if i < limit then begin
+                Format.fprintf ppf "--- repair %d ---@." (i + 1);
+                Relation.iter
+                  (fun t -> Format.fprintf ppf "  %a@." Tuple.pp t)
+                  (Core.Hyper.to_relation h s)
+              end)
+            repairs;
+          if List.length repairs > limit then
+            Format.fprintf ppf "... (%d more)" (List.length repairs - limit)))
+
+let cmd_hyper_query st fam text =
+  with_hyper st (fun _spec h p ->
+      match Query.Parser.parse text with
+      | Error e -> "error: " ^ e
+      | Ok q ->
+        if not (Query.Ast.is_closed q) then
+          "error: hyper query requires a closed query"
+        else
+          let d = Core.Hdecompose.make h p in
+          Printf.sprintf "%s: %s"
+            (Core.Hfamily.name_to_string fam)
+            (Core.Cqa.certainty_to_string (Core.Hdecompose.certainty fam d q)))
+
 let cmd_save st path =
   match st.spec with
   | None -> (st, "no instance loaded (use: load FILE)")
@@ -526,6 +643,38 @@ let split_command line =
   | Some i ->
     ( String.sub trimmed 0 i,
       String.trim (String.sub trimmed i (String.length trimmed - i)) )
+
+let hyper_usage =
+  "usage: hyper [info] | hyper count [FAM] | hyper repairs [FAM] [N] | hyper \
+   query [FAM] Q   (FAM: rep|pareto|global; default rep)"
+
+(* An optional leading family token; everything else is the argument. *)
+let pop_hyper_family arg =
+  let tok, rest = split_command arg in
+  match Core.Hfamily.name_of_string tok with
+  | Some f -> (f, rest)
+  | None -> (Core.Hfamily.Rep, arg)
+
+let cmd_hyper st rest =
+  let sub, arg = split_command rest in
+  match (String.lowercase_ascii sub, arg) with
+  | ("" | "info"), "" -> cmd_hyper_info st
+  | "count", arg -> (
+    match pop_hyper_family arg with
+    | fam, "" -> cmd_hyper_count st fam
+    | _ -> hyper_usage)
+  | "repairs", arg -> (
+    match pop_hyper_family arg with
+    | fam, "" -> cmd_hyper_repairs st fam 20
+    | fam, n -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> cmd_hyper_repairs st fam n
+      | _ -> hyper_usage))
+  | "query", arg -> (
+    match pop_hyper_family arg with
+    | _, "" -> hyper_usage
+    | fam, q -> cmd_hyper_query st fam q)
+  | _ -> hyper_usage
 
 let exec st line =
   let cmd, rest = split_command line in
@@ -579,6 +728,8 @@ let exec st line =
     | "aggregate", a -> (st, cmd_aggregate st a)
     | "prefer", "" -> (st, "usage: prefer source A > B | newest | oldest | attribute A larger|smaller | formula F")
     | "prefer", body -> cmd_prefer st body
+    | "denials", _ -> (st, cmd_denials st)
+    | "hyper", rest -> (st, cmd_hyper st rest)
     | "save", "" -> (st, "usage: save FILE")
     | "save", path -> cmd_save st path
     | "metrics", _ -> (st, Obs.Registry.render ())

@@ -260,3 +260,107 @@ let random_repair rng c =
         Vset.add v acc
       else acc)
     Vset.empty order
+
+(* --- denial workloads ---------------------------------------------------- *)
+
+(* One shared mixed-arity constraint set over R(A, B, C, F): a 1-ary
+   salary cap on B, the FD-shaped 2-ary pattern on (A, B), and a
+   genuinely 3-ary "no increasing C-chain within an A-group" pattern
+   that no pair of tuples can witness. The multi-tuple patterns only
+   constrain flagged tuples (F = 1): the constant equality atom becomes
+   a postings probe that keeps unflagged tuples out of the join
+   entirely, which is what lets the consistent tail of the scale
+   scenarios stay O(1) per tuple. A and F are the only columns equality
+   atoms reach, so they are the only columns ever indexed — and both
+   must stay low-cardinality (postings are dense [Vset]s). *)
+let mixed_denials ~cap =
+  let open Constraints.Denial in
+  let flagged i = { left = Attr (i, "F"); op = Eq; right = Const (Value.Int 1) } in
+  [
+    make ~label:"cap" ~nvars:1
+      [ { left = Attr (0, "B"); op = Gt; right = Const (Value.Int cap) } ];
+    make ~label:"no-dup" ~nvars:2
+      [
+        flagged 0; flagged 1;
+        { left = Attr (0, "A"); op = Eq; right = Attr (1, "A") };
+        { left = Attr (0, "B"); op = Neq; right = Attr (1, "B") };
+      ];
+    make ~label:"no-chain" ~nvars:3
+      [
+        flagged 0; flagged 1; flagged 2;
+        { left = Attr (0, "A"); op = Eq; right = Attr (1, "A") };
+        { left = Attr (1, "A"); op = Eq; right = Attr (2, "A") };
+        { left = Attr (0, "C"); op = Lt; right = Attr (1, "C") };
+        { left = Attr (1, "C"); op = Lt; right = Attr (2, "C") };
+      ];
+  ]
+
+let denial_cap = 1_000_000
+
+let denial_schema () =
+  Schema.make "R"
+    [
+      ("A", Schema.TInt); ("B", Schema.TInt); ("C", Schema.TInt);
+      ("F", Schema.TInt);
+    ]
+
+(* Violating clusters at the LOW fact ids (cheap [Vset]s), one huge
+   consistent tail: cluster g shares A = g and cycles through three
+   shapes — pairwise 2-edges (distinct B, equal C), pure 3-edges (equal
+   B, increasing C: no pair is a witness), and per-tuple singleton
+   edges (every B above the cap; B equal within the cluster so no
+   2-ary edge fires). Tail tuples are unflagged, share one A value and
+   are distinguished only by C — which no equality atom reaches, so it
+   is never indexed and the tail costs one postings miss, not a dense
+   per-value [Vset]. *)
+let denial_clusters ~facts ~groups ~width =
+  if facts < 0 || groups < 0 || width < 1 || groups * width > facts then
+    invalid_arg "Generator.denial_clusters";
+  let b = Relation.Builder.create ~size_hint:facts (denial_schema ()) in
+  for g = 0 to groups - 1 do
+    for w = 0 to width - 1 do
+      let row =
+        match g mod 3 with
+        | 0 -> [ Value.Int g; Value.Int w; Value.Int 0; Value.Int 1 ]
+        | 1 -> [ Value.Int g; Value.Int 0; Value.Int w; Value.Int 1 ]
+        | _ -> [ Value.Int g; Value.Int (denial_cap + 1); Value.Int w; Value.Int 1 ]
+      in
+      Relation.Builder.add_row b row
+    done
+  done;
+  for i = groups * width to facts - 1 do
+    Relation.Builder.add_row b
+      [ Value.Int groups; Value.Int 0; Value.Int i; Value.Int 0 ]
+  done;
+  (Relation.Builder.finish b, mixed_denials ~cap:denial_cap)
+
+(* Random mixed-arity instance (every tuple flagged). Violation density
+   is driven by [a_values] (fewer A values, more co-grouped tuples) and
+   [payload_values] (fewer B values, more 2-ary near-misses that leave
+   room for genuine 3-edges); [cap_chance] in [0, 1] is the per-tuple
+   probability of a 1-ary cap violation; [skew] concentrates A on low
+   values (min of two draws) so group sizes are non-uniform. Duplicates
+   collapse, so the instance may hold fewer than [n] tuples. *)
+let random_denial_instance rng ~n ~a_values ~payload_values ~cap_chance ~skew =
+  if
+    n < 0 || a_values < 1 || payload_values < 1
+    || not (cap_chance >= 0.0 && cap_chance <= 1.0)
+  then invalid_arg "Generator.random_denial_instance";
+  let draw_a () =
+    if skew then min (Prng.int rng a_values) (Prng.int rng a_values)
+    else Prng.int rng a_values
+  in
+  let row () =
+    let over_cap =
+      float_of_int (Prng.int rng 1_000_000) < cap_chance *. 1_000_000.
+    in
+    let payload = Prng.int rng payload_values in
+    [
+      Value.Int (draw_a ());
+      Value.Int (if over_cap then denial_cap + 1 + payload else payload);
+      Value.Int (Prng.int rng (max n 1));
+      Value.Int 1;
+    ]
+  in
+  let rows = List.init n (fun _ -> row ()) in
+  (Relation.of_rows (denial_schema ()) rows, mixed_denials ~cap:denial_cap)

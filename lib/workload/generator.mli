@@ -89,3 +89,33 @@ val random_priority : Prng.t -> density:float -> Core.Conflict.t -> Core.Priorit
 val random_repair : Prng.t -> Core.Conflict.t -> Vset.t
 (** A uniform-ish random repair: greedy maximal extension of the empty set
     scanning vertices in random order. *)
+
+val mixed_denials : cap:int -> Constraints.Denial.t list
+(** The shared mixed-arity denial set over R(A, B, C, F): a 1-ary cap
+    ([B > cap]), the FD-shaped 2-ary pattern ([t1.A = t2.A],
+    [t1.B != t2.B]) and a 3-ary increasing-C-chain pattern within an
+    A-group that no single pair of tuples can witness. The multi-tuple
+    patterns only constrain flagged tuples ([F = 1]); the constant
+    equality atom keeps unflagged tuples out of the violation join. *)
+
+val denial_cap : int
+(** The cap value the denial generators build against. *)
+
+val denial_clusters :
+  facts:int -> groups:int -> width:int -> Relation.t * Constraints.Denial.t list
+(** [facts] tuples over R(A, B, C, F) under {!mixed_denials}: [groups]
+    violating clusters of [width] flagged tuples each at the {e low}
+    fact ids, cycling through pairwise 2-edges, pure 3-edges and
+    per-tuple singleton edges, followed by an unflagged conflict-free
+    tail sharing one A value. The million-fact scale scenario: the
+    flag probe must keep the tail out of the violation join, singleton
+    components must never materialize, and the tail must land in the
+    decomposition's free set. *)
+
+val random_denial_instance :
+  Prng.t -> n:int -> a_values:int -> payload_values:int -> cap_chance:float ->
+  skew:bool -> Relation.t * Constraints.Denial.t list
+(** [n] random flagged tuples over R(A, B, C, F) under {!mixed_denials}.
+    Density is controlled by [a_values]/[payload_values], 1-ary
+    violations by [cap_chance], and [skew] concentrates A values on low
+    group ids so component sizes are non-uniform. *)

@@ -145,6 +145,52 @@ let test_random_repair_is_repair () =
       (Core.Repair.is_repair c (Workload.Generator.random_repair rng c))
   done
 
+(* --- denial lines ---------------------------------------------------------- *)
+
+let denial_text =
+  "relation Emp(Name:name, Dept:name, Cap:int)\n\
+   denial 'no-dup' forall 2 : t1.Name = t2.Name and t1.Dept != t2.Dept\n\
+   denial 'cap' forall 1 : t1.Cap > 100\n\
+   tuple 'Mary' 'R&D' 10\n\
+   tuple 'Mary' 'IT' 20\n\
+   tuple 'John' 'PR' 200\n"
+
+let test_denial_parse_and_roundtrip () =
+  let spec = Result.get_ok (IF.parse denial_text) in
+  let strings dcs = List.map Constraints.Denial.to_string dcs in
+  check
+    Alcotest.(list string)
+    "two denials parsed"
+    [
+      "'no-dup' forall 2 : t1.Name = t2.Name and t1.Dept != t2.Dept";
+      "'cap' forall 1 : t1.Cap > 100";
+    ]
+    (strings spec.IF.denials);
+  (* print → parse preserves them verbatim *)
+  let spec' = Result.get_ok (IF.parse (IF.print spec)) in
+  check
+    Alcotest.(list string)
+    "denials survive the round-trip" (strings spec.IF.denials)
+    (strings spec'.IF.denials);
+  (* and the parsed denials drive the hypergraph: Mary's two rows
+     conflict, John's capacity violation is a singleton edge *)
+  let h = Core.Hyper.build spec.IF.denials spec.IF.relation in
+  check Alcotest.int "two hyperedges" 2
+    (Graphs.Hypergraph.edge_count (Core.Hyper.hypergraph h))
+
+let test_denial_parse_errors () =
+  List.iter
+    (fun line ->
+      match IF.parse ("relation R(A:int)\n" ^ line ^ "\n") with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed denial: %s" line)
+    [
+      "denial forall 0 : t1.A = t1.A";
+      "denial forall 2 : t1.A = t3.A";
+      "denial forall 2 : t1.B = t2.B";
+      "denial nonsense";
+    ]
+
 (* --- quoting, escaping and the save/load/save fixpoint ------------------- *)
 
 let name_spec names =
@@ -154,6 +200,7 @@ let name_spec names =
       Relation.of_rows schema
         (List.mapi (fun i n -> [ Value.Name n; Value.Int i ]) names);
     fds = [];
+    denials = [];
     provenance = Provenance.empty;
     prefs = [];
   }
@@ -245,6 +292,8 @@ let suite =
     ("generators are deterministic", `Quick, test_generator_determinism);
     ("integration scenario", `Quick, test_scenario_integration);
     ("random repairs are repairs", `Quick, test_random_repair_is_repair);
+    ("denial lines parse and round-trip", `Quick, test_denial_parse_and_roundtrip);
+    ("malformed denial lines rejected", `Quick, test_denial_parse_errors);
     ("escaped names roundtrip", `Quick, test_escaped_names_roundtrip);
     ("unprintable names rejected", `Quick, test_unprintable_names_rejected);
     ("tokenizer rejects bad escapes", `Quick, test_tokenizer_escapes);

@@ -14,6 +14,7 @@ let () =
       ("properties", Test_properties.suite);
       ("pref_rules", Test_pref_rules.suite);
       ("hyper", Test_hyper.suite);
+      ("hyper_props", Test_hyper_props.suite);
       ("dbio", Test_dbio.suite);
       ("store", Test_store.suite);
       ("pref_formula", Test_pref_formula.suite);

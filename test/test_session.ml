@@ -17,6 +17,7 @@ let mgr_file () =
     {
       Dbio.Instance_format.relation = rel;
       fds;
+      denials = [];
       provenance = prov;
       prefs =
         [

@@ -152,6 +152,112 @@ let test_snapshot_rejects_oversized_counts () =
   Buffer.add_string b "\x00\x00\x00\x00";
   expect_error "oversized slot count" (Buffer.contents b)
 
+(* --- denial constraints through the binary layer ------------------------- *)
+
+let denial_text =
+  {|relation Emp(Name:name, Dept:name, Cap:int)
+denial 'no-dup' forall 2 : t1.Name = t2.Name and t1.Dept != t2.Dept
+denial 'cap' forall 1 : t1.Cap > 100
+tuple 'Mary' 'R&D' 10
+tuple 'Mary' 'IT' 20
+tuple 'John' 'PR' 30
+|}
+
+let denial_spec () = Result.get_ok (IF.parse denial_text)
+let denial_strings spec = List.map Constraints.Denial.to_string spec.IF.denials
+
+let test_snapshot_denials_roundtrip () =
+  let spec = denial_spec () in
+  let spec2 =
+    fst (Result.get_ok (Snapshot.decode (Snapshot.encode ~generation:0 spec)))
+  in
+  check
+    Alcotest.(list string)
+    "denials survive the binary trip" (denial_strings spec)
+    (denial_strings spec2);
+  check Alcotest.bool "relation equal" true
+    (Relation.equal spec.IF.relation spec2.IF.relation)
+
+(* Kill -9 over a denial-constrained store: the recovered spec must carry
+   the denial list, and the hyperedge substrate rebuilt from it must
+   match the pre-crash one at every fsync point. *)
+let test_kill9_denial_recovery () =
+  let dir = temp_dir () in
+  let spec = denial_spec () in
+  Result.get_ok (Store.init dir spec);
+  let store = Result.get_ok (Store.open_ dir) in
+  let engine = Store.engine store in
+  let etuple name dept cap =
+    Tuple.make [ Value.Name name; Value.Name dept; Value.Int cap ]
+  in
+  let hyper_fingerprint rel =
+    let h = Core.Hyper.build spec.IF.denials rel in
+    ( Graphs.Hypergraph.edge_count (Core.Hyper.hypergraph h),
+      Core.Hdecompose.count Core.Hfamily.Rep
+        (Core.Hdecompose.make h (Core.Hpriority.empty h)) )
+  in
+  let mutations =
+    [
+      (* a second John: trips 'no-dup' *)
+      Wal.Batch [ Delta.Insert (etuple "John" "IT" 5) ];
+      (* trips the unary 'cap' constraint *)
+      Wal.Batch [ Delta.Insert (etuple "Ann" "HQ" 500) ];
+      Wal.Batch [ Delta.Delete (etuple "Mary" "IT" 20) ];
+      Wal.Undo;
+    ]
+  in
+  let observe () =
+    ( (Unix.stat (Store.wal_path dir)).Unix.st_size,
+      state_fingerprint (Delta.relation engine),
+      hyper_fingerprint (Delta.relation engine) )
+  in
+  let checkpoints = ref [ observe () ] in
+  List.iter
+    (fun entry ->
+      (match entry with
+      | Wal.Batch ops -> ignore (Result.get_ok (Delta.apply engine ops))
+      | Wal.Undo -> ignore (Result.get_ok (Delta.undo engine))
+      | Wal.Prefer _ -> assert false);
+      Result.get_ok (Store.log store entry);
+      checkpoints := observe () :: !checkpoints)
+    mutations;
+  Store.close store;
+  let checkpoints = List.rev !checkpoints in
+  let wal_image =
+    In_channel.with_open_bin (Store.wal_path dir) In_channel.input_all
+  in
+  let reopen_at msg cut expected_state (expected_edges, expected_count) =
+    let crash_dir = temp_dir () in
+    Unix.mkdir crash_dir 0o755;
+    let copy src dst =
+      Out_channel.with_open_bin dst (fun oc ->
+          Out_channel.output_string oc
+            (In_channel.with_open_bin src In_channel.input_all))
+    in
+    copy (Store.snapshot_path dir) (Store.snapshot_path crash_dir);
+    Out_channel.with_open_bin (Store.wal_path crash_dir) (fun oc ->
+        Out_channel.output_string oc (String.sub wal_image 0 cut));
+    let recovered = Result.get_ok (Store.open_ crash_dir) in
+    check
+      Alcotest.(list string)
+      (msg ^ ": denials recovered") (denial_strings spec)
+      (denial_strings (Store.spec recovered));
+    let rel = Delta.relation (Store.engine recovered) in
+    check_same_state msg expected_state rel;
+    let edges, count = hyper_fingerprint rel in
+    check Alcotest.int (msg ^ ": hyperedges") expected_edges edges;
+    check Alcotest.int (msg ^ ": repair count") expected_count count;
+    Store.close recovered;
+    rm_rf crash_dir
+  in
+  List.iteri
+    (fun i (size, state, hfp) ->
+      reopen_at (Printf.sprintf "denial clean cut %d" i) size state hfp;
+      if size + 5 <= String.length wal_image then
+        reopen_at (Printf.sprintf "denial torn cut %d" i) (size + 5) state hfp)
+    checkpoints;
+  rm_rf dir
+
 let test_snapshot_generation_roundtrip () =
   let _, gen =
     Result.get_ok (Snapshot.decode (Snapshot.encode ~generation:7 (mgr_spec ())))
@@ -619,6 +725,8 @@ let suite =
     ("wal round-trip", `Quick, test_wal_roundtrip);
     ("wal detects a torn tail", `Quick, test_wal_detects_torn_tail);
     ("kill -9 recovery is bit-identical", `Quick, test_kill9_recovery);
+    ("snapshot round-trips denial constraints", `Quick, test_snapshot_denials_roundtrip);
+    ("kill -9 recovery preserves the denial substrate", `Quick, test_kill9_denial_recovery);
     ("checkpoint truncates the wal", `Quick, test_checkpoint_truncates);
     ("checkpoint is the undo horizon", `Quick, test_checkpoint_is_undo_horizon);
     ("stale-generation wal records are skipped", `Quick, test_stale_generation_records_skipped);
